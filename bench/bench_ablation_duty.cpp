@@ -1,0 +1,50 @@
+// Ablation: sensitivity of the signal-line design rule to the assumed duty
+// cycle. The paper justifies r = 0.1 via the simulated 0.12 +/- 0.01
+// invariant; this sweep shows what the design rule would look like had a
+// different r been assumed — including the r_eff values actually measured
+// by our transient simulations.
+#include <cstdio>
+
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+
+using namespace dsmt;
+
+int main() {
+  const auto technology = tech::make_ntrs_100nm_cu();
+  const int level = technology.top_level();
+  const double j0 = MA_per_cm2(1.8);
+
+  std::printf("== Ablation: assumed duty cycle r (M%d, oxide, j0 = 1.8) ==\n\n",
+              level);
+  report::Table table({"r", "note", "j_peak [MA/cm2]", "j_rms [MA/cm2]",
+                       "T_m [C]"});
+  const struct {
+    double r;
+    const char* note;
+  } cases[] = {
+      {0.05, "optimistic"},
+      {0.10, "paper's choice"},
+      {0.114, "our 0.25um r_eff"},
+      {0.129, "our 0.1um r_eff"},
+      {0.20, "downsized buffers"},
+      {0.30, "pessimistic"},
+  };
+  for (const auto& c : cases) {
+    const auto sol = selfconsistent::solve(selfconsistent::make_level_problem(
+        technology, level, materials::make_oxide(), 2.45, c.r, j0));
+    table.add_row({report::fmt(c.r, 3), c.note,
+                   report::fmt(to_MA_per_cm2(sol.j_peak), 2),
+                   report::fmt(to_MA_per_cm2(sol.j_rms), 2),
+                   report::fmt(kelvin_to_celsius(sol.t_metal), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: j_peak scales roughly as 1/sqrt(r) once thermal effects\n"
+      "moderate the EM line, so the difference between assuming 0.1 and the\n"
+      "measured 0.114-0.129 is a ~7-12%% shift — the paper's 'this will not\n"
+      "change j_self-consistent significantly' claim, quantified.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation: how much does the heat-spreading model matter?
+//
+// The paper's modification of Hunter's analysis is exactly this knob: the
+// quasi-1D Bilotti W_eff (phi = 0.88) vs the measured quasi-2D value
+// (phi = 2.45). This ablation recomputes the M8 signal-line design rule
+// under phi in {0 (no spreading), 0.88, 2.45, FD-extracted} and shows the
+// allowed j_peak each model grants — the "more aggressive design rules"
+// the paper's abstract claims.
+#include <cstdio>
+
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+#include "thermal/scenarios.h"
+
+using namespace dsmt;
+
+int main() {
+  const auto technology = tech::make_ntrs_100nm_cu();
+  const int level = technology.top_level();
+  const double j0 = MA_per_cm2(1.8);
+  const auto oxide = materials::make_oxide();
+
+  std::printf("== Ablation: heat-spreading parameter phi (M%d, %s) ==\n\n",
+              level, technology.name.c_str());
+
+  // FD-extracted phi for this level's geometry (line over its full stack).
+  const auto& layer = technology.layer(level);
+  const auto stack = technology.stack_below(level, oxide);
+  thermal::SingleLineSpec fd_spec;
+  fd_spec.width = layer.width;
+  fd_spec.thickness = layer.thickness;
+  fd_spec.t_ox_below = stack.total_thickness();
+  fd_spec.metal = technology.metal;
+  fd_spec.lateral_margin = 25e-6;
+  thermal::MeshOptions mesh;
+  mesh.h_min = 0.05e-6;
+  mesh.h_max = 0.5e-6;
+  const double rth_fd = thermal::solve_rth_per_length(fd_spec, mesh);
+  const double phi_fd = thermal::extract_phi(
+      rth_fd, layer.width, stack.total_thickness(), oxide.k_thermal);
+
+  report::Table table({"model", "phi", "R'th [K*m/W]", "j_peak r=0.1",
+                       "j_peak r=1.0", "[MA/cm2]"});
+  for (const auto& [name, phi] :
+       {std::pair{"no spreading", 0.0}, std::pair{"quasi-1D (Bilotti)", 0.88},
+        std::pair{"quasi-2D (paper)", 2.45},
+        std::pair{"FD cross-section", phi_fd}}) {
+    const double weff = thermal::effective_width(
+        layer.width, stack.total_thickness(), phi);
+    const double rth = thermal::rth_per_length(stack, weff);
+    selfconsistent::Problem p;
+    p.metal = technology.metal;
+    p.j0 = j0;
+    p.heating_coefficient = selfconsistent::heating_coefficient(
+        layer.width, layer.thickness, rth);
+    p.duty_cycle = 0.1;
+    const auto sig = selfconsistent::solve(p);
+    p.duty_cycle = 1.0;
+    const auto pwr = selfconsistent::solve(p);
+    table.add_row({name, report::fmt(phi, 2), report::fmt(rth, 3),
+                   report::fmt(to_MA_per_cm2(sig.j_peak), 2),
+                   report::fmt(to_MA_per_cm2(pwr.j_peak), 3), ""});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: ignoring lateral spreading (phi = 0) over-constrains the\n"
+      "design rule severely; any realistic spreading model recovers most of\n"
+      "the headroom — the 'more aggressive design rules' claim of the\n"
+      "paper's abstract. The FD solve lands at phi = %.2f for this very\n"
+      "deep (b ~ 9 um) stack, between Bilotti's 0.88 and the paper's 2.45\n"
+      "(which was extracted at b = 1.2 um, where spreading is stronger\n"
+      "relative to the line width).\n",
+      phi_fd);
+  return 0;
+}

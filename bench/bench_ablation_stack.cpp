@@ -1,0 +1,65 @@
+// Ablation: layered-stack (Eq. 15) vs homogeneous-oxide thermal modeling.
+//
+// The paper generalizes b_ox/(K_ox W_eff) to a per-slab sum so low-k
+// gap-fill layers can be represented. This ablation quantifies the error a
+// homogeneous model makes for each gap-fill choice, and how it propagates
+// into the design-rule current density.
+#include <cstdio>
+
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+using namespace dsmt;
+
+int main() {
+  const auto technology = tech::make_ntrs_100nm_cu();
+  const int level = technology.top_level();
+  const double j0 = MA_per_cm2(1.8);
+
+  std::printf("== Ablation: Eq. 15 layered stack vs homogeneous oxide ==\n");
+  std::printf("(M%d signal line, r = 0.1, j0 = 1.8 MA/cm2)\n\n", level);
+
+  const auto& layer = technology.layer(level);
+  report::Table table({"gap-fill", "K_eff [W/m*K]", "R'th layered",
+                       "R'th homog-ox", "j_peak layered", "j_peak homog",
+                       "error"});
+  for (const auto& gf : {materials::make_oxide(), materials::make_hsq(),
+                         materials::make_polyimide(),
+                         materials::make_aerogel()}) {
+    const auto stack = technology.stack_below(level, gf);
+    const double b = stack.total_thickness();
+    const double weff = thermal::effective_width(layer.width, b, 2.45);
+    const double rth_layered = thermal::rth_per_length(stack, weff);
+    const double rth_homog = thermal::rth_per_length_uniform(
+        b, materials::make_oxide().k_thermal, weff);
+
+    auto solve_with = [&](double rth) {
+      selfconsistent::Problem p;
+      p.metal = technology.metal;
+      p.j0 = j0;
+      p.duty_cycle = 0.1;
+      p.heating_coefficient = selfconsistent::heating_coefficient(
+          layer.width, layer.thickness, rth);
+      return selfconsistent::solve(p);
+    };
+    const auto s_layered = solve_with(rth_layered);
+    const auto s_homog = solve_with(rth_homog);
+    table.add_row(
+        {gf.name, report::fmt(stack.effective_conductivity(), 3),
+         report::fmt(rth_layered, 3), report::fmt(rth_homog, 3),
+         report::fmt(to_MA_per_cm2(s_layered.j_peak), 2),
+         report::fmt(to_MA_per_cm2(s_homog.j_peak), 2),
+         report::fmt(100.0 * (s_homog.j_peak / s_layered.j_peak - 1.0), 1) +
+             "%"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: for the oxide flow the two models agree by construction;\n"
+      "for low-k gap-fill the homogeneous model overestimates the allowed\n"
+      "current (it ignores the poorly conducting slabs) — the error grows\n"
+      "as K_th falls, which is exactly why the paper introduces Eq. 15.\n");
+  return 0;
+}

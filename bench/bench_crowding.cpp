@@ -1,0 +1,54 @@
+// Extension harness: current crowding at layout bends and its EM cost.
+//
+// Black's TTF goes as j^-2, so a corner that multiplies the local current
+// density by k costs k^2 in local lifetime — the reason EM sign-off cares
+// about layout shape, not just the design-rule j. The harness sweeps bend
+// geometries with the 2-D sheet-current solver.
+#include <cmath>
+#include <cstdio>
+
+#include "em/black.h"
+#include "em/crowding.h"
+#include "materials/metal.h"
+#include "numeric/constants.h"
+#include "report/table.h"
+
+using namespace dsmt;
+
+int main() {
+  std::printf("== Current crowding at bends (sheet-current FD solve) ==\n\n");
+
+  em::CrowdingOptions opts;
+  opts.cell = 0.04e-6;
+
+  const auto em_params = materials::make_copper().em;
+  report::Table table({"shape", "R [squares]", "crowding k",
+                       "local TTF penalty (k^n)"});
+  {
+    const auto s = em::solve_straight_strip(um(1.0), um(5.0), opts);
+    table.add_row({"straight 1x5 um", report::fmt(s.resistance_squares, 2),
+                   report::fmt(s.crowding_factor, 2),
+                   report::fmt(std::pow(s.crowding_factor,
+                                        em_params.current_exponent),
+                               2)});
+  }
+  for (double leg_um : {2.0, 4.0, 8.0}) {
+    const auto s = em::solve_l_bend(um(1.0), um(leg_um), opts);
+    char label[40];
+    std::snprintf(label, sizeof label, "L-bend 1 um, legs %.0f um", leg_um);
+    table.add_row({label, report::fmt(s.resistance_squares, 2),
+                   report::fmt(s.crowding_factor, 2),
+                   report::fmt(std::pow(s.crowding_factor,
+                                        em_params.current_exponent),
+                               2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Reading: a right-angle bend concentrates ~1.5-2.5x the nominal sheet\n"
+      "density at the inner corner (grid-resolution dependent: the corner\n"
+      "is mildly singular; 2.8x at this 40 nm cell), i.e. a ~8x local EM\n"
+      "lifetime penalty on top\n"
+      "of the self-consistent design rule — why mitered/rounded corners\n"
+      "and via arrays matter in EM-critical routing.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Extension harness: EM degradation physics beyond Black's closed form —
+// the two-phase void-growth trace (resistance vs time), the apparent
+// current-exponent crossover that explains why accelerated tests must be
+// extrapolated carefully, non-isothermal lifetime profiles, and the
+// chip-level statistical budget.
+#include <cstdio>
+
+#include "em/budget.h"
+#include "em/profile.h"
+#include "em/void_growth.h"
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "thermal/impedance.h"
+
+using namespace dsmt;
+
+int main() {
+  const auto alcu = materials::make_alcu();
+  em::VoidModelParams params;
+
+  std::printf("== EM degradation models ==\n\n");
+
+  // 1. Resistance trace under accelerated stress.
+  const double j_acc = MA_per_cm2(2.5);
+  const double t_acc = celsius_to_kelvin(250.0);
+  const double ttf = em::time_to_failure_void(alcu, params, um(0.5), um(0.5),
+                                              um(100), j_acc, t_acc);
+  const auto trace = em::simulate_void_growth(
+      alcu, params, um(0.5), um(0.5), um(100), j_acc, t_acc, 1.5 * ttf, 13);
+  std::printf("Accelerated stress (2.5 MA/cm2, 250 C): TTF = %.1f h\n",
+              ttf / 3600.0);
+  report::Table rt({"t [h]", "void [nm]", "R/R0"});
+  for (std::size_t i = 0; i < trace.time.size(); ++i)
+    rt.add_row({report::fmt(trace.time[i] / 3600.0, 1),
+                report::fmt(trace.void_length[i] * 1e9, 1),
+                report::fmt(trace.resistance[i] / trace.r_initial, 4)});
+  std::printf("%s\n", rt.to_string().c_str());
+
+  // 2. Current-exponent crossover.
+  report::Table nt({"j [MA/cm2]", "apparent n", "regime"});
+  for (double j_ma : {0.3, 0.6, 2.0, 10.0, 50.0}) {
+    const double n = em::apparent_current_exponent(
+        alcu, params, um(0.5), um(0.5), um(100), MA_per_cm2(j_ma), kTrefK);
+    nt.add_row({report::fmt(j_ma, 1), report::fmt(n, 2),
+                n > 1.7 ? "nucleation-limited" : "growth-limited"});
+  }
+  std::printf("Black exponent crossover (n = 2 -> 1 with acceleration):\n%s\n",
+              nt.to_string().c_str());
+
+  // 3. Thermally short vs long lines.
+  const auto cu = materials::make_copper();
+  const double weff =
+      thermal::effective_width(um(1.0), um(3.0), thermal::kPhiQuasi1D);
+  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  const double lambda = thermal::healing_length(cu, um(1.0), um(0.8), rth);
+  report::Table st({"L/lambda", "TTF gain vs infinite line"});
+  for (double f : {0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const double gain = em::short_line_lifetime_gain(
+        cu, um(1.0), um(0.8), rth, f * lambda, 40.0, kTrefK);
+    st.add_row({report::fmt(f, 1), report::fmt(gain, 2)});
+  }
+  std::printf(
+      "Via cooling (lambda = %.0f um, strong 40 W/m heating):\n%s\n",
+      to_um(lambda), st.to_string().c_str());
+
+  // 4. Chip-level budget.
+  report::Table bt({"lines", "usable fraction of j0"});
+  for (std::size_t n : {1ul, 1000ul, 1000000ul, 1000000000ul})
+    bt.add_row({std::to_string(n),
+                report::fmt(em::chip_level_j0(cu.em, 1.0, 0.5, n), 3)});
+  std::printf("Statistical budget (sigma = 0.5):\n%s\n", bt.to_string().c_str());
+  std::printf(
+      "These extension models close the gap between the paper's single-line\n"
+      "Black-equation treatment and chip-level reliability sign-off.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 1 / Eqs. 1-5: current-density definitions on a unipolar pulsed
+// waveform. Regenerates the j_avg = r j_peak and j_rms = sqrt(r) j_peak
+// identities from sampled waveforms.
+#include <cmath>
+#include <cstdio>
+
+#include "circuit/waveform.h"
+#include "report/table.h"
+
+int main() {
+  std::printf("== Fig. 1 / Eqs. 1-5: unipolar waveform current densities ==\n");
+  std::printf("Sampled rectangular pulse trains, one period each.\n\n");
+
+  dsmt::report::Table table({"duty r", "peak", "avg (meas)", "avg (r*pk)",
+                             "rms (meas)", "rms (sqrt(r)*pk)", "r_eff"});
+  for (double r : {0.01, 0.05, 0.1, 0.12, 0.25, 0.5, 1.0}) {
+    const int n = 100001;
+    std::vector<double> t(n), y(n);
+    for (int i = 0; i < n; ++i) {
+      t[i] = static_cast<double>(i) / (n - 1);
+      y[i] = (t[i] <= r) ? 1.0 : 0.0;
+    }
+    const auto s = dsmt::circuit::measure(t, y);
+    table.add_row({dsmt::report::fmt(r, 2), dsmt::report::fmt(s.peak, 3),
+                   dsmt::report::fmt(s.average, 4),
+                   dsmt::report::fmt(r * s.peak, 4),
+                   dsmt::report::fmt(s.rms, 4),
+                   dsmt::report::fmt(std::sqrt(r) * s.peak, 4),
+                   dsmt::report::fmt(s.duty_effective, 4)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Check: measured averages/RMS match the Eq. 4-5 identities and the\n"
+      "effective duty cycle r_eff = (rms/peak)^2 recovers r.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 5: effective thermal impedance of level-1 AlCu lines (t_ox = 1.2 um,
+// L = 1000 um) vs line width, for standard-oxide and HSQ gap-fill flows,
+// plus the extraction of the quasi-2D heat-spreading parameter phi
+// (Eq. 14; the paper extracted phi = 2.45 from the W = 0.35 um point).
+//
+// The measurement is replaced by the 2-D heterogeneous finite-volume solve
+// of the same cross-section (see DESIGN.md, substitutions).
+#include <cstdio>
+
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "thermal/impedance.h"
+#include "thermal/scenarios.h"
+#include "thermal/thermometry.h"
+
+using namespace dsmt;
+
+int main() {
+  std::printf("== Fig. 5: theta(W) for M1 AlCu, oxide vs HSQ gap-fill ==\n");
+  std::printf("t_ox = 1.2 um, t_m = 0.6 um, L = 1000 um (FD cross-section)\n\n");
+
+  const double kLength = um(1000);
+  report::Table table({"W [um]", "theta oxide [K/W]", "theta HSQ [K/W]",
+                       "HSQ/oxide", "phi (extracted)"});
+  double phi_035 = 0.0;
+  for (double w_um : {0.35, 0.6, 1.0, 1.5, 2.0, 2.5, 3.1}) {
+    thermal::SingleLineSpec spec;
+    spec.width = um(w_um);
+    const double rth_ox = thermal::solve_rth_per_length(spec);
+    spec.gap_fill = materials::make_hsq();
+    const double rth_hsq = thermal::solve_rth_per_length(spec);
+    const double phi =
+        thermal::extract_phi(rth_ox, spec.width, spec.t_ox_below, 1.15);
+    if (w_um == 0.35) phi_035 = phi;
+    table.add_row({report::fmt(w_um, 2), report::fmt(rth_ox / kLength, 1),
+                   report::fmt(rth_hsq / kLength, 1),
+                   report::fmt(rth_hsq / rth_ox, 3), report::fmt(phi, 2)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Paper: theta falls with W; the HSQ gap-fill flow runs ~20%% higher at\n"
+      "W = 0.35 um; phi extracted from the narrowest line = 2.45.\n"
+      "Measured phi(W = 0.35 um) = %.2f.\n\n",
+      phi_035);
+
+  // The paper's data came from electrical thermometry (TCR-based R-vs-P
+  // sweeps). Close the loop by running that *procedure* virtually on the
+  // W = 0.35 um line, with instrument noise, and recovering theta.
+  thermal::ThermometrySetup meas;
+  meas.metal = materials::make_alcu();
+  meas.w_m = um(0.35);
+  meas.t_m = um(0.6);
+  meas.length = kLength;
+  {
+    thermal::SingleLineSpec spec;
+    spec.width = meas.w_m;
+    meas.rth_per_len = thermal::solve_rth_per_length(spec);
+  }
+  const auto sweep = thermal::simulate_sweep(meas, 8e-3, 25, 0.0005);
+  const auto ext = thermal::extract_theta(meas, sweep);
+  std::printf(
+      "Virtual measurement (R-vs-P sweep, 0.05%% instrument noise):\n"
+      "  true theta = %.1f K/W, extracted = %.1f K/W (R^2 = %.4f)\n"
+      "  -> the Fig. 5 extraction procedure recovers the FD ground truth.\n",
+      meas.rth_per_len / kLength, ext.theta, ext.fit_r_squared);
+  return 0;
+}

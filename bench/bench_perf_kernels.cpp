@@ -1,0 +1,67 @@
+// Google-benchmark micro-benchmarks of the numeric kernels that dominate the
+// reproduction harnesses: scalar root solves, dense LU, sparse CG.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <random>
+
+#include "numeric/dense.h"
+#include "numeric/roots.h"
+#include "numeric/sparse.h"
+
+namespace {
+
+void BM_BrentTranscendental(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = dsmt::numeric::brent(
+        [](double x) { return std::exp(1.0 / x) - x; }, 0.5, 4.0);
+    benchmark::DoNotOptimize(r.root);
+  }
+}
+BENCHMARK(BM_BrentTranscendental);
+
+void BM_DenseLuSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  dsmt::numeric::Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    b[i] = dist(rng);
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = dist(rng);
+    a(i, i) += static_cast<double>(n);  // diagonally dominant
+  }
+  for (auto _ : state) {
+    auto x = dsmt::numeric::solve_dense(a, b);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_DenseLuSolve)->Arg(32)->Arg(128);
+
+void BM_SparseCgLaplace(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));  // grid side
+  const std::size_t nn = n * n;
+  dsmt::numeric::SparseBuilder builder(nn);
+  auto idx = [n](std::size_t i, std::size_t j) { return i * n + j; };
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      builder.add(idx(i, j), idx(i, j), 4.0);
+      if (i > 0) builder.add(idx(i, j), idx(i - 1, j), -1.0);
+      if (i + 1 < n) builder.add(idx(i, j), idx(i + 1, j), -1.0);
+      if (j > 0) builder.add(idx(i, j), idx(i, j - 1), -1.0);
+      if (j + 1 < n) builder.add(idx(i, j), idx(i, j + 1), -1.0);
+    }
+  }
+  dsmt::numeric::CsrMatrix a(builder);
+  std::vector<double> b(nn, 1.0), x(nn, 0.0);
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    auto res = dsmt::numeric::conjugate_gradient(a, b, x, {1e-8, 10000});
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_SparseCgLaplace)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Extension harness: sensitivity tornado + Monte-Carlo process corner of
+// the self-consistent design rule. Documents which reconstructed-techfile
+// parameters actually move the answer (see EXPERIMENTS.md's caveat on the
+// garbled Table 8) and the statistical margin manufacturing variation
+// consumes.
+#include <cstdio>
+
+#include "core/sensitivity.h"
+#include "core/variation.h"
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "tech/ntrs.h"
+
+using namespace dsmt;
+
+int main() {
+  const auto technology = tech::make_ntrs_100nm_cu();
+  const int level = technology.top_level();
+  const auto gap_fill = materials::make_hsq();
+  const double j0 = MA_per_cm2(1.8);
+
+  std::printf("== Sensitivity of the M%d design rule (%s, HSQ) ==\n\n", level,
+              technology.name.c_str());
+  const auto sens = core::design_rule_sensitivities(technology, level,
+                                                    gap_fill, 2.45, 0.1, j0);
+  report::Table st({"parameter", "d(ln j_peak)/d(ln p)", "dT_m/d(ln p) [K]"});
+  for (const auto& s : sens)
+    st.add_row({s.parameter, report::fmt(s.s_jpeak, 3),
+                report::fmt(s.s_tmetal, 2)});
+  std::printf("%s\n", st.to_string().c_str());
+
+  std::printf("== Monte-Carlo process variation (1000 samples) ==\n\n");
+  core::VariationSpec vspec;
+  const auto var = core::monte_carlo_jpeak(technology, level, gap_fill, 2.45,
+                                           0.1, j0, vspec, 1000);
+  report::Table vt({"statistic", "j_peak [MA/cm2]", "vs nominal"});
+  auto row = [&](const char* name, double v) {
+    vt.add_row({name, report::fmt(to_MA_per_cm2(v), 3),
+                report::fmt(v / var.nominal, 3)});
+  };
+  row("nominal", var.nominal);
+  row("mean", var.mean);
+  row("p01 (corner)", var.p01);
+  row("p50", var.p50);
+  row("p99", var.p99);
+  std::printf("%s\n", vt.to_string().c_str());
+  std::printf(
+      "Reading: the design rule is most sensitive to the EM inputs (j0, Q)\n"
+      "and the duty cycle; geometry uncertainties largely cancel through\n"
+      "the spreading model, which is why the paper's *trends* are robust to\n"
+      "our Table-8 reconstruction. Process variation costs the p01 corner\n"
+      "~%.0f%% of nominal j_peak.\n",
+      100.0 * (1.0 - var.p01 / var.nominal));
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 1: thermal conductivities of the intra-level dielectrics, plus the
+// derived material data every other experiment consumes.
+#include <cstdio>
+
+#include "materials/dielectric.h"
+#include "materials/metal.h"
+#include "numeric/constants.h"
+#include "report/table.h"
+
+using namespace dsmt;
+
+int main() {
+  std::printf("== Table 1: dielectric thermal conductivities ==\n\n");
+  report::Table t1({"Dielectric", "K_th [W/m*K]", "paper", "k (electrical)"});
+  const double paper[] = {1.15, 0.60, 0.25};
+  int i = 0;
+  for (const auto& d : materials::paper_dielectrics()) {
+    t1.add_row({d.name, report::fmt(d.k_thermal, 2),
+                report::fmt(paper[i++], 2),
+                report::fmt(d.rel_permittivity, 1)});
+  }
+  std::printf("%s\n", t1.to_string().c_str());
+
+  std::printf("== Derived: interconnect metal properties at T_ref = 100 C ==\n\n");
+  report::Table t2({"Metal", "rho [uOhm*cm]", "TCR [1/K]", "K_th [W/m*K]",
+                    "T_melt [C]", "Q_EM [eV]"});
+  for (const char* name : {"cu", "alcu", "al", "w"}) {
+    const auto m = materials::metal_by_name(name);
+    t2.add_row({m.name, report::fmt(m.resistivity(kTrefK) * 1e8, 2),
+                report::fmt(m.tcr, 4), report::fmt(m.k_thermal, 0),
+                report::fmt(kelvin_to_celsius(m.t_melt), 0),
+                report::fmt(m.em.activation_energy_ev, 2)});
+  }
+  std::printf("%s", t2.to_string().c_str());
+  return 0;
+}

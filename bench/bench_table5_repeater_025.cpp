@@ -1,0 +1,13 @@
+// Table 5: optimized interconnect and buffer parameters with the resulting
+// RMS and peak current densities — 0.25 um Cu technology, oxide insulator
+// (k = 4.0), j_o = 0.6 MA/cm^2.
+#include <cstdio>
+
+#include "repeater_table_common.h"
+
+int main() {
+  std::printf("== Table 5: optimal repeaters, 0.25 um Cu ==\n");
+  dsmt::benchharness::print_repeater_table(dsmt::tech::make_ntrs_250nm_cu(),
+                                           4.0, 0.6);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table 6: optimized interconnect and buffer parameters with the resulting
+// RMS and peak current densities — 0.1 um Cu technology with a low-k
+// insulator (k = 2.0 per the paper's caption), j_o = 0.6 MA/cm^2. The
+// thermal limits use HSQ gap-fill to reflect the low-k flow.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "repeater_table_common.h"
+
+int main() {
+  std::printf("== Table 6: optimal repeaters, 0.1 um Cu, k = 2.0 ==\n");
+  dsmt::benchharness::print_repeater_table(dsmt::tech::make_ntrs_100nm_cu(),
+                                           2.0, 0.6);
+
+  // The paper's margin-shrink observation: same layers, thermal limit with
+  // low-k gap-fill instead of oxide.
+  using namespace dsmt;
+  core::EngineOptions opts;
+  opts.sim.steps_per_period = 3000;
+  core::DesignRuleEngine engine(tech::make_ntrs_100nm_cu(), MA_per_cm2(0.6),
+                                opts);
+  const auto ox = engine.check_layer(8, 2.0, materials::make_oxide());
+  const auto pi = engine.check_layer(8, 2.0, materials::make_polyimide());
+  std::printf(
+      "\nMargin on M8 with oxide thermal stack:     %.2fx\n"
+      "Margin on M8 with polyimide gap-fill:      %.2fx (shrinks, as the\n"
+      "paper warns for low-k dielectrics)\n",
+      ox.jpeak_margin, pi.jpeak_margin);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared harness for the paper's design-rule tables (Tables 2-4): runs the
+// self-consistent solver over both NTRS nodes, the three paper dielectrics,
+// and the signal (r = 0.1) / power (r = 1.0) duty cycles, printing the same
+// row layout the paper uses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "selfconsistent/sweep.h"
+#include "tech/technology.h"
+
+namespace dsmt::benchharness {
+
+inline void print_design_rule_table(const std::vector<tech::Technology>& techs,
+                                    double j0_ma_per_cm2) {
+  for (double r : {0.1, 1.0}) {
+    std::printf("%s lines (r = %.1f), j_peak in MA/cm^2:\n",
+                r < 0.5 ? "Signal" : "Power", r);
+    for (const auto& technology : techs) {
+      selfconsistent::TableSpec spec;
+      spec.technology = technology;
+      spec.gap_fills = materials::paper_dielectrics();
+      spec.levels.clear();
+      // Paper rows: the top two levels at 0.25 um, the top four at 0.1 um.
+      const int top = technology.top_level();
+      const int rows = technology.num_levels() >= 8 ? 4 : 2;
+      for (int l = top - rows + 1; l <= top; ++l) spec.levels.push_back(l);
+      spec.duty_cycles = {r};
+      spec.j0 = MA_per_cm2(j0_ma_per_cm2);
+
+      const auto cells = selfconsistent::generate_design_rule_table(spec);
+      report::Table table({"Metal", "Oxide", "HSQ", "Polyimide", "T_m(ox) [C]"});
+      for (int level : spec.levels) {
+        std::vector<std::string> row{report::level_label(level)};
+        double t_ox = 0.0;
+        for (const auto& name : {"Oxide", "HSQ", "Polyimide"}) {
+          for (const auto& c : cells)
+            if (c.level == level && c.dielectric == name) {
+              row.push_back(report::fmt(to_MA_per_cm2(c.sol.j_peak), 3));
+              if (c.dielectric == "Oxide")
+                t_ox = kelvin_to_celsius(c.sol.t_metal);
+            }
+        }
+        row.push_back(report::fmt(t_ox, 1));
+        table.add_row(std::move(row));
+      }
+      std::printf("  %s node:\n%s\n", technology.name.c_str(),
+                  table.to_string().c_str());
+    }
+  }
+}
+
+}  // namespace dsmt::benchharness

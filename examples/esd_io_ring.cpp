@@ -1,0 +1,68 @@
+// Scenario: sizing the interconnect of an I/O cell's ESD discharge path
+// (paper Section 6). The ESD clamp may survive a 2 kV HBM zap, but the
+// metal routing to it must carry the same current without melting — the
+// paper's point that ESD-path interconnect obeys *different* rules than
+// the self-consistent signal/power limits.
+#include <cstdio>
+
+#include "esd/failure.h"
+#include "esd/waveforms.h"
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+int main() {
+  using namespace dsmt;
+
+  const auto technology = tech::make_ntrs_250nm_alcu();
+  const double hbm_kv = 2.0;                       // qualification target
+  const double i_peak = hbm_kv * 1000.0 / 1500.0;  // HBM peak current
+
+  std::printf("ESD discharge-path sizing, %s, %.0f kV HBM (I_peak = %.2f A)\n\n",
+              technology.name.c_str(), hbm_kv, i_peak);
+
+  // 1. Minimum width per metal level (adiabatic melt-onset criterion with
+  //    1.5x safety at the HBM's ~150 ns effective width).
+  report::Table widths({"Layer", "t_m [um]", "min W [um]", "I/W [mA/um]"});
+  for (const auto& layer : technology.layers) {
+    const double w_min = esd::min_width_for_esd(
+        technology.metal, i_peak, 150e-9, layer.thickness, kTrefK);
+    widths.add_row({report::level_label(layer.level),
+                    report::fmt(to_um(layer.thickness), 2),
+                    report::fmt(to_um(w_min), 2),
+                    report::fmt(i_peak * 1e3 / to_um(w_min), 1)});
+  }
+  std::printf("Minimum discharge-path width per level:\n%s\n",
+              widths.to_string().c_str());
+
+  // 2. What happens if a designer routes the path on minimum-width wire
+  //    instead? Full waveform assessment with vertical heat loss.
+  std::printf("Assessment of candidate routings on M%d:\n",
+              technology.top_level());
+  report::Table assess_tbl({"W [um]", "T_peak [C]", "state", "EM derating"});
+  const auto& top = technology.layer(technology.top_level());
+  const auto stack = technology.stack_below(technology.top_level(),
+                                            materials::make_oxide());
+  for (double w_um : {1.0, 4.0, 8.0, 16.0, 32.0}) {
+    thermal::PulseLineSpec line;
+    line.metal = technology.metal;
+    line.w_m = um(w_um);
+    line.t_m = top.thickness;
+    line.rth_per_len = thermal::rth_per_length(
+        stack, thermal::effective_width(line.w_m, stack.total_thickness(),
+                                        thermal::kPhiQuasi2D));
+    line.t_ref = kTrefK;
+    const auto out = esd::assess(line, esd::hbm(hbm_kv * 1000.0));
+    assess_tbl.add_row({report::fmt(w_um, 1),
+                        report::fmt(kelvin_to_celsius(out.peak_temperature), 0),
+                        esd::to_string(out.state),
+                        report::fmt(out.em_lifetime_derating, 2)});
+  }
+  std::printf("%s\n", assess_tbl.to_string().c_str());
+  std::printf(
+      "Narrow routings either open outright or survive with latent damage\n"
+      "(melted and resolidified -> degraded EM lifetime, paper ref. [9]);\n"
+      "the sizing rule above keeps the path in the 'safe' region.\n");
+  return 0;
+}

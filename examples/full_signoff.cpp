@@ -1,0 +1,29 @@
+// Scenario: the one-call chip-level sign-off — everything the library
+// reproduces from the paper, run as a single structured report for a
+// technology (here loaded through the techfile round-trip to show the
+// persistence path a real flow would use).
+#include <cstdio>
+
+#include "core/signoff.h"
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+#include "tech/techfile.h"
+
+int main() {
+  using namespace dsmt;
+
+  // A real flow would load a techfile from disk; round-trip the built-in
+  // node to exercise that path.
+  const tech::Technology technology =
+      tech::parse_techfile(tech::to_techfile(tech::make_ntrs_100nm_cu()));
+
+  core::SignoffOptions options;
+  options.j0 = MA_per_cm2(1.8);        // Cu EM rule
+  options.k_rel_electrical = 2.0;      // low-k era insulator
+  options.esd_hbm_volts = 2000.0;      // 2 kV HBM qualification
+  options.engine.sim.steps_per_period = 2500;
+
+  const auto report = core::run_signoff(technology, options);
+  std::printf("%s", report.to_text().c_str());
+  return report.all_global_layers_pass ? 0 : 1;
+}

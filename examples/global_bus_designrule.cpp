@@ -1,0 +1,52 @@
+// Scenario: a chip integrator checks whether the delay-optimal global bus
+// plan respects the thermal/EM design rules — the paper's Section 4 flow,
+// end to end:
+//   1. extract per-layer wire parasitics,
+//   2. compute delay-optimal repeater length/size (Eqs. 16-17),
+//   3. simulate the buffered stage with the MNA engine (SPICE substitute),
+//   4. compare the measured current densities against the self-consistent
+//      limits (Eq. 13 + Eq. 15), per dielectric flow.
+#include <cstdio>
+
+#include "core/engine.h"
+#include "numeric/constants.h"
+#include "report/table.h"
+#include "tech/ntrs.h"
+
+int main() {
+  using namespace dsmt;
+
+  const auto technology = tech::make_ntrs_100nm_cu();
+  core::EngineOptions opts;
+  opts.sim.steps_per_period = 3000;
+  core::DesignRuleEngine engine(technology, MA_per_cm2(0.6), opts);
+
+  std::printf("Global-bus sign-off for %s (j0 = 0.6 MA/cm2)\n\n",
+              technology.name.c_str());
+
+  report::Table table({"Layer", "Dielectric", "l_opt [mm]", "s_opt", "r_eff",
+                       "j_peak [MA/cm2]", "limit [MA/cm2]", "margin",
+                       "verdict"});
+  for (const auto& [gap_fill, k_rel] :
+       {std::pair{materials::make_oxide(), 4.0},
+        std::pair{materials::make_hsq(), 2.9}}) {
+    for (int level : {technology.top_level() - 1, technology.top_level()}) {
+      const auto check = engine.check_layer(level, k_rel, gap_fill);
+      table.add_row({report::level_label(level), gap_fill.name,
+                     report::fmt(check.optimal.l_opt * 1e3, 2),
+                     report::fmt(check.sim.size_used, 0),
+                     report::fmt(check.sim.duty_effective, 3),
+                     report::fmt(to_MA_per_cm2(check.sim.j_peak), 3),
+                     report::fmt(to_MA_per_cm2(check.thermal_limit.j_peak), 3),
+                     report::fmt(check.jpeak_margin, 2),
+                     check.pass ? "PASS" : "FAIL"});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Interpretation: the delay-optimal plan passes with margin on oxide;\n"
+      "switching the flow to low-k keeps the delay win (lower c lengthens\n"
+      "l_opt and shrinks s_opt) but eats into the thermal margin — the\n"
+      "paper's core design-guidance message.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: a process architect explores "what if we switch the gap-fill
+// dielectric?" across the full candidate list (oxide -> FSG -> HSQ ->
+// polyimide -> aerogel), quantifying the delay win against the thermal
+// cost, and saves the chosen variant as a techfile for the design teams.
+#include <cstdio>
+
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+#include "report/table.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "tech/techfile.h"
+#include "thermal/healing.h"
+#include "thermal/impedance.h"
+
+int main() {
+  using namespace dsmt;
+
+  const auto technology = tech::make_ntrs_100nm_cu();
+  const int level = technology.top_level();
+  const double j0 = MA_per_cm2(1.8);
+
+  std::printf("Dielectric what-if on %s M%d (signal lines, r = 0.1)\n\n",
+              technology.name.c_str(), level);
+
+  report::Table table({"Gap-fill", "k_el", "K_th", "c [fF/mm]", "l_opt [mm]",
+                       "stage delay [ps]", "j_peak_sc [MA/cm2]", "T_m [C]",
+                       "lambda_th [um]"});
+  for (const auto& d :
+       {materials::make_oxide(), materials::make_fsg(), materials::make_hsq(),
+        materials::make_polyimide(), materials::make_aerogel()}) {
+    // Electrical side: lower k -> lower c -> faster optimal stages.
+    const auto opt =
+        repeater::optimize_layer(technology, level, d.rel_permittivity, kTrefK);
+    // Thermal side: lower K_th -> hotter lines -> lower allowed j_peak.
+    const auto sol = selfconsistent::solve(selfconsistent::make_level_problem(
+        technology, level, d, thermal::kPhiQuasi2D, 0.1, j0));
+    // Thermal healing length for via-cooled segments.
+    const auto stack = technology.stack_below(level, d);
+    const double rth = thermal::rth_per_length(
+        stack,
+        thermal::effective_width(technology.layer(level).width,
+                                 stack.total_thickness(),
+                                 thermal::kPhiQuasi2D));
+    const double lambda = thermal::healing_length(
+        technology.metal, technology.layer(level).width,
+        technology.layer(level).thickness, rth);
+
+    table.add_row({d.name, report::fmt(d.rel_permittivity, 1),
+                   report::fmt(d.k_thermal, 2),
+                   report::fmt(opt.c_per_m * 1e12, 1),
+                   report::fmt(opt.l_opt * 1e3, 2),
+                   report::fmt(opt.stage_delay * 1e12, 1),
+                   report::fmt(to_MA_per_cm2(sol.j_peak), 2),
+                   report::fmt(kelvin_to_celsius(sol.t_metal), 1),
+                   report::fmt(to_um(lambda), 1)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Persist the chosen variant for downstream tools.
+  tech::Technology chosen = technology;
+  chosen.name = "NTRS-100nm-Cu-HSQ";
+  const std::string path = "ntrs_100nm_cu_hsq.tech";
+  tech::save_techfile(chosen, path);
+  const auto reloaded = tech::load_techfile(path);
+  std::printf(
+      "Saved the HSQ variant to '%s' (round-trip check: %s, %d levels).\n\n",
+      path.c_str(), reloaded.name.c_str(), reloaded.num_levels());
+
+  std::printf(
+      "Reading the table: each step down in k buys stage delay (smaller c)\n"
+      "but costs allowed j_peak (smaller K_th) — oxide-to-aerogel roughly\n"
+      "halves both. The healing length also grows, so fewer lines qualify\n"
+      "as 'thermally short'. This is the paper's central trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Scenario: checking a block's power-distribution grid against the paper's
+// power-line (r = 1.0) design rules and the chip-level EM budget.
+//
+// Power straps carry unipolar near-DC current — the most restrictive corner
+// of the self-consistent analysis (j_peak = j_avg = j_rms, capped just
+// below j_o). This example solves a two-layer strap grid for IR drop and
+// per-segment current densities, then asks: (a) does any strap exceed the
+// self-consistent power-line limit? (b) what does EM budgeting across all
+// straps do to the allowed density?
+#include <cstdio>
+
+#include "em/budget.h"
+#include "numeric/constants.h"
+#include "powergrid/grid.h"
+#include "report/table.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+
+int main() {
+  using namespace dsmt;
+
+  powergrid::GridSpec spec;
+  spec.technology = tech::make_ntrs_100nm_cu();
+  spec.nx = 13;
+  spec.ny = 13;
+  spec.pitch = 80e-6;  // ~1 mm^2 block
+  spec.layer_h = 7;
+  spec.layer_v = 8;
+  spec.width_h = 4.0 * spec.technology.layer(7).width;  // fat power straps
+  spec.width_v = 4.0 * spec.technology.layer(8).width;
+  spec.vdd = 1.2;
+
+  std::vector<powergrid::Pad> pads = {{0, 0}, {12, 0}, {0, 12}, {12, 12},
+                                      {6, 0}, {6, 12}, {0, 6}, {12, 6}};
+  const double block_current = 2.0;  // amps
+  const auto demands = powergrid::uniform_demand(spec, block_current);
+
+  const auto sol = powergrid::solve(spec, pads, demands);
+  std::printf("Power grid: %dx%d nodes, %.1f A block demand, %zu pads\n",
+              spec.nx, spec.ny, block_current, pads.size());
+  std::printf("Worst IR drop: %.1f mV (%.1f%% of vdd), CG iters: %d\n\n",
+              sol.worst_ir_drop * 1e3, 100.0 * sol.worst_ir_drop / spec.vdd,
+              sol.cg_iterations);
+
+  // Self-consistent power-line limits for the two strap layers.
+  const double j0 = MA_per_cm2(1.8);  // Cu
+  report::Table table({"Layer", "role", "max j [MA/cm2]",
+                       "limit r=1 [MA/cm2]", "util", "verdict"});
+  for (int pass = 0; pass < 2; ++pass) {
+    const int level = pass == 0 ? spec.layer_h : spec.layer_v;
+    const double j_max = pass == 0 ? sol.max_j_horizontal : sol.max_j_vertical;
+    const auto limit = selfconsistent::solve(
+        selfconsistent::make_level_problem(spec.technology, level,
+                                           materials::make_oxide(), 2.45, 1.0,
+                                           j0));
+    const double util = j_max / limit.j_peak;
+    table.add_row({report::level_label(level),
+                   pass == 0 ? "x-straps" : "y-straps",
+                   report::fmt(to_MA_per_cm2(j_max), 3),
+                   report::fmt(to_MA_per_cm2(limit.j_peak), 3),
+                   report::fmt(util, 3), util <= 1.0 ? "PASS" : "FAIL"});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Chip-level EM budget: the block has ~hundreds of straps; a full chip
+  // has millions. How much of j0 survives budgeting?
+  std::printf("EM budgeting (lognormal sigma = 0.5, 0.1%% chip quantile):\n");
+  report::Table budget({"stressed lines", "usable j0 [MA/cm2]", "fraction"});
+  for (std::size_t n : {1ul, 1000ul, 1000000ul, 100000000ul}) {
+    const double jb = em::chip_level_j0(spec.technology.metal.em, j0, 0.5, n);
+    budget.add_row({std::to_string(n), report::fmt(to_MA_per_cm2(jb), 3),
+                    report::fmt(jb / j0, 3)});
+  }
+  std::printf("%s\n", budget.to_string().c_str());
+  std::printf(
+      "Takeaway: the grid passes the per-strap self-consistent rule with\n"
+      "headroom, but scaling the same rule to chip-wide populations erodes\n"
+      "the usable j0 — design rules must budget statistically, not per line.\n");
+  return 0;
+}

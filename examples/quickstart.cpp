@@ -1,0 +1,45 @@
+// Quickstart: self-consistent current-density design rule for one global
+// Cu line, in ~20 lines of library code.
+//
+//   $ ./quickstart
+//
+// Computes the maximum allowed peak/RMS/average current densities for an
+// M8 signal line of the built-in NTRS 0.1 um Cu technology, comparing the
+// oxide and polyimide gap-fill flows.
+#include <cstdio>
+
+#include "numeric/constants.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+int main() {
+  using namespace dsmt;
+
+  const tech::Technology technology = tech::make_ntrs_100nm_cu();
+  const double j0 = MA_per_cm2(1.8);   // Cu EM design-rule current density
+  const double duty_cycle = 0.1;       // signal line
+
+  std::printf("Self-consistent design rule, %s, M%d signal line:\n\n",
+              technology.name.c_str(), technology.top_level());
+
+  for (const auto& gap_fill :
+       {materials::make_oxide(), materials::make_polyimide()}) {
+    const auto problem = selfconsistent::make_level_problem(
+        technology, technology.top_level(), gap_fill,
+        thermal::kPhiQuasi2D, duty_cycle, j0);
+    const auto sol = selfconsistent::solve(problem);
+
+    std::printf("%-10s  T_m = %6.1f C   j_peak = %5.2f  j_rms = %5.2f  "
+                "j_avg = %5.2f  [MA/cm2]\n",
+                gap_fill.name.c_str(), kelvin_to_celsius(sol.t_metal),
+                to_MA_per_cm2(sol.j_peak), to_MA_per_cm2(sol.j_rms),
+                to_MA_per_cm2(sol.j_avg));
+  }
+
+  std::printf(
+      "\nThe low-k flow trades capacitance (delay) for thermal headroom:\n"
+      "the allowed peak current density drops with the gap-fill's thermal\n"
+      "conductivity, exactly the effect the paper quantifies.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Scenario: using the circuit engine standalone through its SPICE-style
+// deck format — a ring-oscillator-flavored chain of three inverters driving
+// a global wire, written exactly as a designer would write a deck, then
+// simulated and measured with the library's waveform tools.
+#include <cstdio>
+
+#include "circuit/deck.h"
+#include "circuit/waveform.h"
+#include "report/table.h"
+
+int main() {
+  using namespace dsmt;
+
+  const std::string deck_text = R"(
+* three-stage buffered global wire, 0.25um-class devices
+VDD vdd 0 DC 2.5
+VIN in 0 PULSE(0 2.5 0.2n 0.15n 0.15n 0.7n 2n)
+
+* stage 1 (small)
+MN1 n1 in 0   nmos vt=0.5 vdd=2.5 idsat=0.3m alpha=1.3 vdsat0=1.0 size=4
+MP1 n1 in vdd pmos vt=0.5 vdd=2.5 idsat=0.14m alpha=1.3 vdsat0=1.0 size=8
+C1  n1 0 12f
+
+* stage 2 (medium)
+MN2 n2 n1 0   nmos vt=0.5 vdd=2.5 idsat=0.3m alpha=1.3 vdsat0=1.0 size=16
+MP2 n2 n1 vdd pmos vt=0.5 vdd=2.5 idsat=0.14m alpha=1.3 vdsat0=1.0 size=32
+C2  n2 0 45f
+
+* stage 3 (large driver) + ammeter + 5-section wire + receiver load
+MN3 drv n2 0   nmos vt=0.5 vdd=2.5 idsat=0.3m alpha=1.3 vdsat0=1.0 size=64
+MP3 drv n2 vdd pmos vt=0.5 vdd=2.5 idsat=0.14m alpha=1.3 vdsat0=1.0 size=128
+VAMM drv w0 DC 0
+R1 w0 w1 8
+R2 w1 w2 8
+R3 w2 w3 8
+R4 w3 w4 8
+R5 w4 out 8
+CW0 w0 0 70f
+CW1 w1 0 70f
+CW2 w2 0 70f
+CW3 w3 0 70f
+CW4 w4 0 70f
+CL out 0 90f
+.tran 0.5p 4n
+.end
+)";
+
+  auto deck = circuit::parse_deck(deck_text);
+  std::printf("Parsed deck: %zu R, %zu C, %zu MOSFETs, %zu sources\n",
+              deck.netlist.resistors().size(),
+              deck.netlist.capacitors().size(),
+              deck.netlist.mosfets().size(),
+              deck.netlist.vsources().size());
+
+  const auto result = circuit::run_transient(deck.netlist, deck.tran);
+
+  // Measure the wire current over the second clock period.
+  const auto i_wire = result.source_current(deck.source_index("vamm"));
+  auto [tw, iw] = circuit::window(result.time(), i_wire, 2e-9, 4e-9);
+  const auto stats = circuit::measure(tw, iw);
+
+  report::Table t({"metric", "value"});
+  t.add_row({"I_peak", report::fmt(stats.peak * 1e3, 2) + " mA"});
+  t.add_row({"I_rms", report::fmt(stats.rms * 1e3, 2) + " mA"});
+  t.add_row({"effective duty r_eff", report::fmt(stats.duty_effective, 3)});
+  const auto v_out = result.voltage(deck.node("out"));
+  auto [tv, vv] = circuit::window(result.time(), v_out, 2e-9, 4e-9);
+  t.add_row({"out rise 10-90%",
+             report::fmt(circuit::rise_time_10_90(tv, vv, 0.0, 2.5) * 1e12, 1) +
+                 " ps"});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf(
+      "The deck format gives direct access to the MNA engine (alpha-power\n"
+      "MOSFETs, trapezoidal integration) without writing C++ netlist code.\n");
+  return 0;
+}

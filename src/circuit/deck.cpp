@@ -1,0 +1,268 @@
+#include "circuit/deck.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "circuit/waveform.h"
+
+namespace dsmt::circuit {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("deck:" + std::to_string(line) + ": " + msg);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+/// Splits "PULSE(a b c)" style arguments that may span tokens.
+std::vector<double> parse_paren_args(std::istringstream& ls,
+                                     std::string first, int line) {
+  // Collect everything from `first` to the closing paren.
+  std::string blob = std::move(first);
+  while (blob.find(')') == std::string::npos) {
+    std::string more;
+    if (!(ls >> more)) fail(line, "unterminated '(' argument list");
+    blob += ' ';
+    blob += more;
+  }
+  const auto open = blob.find('(');
+  const auto close = blob.rfind(')');
+  if (open == std::string::npos || close <= open)
+    fail(line, "malformed argument list");
+  std::string inner = blob.substr(open + 1, close - open - 1);
+  for (char& c : inner)
+    if (c == ',') c = ' ';
+  std::istringstream as(inner);
+  std::vector<double> args;
+  std::string tok;
+  while (as >> tok) args.push_back(parse_spice_number(tok));
+  return args;
+}
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  if (token.empty()) throw std::invalid_argument("empty number");
+  std::size_t pos = 0;
+  double value;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number '" + token + "'");
+  }
+  std::string suffix = lower(token.substr(pos));
+  if (suffix.empty()) return value;
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix[0]) {
+    case 'f': return value * 1e-15;
+    case 'p': return value * 1e-12;
+    case 'n': return value * 1e-9;
+    case 'u': return value * 1e-6;
+    case 'm': return value * 1e-3;
+    case 'k': return value * 1e3;
+    case 'g': return value * 1e9;
+    case 't': return value * 1e12;
+    default:
+      throw std::invalid_argument("bad suffix on '" + token + "'");
+  }
+}
+
+int Deck::source_index(const std::string& name) const {
+  const std::string key = lower(name);
+  for (std::size_t i = 0; i < source_names.size(); ++i)
+    if (source_names[i] == key) return static_cast<int>(i);
+  return -1;
+}
+
+Deck parse_deck(const std::string& text) {
+  Deck deck;
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  bool ended = false;
+
+  while (std::getline(is, line) && !ended) {
+    ++lineno;
+    const auto star = line.find('*');
+    if (star != std::string::npos) line.erase(star);
+    std::istringstream ls(line);
+    std::string card;
+    if (!(ls >> card)) continue;
+    const std::string lc = lower(card);
+
+    if (lc[0] == '.') {
+      if (lc == ".end") {
+        ended = true;
+      } else if (lc == ".tran") {
+        std::string dt, tstop;
+        if (!(ls >> dt >> tstop)) fail(lineno, ".tran needs <dt> <tstop>");
+        deck.tran.dt = parse_spice_number(dt);
+        deck.tran.t_stop = parse_spice_number(tstop);
+        if (deck.tran.dt <= 0 || deck.tran.t_stop <= 0)
+          fail(lineno, ".tran values must be positive");
+        deck.has_tran = true;
+      } else {
+        fail(lineno, "unknown directive " + lc);
+      }
+      continue;
+    }
+
+    auto read_node = [&]() {
+      std::string n;
+      if (!(ls >> n)) fail(lineno, "missing node on " + card);
+      return deck.netlist.node(n);
+    };
+
+    switch (lc[0]) {
+      case 'r': {
+        const NodeId a = read_node(), b = read_node();
+        std::string v;
+        if (!(ls >> v)) fail(lineno, "missing value on " + card);
+        double ohms;
+        try {
+          ohms = parse_spice_number(v);
+        } catch (const std::invalid_argument& e) {
+          fail(lineno, e.what());
+        }
+        if (ohms <= 0) fail(lineno, "resistance must be positive");
+        deck.netlist.add_resistor(a, b, ohms);
+        break;
+      }
+      case 'c': {
+        const NodeId a = read_node(), b = read_node();
+        std::string v;
+        if (!(ls >> v)) fail(lineno, "missing value on " + card);
+        double farads;
+        try {
+          farads = parse_spice_number(v);
+        } catch (const std::invalid_argument& e) {
+          fail(lineno, e.what());
+        }
+        if (farads < 0) fail(lineno, "capacitance must be non-negative");
+        deck.netlist.add_capacitor(a, b, farads);
+        break;
+      }
+      case 'l': {
+        const NodeId a = read_node(), b = read_node();
+        std::string v;
+        if (!(ls >> v)) fail(lineno, "missing value on " + card);
+        double henries;
+        try {
+          henries = parse_spice_number(v);
+        } catch (const std::invalid_argument& e) {
+          fail(lineno, e.what());
+        }
+        if (henries <= 0) fail(lineno, "inductance must be positive");
+        deck.netlist.add_inductor(a, b, henries);
+        break;
+      }
+      case 'i': {
+        const NodeId from = read_node(), to = read_node();
+        std::string kind;
+        if (!(ls >> kind)) fail(lineno, "missing source spec on " + card);
+        const std::string lk = lower(kind);
+        if (lk == "dc") {
+          std::string v;
+          if (!(ls >> v)) fail(lineno, "DC needs a value");
+          deck.netlist.add_isource(from, to, dc(parse_spice_number(v)));
+        } else if (lk.rfind("pulse", 0) == 0) {
+          const auto a = parse_paren_args(ls, kind, lineno);
+          if (a.size() != 7) fail(lineno, "PULSE needs 7 arguments");
+          deck.netlist.add_isource(
+              from, to, pulse(a[0], a[1], a[2], a[3], a[5], a[4], a[6]));
+        } else if (lk.rfind("pwl", 0) == 0) {
+          const auto a = parse_paren_args(ls, kind, lineno);
+          if (a.size() < 4 || a.size() % 2 != 0)
+            fail(lineno, "PWL needs an even number (>=4) of arguments");
+          std::vector<double> tv, vv;
+          for (std::size_t k = 0; k < a.size(); k += 2) {
+            tv.push_back(a[k]);
+            vv.push_back(a[k + 1]);
+          }
+          deck.netlist.add_isource(from, to, pwl(std::move(tv), std::move(vv)));
+        } else {
+          fail(lineno, "unknown source spec " + kind);
+        }
+        break;
+      }
+      case 'v': {
+        const NodeId p = read_node(), n = read_node();
+        std::string kind;
+        if (!(ls >> kind)) fail(lineno, "missing source spec on " + card);
+        const std::string lk = lower(kind);
+        if (lk == "dc") {
+          std::string v;
+          if (!(ls >> v)) fail(lineno, "DC needs a value");
+          deck.netlist.add_vsource(p, n, dc(parse_spice_number(v)));
+        } else if (lk.rfind("pulse", 0) == 0) {
+          const auto a = parse_paren_args(ls, kind, lineno);
+          if (a.size() != 7) fail(lineno, "PULSE needs 7 arguments");
+          // SPICE order: v0 v1 td tr tf pw per.
+          deck.netlist.add_vsource(
+              p, n, pulse(a[0], a[1], a[2], a[3], a[5], a[4], a[6]));
+        } else if (lk.rfind("pwl", 0) == 0) {
+          const auto a = parse_paren_args(ls, kind, lineno);
+          if (a.size() < 4 || a.size() % 2 != 0)
+            fail(lineno, "PWL needs an even number (>=4) of arguments");
+          std::vector<double> tv, vv;
+          for (std::size_t i = 0; i < a.size(); i += 2) {
+            tv.push_back(a[i]);
+            vv.push_back(a[i + 1]);
+          }
+          deck.netlist.add_vsource(p, n, pwl(std::move(tv), std::move(vv)));
+        } else {
+          fail(lineno, "unknown source spec " + kind);
+        }
+        deck.source_names.push_back(lc);
+        break;
+      }
+      case 'm': {
+        const NodeId d = read_node(), g = read_node(), s = read_node();
+        std::string type;
+        if (!(ls >> type)) fail(lineno, "missing device type on " + card);
+        MosfetParams mp;
+        const std::string lt = lower(type);
+        if (lt == "nmos")
+          mp.type = MosType::kNmos;
+        else if (lt == "pmos")
+          mp.type = MosType::kPmos;
+        else
+          fail(lineno, "device type must be nmos|pmos");
+        std::string kv;
+        while (ls >> kv) {
+          const auto eq = kv.find('=');
+          if (eq == std::string::npos) fail(lineno, "expected key=value");
+          const std::string key = lower(kv.substr(0, eq));
+          double val;
+          try {
+            val = parse_spice_number(kv.substr(eq + 1));
+          } catch (const std::invalid_argument& e) {
+            fail(lineno, e.what());
+          }
+          if (key == "vt") mp.vt = val;
+          else if (key == "vdd") mp.vdd = val;
+          else if (key == "idsat") mp.idsat = val;
+          else if (key == "alpha") mp.alpha = val;
+          else if (key == "vdsat0") mp.vdsat0 = val;
+          else if (key == "lambda") mp.lambda = val;
+          else if (key == "size") mp.size = val;
+          else fail(lineno, "unknown MOSFET parameter " + key);
+        }
+        deck.netlist.add_mosfet(mp, d, g, s);
+        break;
+      }
+      default:
+        fail(lineno, "unknown card '" + card + "'");
+    }
+  }
+  return deck;
+}
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,47 @@
+// SPICE-style deck parser for the MNA engine.
+//
+// Supported card subset (case-insensitive element letters, '*' comments,
+// one card per line; node "0"/"gnd" is ground; SI suffixes f p n u m k meg
+// g on values):
+//
+//   R<name> <n1> <n2> <value>
+//   C<name> <n1> <n2> <value>
+//   V<name> <n+> <n-> DC <v>
+//   V<name> <n+> <n-> PULSE(<v0> <v1> <td> <tr> <tf> <pw> <per>)
+//   V<name> <n+> <n-> PWL(<t1> <v1> <t2> <v2> ...)
+//   M<name> <d> <g> <s> <nmos|pmos> vt=<v> vdd=<v> idsat=<a> alpha=<a>
+//            vdsat0=<v> [lambda=<l>] [size=<s>]
+//   .tran <dt> <tstop>
+//   .end
+//
+// The PULSE argument order follows SPICE (v0 v1 td tr tf pw per).
+#pragma once
+
+#include <string>
+
+#include "circuit/netlist.h"
+#include "circuit/transient.h"
+
+namespace dsmt::circuit {
+
+/// A parsed deck: the netlist plus any .tran directive found.
+struct Deck {
+  Netlist netlist;
+  TransientOptions tran;
+  bool has_tran = false;
+  /// Maps a deck node name to its NodeId (for probing results).
+  NodeId node(const std::string& name) { return netlist.node(name); }
+  /// Source index by element name ("VIN" -> index), -1 if absent.
+  int source_index(const std::string& name) const;
+
+  std::vector<std::string> source_names;  ///< parallel to netlist.vsources()
+};
+
+/// Parses a deck; throws std::runtime_error with a line number on errors.
+Deck parse_deck(const std::string& text);
+
+/// Parses a SPICE number with optional scale suffix ("2.5", "10k", "1.2n",
+/// "3meg"). Throws std::invalid_argument on garbage.
+double parse_spice_number(const std::string& token);
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,103 @@
+#include "circuit/netlist.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::circuit {
+
+NodeId Netlist::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto [it, inserted] = names_.try_emplace(name, next_node_);
+  if (inserted) ++next_node_;
+  return it->second;
+}
+
+NodeId Netlist::internal_node() { return next_node_++; }
+
+void Netlist::add_resistor(NodeId a, NodeId b, double ohms) {
+  if (ohms <= 0.0) throw std::invalid_argument("add_resistor: R <= 0");
+  resistors_.push_back({a, b, 1.0 / ohms});
+}
+
+void Netlist::add_capacitor(NodeId a, NodeId b, double farads) {
+  if (farads < 0.0) throw std::invalid_argument("add_capacitor: C < 0");
+  if (farads > 0.0) capacitors_.push_back({a, b, farads});
+}
+
+void Netlist::add_inductor(NodeId a, NodeId b, double henries) {
+  if (henries <= 0.0) throw std::invalid_argument("add_inductor: L <= 0");
+  inductors_.push_back({a, b, henries});
+}
+
+int Netlist::add_vsource(NodeId pos, NodeId neg, TimeFunction v) {
+  vsources_.push_back({pos, neg, std::move(v)});
+  return static_cast<int>(vsources_.size()) - 1;
+}
+
+int Netlist::add_ammeter(NodeId a, NodeId b) {
+  return add_vsource(a, b, [](double) { return 0.0; });
+}
+
+void Netlist::add_isource(NodeId from, NodeId to, TimeFunction i) {
+  isources_.push_back({from, to, std::move(i)});
+}
+
+void Netlist::add_mosfet(const MosfetParams& params, NodeId drain, NodeId gate,
+                         NodeId source) {
+  mosfets_.push_back({params, drain, gate, source});
+}
+
+void Netlist::add_inverter(const MosfetParams& nmos, const MosfetParams& pmos,
+                           NodeId in, NodeId out, NodeId vdd_node,
+                           NodeId gnd_node) {
+  add_mosfet(nmos, out, in, gnd_node);
+  add_mosfet(pmos, out, in, vdd_node);
+}
+
+namespace {
+
+/// NMOS-convention current for vd >= vs; callers handle symmetry/polarity.
+double nmos_forward_id(const MosfetParams& p, double vds, double vgs) {
+  const double vgt = vgs - p.vt;
+  const double leak_g = 1e-12 * p.size;  // keeps the Jacobian non-singular
+  if (vgt <= 0.0) return leak_g * vds;
+  const double span = p.vdd - p.vt;
+  const double norm = vgt / span;
+  const double idsat_v = p.idsat * p.size * std::pow(norm, p.alpha);
+  const double vdsat = p.vdsat0 * std::pow(norm, 0.5 * p.alpha);
+  if (vds >= vdsat)
+    return idsat_v * (1.0 + p.lambda * (vds - vdsat)) + leak_g * vds;
+  const double u = vds / vdsat;
+  return idsat_v * u * (2.0 - u) + leak_g * vds;
+}
+
+/// Drain current with full symmetry handling (NMOS convention).
+double nmos_id(const MosfetParams& p, double vd, double vg, double vs) {
+  if (vd >= vs) return nmos_forward_id(p, vd - vs, vg - vs);
+  // Source and drain swap roles when vd < vs.
+  return -nmos_forward_id(p, vs - vd, vg - vd);
+}
+
+double device_id(const MosfetParams& p, double vd, double vg, double vs) {
+  if (p.type == MosType::kNmos) return nmos_id(p, vd, vg, vs);
+  // PMOS: mirror voltages; current into the drain is the negative mirror.
+  return -nmos_id(p, -vd, -vg, -vs);
+}
+
+}  // namespace
+
+MosOperatingPoint mosfet_evaluate(const MosfetParams& p, double vd, double vg,
+                                  double vs) {
+  MosOperatingPoint op;
+  op.id = device_id(p, vd, vg, vs);
+  const double h = 1e-6;
+  op.gds = (device_id(p, vd + h, vg, vs) - device_id(p, vd - h, vg, vs)) /
+           (2.0 * h);
+  op.gm = (device_id(p, vd, vg + h, vs) - device_id(p, vd, vg - h, vs)) /
+          (2.0 * h);
+  op.gms = (device_id(p, vd, vg, vs + h) - device_id(p, vd, vg, vs - h)) /
+           (2.0 * h);
+  return op;
+}
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,127 @@
+// Circuit netlist for the MNA transient engine — the in-house SPICE
+// substitute used to reproduce the paper's Tables 5-6 and Fig. 7.
+//
+// Supported elements: resistors, capacitors, independent voltage sources
+// (arbitrary v(t), including 0 V ammeters), and alpha-power-law MOSFETs
+// (Sakurai-Newton model — the standard compact model for the DSM
+// velocity-saturated devices of the paper's era).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dsmt::circuit {
+
+/// Node handle; kGround (= 0) is the reference node.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+/// Time-dependent source value.
+using TimeFunction = std::function<double(double)>;
+
+enum class MosType { kNmos, kPmos };
+
+/// Alpha-power-law MOSFET instance parameters (Sakurai-Newton).
+/// Currents/conductances scale linearly with `size` (the repeater sizing
+/// factor s of paper Eq. 17).
+struct MosfetParams {
+  MosType type = MosType::kNmos;
+  double vt = 0.5;       ///< threshold magnitude [V]
+  double vdd = 2.5;      ///< nominal supply (normalizes the power law) [V]
+  double idsat = 3e-4;   ///< drain saturation current at Vgs = Vdd, size 1 [A]
+  double alpha = 1.3;    ///< velocity-saturation exponent
+  double vdsat0 = 1.0;   ///< saturation voltage at Vgs = Vdd [V]
+  double lambda = 0.02;  ///< channel-length modulation [1/V]
+  double size = 1.0;     ///< width multiplier
+};
+
+class Netlist {
+ public:
+  /// Creates/returns a named node. "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+  /// Creates an anonymous internal node.
+  NodeId internal_node();
+
+  int node_count() const { return next_node_; }  ///< includes ground
+
+  void add_resistor(NodeId a, NodeId b, double ohms);
+  void add_capacitor(NodeId a, NodeId b, double farads);
+  /// Inductor between a and b (trapezoidal companion in the engine).
+  /// Fast global wires at GHz clocks are RLC, not just RC.
+  void add_inductor(NodeId a, NodeId b, double henries);
+  /// Voltage source v(t) from `pos` to `neg`; returns the source index whose
+  /// branch current (flowing pos -> neg through the source, i.e. out of the
+  /// positive terminal into the circuit is -i) can be probed after a run.
+  int add_vsource(NodeId pos, NodeId neg, TimeFunction v);
+  /// 0 V source used as an ammeter; current flows a -> b through it.
+  int add_ammeter(NodeId a, NodeId b);
+  /// Independent current source: i(t) flows from `from` to `to` through
+  /// the external circuit (i.e. injected into `to`). Used for ESD zaps.
+  void add_isource(NodeId from, NodeId to, TimeFunction i);
+  void add_mosfet(const MosfetParams& params, NodeId drain, NodeId gate,
+                  NodeId source);
+
+  /// Convenience: CMOS inverter between vdd/gnd rails with shared sizing.
+  /// PMOS is widened by `p_over_n` (folded into the PMOS idsat externally if
+  /// the caller tracks asymmetric devices; here size scales both).
+  void add_inverter(const MosfetParams& nmos, const MosfetParams& pmos,
+                    NodeId in, NodeId out, NodeId vdd_node, NodeId gnd_node);
+
+  // Element access for the engine.
+  struct Resistor {
+    NodeId a, b;
+    double g;  ///< conductance
+  };
+  struct Capacitor {
+    NodeId a, b;
+    double c;
+  };
+  struct Inductor {
+    NodeId a, b;
+    double l;
+  };
+  struct VSource {
+    NodeId pos, neg;
+    TimeFunction v;
+  };
+  struct Mosfet {
+    MosfetParams p;
+    NodeId d, g, s;
+  };
+  struct ISource {
+    NodeId from, to;
+    TimeFunction i;
+  };
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<Inductor>& inductors() const { return inductors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+  const std::vector<ISource>& isources() const { return isources_; }
+
+ private:
+  int next_node_ = 1;  // 0 is ground
+  std::unordered_map<std::string, NodeId> names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<Inductor> inductors_;
+  std::vector<VSource> vsources_;
+  std::vector<Mosfet> mosfets_;
+  std::vector<ISource> isources_;
+};
+
+/// Drain current of the alpha-power-law device and its small-signal
+/// derivatives; exposed for unit tests.
+struct MosOperatingPoint {
+  double id = 0.0;   ///< current into the drain terminal [A]
+  double gm = 0.0;   ///< dId/dVg
+  double gds = 0.0;  ///< dId/dVd
+  double gms = 0.0;  ///< dId/dVs
+};
+MosOperatingPoint mosfet_evaluate(const MosfetParams& p, double vd, double vg,
+                                  double vs);
+
+}  // namespace dsmt::circuit

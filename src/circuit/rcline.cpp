@@ -1,0 +1,91 @@
+#include "circuit/rcline.h"
+
+#include <stdexcept>
+
+#include "circuit/waveform.h"
+
+namespace dsmt::circuit {
+
+void add_rc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
+                 double c_per_m, double length, int segments) {
+  if (segments < 1) throw std::invalid_argument("add_rc_line: segments < 1");
+  if (length <= 0.0) throw std::invalid_argument("add_rc_line: length <= 0");
+  const double r_seg = r_per_m * length / segments;
+  const double c_seg = c_per_m * length / segments;
+
+  NodeId prev = in;
+  for (int s = 0; s < segments; ++s) {
+    const NodeId next = (s == segments - 1) ? out : nl.internal_node();
+    // Pi segment: half the segment capacitance at each end.
+    nl.add_capacitor(prev, kGround, 0.5 * c_seg);
+    nl.add_resistor(prev, next, r_seg);
+    nl.add_capacitor(next, kGround, 0.5 * c_seg);
+    prev = next;
+  }
+}
+
+void add_rlc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
+                  double l_per_m, double c_per_m, double length,
+                  int segments) {
+  if (segments < 1) throw std::invalid_argument("add_rlc_line: segments < 1");
+  if (length <= 0.0) throw std::invalid_argument("add_rlc_line: length <= 0");
+  if (l_per_m <= 0.0) throw std::invalid_argument("add_rlc_line: L <= 0");
+  const double r_seg = r_per_m * length / segments;
+  const double l_seg = l_per_m * length / segments;
+  const double c_seg = c_per_m * length / segments;
+
+  NodeId prev = in;
+  for (int s = 0; s < segments; ++s) {
+    const NodeId mid = nl.internal_node();
+    const NodeId next = (s == segments - 1) ? out : nl.internal_node();
+    nl.add_capacitor(prev, kGround, 0.5 * c_seg);
+    nl.add_resistor(prev, mid, r_seg);
+    nl.add_inductor(mid, next, l_seg);
+    nl.add_capacitor(next, kGround, 0.5 * c_seg);
+    prev = next;
+  }
+}
+
+RepeaterDevices make_repeater(const tech::DeviceParameters& dev, double size) {
+  if (size <= 0.0) throw std::invalid_argument("make_repeater: size <= 0");
+  RepeaterDevices r;
+  r.nmos = {MosType::kNmos, dev.vt,     dev.vdd,  dev.idsat_n,
+            dev.alpha,      dev.vdsat0, 0.02,     size};
+  r.pmos = {MosType::kPmos, dev.vt,     dev.vdd,  dev.idsat_p,
+            dev.alpha,      dev.vdsat0, 0.02,     size};
+  r.c_in = dev.cg * size;
+  r.c_par = dev.cp * size;
+  return r;
+}
+
+RepeaterStage build_repeater_stage(Netlist& nl,
+                                   const tech::DeviceParameters& dev,
+                                   double size, double r_per_m, double c_per_m,
+                                   double length, int segments) {
+  RepeaterStage st;
+  const NodeId vdd = nl.node("vdd");
+  // Stages share the rail; create the supply source only once per netlist.
+  bool have_rail = false;
+  for (const auto& src : nl.vsources())
+    if (src.pos == vdd && src.neg == kGround) have_rail = true;
+  if (!have_rail) st.vdd_source = nl.add_vsource(vdd, kGround, dc(dev.vdd));
+
+  const auto devs = make_repeater(dev, size);
+  st.input = nl.internal_node();
+  st.drive = nl.internal_node();
+  st.line_in = nl.internal_node();
+  st.line_out = nl.internal_node();
+
+  nl.add_inverter(devs.nmos, devs.pmos, st.input, st.drive, vdd, kGround);
+  nl.add_capacitor(st.input, kGround, devs.c_in);
+  nl.add_capacitor(st.drive, kGround, devs.c_par);
+
+  st.ammeter = nl.add_ammeter(st.drive, st.line_in);
+  add_rc_line(nl, st.line_in, st.line_out, r_per_m, c_per_m, length, segments);
+
+  // Receiver: gate capacitance of an identical next-stage repeater.
+  nl.add_capacitor(st.line_out, kGround, devs.c_in);
+  return st;
+}
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,56 @@
+// Netlist builders for distributed RC lines and optimally buffered repeater
+// stages (the circuit of paper Fig. 6).
+#pragma once
+
+#include "circuit/netlist.h"
+#include "tech/technology.h"
+
+namespace dsmt::circuit {
+
+/// Adds an N-segment pi-ladder between `in` and `out`:
+/// each segment carries r*l/N in series with c*l/(N) split half at each end.
+/// Returns the internal node just after `in` (useful for probing).
+/// Total series resistance r_total = r_per_m * length, likewise for C.
+void add_rc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
+                 double c_per_m, double length, int segments);
+
+/// RLC variant: each segment carries series r*l/N and l_ind*l/N with the
+/// same pi capacitance split. Used to quantify where wire inductance
+/// matters (see bench_ablation_inductance: visible at repeater spacing on
+/// fat low-k global wires, but it lowers peak currents, so the RC-based
+/// thermal design rules remain conservative).
+void add_rlc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
+                  double l_per_m, double c_per_m, double length,
+                  int segments);
+
+/// Parameters of one repeater (inverter) built from the technology's device
+/// data, sized by `size` (paper Eq. 17's s).
+struct RepeaterDevices {
+  MosfetParams nmos;
+  MosfetParams pmos;
+  double c_in = 0.0;   ///< gate load presented to the previous stage [F]
+  double c_par = 0.0;  ///< drain parasitic at the output [F]
+};
+RepeaterDevices make_repeater(const tech::DeviceParameters& dev, double size);
+
+/// A driver -> line -> receiver stage with an ammeter in series with the
+/// line at the driver output (where the paper notes the maximum RMS current
+/// occurs).
+struct RepeaterStage {
+  NodeId input = 0;        ///< gate of the driver
+  NodeId drive = 0;        ///< driver output (before the ammeter)
+  NodeId line_in = 0;      ///< line input (after the ammeter)
+  NodeId line_out = 0;     ///< far end of the line
+  int ammeter = -1;        ///< source index measuring driver->line current
+  int vdd_source = -1;     ///< supply source index (for power measurements)
+};
+
+/// Builds: Vdd rail, driver inverter (size s), ammeter, distributed RC line
+/// (r, c, length, segments), receiver load = gate capacitance of an equal
+/// repeater. The driver input must be driven externally (connect a source
+/// or a previous stage to `input`).
+RepeaterStage build_repeater_stage(Netlist& nl, const tech::DeviceParameters& dev,
+                                   double size, double r_per_m, double c_per_m,
+                                   double length, int segments);
+
+}  // namespace dsmt::circuit

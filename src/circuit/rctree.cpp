@@ -1,0 +1,88 @@
+#include "circuit/rctree.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "circuit/rcline.h"
+
+namespace dsmt::circuit {
+
+RcTree::RcTree(double driver_resistance) : r_driver_(driver_resistance) {
+  if (driver_resistance < 0.0)
+    throw std::invalid_argument("RcTree: negative driver resistance");
+  nodes_.push_back({});  // root
+}
+
+std::size_t RcTree::add_segment(std::size_t parent, double r_per_m,
+                                double c_per_m, double length) {
+  if (parent >= nodes_.size())
+    throw std::out_of_range("RcTree::add_segment: bad parent");
+  if (r_per_m < 0.0 || c_per_m < 0.0 || length <= 0.0)
+    throw std::invalid_argument("RcTree::add_segment: bad parasitics");
+  Node n;
+  n.parent = parent;
+  n.r_per_m = r_per_m;
+  n.c_per_m = c_per_m;
+  n.length = length;
+  n.r = r_per_m * length;
+  n.c_wire = c_per_m * length;
+  nodes_.push_back(n);
+  return nodes_.size() - 1;
+}
+
+void RcTree::add_load(std::size_t node, double farads) {
+  if (node >= nodes_.size())
+    throw std::out_of_range("RcTree::add_load: bad node");
+  if (farads < 0.0) throw std::invalid_argument("RcTree::add_load: C < 0");
+  nodes_[node].c_load += farads;
+}
+
+std::vector<double> RcTree::downstream_capacitance() const {
+  // Children have larger indices than parents (construction order), so one
+  // reverse pass accumulates subtree capacitance.
+  std::vector<double> cap(nodes_.size(), 0.0);
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    cap[i] += nodes_[i].c_wire + nodes_[i].c_load;
+    if (i > 0) cap[nodes_[i].parent] += cap[i];
+  }
+  return cap;
+}
+
+std::vector<double> RcTree::elmore_delays() const {
+  const auto cap = downstream_capacitance();
+  std::vector<double> delay(nodes_.size(), 0.0);
+  // Root: driver resistance sees everything.
+  delay[0] = r_driver_ * cap[0];
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    // Distributed segment: its own wire capacitance counts at half weight
+    // through its own resistance.
+    delay[i] = delay[nodes_[i].parent] +
+               nodes_[i].r * (cap[i] - 0.5 * nodes_[i].c_wire);
+  }
+  return delay;
+}
+
+double RcTree::critical_delay() const {
+  const auto d = elmore_delays();
+  return *std::max_element(d.begin(), d.end());
+}
+
+std::vector<NodeId> RcTree::emit_netlist(Netlist& nl, NodeId in,
+                                         int sections_per_segment) const {
+  std::vector<NodeId> ids(nodes_.size());
+  ids[0] = nl.internal_node();
+  if (r_driver_ > 0.0)
+    nl.add_resistor(in, ids[0], r_driver_);
+  else
+    nl.add_resistor(in, ids[0], 1e-3);
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    ids[i] = nl.internal_node();
+    add_rc_line(nl, ids[nodes_[i].parent], ids[i], nodes_[i].r_per_m,
+                nodes_[i].c_per_m, nodes_[i].length, sections_per_segment);
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    nl.add_capacitor(ids[i], kGround, nodes_[i].c_load);
+  return ids;
+}
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,67 @@
+// RC-tree analysis: Elmore delays on arbitrary routing trees.
+//
+// The paper's repeater optimum (Eq. 16) covers point-to-point connections;
+// real global nets branch. This module models a net as an RC tree (each
+// edge a wire segment with per-unit-length r/c, each node optionally
+// loaded), computes downstream capacitances and Elmore delays to every
+// sink in O(n), and can emit the equivalent MNA netlist so the estimates
+// can be validated against transient simulation (see test_rctree.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace dsmt::circuit {
+
+/// A tree of wire segments rooted at the driver.
+class RcTree {
+ public:
+  /// Creates the root (driver output). `driver_resistance` is the source
+  /// resistance feeding the tree.
+  explicit RcTree(double driver_resistance);
+
+  /// Adds a segment of `length` metres with the given per-unit-length
+  /// parasitics, hanging from `parent` (0 = root). Returns the new node id.
+  std::size_t add_segment(std::size_t parent, double r_per_m, double c_per_m,
+                          double length);
+
+  /// Adds a lumped load (sink pin) at a node.
+  void add_load(std::size_t node, double farads);
+
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Total capacitance hanging at/below each node (wire + loads) [F].
+  std::vector<double> downstream_capacitance() const;
+
+  /// Elmore delay from the driver input to each node [s]. Uses the
+  /// standard distributed correction: a segment's own capacitance counts
+  /// half through its own resistance.
+  std::vector<double> elmore_delays() const;
+
+  /// Worst (maximum) Elmore delay over all nodes.
+  double critical_delay() const;
+
+  /// Builds the equivalent netlist (each segment as an N-section ladder)
+  /// between `in` and internal nodes; returns the netlist NodeId of each
+  /// tree node so sims can probe them. The driver resistance is included.
+  std::vector<NodeId> emit_netlist(Netlist& nl, NodeId in,
+                                   int sections_per_segment = 8) const;
+
+ private:
+  struct Node {
+    std::size_t parent = 0;
+    double r = 0.0;       ///< total segment resistance from parent [Ohm]
+    double c_wire = 0.0;  ///< total segment capacitance [F]
+    double c_load = 0.0;  ///< lumped load at this node [F]
+    double r_per_m = 0.0;
+    double c_per_m = 0.0;
+    double length = 0.0;
+  };
+  std::vector<Node> nodes_;  ///< nodes_[0] is the root
+  double r_driver_;
+};
+
+}  // namespace dsmt::circuit

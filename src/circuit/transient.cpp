@@ -1,0 +1,266 @@
+#include "circuit/transient.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/dense.h"
+
+namespace dsmt::circuit {
+
+TransientResult::TransientResult(int nodes, int sources)
+    : nodes_(nodes), sources_(sources) {}
+
+void TransientResult::append(double t, const std::vector<double>& x) {
+  time_.push_back(t);
+  x_.push_back(x);
+}
+
+std::vector<double> TransientResult::voltage(NodeId node) const {
+  std::vector<double> v(time_.size(), 0.0);
+  if (node == kGround) return v;
+  const int idx = node - 1;
+  if (idx < 0 || idx >= nodes_ - 1)
+    throw std::out_of_range("TransientResult::voltage: bad node");
+  for (std::size_t i = 0; i < time_.size(); ++i) v[i] = x_[i][idx];
+  return v;
+}
+
+std::vector<double> TransientResult::source_current(int idx) const {
+  if (idx < 0 || idx >= sources_)
+    throw std::out_of_range("TransientResult::source_current: bad index");
+  std::vector<double> c(time_.size(), 0.0);
+  const int off = nodes_ - 1 + idx;
+  for (std::size_t i = 0; i < time_.size(); ++i) c[i] = x_[i][off];
+  return c;
+}
+
+namespace {
+
+class Assembler {
+ public:
+  Assembler(const Netlist& nl)
+      : nl_(nl),
+        n_nodes_(nl.node_count() - 1),
+        n_src_(static_cast<int>(nl.vsources().size())),
+        n_(n_nodes_ + n_src_),
+        a_(static_cast<std::size_t>(n_), static_cast<std::size_t>(n_)),
+        rhs_(static_cast<std::size_t>(n_), 0.0) {}
+
+  int size() const { return n_; }
+  int node_unknowns() const { return n_nodes_; }
+
+  /// Conductance used for inductors at the DC operating point (short).
+  static constexpr double kInductorDcG = 1e6;
+
+  /// Assembles the Newton system at time `t`, linearized about `x`.
+  /// `cap_geq` of 0 removes capacitors (DC, inductors shorted); otherwise
+  /// trapezoidal companions use `cap_state`/`ind_state` = {v_prev, i_prev}.
+  void assemble(double t, const std::vector<double>& x, double cap_geq_scale,
+                double dt, const std::vector<std::pair<double, double>>& cap_state,
+                const std::vector<std::pair<double, double>>& ind_state) {
+    a_.fill(0.0);
+    std::fill(rhs_.begin(), rhs_.end(), 0.0);
+
+    // gmin to ground on every node keeps floating nodes solvable.
+    for (int i = 0; i < n_nodes_; ++i) a_(i, i) += 1e-12;
+
+    for (const auto& r : nl_.resistors()) stamp_conductance(r.a, r.b, r.g);
+
+    if (cap_geq_scale > 0.0) {
+      // cap_geq_scale = 2 selects the trapezoidal companion; 1 selects
+      // backward Euler (used for the first step, where the initial
+      // capacitor current is unknown).
+      const auto& caps = nl_.capacitors();
+      for (std::size_t k = 0; k < caps.size(); ++k) {
+        const double geq = cap_geq_scale * caps[k].c / dt;
+        const auto [v_prev, i_prev] = cap_state[k];
+        const double ieq =
+            geq * v_prev + (cap_geq_scale > 1.5 ? i_prev : 0.0);
+        stamp_conductance(caps[k].a, caps[k].b, geq);
+        stamp_current(caps[k].a, caps[k].b, -ieq);  // ieq flows a <- b
+      }
+      // Inductor trapezoidal companion:
+      //   i_{n+1} = i_n + (dt/2L)(v_{n+1} + v_n) = geq v_{n+1} + ieq.
+      const auto& inds = nl_.inductors();
+      for (std::size_t k = 0; k < inds.size(); ++k) {
+        const double geq = dt / (2.0 * inds[k].l);
+        const auto [v_prev, i_prev] = ind_state[k];
+        const double ieq = i_prev + geq * v_prev;
+        stamp_conductance(inds[k].a, inds[k].b, geq);
+        stamp_current(inds[k].a, inds[k].b, ieq);
+      }
+    } else {
+      // DC: inductors are shorts.
+      for (const auto& ind : nl_.inductors())
+        stamp_conductance(ind.a, ind.b, kInductorDcG);
+    }
+
+    for (const auto& isrc : nl_.isources()) {
+      // i(t) flows from -> to through the source: inject at `to`.
+      const double i = isrc.i(t);
+      if (isrc.to != kGround) rhs_[idx(isrc.to)] += i;
+      if (isrc.from != kGround) rhs_[idx(isrc.from)] -= i;
+    }
+
+    const auto& sources = nl_.vsources();
+    for (int k = 0; k < n_src_; ++k) {
+      const int row = n_nodes_ + k;
+      const NodeId p = sources[k].pos, q = sources[k].neg;
+      if (p != kGround) {
+        a_(idx(p), row) += 1.0;
+        a_(row, idx(p)) += 1.0;
+      }
+      if (q != kGround) {
+        a_(idx(q), row) -= 1.0;
+        a_(row, idx(q)) -= 1.0;
+      }
+      rhs_[row] = sources[k].v(t);
+    }
+
+    for (const auto& m : nl_.mosfets()) {
+      const double vd = volt(x, m.d), vg = volt(x, m.g), vs = volt(x, m.s);
+      const auto op = mosfet_evaluate(m.p, vd, vg, vs);
+      // Linearized drain current: id = ieq + gds vd + gm vg + gms vs.
+      const double ieq = op.id - op.gds * vd - op.gm * vg - op.gms * vs;
+      stamp_trans(m.d, m.d, op.gds);
+      stamp_trans(m.d, m.g, op.gm);
+      stamp_trans(m.d, m.s, op.gms);
+      stamp_trans(m.s, m.d, -op.gds);
+      stamp_trans(m.s, m.g, -op.gm);
+      stamp_trans(m.s, m.s, -op.gms);
+      if (m.d != kGround) rhs_[idx(m.d)] -= ieq;
+      if (m.s != kGround) rhs_[idx(m.s)] += ieq;
+    }
+  }
+
+  std::vector<double> solve() const { return numeric::solve_dense(a_, rhs_); }
+
+  double volt(const std::vector<double>& x, NodeId n) const {
+    return n == kGround ? 0.0 : x[idx(n)];
+  }
+
+ private:
+  int idx(NodeId n) const { return n - 1; }
+
+  void stamp_conductance(NodeId na, NodeId nb, double g) {
+    if (na != kGround) a_(idx(na), idx(na)) += g;
+    if (nb != kGround) a_(idx(nb), idx(nb)) += g;
+    if (na != kGround && nb != kGround) {
+      a_(idx(na), idx(nb)) -= g;
+      a_(idx(nb), idx(na)) -= g;
+    }
+  }
+
+  /// Current `i` flowing from node a to node b through the element.
+  void stamp_current(NodeId na, NodeId nb, double i) {
+    if (na != kGround) rhs_[idx(na)] -= i;
+    if (nb != kGround) rhs_[idx(nb)] += i;
+  }
+
+  void stamp_trans(NodeId row, NodeId col, double g) {
+    if (row != kGround && col != kGround) a_(idx(row), idx(col)) += g;
+  }
+
+  const Netlist& nl_;
+  int n_nodes_, n_src_, n_;
+  numeric::Matrix a_;
+  std::vector<double> rhs_;
+};
+
+/// Newton iteration at a fixed time point. Returns the converged unknowns.
+std::vector<double> newton_solve(
+    Assembler& asmbl, double t, std::vector<double> x, double cap_scale,
+    double dt, const std::vector<std::pair<double, double>>& cap_state,
+    const std::vector<std::pair<double, double>>& ind_state,
+    const TransientOptions& opts) {
+  double dmax = 0.0;
+  for (int it = 0; it < opts.max_newton; ++it) {
+    asmbl.assemble(t, x, cap_scale, dt, cap_state, ind_state);
+    std::vector<double> x_new = asmbl.solve();
+    // SPICE-style per-node voltage-step limiting keeps the power-law
+    // devices from bouncing between operating regions.
+    const double v_limit = 0.5;
+    dmax = 0.0;
+    for (int i = 0; i < asmbl.node_unknowns(); ++i) {
+      double d = x_new[i] - x[i];
+      if (d > v_limit) d = v_limit;
+      if (d < -v_limit) d = -v_limit;
+      x_new[i] = x[i] + d;
+      dmax = std::max(dmax, std::abs(d));
+    }
+    const bool converged = dmax <= opts.v_abs_tol;
+    x = std::move(x_new);
+    if (converged && it > 0) return x;
+  }
+  throw std::runtime_error("run_transient: Newton did not converge at t = " +
+                           std::to_string(t) + " (dmax = " +
+                           std::to_string(dmax) + ")");
+}
+
+}  // namespace
+
+TransientResult run_transient(const Netlist& netlist,
+                              const TransientOptions& opts) {
+  if (opts.dt <= 0.0 || opts.t_stop <= 0.0)
+    throw std::invalid_argument("run_transient: bad time options");
+
+  Assembler asmbl(netlist);
+  TransientResult result(netlist.node_count(),
+                         static_cast<int>(netlist.vsources().size()));
+
+  const auto& caps = netlist.capacitors();
+  const auto& inds = netlist.inductors();
+  std::vector<std::pair<double, double>> cap_state(caps.size(), {0.0, 0.0});
+  std::vector<std::pair<double, double>> ind_state(inds.size(), {0.0, 0.0});
+
+  // DC operating point at t = 0 (capacitors open, inductors shorted).
+  std::vector<double> x(asmbl.size(), 0.0);
+  x = newton_solve(asmbl, 0.0, std::move(x), /*cap_scale=*/0.0, opts.dt,
+                   cap_state, ind_state, opts);
+
+  // Initialize capacitor voltages to the DC solution, zero current; the
+  // inductors carry the DC current of their short-circuit stand-ins.
+  for (std::size_t k = 0; k < caps.size(); ++k) {
+    const double v =
+        asmbl.volt(x, caps[k].a) - asmbl.volt(x, caps[k].b);
+    cap_state[k] = {v, 0.0};
+  }
+  for (std::size_t k = 0; k < inds.size(); ++k) {
+    const double v = asmbl.volt(x, inds[k].a) - asmbl.volt(x, inds[k].b);
+    ind_state[k] = {0.0, Assembler::kInductorDcG * v};
+  }
+  result.append(0.0, x);
+
+  // Round-to-nearest avoids a spurious extra step when t_stop/dt is an
+  // integer up to floating-point noise (the extra step would shift every
+  // measurement window by dt).
+  const int steps = std::max(
+      1, static_cast<int>(std::llround(opts.t_stop / opts.dt)));
+  for (int s = 1; s <= steps; ++s) {
+    const double t = s * opts.dt;
+    // Trapezoidal companions throughout; the DC start guarantees zero
+    // initial capacitor current, which the state vector already encodes.
+    const double cap_scale = 2.0;
+    x = newton_solve(asmbl, t, std::move(x), cap_scale, opts.dt, cap_state,
+                     ind_state, opts);
+    // Update capacitor companion states.
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      const double v = asmbl.volt(x, caps[k].a) - asmbl.volt(x, caps[k].b);
+      const auto [v_prev, i_prev] = cap_state[k];
+      const double i = (cap_scale * caps[k].c / opts.dt) * (v - v_prev) -
+                       (cap_scale > 1.5 ? i_prev : 0.0);
+      cap_state[k] = {v, i};
+    }
+    // Update inductor companion states (trapezoidal).
+    for (std::size_t k = 0; k < inds.size(); ++k) {
+      const double v = asmbl.volt(x, inds[k].a) - asmbl.volt(x, inds[k].b);
+      const auto [v_prev, i_prev] = ind_state[k];
+      const double i = i_prev + (opts.dt / (2.0 * inds[k].l)) * (v + v_prev);
+      ind_state[k] = {v, i};
+    }
+    result.append(t, x);
+  }
+  return result;
+}
+
+}  // namespace dsmt::circuit

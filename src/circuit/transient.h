@@ -1,0 +1,49 @@
+// MNA transient engine: Newton-Raphson per step, trapezoidal companion
+// models for capacitors, dense LU on the (small) MNA system.
+#pragma once
+
+#include <vector>
+
+#include "circuit/netlist.h"
+
+namespace dsmt::circuit {
+
+struct TransientOptions {
+  double t_stop = 1e-9;
+  double dt = 1e-12;
+  int max_newton = 80;
+  double v_abs_tol = 1e-6;   ///< Newton voltage convergence [V]
+  double i_abs_tol = 1e-12;  ///< Newton residual current convergence [A]
+};
+
+/// Sampled transient solution.
+class TransientResult {
+ public:
+  TransientResult(int nodes, int sources);
+
+  const std::vector<double>& time() const { return time_; }
+  /// Voltage waveform of a node (ground returns all zeros).
+  std::vector<double> voltage(NodeId node) const;
+  /// Branch current of voltage source `idx` (positive current flows from the
+  /// positive terminal through the external circuit into the negative one).
+  std::vector<double> source_current(int idx) const;
+
+  int steps() const { return static_cast<int>(time_.size()); }
+
+  // Engine-side appenders.
+  void append(double t, const std::vector<double>& x);
+  int nodes_ = 0;
+  int sources_ = 0;
+
+ private:
+  std::vector<double> time_;
+  std::vector<std::vector<double>> x_;  ///< per step: node volts + branch amps
+};
+
+/// Runs the transient analysis. The initial state is the DC solution at
+/// t = 0 obtained by Newton on the t = 0 system with capacitors open.
+/// Throws std::runtime_error if Newton fails to converge at any step.
+TransientResult run_transient(const Netlist& netlist,
+                              const TransientOptions& options);
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,130 @@
+#include "circuit/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/quadrature.h"
+#include "numeric/stats.h"
+
+namespace dsmt::circuit {
+
+TimeFunction pulse(double v0, double v1, double t_delay, double t_rise,
+                   double t_high, double t_fall, double period) {
+  if (t_rise <= 0.0 || t_fall <= 0.0 || period <= 0.0)
+    throw std::invalid_argument("pulse: non-positive timing");
+  if (t_rise + t_high + t_fall > period)
+    throw std::invalid_argument("pulse: pulse longer than period");
+  return [=](double t) {
+    double tau = t - t_delay;
+    if (tau < 0.0) return v0;
+    tau = std::fmod(tau, period);
+    if (tau < t_rise) return v0 + (v1 - v0) * (tau / t_rise);
+    tau -= t_rise;
+    if (tau < t_high) return v1;
+    tau -= t_high;
+    if (tau < t_fall) return v1 + (v0 - v1) * (tau / t_fall);
+    return v0;
+  };
+}
+
+TimeFunction dc(double v) {
+  return [v](double) { return v; };
+}
+
+TimeFunction pwl(std::vector<double> t, std::vector<double> v) {
+  if (t.size() != v.size() || t.size() < 2)
+    throw std::invalid_argument("pwl: need >=2 points");
+  return [t = std::move(t), v = std::move(v)](double tq) {
+    if (tq <= t.front()) return v.front();
+    if (tq >= t.back()) return v.back();
+    const auto it = std::upper_bound(t.begin(), t.end(), tq);
+    const std::size_t i = static_cast<std::size_t>(it - t.begin());
+    const double f = (tq - t[i - 1]) / (t[i] - t[i - 1]);
+    return v[i - 1] + f * (v[i] - v[i - 1]);
+  };
+}
+
+TimeFunction double_exponential(double peak, double tau_rise, double tau_fall) {
+  if (tau_rise <= 0.0 || tau_fall <= tau_rise)
+    throw std::invalid_argument("double_exponential: need tau_fall > tau_rise > 0");
+  // Peak of exp(-t/tf) - exp(-t/tr) occurs at t* = ln(tf/tr) tr tf/(tf - tr).
+  const double t_star =
+      std::log(tau_fall / tau_rise) * tau_rise * tau_fall / (tau_fall - tau_rise);
+  const double norm =
+      std::exp(-t_star / tau_fall) - std::exp(-t_star / tau_rise);
+  return [=](double t) {
+    if (t <= 0.0) return 0.0;
+    return peak * (std::exp(-t / tau_fall) - std::exp(-t / tau_rise)) / norm;
+  };
+}
+
+WaveformStats measure(const std::vector<double>& t,
+                      const std::vector<double>& y) {
+  if (t.size() != y.size() || t.size() < 2)
+    throw std::invalid_argument("measure: need >=2 samples");
+  WaveformStats s;
+  s.peak = numeric::peak_abs(y);
+  s.rms = numeric::rms_sampled(t, y);
+  s.average = numeric::mean_sampled(t, y);
+  std::vector<double> abs_y(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) abs_y[i] = std::abs(y[i]);
+  s.average_abs = numeric::mean_sampled(t, abs_y);
+  s.duty_effective = (s.peak > 0.0) ? (s.rms / s.peak) * (s.rms / s.peak) : 0.0;
+  return s;
+}
+
+std::pair<std::vector<double>, std::vector<double>> window(
+    const std::vector<double>& t, const std::vector<double>& y, double t0,
+    double t1) {
+  if (t.size() != y.size() || t.size() < 2 || t1 <= t0)
+    throw std::invalid_argument("window: bad inputs");
+  std::vector<double> tw, yw;
+  auto interp_at = [&](double tq) {
+    const auto it = std::lower_bound(t.begin(), t.end(), tq);
+    if (it == t.begin()) return y.front();
+    if (it == t.end()) return y.back();
+    const std::size_t i = static_cast<std::size_t>(it - t.begin());
+    const double f = (tq - t[i - 1]) / (t[i] - t[i - 1]);
+    return y[i - 1] + f * (y[i] - y[i - 1]);
+  };
+  tw.push_back(t0);
+  yw.push_back(interp_at(t0));
+  for (std::size_t i = 0; i < t.size(); ++i)
+    if (t[i] > t0 && t[i] < t1) {
+      tw.push_back(t[i]);
+      yw.push_back(y[i]);
+    }
+  tw.push_back(t1);
+  yw.push_back(interp_at(t1));
+  return {std::move(tw), std::move(yw)};
+}
+
+double rise_time_10_90(const std::vector<double>& t,
+                       const std::vector<double>& v, double v_lo,
+                       double v_hi) {
+  const double v10 = v_lo + 0.1 * (v_hi - v_lo);
+  const double v90 = v_lo + 0.9 * (v_hi - v_lo);
+  const double t10 = crossing_time(t, v, v10, 0.0, true);
+  if (t10 < 0.0) return -1.0;
+  const double t90 = crossing_time(t, v, v90, t10, true);
+  if (t90 < 0.0) return -1.0;
+  return t90 - t10;
+}
+
+double crossing_time(const std::vector<double>& t,
+                     const std::vector<double>& v, double level, double t_from,
+                     bool rising) {
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (t[i] < t_from) continue;
+    const bool crossed = rising ? (v[i - 1] < level && v[i] >= level)
+                                : (v[i - 1] > level && v[i] <= level);
+    if (crossed) {
+      const double f = (level - v[i - 1]) / (v[i] - v[i - 1]);
+      return t[i - 1] + f * (t[i] - t[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace dsmt::circuit

@@ -1,0 +1,114 @@
+#include "core/cosim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+#include "numeric/interp.h"
+#include "thermal/fd1d.h"
+#include "thermal/healing.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::core {
+
+CosimResult verify_rms_premise(const tech::Technology& technology, int level,
+                               const materials::Dielectric& gap_fill,
+                               const repeater::StageSimResult& sim,
+                               const CosimOptions& options) {
+  if (sim.time.size() < 2)
+    throw std::invalid_argument("verify_rms_premise: empty stage waveform");
+
+  const auto& layer = technology.layer(level);
+  const auto stack = technology.stack_below(level, gap_fill);
+  const double b = stack.total_thickness();
+  const double w_eff =
+      thermal::effective_width(layer.width, b, options.phi);
+  const double rth = thermal::rth_per_length(stack, w_eff);
+  const double area = layer.width * layer.thickness;
+
+  CosimResult out;
+  out.electrical_period = sim.time.back() - sim.time.front();
+  // Thermal time constant of the line per unit length: C'/G' where
+  // C' = c_v t W and G' = 1/R'_th.
+  out.thermal_tau =
+      technology.metal.c_volumetric * area * rth;
+
+  // Energy-preserving downsampling: the thermal solver steps much coarser
+  // than the electrical waveform, so instead of point-sampling j(t) (which
+  // would alias the narrow current pulses) each thermal step uses the RMS
+  // of j over its own window — the Joule energy per step is then exact.
+  const double period = out.electrical_period;
+  const int spp = options.steps_per_period;
+  std::vector<double> t_rel(sim.time.size());
+  std::vector<double> j_abs(sim.time.size());
+  for (std::size_t i = 0; i < sim.time.size(); ++i) {
+    t_rel[i] = sim.time[i] - sim.time.front();
+    j_abs[i] = std::abs(sim.line_current[i]) / area;
+  }
+  numeric::LinearInterpolant j_interp(t_rel, j_abs);
+  std::vector<double> j_step_rms(spp, 0.0);
+  const int fine = 64;  // sub-samples per thermal step for the window RMS
+  for (int k = 0; k < spp; ++k) {
+    double acc = 0.0;
+    for (int m = 0; m < fine; ++m) {
+      const double tq = period * (k + (m + 0.5) / fine) / spp;
+      const double j = j_interp(tq);
+      acc += j * j;
+    }
+    j_step_rms[k] = std::sqrt(acc / fine);
+  }
+  auto j_of_t = [&](double t) {
+    const double phase = std::fmod(t, period) / period;
+    int k = static_cast<int>(phase * spp);
+    k = std::clamp(k, 0, spp - 1);
+    return j_step_rms[k];
+  };
+
+  // Thermally long segment of the line: use a length >> lambda so the
+  // mid-line temperature matches the infinite-line (Eq. 9) value.
+  thermal::Line1DSpec spec;
+  spec.metal = technology.metal;
+  spec.w_m = layer.width;
+  spec.t_m = layer.thickness;
+  spec.rth_per_len = rth;
+  const double lambda =
+      thermal::healing_length(technology.metal, layer.width, layer.thickness,
+                              rth);
+  spec.length = 30.0 * lambda;
+  spec.t_ref = kTrefK;
+  spec.t_end = kTrefK;
+  spec.nodes = options.nodes;
+
+  // Integrate for at least 4 thermal time constants so the periodic steady
+  // state is actually reached; options.thermal_periods acts as a floor.
+  const int periods = std::max(
+      options.thermal_periods,
+      static_cast<int>(std::ceil(4.0 * out.thermal_tau / period)));
+  const double t_final = periods * period;
+  const int steps = periods * options.steps_per_period;
+  const auto tr = thermal::solve_transient_line(spec, j_of_t, t_final, steps);
+
+  // Settled statistics over the last 10% of the run.
+  const std::size_t n = tr.t_peak.size();
+  const std::size_t tail = std::max<std::size_t>(n / 10, 2);
+  double t_min = 1e300, t_max = -1e300, t_sum = 0.0;
+  for (std::size_t i = n - tail; i < n; ++i) {
+    t_min = std::min(t_min, tr.t_peak[i]);
+    t_max = std::max(t_max, tr.t_peak[i]);
+    t_sum += tr.t_peak[i];
+  }
+  out.dt_transient = t_sum / tail - kTrefK;
+  out.ripple = t_max - t_min;
+
+  // Analytic prediction from the waveform's RMS density (Eq. 9 with the
+  // electro-thermal fixed point).
+  const auto sh = thermal::solve_self_heating(
+      sim.j_rms, technology.metal, layer.width, layer.thickness, rth, kTrefK);
+  out.dt_rms_model = sh.delta_t;
+  out.agreement =
+      out.dt_rms_model > 0.0 ? out.dt_transient / out.dt_rms_model : 0.0;
+  return out;
+}
+
+}  // namespace dsmt::core

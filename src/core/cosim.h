@@ -1,0 +1,45 @@
+// Transient electro-thermal co-simulation.
+//
+// The paper's entire framework rests on one modeling premise: for periodic
+// circuit waveforms, the line's steady temperature rise equals that of a DC
+// current at the waveform's RMS value (self-heating is j_rms-driven,
+// Eq. 9), because the thermal time constant of a DSM line (~us) dwarfs the
+// electrical period (~ns) and the temperature ripple averages out.
+//
+// This module *checks* that premise instead of assuming it: it takes the
+// actual simulated current waveform of a repeater stage, tiles it
+// periodically into the transient 1-D thermal solver, integrates to the
+// periodic steady state, and compares the resulting temperature rise and
+// ripple against the analytic j_rms prediction.
+#pragma once
+
+#include "repeater/simulate.h"
+#include "tech/technology.h"
+
+namespace dsmt::core {
+
+struct CosimOptions {
+  int thermal_periods = 12000;   ///< electrical periods to integrate over
+  int steps_per_period = 16;     ///< thermal steps per electrical period
+  int nodes = 61;                ///< 1-D spatial nodes along the line
+  double phi = 2.45;             ///< spreading parameter for the stack
+};
+
+struct CosimResult {
+  double dt_transient = 0.0;   ///< settled mean rise from the waveform [K]
+  double dt_rms_model = 0.0;   ///< analytic rise from j_rms (Eq. 9) [K]
+  double ripple = 0.0;         ///< peak-to-peak temperature ripple [K]
+  double thermal_tau = 0.0;    ///< line thermal time constant [s]
+  double electrical_period = 0.0;
+  double agreement = 0.0;      ///< dt_transient / dt_rms_model
+};
+
+/// Runs the check for one simulated stage on `level` of `technology` with
+/// intra-level dielectric `gap_fill`. `sim` must come from
+/// repeater::simulate_stage on the same level.
+CosimResult verify_rms_premise(const tech::Technology& technology, int level,
+                               const materials::Dielectric& gap_fill,
+                               const repeater::StageSimResult& sim,
+                               const CosimOptions& options = {});
+
+}  // namespace dsmt::core

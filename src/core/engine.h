@@ -1,0 +1,100 @@
+// Top-level design-rule engine — the library's "front door".
+//
+// Ties the substrates together to answer the paper's two driving questions
+// for a given technology:
+//   1. What are the thermally/EM self-consistent maximum current densities
+//      per metal level and dielectric? (Tables 2-4)
+//   2. Do delay-optimal repeaters respect those limits, and by what margin?
+//      (Tables 5-6, the j_peak-delay vs j_peak-self-consistent comparison)
+// plus array derating (Table 7) and ESD screening (Section 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "esd/failure.h"
+#include "materials/dielectric.h"
+#include "repeater/simulate.h"
+#include "selfconsistent/sweep.h"
+#include "tech/technology.h"
+
+namespace dsmt::core {
+
+/// Per-layer verdict of the delay-vs-thermal check.
+struct LayerCheck {
+  int level = 0;
+  repeater::OptimalRepeater optimal;       ///< l_opt, s_opt, parasitics
+  repeater::StageSimResult sim;            ///< simulated currents
+  selfconsistent::Solution thermal_limit;  ///< self-consistent maxima
+  double jpeak_margin = 0.0;  ///< j_peak-self-consistent / j_peak-delay
+  double jrms_margin = 0.0;   ///< j_rms-self-consistent / j_rms-delay
+  bool pass = false;          ///< both margins >= 1
+};
+
+/// Engine options.
+struct EngineOptions {
+  double phi = 2.45;                ///< quasi-2D spreading parameter
+  double duty_cycle_signal = 0.1;   ///< r for signal-line design rules
+  double duty_cycle_power = 1.0;    ///< r for power-line design rules
+  repeater::SimulationOptions sim;  ///< transient settings
+};
+
+class DesignRuleEngine {
+ public:
+  DesignRuleEngine(tech::Technology technology, double j0,
+                   EngineOptions options = {});
+
+  const tech::Technology& technology() const { return tech_; }
+
+  /// Self-consistent design-rule table over the given levels/dielectrics
+  /// (both signal and power duty cycles).
+  std::vector<selfconsistent::TableCell> design_rule_table(
+      const std::vector<int>& levels,
+      const std::vector<materials::Dielectric>& gap_fills) const;
+
+  /// Self-consistent limit for one level/gap-fill/duty cycle.
+  selfconsistent::Solution thermal_limit(
+      int level, const materials::Dielectric& gap_fill,
+      double duty_cycle) const;
+
+  /// Full delay-vs-thermal check of one level: optimize repeaters with
+  /// insulator permittivity `k_rel`, simulate the stage, compare current
+  /// densities against the self-consistent limit computed with `gap_fill`.
+  LayerCheck check_layer(int level, double k_rel,
+                         const materials::Dielectric& gap_fill) const;
+
+  /// Checks every level in `levels` (typically the global layers).
+  std::vector<LayerCheck> check_layers(
+      const std::vector<int>& levels, double k_rel,
+      const materials::Dielectric& gap_fill) const;
+
+  /// ESD screen of a level's minimum-width line: outcome of an HBM zap of
+  /// `v_charge` volts routed through it.
+  esd::StressAssessment esd_screen(int level, double v_charge,
+                                   const materials::Dielectric& gap_fill) const;
+
+  /// Electro-thermal fixed point: the wire's operating temperature raises
+  /// its resistance, which changes the delay-optimal repeater design, which
+  /// changes the dissipated j_rms, which changes the temperature. Iterates
+  /// optimize -> simulate -> self-heat until the temperature converges.
+  /// This extends the paper, which evaluates r at T_ref only.
+  struct ElectrothermalResult {
+    LayerCheck at_tref;        ///< the paper's (cold-resistance) answer
+    LayerCheck at_operating;   ///< converged hot-resistance answer
+    double t_operating = 0.0;  ///< fixed-point wire temperature [K]
+    double delta_t = 0.0;      ///< operating rise above T_ref [K]
+    int iterations = 0;
+    bool converged = false;
+  };
+  ElectrothermalResult check_layer_electrothermal(
+      int level, double k_rel, const materials::Dielectric& gap_fill,
+      double t_tol = 0.05, int max_iterations = 12) const;
+
+ private:
+  tech::Technology tech_;
+  double j0_;
+  EngineOptions opts_;
+};
+
+}  // namespace dsmt::core

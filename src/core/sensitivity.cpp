@@ -1,0 +1,114 @@
+#include "core/sensitivity.h"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "selfconsistent/sweep.h"
+
+namespace dsmt::core {
+
+namespace {
+
+/// Mutable copy of all inputs so each knob can be perturbed uniformly.
+struct Knobs {
+  tech::Technology technology;
+  materials::Dielectric gap_fill;
+  double phi;
+  double duty_cycle;
+  double j0;
+  int level;
+};
+
+selfconsistent::Solution solve_knobs(const Knobs& k) {
+  return selfconsistent::solve(selfconsistent::make_level_problem(
+      k.technology, k.level, k.gap_fill, k.phi, k.duty_cycle, k.j0));
+}
+
+Sensitivity probe(const std::string& name, double nominal,
+                  const std::function<void(Knobs&, double)>& apply,
+                  const Knobs& base, double rel_step) {
+  Knobs up = base;
+  apply(up, 1.0 + rel_step);
+  Knobs dn = base;
+  apply(dn, 1.0 - rel_step);
+  const auto s_up = solve_knobs(up);
+  const auto s_dn = solve_knobs(dn);
+  const auto s_0 = solve_knobs(base);
+
+  Sensitivity s;
+  s.parameter = name;
+  s.nominal = nominal;
+  const double dlnp = std::log((1.0 + rel_step) / (1.0 - rel_step));
+  s.s_jpeak = std::log(s_up.j_peak / s_dn.j_peak) / dlnp;
+  s.s_tmetal = (s_up.t_metal - s_dn.t_metal) / dlnp;
+  (void)s_0;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Sensitivity> design_rule_sensitivities(
+    const tech::Technology& technology, int level,
+    const materials::Dielectric& gap_fill, double phi, double duty_cycle,
+    double j0, double rel_step) {
+  if (rel_step <= 0.0 || rel_step >= 0.5)
+    throw std::invalid_argument("design_rule_sensitivities: bad step");
+  const Knobs base{technology, gap_fill, phi, duty_cycle, j0, level};
+  const auto& layer = technology.layer(level);
+
+  std::vector<Sensitivity> out;
+  out.push_back(probe(
+      "line width W_m", layer.width,
+      [level](Knobs& k, double f) {
+        for (auto& l : k.technology.layers)
+          if (l.level == level) {
+            l.pitch += l.width * (f - 1.0);  // keep spacing
+            l.width *= f;
+          }
+      },
+      base, rel_step));
+  out.push_back(probe(
+      "metal thickness t_m", layer.thickness,
+      [level](Knobs& k, double f) {
+        for (auto& l : k.technology.layers)
+          if (l.level == level) l.thickness *= f;
+      },
+      base, rel_step));
+  out.push_back(probe(
+      "stack thickness b", 0.0,
+      [](Knobs& k, double f) {
+        for (auto& l : k.technology.layers) l.ild_below *= f;
+      },
+      base, rel_step));
+  out.push_back(probe(
+      "gap-fill K_th", gap_fill.k_thermal,
+      [](Knobs& k, double f) { k.gap_fill.k_thermal *= f; }, base, rel_step));
+  out.push_back(probe(
+      "ILD K_th", technology.ild.k_thermal,
+      [](Knobs& k, double f) { k.technology.ild.k_thermal *= f; }, base,
+      rel_step));
+  out.push_back(probe(
+      "activation energy Q", technology.metal.em.activation_energy_ev,
+      [](Knobs& k, double f) {
+        k.technology.metal.em.activation_energy_ev *= f;
+      },
+      base, rel_step));
+  out.push_back(probe(
+      "design-rule j0", j0, [](Knobs& k, double f) { k.j0 *= f; }, base,
+      rel_step));
+  out.push_back(probe(
+      "duty cycle r", duty_cycle,
+      [](Knobs& k, double f) { k.duty_cycle = std::min(1.0, k.duty_cycle * f); },
+      base, rel_step));
+  out.push_back(probe(
+      "spreading phi", phi, [](Knobs& k, double f) { k.phi *= f; }, base,
+      rel_step));
+  out.push_back(probe(
+      "resistivity rho_ref", technology.metal.rho_ref,
+      [](Knobs& k, double f) { k.technology.metal.rho_ref *= f; }, base,
+      rel_step));
+  return out;
+}
+
+}  // namespace dsmt::core

@@ -1,0 +1,39 @@
+// Parameter sensitivity of the self-consistent design rule.
+//
+// The reconstructed technology file carries uncertainty (the paper's
+// Table 8 is partially illegible), so the library quantifies how each
+// physical parameter moves the answer: normalized sensitivities
+//   S_p = (p / j_peak) (d j_peak / d p)
+// computed by central finite differences around the nominal problem. This
+// both documents which reconstruction choices matter and provides the
+// substrate for the Monte-Carlo variation analysis (variation.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "materials/dielectric.h"
+#include "selfconsistent/solver.h"
+#include "tech/technology.h"
+
+namespace dsmt::core {
+
+/// One parameter's normalized sensitivity.
+struct Sensitivity {
+  std::string parameter;
+  double nominal = 0.0;       ///< parameter value
+  double s_jpeak = 0.0;       ///< d(ln j_peak)/d(ln p)
+  double s_tmetal = 0.0;      ///< d(T_m)/d(ln p) [K per unit log]
+};
+
+/// Sensitivities of the level's self-consistent j_peak to the key inputs:
+/// line width, metal thickness, stack thickness (all ILDs scaled), gap-fill
+/// thermal conductivity, EM activation energy, design-rule j0, duty cycle,
+/// and the spreading parameter phi. `rel_step` is the central-difference
+/// perturbation.
+std::vector<Sensitivity> design_rule_sensitivities(
+    const tech::Technology& technology, int level,
+    const materials::Dielectric& gap_fill, double phi, double duty_cycle,
+    double j0, double rel_step = 0.02);
+
+}  // namespace dsmt::core

@@ -1,0 +1,105 @@
+#include "core/variation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/stats.h"
+#include "selfconsistent/sweep.h"
+
+namespace dsmt::core {
+
+namespace {
+
+/// Deterministic xorshift-based standard normal (Box-Muller).
+class NormalGen {
+ public:
+  explicit NormalGen(unsigned seed) : state_(seed ? seed : 1) {}
+
+  double operator()() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = uniform(), u2 = uniform();
+    // Guard the log.
+    u1 = std::max(u1, 1e-12);
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+ private:
+  double uniform() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 17;
+    state_ ^= state_ << 5;
+    return static_cast<double>(state_ % 1000000007u) / 1000000007.0;
+  }
+  unsigned state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  const double idx = p * (sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double f = idx - lo;
+  return sorted[lo] * (1.0 - f) + sorted[hi] * f;
+}
+
+}  // namespace
+
+VariationResult monte_carlo_jpeak(const tech::Technology& technology,
+                                  int level,
+                                  const materials::Dielectric& gap_fill,
+                                  double phi, double duty_cycle, double j0,
+                                  const VariationSpec& spec, int n_samples) {
+  if (n_samples < 2)
+    throw std::invalid_argument("monte_carlo_jpeak: n_samples < 2");
+
+  VariationResult out;
+  out.nominal = selfconsistent::solve(selfconsistent::make_level_problem(
+                    technology, level, gap_fill, phi, duty_cycle, j0))
+                    .j_peak;
+
+  NormalGen gen(spec.seed);
+  numeric::RunningStats stats;
+  out.samples.reserve(n_samples);
+  for (int s = 0; s < n_samples; ++s) {
+    tech::Technology t = technology;
+    materials::Dielectric gf = gap_fill;
+    // Lognormal perturbations keep every quantity positive.
+    const double fw = std::exp(spec.width * gen());
+    const double ft = std::exp(spec.thickness * gen());
+    const double fb = std::exp(spec.stack * gen());
+    const double fk = std::exp(spec.k_thermal * gen());
+    for (auto& l : t.layers) {
+      if (l.level == level) {
+        l.pitch += l.width * (fw - 1.0);
+        l.width *= fw;
+        l.thickness *= ft;
+      }
+      l.ild_below *= fb;
+    }
+    gf.k_thermal *= fk;
+    const double j =
+        selfconsistent::solve(selfconsistent::make_level_problem(
+                                  t, level, gf, phi, duty_cycle, j0))
+            .j_peak;
+    out.samples.push_back(j);
+    stats.add(j);
+  }
+  out.mean = stats.mean();
+  out.stddev = stats.stddev();
+  std::vector<double> sorted = out.samples;
+  std::sort(sorted.begin(), sorted.end());
+  out.p01 = percentile(sorted, 0.01);
+  out.p50 = percentile(sorted, 0.50);
+  out.p99 = percentile(sorted, 0.99);
+  return out;
+}
+
+}  // namespace dsmt::core

@@ -1,0 +1,45 @@
+// Monte-Carlo process variation on the self-consistent design rule.
+//
+// Line width, metal thickness, stack thickness, and dielectric conductivity
+// all vary in manufacturing. This module samples those variations
+// (independent Gaussians in log-space, deterministic generator so results
+// are reproducible) and reports the distribution of the allowed j_peak —
+// the statistical safety margin a design-rule owner must hold back.
+#pragma once
+
+#include <vector>
+
+#include "materials/dielectric.h"
+#include "tech/technology.h"
+
+namespace dsmt::core {
+
+/// 1-sigma relative variations per parameter.
+struct VariationSpec {
+  double width = 0.05;        ///< line width
+  double thickness = 0.05;    ///< metal thickness
+  double stack = 0.05;        ///< cumulative ILD thickness
+  double k_thermal = 0.08;    ///< gap-fill conductivity
+  unsigned seed = 12345;
+};
+
+/// Distribution summary of the sampled j_peak.
+struct VariationResult {
+  double nominal = 0.0;       ///< j_peak with no variation [A/m^2]
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p01 = 0.0;           ///< 1st percentile (design-rule corner)
+  double p50 = 0.0;
+  double p99 = 0.0;
+  std::vector<double> samples;
+};
+
+/// Runs `n_samples` Monte-Carlo trials of the level's self-consistent
+/// j_peak under the given variations.
+VariationResult monte_carlo_jpeak(const tech::Technology& technology,
+                                  int level,
+                                  const materials::Dielectric& gap_fill,
+                                  double phi, double duty_cycle, double j0,
+                                  const VariationSpec& spec, int n_samples);
+
+}  // namespace dsmt::core

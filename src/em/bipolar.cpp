@@ -1,0 +1,87 @@
+#include "em/bipolar.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace dsmt::em {
+
+namespace {
+// Trapezoid integrals of the positive and negative parts of j(t), treating
+// each segment linearly (splitting at zero crossings).
+struct SplitIntegrals {
+  double positive = 0.0;
+  double negative = 0.0;  // magnitude
+};
+
+SplitIntegrals split_integrals(const std::vector<double>& t,
+                               const std::vector<double>& j) {
+  if (t.size() != j.size() || t.size() < 2)
+    throw std::invalid_argument("bipolar: need >=2 samples");
+  SplitIntegrals s;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    const double dt = t[i] - t[i - 1];
+    if (dt <= 0.0) throw std::invalid_argument("bipolar: non-monotonic time");
+    const double a = j[i - 1], b = j[i];
+    if (a >= 0.0 && b >= 0.0) {
+      s.positive += 0.5 * (a + b) * dt;
+    } else if (a <= 0.0 && b <= 0.0) {
+      s.negative += 0.5 * (-a - b) * dt;
+    } else {
+      // Linear zero crossing at fraction f.
+      const double f = a / (a - b);
+      const double t_cross = f * dt;
+      if (a > 0.0) {
+        s.positive += 0.5 * a * t_cross;
+        s.negative += 0.5 * (-b) * (dt - t_cross);
+      } else {
+        s.negative += 0.5 * (-a) * t_cross;
+        s.positive += 0.5 * b * (dt - t_cross);
+      }
+    }
+  }
+  return s;
+}
+}  // namespace
+
+double effective_javg_bipolar(const std::vector<double>& t,
+                              const std::vector<double>& j, double gamma) {
+  if (gamma < 0.0 || gamma > 1.0)
+    throw std::invalid_argument("effective_javg_bipolar: gamma outside [0,1]");
+  const auto s = split_integrals(t, j);
+  const double span = t.back() - t.front();
+  // Damage is driven by the dominant polarity; recovery heals gamma of it.
+  const double forward = std::max(s.positive, s.negative);
+  const double reverse = std::min(s.positive, s.negative);
+  return (forward - gamma * reverse) / span;
+}
+
+double bipolar_immunity_factor(const std::vector<double>& t,
+                               const std::vector<double>& j, double gamma) {
+  const auto s = split_integrals(t, j);
+  const double span = t.back() - t.front();
+  const double unipolar_abs = (s.positive + s.negative) / span;
+  const double eff = effective_javg_bipolar(t, j, gamma);
+  if (eff <= 0.0) return std::numeric_limits<double>::infinity();
+  return unipolar_abs / eff;
+}
+
+double javg_unipolar(double j_peak, double duty_cycle) {
+  if (duty_cycle < 0.0 || duty_cycle > 1.0)
+    throw std::invalid_argument("javg_unipolar: duty cycle outside [0,1]");
+  return duty_cycle * j_peak;
+}
+
+double jrms_unipolar(double j_peak, double duty_cycle) {
+  if (duty_cycle < 0.0 || duty_cycle > 1.0)
+    throw std::invalid_argument("jrms_unipolar: duty cycle outside [0,1]");
+  return std::sqrt(duty_cycle) * j_peak;
+}
+
+double javg_from_jrms(double j_rms, double duty_cycle) {
+  if (duty_cycle < 0.0 || duty_cycle > 1.0)
+    throw std::invalid_argument("javg_from_jrms: duty cycle outside [0,1]");
+  return std::sqrt(duty_cycle) * j_rms;
+}
+
+}  // namespace dsmt::em

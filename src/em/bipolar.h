@@ -1,0 +1,39 @@
+// Electromigration under bidirectional (bipolar) currents — Liew, Cheung &
+// Hu's recovery model [7], which the paper invokes when noting that signal
+// lines "have much higher EM immunity" so the unipolar self-consistent
+// limits are conservative lower bounds for them.
+//
+// Under AC stress, damage accumulated during the positive half-cycle is
+// partially healed during the negative one. The effective EM-driving
+// current density for a periodic waveform j(t) over period T is
+//   j_eff = (1/T) [ integral(j+ dt) - gamma * integral(|j-| dt) ]
+// where gamma in [0, 1] is the recovery factor (close to 1 for fast
+// symmetric waveforms, 0 recovers the unipolar average).
+#pragma once
+
+#include <vector>
+
+#include "materials/metal.h"
+
+namespace dsmt::em {
+
+/// Effective EM current density of a sampled waveform j(t) with recovery
+/// factor gamma. Samples are trapezoid-integrated over the spanned window.
+double effective_javg_bipolar(const std::vector<double>& t,
+                              const std::vector<double>& j, double gamma);
+
+/// EM-immunity gain of a bipolar waveform: ratio of the unipolar average of
+/// |j| to the recovery-corrected effective average. >= 1; diverges for a
+/// perfectly symmetric waveform with gamma -> 1.
+double bipolar_immunity_factor(const std::vector<double>& t,
+                               const std::vector<double>& j, double gamma);
+
+/// Average-current duty-cycle transformation for unipolar rectangular
+/// pulses (paper Eq. 4): j_avg = r * j_peak.
+double javg_unipolar(double j_peak, double duty_cycle);
+/// RMS transformation (paper Eq. 5): j_rms = sqrt(r) * j_peak.
+double jrms_unipolar(double j_peak, double duty_cycle);
+/// Paper Eq. 6's companion identity: j_avg^2 = r * j_rms^2.
+double javg_from_jrms(double j_rms, double duty_cycle);
+
+}  // namespace dsmt::em

@@ -1,0 +1,51 @@
+// Black's electromigration model (paper Eq. 6) and the design-rule algebra
+// built on it.
+//
+//   TTF = A* j^-n exp(Q / (kB T))
+//
+// The absolute prefactor A* is process-specific; everything the paper needs
+// is a *ratio* of lifetimes, so the API exposes ratios and the equivalent
+// current-density transformations, plus an absolute TTF when the caller
+// supplies A*.
+#pragma once
+
+#include "materials/metal.h"
+
+namespace dsmt::em {
+
+/// Absolute time-to-failure [s] for prefactor `a_star` (same units as the
+/// result), average current density j [A/m^2] and metal temperature T [K].
+double time_to_failure(double a_star, const materials::EmParameters& em,
+                       double j_avg, double t_metal_k);
+
+/// Lifetime ratio TTF(j1, T1) / TTF(j0, T0) — prefactor cancels.
+double lifetime_ratio(const materials::EmParameters& em, double j1, double t1_k,
+                      double j0, double t0_k);
+
+/// The maximum average current density at metal temperature T that still
+/// meets the lifetime achieved by `j0` at `t0` (paper Eq. 12 solved for j):
+///   j_max = j0 * exp[(Q/(n kB)) (1/T - 1/T0)]
+/// For T > T0 this is *smaller* than j0 — hotter metal must carry less.
+double javg_max_at_temperature(const materials::EmParameters& em, double j0,
+                               double t0_k, double t_metal_k);
+
+/// Inverse of the above: the metal temperature at which `javg` exactly meets
+/// the lifetime of `j0` at `t0`. Returns +inf when javg <= 0 is degenerate.
+double temperature_for_javg(const materials::EmParameters& em, double javg,
+                            double j0, double t0_k);
+
+/// Derives the design-rule current density j0 at `t_ref` from accelerated
+/// test conditions: a measured TTF `ttf_test` at (j_test, t_test) scaled to
+/// the lifetime goal `ttf_goal` at `t_ref`:
+///   j0 = j_test * (ttf_test/ttf_goal)^(1/n) * exp[(Q/(n kB))(1/t_ref - 1/t_test)]
+double design_rule_j0(const materials::EmParameters& em, double j_test,
+                      double t_test_k, double ttf_test, double ttf_goal,
+                      double t_ref_k);
+
+/// Lognormal failure statistics: scales a median TTF (t50) to the time at
+/// which `cum_fraction` of a population has failed, given the lognormal
+/// shape parameter sigma. Black's TTF is conventionally quoted at 0.1 %
+/// cumulative failure; this converts between quantiles.
+double lognormal_quantile_time(double t50, double sigma, double cum_fraction);
+
+}  // namespace dsmt::em

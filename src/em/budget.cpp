@@ -1,0 +1,46 @@
+#include "em/budget.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "em/black.h"
+
+namespace dsmt::em {
+
+double per_line_quantile(double chip_quantile, std::size_t n_lines) {
+  if (chip_quantile <= 0.0 || chip_quantile >= 1.0)
+    throw std::invalid_argument("per_line_quantile: quantile outside (0,1)");
+  if (n_lines == 0)
+    throw std::invalid_argument("per_line_quantile: zero lines");
+  return 1.0 - std::pow(1.0 - chip_quantile,
+                        1.0 / static_cast<double>(n_lines));
+}
+
+double median_scale_for_chip(double chip_quantile, double line_quantile,
+                             double sigma, std::size_t n_lines) {
+  const double q_line = per_line_quantile(chip_quantile, n_lines);
+  // The lifetime goal was quoted at `line_quantile`; the chip needs the
+  // same absolute time at the (much smaller) q_line quantile. With
+  // t_q = t50 exp(sigma z_q):  t50_req / t50_single
+  //   = exp(sigma (z_{line_quantile} - z_{q_line})).
+  const double t_line = lognormal_quantile_time(1.0, sigma, line_quantile);
+  const double t_chip = lognormal_quantile_time(1.0, sigma, q_line);
+  return t_line / t_chip;
+}
+
+double derate_j0(const materials::EmParameters& em, double j0,
+                 double median_scale) {
+  if (j0 <= 0.0 || median_scale <= 0.0)
+    throw std::invalid_argument("derate_j0: non-positive inputs");
+  return j0 * std::pow(median_scale, -1.0 / em.current_exponent);
+}
+
+double chip_level_j0(const materials::EmParameters& em, double j0,
+                     double sigma, std::size_t n_lines, double chip_quantile,
+                     double line_quantile) {
+  return derate_j0(
+      em, j0,
+      median_scale_for_chip(chip_quantile, line_quantile, sigma, n_lines));
+}
+
+}  // namespace dsmt::em

@@ -1,0 +1,44 @@
+// Chip-level electromigration budgeting.
+//
+// Black's TTF is quoted for one line at a small cumulative-failure quantile
+// (typically 0.1%). A chip carries millions of stressed segments in series
+// reliability-wise (the first open kills the net), so the *chip-level*
+// lifetime goal must be translated into a tighter per-line requirement —
+// and hence a derated design-rule current density j_o. With lognormal
+// per-line TTFs (median t50, shape sigma) and N independent identical
+// lines, the chip survives to time t with probability (1 - F(t))^N, so the
+// chip-quantile q maps to the per-line quantile 1 - (1-q)^(1/N) ~ q/N.
+#pragma once
+
+#include <cstddef>
+
+#include "materials/metal.h"
+
+namespace dsmt::em {
+
+/// Per-line cumulative-failure quantile that yields chip quantile
+/// `chip_quantile` across `n_lines` independent lines.
+double per_line_quantile(double chip_quantile, std::size_t n_lines);
+
+/// Scale factor on the per-line *median* lifetime required so that the
+/// chip-level quantile at `t_goal` is met, relative to a single line quoted
+/// at `line_quantile` (e.g. 1e-3): returns t50_required / t50_single.
+double median_scale_for_chip(double chip_quantile, double line_quantile,
+                             double sigma, std::size_t n_lines);
+
+/// Derated design-rule current density: j_o scaled so that the lifetime
+/// margin `median_scale` is absorbed through Black's j^-n:
+///   j_derated = j0 * median_scale^(-1/n).
+double derate_j0(const materials::EmParameters& em, double j0,
+                 double median_scale);
+
+/// One-call helper: the design-rule current density for a chip with
+/// `n_lines` stressed segments, given the single-line j0 quoted at
+/// `line_quantile` with lognormal sigma, holding the same lifetime goal and
+/// chip-level quantile `chip_quantile`.
+double chip_level_j0(const materials::EmParameters& em, double j0,
+                     double sigma, std::size_t n_lines,
+                     double chip_quantile = 1e-3,
+                     double line_quantile = 1e-3);
+
+}  // namespace dsmt::em

@@ -1,0 +1,203 @@
+#include "em/crowding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/sparse.h"
+
+namespace dsmt::em {
+
+namespace {
+
+struct Grid {
+  double x0 = 0, y0 = 0, cell = 0;
+  std::size_t nx = 0, ny = 0;
+  std::vector<char> inside;  // nx*ny
+  std::size_t idx(std::size_t i, std::size_t j) const { return j * nx + i; }
+};
+
+Grid rasterize(const std::vector<SheetRect>& rects, double cell) {
+  if (rects.empty()) throw std::invalid_argument("crowding: no rectangles");
+  double x0 = 1e300, x1 = -1e300, y0 = 1e300, y1 = -1e300;
+  for (const auto& r : rects) {
+    if (r.x1 <= r.x0 || r.y1 <= r.y0)
+      throw std::invalid_argument("crowding: degenerate rectangle");
+    x0 = std::min(x0, r.x0);
+    x1 = std::max(x1, r.x1);
+    y0 = std::min(y0, r.y0);
+    y1 = std::max(y1, r.y1);
+  }
+  Grid g;
+  g.x0 = x0;
+  g.y0 = y0;
+  g.cell = cell;
+  g.nx = static_cast<std::size_t>(std::ceil((x1 - x0) / cell - 1e-9));
+  g.ny = static_cast<std::size_t>(std::ceil((y1 - y0) / cell - 1e-9));
+  if (g.nx < 2 || g.ny < 2)
+    throw std::invalid_argument("crowding: cell too large for the shape");
+  g.inside.assign(g.nx * g.ny, 0);
+  for (std::size_t j = 0; j < g.ny; ++j) {
+    const double yc = y0 + (j + 0.5) * cell;
+    for (std::size_t i = 0; i < g.nx; ++i) {
+      const double xc = x0 + (i + 0.5) * cell;
+      for (const auto& r : rects)
+        if (xc >= r.x0 && xc <= r.x1 && yc >= r.y0 && yc <= r.y1) {
+          g.inside[g.idx(i, j)] = 1;
+          break;
+        }
+    }
+  }
+  return g;
+}
+
+/// Cells whose edge lies on the terminal, picked by proximity.
+std::vector<std::size_t> terminal_cells(const Grid& g, const TerminalEdge& t) {
+  std::vector<std::size_t> cells;
+  for (std::size_t j = 0; j < g.ny; ++j) {
+    const double yc = g.y0 + (j + 0.5) * g.cell;
+    for (std::size_t i = 0; i < g.nx; ++i) {
+      if (!g.inside[g.idx(i, j)]) continue;
+      const double xc = g.x0 + (i + 0.5) * g.cell;
+      if (t.vertical) {
+        if (std::abs(xc - t.pos) <= 0.75 * g.cell && yc >= t.lo && yc <= t.hi)
+          cells.push_back(g.idx(i, j));
+      } else {
+        if (std::abs(yc - t.pos) <= 0.75 * g.cell && xc >= t.lo && xc <= t.hi)
+          cells.push_back(g.idx(i, j));
+      }
+    }
+  }
+  if (cells.empty())
+    throw std::invalid_argument("crowding: terminal touches no cells");
+  return cells;
+}
+
+}  // namespace
+
+CrowdingResult solve_crowding(const std::vector<SheetRect>& rects,
+                              const TerminalEdge& source,
+                              const TerminalEdge& sink,
+                              const CrowdingOptions& options) {
+  const Grid g = rasterize(rects, options.cell);
+  const auto src = terminal_cells(g, source);
+  const auto snk = terminal_cells(g, sink);
+
+  // Unknown numbering over inside cells; sink cells are grounded (phi = 0)
+  // so the operator is SPD.
+  std::vector<int> unk(g.nx * g.ny, -1);
+  std::vector<char> grounded(g.nx * g.ny, 0);
+  for (std::size_t c : snk) grounded[c] = 1;
+  std::size_t n_unk = 0;
+  for (std::size_t c = 0; c < g.inside.size(); ++c)
+    if (g.inside[c] && !grounded[c]) unk[c] = static_cast<int>(n_unk++);
+  if (n_unk == 0) throw std::invalid_argument("crowding: everything grounded");
+
+  // Unit sheet conductance between adjacent inside cells (square grid:
+  // conductance per link = sheet conductance, dimensionless in squares).
+  numeric::SparseBuilder builder(n_unk);
+  auto couple = [&](std::size_t a, std::size_t b) {
+    if (!g.inside[a] || !g.inside[b]) return;
+    if (unk[a] >= 0) {
+      builder.add(unk[a], unk[a], 1.0);
+      if (unk[b] >= 0) builder.add(unk[a], unk[b], -1.0);
+    }
+    if (unk[b] >= 0) {
+      builder.add(unk[b], unk[b], 1.0);
+      if (unk[a] >= 0) builder.add(unk[b], unk[a], -1.0);
+    }
+  };
+  for (std::size_t j = 0; j < g.ny; ++j)
+    for (std::size_t i = 0; i < g.nx; ++i) {
+      if (i + 1 < g.nx) couple(g.idx(i, j), g.idx(i + 1, j));
+      if (j + 1 < g.ny) couple(g.idx(i, j), g.idx(i, j + 1));
+    }
+  const numeric::CsrMatrix a(builder);
+
+  // Unit total current divided over the source cells.
+  std::vector<double> rhs(n_unk, 0.0);
+  const double i_per_cell = 1.0 / static_cast<double>(src.size());
+  for (std::size_t c : src)
+    if (unk[c] >= 0) rhs[unk[c]] += i_per_cell;
+
+  std::vector<double> phi(n_unk, 0.0);
+  const auto cg = numeric::conjugate_gradient(
+      a, rhs, phi, {options.cg_rel_tol, options.cg_max_iterations});
+
+  auto pot = [&](std::size_t c) { return unk[c] >= 0 ? phi[unk[c]] : 0.0; };
+
+  // Sheet current density |j| per cell from central differences of phi
+  // (unit sheet conductance: j = -grad phi, per cell width). Report in
+  // units of A per metre of width for a 1 A drive.
+  CrowdingResult res;
+  res.unknowns = n_unk;
+  res.converged = cg.converged;
+  double j_max = 0.0;
+  for (std::size_t j = 0; j < g.ny; ++j)
+    for (std::size_t i = 0; i < g.nx; ++i) {
+      const std::size_t c = g.idx(i, j);
+      if (!g.inside[c]) continue;
+      double jx = 0.0, jy = 0.0;
+      int nx_links = 0, ny_links = 0;
+      if (i > 0 && g.inside[g.idx(i - 1, j)]) {
+        jx += pot(g.idx(i - 1, j)) - pot(c);
+        ++nx_links;
+      }
+      if (i + 1 < g.nx && g.inside[g.idx(i + 1, j)]) {
+        jx += pot(c) - pot(g.idx(i + 1, j));
+        ++nx_links;
+      }
+      if (j > 0 && g.inside[g.idx(i, j - 1)]) {
+        jy += pot(g.idx(i, j - 1)) - pot(c);
+        ++ny_links;
+      }
+      if (j + 1 < g.ny && g.inside[g.idx(i, j + 1)]) {
+        jy += pot(c) - pot(g.idx(i, j + 1));
+        ++ny_links;
+      }
+      if (nx_links) jx /= nx_links;
+      if (ny_links) jy /= ny_links;
+      // Link current = conductance * dphi; per metre of width: / cell.
+      const double jm = std::hypot(jx, jy) / g.cell;
+      j_max = std::max(j_max, jm);
+    }
+  res.j_max = j_max;
+
+  const double src_len =
+      (source.hi - source.lo) > 0 ? (source.hi - source.lo) : g.cell;
+  res.j_nominal = 1.0 / src_len;
+  res.crowding_factor = res.j_max / res.j_nominal;
+
+  // Shape resistance in squares: average source potential (sink at 0).
+  double phi_src = 0.0;
+  for (std::size_t c : src) phi_src += pot(c);
+  res.resistance_squares = phi_src / static_cast<double>(src.size());
+  return res;
+}
+
+CrowdingResult solve_l_bend(double width, double leg,
+                            const CrowdingOptions& options) {
+  if (width <= 0 || leg <= width)
+    throw std::invalid_argument("solve_l_bend: need leg > width > 0");
+  // Horizontal leg from (0,0) to (leg, width); vertical leg rising from
+  // (leg - width, 0) to (leg, leg).
+  std::vector<SheetRect> rects = {
+      {0.0, leg, 0.0, width},
+      {leg - width, leg, 0.0, leg},
+  };
+  TerminalEdge source{true, 0.0, 0.0, width};         // left end
+  TerminalEdge sink{false, leg, leg - width, leg};    // top end
+  return solve_crowding(rects, source, sink, options);
+}
+
+CrowdingResult solve_straight_strip(double width, double length,
+                                    const CrowdingOptions& options) {
+  if (width <= 0 || length <= 0)
+    throw std::invalid_argument("solve_straight_strip: bad shape");
+  std::vector<SheetRect> rects = {{0.0, length, 0.0, width}};
+  TerminalEdge source{true, 0.0, 0.0, width};
+  TerminalEdge sink{true, length, 0.0, width};
+  return solve_crowding(rects, source, sink, options);
+}
+
+}  // namespace dsmt::em

@@ -1,0 +1,64 @@
+// Current crowding in planar interconnect shapes.
+//
+// Black's equation takes one j, but real layouts concentrate current at
+// inner corners of bends and at via landings; EM voids nucleate where the
+// *local* density peaks. This module solves the 2-D current-continuity
+// problem (Laplace for the potential in a uniform-sheet conductor) over a
+// rectilinear polygon, injects current through two terminal edges, and
+// reports the crowding factor max|j| / j_nominal — the multiplier to apply
+// to the design-rule current when the layout bends.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsmt::em {
+
+/// A conductor shape made of axis-aligned rectangles (union), in metres.
+/// Thickness is uniform; the solve is per square (sheet), so only the
+/// planform matters.
+struct SheetRect {
+  double x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+};
+
+/// Terminal: a vertical (x = const) or horizontal (y = const) edge segment
+/// through which current enters or leaves uniformly.
+struct TerminalEdge {
+  bool vertical = true;   ///< true: x = pos, span in y; false: y = pos, span in x
+  double pos = 0.0;
+  double lo = 0.0, hi = 0.0;  ///< span along the edge
+};
+
+struct CrowdingOptions {
+  double cell = 0.05e-6;    ///< grid cell size [m]
+  double cg_rel_tol = 1e-9;
+  int cg_max_iterations = 30000;
+};
+
+struct CrowdingResult {
+  double j_nominal = 0.0;   ///< current / (source-edge length) [A/m of width]
+  double j_max = 0.0;       ///< peak in-plane sheet density [A/m]
+  double crowding_factor = 0.0;  ///< j_max / j_nominal
+  double resistance_squares = 0.0;  ///< shape resistance in squares
+  std::size_t unknowns = 0;
+  bool converged = false;
+};
+
+/// Solves a unit current driven from `source` to `sink` through the union
+/// of `rects`. Throws on degenerate geometry.
+CrowdingResult solve_crowding(const std::vector<SheetRect>& rects,
+                              const TerminalEdge& source,
+                              const TerminalEdge& sink,
+                              const CrowdingOptions& options = {});
+
+/// Convenience: a right-angle bend of two `width`-wide legs of length
+/// `leg` (an L shape). The classic result is a crowding factor well above
+/// 1 concentrated at the inside corner.
+CrowdingResult solve_l_bend(double width, double leg,
+                            const CrowdingOptions& options = {});
+
+/// Convenience: a straight strip (control case, factor ~ 1).
+CrowdingResult solve_straight_strip(double width, double length,
+                                    const CrowdingOptions& options = {});
+
+}  // namespace dsmt::em

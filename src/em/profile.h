@@ -1,0 +1,46 @@
+// Electromigration along a non-isothermal line.
+//
+// The healing-length analysis (thermal/healing.h) shows the temperature
+// peaks mid-line and falls toward via-cooled ends. Black's equation is
+// exponential in 1/T, so EM damage concentrates where the line is hottest:
+// a "thermally long" line is effectively as weak as its mid-point, while a
+// "thermally short" line gains real lifetime from end cooling. This module
+// quantifies that, treating the line as a weakest-link chain of segments
+// with lognormal statistics.
+#pragma once
+
+#include <vector>
+
+#include "materials/metal.h"
+#include "thermal/healing.h"
+
+namespace dsmt::em {
+
+/// Per-position lifetime profile for a line with temperature profile T(x).
+struct LineEmProfile {
+  std::vector<double> x;           ///< [m]
+  std::vector<double> ttf_ratio;   ///< TTF(x) / TTF(T_ref) at the same j
+  double worst_ratio = 0.0;        ///< min over x (the hottest spot)
+  double weakest_link_ratio = 0.0; ///< chain-corrected median ratio
+};
+
+/// Evaluates the EM lifetime profile of a line carrying j_avg with the
+/// given temperature profile (from thermal::finite_line_profile or the FD
+/// solver). `segments_per_link` controls the weakest-link granularity: the
+/// line is treated as independent links of that many profile samples;
+/// `sigma` is the lognormal shape for the chain correction.
+LineEmProfile evaluate_line_em(const materials::EmParameters& em,
+                               const std::vector<double>& x,
+                               const std::vector<double>& t_profile,
+                               double t_ref_k, double sigma = 0.5,
+                               int samples_per_link = 8);
+
+/// Lifetime gain of a thermally short line vs a thermally long one at the
+/// same (j, heating): the ratio of the weakest-link TTF of a line of
+/// `length` to that of an effectively infinite line, both carrying power
+/// `p_per_len` with end clamps at t_ref.
+double short_line_lifetime_gain(const materials::Metal& metal, double w_m,
+                                double t_m, double rth_per_len, double length,
+                                double p_per_len, double t_ref_k);
+
+}  // namespace dsmt::em

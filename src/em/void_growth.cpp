@@ -1,0 +1,108 @@
+#include "em/void_growth.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+
+namespace dsmt::em {
+
+namespace {
+void check_geometry(double w_m, double t_m, double length) {
+  if (w_m <= 0.0 || t_m <= 0.0 || length <= 0.0)
+    throw std::invalid_argument("void_growth: non-positive geometry");
+}
+
+/// Critical void length from the resistance criterion: the voided segment
+/// carries `factor` times the per-length resistance, so
+///   dR/R = (factor - 1) L_void / L  ==> L_crit = crit * L / (factor - 1).
+double critical_void_length(const VoidModelParams& p, double length) {
+  if (p.liner_resistance_factor <= 1.0)
+    throw std::invalid_argument(
+        "void_growth: liner factor must exceed 1 (voided segment must be "
+        "more resistive than the line)");
+  return p.critical_delta_r * length / (p.liner_resistance_factor - 1.0);
+}
+}  // namespace
+
+double drift_velocity(const materials::Metal& metal,
+                      const VoidModelParams& params, double j,
+                      double t_metal_k) {
+  if (j < 0.0 || t_metal_k <= 0.0)
+    throw std::invalid_argument("drift_velocity: bad inputs");
+  const double d_eff =
+      params.d0 *
+      std::exp(-metal.em.activation_energy_ev / (kBoltzmannEv * t_metal_k));
+  return d_eff / (kBoltzmannJ * t_metal_k) * params.z_star *
+         kElementaryCharge * metal.resistivity(t_metal_k) * j;
+}
+
+double nucleation_time(const materials::Metal& metal,
+                       const VoidModelParams& params, double j,
+                       double t_metal_k) {
+  if (j <= 0.0 || t_metal_k <= 0.0)
+    throw std::invalid_argument("nucleation_time: bad inputs");
+  return params.nucleation_b / (j * j) *
+         std::exp(metal.em.activation_energy_ev /
+                  (kBoltzmannEv * t_metal_k));
+}
+
+double time_to_failure_void(const materials::Metal& metal,
+                            const VoidModelParams& params, double w_m,
+                            double t_m, double length, double j,
+                            double t_metal_k) {
+  check_geometry(w_m, t_m, length);
+  const double l_crit = critical_void_length(params, length);
+  const double v = drift_velocity(metal, params, j, t_metal_k);
+  if (v <= 0.0) return std::numeric_limits<double>::infinity();
+  return nucleation_time(metal, params, j, t_metal_k) + l_crit / v;
+}
+
+VoidTrace simulate_void_growth(const materials::Metal& metal,
+                               const VoidModelParams& params, double w_m,
+                               double t_m, double length, double j,
+                               double t_metal_k, double t_max, int samples) {
+  check_geometry(w_m, t_m, length);
+  if (samples < 2) throw std::invalid_argument("simulate_void_growth: samples");
+
+  VoidTrace trace;
+  const double rho = metal.resistivity(t_metal_k);
+  trace.r_initial = rho * length / (w_m * t_m);
+  const double r_per_len = trace.r_initial / length;
+  const double t_nuc = nucleation_time(metal, params, j, t_metal_k);
+  const double v = drift_velocity(metal, params, j, t_metal_k);
+  const double l_crit = critical_void_length(params, length);
+
+  trace.time.reserve(samples);
+  trace.void_length.reserve(samples);
+  trace.resistance.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    const double t = t_max * i / (samples - 1);
+    const double lv =
+        (t > t_nuc && v > 0.0) ? std::min((t - t_nuc) * v, length) : 0.0;
+    const double r = trace.r_initial +
+                     lv * r_per_len * (params.liner_resistance_factor - 1.0);
+    trace.time.push_back(t);
+    trace.void_length.push_back(lv);
+    trace.resistance.push_back(r);
+    if (!trace.failed && lv >= l_crit) {
+      trace.failed = true;
+      trace.ttf = t_nuc + l_crit / v;
+    }
+  }
+  return trace;
+}
+
+double apparent_current_exponent(const materials::Metal& metal,
+                                 const VoidModelParams& params, double w_m,
+                                 double t_m, double length, double j,
+                                 double t_metal_k) {
+  const double f = 1.05;
+  const double t_lo =
+      time_to_failure_void(metal, params, w_m, t_m, length, j / f, t_metal_k);
+  const double t_hi =
+      time_to_failure_void(metal, params, w_m, t_m, length, j * f, t_metal_k);
+  return -std::log(t_hi / t_lo) / std::log(f * f);
+}
+
+}  // namespace dsmt::em

@@ -1,0 +1,119 @@
+#include "esd/failure.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::esd {
+
+const char* to_string(FailureState s) {
+  switch (s) {
+    case FailureState::kSafe:
+      return "safe";
+    case FailureState::kLatentDamage:
+      return "latent-damage";
+    case FailureState::kOpenCircuit:
+      return "open-circuit";
+  }
+  return "?";
+}
+
+StressAssessment assess(const thermal::PulseLineSpec& line,
+                        const CurrentWaveform& i_of_t,
+                        const AssessmentOptions& options) {
+  const double area = line.w_m * line.t_m;
+  auto j_of_t = [&](double t) { return i_of_t(t) / area; };
+
+  const auto pulse =
+      thermal::simulate_pulse(line, j_of_t, options.duration);
+  StressAssessment out;
+  out.peak_temperature = pulse.peak_temperature;
+  out.melt_onset_time = pulse.melt_onset_time;
+
+  if (!pulse.reached_melt) {
+    out.state =
+        (pulse.peak_temperature >=
+         line.metal.t_melt - options.latent_margin_k)
+            ? FailureState::kLatentDamage  // grazed the melting point
+            : FailureState::kSafe;
+    if (out.state == FailureState::kLatentDamage) {
+      // Near-melt excursion: mild derating proportional to how close it got.
+      const double frac =
+          (pulse.peak_temperature -
+           (line.metal.t_melt - options.latent_margin_k)) /
+          options.latent_margin_k;
+      out.em_lifetime_derating =
+          1.0 - frac * (1.0 - options.full_melt_derating) * 0.5;
+    }
+    return out;
+  }
+
+  // Past melt onset: integrate the excess heating into the latent heat with
+  // temperature clamped at T_melt (conservative for the loss term).
+  const auto& m = line.metal;
+  const double rho_melt = m.resistivity(m.t_melt);
+  const double loss_g =
+      line.rth_per_len > 0.0 ? 1.0 / line.rth_per_len : 0.0;
+  const double loss_per_vol = loss_g * (m.t_melt - line.t_ref) / area;
+
+  double fusion_energy = 0.0;  // J/m^3 absorbed past onset
+  const int steps = 4000;
+  const double t0 = pulse.melt_onset_time;
+  const double dt = (options.duration - t0) / steps;
+  for (int i = 0; i < steps && fusion_energy < m.latent_heat; ++i) {
+    const double t = t0 + (i + 0.5) * dt;
+    const double j = j_of_t(t);
+    const double net = j * j * rho_melt - loss_per_vol;
+    if (net > 0.0) fusion_energy += net * dt;
+  }
+  out.fusion_fraction = std::min(fusion_energy / m.latent_heat, 1.0);
+
+  if (out.fusion_fraction >= 1.0) {
+    out.state = FailureState::kOpenCircuit;
+    out.em_lifetime_derating = 0.0;
+  } else {
+    out.state = FailureState::kLatentDamage;
+    out.em_lifetime_derating =
+        1.0 - out.fusion_fraction * (1.0 - options.full_melt_derating);
+  }
+  return out;
+}
+
+double critical_jpeak_melt_onset(const materials::Metal& metal, double t_pulse,
+                                 double t_start_k) {
+  thermal::PulseLineSpec spec;
+  spec.metal = metal;
+  spec.w_m = 1e-6;  // geometry cancels in the adiabatic limit
+  spec.t_m = 1e-6;
+  spec.t_ref = t_start_k;
+  return thermal::critical_current_density_adiabatic(spec, t_pulse);
+}
+
+double critical_jpeak_open(const materials::Metal& metal, double t_pulse,
+                           double t_start_k) {
+  if (t_pulse <= 0.0)
+    throw std::invalid_argument("critical_jpeak_open: width <= 0");
+  // Adiabatic energy budget: heat to melt + full latent heat within t_pulse.
+  //   t_pulse = C_v ln(rho_m/rho_0)/(rho' j^2) + L/(j^2 rho_m)
+  const double drho = metal.rho_ref * metal.tcr;
+  const double rho0 = metal.resistivity(t_start_k);
+  const double rho_m = metal.resistivity(metal.t_melt);
+  double energy_term;
+  if (drho > 0.0) {
+    energy_term = metal.c_volumetric * std::log(rho_m / rho0) / drho;
+  } else {
+    energy_term = metal.c_volumetric * (metal.t_melt - t_start_k) / rho0;
+  }
+  energy_term += metal.latent_heat / rho_m;
+  return std::sqrt(energy_term / t_pulse);
+}
+
+double min_width_for_esd(const materials::Metal& metal, double i_peak,
+                         double t_pulse, double t_m, double t_start_k,
+                         double safety_factor) {
+  if (i_peak <= 0.0 || t_m <= 0.0 || safety_factor < 1.0)
+    throw std::invalid_argument("min_width_for_esd: bad inputs");
+  const double j_crit = critical_jpeak_melt_onset(metal, t_pulse, t_start_k);
+  return i_peak * safety_factor / (j_crit * t_m);
+}
+
+}  // namespace dsmt::esd

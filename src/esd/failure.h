@@ -1,0 +1,71 @@
+// Short-pulse high-current interconnect failure model (Banerjee et al. [8])
+// and latent-damage assessment ([9]) — paper Section 6.
+//
+// Under sub-200-ns stress the line heats nearly adiabatically. Failure
+// states, in order of increasing severity:
+//   kSafe            peak temperature below the latent-damage threshold
+//   kLatentDamage    metal melted (fully or partially) but the line
+//                    resolidified — the line survives electrically yet its
+//                    EM lifetime is degraded [9]
+//   kOpenCircuit     enough energy to melt the full cross-section and
+//                    (heuristically) vaporize/open the line
+// The paper's reference point: ~60 MA/cm^2 opens AlCu lines on ESD time
+// scales.
+#pragma once
+
+#include "esd/waveforms.h"
+#include "materials/metal.h"
+#include "thermal/transient.h"
+
+namespace dsmt::esd {
+
+enum class FailureState { kSafe, kLatentDamage, kOpenCircuit };
+
+const char* to_string(FailureState s);
+
+/// Assessment of one stress event on one line.
+struct StressAssessment {
+  FailureState state = FailureState::kSafe;
+  double peak_temperature = 0.0;   ///< [K]
+  double melt_onset_time = -1.0;   ///< [s], -1 if never reached
+  double fusion_fraction = 0.0;    ///< energy past melt onset / latent heat
+  /// Multiplicative EM lifetime derating from latent damage, 1.0 if safe.
+  double em_lifetime_derating = 1.0;
+};
+
+/// Options for the assessment.
+struct AssessmentOptions {
+  double duration = 800e-9;          ///< integration window [s]
+  double latent_margin_k = 50.0;     ///< "safe" if T_peak < T_melt - margin
+  /// Empirical EM derating at full melt/resolidification (ref. [9] observed
+  /// order-of-magnitude lifetime losses); scales linearly with the melt
+  /// fraction.
+  double full_melt_derating = 0.1;
+};
+
+/// Integrates the lumped thermal balance for the waveform and classifies
+/// the outcome.
+StressAssessment assess(const thermal::PulseLineSpec& line,
+                        const CurrentWaveform& i_of_t,
+                        const AssessmentOptions& options = {});
+
+/// Critical current density [A/m^2] for open-circuit failure under a
+/// rectangular pulse of width `t_pulse`: melt onset plus the full latent
+/// heat of fusion within the pulse (adiabatic).
+double critical_jpeak_open(const materials::Metal& metal, double t_pulse,
+                           double t_start_k);
+
+/// Critical current density for melt onset only (latent-damage threshold).
+double critical_jpeak_melt_onset(const materials::Metal& metal, double t_pulse,
+                                 double t_start_k);
+
+/// Minimum line width [m] such that an ESD current `i_peak` of width
+/// `t_pulse` stays below the melt-onset threshold with `safety_factor`
+/// (>= 1) margin, for a line of thickness t_m. This is the paper's "design
+/// interconnects in ESD protection circuits and I/O buffers separately"
+/// rule, solved for geometry.
+double min_width_for_esd(const materials::Metal& metal, double i_peak,
+                         double t_pulse, double t_m, double t_start_k,
+                         double safety_factor = 1.5);
+
+}  // namespace dsmt::esd

@@ -1,0 +1,67 @@
+#include "extraction/capmodel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+
+namespace dsmt::extraction {
+
+namespace {
+void check_positive(double v, const char* what) {
+  if (v <= 0.0)
+    throw std::invalid_argument(std::string("capmodel: non-positive ") + what);
+}
+}  // namespace
+
+double cap_ground_single(double width, double thickness, double height,
+                         double k_rel) {
+  check_positive(width, "width");
+  check_positive(thickness, "thickness");
+  check_positive(height, "height");
+  check_positive(k_rel, "k_rel");
+  const double eps = k_rel * kEpsilon0;
+  return eps * (1.15 * (width / height) +
+                2.80 * std::pow(thickness / height, 0.222));
+}
+
+double cap_coupling(double width, double thickness, double height,
+                    double spacing, double k_rel) {
+  check_positive(width, "width");
+  check_positive(thickness, "thickness");
+  check_positive(height, "height");
+  check_positive(spacing, "spacing");
+  check_positive(k_rel, "k_rel");
+  const double eps = k_rel * kEpsilon0;
+  const double term = 0.03 * (width / height) + 0.83 * (thickness / height) -
+                      0.07 * std::pow(thickness / height, 0.222);
+  const double value = eps * term * std::pow(spacing / height, -1.34);
+  return std::max(value, 0.0);
+}
+
+BusCapacitance cap_bus(double width, double thickness, double height,
+                       double spacing, double k_rel) {
+  BusCapacitance c;
+  c.c_ground = cap_ground_single(width, thickness, height, k_rel);
+  c.c_coupling = cap_coupling(width, thickness, height, spacing, k_rel);
+  return c;
+}
+
+double cap_parallel_plate(double width, double height, double k_rel) {
+  check_positive(width, "width");
+  check_positive(height, "height");
+  check_positive(k_rel, "k_rel");
+  return k_rel * kEpsilon0 * width / height;
+}
+
+double wire_inductance_per_m(double width, double thickness, double height) {
+  check_positive(width, "width");
+  check_positive(thickness, "thickness");
+  check_positive(height, "height");
+  constexpr double mu0_over_2pi = 2.0e-7;  // H/m
+  const double w_eff = width + thickness;
+  return mu0_over_2pi *
+         std::log(8.0 * height / w_eff + w_eff / (4.0 * height));
+}
+
+}  // namespace dsmt::extraction

@@ -1,0 +1,52 @@
+// Compact per-unit-length capacitance models for VLSI interconnects.
+//
+// Implements Sakurai's closed-form coupled-line expressions (T. Sakurai,
+// "Closed-form expressions for interconnection delay, coupling, and
+// crosstalk in VLSIs", IEEE TED 40(1), 1993):
+//   C_ground/eps   = 1.15 (W/h) + 2.80 (t/h)^0.222
+//   C_coupling/eps = [0.03 (W/h) + 0.83 (t/h) - 0.07 (t/h)^0.222] (s/h)^-1.34
+// where W = width, t = thickness, h = height above the ground plane and
+// s = edge-to-edge spacing, eps = k_rel * eps0.
+//
+// These are the paper's SPACE3D substitute for computing the distributed
+// line capacitance `c` in the repeater optimization (Eqs. 16-17); the 2-D
+// Laplace extractor (laplace2d.h) provides the field-solver cross-check.
+#pragma once
+
+namespace dsmt::extraction {
+
+/// Single line over a ground plane (Sakurai-Tamaru), [F/m].
+double cap_ground_single(double width, double thickness, double height,
+                         double k_rel);
+
+/// Per-neighbor coupling capacitance of coupled lines, [F/m].
+double cap_coupling(double width, double thickness, double height,
+                    double spacing, double k_rel);
+
+/// Components of the total capacitance of the center line of a 3-line bus
+/// over a ground plane.
+struct BusCapacitance {
+  double c_ground = 0.0;    ///< to the plane below [F/m]
+  double c_coupling = 0.0;  ///< to ONE neighbor [F/m]
+  /// Effective switching capacitance with Miller factor `mcf` on both
+  /// neighbors (1 = quiet neighbors, 2 = worst-case opposite switching).
+  double total(double mcf = 1.0) const {
+    return c_ground + 2.0 * mcf * c_coupling;
+  }
+};
+
+/// Sakurai model for the center line of a bus at pitch = width + spacing.
+BusCapacitance cap_bus(double width, double thickness, double height,
+                       double spacing, double k_rel);
+
+/// Parallel-plate limit (sanity reference): eps * W / h.
+double cap_parallel_plate(double width, double height, double k_rel);
+
+/// Per-unit-length self-inductance of a wire over a ground plane
+/// (microstrip approximation):
+///   L' = (mu0 / 2pi) ln(8h/w_eff + w_eff/(4h)),  w_eff = w + t.
+/// Used to test whether the paper's RC-only treatment of global lines is
+/// justified (see bench_ablation_inductance).
+double wire_inductance_per_m(double width, double thickness, double height);
+
+}  // namespace dsmt::extraction

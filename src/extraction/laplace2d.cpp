@@ -1,0 +1,176 @@
+#include "extraction/laplace2d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+#include "numeric/mesh.h"
+#include "numeric/sparse.h"
+
+namespace dsmt::extraction {
+
+CapExtractor::CapExtractor(double width, double height, double k_background)
+    : width_(width), height_(height), k_background_(k_background) {
+  if (width <= 0 || height <= 0 || k_background <= 0)
+    throw std::invalid_argument("CapExtractor: bad domain");
+}
+
+void CapExtractor::add_dielectric(const RectRegion& r, double k_rel) {
+  if (k_rel <= 0) throw std::invalid_argument("add_dielectric: k <= 0");
+  paints_.push_back({r, k_rel});
+}
+
+std::size_t CapExtractor::add_conductor(const RectRegion& r) {
+  if (r.width() <= 0 || r.height() <= 0)
+    throw std::invalid_argument("add_conductor: empty region");
+  conductors_.push_back(r);
+  return conductors_.size() - 1;
+}
+
+numeric::Matrix CapExtractor::capacitance_matrix(
+    const MeshOptions& opts) const {
+  const std::size_t nc = conductors_.size();
+  if (nc == 0) throw std::logic_error("CapExtractor: no conductors");
+
+  // Mesh.
+  std::set<double> xb, yb;
+  for (const auto& p : paints_) {
+    xb.insert(std::clamp(p.r.x0, 0.0, width_));
+    xb.insert(std::clamp(p.r.x1, 0.0, width_));
+    yb.insert(std::clamp(p.r.y0, 0.0, height_));
+    yb.insert(std::clamp(p.r.y1, 0.0, height_));
+  }
+  for (const auto& c : conductors_) {
+    xb.insert(c.x0);
+    xb.insert(c.x1);
+    yb.insert(c.y0);
+    yb.insert(c.y1);
+  }
+  const auto xe = numeric::graded_axis(xb, 0.0, width_, opts.h_min, opts.h_max);
+  const auto ye = numeric::graded_axis(yb, 0.0, height_, opts.h_min, opts.h_max);
+  const std::size_t nx = xe.size() - 1, ny = ye.size() - 1;
+  std::vector<double> xc(nx), dx(nx), yc(ny), dy(ny);
+  for (std::size_t i = 0; i < nx; ++i) {
+    dx[i] = xe[i + 1] - xe[i];
+    xc[i] = 0.5 * (xe[i] + xe[i + 1]);
+  }
+  for (std::size_t j = 0; j < ny; ++j) {
+    dy[j] = ye[j + 1] - ye[j];
+    yc[j] = 0.5 * (ye[j] + ye[j + 1]);
+  }
+  auto cell = [nx](std::size_t i, std::size_t j) { return j * nx + i; };
+
+  // Permittivity per cell (relative; eps0 applied at the end).
+  std::vector<double> eps(nx * ny, k_background_);
+  for (const auto& p : paints_)
+    for (std::size_t j = 0; j < ny; ++j) {
+      if (yc[j] < p.r.y0 || yc[j] > p.r.y1) continue;
+      for (std::size_t i = 0; i < nx; ++i)
+        if (xc[i] >= p.r.x0 && xc[i] <= p.r.x1) eps[cell(i, j)] = p.k;
+    }
+
+  // Conductor ownership per cell: -1 free, else conductor index.
+  std::vector<int> owner(nx * ny, -1);
+  for (std::size_t c = 0; c < nc; ++c) {
+    const auto& r = conductors_[c];
+    bool hit = false;
+    for (std::size_t j = 0; j < ny; ++j) {
+      if (yc[j] < r.y0 || yc[j] > r.y1) continue;
+      for (std::size_t i = 0; i < nx; ++i)
+        if (xc[i] >= r.x0 && xc[i] <= r.x1) {
+          owner[cell(i, j)] = static_cast<int>(c);
+          hit = true;
+        }
+    }
+    if (!hit) throw std::runtime_error("CapExtractor: conductor unresolved");
+  }
+
+  // Unknowns: free cells above the grounded bottom row.
+  std::vector<int> unk(nx * ny, -1);
+  std::size_t n_unk = 0;
+  for (std::size_t j = 1; j < ny; ++j)
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t c = cell(i, j);
+      if (owner[c] < 0) unk[c] = static_cast<int>(n_unk++);
+    }
+
+  auto face_g = [&](std::size_t c1, std::size_t c2, double w1, double w2,
+                    double area) {
+    return area / (0.5 * w1 / eps[c1] + 0.5 * w2 / eps[c2]);
+  };
+
+  // Assemble once; RHS changes with the energized conductor.
+  numeric::SparseBuilder builder(n_unk);
+  // For the RHS we record, per unknown, its conductances to each conductor.
+  std::vector<std::vector<std::pair<int, double>>> cond_links(n_unk);
+
+  for (std::size_t j = 1; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t c = cell(i, j);
+      const int row = unk[c];
+      if (row < 0) continue;
+      double diag = 0.0;
+      auto couple = [&](std::size_t cn, double g) {
+        diag += g;
+        if (unk[cn] >= 0) {
+          builder.add(row, unk[cn], -g);
+        } else if (owner[cn] >= 0) {
+          cond_links[row].push_back({owner[cn], g});
+        }
+        // else: grounded bottom row — g contributes to diagonal only.
+      };
+      if (i > 0) couple(cell(i - 1, j), face_g(c, cell(i - 1, j), dx[i], dx[i - 1], dy[j]));
+      if (i + 1 < nx) couple(cell(i + 1, j), face_g(c, cell(i + 1, j), dx[i], dx[i + 1], dy[j]));
+      couple(cell(i, j - 1), face_g(c, cell(i, j - 1), dy[j], dy[j - 1], dx[i]));
+      if (j + 1 < ny) couple(cell(i, j + 1), face_g(c, cell(i, j + 1), dy[j], dy[j + 1], dx[i]));
+      builder.add(row, row, diag);
+    }
+  }
+  const numeric::CsrMatrix a(builder);
+
+  // Precompute, for every conductor i, the list of (free-cell unknown, g)
+  // faces — needed for charge integration.
+  // cond_links already maps unknown -> (conductor, g); invert it.
+  std::vector<std::vector<std::pair<int, double>>> flux_faces(nc);
+  for (std::size_t u = 0; u < n_unk; ++u)
+    for (const auto& [ci, g] : cond_links[u])
+      flux_faces[ci].push_back({static_cast<int>(u), g});
+
+  // Conductor-to-ground and conductor-to-conductor direct faces: if two
+  // conductor cells touch, the ideal conductors short — assume geometries
+  // do not overlap. Direct conductor-to-bottom faces contribute to charge
+  // when the conductor touches y=0 region; our conductors float above, so
+  // we ignore that case.
+
+  numeric::Matrix cap(nc, nc, 0.0);
+  for (std::size_t energized = 0; energized < nc; ++energized) {
+    std::vector<double> rhs(n_unk, 0.0);
+    for (std::size_t u = 0; u < n_unk; ++u)
+      for (const auto& [ci, g] : cond_links[u])
+        if (ci == static_cast<int>(energized)) rhs[u] += g;  // V = 1
+
+    std::vector<double> v(n_unk, 0.0);
+    const auto cg = numeric::conjugate_gradient(
+        a, rhs, v, {opts.cg_rel_tol, opts.cg_max_iterations});
+    if (!cg.converged)
+      throw std::runtime_error("CapExtractor: CG did not converge");
+
+    for (std::size_t ci = 0; ci < nc; ++ci) {
+      const double v_cond = (ci == energized) ? 1.0 : 0.0;
+      double q = 0.0;
+      for (const auto& [u, g] : flux_faces[ci]) q += g * (v_cond - v[u]);
+      cap(ci, energized) = q * kEpsilon0;
+    }
+  }
+  return cap;
+}
+
+double CapExtractor::total_capacitance(std::size_t j,
+                                       const MeshOptions& mesh) const {
+  const auto c = capacitance_matrix(mesh);
+  return c(j, j);
+}
+
+}  // namespace dsmt::extraction

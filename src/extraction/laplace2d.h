@@ -1,0 +1,55 @@
+// 2-D electrostatic field solver for capacitance extraction — the
+// field-solver cross-check for the compact models in capmodel.h and the
+// in-house substitute for the SPACE3D extraction the paper used.
+//
+// Solves div(eps grad V) = 0 on a rectilinear finite-volume mesh with
+// embedded ideal conductors (internal Dirichlet regions) and a grounded
+// bottom plane. The Maxwell capacitance matrix column for conductor j is
+// obtained by setting V_j = 1 V, all others 0, and integrating the flux
+// into each conductor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/dense.h"
+#include "thermal/fd2d.h"  // reuses RectRegion and MeshOptions
+
+namespace dsmt::extraction {
+
+using thermal::MeshOptions;
+using thermal::RectRegion;
+
+class CapExtractor {
+ public:
+  /// Domain [0,width]x[0,height] with background permittivity k_background
+  /// (relative). The bottom edge (y = 0) is a grounded plane; other outer
+  /// boundaries are Neumann (zero normal field).
+  CapExtractor(double width, double height, double k_background);
+
+  /// Paints a dielectric rectangle (later overrides earlier).
+  void add_dielectric(const RectRegion& r, double k_rel);
+  /// Adds an ideal conductor; returns its index.
+  std::size_t add_conductor(const RectRegion& r);
+
+  std::size_t conductor_count() const { return conductors_.size(); }
+
+  /// Full Maxwell capacitance matrix [F/m]: C(i,j) = charge on conductor i
+  /// with V_j = 1, others grounded. Diagonal positive, off-diagonal
+  /// negative; -C(i,j) is the usual coupling capacitance.
+  numeric::Matrix capacitance_matrix(const MeshOptions& mesh = {}) const;
+
+  /// Total capacitance of conductor j (to ground + all others) = C(j,j).
+  double total_capacitance(std::size_t j, const MeshOptions& mesh = {}) const;
+
+ private:
+  double width_, height_, k_background_;
+  struct Paint {
+    RectRegion r;
+    double k;
+  };
+  std::vector<Paint> paints_;
+  std::vector<RectRegion> conductors_;
+};
+
+}  // namespace dsmt::extraction

@@ -1,0 +1,19 @@
+#include "extraction/wire_rc.h"
+
+namespace dsmt::extraction {
+
+WireRC extract_wire_rc(const tech::Technology& technology, int level,
+                       double k_rel, double temperature_k) {
+  const auto& layer = technology.layer(level);
+  WireRC rc;
+  rc.r_per_m =
+      technology.wire_resistance_per_m(level, layer.width, temperature_k);
+  const auto bus = cap_bus(layer.width, layer.thickness, layer.ild_below,
+                           layer.spacing(), k_rel);
+  rc.c_ground_per_m = bus.c_ground;
+  rc.c_coupling_per_m = bus.c_coupling;
+  rc.c_per_m = bus.total(1.0);
+  return rc;
+}
+
+}  // namespace dsmt::extraction

@@ -1,0 +1,28 @@
+// Per-unit-length wire parasitics for a technology level — the `r` and `c`
+// consumed by the repeater optimizer (paper Eqs. 16-17).
+#pragma once
+
+#include "extraction/capmodel.h"
+#include "tech/technology.h"
+
+namespace dsmt::extraction {
+
+/// Distributed parasitics of a minimum-pitch wire on a level.
+struct WireRC {
+  double r_per_m = 0.0;        ///< [Ohm/m] at the evaluation temperature
+  double c_per_m = 0.0;        ///< total [F/m] (ground + both neighbors)
+  double c_ground_per_m = 0.0; ///< [F/m]
+  double c_coupling_per_m = 0.0;  ///< to ONE neighbor [F/m]
+};
+
+/// Extracts r and c for the level's default width/pitch, with a homogeneous
+/// insulator of relative permittivity `k_rel` (the paper's Tables 5-6 use
+/// k = 4.0 for 0.25 um oxide and k = 2.0 for the 0.1 um low-k case). The
+/// capacitance ground plane is the metal level below (distance = ild_below);
+/// resistance is evaluated at `temperature_k`. Miller factor 1 (quiet
+/// neighbors) is used for the delay-optimal c; crosstalk studies can rescale
+/// with BusCapacitance::total.
+WireRC extract_wire_rc(const tech::Technology& technology, int level,
+                       double k_rel, double temperature_k);
+
+}  // namespace dsmt::extraction

@@ -1,0 +1,36 @@
+#include "materials/dielectric.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace dsmt::materials {
+
+Dielectric make_oxide() { return {"Oxide", 4.0, 1.15, 1.65e6}; }
+Dielectric make_hsq() { return {"HSQ", 2.9, 0.60, 1.2e6}; }
+Dielectric make_polyimide() { return {"Polyimide", 3.0, 0.25, 1.55e6}; }
+Dielectric make_fsg() { return {"FSG", 3.5, 1.00, 1.6e6}; }
+Dielectric make_aerogel() { return {"Aerogel", 2.0, 0.10, 0.3e6}; }
+Dielectric make_air() { return {"Air", 1.0, 0.026, 1.2e3}; }
+
+Dielectric dielectric_by_name(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key == "oxide" || key == "sio2" || key == "peteos") return make_oxide();
+  if (key == "hsq") return make_hsq();
+  if (key == "polyimide" || key == "pi") return make_polyimide();
+  if (key == "fsg" || key == "siof") return make_fsg();
+  if (key == "aerogel" || key == "xerogel") return make_aerogel();
+  if (key == "air") return make_air();
+  std::string msg = "dielectric_by_name: unknown dielectric '";
+  msg += name;
+  msg += '\'';
+  throw std::out_of_range(msg);
+}
+
+std::vector<Dielectric> paper_dielectrics() {
+  return {make_oxide(), make_hsq(), make_polyimide()};
+}
+
+}  // namespace dsmt::materials

@@ -1,0 +1,40 @@
+// Inter/intra-level dielectric properties. The paper's Table 1 gives the
+// thermal conductivities that drive the entire low-k story: oxide (PETEOS)
+// 1.15, HSQ 0.6, polyimide 0.25 W/(m*K).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsmt::materials {
+
+/// An insulating film.
+struct Dielectric {
+  std::string name;
+  double rel_permittivity = 4.0;  ///< k (electrical), relative to eps0
+  double k_thermal = 1.15;        ///< thermal conductivity [W/(m*K)]
+  double c_volumetric = 1.6e6;    ///< volumetric heat capacity [J/(m^3*K)]
+};
+
+/// PETEOS silicon dioxide: k_el = 4.0, K_th = 1.15 W/m*K (paper Table 1).
+Dielectric make_oxide();
+/// Hydrogen silsesquioxane: k_el = 2.9, K_th = 0.6 W/m*K (paper Table 1).
+Dielectric make_hsq();
+/// Polyimide: k_el = 2.9..3.2 (we use 3.0), K_th = 0.25 W/m*K (paper Table 1).
+Dielectric make_polyimide();
+/// Fluorinated silicate glass: k_el = 3.5, K_th = 1.0 W/m*K.
+Dielectric make_fsg();
+/// Silica aerogel / xerogel (ultra low-k extension case): k_el = 2.0,
+/// K_th = 0.1 W/m*K.
+Dielectric make_aerogel();
+/// Air gap (for bounding analyses): k_el = 1.0, K_th = 0.026 W/m*K.
+Dielectric make_air();
+
+/// Case-insensitive lookup ("oxide", "hsq", "polyimide", "fsg", "aerogel",
+/// "air"). Throws std::out_of_range on unknown names.
+Dielectric dielectric_by_name(const std::string& name);
+
+/// The three dielectrics of the paper's tables, in paper order.
+std::vector<Dielectric> paper_dielectrics();
+
+}  // namespace dsmt::materials

@@ -1,0 +1,94 @@
+#include "materials/metal.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+
+namespace dsmt::materials {
+
+double Metal::resistivity(double temperature_k) const {
+  const double rho = rho_ref * (1.0 + tcr * (temperature_k - t_ref));
+  return std::max(rho, 0.01 * rho_ref);
+}
+
+double Metal::sheet_resistance(double thickness_m, double temperature_k) const {
+  if (thickness_m <= 0.0)
+    throw std::invalid_argument("Metal::sheet_resistance: thickness <= 0");
+  return resistivity(temperature_k) / thickness_m;
+}
+
+Metal make_copper() {
+  Metal m;
+  m.name = "Cu";
+  m.rho_ref = dsmt::uohm_cm(1.67);  // paper Fig. 2 caption, at 100 degC
+  m.t_ref = dsmt::kTrefK;
+  m.tcr = 6.8e-3;
+  m.k_thermal = 395.0;
+  m.c_volumetric = 3.45e6;
+  m.t_melt = 1357.8;       // 1084.6 degC
+  m.latent_heat = 1.83e9;  // 204.6 kJ/kg * 8960 kg/m^3
+  m.em.activation_energy_ev = 0.8;  // Cu interface/surface diffusion
+  m.em.current_exponent = 2.0;
+  m.em.design_rule_javg = dsmt::MA_per_cm2(0.6);
+  return m;
+}
+
+Metal make_alcu() {
+  Metal m;
+  m.name = "AlCu";
+  m.rho_ref = dsmt::uohm_cm(3.25);  // Al-0.5%Cu at 100 degC
+  m.t_ref = dsmt::kTrefK;
+  m.tcr = 3.9e-3;
+  m.k_thermal = 200.0;
+  m.c_volumetric = 2.44e6;
+  m.t_melt = 933.5;        // ~660 degC
+  m.latent_heat = 1.08e9;  // 398 kJ/kg * 2700 kg/m^3
+  m.em.activation_energy_ev = 0.7;  // paper: ~0.7 eV for AlCu
+  m.em.current_exponent = 2.0;
+  m.em.design_rule_javg = dsmt::MA_per_cm2(0.6);
+  return m;
+}
+
+Metal make_aluminum() {
+  Metal m = make_alcu();
+  m.name = "Al";
+  m.rho_ref = dsmt::uohm_cm(3.55);  // pure Al at 100 degC
+  m.tcr = 4.2e-3;
+  m.k_thermal = 237.0;
+  return m;
+}
+
+Metal make_tungsten() {
+  Metal m;
+  m.name = "W";
+  m.rho_ref = dsmt::uohm_cm(7.0);  // CVD W film at 100 degC
+  m.t_ref = dsmt::kTrefK;
+  m.tcr = 4.5e-3;
+  m.k_thermal = 173.0;
+  m.c_volumetric = 2.58e6;
+  m.t_melt = 3695.0;
+  m.latent_heat = 3.68e9;
+  m.em.activation_energy_ev = 1.0;  // W is effectively EM-immune
+  m.em.current_exponent = 2.0;
+  m.em.design_rule_javg = dsmt::MA_per_cm2(2.0);
+  return m;
+}
+
+Metal metal_by_name(const std::string& name) {
+  std::string key = name;
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (key == "cu" || key == "copper") return make_copper();
+  if (key == "alcu" || key == "al-cu") return make_alcu();
+  if (key == "al" || key == "aluminum" || key == "aluminium")
+    return make_aluminum();
+  if (key == "w" || key == "tungsten") return make_tungsten();
+  std::string msg = "metal_by_name: unknown metal '";
+  msg += name;
+  msg += '\'';
+  throw std::out_of_range(msg);
+}
+
+}  // namespace dsmt::materials

@@ -1,0 +1,61 @@
+// Interconnect metal properties: temperature-dependent resistivity, thermal
+// transport, thermodynamics for melt/ESD analysis, and electromigration
+// parameters (Black's-equation activation energy, exponent, and the
+// technology's design-rule current density j_o).
+#pragma once
+
+#include <string>
+
+namespace dsmt::materials {
+
+/// Electromigration parameters for Black's equation
+///   TTF = A * j^-n * exp(Q / (kB * T)).
+struct EmParameters {
+  double activation_energy_ev = 0.7;  ///< Q [eV] (grain-boundary diffusion)
+  double current_exponent = 2.0;      ///< n (typically 2 in use conditions)
+  /// Design-rule average current density at T_ref giving the lifetime goal
+  /// (e.g. 10 yr at 100 degC), [A/m^2]. The paper uses 0.6 MA/cm^2 for AlCu
+  /// and up to 3x that for Cu.
+  double design_rule_javg = 6.0e9;
+};
+
+/// An interconnect metal. Resistivity follows the linear model used in the
+/// paper: rho(T) = rho_ref * (1 + tcr * (T - T_ref)).
+struct Metal {
+  std::string name;
+  double rho_ref = 1.67e-8;    ///< resistivity at reference temp [Ohm*m]
+  double t_ref = 373.15;       ///< reference temperature for rho_ref [K]
+  double tcr = 6.8e-3;         ///< temperature coefficient of rho [1/K]
+  double k_thermal = 400.0;    ///< thermal conductivity [W/(m*K)]
+  double c_volumetric = 3.45e6;///< volumetric heat capacity [J/(m^3*K)]
+  double t_melt = 1357.8;      ///< melting point [K]
+  double latent_heat = 1.77e9; ///< volumetric heat of fusion [J/m^3]
+  EmParameters em;
+
+  /// rho(T) [Ohm*m]; clamped below at 1% of rho_ref to stay physical if a
+  /// caller extrapolates far below t_ref.
+  double resistivity(double temperature_k) const;
+
+  /// Sheet resistance [Ohm/sq] of a film of thickness t at temperature T.
+  double sheet_resistance(double thickness_m, double temperature_k) const;
+};
+
+/// Copper with the paper's Fig. 2 resistivity model (rho = 1.67 uOhm*cm at
+/// 100 degC, TCR 6.8e-3 /degC) and Cu bulk thermal/thermodynamic data.
+Metal make_copper();
+
+/// Al-0.5%Cu alloy: rho = 3.25 uOhm*cm at 100 degC, TCR 3.9e-3 /degC,
+/// Q = 0.7 eV, melting 660 degC. Matches the paper's AlCu analyses.
+Metal make_alcu();
+
+/// Pure aluminum (reference / unit tests).
+Metal make_aluminum();
+
+/// Tungsten (via/plug material; used by the ESD sizing example).
+Metal make_tungsten();
+
+/// Looks a metal up by case-insensitive name ("cu", "alcu", "al", "w").
+/// Throws std::out_of_range for unknown names.
+Metal metal_by_name(const std::string& name);
+
+}  // namespace dsmt::materials

@@ -1,0 +1,40 @@
+#include "numeric/interp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dsmt::numeric {
+
+LinearInterpolant::LinearInterpolant(std::vector<double> x,
+                                     std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  if (x_.size() != y_.size() || x_.size() < 2)
+    throw std::invalid_argument("LinearInterpolant: need >=2 points");
+  for (std::size_t i = 1; i < x_.size(); ++i)
+    if (x_[i] <= x_[i - 1])
+      throw std::invalid_argument(
+          "LinearInterpolant: abscissae must be strictly increasing");
+}
+
+double LinearInterpolant::operator()(double xq) const {
+  if (xq <= x_.front()) return y_.front();
+  if (xq >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), xq);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin());
+  const double t = (xq - x_[i - 1]) / (x_[i] - x_[i - 1]);
+  return y_[i - 1] + t * (y_[i] - y_[i - 1]);
+}
+
+std::pair<std::vector<double>, std::vector<double>> LinearInterpolant::resample(
+    int n) const {
+  if (n < 2) throw std::invalid_argument("resample: n < 2");
+  std::vector<double> xs(n), ys(n);
+  const double h = (x_.back() - x_.front()) / (n - 1);
+  for (int i = 0; i < n; ++i) {
+    xs[i] = x_.front() + i * h;
+    ys[i] = (*this)(xs[i]);
+  }
+  return {std::move(xs), std::move(ys)};
+}
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,27 @@
+// Piecewise-linear interpolation over monotone abscissae. Used for waveform
+// resampling (uniform-grid RMS/duty-cycle measurements) and table lookups.
+#pragma once
+
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Immutable piecewise-linear interpolant. Abscissae must be strictly
+/// increasing; evaluation clamps outside the domain.
+class LinearInterpolant {
+ public:
+  LinearInterpolant(std::vector<double> x, std::vector<double> y);
+
+  double operator()(double xq) const;
+
+  double x_min() const { return x_.front(); }
+  double x_max() const { return x_.back(); }
+
+  /// Resamples onto `n` uniform points across the domain.
+  std::pair<std::vector<double>, std::vector<double>> resample(int n) const;
+
+ private:
+  std::vector<double> x_, y_;
+};
+
+}  // namespace dsmt::numeric

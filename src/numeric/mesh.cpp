@@ -1,0 +1,41 @@
+#include "numeric/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::numeric {
+
+std::vector<double> graded_axis(std::set<double> breakpoints, double lo,
+                                double hi, double h_min, double h_max) {
+  breakpoints.insert(lo);
+  breakpoints.insert(hi);
+  std::vector<double> pts;
+  for (double b : breakpoints)
+    if (b >= lo - 1e-15 && b <= hi + 1e-15)
+      if (pts.empty() || b - pts.back() > 0.25 * h_min) pts.push_back(b);
+  if (pts.size() < 2) throw std::runtime_error("graded_axis: degenerate");
+
+  std::vector<double> edges{pts.front()};
+  for (std::size_t k = 1; k < pts.size(); ++k) {
+    const double len = pts[k] - pts[k - 1];
+    const double h = std::clamp(len / 8.0, h_min, h_max);
+    const int n = std::max(1, static_cast<int>(std::ceil(len / h)));
+    for (int i = 1; i <= n; ++i) edges.push_back(pts[k - 1] + len * i / n);
+  }
+  return edges;
+}
+
+AxisCells axis_cells(const std::vector<double>& edges) {
+  AxisCells cells;
+  const std::size_t n = edges.size() - 1;
+  cells.center.resize(n);
+  cells.size.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cells.size[i] = edges[i + 1] - edges[i];
+    cells.center[i] = 0.5 * (edges[i] + edges[i + 1]);
+  }
+  return cells;
+}
+
+}  // namespace dsmt::numeric

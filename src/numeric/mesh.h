@@ -1,0 +1,24 @@
+// Graded rectilinear mesh axes shared by the finite-volume field solvers
+// (2-D/3-D thermal, electrostatic extraction).
+#pragma once
+
+#include <set>
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Builds cell-edge coordinates covering [lo, hi]: every breakpoint within
+/// the domain becomes an edge (deduplicated below h_min/4), and each
+/// interval is subdivided with a target size graded between h_min and
+/// h_max. Throws std::runtime_error if the axis degenerates.
+std::vector<double> graded_axis(std::set<double> breakpoints, double lo,
+                                double hi, double h_min, double h_max);
+
+/// Cell centers and sizes from an edge vector.
+struct AxisCells {
+  std::vector<double> center;
+  std::vector<double> size;
+};
+AxisCells axis_cells(const std::vector<double>& edges);
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,111 @@
+#include "numeric/ode.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::numeric {
+
+OdeTrajectory rk4(const ScalarRhs& f, double t0, double y0, double t1,
+                  int steps) {
+  if (steps < 1) throw std::invalid_argument("rk4: steps < 1");
+  OdeTrajectory tr;
+  tr.t.reserve(steps + 1);
+  tr.y.reserve(steps + 1);
+  const double h = (t1 - t0) / steps;
+  double t = t0, y = y0;
+  tr.t.push_back(t);
+  tr.y.push_back(y);
+  for (int i = 0; i < steps; ++i) {
+    const double k1 = f(t, y);
+    const double k2 = f(t + 0.5 * h, y + 0.5 * h * k1);
+    const double k3 = f(t + 0.5 * h, y + 0.5 * h * k2);
+    const double k4 = f(t + h, y + h * k3);
+    y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    t = t0 + (i + 1) * h;
+    tr.t.push_back(t);
+    tr.y.push_back(y);
+  }
+  return tr;
+}
+
+OdeTrajectory rkf45(const ScalarRhs& f, double t0, double y0, double t1,
+                    double abs_tol, double rel_tol,
+                    const std::function<bool(double, double)>& event) {
+  OdeTrajectory tr;
+  double t = t0, y = y0;
+  double h = (t1 - t0) / 100.0;
+  const double h_min = (t1 - t0) * 1e-14;
+  tr.t.push_back(t);
+  tr.y.push_back(y);
+
+  while (t < t1) {
+    h = std::min(h, t1 - t);
+    // Fehlberg coefficients.
+    const double k1 = f(t, y);
+    const double k2 = f(t + h / 4.0, y + h * k1 / 4.0);
+    const double k3 =
+        f(t + 3.0 * h / 8.0, y + h * (3.0 * k1 + 9.0 * k2) / 32.0);
+    const double k4 = f(t + 12.0 * h / 13.0,
+                        y + h * (1932.0 * k1 - 7200.0 * k2 + 7296.0 * k3) /
+                                2197.0);
+    const double k5 = f(t + h, y + h * (439.0 / 216.0 * k1 - 8.0 * k2 +
+                                        3680.0 / 513.0 * k3 -
+                                        845.0 / 4104.0 * k4));
+    const double k6 =
+        f(t + h / 2.0, y + h * (-8.0 / 27.0 * k1 + 2.0 * k2 -
+                                3544.0 / 2565.0 * k3 + 1859.0 / 4104.0 * k4 -
+                                11.0 / 40.0 * k5));
+    const double y4 = y + h * (25.0 / 216.0 * k1 + 1408.0 / 2565.0 * k3 +
+                               2197.0 / 4104.0 * k4 - k5 / 5.0);
+    const double y5 = y + h * (16.0 / 135.0 * k1 + 6656.0 / 12825.0 * k3 +
+                               28561.0 / 56430.0 * k4 - 9.0 / 50.0 * k5 +
+                               2.0 / 55.0 * k6);
+    const double err = std::abs(y5 - y4);
+    const double tol = abs_tol + rel_tol * std::max(std::abs(y), std::abs(y5));
+    if (err <= tol || h <= h_min) {
+      t += h;
+      y = y5;
+      tr.t.push_back(t);
+      tr.y.push_back(y);
+      if (event && event(t, y)) break;
+    }
+    // PI-style step adaptation with safety factor.
+    const double scale =
+        (err > 0.0) ? 0.9 * std::pow(tol / err, 0.2) : 4.0;
+    h *= std::clamp(scale, 0.2, 4.0);
+    if (h < h_min) h = h_min;
+  }
+  return tr;
+}
+
+OdeTrajectory implicit_euler(const ScalarRhs& f, double t0, double y0,
+                             double t1, int steps) {
+  if (steps < 1) throw std::invalid_argument("implicit_euler: steps < 1");
+  OdeTrajectory tr;
+  const double h = (t1 - t0) / steps;
+  double t = t0, y = y0;
+  tr.t.push_back(t);
+  tr.y.push_back(y);
+  for (int i = 0; i < steps; ++i) {
+    const double tn = t0 + (i + 1) * h;
+    // Newton on g(z) = z - y - h f(tn, z) with numeric derivative.
+    double z = y + h * f(t, y);  // explicit predictor
+    for (int it = 0; it < 50; ++it) {
+      const double g = z - y - h * f(tn, z);
+      const double dz = std::max(1e-8, std::abs(z) * 1e-8);
+      const double gp = 1.0 - h * (f(tn, z + dz) - f(tn, z - dz)) / (2.0 * dz);
+      if (gp == 0.0) break;
+      const double step = g / gp;
+      z -= step;
+      if (std::abs(step) <= 1e-12 * std::max(1.0, std::abs(z))) break;
+    }
+    y = z;
+    t = tn;
+    tr.t.push_back(t);
+    tr.y.push_back(y);
+  }
+  return tr;
+}
+
+}  // namespace dsmt::numeric

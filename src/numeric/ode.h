@@ -1,0 +1,38 @@
+// ODE integrators for lumped thermal transients (ESD pulse heating).
+//
+// The ESD failure model integrates C_v dT/dt = j(t)^2 rho(T) - loss(T); the
+// heating term is stiff near melting, so an implicit Euler option backed by
+// scalar Newton is provided alongside the explicit RK methods.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Right-hand side f(t, y) of a scalar ODE y' = f(t, y).
+using ScalarRhs = std::function<double(double, double)>;
+
+/// A sampled scalar trajectory.
+struct OdeTrajectory {
+  std::vector<double> t;
+  std::vector<double> y;
+};
+
+/// Classic fixed-step RK4 from t0 to t1 with `steps` steps.
+OdeTrajectory rk4(const ScalarRhs& f, double t0, double y0, double t1,
+                  int steps);
+
+/// Adaptive Runge-Kutta-Fehlberg 4(5) with absolute/relative error control.
+/// `event` (optional) stops integration early when it returns true for the
+/// freshly accepted (t, y) — used to stop at the melting point.
+OdeTrajectory rkf45(const ScalarRhs& f, double t0, double y0, double t1,
+                    double abs_tol = 1e-9, double rel_tol = 1e-7,
+                    const std::function<bool(double, double)>& event = {});
+
+/// Fixed-step implicit (backward) Euler; each step solves
+/// y_{n+1} = y_n + h f(t_{n+1}, y_{n+1}) with damped fixed-point/Newton mix.
+OdeTrajectory implicit_euler(const ScalarRhs& f, double t0, double y0,
+                             double t1, int steps);
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,71 @@
+#include "numeric/polyfit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/dense.h"
+
+namespace dsmt::numeric {
+
+std::vector<double> polyfit(const std::vector<double>& x,
+                            const std::vector<double>& y, int degree) {
+  if (degree < 0) throw std::invalid_argument("polyfit: negative degree");
+  const std::size_t n = x.size();
+  const std::size_t m = static_cast<std::size_t>(degree) + 1;
+  if (y.size() != n || n < m)
+    throw std::invalid_argument("polyfit: insufficient points");
+
+  // Normal equations A^T A c = A^T y with Vandermonde A.
+  Matrix ata(m, m, 0.0);
+  std::vector<double> aty(m, 0.0);
+  std::vector<double> powers(2 * m - 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p = 1.0;
+    std::vector<double> xp(m);
+    for (std::size_t k = 0; k < m; ++k) {
+      xp[k] = p;
+      p *= x[i];
+    }
+    for (std::size_t rr = 0; rr < m; ++rr) {
+      aty[rr] += xp[rr] * y[i];
+      for (std::size_t cc = 0; cc < m; ++cc) ata(rr, cc) += xp[rr] * xp[cc];
+    }
+  }
+  return solve_dense(ata, aty);
+}
+
+double polyval(const std::vector<double>& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) acc = acc * x + coeffs[k];
+  return acc;
+}
+
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("linear_fit: need >=2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) throw std::runtime_error("linear_fit: degenerate x");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (fit.intercept + fit.slope * x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = (ss_tot > 0.0) ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+}  // namespace dsmt::numeric

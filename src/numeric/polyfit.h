@@ -1,0 +1,28 @@
+// Least-squares polynomial and linear fits. Used to extract the heat-
+// spreading parameter phi from solved/measured thermal-impedance data
+// (paper Eq. 14 / Fig. 5) and for waveform post-processing.
+#pragma once
+
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Fits y ~ sum_k c[k] x^k (degree = c.size()-1) by normal equations.
+/// Returns coefficients lowest power first. Requires x.size() == y.size() and
+/// at least degree+1 points.
+std::vector<double> polyfit(const std::vector<double>& x,
+                            const std::vector<double>& y, int degree);
+
+/// Evaluates a polynomial with coefficients lowest power first.
+double polyval(const std::vector<double>& coeffs, double x);
+
+/// Simple linear regression y = a + b x; returns {a, b, r^2}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+};
+LinearFit linear_fit(const std::vector<double>& x,
+                     const std::vector<double>& y);
+
+}  // namespace dsmt::numeric

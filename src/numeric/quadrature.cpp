@@ -1,0 +1,78 @@
+#include "numeric/quadrature.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::numeric {
+
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 int intervals) {
+  if (intervals < 1) throw std::invalid_argument("trapezoid: intervals < 1");
+  const double h = (b - a) / intervals;
+  double acc = 0.5 * (f(a) + f(b));
+  for (int i = 1; i < intervals; ++i) acc += f(a + i * h);
+  return acc * h;
+}
+
+double simpson(const std::function<double(double)>& f, double a, double b,
+               int intervals) {
+  if (intervals < 2) intervals = 2;
+  if (intervals % 2) ++intervals;
+  const double h = (b - a) / intervals;
+  double acc = f(a) + f(b);
+  for (int i = 1; i < intervals; ++i)
+    acc += f(a + i * h) * ((i % 2) ? 4.0 : 2.0);
+  return acc * h / 3.0;
+}
+
+namespace {
+double simpson_segment(double a, double fa, double b, double fb, double fm) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive_impl(const std::function<double(double)>& f, double a,
+                     double fa, double b, double fb, double m, double fm,
+                     double whole, double tol, int depth) {
+  const double lm = 0.5 * (a + m);
+  const double rm = 0.5 * (m + b);
+  const double flm = f(lm);
+  const double frm = f(rm);
+  const double left = simpson_segment(a, fa, m, fm, flm);
+  const double right = simpson_segment(m, fm, b, fb, frm);
+  const double delta = left + right - whole;
+  if (depth <= 0 || std::abs(delta) <= 15.0 * tol)
+    return left + right + delta / 15.0;
+  return adaptive_impl(f, a, fa, m, fm, lm, flm, left, tol * 0.5, depth - 1) +
+         adaptive_impl(f, m, fm, b, fb, rm, frm, right, tol * 0.5, depth - 1);
+}
+}  // namespace
+
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol, int max_depth) {
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fb = f(b), fm = f(m);
+  const double whole = simpson_segment(a, fa, b, fb, fm);
+  return adaptive_impl(f, a, fa, b, fb, m, fm, whole, tol, max_depth);
+}
+
+double trapezoid_sampled(const std::vector<double>& t,
+                         const std::vector<double>& y) {
+  if (t.size() != y.size() || t.size() < 2)
+    throw std::invalid_argument("trapezoid_sampled: need >=2 samples");
+  double acc = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i)
+    acc += 0.5 * (y[i] + y[i - 1]) * (t[i] - t[i - 1]);
+  return acc;
+}
+
+double trapezoid_sampled_squared(const std::vector<double>& t,
+                                 const std::vector<double>& y) {
+  if (t.size() != y.size() || t.size() < 2)
+    throw std::invalid_argument("trapezoid_sampled_squared: need >=2 samples");
+  double acc = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i)
+    acc += 0.5 * (y[i] * y[i] + y[i - 1] * y[i - 1]) * (t[i] - t[i - 1]);
+  return acc;
+}
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,32 @@
+// Numerical quadrature over sampled waveforms and callables. The current-
+// density definitions of the paper (Eqs. 2-3) are integrals over one period;
+// the circuit engine produces non-uniformly sampled waveforms, so the sampled
+// variants accept explicit abscissae.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Composite trapezoidal rule over uniformly spaced samples on [a, b].
+double trapezoid(const std::function<double(double)>& f, double a, double b,
+                 int intervals);
+
+/// Composite Simpson rule over [a, b]; `intervals` is rounded up to even.
+double simpson(const std::function<double(double)>& f, double a, double b,
+               int intervals);
+
+/// Adaptive Simpson with absolute tolerance `tol`.
+double adaptive_simpson(const std::function<double(double)>& f, double a,
+                        double b, double tol = 1e-10, int max_depth = 30);
+
+/// Trapezoidal integral of samples y(t) over non-uniform abscissae t.
+double trapezoid_sampled(const std::vector<double>& t,
+                         const std::vector<double>& y);
+
+/// Trapezoidal integral of y(t)^2 over non-uniform abscissae (for RMS).
+double trapezoid_sampled_squared(const std::vector<double>& t,
+                                 const std::vector<double>& y);
+
+}  // namespace dsmt::numeric

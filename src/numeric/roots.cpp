@@ -1,0 +1,170 @@
+#include "numeric/roots.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dsmt::numeric {
+
+namespace {
+bool met(double a, double b, const RootOptions& o) {
+  return std::abs(b - a) <= o.x_tol;
+}
+}  // namespace
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts) {
+  RootResult r;
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {lo, 0.0, 0, true};
+  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (std::signbit(flo) == std::signbit(fhi)) {
+    r.root = 0.5 * (lo + hi);
+    r.f_at_root = f(r.root);
+    return r;  // no bracket: not converged
+  }
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    r.iterations = i + 1;
+    if (fm == 0.0 || met(lo, hi, opts) ||
+        (opts.f_tol > 0.0 && std::abs(fm) <= opts.f_tol)) {
+      return {mid, fm, r.iterations, true};
+    }
+    if (std::signbit(fm) == std::signbit(flo)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  r.root = 0.5 * (lo + hi);
+  r.f_at_root = f(r.root);
+  r.converged = met(lo, hi, opts);
+  return r;
+}
+
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts) {
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  RootResult res;
+  if (fa == 0.0) return {a, 0.0, 0, true};
+  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (std::signbit(fa) == std::signbit(fb)) {
+    res.root = 0.5 * (a + b);
+    res.f_at_root = f(res.root);
+    return res;  // no bracket
+  }
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * eps * std::abs(b) + 0.5 * opts.x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::abs(xm) <= tol1 || fb == 0.0 ||
+        (opts.f_tol > 0.0 && std::abs(fb) <= opts.f_tol)) {
+      return {b, fb, res.iterations, true};
+    }
+    if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation (secant if only two points).
+      const double s = fb / fa;
+      double p, q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double rr = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - rr) - (b - a) * (rr - 1.0));
+        q = (qq - 1.0) * (rr - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::abs(p);
+      const double min1 = 3.0 * xm * q - std::abs(tol1 * q);
+      const double min2 = std::abs(e * q);
+      if (2.0 * p < std::min(min1, min2)) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol1) ? d : (xm > 0 ? tol1 : -tol1);
+    fb = f(b);
+    if (std::signbit(fb) == std::signbit(fc)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  res.root = b;
+  res.f_at_root = fb;
+  res.converged = false;
+  return res;
+}
+
+RootResult newton(const std::function<double(double)>& f,
+                  const std::function<double(double)>& dfdx, double x0,
+                  const RootOptions& opts) {
+  double x = x0;
+  double fx = f(x);
+  RootResult res;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    const double d = dfdx(x);
+    if (d == 0.0) break;
+    double step = fx / d;
+    double xn = x - step;
+    double fn = f(xn);
+    // Damping: halve the step until the residual shrinks.
+    for (int k = 0; k < 40 && std::abs(fn) > std::abs(fx); ++k) {
+      step *= 0.5;
+      xn = x - step;
+      fn = f(xn);
+    }
+    const bool done = std::abs(xn - x) <= opts.x_tol ||
+                      (opts.f_tol > 0.0 && std::abs(fn) <= opts.f_tol);
+    x = xn;
+    fx = fn;
+    if (done) return {x, fx, res.iterations, true};
+  }
+  res.root = x;
+  res.f_at_root = fx;
+  res.converged = opts.f_tol > 0.0 && std::abs(fx) <= opts.f_tol;
+  return res;
+}
+
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double hi,
+    int max_doublings) {
+  double flo = f(lo), fhi = f(hi);
+  for (int i = 0; i < max_doublings; ++i) {
+    if (std::signbit(flo) != std::signbit(fhi)) return std::make_pair(lo, hi);
+    const double w = hi - lo;
+    if (std::abs(flo) < std::abs(fhi)) {
+      lo -= 0.5 * w;
+      flo = f(lo);
+    } else {
+      hi += 0.5 * w;
+      fhi = f(hi);
+    }
+  }
+  if (std::signbit(flo) != std::signbit(fhi)) return std::make_pair(lo, hi);
+  return std::nullopt;
+}
+
+}  // namespace dsmt::numeric

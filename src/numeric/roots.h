@@ -1,0 +1,52 @@
+// Scalar root finding: bisection, Brent's method, and damped Newton.
+//
+// The self-consistent interconnect-temperature equation (paper Eq. 13) is a
+// single nonlinear equation with a guaranteed bracket, so Brent is the
+// workhorse; bisection is the fallback and Newton is used where analytic
+// derivatives are cheap (ESD time-to-failure inversions).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+namespace dsmt::numeric {
+
+/// Outcome of a scalar root search.
+struct RootResult {
+  double root = 0.0;        ///< abscissa of the root (valid iff converged)
+  double f_at_root = 0.0;   ///< residual f(root)
+  int iterations = 0;       ///< iterations consumed
+  bool converged = false;   ///< true if tolerances were met
+};
+
+/// Options shared by the bracketing solvers.
+struct RootOptions {
+  double x_tol = 1e-12;     ///< absolute tolerance on the abscissa
+  double f_tol = 0.0;       ///< absolute tolerance on the residual (0 = off)
+  int max_iterations = 200;
+};
+
+/// Classic bisection on [lo, hi]. Requires f(lo) and f(hi) of opposite sign;
+/// returns a non-converged result otherwise.
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  const RootOptions& opts = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection).
+/// Requires a sign change on [lo, hi]. Converges superlinearly on smooth f
+/// while retaining bisection's robustness.
+RootResult brent(const std::function<double(double)>& f, double lo, double hi,
+                 const RootOptions& opts = {});
+
+/// Damped Newton iteration from x0 with user-supplied derivative. Halves the
+/// step (up to 40 times) whenever |f| fails to decrease.
+RootResult newton(const std::function<double(double)>& f,
+                  const std::function<double(double)>& dfdx, double x0,
+                  const RootOptions& opts = {});
+
+/// Expands [lo, hi] geometrically about its midpoint until f changes sign or
+/// `max_doublings` is hit. Returns the bracket if found.
+std::optional<std::pair<double, double>> expand_bracket(
+    const std::function<double(double)>& f, double lo, double hi,
+    int max_doublings = 60);
+
+}  // namespace dsmt::numeric

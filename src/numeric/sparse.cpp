@@ -1,0 +1,116 @@
+#include "numeric/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dsmt::numeric {
+
+CsrMatrix::CsrMatrix(const SparseBuilder& builder) : n_(builder.size()) {
+  const auto& r = builder.rows();
+  const auto& c = builder.cols();
+  const auto& v = builder.values();
+  const std::size_t nnz_in = v.size();
+
+  // Sort triplets by (row, col) via an index permutation.
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return r[a] != r[b] ? r[a] < r[b] : c[a] < c[b];
+  });
+
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.reserve(nnz_in);
+  vals_.reserve(nnz_in);
+  std::size_t prev_row = static_cast<std::size_t>(-1);
+  std::size_t prev_col = static_cast<std::size_t>(-1);
+  for (std::size_t k : order) {
+    if (r[k] >= n_ || c[k] >= n_)
+      throw std::out_of_range("CsrMatrix: index out of range");
+    if (r[k] == prev_row && c[k] == prev_col) {
+      vals_.back() += v[k];  // merge duplicate
+      continue;
+    }
+    col_idx_.push_back(c[k]);
+    vals_.push_back(v[k]);
+    row_ptr_[r[k] + 1] += 1;
+    prev_row = r[k];
+    prev_col = c[k];
+  }
+  for (std::size_t i = 0; i < n_; ++i) row_ptr_[i + 1] += row_ptr_[i];
+}
+
+void CsrMatrix::multiply(const std::vector<double>& x,
+                         std::vector<double>& y) const {
+  if (x.size() != n_) throw std::invalid_argument("CsrMatrix::multiply");
+  y.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      acc += vals_[k] * x[col_idx_[k]];
+    y[i] = acc;
+  }
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i)
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      if (col_idx_[k] == i) d[i] = vals_[k];
+  return d;
+}
+
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            std::vector<double>& x, const CgOptions& opts) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("conjugate_gradient: rhs");
+  if (x.size() != n) x.assign(n, 0.0);
+
+  std::vector<double> diag = a.diagonal();
+  for (double& d : diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  a.multiply(x, ap);
+  double bnorm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = b[i] - ap[i];
+    bnorm += b[i] * b[i];
+  }
+  bnorm = std::sqrt(bnorm);
+  if (bnorm == 0.0) bnorm = 1.0;
+
+  for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
+  p = z;
+  double rz = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+
+  CgResult res;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    res.iterations = it + 1;
+    a.multiply(p, ap);
+    const double pap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
+    if (pap == 0.0) break;
+    const double alpha = rz / pap;
+    double rnorm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * ap[i];
+      rnorm += r[i] * r[i];
+    }
+    rnorm = std::sqrt(rnorm);
+    res.residual_norm = rnorm / bnorm;
+    if (res.residual_norm <= opts.rel_tol) {
+      res.converged = true;
+      return res;
+    }
+    for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
+    const double rz_new =
+        std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  return res;
+}
+
+}  // namespace dsmt::numeric

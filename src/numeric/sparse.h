@@ -1,0 +1,77 @@
+// Sparse symmetric linear algebra for the finite-difference field solvers.
+//
+// The 2-D cross-section thermal solver, the Laplace capacitance extractor and
+// the multi-line array solver all assemble symmetric positive-definite
+// 5-point-stencil systems with 1e4..1e6 unknowns; preconditioned conjugate
+// gradients is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Coordinate-format triplet accumulator; duplicate entries are summed when
+/// compressed. Assembly order is irrelevant.
+class SparseBuilder {
+ public:
+  explicit SparseBuilder(std::size_t n) : n_(n) {}
+
+  std::size_t size() const { return n_; }
+
+  void add(std::size_t row, std::size_t col, double value) {
+    rows_.push_back(row);
+    cols_.push_back(col);
+    vals_.push_back(value);
+  }
+
+  const std::vector<std::size_t>& rows() const { return rows_; }
+  const std::vector<std::size_t>& cols() const { return cols_; }
+  const std::vector<double>& values() const { return vals_; }
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> rows_, cols_;
+  std::vector<double> vals_;
+};
+
+/// Compressed-sparse-row matrix.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+  /// Compresses a triplet builder, summing duplicates.
+  explicit CsrMatrix(const SparseBuilder& builder);
+
+  std::size_t size() const { return n_; }
+  std::size_t nonzeros() const { return vals_.size(); }
+
+  /// y = A x.
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+
+  /// Extracts the diagonal (missing diagonal entries read as 0).
+  std::vector<double> diagonal() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_, col_idx_;
+  std::vector<double> vals_;
+};
+
+/// Conjugate-gradient convergence report.
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;  ///< final ||b - Ax|| / ||b||
+  bool converged = false;
+};
+
+struct CgOptions {
+  double rel_tol = 1e-10;
+  int max_iterations = 20000;
+};
+
+/// Jacobi-preconditioned conjugate gradients for SPD systems.
+/// `x` carries the initial guess in and the solution out.
+CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
+                            std::vector<double>& x, const CgOptions& opts = {});
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,48 @@
+#include "numeric/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/quadrature.h"
+
+namespace dsmt::numeric {
+
+void RunningStats::add(double v) {
+  if (n_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++n_;
+  const double delta = v - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (v - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double rms_sampled(const std::vector<double>& t, const std::vector<double>& y) {
+  const double span = t.back() - t.front();
+  if (span <= 0.0) throw std::invalid_argument("rms_sampled: zero span");
+  return std::sqrt(trapezoid_sampled_squared(t, y) / span);
+}
+
+double mean_sampled(const std::vector<double>& t,
+                    const std::vector<double>& y) {
+  const double span = t.back() - t.front();
+  if (span <= 0.0) throw std::invalid_argument("mean_sampled: zero span");
+  return trapezoid_sampled(t, y) / span;
+}
+
+double peak_abs(const std::vector<double>& y) {
+  double p = 0.0;
+  for (double v : y) p = std::max(p, std::abs(v));
+  return p;
+}
+
+}  // namespace dsmt::numeric

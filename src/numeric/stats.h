@@ -1,0 +1,38 @@
+// Running statistics and sampled-waveform metrics shared by the circuit
+// measurement layer and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Welford-style running accumulator.
+class RunningStats {
+ public:
+  void add(double v);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// RMS of samples y(t) over the spanned interval (trapezoidal in y^2).
+double rms_sampled(const std::vector<double>& t, const std::vector<double>& y);
+
+/// Time average of samples y(t) over the spanned interval.
+double mean_sampled(const std::vector<double>& t, const std::vector<double>& y);
+
+/// Largest |y|.
+double peak_abs(const std::vector<double>& y);
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,33 @@
+#include "numeric/tridiag.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::numeric {
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs) {
+  const std::size_t n = diag.size();
+  if (lower.size() != n || upper.size() != n || rhs.size() != n || n == 0)
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+
+  std::vector<double> c(n), d(n);
+  double piv = diag[0];
+  if (piv == 0.0) throw std::runtime_error("solve_tridiagonal: zero pivot");
+  c[0] = upper[0] / piv;
+  d[0] = rhs[0] / piv;
+  for (std::size_t i = 1; i < n; ++i) {
+    piv = diag[i] - lower[i] * c[i - 1];
+    if (piv == 0.0) throw std::runtime_error("solve_tridiagonal: zero pivot");
+    c[i] = upper[i] / piv;
+    d[i] = (rhs[i] - lower[i] * d[i - 1]) / piv;
+  }
+  std::vector<double> x(n);
+  x[n - 1] = d[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) x[ii] = d[ii] - c[ii] * x[ii + 1];
+  return x;
+}
+
+}  // namespace dsmt::numeric

@@ -1,0 +1,20 @@
+// Thomas algorithm for tridiagonal systems. Used by the 1-D heat-equation
+// solvers (steady temperature profile along a line, transient ESD heating
+// with axial conduction).
+#pragma once
+
+#include <vector>
+
+namespace dsmt::numeric {
+
+/// Solves the tridiagonal system
+///   lower[i]*x[i-1] + diag[i]*x[i] + upper[i]*x[i+1] = rhs[i]
+/// with lower[0] and upper[n-1] ignored. All spans must have equal size n>=1.
+/// Throws std::invalid_argument on size mismatch and std::runtime_error if a
+/// pivot vanishes (system not diagonally dominant enough).
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs);
+
+}  // namespace dsmt::numeric

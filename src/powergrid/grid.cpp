@@ -1,0 +1,166 @@
+#include "powergrid/grid.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/sparse.h"
+
+namespace dsmt::powergrid {
+
+namespace {
+
+struct SegmentConductance {
+  double g_h = 0.0;  ///< conductance of one horizontal segment [S]
+  double g_v = 0.0;
+  double area_h = 0.0;  ///< strap cross-section [m^2]
+  double area_v = 0.0;
+};
+
+SegmentConductance segment_conductances(const GridSpec& spec) {
+  const auto& lh = spec.technology.layer(spec.layer_h);
+  const auto& lv = spec.technology.layer(spec.layer_v);
+  const double wh = spec.width_h > 0.0 ? spec.width_h : lh.width;
+  const double wv = spec.width_v > 0.0 ? spec.width_v : lv.width;
+  SegmentConductance sc;
+  sc.area_h = wh * lh.thickness;
+  sc.area_v = wv * lv.thickness;
+  const double rho = spec.technology.metal.resistivity(spec.temperature);
+  const double r_h = rho * spec.pitch / sc.area_h + spec.via_resistance;
+  const double r_v = rho * spec.pitch / sc.area_v + spec.via_resistance;
+  sc.g_h = 1.0 / r_h;
+  sc.g_v = 1.0 / r_v;
+  return sc;
+}
+
+void validate(const GridSpec& spec, const std::vector<Pad>& pads,
+              const std::vector<Demand>& demands) {
+  if (spec.nx < 2 || spec.ny < 2)
+    throw std::invalid_argument("GridSpec: need at least a 2x2 grid");
+  if (spec.pitch <= 0.0) throw std::invalid_argument("GridSpec: pitch <= 0");
+  if (pads.empty()) throw std::invalid_argument("powergrid: no pads");
+  auto in_range = [&](int ix, int iy) {
+    return ix >= 0 && ix < spec.nx && iy >= 0 && iy < spec.ny;
+  };
+  for (const auto& p : pads)
+    if (!in_range(p.ix, p.iy))
+      throw std::invalid_argument("powergrid: pad out of range");
+  for (const auto& d : demands)
+    if (!in_range(d.ix, d.iy))
+      throw std::invalid_argument("powergrid: demand out of range");
+}
+
+}  // namespace
+
+GridSolution solve(const GridSpec& spec, const std::vector<Pad>& pads,
+                   const std::vector<Demand>& demands) {
+  validate(spec, pads, demands);
+  const int nx = spec.nx, ny = spec.ny;
+  const std::size_t n = static_cast<std::size_t>(nx) * ny;
+  auto node = [nx](int ix, int iy) {
+    return static_cast<std::size_t>(iy) * nx + ix;
+  };
+
+  // Pad mask.
+  std::vector<bool> is_pad(n, false);
+  for (const auto& p : pads) is_pad[node(p.ix, p.iy)] = true;
+
+  // Unknown numbering over non-pad nodes.
+  std::vector<int> unk(n, -1);
+  std::size_t n_unk = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!is_pad[i]) unk[i] = static_cast<int>(n_unk++);
+
+  const auto sc = segment_conductances(spec);
+
+  numeric::SparseBuilder builder(n_unk);
+  std::vector<double> rhs(n_unk, 0.0);
+
+  auto couple = [&](std::size_t a, std::size_t b, double g) {
+    // Conductance g between nodes a and b, pads held at vdd.
+    if (unk[a] >= 0) {
+      builder.add(unk[a], unk[a], g);
+      if (unk[b] >= 0)
+        builder.add(unk[a], unk[b], -g);
+      else
+        rhs[unk[a]] += g * spec.vdd;
+    }
+    if (unk[b] >= 0) {
+      builder.add(unk[b], unk[b], g);
+      if (unk[a] >= 0)
+        builder.add(unk[b], unk[a], -g);
+      else
+        rhs[unk[b]] += g * spec.vdd;
+    }
+  };
+
+  for (int iy = 0; iy < ny; ++iy)
+    for (int ix = 0; ix < nx; ++ix) {
+      if (ix + 1 < nx) couple(node(ix, iy), node(ix + 1, iy), sc.g_h);
+      if (iy + 1 < ny) couple(node(ix, iy), node(ix, iy + 1), sc.g_v);
+    }
+  for (const auto& d : demands) {
+    const std::size_t c = node(d.ix, d.iy);
+    if (unk[c] >= 0) rhs[unk[c]] -= d.amps;  // sink pulls current out
+  }
+
+  const numeric::CsrMatrix a(builder);
+  std::vector<double> x(n_unk, spec.vdd);
+  const auto cg = numeric::conjugate_gradient(a, rhs, x, {1e-12, 50000});
+
+  GridSolution sol;
+  sol.cg_iterations = cg.iterations;
+  sol.converged = cg.converged;
+  sol.node_voltage.assign(n, spec.vdd);
+  for (std::size_t i = 0; i < n; ++i)
+    if (unk[i] >= 0) sol.node_voltage[i] = x[unk[i]];
+
+  double vmin = spec.vdd;
+  for (double v : sol.node_voltage) vmin = std::min(vmin, v);
+  sol.worst_ir_drop = spec.vdd - vmin;
+
+  // Per-segment loading.
+  for (int iy = 0; iy < ny; ++iy)
+    for (int ix = 0; ix < nx; ++ix) {
+      if (ix + 1 < nx) {
+        const double dv = sol.node_voltage[node(ix, iy)] -
+                          sol.node_voltage[node(ix + 1, iy)];
+        SegmentLoad s;
+        s.horizontal = true;
+        s.ix = ix;
+        s.iy = iy;
+        s.voltage_drop = std::abs(dv);
+        s.current = std::abs(dv) * sc.g_h;
+        s.j_density = s.current / sc.area_h;
+        sol.max_j_horizontal = std::max(sol.max_j_horizontal, s.j_density);
+        sol.segments.push_back(s);
+      }
+      if (iy + 1 < ny) {
+        const double dv = sol.node_voltage[node(ix, iy)] -
+                          sol.node_voltage[node(ix, iy + 1)];
+        SegmentLoad s;
+        s.horizontal = false;
+        s.ix = ix;
+        s.iy = iy;
+        s.voltage_drop = std::abs(dv);
+        s.current = std::abs(dv) * sc.g_v;
+        s.j_density = s.current / sc.area_v;
+        sol.max_j_vertical = std::max(sol.max_j_vertical, s.j_density);
+        sol.segments.push_back(s);
+      }
+    }
+  return sol;
+}
+
+std::vector<Demand> uniform_demand(const GridSpec& spec, double total_amps) {
+  if (spec.nx < 3 || spec.ny < 3)
+    throw std::invalid_argument("uniform_demand: grid too small");
+  std::vector<Demand> demands;
+  const int interior = (spec.nx - 2) * (spec.ny - 2);
+  const double per_node = total_amps / interior;
+  for (int iy = 1; iy + 1 < spec.ny; ++iy)
+    for (int ix = 1; ix + 1 < spec.nx; ++ix)
+      demands.push_back({ix, iy, per_node});
+  return demands;
+}
+
+}  // namespace dsmt::powergrid

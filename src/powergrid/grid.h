@@ -1,0 +1,85 @@
+// DC power-distribution grid solver.
+//
+// The paper's Tables 2-4 include a "power lines (r = 1.0)" section: power
+// straps carry unipolar, effectively-DC current, so they hit the
+// self-consistent limit at its most restrictive point (j_peak = j_avg =
+// j_rms, capped just below j_o). This module provides the system-level
+// substrate that consumes those limits: a two-layer orthogonal strap grid
+// with vdd pads and block current demands, solved for IR drop and
+// per-segment current densities which are then checked against the
+// power-line design rule and the chip-level EM budget.
+//
+// Electrical model: one node per grid point (via stacks short the two
+// routing layers; their resistance is folded into the strap segments),
+// horizontal segments on `layer_h`, vertical on `layer_v`, pads as ideal
+// vdd sources, demands as ideal current sinks. The conductance system is
+// SPD after pad elimination and is solved with preconditioned CG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tech/technology.h"
+
+namespace dsmt::powergrid {
+
+/// Grid geometry and electrical context.
+struct GridSpec {
+  tech::Technology technology;
+  int nx = 10;               ///< nodes in x
+  int ny = 10;               ///< nodes in y
+  double pitch = 100e-6;     ///< node spacing (strap pitch) [m]
+  int layer_h = 5;           ///< layer of x-direction straps
+  int layer_v = 6;           ///< layer of y-direction straps
+  double width_h = 0.0;      ///< strap width, 0 = layer default
+  double width_v = 0.0;
+  double via_resistance = 0.05;  ///< per segment, folds the via stack [Ohm]
+  double vdd = 2.5;
+  double temperature = 373.15;   ///< strap temperature for rho(T) [K]
+};
+
+/// A vdd pad (ideal source) at a grid node.
+struct Pad {
+  int ix = 0, iy = 0;
+};
+
+/// A block current demand (sink) at a grid node.
+struct Demand {
+  int ix = 0, iy = 0;
+  double amps = 0.0;
+};
+
+/// One strap segment's loading after the solve.
+struct SegmentLoad {
+  bool horizontal = false;
+  int ix = 0, iy = 0;        ///< segment from (ix,iy) toward +x or +y
+  double current = 0.0;      ///< [A], absolute value
+  double j_density = 0.0;    ///< current / (W*t) [A/m^2]
+  double voltage_drop = 0.0; ///< across the segment [V]
+};
+
+/// Solution of one grid.
+struct GridSolution {
+  std::vector<double> node_voltage;  ///< nx*ny, row-major (iy*nx+ix)
+  double worst_ir_drop = 0.0;        ///< vdd - min(node voltage)
+  std::vector<SegmentLoad> segments;
+  double max_j_horizontal = 0.0;     ///< worst density on layer_h [A/m^2]
+  double max_j_vertical = 0.0;       ///< worst density on layer_v [A/m^2]
+  int cg_iterations = 0;
+  bool converged = false;
+
+  double voltage(int ix, int iy, int nx) const {
+    return node_voltage[static_cast<std::size_t>(iy) * nx + ix];
+  }
+};
+
+/// Solves the grid. Throws std::invalid_argument on malformed specs (no
+/// pads, out-of-range indices, non-positive demand totals are allowed).
+GridSolution solve(const GridSpec& spec, const std::vector<Pad>& pads,
+                   const std::vector<Demand>& demands);
+
+/// Uniformly distributed demand helper: total current spread over every
+/// interior node.
+std::vector<Demand> uniform_demand(const GridSpec& spec, double total_amps);
+
+}  // namespace dsmt::powergrid

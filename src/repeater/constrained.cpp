@@ -1,0 +1,90 @@
+#include "repeater/constrained.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+#include "selfconsistent/sweep.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::repeater {
+
+namespace {
+
+selfconsistent::Solution limit_at(const tech::Technology& technology,
+                                  int level,
+                                  const materials::Dielectric& gap_fill,
+                                  const ConstrainedOptions& opts,
+                                  double duty) {
+  return selfconsistent::solve(selfconsistent::make_level_problem(
+      technology, level, gap_fill, opts.phi, std::max(duty, 1e-3), opts.j0));
+}
+
+}  // namespace
+
+ConstrainedDesign design_constrained_stage(
+    const tech::Technology& technology, int level, double k_rel,
+    const materials::Dielectric& gap_fill,
+    const ConstrainedOptions& options) {
+  ConstrainedDesign out;
+  out.unconstrained = optimize_layer(technology, level, k_rel, kTrefK);
+
+  auto evaluate = [&](double scale) {
+    SimulationOptions so = options.sim;
+    so.size_scale = scale;
+    // Smaller drivers pair with shorter optimal spans at equal slew
+    // (paper: s = s_opt l/l_opt, inverted here).
+    so.length_scale = scale;
+    return simulate_stage(technology, level, k_rel, out.unconstrained, so);
+  };
+  auto meets = [&](const StageSimResult& sim,
+                   selfconsistent::Solution* limit_out) {
+    const auto limit =
+        limit_at(technology, level, gap_fill, options, sim.duty_effective);
+    if (limit_out) *limit_out = limit;
+    return sim.j_peak <= limit.j_peak && sim.j_rms <= limit.j_rms;
+  };
+
+  out.sim = evaluate(1.0);
+  if (meets(out.sim, &out.limit)) {
+    out.size_scale = 1.0;
+    return out;  // the unconstrained optimum is already thermally safe
+  }
+  out.constrained = true;
+
+  // Check the floor first.
+  auto sim_floor = evaluate(options.size_floor);
+  selfconsistent::Solution limit_floor;
+  if (!meets(sim_floor, &limit_floor)) {
+    out.feasible = false;
+    out.size_scale = options.size_floor;
+    out.sim = sim_floor;
+    out.limit = limit_floor;
+    return out;
+  }
+
+  // Bisect the largest feasible scale in [floor, 1].
+  double lo = options.size_floor, hi = 1.0;
+  for (int i = 0; i < options.bisection_steps; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const auto sim_mid = evaluate(mid);
+    if (meets(sim_mid, nullptr))
+      lo = mid;
+    else
+      hi = mid;
+  }
+  out.size_scale = lo;
+  out.sim = evaluate(lo);
+  meets(out.sim, &out.limit);
+
+  // Delay penalty: per-unit-length delay of the backed-off stage relative
+  // to the optimum (both from the same simulation pipeline).
+  const auto sim_opt = evaluate(1.0);
+  const double d_opt = sim_opt.delay_50 / sim_opt.length_used;
+  const double d_cho = out.sim.delay_50 / out.sim.length_used;
+  out.delay_penalty = d_opt > 0.0 ? d_cho / d_opt - 1.0 : 0.0;
+  return out;
+}
+
+}  // namespace dsmt::repeater

@@ -1,0 +1,43 @@
+// Thermally constrained repeater design.
+//
+// The paper ends with "self-heating needs to be considered in high
+// performance DSM interconnect design that employs low-k dielectrics" —
+// i.e. when the delay-optimal design's current density exceeds the
+// self-consistent limit, the designer must back off. This module finds the
+// best backed-off design: the largest repeater size s <= s_opt (at the
+// matching optimal length for that size) whose simulated current densities
+// meet the thermal limit, and reports the delay cost of the detour.
+#pragma once
+
+#include "materials/dielectric.h"
+#include "repeater/simulate.h"
+#include "selfconsistent/solver.h"
+#include "tech/technology.h"
+
+namespace dsmt::repeater {
+
+struct ConstrainedOptions {
+  double j0 = 6e9;                 ///< EM design rule [A/m^2]
+  double phi = 2.45;
+  double size_floor = 0.05;        ///< search down to this fraction of s_opt
+  int bisection_steps = 10;
+  SimulationOptions sim;
+};
+
+struct ConstrainedDesign {
+  OptimalRepeater unconstrained;   ///< the Eq. 16-17 optimum
+  double size_scale = 1.0;         ///< chosen s / s_opt
+  StageSimResult sim;              ///< at the chosen size
+  selfconsistent::Solution limit;  ///< thermal limit at the measured r_eff
+  double delay_penalty = 0.0;      ///< delay(chosen)/delay(opt) - 1
+  bool feasible = true;            ///< false if even the floor violates
+  bool constrained = false;        ///< true if the optimum violated
+};
+
+/// Designs the stage on `level` with insulator `k_rel`, checking against
+/// the self-consistent limit computed with `gap_fill`.
+ConstrainedDesign design_constrained_stage(
+    const tech::Technology& technology, int level, double k_rel,
+    const materials::Dielectric& gap_fill, const ConstrainedOptions& options);
+
+}  // namespace dsmt::repeater

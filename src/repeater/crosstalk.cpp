@@ -1,0 +1,119 @@
+#include "repeater/crosstalk.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "circuit/rcline.h"
+#include "circuit/transient.h"
+#include "circuit/waveform.h"
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+
+namespace dsmt::repeater {
+
+CrosstalkResult simulate_crosstalk(const tech::Technology& technology,
+                                   int level, double k_rel, double length,
+                                   const CrosstalkOptions& options) {
+  if (length <= 0.0)
+    throw std::invalid_argument("simulate_crosstalk: length <= 0");
+  const auto& dev = technology.device;
+  const auto rc = extraction::extract_wire_rc(technology, level, k_rel,
+                                              kTrefK);
+
+  const auto opt = optimize(dev, rc.r_per_m, rc.c_per_m);
+  const double s_agg = options.aggressor_size > 0.0
+                           ? options.aggressor_size
+                           : downsized_driver(opt, length);
+  const double s_vic =
+      options.victim_size > 0.0 ? options.victim_size : s_agg;
+
+  circuit::Netlist nl;
+  const auto vdd = nl.node("vdd");
+  nl.add_vsource(vdd, circuit::kGround, circuit::dc(dev.vdd));
+
+  // Aggressor: sized inverter driving its line.
+  const auto devs = circuit::make_repeater(dev, s_agg);
+  const auto agg_in = nl.node("agg_in");
+  const auto agg_out = nl.node("agg_out");
+  nl.add_inverter(devs.nmos, devs.pmos, agg_in, agg_out, vdd,
+                  circuit::kGround);
+  nl.add_capacitor(agg_out, circuit::kGround, devs.c_par);
+
+  // Build both lines segment by segment so coupling caps can tie them.
+  const int segs = options.segments;
+  const double r_seg = rc.r_per_m * length / segs;
+  const double cg_seg = (rc.c_ground_per_m + rc.c_coupling_per_m) *
+                        length / segs;  // far-side neighbor is grounded
+  const double cc_seg = rc.c_coupling_per_m * length / segs;
+
+  std::vector<circuit::NodeId> agg_nodes{agg_out};
+  const auto vic_head = nl.node("vic_head");
+  std::vector<circuit::NodeId> vic_nodes{vic_head};
+  for (int s = 1; s <= segs; ++s) {
+    agg_nodes.push_back(nl.internal_node());
+    vic_nodes.push_back(nl.internal_node());
+  }
+  for (int s = 0; s < segs; ++s) {
+    nl.add_resistor(agg_nodes[s], agg_nodes[s + 1], r_seg);
+    nl.add_resistor(vic_nodes[s], vic_nodes[s + 1], r_seg);
+  }
+  for (int s = 0; s <= segs; ++s) {
+    const double scale = (s == 0 || s == segs) ? 0.5 : 1.0;
+    nl.add_capacitor(agg_nodes[s], circuit::kGround, scale * cg_seg);
+    nl.add_capacitor(vic_nodes[s], circuit::kGround, scale * cg_seg);
+    nl.add_capacitor(agg_nodes[s], vic_nodes[s], scale * cc_seg);
+  }
+
+  // Victim holder: quiet low driver modeled as its on-resistance.
+  nl.add_resistor(vic_head, circuit::kGround, dev.r0 / s_vic);
+  // Receiver loads.
+  nl.add_capacitor(agg_nodes.back(), circuit::kGround, devs.c_in);
+  nl.add_capacitor(vic_nodes.back(), circuit::kGround, devs.c_in);
+
+  // Aggressor input: one rising edge after a short delay.
+  const double tau_est =
+      (dev.r0 / s_agg) * (rc.c_per_m * length + (dev.cg + dev.cp) * s_agg) +
+      0.5 * rc.r_per_m * rc.c_per_m * length * length;
+  const double t_stop = std::max(options.sim_time_factor * tau_est, 10.0 * dev.rise_time);
+  nl.add_vsource(agg_in, circuit::kGround,
+                 circuit::pwl({0.0, 0.1 * t_stop,
+                               0.1 * t_stop + dev.rise_time, t_stop},
+                              {dev.vdd, dev.vdd, 0.0, 0.0}));
+  // (falling input -> rising aggressor output -> positive victim kick)
+
+  circuit::TransientOptions topts;
+  topts.t_stop = t_stop;
+  topts.dt = t_stop / options.steps;
+  const auto res = circuit::run_transient(nl, topts);
+
+  const auto v_far = res.voltage(vic_nodes.back());
+  CrosstalkResult out;
+  for (double v : v_far) out.peak_noise = std::max(out.peak_noise, std::abs(v));
+  out.noise_fraction = out.peak_noise / dev.vdd;
+  out.coupling_fraction =
+      2.0 * rc.c_coupling_per_m / (rc.c_ground_per_m + 2.0 * rc.c_coupling_per_m);
+  out.length = length;
+  out.aggressor_size = s_agg;
+  return out;
+}
+
+double max_length_for_noise(const tech::Technology& technology, int level,
+                            double k_rel, double noise_budget, double l_max,
+                            const CrosstalkOptions& options) {
+  if (noise_budget <= 0.0 || noise_budget >= 1.0)
+    throw std::invalid_argument("max_length_for_noise: budget outside (0,1)");
+  auto noise_at = [&](double l) {
+    return simulate_crosstalk(technology, level, k_rel, l, options)
+        .noise_fraction;
+  };
+  if (noise_at(l_max) <= noise_budget) return l_max;
+  double lo = l_max * 1e-3, hi = l_max;
+  if (noise_at(lo) > noise_budget) return lo;  // even short lines too noisy
+  for (int i = 0; i < 24; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (noise_at(mid) <= noise_budget ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace dsmt::repeater

@@ -1,0 +1,46 @@
+// Capacitively coupled line noise — the crosstalk side of buffer insertion
+// (the paper cites Culetu et al. [23]: repeaters are also inserted to cut
+// coupling noise, and notes that a large fraction of DSM wire capacitance
+// is lateral coupling).
+//
+// Model: an aggressor and a quiet victim run in parallel at minimum pitch;
+// the aggressor is driven rail-to-rail by a sized repeater, the victim is
+// held at ground through its (quiet) driver's on-resistance, and the two
+// distributed RC lines are tied by the extracted coupling capacitance per
+// segment. The MNA engine produces the victim's noise waveform.
+#pragma once
+
+#include "extraction/wire_rc.h"
+#include "tech/technology.h"
+
+namespace dsmt::repeater {
+
+struct CrosstalkOptions {
+  int segments = 24;
+  double sim_time_factor = 6.0;  ///< simulate this many aggressor delays
+  int steps = 3000;
+  double aggressor_size = 0.0;   ///< 0 = use s_opt for the length
+  double victim_size = 0.0;      ///< 0 = same as aggressor
+};
+
+struct CrosstalkResult {
+  double peak_noise = 0.0;          ///< worst |v| on the victim far end [V]
+  double noise_fraction = 0.0;      ///< peak noise / vdd
+  double coupling_fraction = 0.0;   ///< 2 c_c / (c_g + 2 c_c)
+  double length = 0.0;              ///< [m]
+  double aggressor_size = 0.0;
+};
+
+/// Simulates one aggressor/victim pair of length `length` on `level`.
+CrosstalkResult simulate_crosstalk(const tech::Technology& technology,
+                                   int level, double k_rel, double length,
+                                   const CrosstalkOptions& options = {});
+
+/// Longest line (<= l_max) whose far-end coupling noise stays below
+/// `noise_budget` x vdd — the noise-driven repeater-insertion length.
+/// Returns l_max if even that is quiet enough.
+double max_length_for_noise(const tech::Technology& technology, int level,
+                            double k_rel, double noise_budget, double l_max,
+                            const CrosstalkOptions& options = {});
+
+}  // namespace dsmt::repeater

@@ -1,0 +1,66 @@
+#include "repeater/delay.h"
+
+#include <stdexcept>
+
+#include "circuit/rcline.h"
+#include "circuit/transient.h"
+#include "circuit/waveform.h"
+
+namespace dsmt::repeater {
+
+namespace {
+void check(const DelayStage& s) {
+  if (s.rs < 0.0 || s.r_per_m < 0.0 || s.c_per_m <= 0.0 || s.length <= 0.0 ||
+      s.c_load < 0.0)
+    throw std::invalid_argument("DelayStage: bad parameters");
+}
+}  // namespace
+
+double delay_elmore(const DelayStage& s) {
+  check(s);
+  const double c_line = s.c_per_m * s.length;
+  const double r_line = s.r_per_m * s.length;
+  return s.rs * (c_line + s.c_load) + r_line * (0.5 * c_line + s.c_load);
+}
+
+double delay_sakurai(const DelayStage& s) {
+  check(s);
+  const double c_line = s.c_per_m * s.length;
+  const double r_line = s.r_per_m * s.length;
+  return 0.377 * r_line * c_line +
+         0.693 * (s.rs * c_line + s.rs * s.c_load + r_line * s.c_load);
+}
+
+double delay_simulated(const DelayStage& s, int segments, int steps) {
+  check(s);
+  circuit::Netlist nl;
+  const auto in = nl.node("in");
+  const auto head = nl.node("head");
+  const auto out = nl.node("out");
+  // Reference time scale for the run length.
+  const double tau = delay_elmore(s);
+  const double t_edge = tau * 1e-3;
+  nl.add_vsource(in, circuit::kGround,
+                 circuit::pwl({0.0, 0.05 * tau, 0.05 * tau + t_edge, 1.0},
+                              {0.0, 0.0, 1.0, 1.0}));
+  if (s.rs > 0.0) {
+    nl.add_resistor(in, head, s.rs);
+  } else {
+    nl.add_resistor(in, head, 1e-3);  // near-ideal driver
+  }
+  circuit::add_rc_line(nl, head, out, s.r_per_m, s.c_per_m, s.length,
+                       segments);
+  nl.add_capacitor(out, circuit::kGround, s.c_load);
+
+  circuit::TransientOptions opts;
+  opts.t_stop = 12.0 * tau;
+  opts.dt = opts.t_stop / steps;
+  const auto res = circuit::run_transient(nl, opts);
+  const double t50 = circuit::crossing_time(res.time(), res.voltage(out), 0.5,
+                                            0.0, true);
+  if (t50 < 0.0)
+    throw std::runtime_error("delay_simulated: output never crossed 50%");
+  return t50 - 0.05 * tau;
+}
+
+}  // namespace dsmt::repeater

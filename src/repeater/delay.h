@@ -1,0 +1,40 @@
+// Closed-form interconnect delay models and their validation hooks.
+//
+// The repeater optimizer needs only the Elmore *form* (its minimizer is
+// exact for any fixed coefficients), but absolute delay estimates need
+// calibrated coefficients. This module provides the standard 50%-delay
+// models for a driver + distributed-RC + load stage:
+//
+//   Elmore bound:     t50 <= R_s(C_L + cl) + rl(cl/2 + C_L)
+//   Sakurai/Bakoglu:  t50 ~= 0.377 rc l^2 + 0.693 (R_s cl + R_s C_L + rl C_L)
+//
+// and a helper that measures the same stage with the MNA engine so the
+// formulas can be validated against "SPICE" (see test_delay_models.cpp).
+#pragma once
+
+#include "tech/technology.h"
+
+namespace dsmt::repeater {
+
+/// Stage description: voltage-source driver with internal resistance `rs`
+/// driving a line (r, c per metre, length l) loaded by `cl`.
+struct DelayStage {
+  double rs = 0.0;       ///< driver resistance [Ohm]
+  double r_per_m = 0.0;  ///< [Ohm/m]
+  double c_per_m = 0.0;  ///< [F/m]
+  double length = 0.0;   ///< [m]
+  double c_load = 0.0;   ///< [F]
+};
+
+/// Elmore (first-moment) delay — an upper bound on t50 for RC trees.
+double delay_elmore(const DelayStage& stage);
+
+/// Sakurai's two-coefficient 50% delay approximation (0.377/0.693).
+double delay_sakurai(const DelayStage& stage);
+
+/// 50% delay measured by the MNA engine with `segments` pi-sections and a
+/// near-ideal step input. This is the validation reference.
+double delay_simulated(const DelayStage& stage, int segments = 40,
+                       int steps = 6000);
+
+}  // namespace dsmt::repeater

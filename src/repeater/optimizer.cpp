@@ -1,0 +1,49 @@
+#include "repeater/optimizer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::repeater {
+
+double stage_delay_elmore(const tech::DeviceParameters& dev, double size,
+                          double length, double r_per_m, double c_per_m) {
+  if (size <= 0.0 || length <= 0.0)
+    throw std::invalid_argument("stage_delay_elmore: bad inputs");
+  const double r_drv = dev.r0 / size;
+  const double c_line = c_per_m * length;
+  const double r_line = r_per_m * length;
+  // 0.69 ln2 factors omitted: we only need the minimizer, and the paper's
+  // l_opt/s_opt come from exactly this quadratic form.
+  return r_drv * (dev.cp * size + c_line + dev.cg * size) +
+         r_line * (0.5 * c_line + dev.cg * size);
+}
+
+OptimalRepeater optimize(const tech::DeviceParameters& dev, double r_per_m,
+                         double c_per_m) {
+  if (r_per_m <= 0.0 || c_per_m <= 0.0)
+    throw std::invalid_argument("repeater::optimize: bad parasitics");
+  OptimalRepeater opt;
+  opt.r_per_m = r_per_m;
+  opt.c_per_m = c_per_m;
+  opt.l_opt = std::sqrt(2.0 * dev.r0 * (dev.cg + dev.cp) /
+                        (r_per_m * c_per_m));
+  opt.s_opt = std::sqrt(dev.r0 * c_per_m / (r_per_m * dev.cg));
+  opt.stage_delay =
+      stage_delay_elmore(dev, opt.s_opt, opt.l_opt, r_per_m, c_per_m);
+  return opt;
+}
+
+OptimalRepeater optimize_layer(const tech::Technology& technology, int level,
+                               double k_rel, double temperature_k) {
+  const auto rc =
+      extraction::extract_wire_rc(technology, level, k_rel, temperature_k);
+  return optimize(technology.device, rc.r_per_m, rc.c_per_m);
+}
+
+double downsized_driver(const OptimalRepeater& opt, double length) {
+  if (length <= 0.0) throw std::invalid_argument("downsized_driver: l <= 0");
+  const double s = opt.s_opt * std::min(1.0, length / opt.l_opt);
+  return std::max(s, 1.0);
+}
+
+}  // namespace dsmt::repeater

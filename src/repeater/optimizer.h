@@ -1,0 +1,47 @@
+// Delay-optimal repeater insertion (Otten & Brayton [22], paper Eqs. 16-17):
+//
+//   l_opt = sqrt(2 r_o (c_g + c_p) / (r c))     optimal segment length
+//   s_opt = sqrt(r_o c / (r c_g))               optimal repeater size
+//
+// where r_o, c_g, c_p describe a minimum-sized driver and r, c are the
+// line's per-unit-length resistance and capacitance. Between optimally
+// spaced/sized repeaters the stage delay is layer-independent; lines
+// shorter than l_opt should not be buffered, and their drivers can be
+// downsized to s_opt * (l / l_opt) to save power at equal slew (paper
+// Section 4.1).
+#pragma once
+
+#include "extraction/wire_rc.h"
+#include "tech/technology.h"
+
+namespace dsmt::repeater {
+
+/// The optimal repeater design point for one metal layer.
+struct OptimalRepeater {
+  double l_opt = 0.0;        ///< optimal inter-repeater length [m]
+  double s_opt = 0.0;        ///< optimal size (multiple of min inverter)
+  double stage_delay = 0.0;  ///< Elmore-model delay of one optimal stage [s]
+  double r_per_m = 0.0;      ///< line resistance used [Ohm/m]
+  double c_per_m = 0.0;      ///< line capacitance used [F/m]
+};
+
+/// Closed-form optimum from explicit parasitics.
+OptimalRepeater optimize(const tech::DeviceParameters& dev, double r_per_m,
+                         double c_per_m);
+
+/// Extracts the layer's r/c (homogeneous insulator k_rel, resistance at
+/// `temperature_k`) and optimizes.
+OptimalRepeater optimize_layer(const tech::Technology& technology, int level,
+                               double k_rel, double temperature_k);
+
+/// Driver size for a line of length l <= l_opt at equal slew:
+/// s = s_opt * l / l_opt (floored at 1 minimum inverter).
+double downsized_driver(const OptimalRepeater& opt, double length);
+
+/// Elmore delay of a stage: driver r_o/s driving (c_p s + c l + c_g s) plus
+/// the distributed line term 0.5 r c l^2 + r l c_g s. Exposed so tests can
+/// verify l_opt/s_opt are the analytic minimizers.
+double stage_delay_elmore(const tech::DeviceParameters& dev, double size,
+                          double length, double r_per_m, double c_per_m);
+
+}  // namespace dsmt::repeater

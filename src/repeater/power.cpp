@@ -1,0 +1,47 @@
+#include "repeater/power.h"
+
+#include <stdexcept>
+
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+
+namespace dsmt::repeater {
+
+double stage_dynamic_energy(const tech::DeviceParameters& dev, double size,
+                            double c_per_m, double length) {
+  if (size <= 0.0 || c_per_m <= 0.0 || length <= 0.0)
+    throw std::invalid_argument("stage_dynamic_energy: bad inputs");
+  const double c_total = c_per_m * length + (dev.cg + dev.cp) * size;
+  return c_total * dev.vdd * dev.vdd;
+}
+
+std::vector<PowerDelayPoint> power_delay_sweep(
+    const tech::Technology& technology, int level, double k_rel,
+    const std::vector<double>& size_scales,
+    const SimulationOptions& options) {
+  if (size_scales.empty())
+    throw std::invalid_argument("power_delay_sweep: no scales");
+  const auto opt = optimize_layer(technology, level, k_rel, kTrefK);
+
+  std::vector<PowerDelayPoint> out;
+  out.reserve(size_scales.size());
+  for (double scale : size_scales) {
+    if (scale <= 0.0)
+      throw std::invalid_argument("power_delay_sweep: scale <= 0");
+    SimulationOptions so = options;
+    so.size_scale = scale;
+    so.length_scale = scale;  // matched downsizing (paper's rule)
+    const auto sim = simulate_stage(technology, level, k_rel, opt, so);
+    PowerDelayPoint pt;
+    pt.size_scale = scale;
+    pt.delay_per_mm =
+        sim.length_used > 0.0 ? sim.delay_50 / (sim.length_used * 1e3) : 0.0;
+    pt.power = sim.supply_power;
+    pt.duty_effective = sim.duty_effective;
+    pt.j_peak = sim.j_peak;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+}  // namespace dsmt::repeater

@@ -1,0 +1,46 @@
+// Repeater power models and the power/delay sizing trade-off.
+//
+// The paper notes that "for lines which are not on critical path, the
+// buffer size may be reduced to save power". This module quantifies the
+// trade: per-stage dynamic, short-circuit, and wire power, measured from
+// the MNA simulation (supply-current integration) and estimated from
+// closed forms, across a driver-size sweep.
+#pragma once
+
+#include "repeater/simulate.h"
+#include "tech/technology.h"
+
+namespace dsmt::repeater {
+
+/// Closed-form per-stage energy estimate per clock period:
+///   E_dyn = (c l + (c_g + c_p) s) Vdd^2   (both edges switch the full cap)
+double stage_dynamic_energy(const tech::DeviceParameters& dev, double size,
+                            double c_per_m, double length);
+
+/// Power measured from the stage simulation's supply rail [W]: average of
+/// vdd * i_vdd over the measured period (includes short-circuit current).
+/// Requires the stage to have been built by build_repeater_stage with its
+/// vdd source index recorded.
+struct StagePower {
+  double total = 0.0;          ///< measured average supply power [W]
+  double dynamic_estimate = 0.0;  ///< E_dyn / T from the closed form
+  double short_circuit = 0.0;  ///< total - dynamic estimate (floored at 0)
+};
+
+/// One point of the power/delay trade-off sweep.
+struct PowerDelayPoint {
+  double size_scale = 0.0;   ///< s / s_opt
+  double delay_per_mm = 0.0; ///< [s/mm]
+  double power = 0.0;        ///< measured supply power [W]
+  double duty_effective = 0.0;
+  double j_peak = 0.0;       ///< [A/m^2]
+};
+
+/// Sweeps driver sizes (with matched lengths, s and l scaled together) and
+/// measures delay and power for each — the designer's trade-off curve.
+std::vector<PowerDelayPoint> power_delay_sweep(
+    const tech::Technology& technology, int level, double k_rel,
+    const std::vector<double>& size_scales,
+    const SimulationOptions& options = {});
+
+}  // namespace dsmt::repeater

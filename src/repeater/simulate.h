@@ -1,0 +1,51 @@
+// Transient simulation of an optimally buffered stage — produces the
+// current waveforms and densities of the paper's Tables 5-6 and Fig. 7.
+#pragma once
+
+#include <vector>
+
+#include "circuit/waveform.h"
+#include "repeater/optimizer.h"
+#include "tech/technology.h"
+
+namespace dsmt::repeater {
+
+/// Options for the stage simulation.
+struct SimulationOptions {
+  int line_segments = 24;     ///< pi-ladder segments for the distributed line
+  int steps_per_period = 4000;
+  int settle_periods = 1;     ///< discarded warm-up periods
+  double size_scale = 1.0;    ///< multiplies s_opt (downsizing studies)
+  double length_scale = 1.0;  ///< multiplies l_opt
+};
+
+/// Waveforms and measurements from one simulated clock period.
+struct StageSimResult {
+  std::vector<double> time;        ///< within the measured period [s]
+  std::vector<double> line_current;///< driver->line current [A]
+  std::vector<double> v_in;        ///< driver input voltage [V]
+  std::vector<double> v_out;       ///< far-end line voltage [V]
+  circuit::WaveformStats current_stats;
+  double j_peak = 0.0;             ///< peak current density [A/m^2]
+  double j_rms = 0.0;              ///< RMS current density [A/m^2]
+  double j_avg_abs = 0.0;          ///< average |j| [A/m^2]
+  double duty_effective = 0.0;     ///< r_eff = (I_rms/I_peak)^2
+  double out_rise_fraction = 0.0;  ///< 10-90% output rise time / clock period
+  double delay_50 = 0.0;           ///< 50% in->out delay [s]
+  double size_used = 0.0;
+  double length_used = 0.0;
+  /// Average per-stage supply power over the measured period [W] (total
+  /// rail power of the two identical stages, halved).
+  double supply_power = 0.0;
+};
+
+/// Simulates one repeater stage on `level` of `technology` with insulator
+/// permittivity `k_rel`: driver sized s_opt*size_scale, line of length
+/// l_opt*length_scale, receiver gate load; input driven by a rail-to-rail
+/// clock pulse with the technology's rise time and period. Current density
+/// uses the layer's W x t cross-section.
+StageSimResult simulate_stage(const tech::Technology& technology, int level,
+                              double k_rel, const OptimalRepeater& opt,
+                              const SimulationOptions& options = {});
+
+}  // namespace dsmt::repeater

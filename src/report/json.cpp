@@ -1,0 +1,156 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dsmt::report {
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+Json Json::string(std::string value) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.str_ = std::move(value);
+  return j;
+}
+Json Json::number(double value) {
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.num_ = value;
+  return j;
+}
+Json Json::integer(long long value) {
+  Json j;
+  j.kind_ = Kind::kInteger;
+  j.int_ = value;
+  return j;
+}
+Json Json::boolean(bool value) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (kind_ != Kind::kObject)
+    throw std::logic_error("Json::set on non-object");
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  if (kind_ != Kind::kArray) throw std::logic_error("Json::push on non-array");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+namespace {
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kString:
+      escape_into(out, str_);
+      break;
+    case Kind::kNumber: {
+      if (!std::isfinite(num_)) {
+        out += "null";
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.10g", num_);
+      out += buf;
+      break;
+    }
+    case Kind::kInteger: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", int_);
+      out += buf;
+      break;
+    }
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        escape_into(out, k);
+        out += indent < 0 ? ":" : ": ";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const auto& v : items_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace dsmt::report

@@ -1,0 +1,46 @@
+// Minimal JSON writer (no external dependencies) used to export structured
+// results (sign-off reports, sweep series) to downstream tooling.
+//
+// Supports objects, arrays, strings (escaped), numbers, and booleans via a
+// small builder API; output is deterministic (insertion order).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsmt::report {
+
+/// A JSON value tree.
+class Json {
+ public:
+  static Json object();
+  static Json array();
+  static Json string(std::string value);
+  static Json number(double value);
+  static Json integer(long long value);
+  static Json boolean(bool value);
+
+  /// Object member (asserts object kind). Returns *this for chaining.
+  Json& set(const std::string& key, Json value);
+  /// Array append (asserts array kind).
+  Json& push(Json value);
+
+  /// Serializes; `indent` < 0 means compact.
+  std::string dump(int indent = 2) const;
+
+ private:
+  enum class Kind { kObject, kArray, kString, kNumber, kInteger, kBool };
+  Kind kind_ = Kind::kObject;
+  std::string str_;
+  double num_ = 0.0;
+  long long int_ = 0;
+  bool bool_ = false;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+
+  void dump_to(std::string& out, int indent, int depth) const;
+};
+
+}  // namespace dsmt::report

@@ -1,0 +1,84 @@
+#include "selfconsistent/solver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+#include "numeric/roots.h"
+
+namespace dsmt::selfconsistent {
+
+double heating_coefficient(double w_m, double t_m, double rth_per_len) {
+  if (w_m <= 0.0 || t_m <= 0.0 || rth_per_len <= 0.0)
+    throw std::invalid_argument("heating_coefficient: bad parameters");
+  return w_m * t_m * rth_per_len;
+}
+
+namespace {
+void validate(const Problem& p) {
+  if (p.duty_cycle <= 0.0 || p.duty_cycle > 1.0)
+    throw std::invalid_argument("Problem: duty cycle outside (0,1]");
+  if (p.j0 <= 0.0) throw std::invalid_argument("Problem: j0 <= 0");
+  if (p.t_ref <= 0.0) throw std::invalid_argument("Problem: t_ref <= 0");
+  if (p.heating_coefficient <= 0.0)
+    throw std::invalid_argument("Problem: heating coefficient <= 0");
+}
+
+/// j_rms^2 admissible thermally at metal temperature t_m.
+double jrms2_thermal(const Problem& p, double t_m) {
+  return (t_m - p.t_ref) /
+         (p.metal.resistivity(t_m) * p.heating_coefficient);
+}
+
+/// j_avg_max^2 admissible by EM at metal temperature t_m.
+double javg2_em(const Problem& p, double t_m) {
+  const auto& em = p.metal.em;
+  const double expo = 2.0 * em.activation_energy_ev /
+                      (em.current_exponent * kBoltzmannEv) *
+                      (1.0 / t_m - 1.0 / p.t_ref);
+  return p.j0 * p.j0 * std::exp(expo);
+}
+}  // namespace
+
+double residual(const Problem& p, double t_m) {
+  // r * j_rms^2(thermal) - j_avg^2(EM): negative below the root (thermal
+  // side admits less than EM needs), positive above.
+  return p.duty_cycle * jrms2_thermal(p, t_m) - javg2_em(p, t_m);
+}
+
+double jpeak_em_only(const Problem& p) {
+  validate(p);
+  return p.j0 / p.duty_cycle;
+}
+
+Solution solve(const Problem& p) {
+  validate(p);
+  Solution sol;
+
+  // Bracket: just above T_ref the residual is negative (no thermal headroom,
+  // finite EM demand); it grows without bound as T_m rises (thermal j_rms^2
+  // grows, EM side decays). The root is unique.
+  const double lo = p.t_ref * (1.0 + 1e-12);
+  double hi = p.t_ref + 1.0;
+  while (residual(p, hi) < 0.0 && hi < p.t_ref + 5000.0) {
+    hi = p.t_ref + 2.0 * (hi - p.t_ref);
+  }
+  if (residual(p, hi) < 0.0)
+    throw std::runtime_error("selfconsistent::solve: failed to bracket root");
+
+  const auto root = numeric::brent([&](double t) { return residual(p, t); },
+                                   lo, hi, {.x_tol = 1e-9, .f_tol = 0.0,
+                                            .max_iterations = 200});
+  sol.t_metal = root.root;
+  sol.delta_t = sol.t_metal - p.t_ref;
+  sol.converged = root.converged;
+  sol.iterations = root.iterations;
+
+  const double jrms2 = jrms2_thermal(p, sol.t_metal);
+  sol.j_rms = jrms2 > 0.0 ? std::sqrt(jrms2) : 0.0;
+  sol.j_peak = sol.j_rms / std::sqrt(p.duty_cycle);
+  sol.j_avg = p.duty_cycle * sol.j_peak;
+  return sol;
+}
+
+}  // namespace dsmt::selfconsistent

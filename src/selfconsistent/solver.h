@@ -1,0 +1,62 @@
+// The paper's primary contribution: self-consistent solutions for allowed
+// interconnect current density, simultaneously comprehending electromigration
+// (Black's equation on j_avg) and self-heating (Joule heating by j_rms).
+//
+// For unipolar pulses of duty cycle r (paper Eqs. 4-5):
+//   j_avg = r j_peak,  j_rms = sqrt(r) j_peak  =>  j_avg^2 = r j_rms^2.
+// Self-heating (Eq. 9, generalized via the heating coefficient H):
+//   T_m = T_ref + j_rms^2 rho(T_m) H,
+// where, for an isolated line over a layered stack (Eq. 15),
+//   H = t_m W_m R'_th = t_m W_m sum_i(b_i/K_i) / W_eff,
+// and for a dense array H comes from the FD coupling solve (Eq. 18).
+// EM equivalence with the design rule (j_o at T_ref) (Eq. 12):
+//   j_avg_max(T_m) = j_o exp[(Q/(n kB))(1/T_m - 1/T_ref)].
+// Eliminating j_peak yields one equation in T_m (Eq. 13):
+//   r (T_m - T_ref)/(rho(T_m) H) = j_o^2 exp[(2Q/(n kB))(1/T_m - 1/T_ref)]
+// (for n = 2 this is exactly the paper's form). The left side rises with
+// T_m, the right side falls, so the root is unique; we solve it with Brent.
+#pragma once
+
+#include "materials/metal.h"
+#include "tech/layer_stack.h"
+
+namespace dsmt::selfconsistent {
+
+/// Problem statement for one line.
+struct Problem {
+  materials::Metal metal;
+  double duty_cycle = 0.1;     ///< r (or effective r for general waveforms)
+  double j0 = 6.0e9;           ///< design-rule j_avg at t_ref [A/m^2]
+  double t_ref = 373.15;       ///< reference junction temperature [K]
+  /// Heating coefficient H [K m / (W/m^3)]: dT = j_rms^2 rho(T) H.
+  /// Build with heating_coefficient() below or from an array FD solve.
+  double heating_coefficient = 0.0;
+};
+
+/// H for an isolated line: t_m W_m R'_th (see impedance.h for R'_th).
+double heating_coefficient(double w_m, double t_m, double rth_per_len);
+
+/// The self-consistent operating point.
+struct Solution {
+  double t_metal = 0.0;    ///< self-consistent metal temperature [K]
+  double delta_t = 0.0;    ///< T_m - T_ref [K]
+  double j_peak = 0.0;     ///< maximum allowed peak current density [A/m^2]
+  double j_rms = 0.0;      ///< corresponding RMS density [A/m^2]
+  double j_avg = 0.0;      ///< corresponding average density [A/m^2]
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Solves Eq. 13. Throws std::invalid_argument on malformed problems.
+Solution solve(const Problem& problem);
+
+/// The EM-only limit (no self-heating): j_peak = j_o / r (the dotted line
+/// "a" in Fig. 2). Diverges as r -> 0.
+double jpeak_em_only(const Problem& problem);
+
+/// Residual of the self-consistent equation at temperature t_m — positive
+/// when the thermally-limited j_avg exceeds the EM-limited one. Exposed for
+/// testing and for diagnostics plots.
+double residual(const Problem& problem, double t_m);
+
+}  // namespace dsmt::selfconsistent

@@ -1,0 +1,92 @@
+#include "selfconsistent/sweep.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "thermal/impedance.h"
+
+namespace dsmt::selfconsistent {
+
+std::vector<double> log_spaced(double lo, double hi, int points) {
+  if (lo <= 0.0 || hi <= lo || points < 2)
+    throw std::invalid_argument("log_spaced: bad range");
+  std::vector<double> v(points);
+  const double step = std::log(hi / lo) / (points - 1);
+  for (int i = 0; i < points; ++i) v[i] = lo * std::exp(i * step);
+  v.back() = hi;
+  return v;
+}
+
+std::vector<DutyCyclePoint> sweep_duty_cycle(
+    const Problem& base, const std::vector<double>& duty_cycles) {
+  // Reference thermal-only line (b): j_rms at the r = 1 self-consistent
+  // point, divided by sqrt(r).
+  Problem dc = base;
+  dc.duty_cycle = 1.0;
+  const double jrms_dc = solve(dc).j_rms;
+
+  std::vector<DutyCyclePoint> out;
+  out.reserve(duty_cycles.size());
+  for (double r : duty_cycles) {
+    Problem p = base;
+    p.duty_cycle = r;
+    DutyCyclePoint pt;
+    pt.duty_cycle = r;
+    pt.sc = solve(p);
+    pt.jpeak_em_only = jpeak_em_only(p);
+    pt.jpeak_thermal_only = jrms_dc / std::sqrt(r);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+std::vector<std::vector<DutyCyclePoint>> sweep_j0(
+    const Problem& base, const std::vector<double>& j0_values,
+    const std::vector<double>& duty_cycles) {
+  std::vector<std::vector<DutyCyclePoint>> out;
+  out.reserve(j0_values.size());
+  for (double j0 : j0_values) {
+    Problem p = base;
+    p.j0 = j0;
+    out.push_back(sweep_duty_cycle(p, duty_cycles));
+  }
+  return out;
+}
+
+Problem make_level_problem(const tech::Technology& technology, int level,
+                           const materials::Dielectric& gap_fill, double phi,
+                           double duty_cycle, double j0) {
+  const auto& layer = technology.layer(level);
+  const auto stack = technology.stack_below(level, gap_fill);
+  const double b = stack.total_thickness();
+  const double w_eff = thermal::effective_width(layer.width, b, phi);
+  const double rth = thermal::rth_per_length(stack, w_eff);
+
+  Problem p;
+  p.metal = technology.metal;
+  p.duty_cycle = duty_cycle;
+  p.j0 = j0;
+  p.heating_coefficient =
+      heating_coefficient(layer.width, layer.thickness, rth);
+  return p;
+}
+
+std::vector<TableCell> generate_design_rule_table(const TableSpec& spec) {
+  std::vector<TableCell> cells;
+  for (double r : spec.duty_cycles) {
+    for (const auto& gf : spec.gap_fills) {
+      for (int level : spec.levels) {
+        TableCell cell;
+        cell.level = level;
+        cell.dielectric = gf.name;
+        cell.duty_cycle = r;
+        cell.sol = solve(make_level_problem(spec.technology, level, gf,
+                                            spec.phi, r, spec.j0));
+        cells.push_back(cell);
+      }
+    }
+  }
+  return cells;
+}
+
+}  // namespace dsmt::selfconsistent

@@ -1,0 +1,62 @@
+// Sweep drivers over the self-consistent solver: duty-cycle sweeps (Fig. 2),
+// j_o sweeps (Fig. 3), and technology design-rule tables (Tables 2-4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "materials/dielectric.h"
+#include "selfconsistent/solver.h"
+#include "tech/technology.h"
+
+namespace dsmt::selfconsistent {
+
+/// One point of a duty-cycle sweep.
+struct DutyCyclePoint {
+  double duty_cycle = 0.0;
+  Solution sc;              ///< self-consistent solution
+  double jpeak_em_only = 0.0;  ///< dotted line (a) of Fig. 2: j_o / r
+  double jpeak_thermal_only = 0.0;  ///< dotted line (b): j_rms(r=1 sc)/sqrt(r)
+};
+
+/// Sweeps duty cycle over `duty_cycles` for a fixed problem (Fig. 2).
+std::vector<DutyCyclePoint> sweep_duty_cycle(
+    const Problem& base, const std::vector<double>& duty_cycles);
+
+/// Logarithmically spaced duty cycles in [lo, hi].
+std::vector<double> log_spaced(double lo, double hi, int points);
+
+/// Sweeps the design-rule current density j_o at each duty cycle (Fig. 3):
+/// result[i][k] is the solution at duty_cycles[k] for j0_values[i].
+std::vector<std::vector<DutyCyclePoint>> sweep_j0(
+    const Problem& base, const std::vector<double>& j0_values,
+    const std::vector<double>& duty_cycles);
+
+/// Specification of a design-rule table (paper Tables 2-4).
+struct TableSpec {
+  tech::Technology technology;
+  std::vector<materials::Dielectric> gap_fills;  ///< columns
+  std::vector<int> levels;                       ///< rows (metal levels)
+  std::vector<double> duty_cycles;               ///< sections (0.1, 1.0)
+  double j0 = 6.0e9;                             ///< [A/m^2]
+  double phi = 2.45;                             ///< heat-spreading parameter
+};
+
+/// One solved table cell.
+struct TableCell {
+  int level = 0;
+  std::string dielectric;
+  double duty_cycle = 0.0;
+  Solution sol;
+};
+
+/// Solves every (level x dielectric x duty-cycle) combination of the spec
+/// using the layered-stack heating coefficient (Eq. 15 + quasi-2D W_eff).
+std::vector<TableCell> generate_design_rule_table(const TableSpec& spec);
+
+/// Convenience: builds the Problem for one technology level/gap-fill.
+Problem make_level_problem(const tech::Technology& technology, int level,
+                           const materials::Dielectric& gap_fill, double phi,
+                           double duty_cycle, double j0);
+
+}  // namespace dsmt::selfconsistent

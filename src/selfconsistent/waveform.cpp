@@ -1,0 +1,63 @@
+#include "selfconsistent/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "em/bipolar.h"
+#include "numeric/stats.h"
+
+namespace dsmt::selfconsistent {
+
+WaveformShape measure_shape(const std::vector<double>& t,
+                            const std::vector<double>& j) {
+  if (t.size() != j.size() || t.size() < 2)
+    throw std::invalid_argument("measure_shape: need >=2 samples");
+  WaveformShape s;
+  s.peak = numeric::peak_abs(j);
+  if (s.peak <= 0.0)
+    throw std::invalid_argument("measure_shape: waveform is identically 0");
+  const double rms = numeric::rms_sampled(t, j);
+  std::vector<double> abs_j(j.size());
+  for (std::size_t i = 0; i < j.size(); ++i) abs_j[i] = std::abs(j[i]);
+  const double avg_abs = numeric::mean_sampled(t, abs_j);
+  s.rms_over_peak = rms / s.peak;
+  s.avg_abs_over_peak = avg_abs / s.peak;
+  s.duty_effective = s.rms_over_peak * s.rms_over_peak;
+  return s;
+}
+
+WaveformVerdict evaluate_waveform(const Problem& base,
+                                  const std::vector<double>& t,
+                                  const std::vector<double>& j) {
+  WaveformVerdict v;
+  v.shape = measure_shape(t, j);
+
+  Problem p = base;
+  p.duty_cycle = std::clamp(v.shape.duty_effective, 1e-6, 1.0);
+  v.limit = solve(p);
+  v.jpeak_actual = v.shape.peak;
+  v.amplitude_margin =
+      v.jpeak_actual > 0.0 ? v.limit.j_peak / v.jpeak_actual : 0.0;
+  v.pass = v.amplitude_margin >= 1.0;
+  return v;
+}
+
+WaveformVerdict evaluate_waveform_bipolar(const Problem& base,
+                                          const std::vector<double>& t,
+                                          const std::vector<double>& j,
+                                          double gamma) {
+  // Recovery scales the EM stress down; raising j0 by the immunity factor
+  // is the equivalent transformation of Eq. 13's EM side (heating side
+  // untouched since it depends on j_rms only).
+  const double immunity = em::bipolar_immunity_factor(t, j, gamma);
+  Problem p = base;
+  if (std::isfinite(immunity)) p.j0 = base.j0 * immunity;
+  // Perfectly symmetric waveform with full recovery: EM vanishes; keep a
+  // huge-but-finite j0 so the thermal side alone caps the answer.
+  else
+    p.j0 = base.j0 * 1e6;
+  return evaluate_waveform(p, t, j);
+}
+
+}  // namespace dsmt::selfconsistent

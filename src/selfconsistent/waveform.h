@@ -1,0 +1,63 @@
+// Self-consistent limits for arbitrary current waveforms (Hunter Part II
+// [18]: Eq. 13 holds for general time-varying waveforms with an effective
+// duty cycle r_eff = (j_rms/j_peak)^2).
+//
+// Given a sampled waveform *shape* (one period of the current a line will
+// actually carry — e.g. straight from the MNA engine), this module:
+//   - computes r_eff and the shape's rms/peak/avg ratios,
+//   - solves the self-consistent equation at r_eff,
+//   - reports the maximum amplitude scale the line tolerates: the factor by
+//     which the candidate waveform may be multiplied before it exactly
+//     meets the EM + self-heating limit.
+#pragma once
+
+#include <vector>
+
+#include "selfconsistent/solver.h"
+
+namespace dsmt::selfconsistent {
+
+/// Shape metrics of a sampled waveform (amplitude-invariant).
+struct WaveformShape {
+  double duty_effective = 0.0;  ///< (rms/peak)^2
+  double rms_over_peak = 0.0;
+  double avg_abs_over_peak = 0.0;
+  double peak = 0.0;            ///< of the input samples [same unit as input]
+};
+
+/// Measures the shape of samples j(t) (or I(t) — units cancel).
+WaveformShape measure_shape(const std::vector<double>& t,
+                            const std::vector<double>& j);
+
+/// Self-consistent verdict for a concrete waveform on a concrete line.
+struct WaveformVerdict {
+  WaveformShape shape;
+  Solution limit;             ///< solved at r_eff
+  double jpeak_actual = 0.0;  ///< the waveform's own peak density [A/m^2]
+  double amplitude_margin = 0.0;  ///< limit.j_peak / jpeak_actual
+  bool pass = false;              ///< amplitude_margin >= 1
+};
+
+/// Evaluates sampled current densities j(t) [A/m^2] against the line
+/// described by `base` (whose duty_cycle field is ignored — r_eff from the
+/// waveform is used instead).
+WaveformVerdict evaluate_waveform(const Problem& base,
+                                  const std::vector<double>& t,
+                                  const std::vector<double>& j);
+
+/// Bipolar-aware variant (the paper: signal lines carry bidirectional
+/// currents and "are known to have much higher EM immunity, hence the
+/// self-consistent values ... are lower bounds"). Heating is unchanged
+/// (j_rms is polarity-blind) but the EM stress uses Liew's recovery model
+/// with factor `gamma`: the EM-effective average is reduced relative to
+/// the unipolar |j| average, which is equivalent to relaxing the design
+/// rule j0 by the waveform's bipolar immunity factor. Even gamma = 0
+/// credits polarity separation (each polarity only drives its own damage
+/// direction), so the margin is always >= evaluate_waveform's conservative
+/// |j| treatment; gamma -> 1 adds full healing.
+WaveformVerdict evaluate_waveform_bipolar(const Problem& base,
+                                          const std::vector<double>& t,
+                                          const std::vector<double>& j,
+                                          double gamma);
+
+}  // namespace dsmt::selfconsistent

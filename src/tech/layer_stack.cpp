@@ -1,0 +1,53 @@
+#include "tech/layer_stack.h"
+
+#include <stdexcept>
+
+namespace dsmt::tech {
+
+double DielectricStack::total_thickness() const {
+  double b = 0.0;
+  for (const auto& s : slabs) b += s.thickness;
+  return b;
+}
+
+double DielectricStack::series_resistance_term() const {
+  double acc = 0.0;
+  for (const auto& s : slabs) {
+    if (s.k_thermal <= 0.0)
+      throw std::domain_error("DielectricStack: non-positive conductivity");
+    acc += s.thickness / s.k_thermal;
+  }
+  return acc;
+}
+
+double DielectricStack::effective_conductivity() const {
+  const double term = series_resistance_term();
+  if (term <= 0.0)
+    throw std::domain_error("DielectricStack: empty or degenerate stack");
+  return total_thickness() / term;
+}
+
+DielectricStack stack_below(const std::vector<MetalLayer>& layers, int level,
+                            const materials::Dielectric& ild,
+                            const materials::Dielectric& gap_fill) {
+  const MetalLayer* target = nullptr;
+  for (const auto& l : layers)
+    if (l.level == level) target = &l;
+  if (!target)
+    throw std::out_of_range("stack_below: no such metal level " +
+                            std::to_string(level));
+
+  DielectricStack stack;
+  for (const auto& l : layers) {
+    if (l.level > level) break;
+    // ILD slab below this level (PMD for M1).
+    if (l.ild_below > 0.0)
+      stack.slabs.push_back({l.ild_below, ild.k_thermal, false});
+    // Lower metal levels appear as intra-level gap-fill slabs.
+    if (l.level < level && l.thickness > 0.0)
+      stack.slabs.push_back({l.thickness, gap_fill.k_thermal, true});
+  }
+  return stack;
+}
+
+}  // namespace dsmt::tech

@@ -1,0 +1,62 @@
+// Metallization-stack geometry: per-level wire dimensions and the dielectric
+// slab sequence separating a level from the silicon substrate.
+//
+// The self-consistent analysis needs, per metal level m:
+//   - wire width W_m, thickness t_m (heating volume),
+//   - the *underlying* thermal path: alternating inter-level dielectric (ILD,
+//     always oxide in the processes studied) and intra-level gap-fill slabs
+//     (oxide or low-k, thickness of each lower metal level). In the worst
+//     case the line runs over spaces, so lower metal levels count as
+//     gap-fill dielectric rather than metal (paper Eq. 15 generalization).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "materials/dielectric.h"
+
+namespace dsmt::tech {
+
+/// Geometry of one metal level. All lengths in metres.
+struct MetalLayer {
+  int level = 1;          ///< 1-based level index (M1 = 1)
+  double width = 0.0;     ///< default (design-rule) wire width W_m
+  double pitch = 0.0;     ///< wire pitch (width + spacing)
+  double thickness = 0.0; ///< metal film thickness t_m
+  double ild_below = 0.0; ///< inter-level dielectric thickness directly below
+
+  double spacing() const { return pitch - width; }
+  /// Wire aspect ratio t/W.
+  double aspect_ratio() const { return thickness / width; }
+};
+
+/// One slab in the vertical thermal path between a wire and the substrate.
+struct DielectricSlab {
+  double thickness = 0.0;       ///< [m]
+  double k_thermal = 1.15;      ///< [W/(m*K)]
+  bool is_gap_fill = false;     ///< true if this slab is intra-level gap-fill
+};
+
+/// The dielectric path below a given level.
+struct DielectricStack {
+  std::vector<DielectricSlab> slabs;
+
+  /// Total thickness b = sum of slab thicknesses [m].
+  double total_thickness() const;
+  /// Thickness-weighted series term sum(t_i / K_i) [m^2*K/W]; dividing by
+  /// W_eff gives the thermal resistance per unit length (paper Eq. 15).
+  double series_resistance_term() const;
+  /// Effective (series) thermal conductivity b / sum(t_i/K_i).
+  double effective_conductivity() const;
+};
+
+/// Builds the worst-case dielectric path below `level` for a stack whose
+/// inter-level dielectric is `ild` and whose intra-level gap-fill material is
+/// `gap_fill`. Lower metal levels contribute gap-fill slabs of their metal
+/// thickness (line-over-space worst case). Throws std::out_of_range if
+/// `level` is not in `layers`.
+DielectricStack stack_below(const std::vector<MetalLayer>& layers, int level,
+                            const materials::Dielectric& ild,
+                            const materials::Dielectric& gap_fill);
+
+}  // namespace dsmt::tech

@@ -1,0 +1,35 @@
+#include "tech/scaling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::tech {
+
+Technology scale_technology(const Technology& base, double factor,
+                            const std::string& name) {
+  if (factor <= 0.0)
+    throw std::invalid_argument("scale_technology: factor <= 0");
+  Technology t = base;
+  t.name = name;
+  t.feature_size *= factor;
+  for (auto& l : t.layers) {
+    l.width *= factor;
+    l.pitch *= factor;
+    l.thickness *= factor;
+    l.ild_below *= factor;
+  }
+  const double sv = std::sqrt(factor);
+  t.device.vdd *= sv;
+  t.device.vt *= sv;
+  t.device.vdsat0 *= sv;
+  t.device.idsat_n *= sv;
+  t.device.idsat_p *= sv;
+  t.device.cg *= factor;
+  t.device.cp *= factor;
+  // r0 ~ vdd / idsat: both scale by sqrt(s), so r0 is unchanged.
+  t.device.clock_period *= factor;
+  t.device.rise_time *= factor;
+  return t;
+}
+
+}  // namespace dsmt::tech

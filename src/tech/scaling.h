@@ -1,0 +1,25 @@
+// Programmatic technology scaling — generates hypothetical nodes between
+// (or beyond) the built-in NTRS entries so scaling studies can sweep
+// continuously. Follows generalized scaling with factor s < 1 for a shrink:
+//
+//   lateral & vertical geometry  x s        (W, pitch, t, ILD)
+//   supply and threshold         x sqrt(s)  (between constant-field s and
+//                                            constant-voltage 1)
+//   device saturation current    x sqrt(s)  (I ~ W C_ox v_sat V)
+//   gate capacitances            x s
+//   driver resistance            x 1        (Vdd/Idsat both x sqrt(s))
+//   clock period & edge rate     x s        (gate-delay-limited)
+//
+// The metallization keeps the same level count; adding levels at deeper
+// nodes is a separate, deliberate choice (see the built-in nodes).
+#pragma once
+
+#include "tech/technology.h"
+
+namespace dsmt::tech {
+
+/// Returns `base` scaled by `factor` (0 < factor; < 1 shrinks), renamed.
+Technology scale_technology(const Technology& base, double factor,
+                            const std::string& name);
+
+}  // namespace dsmt::tech

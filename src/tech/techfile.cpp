@@ -1,0 +1,142 @@
+#include "tech/techfile.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "numeric/constants.h"
+
+namespace dsmt::tech {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("techfile:" + std::to_string(line) + ": " + msg);
+}
+}  // namespace
+
+std::string to_techfile(const Technology& t) {
+  std::ostringstream os;
+  os.precision(12);
+  os << "# dsmt technology file\n";
+  os << "tech " << t.name << "\n";
+  os << "feature_um " << dsmt::to_um(t.feature_size) << "\n";
+  os << "metal " << t.metal.name << "\n";
+  os << "ild " << t.ild.name << "\n";
+  const auto& d = t.device;
+  os << "device vdd " << d.vdd << " vt " << d.vt << " r0 " << d.r0 << " cg "
+     << d.cg << " cp " << d.cp << " idsat_n " << d.idsat_n << " idsat_p "
+     << d.idsat_p << " alpha " << d.alpha << " vdsat0 " << d.vdsat0
+     << " clock " << d.clock_period << " trise " << d.rise_time << "\n";
+  for (const auto& l : t.layers) {
+    os << "layer " << l.level << " w_um " << dsmt::to_um(l.width)
+       << " pitch_um " << dsmt::to_um(l.pitch) << " t_um "
+       << dsmt::to_um(l.thickness) << " ild_um " << dsmt::to_um(l.ild_below)
+       << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+Technology parse_techfile(const std::string& text) {
+  Technology t;
+  t.layers.clear();
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_tech = false, saw_end = false;
+
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key)) continue;  // blank
+
+    if (key == "tech") {
+      if (!(ls >> t.name)) fail(lineno, "tech: missing name");
+      saw_tech = true;
+    } else if (key == "feature_um") {
+      double f;
+      if (!(ls >> f) || f <= 0.0) fail(lineno, "feature_um: bad value");
+      t.feature_size = dsmt::um(f);
+    } else if (key == "metal") {
+      std::string m;
+      if (!(ls >> m)) fail(lineno, "metal: missing name");
+      try {
+        t.metal = materials::metal_by_name(m);
+      } catch (const std::out_of_range&) {
+        fail(lineno, "metal: unknown '" + m + "'");
+      }
+    } else if (key == "ild") {
+      std::string d;
+      if (!(ls >> d)) fail(lineno, "ild: missing name");
+      try {
+        t.ild = materials::dielectric_by_name(d);
+      } catch (const std::out_of_range&) {
+        fail(lineno, "ild: unknown '" + d + "'");
+      }
+    } else if (key == "device") {
+      std::string k;
+      double v;
+      while (ls >> k) {
+        if (!(ls >> v)) fail(lineno, "device: missing value for " + k);
+        if (k == "vdd") t.device.vdd = v;
+        else if (k == "vt") t.device.vt = v;
+        else if (k == "r0") t.device.r0 = v;
+        else if (k == "cg") t.device.cg = v;
+        else if (k == "cp") t.device.cp = v;
+        else if (k == "idsat_n") t.device.idsat_n = v;
+        else if (k == "idsat_p") t.device.idsat_p = v;
+        else if (k == "alpha") t.device.alpha = v;
+        else if (k == "vdsat0") t.device.vdsat0 = v;
+        else if (k == "clock") t.device.clock_period = v;
+        else if (k == "trise") t.device.rise_time = v;
+        else fail(lineno, "device: unknown key " + k);
+      }
+    } else if (key == "layer") {
+      MetalLayer l;
+      std::string k;
+      if (!(ls >> l.level)) fail(lineno, "layer: missing level");
+      double v;
+      while (ls >> k) {
+        if (!(ls >> v)) fail(lineno, "layer: missing value for " + k);
+        if (k == "w_um") l.width = dsmt::um(v);
+        else if (k == "pitch_um") l.pitch = dsmt::um(v);
+        else if (k == "t_um") l.thickness = dsmt::um(v);
+        else if (k == "ild_um") l.ild_below = dsmt::um(v);
+        else fail(lineno, "layer: unknown key " + k);
+      }
+      if (l.width <= 0.0 || l.thickness <= 0.0 || l.pitch < l.width)
+        fail(lineno, "layer: inconsistent geometry");
+      if (!t.layers.empty() && l.level <= t.layers.back().level)
+        fail(lineno, "layer: levels must be ascending");
+      t.layers.push_back(l);
+    } else if (key == "end") {
+      saw_end = true;
+      break;
+    } else {
+      fail(lineno, "unknown directive '" + key + "'");
+    }
+  }
+  if (!saw_tech) fail(lineno, "missing 'tech' directive");
+  if (!saw_end) fail(lineno, "missing 'end' directive");
+  if (t.layers.empty()) fail(lineno, "no layers defined");
+  return t;
+}
+
+void save_techfile(const Technology& t, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_techfile: cannot open " + path);
+  os << to_techfile(t);
+}
+
+Technology load_techfile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_techfile: cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return parse_techfile(buf.str());
+}
+
+}  // namespace dsmt::tech

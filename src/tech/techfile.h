@@ -1,0 +1,35 @@
+// Plain-text technology-file serialization.
+//
+// Format (line-oriented, '#' comments, case-sensitive keys):
+//
+//   tech <name>
+//   feature_um <f>
+//   metal <cu|alcu|al|w>
+//   ild <oxide|hsq|polyimide|fsg|aerogel|air>
+//   device vdd <v> vt <v> r0 <ohm> cg <F> cp <F> idsat_n <A> idsat_p <A>
+//          ... alpha <a> clock <s> trise <s>   (single line in the file)
+//   layer <level> w_um <w> pitch_um <p> t_um <t> ild_um <b>
+//   end
+//
+// All `layer` lines must appear in ascending level order.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tech/technology.h"
+
+namespace dsmt::tech {
+
+/// Serializes a technology to the techfile format.
+std::string to_techfile(const Technology& t);
+
+/// Parses a techfile. Throws std::runtime_error with a line number on
+/// malformed input.
+Technology parse_techfile(const std::string& text);
+
+/// Convenience wrappers around file I/O.
+void save_techfile(const Technology& t, const std::string& path);
+Technology load_techfile(const std::string& path);
+
+}  // namespace dsmt::tech

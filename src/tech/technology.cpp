@@ -1,0 +1,27 @@
+#include "tech/technology.h"
+
+#include <stdexcept>
+
+namespace dsmt::tech {
+
+const MetalLayer& Technology::layer(int level) const {
+  for (const auto& l : layers)
+    if (l.level == level) return l;
+  throw std::out_of_range("Technology::layer: no level " +
+                          std::to_string(level) + " in " + name);
+}
+
+DielectricStack Technology::stack_below(
+    int level, const materials::Dielectric& gap_fill) const {
+  return tech::stack_below(layers, level, ild, gap_fill);
+}
+
+double Technology::wire_resistance_per_m(int level, double width_m,
+                                         double temperature_k) const {
+  const MetalLayer& l = layer(level);
+  if (width_m <= 0.0)
+    throw std::invalid_argument("wire_resistance_per_m: width <= 0");
+  return metal.resistivity(temperature_k) / (width_m * l.thickness);
+}
+
+}  // namespace dsmt::tech

@@ -1,0 +1,58 @@
+// A technology node: metallization stack + interconnect metal + device
+// parameters for repeater/driver analysis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "materials/dielectric.h"
+#include "materials/metal.h"
+#include "tech/layer_stack.h"
+
+namespace dsmt::tech {
+
+/// Transistor-level parameters of a minimum-sized inverter, in the form the
+/// repeater-optimization model (paper Eqs. 16-17) consumes, plus the
+/// alpha-power-law data the transient simulator needs.
+struct DeviceParameters {
+  double vdd = 2.5;           ///< supply [V]
+  double vt = 0.5;            ///< threshold magnitude [V] (NMOS == |PMOS|)
+  double r0 = 5.0e3;          ///< effective min-driver resistance r_o [Ohm]
+  double cg = 3.0e-15;        ///< min-inverter input capacitance c_g [F]
+  double cp = 3.0e-15;        ///< min-inverter output parasitic c_p [F]
+  double idsat_n = 3.0e-4;    ///< NMOS saturation current of min device [A]
+  double idsat_p = 1.4e-4;    ///< PMOS saturation current of min device [A]
+  double alpha = 1.3;         ///< alpha-power velocity-saturation exponent
+  double vdsat0 = 1.0;        ///< saturation drain voltage at Vgs = Vdd [V]
+  double clock_period = 2e-9; ///< global clock period [s]
+  double rise_time = 1e-10;   ///< input edge rate used in simulations [s]
+};
+
+/// A full technology description.
+struct Technology {
+  std::string name;
+  double feature_size = 0.25e-6;  ///< drawn minimum feature [m]
+  materials::Metal metal;         ///< interconnect metal
+  materials::Dielectric ild;      ///< inter-level dielectric (oxide here)
+  std::vector<MetalLayer> layers; ///< M1..Mn, ascending
+  DeviceParameters device;
+
+  int num_levels() const { return static_cast<int>(layers.size()); }
+
+  /// The layer record for a 1-based level; throws std::out_of_range.
+  const MetalLayer& layer(int level) const;
+
+  /// Worst-case dielectric path from `level` down to the substrate with the
+  /// given intra-level gap-fill dielectric (paper Eq. 15 stack).
+  DielectricStack stack_below(int level,
+                              const materials::Dielectric& gap_fill) const;
+
+  /// Wire resistance per unit length [Ohm/m] at width `w` and temperature T.
+  double wire_resistance_per_m(int level, double width_m,
+                               double temperature_k) const;
+
+  /// Top (highest) metal level index.
+  int top_level() const { return layers.empty() ? 0 : layers.back().level; }
+};
+
+}  // namespace dsmt::tech

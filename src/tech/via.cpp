@@ -1,0 +1,66 @@
+#include "tech/via.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::tech {
+
+namespace {
+void check(const ViaSpec& via) {
+  if (via.size <= 0.0 || via.height <= 0.0 || via.count < 1)
+    throw std::invalid_argument("ViaSpec: non-positive geometry");
+}
+}  // namespace
+
+double via_resistance(const ViaSpec& via, double temperature_k) {
+  check(via);
+  const double area = via.size * via.size * via.count;
+  return via.fill.resistivity(temperature_k) * via.height / area;
+}
+
+double via_current_density(const ViaSpec& via, double current) {
+  check(via);
+  return std::abs(current) / (via.size * via.size * via.count);
+}
+
+int cuts_for_current(const ViaSpec& via, double current, double j_limit) {
+  check(via);
+  if (j_limit <= 0.0)
+    throw std::invalid_argument("cuts_for_current: j_limit <= 0");
+  const double per_cut = j_limit * via.size * via.size;
+  return std::max(1, static_cast<int>(std::ceil(std::abs(current) / per_cut)));
+}
+
+double via_thermal_resistance(const ViaSpec& via) {
+  check(via);
+  const double area = via.size * via.size * via.count;
+  return via.height / (via.fill.k_thermal * area);
+}
+
+double via_end_temperature(const ViaSpec& via, double q_end, double t_below) {
+  return t_below + q_end * via_thermal_resistance(via);
+}
+
+ViaStack via_stack_to_substrate(const Technology& technology, int level,
+                                int cuts_per_level) {
+  if (cuts_per_level < 1)
+    throw std::invalid_argument("via_stack_to_substrate: cuts < 1");
+  ViaStack stack;
+  for (int l = level; l >= 1; --l) {
+    const auto& layer = technology.layer(l);
+    ViaSpec via;
+    // Landing-pad-limited cut: the smaller of this layer's width and the
+    // layer below (or the contact size for M1).
+    const double lower_w =
+        l > 1 ? technology.layer(l - 1).width : technology.feature_size;
+    via.size = std::min(layer.width, lower_w);
+    via.height = layer.ild_below;
+    via.count = cuts_per_level;
+    stack.resistance += via_resistance(via, 373.15);
+    stack.thermal_resistance += via_thermal_resistance(via);
+    ++stack.levels_crossed;
+  }
+  return stack;
+}
+
+}  // namespace dsmt::tech

@@ -1,0 +1,53 @@
+// Via stacks: electrical resistance, current limits, and the thermal
+// anchoring they provide to line ends.
+//
+// The paper's "thermally short" discussion rests on vias acting as heat
+// sinks: a line ending in a via stack to lower metal (and eventually the
+// substrate) has its end temperature pinned well below the mid-line
+// temperature. Vias are also EM bottlenecks — current crowds into a much
+// smaller cross-section than the line's.
+#pragma once
+
+#include "materials/metal.h"
+#include "tech/technology.h"
+
+namespace dsmt::tech {
+
+/// A single inter-level via (or a bundle of identical parallel cuts).
+struct ViaSpec {
+  double size = 0.25e-6;     ///< square cut side [m]
+  double height = 0.7e-6;    ///< inter-level dielectric height [m]
+  int count = 1;             ///< parallel cuts in the bundle
+  materials::Metal fill = materials::make_tungsten();
+};
+
+/// Electrical resistance of the bundle at temperature T [Ohm].
+double via_resistance(const ViaSpec& via, double temperature_k);
+
+/// Current density inside the cuts for a delivered current [A/m^2].
+double via_current_density(const ViaSpec& via, double current);
+
+/// Cuts needed so the via current density stays at or below `j_limit` for
+/// the given current (ceil).
+int cuts_for_current(const ViaSpec& via, double current, double j_limit);
+
+/// Thermal resistance of the bundle (conduction through the fill) [K/W].
+double via_thermal_resistance(const ViaSpec& via);
+
+/// End-clamp temperature of a line terminated by a via stack carrying heat
+/// `q_end` [W] into a node at `t_below` [K]: T_end = t_below + q * R_th.
+double via_end_temperature(const ViaSpec& via, double q_end, double t_below);
+
+/// A full stack of vias from `level` down to level 1 for a technology,
+/// sized to the default via of each crossing (size = width of the lower
+/// layer, height = ild_below of the upper). Returns total electrical and
+/// thermal resistance of the chain.
+struct ViaStack {
+  double resistance = 0.0;          ///< [Ohm]
+  double thermal_resistance = 0.0;  ///< [K/W]
+  int levels_crossed = 0;
+};
+ViaStack via_stack_to_substrate(const Technology& technology, int level,
+                                int cuts_per_level = 1);
+
+}  // namespace dsmt::tech

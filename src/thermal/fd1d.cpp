@@ -1,0 +1,126 @@
+#include "thermal/fd1d.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/tridiag.h"
+
+namespace dsmt::thermal {
+
+namespace {
+void check_spec(const Line1DSpec& s) {
+  if (s.w_m <= 0 || s.t_m <= 0 || s.length <= 0 || s.rth_per_len <= 0)
+    throw std::invalid_argument("Line1DSpec: non-positive geometry");
+  if (s.nodes < 3) throw std::invalid_argument("Line1DSpec: nodes < 3");
+}
+}  // namespace
+
+Steady1DResult solve_steady_line(const Line1DSpec& spec, double j_density) {
+  check_spec(spec);
+  const int n = spec.nodes;
+  const double h = spec.length / (n - 1);
+  const double area = spec.w_m * spec.t_m;
+  const double ax_k = spec.metal.k_thermal * area;  // axial conductance*h
+  const double g = 1.0 / spec.rth_per_len;          // vertical W/(m*K)
+
+  Steady1DResult res;
+  res.x.resize(n);
+  for (int i = 0; i < n; ++i) res.x[i] = i * h;
+  res.t.assign(n, spec.t_ref);
+  res.t.front() = res.t.back() = spec.t_end;
+
+  // Picard: freeze rho(T) from the previous iterate, solve the linear BVP
+  //   K A T'' - g (T - T_ref) + j^2 rho A = 0.
+  std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+  for (int it = 0; it < 100; ++it) {
+    for (int i = 0; i < n; ++i) {
+      if (i == 0 || i == n - 1) {
+        lower[i] = upper[i] = 0.0;
+        diag[i] = 1.0;
+        rhs[i] = spec.t_end;
+        continue;
+      }
+      const double rho = spec.metal.resistivity(res.t[i]);
+      const double p = j_density * j_density * rho * area;  // W/m
+      lower[i] = ax_k / (h * h);
+      upper[i] = ax_k / (h * h);
+      diag[i] = -2.0 * ax_k / (h * h) - g;
+      rhs[i] = -g * spec.t_ref - p;
+    }
+    auto t_new = numeric::solve_tridiagonal(lower, diag, upper, rhs);
+    double delta = 0.0;
+    for (int i = 0; i < n; ++i) delta = std::max(delta, std::abs(t_new[i] - res.t[i]));
+    res.t = std::move(t_new);
+    res.picard_iterations = it + 1;
+    if (delta < 1e-8) {
+      res.converged = true;
+      break;
+    }
+  }
+  res.t_peak = 0.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    res.t_peak = std::max(res.t_peak, res.t[i]);
+    sum += res.t[i];
+  }
+  res.t_avg = sum / n;
+  return res;
+}
+
+Transient1DResult solve_transient_line(
+    const Line1DSpec& spec, const std::function<double(double)>& j_of_t,
+    double t_final, int steps) {
+  check_spec(spec);
+  if (steps < 1) throw std::invalid_argument("solve_transient_line: steps");
+  const int n = spec.nodes;
+  const double h = spec.length / (n - 1);
+  const double area = spec.w_m * spec.t_m;
+  const double cv = spec.metal.c_volumetric * area;  // J/(m*K) per length
+  const double ax_k = spec.metal.k_thermal * area;
+  const double g = 1.0 / spec.rth_per_len;
+  const double dt = t_final / steps;
+
+  Transient1DResult res;
+  res.x.resize(n);
+  for (int i = 0; i < n; ++i) res.x[i] = i * h;
+  std::vector<double> t(n, spec.t_ref);
+  t.front() = t.back() = spec.t_end;
+
+  std::vector<double> lower(n), diag(n), upper(n), rhs(n);
+  res.time.reserve(steps + 1);
+  res.t_peak.reserve(steps + 1);
+  res.time.push_back(0.0);
+  res.t_peak.push_back(spec.t_ref);
+
+  for (int s = 0; s < steps; ++s) {
+    const double tn = (s + 1) * dt;
+    const double j = j_of_t(tn);
+    for (int i = 0; i < n; ++i) {
+      if (i == 0 || i == n - 1) {
+        lower[i] = upper[i] = 0.0;
+        diag[i] = 1.0;
+        rhs[i] = spec.t_end;
+        continue;
+      }
+      const double rho = spec.metal.resistivity(t[i]);  // explicit in rho
+      const double p = j * j * rho * area;
+      lower[i] = -dt * ax_k / (h * h);
+      upper[i] = -dt * ax_k / (h * h);
+      diag[i] = cv + 2.0 * dt * ax_k / (h * h) + dt * g;
+      rhs[i] = cv * t[i] + dt * (g * spec.t_ref + p);
+    }
+    t = numeric::solve_tridiagonal(lower, diag, upper, rhs);
+    double peak = 0.0;
+    for (double v : t) peak = std::max(peak, v);
+    res.time.push_back(tn);
+    res.t_peak.push_back(peak);
+    if (!res.melted && peak >= spec.metal.t_melt) {
+      res.melted = true;
+      res.melt_time = tn;
+    }
+  }
+  res.final_profile = std::move(t);
+  return res;
+}
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,57 @@
+// 1-D finite-difference solvers along the length of a line.
+//
+// Steady solver: validates/extends the analytic healing-length profile
+// (healing.h) for lines with temperature-dependent resistivity and
+// non-uniform geometry. Transient solver: temperature evolution under a
+// time-dependent current with axial conduction and vertical loss — the
+// distributed companion to the lumped ESD model (transient.h).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "materials/metal.h"
+
+namespace dsmt::thermal {
+
+/// Inputs common to the 1-D line solvers. The line spans [0, length]; both
+/// ends are clamped at `t_end` (via/contact heat sinks).
+struct Line1DSpec {
+  materials::Metal metal;
+  double w_m = 0.0;           ///< width [m]
+  double t_m = 0.0;           ///< thickness [m]
+  double length = 0.0;        ///< [m]
+  double rth_per_len = 0.0;   ///< vertical K*m/W (impedance.h)
+  double t_ref = 373.15;      ///< ambient / substrate [K]
+  double t_end = 373.15;      ///< end-clamp temperature [K]
+  int nodes = 201;            ///< FD nodes including ends
+};
+
+/// Steady profile under constant current density j (A/m^2), with
+/// rho = rho(T) handled by Picard iteration on the linearized system.
+struct Steady1DResult {
+  std::vector<double> x;  ///< node positions [m]
+  std::vector<double> t;  ///< temperatures [K]
+  double t_peak = 0.0;
+  double t_avg = 0.0;
+  int picard_iterations = 0;
+  bool converged = false;
+};
+Steady1DResult solve_steady_line(const Line1DSpec& spec, double j_density);
+
+/// Transient evolution under a current-density waveform j(t). Explicit in
+/// the Joule term, implicit (backward Euler + Thomas solve) in conduction.
+/// Calls `observer(t, T)` after each accepted step when provided.
+struct Transient1DResult {
+  std::vector<double> time;    ///< accepted step times [s]
+  std::vector<double> t_peak;  ///< mid/maximum temperature at each time [K]
+  std::vector<double> final_profile;  ///< T(x) at t_end [K]
+  std::vector<double> x;
+  bool melted = false;         ///< any node reached the metal melting point
+  double melt_time = -1.0;     ///< first time a node melted [s], -1 if none
+};
+Transient1DResult solve_transient_line(
+    const Line1DSpec& spec, const std::function<double(double)>& j_of_t,
+    double t_final, int steps);
+
+}  // namespace dsmt::thermal

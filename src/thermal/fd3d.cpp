@@ -1,0 +1,262 @@
+#include "thermal/fd3d.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "numeric/mesh.h"
+#include "numeric/sparse.h"
+
+namespace dsmt::thermal {
+
+Volume3D::Volume3D(double lx, double ly, double lz, double k_background)
+    : lx_(lx), ly_(ly), lz_(lz), k_background_(k_background) {
+  if (lx <= 0 || ly <= 0 || lz <= 0 || k_background <= 0)
+    throw std::invalid_argument("Volume3D: bad domain");
+}
+
+void Volume3D::add_material(const Box& b, double k_thermal) {
+  if (k_thermal <= 0) throw std::invalid_argument("add_material: k <= 0");
+  if (b.volume() <= 0) throw std::invalid_argument("add_material: empty box");
+  paints_.push_back({b, k_thermal});
+}
+
+void Volume3D::add_slab(double z0, double z1, double k_thermal) {
+  add_material({0, lx_, 0, ly_, z0, z1}, k_thermal);
+}
+
+std::size_t Volume3D::add_wire(const Box& b, double k_metal) {
+  add_material(b, k_metal);
+  wires_.push_back(b);
+  return wires_.size() - 1;
+}
+
+Volume3D::Solution Volume3D::solve(const std::vector<double>& watts,
+                                   const Mesh3DOptions& opts) const {
+  if (watts.size() != wires_.size())
+    throw std::invalid_argument("Volume3D::solve: power vector size");
+
+  std::set<double> xb, yb, zb;
+  for (const auto& p : paints_) {
+    xb.insert(std::clamp(p.b.x0, 0.0, lx_));
+    xb.insert(std::clamp(p.b.x1, 0.0, lx_));
+    yb.insert(std::clamp(p.b.y0, 0.0, ly_));
+    yb.insert(std::clamp(p.b.y1, 0.0, ly_));
+    zb.insert(std::clamp(p.b.z0, 0.0, lz_));
+    zb.insert(std::clamp(p.b.z1, 0.0, lz_));
+  }
+  const auto xe = numeric::graded_axis(xb, 0.0, lx_, opts.h_min, opts.h_max);
+  const auto ye = numeric::graded_axis(yb, 0.0, ly_, opts.h_min, opts.h_max);
+  const auto ze = numeric::graded_axis(zb, 0.0, lz_, opts.h_min, opts.h_max);
+  const auto xc = numeric::axis_cells(xe);
+  const auto yc = numeric::axis_cells(ye);
+  const auto zc = numeric::axis_cells(ze);
+  const std::size_t nx = xc.center.size(), ny = yc.center.size(),
+                    nz = zc.center.size();
+  auto cell = [&](std::size_t i, std::size_t j, std::size_t k) {
+    return (k * ny + j) * nx + i;
+  };
+  const std::size_t n_cells = nx * ny * nz;
+
+  // Conductivity per voxel.
+  std::vector<float> kv(n_cells, static_cast<float>(k_background_));
+  for (const auto& p : paints_) {
+    for (std::size_t k = 0; k < nz; ++k) {
+      if (zc.center[k] < p.b.z0 || zc.center[k] > p.b.z1) continue;
+      for (std::size_t j = 0; j < ny; ++j) {
+        if (yc.center[j] < p.b.y0 || yc.center[j] > p.b.y1) continue;
+        for (std::size_t i = 0; i < nx; ++i) {
+          if (xc.center[i] < p.b.x0 || xc.center[i] > p.b.x1) continue;
+          kv[cell(i, j, k)] = static_cast<float>(p.k);
+        }
+      }
+    }
+  }
+
+  // Wire voxel lists.
+  std::vector<std::vector<std::size_t>> wire_cells(wires_.size());
+  std::vector<double> wire_vol(wires_.size(), 0.0);
+  for (std::size_t w = 0; w < wires_.size(); ++w) {
+    const auto& b = wires_[w];
+    for (std::size_t k = 0; k < nz; ++k) {
+      if (zc.center[k] < b.z0 || zc.center[k] > b.z1) continue;
+      for (std::size_t j = 0; j < ny; ++j) {
+        if (yc.center[j] < b.y0 || yc.center[j] > b.y1) continue;
+        for (std::size_t i = 0; i < nx; ++i) {
+          if (xc.center[i] < b.x0 || xc.center[i] > b.x1) continue;
+          wire_cells[w].push_back(cell(i, j, k));
+          wire_vol[w] += xc.size[i] * yc.size[j] * zc.size[k];
+        }
+      }
+    }
+    if (wire_cells[w].empty())
+      throw std::runtime_error("Volume3D: wire not resolved by mesh");
+  }
+
+  // Unknowns: everything above the substrate plane (k = 0 row Dirichlet 0).
+  std::vector<int> unk(n_cells, -1);
+  std::size_t n_unk = 0;
+  for (std::size_t k = 1; k < nz; ++k)
+    for (std::size_t j = 0; j < ny; ++j)
+      for (std::size_t i = 0; i < nx; ++i)
+        unk[cell(i, j, k)] = static_cast<int>(n_unk++);
+
+  numeric::SparseBuilder builder(n_unk);
+  auto face_g = [&](std::size_t c1, std::size_t c2, double w1, double w2,
+                    double area) {
+    return area / (0.5 * w1 / kv[c1] + 0.5 * w2 / kv[c2]);
+  };
+  for (std::size_t k = 1; k < nz; ++k) {
+    for (std::size_t j = 0; j < ny; ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t c = cell(i, j, k);
+        const int row = unk[c];
+        double diag = 0.0;
+        auto couple = [&](std::size_t cn, double g) {
+          diag += g;
+          if (unk[cn] >= 0) builder.add(row, unk[cn], -g);
+          // else: substrate plane, contributes only to the diagonal.
+        };
+        if (i > 0)
+          couple(cell(i - 1, j, k), face_g(c, cell(i - 1, j, k), xc.size[i],
+                                           xc.size[i - 1],
+                                           yc.size[j] * zc.size[k]));
+        if (i + 1 < nx)
+          couple(cell(i + 1, j, k), face_g(c, cell(i + 1, j, k), xc.size[i],
+                                           xc.size[i + 1],
+                                           yc.size[j] * zc.size[k]));
+        if (j > 0)
+          couple(cell(i, j - 1, k), face_g(c, cell(i, j - 1, k), yc.size[j],
+                                           yc.size[j - 1],
+                                           xc.size[i] * zc.size[k]));
+        if (j + 1 < ny)
+          couple(cell(i, j + 1, k), face_g(c, cell(i, j + 1, k), yc.size[j],
+                                           yc.size[j + 1],
+                                           xc.size[i] * zc.size[k]));
+        couple(cell(i, j, k - 1),
+               face_g(c, cell(i, j, k - 1), zc.size[k], zc.size[k - 1],
+                      xc.size[i] * yc.size[j]));
+        if (k + 1 < nz)
+          couple(cell(i, j, k + 1), face_g(c, cell(i, j, k + 1), zc.size[k],
+                                           zc.size[k + 1],
+                                           xc.size[i] * yc.size[j]));
+        builder.add(row, row, diag);
+      }
+    }
+  }
+  const numeric::CsrMatrix a(builder);
+
+  std::vector<double> rhs(n_unk, 0.0);
+  for (std::size_t w = 0; w < wires_.size(); ++w) {
+    if (watts[w] == 0.0) continue;
+    const double q = watts[w] / wire_vol[w];
+    for (std::size_t c : wire_cells[w]) {
+      const std::size_t i = c % nx;
+      const std::size_t j = (c / nx) % ny;
+      const std::size_t k = c / (nx * ny);
+      if (unk[c] >= 0)
+        rhs[unk[c]] += q * xc.size[i] * yc.size[j] * zc.size[k];
+    }
+  }
+
+  std::vector<double> x(n_unk, 0.0);
+  const auto cg = numeric::conjugate_gradient(
+      a, rhs, x, {opts.cg_rel_tol, opts.cg_max_iterations});
+
+  Solution sol;
+  sol.unknowns = n_unk;
+  sol.cg_iterations = cg.iterations;
+  sol.converged = cg.converged;
+  sol.wire_avg_rise.resize(wires_.size());
+  sol.wire_peak_rise.resize(wires_.size());
+  for (std::size_t w = 0; w < wires_.size(); ++w) {
+    double acc = 0.0, peak = 0.0;
+    for (std::size_t c : wire_cells[w]) {
+      const std::size_t i = c % nx;
+      const std::size_t j = (c / nx) % ny;
+      const std::size_t k = c / (nx * ny);
+      const double t = unk[c] >= 0 ? x[unk[c]] : 0.0;
+      acc += t * xc.size[i] * yc.size[j] * zc.size[k];
+      peak = std::max(peak, t);
+    }
+    sol.wire_avg_rise[w] = acc / wire_vol[w];
+    sol.wire_peak_rise[w] = peak;
+  }
+  return sol;
+}
+
+std::size_t Array3D::center_wire(int level) const {
+  int max_index = -1;
+  for (const auto& w : wires)
+    if (w.level == level) max_index = std::max(max_index, w.index);
+  if (max_index < 0)
+    throw std::out_of_range("Array3D::center_wire: no such level");
+  for (const auto& w : wires)
+    if (w.level == level && w.index == max_index / 2) return w.id;
+  throw std::logic_error("Array3D::center_wire: center missing");
+}
+
+Array3D make_array_3d(const Array3DSpec& spec) {
+  if (spec.lines_per_level < 1)
+    throw std::invalid_argument("Array3DSpec: lines_per_level < 1");
+  const auto& tech = spec.technology;
+
+  double widest = 0.0, stack_top = 0.0;
+  for (const auto& l : tech.layers) {
+    if (l.level > spec.max_level) continue;
+    widest = std::max(widest, spec.lines_per_level * l.pitch);
+    stack_top += l.ild_below + l.thickness;
+  }
+  const double lxy = widest + 2.0 * spec.margin;
+  const double lz = stack_top + spec.cap_above;
+
+  Array3D arr{Volume3D(lxy, lxy, lz, tech.ild.k_thermal), {}};
+
+  double z = 0.0;
+  for (const auto& l : tech.layers) {
+    if (l.level > spec.max_level) break;
+    z += l.ild_below;
+    arr.volume.add_slab(z, z + l.thickness, spec.gap_fill.k_thermal);
+    const bool along_x = (l.level % 2 == 1);  // odd levels route in x
+    const double span = spec.lines_per_level * l.pitch;
+    const double start = 0.5 * (lxy - span) + 0.5 * (l.pitch - l.width);
+    for (int i = 0; i < spec.lines_per_level; ++i) {
+      const double c0 = start + i * l.pitch;
+      Box b;
+      if (along_x) {
+        b = {0.0, lxy, c0, c0 + l.width, z, z + l.thickness};
+      } else {
+        b = {c0, c0 + l.width, 0.0, lxy, z, z + l.thickness};
+      }
+      const std::size_t id = arr.volume.add_wire(b, tech.metal.k_thermal);
+      arr.wires.push_back({l.level, i, id, lxy});
+    }
+    z += l.thickness;
+  }
+  return arr;
+}
+
+Array3DHeating array3d_heating_coefficients(const Array3D& arr, int level,
+                                            const Mesh3DOptions& opts) {
+  const std::size_t victim = arr.center_wire(level);
+  const std::size_t n = arr.volume.wire_count();
+
+  // Equal j in every wire: P_w = j^2 rho A_w L_w; probe with unit j^2 rho.
+  std::vector<double> p_all(n, 0.0);
+  for (const auto& w : arr.wires) {
+    const auto& b = arr.volume.wire(w.id);
+    p_all[w.id] = b.volume();  // A_w * L_w
+  }
+  const auto sol_all = arr.volume.solve(p_all, opts);
+
+  std::vector<double> p_iso(n, 0.0);
+  p_iso[victim] = arr.volume.wire(victim).volume();
+  const auto sol_iso = arr.volume.solve(p_iso, opts);
+
+  if (!sol_all.converged || !sol_iso.converged)
+    throw std::runtime_error("array3d_heating_coefficients: CG failed");
+  return {sol_all.wire_avg_rise[victim], sol_iso.wire_avg_rise[victim]};
+}
+
+}  // namespace dsmt::thermal

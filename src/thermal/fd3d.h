@@ -1,0 +1,106 @@
+// 3-D steady heat-conduction solver for true interconnect arrays.
+//
+// The paper's Section 5 analyzes "real 3-D interconnect arrays" (Fig. 8:
+// alternating routing directions per level) via external FEM [11]. The 2-D
+// cross-section solver (fd2d.h) captures parallel-line coupling exactly but
+// approximates orthogonal levels as continuous slabs. This voxel solver
+// removes that approximation: boxes of arbitrary orientation, Dirichlet
+// substrate at z = 0, adiabatic elsewhere, 7-point finite volumes with
+// harmonic face conductances, preconditioned CG.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "materials/dielectric.h"
+#include "tech/technology.h"
+
+namespace dsmt::thermal {
+
+/// Axis-aligned box [x0,x1]x[y0,y1]x[z0,z1] in metres; z is vertical.
+struct Box {
+  double x0 = 0, x1 = 0, y0 = 0, y1 = 0, z0 = 0, z1 = 0;
+  double volume() const { return (x1 - x0) * (y1 - y0) * (z1 - z0); }
+};
+
+struct Mesh3DOptions {
+  double h_min = 0.08e-6;
+  double h_max = 0.8e-6;
+  double cg_rel_tol = 1e-8;
+  int cg_max_iterations = 20000;
+};
+
+class Volume3D {
+ public:
+  /// Domain [0,lx]x[0,ly]x[0,lz] filled with `k_background` [W/m*K].
+  Volume3D(double lx, double ly, double lz, double k_background);
+
+  /// Paints a material box (later overrides earlier).
+  void add_material(const Box& b, double k_thermal);
+  /// Full-extent horizontal slab [z0, z1].
+  void add_slab(double z0, double z1, double k_thermal);
+  /// Registers a heated wire box; returns its index.
+  std::size_t add_wire(const Box& b, double k_metal);
+
+  std::size_t wire_count() const { return wires_.size(); }
+  const Box& wire(std::size_t i) const { return wires_.at(i); }
+
+  struct Solution {
+    std::vector<double> wire_avg_rise;   ///< [K]
+    std::vector<double> wire_peak_rise;  ///< [K]
+    std::size_t unknowns = 0;
+    int cg_iterations = 0;
+    bool converged = false;
+  };
+  /// Solves with total power `watts[i]` dissipated uniformly in wire i.
+  Solution solve(const std::vector<double>& watts,
+                 const Mesh3DOptions& options = {}) const;
+
+ private:
+  double lx_, ly_, lz_, k_background_;
+  struct Paint {
+    Box b;
+    double k;
+  };
+  std::vector<Paint> paints_;
+  std::vector<Box> wires_;
+};
+
+/// Fig.-8-style array with alternating routing directions: levels route
+/// along x on odd levels and along y on even levels (wires span the full
+/// domain). Returns the volume plus the wire index of the center line of
+/// the top level.
+struct Array3DSpec {
+  tech::Technology technology;
+  int max_level = 4;
+  int lines_per_level = 5;
+  materials::Dielectric gap_fill = materials::make_oxide();
+  double margin = 2e-6;   ///< lateral margin beyond the line span
+  double cap_above = 1.5e-6;
+};
+
+struct Array3D {
+  Volume3D volume;
+  struct WireRef {
+    int level;
+    int index;
+    std::size_t id;
+    double length;  ///< wire length in the volume [m]
+  };
+  std::vector<WireRef> wires;
+  std::size_t center_wire(int level) const;
+};
+
+Array3D make_array_3d(const Array3DSpec& spec);
+
+/// Heating coefficients (dT = j_rms^2 rho H) for the center line of
+/// `level`, with every line heated at equal current density vs the victim
+/// alone — the true-3-D counterpart of array_heating_coefficients.
+struct Array3DHeating {
+  double h_all_hot = 0.0;
+  double h_isolated = 0.0;
+};
+Array3DHeating array3d_heating_coefficients(const Array3D& arr, int level,
+                                            const Mesh3DOptions& options = {});
+
+}  // namespace dsmt::thermal

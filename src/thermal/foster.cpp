@@ -1,0 +1,151 @@
+#include "thermal/foster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/dense.h"
+
+namespace dsmt::thermal {
+
+double FosterNetwork::evaluate(double t) const {
+  double z = 0.0;
+  for (const auto& s : stages) z += s.r * (1.0 - std::exp(-t / s.tau));
+  return z;
+}
+
+double FosterNetwork::r_total() const {
+  double r = 0.0;
+  for (const auto& s : stages) r += s.r;
+  return r;
+}
+
+double FosterNetwork::max_relative_error(const ZthCurve& curve) const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < curve.time.size(); ++i) {
+    if (curve.zth[i] <= 0.0) continue;
+    worst = std::max(worst, std::abs(evaluate(curve.time[i]) - curve.zth[i]) /
+                                curve.zth[i]);
+  }
+  return worst;
+}
+
+namespace {
+
+/// Non-negative LS for the R_i at fixed taus (relative weighting, one
+/// most-negative clip per round). Returns the weighted residual too.
+struct RFit {
+  std::vector<double> r;
+  double residual = 0.0;
+};
+
+RFit fit_r_at_taus(const ZthCurve& curve, const std::vector<double>& taus) {
+  const std::size_t n = curve.time.size();
+  const int n_stages = static_cast<int>(taus.size());
+  std::vector<bool> active(n_stages, true);
+  RFit out;
+  out.r.assign(n_stages, 0.0);
+  const double z_floor = 1e-9 * curve.zth.back();
+
+  for (int round = 0; round < n_stages + 1; ++round) {
+    std::vector<int> act;
+    for (int k = 0; k < n_stages; ++k)
+      if (active[k]) act.push_back(k);
+    if (act.empty()) throw std::runtime_error("fit_foster: no active stages");
+
+    const std::size_t m = act.size();
+    numeric::Matrix ata(m, m, 0.0);
+    std::vector<double> aty(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = 1.0 / std::max(curve.zth[i], z_floor);
+      const double w2 = w * w;
+      std::vector<double> row(m);
+      for (std::size_t a = 0; a < m; ++a)
+        row[a] = 1.0 - std::exp(-curve.time[i] / taus[act[a]]);
+      for (std::size_t a = 0; a < m; ++a) {
+        aty[a] += w2 * row[a] * curve.zth[i];
+        for (std::size_t b = 0; b < m; ++b)
+          ata(a, b) += w2 * row[a] * row[b];
+      }
+    }
+    for (std::size_t a = 0; a < m; ++a) ata(a, a) *= 1.0 + 1e-10;
+    const auto sol = numeric::solve_dense(ata, aty);
+
+    int worst = -1;
+    double worst_val = 0.0;
+    std::fill(out.r.begin(), out.r.end(), 0.0);
+    for (std::size_t a = 0; a < m; ++a) {
+      if (sol[a] < worst_val) {
+        worst_val = sol[a];
+        worst = act[a];
+      }
+      out.r[act[a]] = sol[a];
+    }
+    if (worst < 0) break;
+    active[worst] = false;
+    out.r[worst] = 0.0;
+  }
+  // Weighted residual for tau refinement.
+  out.residual = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double z = 0.0;
+    for (int k = 0; k < n_stages; ++k)
+      if (out.r[k] > 0.0)
+        z += out.r[k] * (1.0 - std::exp(-curve.time[i] / taus[k]));
+    const double w = 1.0 / std::max(curve.zth[i], z_floor);
+    const double e = w * (z - curve.zth[i]);
+    out.residual += e * e;
+  }
+  return out;
+}
+
+}  // namespace
+
+FosterNetwork fit_foster(const ZthCurve& curve, int n_stages) {
+  const std::size_t n = curve.time.size();
+  if (n < 4 || curve.zth.size() != n)
+    throw std::invalid_argument("fit_foster: need a sampled curve");
+  if (n_stages < 1 || static_cast<std::size_t>(n_stages) > n / 2)
+    throw std::invalid_argument("fit_foster: bad stage count");
+
+  // Log-spaced initial time constants spanning the sampled decades.
+  std::vector<double> taus(n_stages);
+  const double t_lo = curve.time.front();
+  const double t_hi = curve.time.back();
+  for (int k = 0; k < n_stages; ++k) {
+    const double f = n_stages == 1 ? 0.5
+                                   : static_cast<double>(k) / (n_stages - 1);
+    taus[k] = t_lo * std::pow(t_hi / t_lo, f);
+  }
+
+  // Alternate: NNLS for the R_i, then coordinate-descent refinement of each
+  // tau (log-scale scan) — a fixed grid cannot represent poles that fall
+  // between its points.
+  RFit best = fit_r_at_taus(curve, taus);
+  for (int sweep = 0; sweep < 6; ++sweep) {
+    bool improved = false;
+    for (int k = 0; k < n_stages; ++k) {
+      const double tau0 = taus[k];
+      for (double f : {0.6, 0.8, 1.25, 1.6}) {
+        taus[k] = tau0 * f;
+        const RFit trial = fit_r_at_taus(curve, taus);
+        if (trial.residual < best.residual * (1.0 - 1e-9)) {
+          best = trial;
+          improved = true;
+          break;  // accept and move on
+        }
+        taus[k] = tau0;
+      }
+    }
+    if (!improved) break;
+  }
+
+  FosterNetwork net;
+  for (int k = 0; k < n_stages; ++k)
+    if (best.r[k] > 0.0) net.stages.push_back({best.r[k], taus[k]});
+  if (net.stages.empty())
+    throw std::runtime_error("fit_foster: fit collapsed to zero stages");
+  return net;
+}
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,36 @@
+// Foster thermal-network extraction.
+//
+// Package/board thermal tools consume compact RC ladders, not sampled
+// Z_th(t) curves. This module fits an N-stage Foster network
+//   Z(t) = sum_i R_i (1 - exp(-t / tau_i))
+// to a solved step response (thermal/zth.h): the time constants are
+// log-spaced over the curve's span and the R_i follow from non-negative
+// linear least squares (active-set clipping on the normal equations).
+#pragma once
+
+#include <vector>
+
+#include "thermal/zth.h"
+
+namespace dsmt::thermal {
+
+struct FosterStage {
+  double r = 0.0;    ///< [K*m/W] (per-unit-length convention of ZthCurve)
+  double tau = 0.0;  ///< [s]
+};
+
+struct FosterNetwork {
+  std::vector<FosterStage> stages;
+
+  /// Z(t) of the network.
+  double evaluate(double t) const;
+  /// DC limit sum R_i.
+  double r_total() const;
+  /// Largest relative error of the fit against a reference curve.
+  double max_relative_error(const ZthCurve& curve) const;
+};
+
+/// Fits `n_stages` Foster stages to the curve. Throws on degenerate input.
+FosterNetwork fit_foster(const ZthCurve& curve, int n_stages);
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,64 @@
+#include "thermal/healing.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::thermal {
+
+double healing_length(const materials::Metal& metal, double w_m, double t_m,
+                      double rth_per_len) {
+  if (w_m <= 0.0 || t_m <= 0.0 || rth_per_len <= 0.0)
+    throw std::invalid_argument("healing_length: bad parameters");
+  // g = 1/R'_th  [W/(m*K)];  lambda^2 = K_m t W / g.
+  return std::sqrt(metal.k_thermal * t_m * w_m * rth_per_len);
+}
+
+bool is_thermally_long(double length, double lambda, double factor) {
+  return length > factor * lambda;
+}
+
+LineProfile finite_line_profile(const materials::Metal& metal, double w_m,
+                                double t_m, double rth_per_len, double length,
+                                double p_per_len, double t_ref_k,
+                                double t_end_k, int samples) {
+  if (samples < 3) throw std::invalid_argument("finite_line_profile: samples");
+  if (length <= 0.0) throw std::invalid_argument("finite_line_profile: L<=0");
+  LineProfile prof;
+  prof.lambda = healing_length(metal, w_m, t_m, rth_per_len);
+  const double t_inf = t_ref_k + p_per_len * rth_per_len;
+  const double half = 0.5 * length;
+  const double denom = std::cosh(half / prof.lambda);
+
+  prof.x.resize(samples);
+  prof.t.resize(samples);
+  double sum = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double x = -half + length * i / (samples - 1);
+    const double t =
+        t_inf - (t_inf - t_end_k) * std::cosh(x / prof.lambda) / denom;
+    prof.x[i] = x;
+    prof.t[i] = t;
+    sum += t;
+  }
+  prof.t_peak = t_inf - (t_inf - t_end_k) / denom;
+  // Closed-form average: T_inf - (T_inf - T_end) tanh(L/2l)/(L/2l).
+  const double u = half / prof.lambda;
+  prof.t_avg = t_inf - (t_inf - t_end_k) * std::tanh(u) / u;
+  (void)sum;
+  return prof;
+}
+
+double peak_rise_fraction(double length, double lambda) {
+  if (lambda <= 0.0 || length <= 0.0)
+    throw std::invalid_argument("peak_rise_fraction: bad parameters");
+  return 1.0 - 1.0 / std::cosh(0.5 * length / lambda);
+}
+
+double average_rise_fraction(double length, double lambda) {
+  if (lambda <= 0.0 || length <= 0.0)
+    throw std::invalid_argument("average_rise_fraction: bad parameters");
+  const double u = 0.5 * length / lambda;
+  return 1.0 - std::tanh(u) / u;
+}
+
+}  // namespace dsmt::thermal

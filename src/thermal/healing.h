@@ -1,0 +1,52 @@
+// Thermal healing length and finite-line temperature profiles (Schafft [21]).
+//
+// Line ends terminate in vias/contacts that act as near-isothermal heat
+// sinks, so the steady 1-D balance along the line is
+//   K_m t_m W_m T'' - g (T - T_ref) + P' = 0,    g = W_eff K_ox / b
+// whose solution decays from the ends with characteristic length
+//   lambda = sqrt(K_m t_m W_m / g).
+// Lines with L >> lambda are "thermally long" (the paper's worst case);
+// lines with L ~ lambda are "thermally short" and run cooler.
+#pragma once
+
+#include <vector>
+
+#include "materials/metal.h"
+#include "tech/layer_stack.h"
+
+namespace dsmt::thermal {
+
+/// Healing length lambda [m]. `rth_per_len` is the stack's per-unit-length
+/// thermal resistance (impedance.h); g = 1/rth_per_len.
+double healing_length(const materials::Metal& metal, double w_m, double t_m,
+                      double rth_per_len);
+
+/// Classification threshold: L > `factor` * lambda is "thermally long".
+bool is_thermally_long(double length, double lambda, double factor = 10.0);
+
+/// Steady temperature profile of a uniformly heated line of length L whose
+/// two ends are pinned at `t_end` (via temperature):
+///   T(x) = T_inf - (T_inf - t_end) cosh(x/lambda)/cosh(L/2lambda)
+/// with x in [-L/2, +L/2] and T_inf the infinite-line temperature.
+struct LineProfile {
+  std::vector<double> x;  ///< abscissae [m], from -L/2 to +L/2
+  std::vector<double> t;  ///< temperature [K]
+  double t_peak = 0.0;    ///< mid-line temperature [K]
+  double t_avg = 0.0;     ///< length-averaged temperature [K]
+  double lambda = 0.0;    ///< healing length used [m]
+};
+
+LineProfile finite_line_profile(const materials::Metal& metal, double w_m,
+                                double t_m, double rth_per_len, double length,
+                                double p_per_len, double t_ref_k,
+                                double t_end_k, int samples = 201);
+
+/// Peak-rise fraction relative to the infinite line:
+///   (T_peak - T_ref)/(T_inf - T_ref) = 1 - cosh(0)/cosh(L/2lambda) ... for
+/// t_end = t_ref this is 1 - 1/cosh(L/2lambda).
+double peak_rise_fraction(double length, double lambda);
+
+/// Average-rise fraction 1 - tanh(L/2lambda)/(L/2lambda) for t_end = t_ref.
+double average_rise_fraction(double length, double lambda);
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,127 @@
+#include "thermal/scenarios.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::thermal {
+
+CrossSection2D make_single_line_section(const SingleLineSpec& spec) {
+  const double domain_w = spec.width + 2.0 * spec.lateral_margin;
+  const double domain_h = spec.t_ox_below + spec.thickness + spec.cap_above;
+  CrossSection2D cs(domain_w, domain_h, spec.ild.k_thermal);
+
+  // Intra-level gap-fill band at the wire level.
+  cs.add_band(spec.t_ox_below, spec.t_ox_below + spec.thickness,
+              spec.gap_fill.k_thermal);
+  // The wire itself (centered laterally).
+  const double x0 = 0.5 * (domain_w - spec.width);
+  cs.add_wire({x0, x0 + spec.width, spec.t_ox_below,
+               spec.t_ox_below + spec.thickness},
+              spec.metal.k_thermal);
+  return cs;
+}
+
+double solve_rth_per_length(const SingleLineSpec& spec,
+                            const MeshOptions& mesh) {
+  CrossSection2D cs = make_single_line_section(spec);
+  const auto sol = cs.solve({1.0}, mesh);  // 1 W/m
+  if (!sol.converged)
+    throw std::runtime_error("solve_rth_per_length: CG did not converge");
+  return sol.wire_avg_rise[0];
+}
+
+double solve_theta_line(const SingleLineSpec& spec, double length,
+                        const MeshOptions& mesh) {
+  if (length <= 0.0) throw std::invalid_argument("solve_theta_line: L <= 0");
+  return solve_rth_per_length(spec, mesh) / length;
+}
+
+double extract_phi(double rth_per_len, double w_m, double b, double k_ox) {
+  if (rth_per_len <= 0.0 || w_m <= 0.0 || b <= 0.0 || k_ox <= 0.0)
+    throw std::invalid_argument("extract_phi: bad parameters");
+  const double w_eff = b / (k_ox * rth_per_len);
+  return (w_eff - w_m) / b;
+}
+
+std::size_t ArraySection::center_wire(int level) const {
+  int max_index = -1;
+  for (const auto& w : wires)
+    if (w.level == level) max_index = std::max(max_index, w.index);
+  if (max_index < 0)
+    throw std::out_of_range("ArraySection::center_wire: no such level");
+  const int center = max_index / 2;
+  for (const auto& w : wires)
+    if (w.level == level && w.index == center) return w.id;
+  throw std::logic_error("ArraySection::center_wire: center missing");
+}
+
+ArraySection make_array_section(const ArraySpec& spec) {
+  if (spec.lines_per_level < 1)
+    throw std::invalid_argument("ArraySpec: lines_per_level < 1");
+  const auto& tech = spec.technology;
+
+  // Vertical layout: y = 0 is the substrate; each level sits on its ILD.
+  // Lateral extent sized by the widest level's span.
+  double widest_span = 0.0;
+  for (const auto& l : tech.layers) {
+    if (l.level > spec.max_level) continue;
+    const double span = spec.lines_per_level * l.pitch;
+    widest_span = std::max(widest_span, span);
+  }
+  const double domain_w = widest_span + 2.0 * spec.lateral_margin;
+
+  double y = 0.0;
+  double top_of_stack = 0.0;
+  for (const auto& l : tech.layers) {
+    if (l.level > spec.max_level) continue;
+    top_of_stack += l.ild_below + l.thickness;
+  }
+  const double domain_h = top_of_stack + spec.cap_above;
+
+  ArraySection arr{CrossSection2D(domain_w, domain_h, tech.ild.k_thermal),
+                   {}};
+
+  y = 0.0;
+  for (const auto& l : tech.layers) {
+    if (l.level > spec.max_level) continue;
+    y += l.ild_below;
+    // Gap-fill band across the level.
+    arr.section.add_band(y, y + l.thickness, spec.gap_fill.k_thermal);
+    // Lines, centered in the domain.
+    const double span = spec.lines_per_level * l.pitch;
+    const double x_start = 0.5 * (domain_w - span) + 0.5 * (l.pitch - l.width);
+    for (int i = 0; i < spec.lines_per_level; ++i) {
+      const double x0 = x_start + i * l.pitch;
+      const std::size_t id = arr.section.add_wire(
+          {x0, x0 + l.width, y, y + l.thickness}, tech.metal.k_thermal);
+      arr.wires.push_back({l.level, i, id});
+    }
+    y += l.thickness;
+  }
+  return arr;
+}
+
+ArrayHeating array_heating_coefficients(const ArraySection& arr, int level,
+                                        const MeshOptions& mesh) {
+  const std::size_t victim = arr.center_wire(level);
+  const std::size_t n = arr.section.wire_count();
+
+  // With every line at the same (j_rms, rho), P'_j = j^2 rho A_j, so the
+  // victim's rise under P'_j = A_j [W/m per m^2] is exactly
+  // H_all = sum_j Theta[victim][j] A_j. One linear solve per configuration
+  // instead of the full coupling matrix.
+  std::vector<double> p_all(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) p_all[j] = arr.section.wire(j).area();
+  const auto sol_all = arr.section.solve(p_all, mesh);
+
+  std::vector<double> p_iso(n, 0.0);
+  p_iso[victim] = arr.section.wire(victim).area();
+  const auto sol_iso = arr.section.solve(p_iso, mesh);
+
+  if (!sol_all.converged || !sol_iso.converged)
+    throw std::runtime_error("array_heating_coefficients: CG not converged");
+
+  return {sol_all.wire_avg_rise[victim], sol_iso.wire_avg_rise[victim]};
+}
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,87 @@
+// Prebuilt cross-section scenarios reproducing the paper's thermal
+// experiments:
+//  - Fig. 5: a single level-1 line over t_ox of oxide, with oxide or low-k
+//    intra-level gap-fill, from which theta(W) and the spreading parameter
+//    phi are extracted;
+//  - Fig. 8 / Table 7: a densely packed multi-level array whose coupling
+//    matrix supplies the Eq. 18 empirical constant (Rzepka-style analysis).
+#pragma once
+
+#include <vector>
+
+#include "materials/dielectric.h"
+#include "materials/metal.h"
+#include "tech/technology.h"
+#include "thermal/fd2d.h"
+
+namespace dsmt::thermal {
+
+/// Single-line cross-section (Fig. 5 geometry).
+struct SingleLineSpec {
+  double width = 0.35e-6;       ///< line width W_m
+  double thickness = 0.6e-6;    ///< metal thickness t_m
+  double t_ox_below = 1.2e-6;   ///< oxide below the line (b)
+  double cap_above = 1.0e-6;    ///< dielectric above the line
+  double lateral_margin = 10e-6;///< half-domain width beyond the line edge
+  materials::Metal metal = materials::make_alcu();
+  materials::Dielectric ild = materials::make_oxide();       ///< below/above
+  materials::Dielectric gap_fill = materials::make_oxide();  ///< at line level
+};
+
+CrossSection2D make_single_line_section(const SingleLineSpec& spec);
+
+/// Solves the single-line section and returns the per-unit-length thermal
+/// resistance R'_th = dT_avg / P' [K*m/W].
+double solve_rth_per_length(const SingleLineSpec& spec,
+                            const MeshOptions& mesh = {});
+
+/// Whole-line thermal impedance theta = R'_th / L [K/W] for length L — the
+/// quantity plotted in Fig. 5.
+double solve_theta_line(const SingleLineSpec& spec, double length,
+                        const MeshOptions& mesh = {});
+
+/// Extracts the heat-spreading parameter phi from a solved/measured R'_th
+/// assuming the homogeneous model R'_th = b/(K_ox (W + phi b)) (Eq. 10/14).
+double extract_phi(double rth_per_len, double w_m, double b, double k_ox);
+
+/// Multi-level dense-array cross-section (Fig. 8 geometry).
+struct ArraySpec {
+  tech::Technology technology;          ///< supplies per-level geometry
+  int max_level = 4;                    ///< include M1..max_level
+  int lines_per_level = 9;              ///< odd; center line is the victim
+  materials::Dielectric gap_fill = materials::make_oxide();
+  double lateral_margin = 8e-6;
+  double cap_above = 1.5e-6;
+};
+
+/// A wire's identity inside the array section.
+struct ArrayWire {
+  int level = 0;    ///< metal level
+  int index = 0;    ///< line index within the level (0 = leftmost)
+  std::size_t id = 0;  ///< wire id in the CrossSection2D
+};
+
+struct ArraySection {
+  CrossSection2D section;
+  std::vector<ArrayWire> wires;
+
+  /// Wire id of the center line of `level`; throws if absent.
+  std::size_t center_wire(int level) const;
+};
+
+ArraySection make_array_section(const ArraySpec& spec);
+
+/// Effective heating coefficients for the center line of `level`:
+/// dT = j_rms^2 * rho(T) * H, with
+///   H_all  = sum_j Theta[c][j] * A_j   (every line in the array heated)
+///   H_iso  = Theta[c][c] * A_c         (victim heated alone)
+/// where A_j = W_j t_j. These plug directly into the generalized
+/// self-consistent solver (paper Eq. 18).
+struct ArrayHeating {
+  double h_all_hot = 0.0;   ///< [K m^4/W... dT = j^2 rho H] all lines hot
+  double h_isolated = 0.0;  ///< victim alone
+};
+ArrayHeating array_heating_coefficients(const ArraySection& arr, int level,
+                                        const MeshOptions& mesh = {});
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,86 @@
+#include "thermal/thermometry.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/polyfit.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::thermal {
+
+namespace {
+void check(const ThermometrySetup& s) {
+  if (s.w_m <= 0 || s.t_m <= 0 || s.length <= 0 || s.rth_per_len <= 0)
+    throw std::invalid_argument("ThermometrySetup: non-positive geometry");
+}
+
+/// Deterministic xorshift noise in [-1, 1].
+double pseudo_noise(unsigned& state) {
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return (static_cast<double>(state % 200001) / 100000.0) - 1.0;
+}
+}  // namespace
+
+std::vector<ThermometryPoint> simulate_sweep(const ThermometrySetup& setup,
+                                             double i_max, int points,
+                                             double noise_fraction,
+                                             unsigned seed) {
+  check(setup);
+  if (points < 2 || i_max <= 0.0)
+    throw std::invalid_argument("simulate_sweep: bad sweep");
+  unsigned rng = seed ? seed : 1;
+
+  std::vector<ThermometryPoint> sweep;
+  sweep.reserve(points);
+  const double area = setup.w_m * setup.t_m;
+  for (int k = 0; k < points; ++k) {
+    ThermometryPoint pt;
+    pt.current = i_max * (k + 1) / points;
+    const double j = pt.current / area;
+    const auto sol = solve_self_heating(j, setup.metal, setup.w_m, setup.t_m,
+                                        setup.rth_per_len, setup.t_chuck);
+    pt.temperature = sol.t_metal;
+    const double rho = setup.metal.resistivity(pt.temperature);
+    pt.resistance = rho * setup.length / area;
+    if (noise_fraction > 0.0)
+      pt.resistance *= 1.0 + noise_fraction * pseudo_noise(rng);
+    pt.power = pt.current * pt.current * pt.resistance;
+    sweep.push_back(pt);
+  }
+  return sweep;
+}
+
+ThermometryExtraction extract_theta(
+    const ThermometrySetup& setup,
+    const std::vector<ThermometryPoint>& sweep) {
+  check(setup);
+  if (sweep.size() < 2)
+    throw std::invalid_argument("extract_theta: need >=2 points");
+
+  std::vector<double> p, r;
+  p.reserve(sweep.size());
+  r.reserve(sweep.size());
+  for (const auto& pt : sweep) {
+    p.push_back(pt.power);
+    r.push_back(pt.resistance);
+  }
+  const auto fit = numeric::linear_fit(p, r);
+
+  ThermometryExtraction out;
+  out.r0 = fit.intercept;
+  out.fit_r_squared = fit.r_squared;
+  if (fit.intercept <= 0.0)
+    throw std::runtime_error("extract_theta: non-physical R0 from fit");
+  // R(P) = R0 (1 + tcr * theta * P): note the line's TCR must be referenced
+  // to the chuck temperature; with rho linear in T the local tcr at T_chuck
+  // is rho'_T / rho(T_chuck).
+  const double tcr_local = setup.metal.rho_ref * setup.metal.tcr /
+                           setup.metal.resistivity(setup.t_chuck);
+  out.theta = fit.slope / (fit.intercept * tcr_local);
+  out.rth_per_len = out.theta * setup.length;
+  return out;
+}
+
+}  // namespace dsmt::thermal

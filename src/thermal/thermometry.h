@@ -1,0 +1,57 @@
+// Electrical thermometry — the measurement technique behind the paper's
+// Fig. 5 data. A metal line is its own thermometer: with a known TCR,
+//   R(P) = R_0 (1 + tcr * dT) = R_0 + R_0 tcr theta P
+// so sweeping DC power P and fitting R vs P yields the thermal impedance
+//   theta = slope / (R_0 * tcr).
+// This module simulates the *procedure* (current sweep, resistance
+// readback, optional instrument noise) and performs the extraction, so the
+// Fig. 5 pipeline can be exercised end to end, including its robustness to
+// measurement error.
+#pragma once
+
+#include <vector>
+
+#include "materials/metal.h"
+
+namespace dsmt::thermal {
+
+/// The line under test.
+struct ThermometrySetup {
+  materials::Metal metal;
+  double w_m = 0.0;         ///< width [m]
+  double t_m = 0.0;         ///< thickness [m]
+  double length = 0.0;      ///< [m]
+  double rth_per_len = 0.0; ///< true vertical thermal resistance [K*m/W]
+  double t_chuck = 373.15;  ///< stage/chuck temperature [K]
+};
+
+/// One sweep point.
+struct ThermometryPoint {
+  double current = 0.0;      ///< forced DC current [A]
+  double power = 0.0;        ///< dissipated power [W]
+  double resistance = 0.0;   ///< measured line resistance [Ohm]
+  double temperature = 0.0;  ///< actual line temperature [K] (ground truth)
+};
+
+/// Simulates a DC current sweep. Each point solves the electro-thermal
+/// fixed point exactly (resistance rises with the temperature it causes).
+/// `noise_fraction` adds deterministic pseudo-random multiplicative noise
+/// (seeded) to the resistance readings to emulate instrument error.
+std::vector<ThermometryPoint> simulate_sweep(const ThermometrySetup& setup,
+                                             double i_max, int points,
+                                             double noise_fraction = 0.0,
+                                             unsigned seed = 42);
+
+/// Extraction result.
+struct ThermometryExtraction {
+  double r0 = 0.0;             ///< zero-power resistance [Ohm]
+  double theta = 0.0;          ///< extracted thermal impedance [K/W]
+  double rth_per_len = 0.0;    ///< theta * length [K*m/W]
+  double fit_r_squared = 0.0;  ///< quality of the R-vs-P line
+};
+
+/// Fits R vs P and converts the slope to theta using the metal's TCR.
+ThermometryExtraction extract_theta(const ThermometrySetup& setup,
+                                    const std::vector<ThermometryPoint>& sweep);
+
+}  // namespace dsmt::thermal

@@ -1,0 +1,118 @@
+#include "thermal/transient.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "numeric/roots.h"
+
+namespace dsmt::thermal {
+
+namespace {
+void check(const PulseLineSpec& s) {
+  if (s.w_m <= 0 || s.t_m <= 0)
+    throw std::invalid_argument("PulseLineSpec: non-positive geometry");
+}
+}  // namespace
+
+double adiabatic_time_to_temperature(const PulseLineSpec& spec, double j,
+                                     double t_target) {
+  check(spec);
+  if (j == 0.0) return std::numeric_limits<double>::infinity();
+  if (t_target <= spec.t_ref) return 0.0;
+  const auto& m = spec.metal;
+  // C_v dT/dt = j^2 rho(T);  rho = rho_ref (1 + tcr (T - T_rho)).
+  const double drho_dt = m.rho_ref * m.tcr;
+  const double rho0 = m.resistivity(spec.t_ref);
+  const double rho1 = m.resistivity(t_target);
+  if (drho_dt <= 0.0) {
+    // Temperature-independent resistivity: linear heating.
+    return m.c_volumetric * (t_target - spec.t_ref) / (j * j * rho0);
+  }
+  return m.c_volumetric / (drho_dt * j * j) * std::log(rho1 / rho0);
+}
+
+double adiabatic_time_to_melt_onset(const PulseLineSpec& spec, double j) {
+  return adiabatic_time_to_temperature(spec, j, spec.metal.t_melt);
+}
+
+double adiabatic_fusion_time(const PulseLineSpec& spec, double j) {
+  check(spec);
+  if (j == 0.0) return std::numeric_limits<double>::infinity();
+  const double rho_melt = spec.metal.resistivity(spec.metal.t_melt);
+  return spec.metal.latent_heat / (j * j * rho_melt);
+}
+
+double critical_current_density_adiabatic(const PulseLineSpec& spec,
+                                          double pulse_width) {
+  check(spec);
+  if (pulse_width <= 0.0)
+    throw std::invalid_argument("critical_current_density: width <= 0");
+  const auto& m = spec.metal;
+  const double drho_dt = m.rho_ref * m.tcr;
+  const double rho0 = m.resistivity(spec.t_ref);
+  const double rho1 = m.resistivity(m.t_melt);
+  if (drho_dt <= 0.0)
+    return std::sqrt(m.c_volumetric * (m.t_melt - spec.t_ref) /
+                     (pulse_width * rho0));
+  return std::sqrt(m.c_volumetric * std::log(rho1 / rho0) /
+                   (drho_dt * pulse_width));
+}
+
+PulseResult simulate_pulse(const PulseLineSpec& spec,
+                           const std::function<double(double)>& j_of_t,
+                           double t_final) {
+  check(spec);
+  const auto& m = spec.metal;
+  const double area = spec.w_m * spec.t_m;
+  const double loss_g =
+      spec.rth_per_len > 0.0 ? 1.0 / spec.rth_per_len : 0.0;  // W/(m*K)
+
+  auto rhs = [&](double t, double temp) {
+    const double j = j_of_t(t);
+    const double heat = j * j * m.resistivity(temp) * area;       // W/m
+    const double loss = loss_g * (temp - spec.t_ref);             // W/m
+    return (heat - loss) / (m.c_volumetric * area);               // K/s
+  };
+
+  PulseResult res;
+  res.trajectory = numeric::rkf45(
+      rhs, 0.0, spec.t_ref, t_final, 1e-6, 1e-8,
+      [&](double, double temp) { return temp >= m.t_melt; });
+
+  for (std::size_t i = 0; i < res.trajectory.t.size(); ++i) {
+    const double temp = res.trajectory.y[i];
+    res.peak_temperature = std::max(res.peak_temperature, temp);
+    if (!res.reached_melt && temp >= m.t_melt) {
+      res.reached_melt = true;
+      res.melt_onset_time = res.trajectory.t[i];
+    }
+  }
+  return res;
+}
+
+double critical_current_density(const PulseLineSpec& spec,
+                                double pulse_width) {
+  check(spec);
+  // Bracket around the adiabatic value; loss only raises the requirement.
+  const double j_adiabatic = critical_current_density_adiabatic(spec, pulse_width);
+  auto melts_in_time = [&](double j) {
+    const auto r = simulate_pulse(spec, [j](double) { return j; },
+                                  pulse_width);
+    // Positive when the line melts before the pulse ends.
+    return r.reached_melt ? (pulse_width - r.melt_onset_time)
+                          : (r.peak_temperature - spec.metal.t_melt);
+  };
+  double lo = j_adiabatic;
+  double hi = j_adiabatic;
+  // Expand upward until melting happens within the pulse.
+  for (int i = 0; i < 60 && melts_in_time(hi) < 0.0; ++i) hi *= 1.25;
+  // Expand downward until it does not.
+  for (int i = 0; i < 60 && melts_in_time(lo) > 0.0; ++i) lo *= 0.8;
+  const auto r = numeric::bisect(melts_in_time, lo, hi,
+                                 {.x_tol = 1e-4 * j_adiabatic, .f_tol = 0.0,
+                                  .max_iterations = 80});
+  return r.root;
+}
+
+}  // namespace dsmt::thermal

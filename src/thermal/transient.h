@@ -1,0 +1,65 @@
+// Lumped (0-D) transient heating of an interconnect under high-current
+// pulses — the substrate of the paper's Section 6 (ESD) analysis and of the
+// short-pulse failure model of Banerjee et al. [8].
+//
+// Energy balance per unit length, uniform line temperature T(t):
+//   C_v A dT/dt = j(t)^2 rho(T) A - (T - T_ref)/R'_th
+// with A = W_m t_m. For ESD time scales (< 200 ns) the loss term is small
+// (adiabatic limit) and, with rho linear in T, time-to-melt has the closed
+// form
+//   t_melt = C_v / (rho'_T j^2) * ln(rho(T_melt)/rho(T_0))
+// where rho'_T = rho_ref * tcr is drho/dT.
+#pragma once
+
+#include <functional>
+
+#include "materials/metal.h"
+#include "numeric/ode.h"
+
+namespace dsmt::thermal {
+
+/// Geometry + environment for the lumped pulse model.
+struct PulseLineSpec {
+  materials::Metal metal;
+  double w_m = 0.0;
+  double t_m = 0.0;
+  double rth_per_len = 0.0;  ///< vertical loss path [K*m/W]; <=0 -> adiabatic
+  double t_ref = 373.15;     ///< initial/ambient temperature [K]
+};
+
+/// Closed-form adiabatic time for the line to reach `t_target` under a
+/// constant current density `j`. Returns +inf if j == 0.
+double adiabatic_time_to_temperature(const PulseLineSpec& spec, double j,
+                                     double t_target);
+
+/// Closed-form adiabatic time to reach the metal's melting point (onset of
+/// melting; latent heat not yet absorbed).
+double adiabatic_time_to_melt_onset(const PulseLineSpec& spec, double j);
+
+/// Additional time at constant j to supply the latent heat of fusion once
+/// the melting point is reached (temperature clamped at T_melt).
+double adiabatic_fusion_time(const PulseLineSpec& spec, double j);
+
+/// The constant current density that reaches melt onset in exactly
+/// `pulse_width` seconds (adiabatic inverse of time_to_melt_onset).
+double critical_current_density_adiabatic(const PulseLineSpec& spec,
+                                          double pulse_width);
+
+/// Numerically integrates the lumped balance for an arbitrary current-
+/// density waveform (uses adaptive RKF45 with a melt-onset stopping event).
+struct PulseResult {
+  numeric::OdeTrajectory trajectory;  ///< T(t) [K]
+  bool reached_melt = false;
+  double melt_onset_time = -1.0;      ///< [s], -1 if never reached
+  double peak_temperature = 0.0;      ///< [K]
+};
+PulseResult simulate_pulse(const PulseLineSpec& spec,
+                           const std::function<double(double)>& j_of_t,
+                           double t_final);
+
+/// The constant current density that reaches melt onset in exactly
+/// `pulse_width` including vertical heat loss (numeric bisection over
+/// simulate_pulse; reduces to the adiabatic value as rth -> infinity).
+double critical_current_density(const PulseLineSpec& spec, double pulse_width);
+
+}  // namespace dsmt::thermal

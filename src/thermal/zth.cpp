@@ -1,0 +1,115 @@
+#include "thermal/zth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/tridiag.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::thermal {
+
+namespace {
+void check(const ZthSpec& spec) {
+  if (spec.w_m <= 0.0 || spec.t_m <= 0.0 || spec.w_eff <= 0.0 ||
+      spec.stack.slabs.empty() || spec.nodes_per_slab < 2)
+    throw std::invalid_argument("ZthSpec: bad parameters");
+}
+}  // namespace
+
+ZthCurve zth_step_response(const ZthSpec& spec, double t_min, double t_max,
+                           int samples) {
+  check(spec);
+  if (t_min <= 0.0 || t_max <= t_min || samples < 2)
+    throw std::invalid_argument("zth_step_response: bad time range");
+
+  // Vertical grid through the stack (top = wire, bottom = substrate).
+  // Per-unit-length quantities; the path cross-section is w_eff wide.
+  std::vector<double> dz, kz;  // cell height and conductivity
+  for (auto it = spec.stack.slabs.rbegin(); it != spec.stack.slabs.rend();
+       ++it) {
+    const int n = spec.nodes_per_slab;
+    for (int i = 0; i < n; ++i) {
+      dz.push_back(it->thickness / n);
+      kz.push_back(it->k_thermal);
+    }
+  }
+  const std::size_t n = dz.size();
+
+  // Capacities [J/(m K)] per unit length: dielectric cells + the wire lump.
+  std::vector<double> cap(n);
+  for (std::size_t i = 0; i < n; ++i)
+    cap[i] = spec.c_dielectric * dz[i] * spec.w_eff;
+  const double cap_wire =
+      spec.metal.c_volumetric * spec.w_m * spec.t_m;
+  cap[0] += cap_wire;  // wire rides on the top cell
+
+  // Face conductances [W/(m K)] between cell i and i+1 (and to substrate).
+  std::vector<double> g(n + 1, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g[i + 1] =
+        spec.w_eff / (0.5 * dz[i] / kz[i] + 0.5 * dz[i + 1] / kz[i + 1]);
+  g[n] = spec.w_eff * kz[n - 1] / (0.5 * dz[n - 1]);  // to the cold plate
+  g[0] = 0.0;  // adiabatic above the wire
+
+  const double rth_dc = rth_per_length(spec.stack, spec.w_eff);
+
+  ZthCurve curve;
+  curve.rth_dc = rth_dc;
+  curve.tau_wire = cap_wire * rth_dc;
+  curve.time.resize(samples);
+  const double lstep = std::log(t_max / t_min) / (samples - 1);
+  for (int s = 0; s < samples; ++s)
+    curve.time[s] = t_min * std::exp(s * lstep);
+
+  // Implicit Euler march with sub-steps between the sample times.
+  std::vector<double> temp(n, 0.0);
+  std::vector<double> lo(n), di(n), up(n), rhs(n);
+  double t_now = 0.0;
+  curve.zth.resize(samples);
+  for (int s = 0; s < samples; ++s) {
+    const double t_target = curve.time[s];
+    const int sub = 24;
+    const double dt = (t_target - t_now) / sub;
+    for (int k = 0; k < sub; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double g_up = g[i];        // toward the wire (adiabatic at 0)
+        const double g_dn = g[i + 1];    // toward the substrate
+        lo[i] = (i > 0) ? -dt * g_up : 0.0;
+        up[i] = (i + 1 < n) ? -dt * g_dn : 0.0;
+        di[i] = cap[i] + dt * (g_up + g_dn);
+        rhs[i] = cap[i] * temp[i];
+      }
+      rhs[0] += dt * 1.0;  // unit power per length into the wire cell
+      temp = numeric::solve_tridiagonal(lo, di, up, rhs);
+    }
+    t_now = t_target;
+    curve.zth[s] = temp[0];
+  }
+  return curve;
+}
+
+double zth_at(const ZthCurve& curve, double t_pulse) {
+  if (curve.time.empty()) throw std::invalid_argument("zth_at: empty curve");
+  if (t_pulse <= curve.time.front()) return curve.zth.front();
+  if (t_pulse >= curve.time.back()) return curve.zth.back();
+  const auto it =
+      std::upper_bound(curve.time.begin(), curve.time.end(), t_pulse);
+  const std::size_t i = static_cast<std::size_t>(it - curve.time.begin());
+  // Log-time interpolation matches the sampling.
+  const double f = std::log(t_pulse / curve.time[i - 1]) /
+                   std::log(curve.time[i] / curve.time[i - 1]);
+  return curve.zth[i - 1] + f * (curve.zth[i] - curve.zth[i - 1]);
+}
+
+double pulsed_current_rating(const ZthSpec& spec, const ZthCurve& curve,
+                             double t_pulse, double dt_max, double t_ref_k) {
+  check(spec);
+  if (dt_max <= 0.0)
+    throw std::invalid_argument("pulsed_current_rating: dt_max <= 0");
+  const double z = zth_at(curve, t_pulse);
+  const double rho = spec.metal.resistivity(t_ref_k + 0.5 * dt_max);
+  return std::sqrt(dt_max / (rho * spec.t_m * spec.w_m * z));
+}
+
+}  // namespace dsmt::thermal

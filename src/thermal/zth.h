@@ -1,0 +1,61 @@
+// Transient thermal impedance Z_th(t) of an interconnect into the
+// substrate, and the pulsed current ratings it implies.
+//
+// The paper treats two extremes: steady-state self-heating (Eq. 9, uses
+// the DC thermal resistance R'_th) and sub-200-ns adiabatic ESD heating.
+// Real stress lives in between: a pulse of width t_p sees the *transient*
+// impedance Z_th(t_p) <= R'_th, because heat is still soaking into the
+// dielectric's heat capacity. This module computes Z_th(t) by solving the
+// vertical 1-D diffusion through the layered dielectric stack (wire as a
+// lumped heat capacity on top, substrate as the cold plate) and derives
+// the duty-independent single-pulse current rating
+//   j_max(t_p) = sqrt(dT_max / (rho t_m W_m Z'_th(t_p)))
+// which sweeps continuously from the ESD regime (Z ~ t / C') to the DC
+// design rule (Z -> R'_th).
+#pragma once
+
+#include <vector>
+
+#include "materials/metal.h"
+#include "tech/layer_stack.h"
+
+namespace dsmt::thermal {
+
+/// Vertical transient model of one line over its stack.
+struct ZthSpec {
+  materials::Metal metal;
+  double w_m = 0.0;             ///< line width [m]
+  double t_m = 0.0;             ///< line thickness [m]
+  tech::DielectricStack stack;  ///< below the line (impedance.h semantics)
+  double w_eff = 0.0;           ///< spreading width for the vertical path
+  /// Volumetric heat capacity of the dielectric [J/(m^3 K)] (single value;
+  /// the conductivities vary per slab, capacities differ little).
+  double c_dielectric = 1.6e6;
+  int nodes_per_slab = 24;
+};
+
+/// Sampled step response: per-unit-length transient impedance [K*m/W] at
+/// the sampled times, for unit power per length injected in the wire at
+/// t = 0. Monotonically rises to the DC R'_th.
+struct ZthCurve {
+  std::vector<double> time;  ///< [s]
+  std::vector<double> zth;   ///< [K*m/W]
+  double rth_dc = 0.0;       ///< the steady-state limit
+  double tau_wire = 0.0;     ///< wire heat capacity x DC resistance [s]
+};
+
+/// Computes Z'_th(t) from `t_min` to `t_max` (log-spaced samples) with an
+/// implicit vertical finite-difference solve.
+ZthCurve zth_step_response(const ZthSpec& spec, double t_min, double t_max,
+                           int samples = 40);
+
+/// Interpolates a curve at pulse width t_p (clamped to the sampled range).
+double zth_at(const ZthCurve& curve, double t_pulse);
+
+/// Single-pulse current-density rating: the constant j that produces
+/// `dt_max` kelvin of rise at the end of an isolated pulse of width t_p
+/// (resistivity evaluated at t_ref + dt_max/2 for mild conservatism).
+double pulsed_current_rating(const ZthSpec& spec, const ZthCurve& curve,
+                             double t_pulse, double dt_max, double t_ref_k);
+
+}  // namespace dsmt::thermal

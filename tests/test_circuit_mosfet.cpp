@@ -1,0 +1,115 @@
+// Alpha-power-law MOSFET model tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/netlist.h"
+
+namespace dsmt::circuit {
+namespace {
+
+MosfetParams nmos() {
+  return {MosType::kNmos, 0.5, 2.5, 3e-4, 1.3, 1.0, 0.02, 1.0};
+}
+MosfetParams pmos() {
+  return {MosType::kPmos, 0.5, 2.5, 1.4e-4, 1.3, 1.0, 0.02, 1.0};
+}
+
+TEST(Mosfet, CutoffOnlyLeaks) {
+  const auto op = mosfet_evaluate(nmos(), 2.5, 0.3, 0.0);  // vgs < vt
+  EXPECT_LT(std::abs(op.id), 1e-10);
+}
+
+TEST(Mosfet, FullOnSaturationCurrent) {
+  // vgs = vdd, vds = vdd: Id = idsat * (1 + lambda (vds - vdsat)).
+  const auto p = nmos();
+  const auto op = mosfet_evaluate(p, 2.5, 2.5, 0.0);
+  const double expected = p.idsat * (1.0 + p.lambda * (2.5 - p.vdsat0));
+  EXPECT_NEAR(op.id, expected, 1e-3 * expected);
+}
+
+TEST(Mosfet, SizeScalesCurrentLinearly) {
+  auto p = nmos();
+  const double i1 = mosfet_evaluate(p, 2.5, 2.5, 0.0).id;
+  p.size = 25.0;
+  EXPECT_NEAR(mosfet_evaluate(p, 2.5, 2.5, 0.0).id, 25.0 * i1, 1e-9);
+}
+
+TEST(Mosfet, LinearRegionBelowSaturation) {
+  const auto p = nmos();
+  const double i_lin = mosfet_evaluate(p, 0.1, 2.5, 0.0).id;
+  const double i_sat = mosfet_evaluate(p, 2.0, 2.5, 0.0).id;
+  EXPECT_LT(i_lin, i_sat);
+  EXPECT_GT(i_lin, 0.0);
+  // Deep triode: current roughly proportional to vds.
+  const double i_lin2 = mosfet_evaluate(p, 0.2, 2.5, 0.0).id;
+  EXPECT_NEAR(i_lin2 / i_lin, 2.0, 0.25);
+}
+
+TEST(Mosfet, ContinuousAcrossVdsat) {
+  const auto p = nmos();
+  const double below = mosfet_evaluate(p, p.vdsat0 - 1e-6, 2.5, 0.0).id;
+  const double above = mosfet_evaluate(p, p.vdsat0 + 1e-6, 2.5, 0.0).id;
+  EXPECT_NEAR(below, above, 1e-6 * above);
+}
+
+TEST(Mosfet, SymmetricUnderTerminalSwap) {
+  // Drain/source symmetry: id(vd, vg, vs) = -id(vs, vg, vd).
+  const auto p = nmos();
+  const double fwd = mosfet_evaluate(p, 1.5, 2.0, 0.5).id;
+  const double rev = mosfet_evaluate(p, 0.5, 2.0, 1.5).id;
+  EXPECT_NEAR(fwd, -rev, 1e-12);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  // PMOS with source at vdd conducting down: current flows INTO the drain
+  // terminal is negative of the NMOS mirror.
+  const auto op_p = mosfet_evaluate(pmos(), 0.0, 0.0, 2.5);  // on, vsd=2.5
+  EXPECT_GT(-op_p.id, 1e-5);  // sources current out of the drain
+  const auto off_p = mosfet_evaluate(pmos(), 0.0, 2.5, 2.5);  // vgs=0: off
+  EXPECT_LT(std::abs(off_p.id), 1e-10);
+}
+
+TEST(Mosfet, AlphaPowerLawExponent) {
+  // idsat(vgs) ~ (vgs - vt)^alpha: check the log-log slope.
+  const auto p = nmos();
+  const double i1 = mosfet_evaluate(p, 2.5, 1.5, 0.0).id;
+  const double i2 = mosfet_evaluate(p, 2.5, 2.5, 0.0).id;
+  const double slope = std::log(i2 / i1) / std::log((2.5 - p.vt) / (1.5 - p.vt));
+  EXPECT_NEAR(slope, p.alpha, 0.08);  // lambda perturbs it slightly
+}
+
+TEST(Mosfet, DerivativesMatchSecantCheck) {
+  const auto p = nmos();
+  const double vd = 1.2, vg = 1.8, vs = 0.1;
+  const auto op = mosfet_evaluate(p, vd, vg, vs);
+  const double h = 1e-4;
+  const double gm_ref = (mosfet_evaluate(p, vd, vg + h, vs).id -
+                         mosfet_evaluate(p, vd, vg - h, vs).id) /
+                        (2.0 * h);
+  EXPECT_NEAR(op.gm, gm_ref, 1e-3 * std::abs(gm_ref) + 1e-12);
+  EXPECT_GT(op.gm, 0.0);
+  EXPECT_GE(op.gds, 0.0);
+}
+
+TEST(Netlist, NodeNamingAndGround) {
+  Netlist nl;
+  EXPECT_EQ(nl.node("0"), kGround);
+  EXPECT_EQ(nl.node("gnd"), kGround);
+  const NodeId a = nl.node("a");
+  EXPECT_EQ(nl.node("a"), a);  // idempotent
+  EXPECT_NE(nl.node("b"), a);
+  EXPECT_NE(nl.internal_node(), a);
+}
+
+TEST(Netlist, ElementValidation) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  EXPECT_THROW(nl.add_resistor(a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_capacitor(a, kGround, -1e-15), std::invalid_argument);
+  nl.add_capacitor(a, kGround, 0.0);  // zero cap silently dropped
+  EXPECT_TRUE(nl.capacitors().empty());
+}
+
+}  // namespace
+}  // namespace dsmt::circuit

@@ -1,0 +1,67 @@
+// Thermally constrained repeater design tests.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "repeater/constrained.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::repeater {
+namespace {
+
+ConstrainedOptions fast(double j0_ma) {
+  ConstrainedOptions o;
+  o.j0 = dsmt::MA_per_cm2(j0_ma);
+  o.sim.steps_per_period = 1200;
+  o.sim.line_segments = 12;
+  o.bisection_steps = 7;
+  return o;
+}
+
+TEST(Constrained, GenerousLimitLeavesOptimumUntouched) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto d = design_constrained_stage(tech, 6, 4.0,
+                                          materials::make_oxide(), fast(0.6));
+  EXPECT_FALSE(d.constrained);
+  EXPECT_TRUE(d.feasible);
+  EXPECT_DOUBLE_EQ(d.size_scale, 1.0);
+  EXPECT_NEAR(d.delay_penalty, 0.0, 1e-12);
+}
+
+TEST(Constrained, TightLimitBacksOffTheDriver) {
+  // An artificially strict EM rule forces the constraint to bind.
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto d = design_constrained_stage(tech, 6, 4.0,
+                                          materials::make_polyimide(),
+                                          fast(0.02));
+  ASSERT_TRUE(d.constrained);
+  ASSERT_TRUE(d.feasible);
+  EXPECT_LT(d.size_scale, 1.0);
+  EXPECT_GT(d.size_scale, fast(0.02).size_floor);
+  // The chosen design meets the limit.
+  EXPECT_LE(d.sim.j_peak, d.limit.j_peak * 1.02);
+  // Backing off costs per-unit-length delay.
+  EXPECT_GT(d.delay_penalty, 0.0);
+}
+
+TEST(Constrained, ImpossibleLimitReportsInfeasible) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto d = design_constrained_stage(tech, 6, 4.0,
+                                          materials::make_polyimide(),
+                                          fast(0.0005));
+  EXPECT_TRUE(d.constrained);
+  EXPECT_FALSE(d.feasible);
+}
+
+TEST(Constrained, DownsizedStageDrawsLessCurrent) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto generous = design_constrained_stage(
+      tech, 6, 4.0, materials::make_oxide(), fast(0.6));
+  const auto strict = design_constrained_stage(
+      tech, 6, 4.0, materials::make_oxide(), fast(0.02));
+  if (strict.feasible && strict.constrained) {
+    EXPECT_LT(strict.sim.j_peak, generous.sim.j_peak);
+  }
+}
+
+}  // namespace
+}  // namespace dsmt::repeater

@@ -1,0 +1,48 @@
+// Electro-thermal co-simulation: verify the paper's j_rms premise — the
+// periodic-steady temperature rise from the real waveform must match the
+// analytic DC-at-j_rms prediction, with negligible ripple.
+#include <gtest/gtest.h>
+
+#include "core/cosim.h"
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::core {
+namespace {
+
+TEST(Cosim, RmsPremiseHoldsForRepeaterWaveform) {
+  const auto technology = tech::make_ntrs_250nm_cu();
+  const int level = technology.top_level();
+  const auto opt = repeater::optimize_layer(technology, level, 4.0, kTrefK);
+  repeater::SimulationOptions so;
+  so.steps_per_period = 2000;
+  const auto sim = repeater::simulate_stage(technology, level, 4.0, opt, so);
+
+  CosimOptions co;
+  co.thermal_periods = 9000;  // ~3 thermal time constants
+  const auto res =
+      verify_rms_premise(technology, level, materials::make_oxide(), sim, co);
+
+  // Time-scale separation: the thermal tau must dwarf the clock period.
+  EXPECT_GT(res.thermal_tau, 100.0 * res.electrical_period);
+
+  // The settled transient rise matches the analytic j_rms rise within the
+  // settling/discretization tolerance.
+  EXPECT_GT(res.dt_rms_model, 0.0);
+  EXPECT_NEAR(res.agreement, 1.0, 0.12);
+
+  // Ripple is a tiny fraction of the rise (the paper's implicit claim).
+  EXPECT_LT(res.ripple, 0.1 * res.dt_transient + 1e-6);
+}
+
+TEST(Cosim, RejectsEmptyWaveform) {
+  const auto technology = tech::make_ntrs_250nm_cu();
+  repeater::StageSimResult empty;
+  EXPECT_THROW(verify_rms_premise(technology, 6, materials::make_oxide(),
+                                  empty),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::core

@@ -1,0 +1,67 @@
+// Coupled-line crosstalk tests.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "repeater/crosstalk.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::repeater {
+namespace {
+
+CrosstalkOptions fast() {
+  CrosstalkOptions o;
+  o.segments = 12;
+  o.steps = 1200;
+  return o;
+}
+
+TEST(Crosstalk, NoiseIsPositiveAndBounded) {
+  const auto tech = tech::make_ntrs_100nm_cu();
+  const auto res = simulate_crosstalk(tech, 8, 2.0, um(3000), fast());
+  EXPECT_GT(res.peak_noise, 0.0);
+  EXPECT_LT(res.noise_fraction, 1.0);
+  EXPECT_GT(res.coupling_fraction, 0.1);  // DSM: lateral coupling matters
+  EXPECT_LT(res.coupling_fraction, 0.95);
+}
+
+TEST(Crosstalk, LongerLinesAreNoisier) {
+  const auto tech = tech::make_ntrs_100nm_cu();
+  const auto short_line = simulate_crosstalk(tech, 8, 2.0, um(1000), fast());
+  const auto long_line = simulate_crosstalk(tech, 8, 2.0, um(6000), fast());
+  EXPECT_GT(long_line.noise_fraction, short_line.noise_fraction);
+}
+
+TEST(Crosstalk, StrongerVictimHolderQuietsTheLine) {
+  const auto tech = tech::make_ntrs_100nm_cu();
+  auto opts = fast();
+  opts.victim_size = 50.0;
+  const auto weak = simulate_crosstalk(tech, 8, 2.0, um(4000), opts);
+  opts.victim_size = 800.0;
+  const auto strong = simulate_crosstalk(tech, 8, 2.0, um(4000), opts);
+  EXPECT_LT(strong.noise_fraction, weak.noise_fraction);
+}
+
+TEST(Crosstalk, MaxLengthForNoiseIsConsistent) {
+  const auto tech = tech::make_ntrs_100nm_cu();
+  const double budget = 0.15;
+  const double l_noise =
+      max_length_for_noise(tech, 8, 2.0, budget, um(8000), fast());
+  EXPECT_GT(l_noise, um(10));
+  // At the returned length the budget holds (small tolerance for the
+  // bisection granularity).
+  const auto at = simulate_crosstalk(tech, 8, 2.0, l_noise, fast());
+  EXPECT_LT(at.noise_fraction, budget * 1.1);
+}
+
+TEST(Crosstalk, Validation) {
+  const auto tech = tech::make_ntrs_100nm_cu();
+  EXPECT_THROW(simulate_crosstalk(tech, 8, 2.0, 0.0, fast()),
+               std::invalid_argument);
+  EXPECT_THROW(max_length_for_noise(tech, 8, 2.0, 0.0, um(1000), fast()),
+               std::invalid_argument);
+  EXPECT_THROW(max_length_for_noise(tech, 8, 2.0, 1.5, um(1000), fast()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::repeater

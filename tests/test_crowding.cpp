@@ -1,0 +1,64 @@
+// Current-crowding solver tests.
+#include <gtest/gtest.h>
+
+#include "em/crowding.h"
+#include "numeric/constants.h"
+
+namespace dsmt::em {
+namespace {
+
+CrowdingOptions coarse() {
+  CrowdingOptions o;
+  o.cell = 0.05e-6;
+  return o;
+}
+
+TEST(Crowding, StraightStripIsUniform) {
+  const auto res = solve_straight_strip(um(1.0), um(5.0), coarse());
+  ASSERT_TRUE(res.converged);
+  // Uniform flow: peak density within a few % of nominal (grid edges add
+  // slight noise near the injection cells).
+  EXPECT_NEAR(res.crowding_factor, 1.0, 0.15);
+  // Resistance of a 5:1 strip = 5 squares.
+  EXPECT_NEAR(res.resistance_squares, 5.0, 0.4);
+}
+
+TEST(Crowding, SquaresScaleWithAspectRatio) {
+  const auto r2 = solve_straight_strip(um(1.0), um(2.0), coarse());
+  const auto r8 = solve_straight_strip(um(1.0), um(8.0), coarse());
+  EXPECT_NEAR(r8.resistance_squares - r2.resistance_squares, 6.0, 0.5);
+}
+
+TEST(Crowding, LBendConcentratesCurrentAtInnerCorner) {
+  const auto res = solve_l_bend(um(1.0), um(4.0), coarse());
+  ASSERT_TRUE(res.converged);
+  // The classic result: sharp inner corner multiplies the local density.
+  EXPECT_GT(res.crowding_factor, 1.4);
+  EXPECT_LT(res.crowding_factor, 8.0);
+  // The bend resistance is below the two legs stretched straight
+  // (the corner square counts less than a full square).
+  EXPECT_LT(res.resistance_squares, 2.0 * 4.0 / 1.0);
+}
+
+TEST(Crowding, FinerGridSharpensTheCornerSingularity) {
+  // The corner density is (mildly) singular: refining the grid must not
+  // *reduce* the measured peak.
+  CrowdingOptions fine = coarse();
+  fine.cell = 0.025e-6;
+  const auto c = solve_l_bend(um(1.0), um(3.0), coarse());
+  const auto f = solve_l_bend(um(1.0), um(3.0), fine);
+  EXPECT_GE(f.crowding_factor, c.crowding_factor * 0.95);
+}
+
+TEST(Crowding, Validation) {
+  EXPECT_THROW(solve_straight_strip(0.0, um(1.0)), std::invalid_argument);
+  EXPECT_THROW(solve_l_bend(um(1.0), um(0.5)), std::invalid_argument);
+  EXPECT_THROW(solve_crowding({}, {}, {}), std::invalid_argument);
+  CrowdingOptions huge;
+  huge.cell = 1.0;  // cell larger than the shape
+  EXPECT_THROW(solve_straight_strip(um(1.0), um(5.0), huge),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::em

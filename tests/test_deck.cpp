@@ -1,0 +1,119 @@
+// SPICE-deck parser tests.
+#include <gtest/gtest.h>
+
+#include "circuit/deck.h"
+
+namespace dsmt::circuit {
+namespace {
+
+TEST(SpiceNumber, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("10k"), 1e4);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.2n"), 1.2e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3meg"), 3e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100f"), 1e-13);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5p"), 5e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2u"), 2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("7m"), 7e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-1.5"), -1.5);
+  EXPECT_THROW(parse_spice_number("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number("1x"), std::invalid_argument);
+  EXPECT_THROW(parse_spice_number(""), std::invalid_argument);
+}
+
+TEST(Deck, RcDividerParsesAndRuns) {
+  const std::string text = R"(
+* simple divider
+VIN in 0 DC 9
+R1 in mid 2k
+R2 mid 0 1k
+.tran 0.1n 1n
+.end
+)";
+  Deck deck = parse_deck(text);
+  ASSERT_TRUE(deck.has_tran);
+  EXPECT_EQ(deck.netlist.resistors().size(), 2u);
+  const auto res = run_transient(deck.netlist, deck.tran);
+  EXPECT_NEAR(res.voltage(deck.node("mid")).back(), 3.0, 1e-6);
+}
+
+TEST(Deck, PulseSourceShape) {
+  const std::string text = R"(
+VCK clk 0 PULSE(0 1.8 1n 0.1n 0.1n 0.5n 2n)
+R1 clk 0 1k
+.end
+)";
+  Deck deck = parse_deck(text);
+  ASSERT_EQ(deck.netlist.vsources().size(), 1u);
+  const auto& v = deck.netlist.vsources()[0].v;
+  EXPECT_DOUBLE_EQ(v(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v(1.3e-9), 1.8);    // high
+  EXPECT_DOUBLE_EQ(v(1.9e-9), 0.0);    // low again
+  EXPECT_DOUBLE_EQ(v(3.3e-9), 1.8);    // periodic
+}
+
+TEST(Deck, PwlWithCommasAndSplitTokens) {
+  const std::string text =
+      "VX a 0 PWL(0 0, 1n 1, 2n 0)\nR1 a 0 1k\n.end\n";
+  Deck deck = parse_deck(text);
+  const auto& v = deck.netlist.vsources()[0].v;
+  EXPECT_DOUBLE_EQ(v(0.5e-9), 0.5);
+  EXPECT_DOUBLE_EQ(v(1.5e-9), 0.5);
+}
+
+TEST(Deck, InverterDeckSwitches) {
+  const std::string text = R"(
+VDD vdd 0 DC 2.5
+VIN in 0 PWL(0 0, 0.2n 0, 0.25n 2.5, 1n 2.5)
+MN out in 0 nmos vt=0.5 vdd=2.5 idsat=3m alpha=1.3 vdsat0=1.0 size=4
+MP out in vdd pmos vt=0.5 vdd=2.5 idsat=1.4m alpha=1.3 vdsat0=1.0 size=8
+CL out 0 20f
+.tran 1p 1n
+.end
+)";
+  Deck deck = parse_deck(text);
+  EXPECT_EQ(deck.netlist.mosfets().size(), 2u);
+  const auto res = run_transient(deck.netlist, deck.tran);
+  const auto v = res.voltage(deck.node("out"));
+  EXPECT_NEAR(v.front(), 2.5, 0.01);  // input low at t=0
+  EXPECT_NEAR(v.back(), 0.0, 0.01);   // switched low
+}
+
+TEST(Deck, SourceIndexLookup) {
+  const std::string text = "VDD a 0 DC 1\nVPROBE a b DC 0\nR1 b 0 1k\n.end\n";
+  Deck deck = parse_deck(text);
+  EXPECT_EQ(deck.source_index("vdd"), 0);
+  EXPECT_EQ(deck.source_index("VPROBE"), 1);
+  EXPECT_EQ(deck.source_index("nope"), -1);
+  const auto res = run_transient(deck.netlist, {.t_stop = 1e-10, .dt = 1e-11});
+  EXPECT_NEAR(res.source_current(1).back(), 1e-3, 1e-9);
+}
+
+TEST(Deck, ErrorsCarryLineNumbers) {
+  try {
+    parse_deck("R1 a 0 1k\nQ1 a b c\n.end\n");
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deck:2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_deck("R1 a 0\n.end\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck("R1 a 0 -5\n.end\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck("V1 a 0 PULSE(1 2 3)\n.end\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck("V1 a 0 SIN(0 1 1k)\n.end\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck("M1 a b c jfet vt=1\n.end\n"), std::runtime_error);
+  EXPECT_THROW(parse_deck(".tran 1n\n.end\n"), std::runtime_error);
+}
+
+TEST(Deck, CommentsAndCaseInsensitivity) {
+  const std::string text =
+      "* top comment\n"
+      "r1 A 0 1K * trailing\n"
+      "C1 A 0 1p\n"
+      ".END\n";
+  Deck deck = parse_deck(text);
+  EXPECT_EQ(deck.netlist.resistors().size(), 1u);
+  EXPECT_EQ(deck.netlist.capacitors().size(), 1u);
+}
+
+}  // namespace
+}  // namespace dsmt::circuit

@@ -1,0 +1,83 @@
+// Delay-model validation: Elmore bounds from above (for step inputs on RC
+// lines Elmore overestimates t50), Sakurai tracks the MNA reference within
+// engineering tolerance across regimes.
+#include <gtest/gtest.h>
+
+#include "repeater/delay.h"
+
+namespace dsmt::repeater {
+namespace {
+
+DelayStage wire_dominated() {
+  // Long resistive line, weak driver influence.
+  return {10.0, 5e4, 2e-10, 5e-3, 1e-15};
+}
+
+DelayStage driver_dominated() {
+  // Strong wire, big driver resistance and load.
+  return {5e3, 1e3, 1e-10, 1e-3, 50e-15};
+}
+
+DelayStage balanced() { return {200.0, 1e4, 1.5e-10, 2e-3, 10e-15}; }
+
+class DelayRegimes : public ::testing::TestWithParam<int> {
+ protected:
+  DelayStage stage() const {
+    switch (GetParam()) {
+      case 0: return wire_dominated();
+      case 1: return driver_dominated();
+      default: return balanced();
+    }
+  }
+};
+
+TEST_P(DelayRegimes, ElmoreUpperBoundsSimulation) {
+  const auto s = stage();
+  const double sim = delay_simulated(s);
+  EXPECT_GT(delay_elmore(s), sim);
+}
+
+TEST_P(DelayRegimes, SakuraiWithinTwentyPercentOfSimulation) {
+  const auto s = stage();
+  const double sim = delay_simulated(s);
+  const double model = delay_sakurai(s);
+  EXPECT_NEAR(model, sim, 0.20 * sim);
+}
+
+INSTANTIATE_TEST_SUITE_P(Regimes, DelayRegimes, ::testing::Values(0, 1, 2));
+
+TEST(DelayModels, DriverDominatedLimitIsLumpedRc) {
+  // When the wire is negligible, t50 -> 0.693 Rs (C_line + C_L).
+  DelayStage s{1e4, 1.0, 1e-12, 1e-4, 100e-15};
+  const double sim = delay_simulated(s);
+  const double lumped = 0.693 * s.rs * (s.c_per_m * s.length + s.c_load);
+  EXPECT_NEAR(sim, lumped, 0.05 * lumped);
+}
+
+TEST(DelayModels, WireDominatedLimitIsDistributedRc) {
+  // Ideal driver, no load: t50 -> 0.377 r c l^2.
+  DelayStage s{0.0, 1e5, 2e-10, 4e-3, 0.0};
+  const double sim = delay_simulated(s, 80);
+  const double distributed =
+      0.377 * s.r_per_m * s.c_per_m * s.length * s.length;
+  EXPECT_NEAR(sim, distributed, 0.08 * distributed);
+}
+
+TEST(DelayModels, QuadraticLengthScalingWithoutRepeaters) {
+  // The motivation for repeaters: unbuffered delay grows ~ l^2.
+  DelayStage s{0.0, 1e5, 2e-10, 2e-3, 0.0};
+  const double d1 = delay_simulated(s, 60);
+  s.length *= 2.0;
+  const double d2 = delay_simulated(s, 60);
+  EXPECT_NEAR(d2 / d1, 4.0, 0.3);
+}
+
+TEST(DelayModels, Validation) {
+  EXPECT_THROW(delay_elmore({0.0, 1.0, 0.0, 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(delay_sakurai({0.0, 1.0, 1e-10, 0.0, 0.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::repeater

@@ -1,0 +1,52 @@
+// Electro-thermal fixed-point tests (engine extension beyond the paper).
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::core {
+namespace {
+
+EngineOptions fast() {
+  EngineOptions o;
+  o.sim.steps_per_period = 1200;
+  o.sim.line_segments = 12;
+  return o;
+}
+
+TEST(Electrothermal, ConvergesAndRunsWarm) {
+  DesignRuleEngine eng(tech::make_ntrs_250nm_cu(), MA_per_cm2(0.6), fast());
+  const auto res =
+      eng.check_layer_electrothermal(6, 4.0, materials::make_oxide());
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.t_operating, kTrefK);
+  EXPECT_LT(res.delta_t, 50.0);  // optimally buffered lines run warm, not hot
+  EXPECT_GT(res.iterations, 0);
+}
+
+TEST(Electrothermal, HotWireShiftsTheOptimum) {
+  DesignRuleEngine eng(tech::make_ntrs_250nm_cu(), MA_per_cm2(0.6), fast());
+  const auto res =
+      eng.check_layer_electrothermal(6, 4.0, materials::make_oxide());
+  // Hotter wire = higher r per metre = shorter optimal segments and, by
+  // Eq. 17, smaller repeaters.
+  EXPECT_GE(res.at_tref.optimal.l_opt, res.at_operating.optimal.l_opt);
+  EXPECT_GE(res.at_tref.optimal.s_opt, res.at_operating.optimal.s_opt);
+  // The check still passes at the operating temperature for oxide.
+  EXPECT_TRUE(res.at_operating.pass);
+}
+
+TEST(Electrothermal, LowKRunsHotterThanOxide) {
+  DesignRuleEngine eng(tech::make_ntrs_100nm_cu(), MA_per_cm2(0.6), fast());
+  const auto ox =
+      eng.check_layer_electrothermal(8, 2.0, materials::make_oxide());
+  const auto pi =
+      eng.check_layer_electrothermal(8, 2.0, materials::make_polyimide());
+  // Same electrical k (2.0 insulator) so same dissipation, but the
+  // polyimide gap-fill stack removes the heat less effectively.
+  EXPECT_GT(pi.delta_t, ox.delta_t * 0.999);
+}
+
+}  // namespace
+}  // namespace dsmt::core

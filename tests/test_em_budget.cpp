@@ -1,0 +1,69 @@
+// Chip-level EM budgeting tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/budget.h"
+#include "numeric/constants.h"
+
+namespace dsmt::em {
+namespace {
+
+materials::EmParameters em() { return materials::make_copper().em; }
+
+TEST(Budget, PerLineQuantileSmallNApproximation) {
+  // For small q and large N, q_line ~ q / N.
+  const double q = per_line_quantile(1e-3, 1000000);
+  EXPECT_NEAR(q, 1e-9, 2e-11);
+}
+
+TEST(Budget, SingleLineIsIdentity) {
+  EXPECT_NEAR(per_line_quantile(1e-3, 1), 1e-3, 1e-15);
+  EXPECT_NEAR(median_scale_for_chip(1e-3, 1e-3, 0.5, 1), 1.0, 1e-12);
+  EXPECT_NEAR(chip_level_j0(em(), MA_per_cm2(0.6), 0.5, 1), MA_per_cm2(0.6),
+              1e-3);
+}
+
+TEST(Budget, MoreLinesRequireLongerMedians) {
+  double prev = 1.0;
+  for (std::size_t n : {10u, 1000u, 100000u, 10000000u}) {
+    const double scale = median_scale_for_chip(1e-3, 1e-3, 0.5, n);
+    EXPECT_GT(scale, prev);
+    prev = scale;
+  }
+}
+
+TEST(Budget, WiderDistributionCostsMore) {
+  const double tight = median_scale_for_chip(1e-3, 1e-3, 0.3, 1000000);
+  const double wide = median_scale_for_chip(1e-3, 1e-3, 0.8, 1000000);
+  EXPECT_GT(wide, tight);
+}
+
+TEST(Budget, DerateFollowsBlackExponent) {
+  // n = 2: a 4x median requirement costs 2x in current density.
+  EXPECT_NEAR(derate_j0(em(), MA_per_cm2(1.0), 4.0), MA_per_cm2(0.5), 1e-3);
+}
+
+TEST(Budget, ChipLevelJ0IsMonotoneInN) {
+  double prev = MA_per_cm2(10.0);
+  for (std::size_t n : {1u, 100u, 10000u, 1000000u}) {
+    const double j = chip_level_j0(em(), MA_per_cm2(0.6), 0.5, n);
+    EXPECT_LT(j, prev + 1.0);
+    EXPECT_GT(j, 0.0);
+    prev = j;
+  }
+  // A million lines with sigma 0.5 still leaves a usable fraction of j0.
+  EXPECT_GT(chip_level_j0(em(), MA_per_cm2(0.6), 0.5, 1000000),
+            MA_per_cm2(0.05));
+}
+
+TEST(Budget, Validation) {
+  EXPECT_THROW(per_line_quantile(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(per_line_quantile(1.0, 10), std::invalid_argument);
+  EXPECT_THROW(per_line_quantile(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(derate_j0(em(), -1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(derate_j0(em(), 1.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::em

@@ -1,0 +1,86 @@
+// Non-isothermal EM profile tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/profile.h"
+#include "numeric/constants.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::em {
+namespace {
+
+struct LineSetup {
+  materials::Metal metal = materials::make_copper();
+  double w = um(1.0);
+  double t = um(0.8);
+  double rth = 0.0;
+  LineSetup() {
+    const double weff =
+        thermal::effective_width(w, um(3.0), thermal::kPhiQuasi1D);
+    rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  }
+};
+
+TEST(EmProfile, HottestPointIsWeakest) {
+  const LineSetup s;
+  const double p = 5.0;  // strong heating, W/m
+  const auto prof = thermal::finite_line_profile(s.metal, s.w, s.t, s.rth,
+                                                 um(400), p, kTrefK, kTrefK);
+  const auto em_prof = evaluate_line_em(s.metal.em, prof.x, prof.t, kTrefK);
+  // TTF ratio is < 1 wherever the line is hotter than T_ref, with the
+  // minimum at the (mid-line) temperature peak.
+  const std::size_t mid = em_prof.x.size() / 2;
+  EXPECT_NEAR(em_prof.ttf_ratio[mid], em_prof.worst_ratio,
+              1e-9 * em_prof.worst_ratio);
+  EXPECT_LT(em_prof.worst_ratio, 1.0);
+  // Ends are via-cooled to T_ref: ratio 1 there.
+  EXPECT_NEAR(em_prof.ttf_ratio.front(), 1.0, 1e-9);
+  EXPECT_NEAR(em_prof.ttf_ratio.back(), 1.0, 1e-9);
+}
+
+TEST(EmProfile, WeakestLinkBelowWorstPoint) {
+  const LineSetup s;
+  const auto prof = thermal::finite_line_profile(s.metal, s.w, s.t, s.rth,
+                                                 um(400), 3.0, kTrefK, kTrefK);
+  const auto em_prof = evaluate_line_em(s.metal.em, prof.x, prof.t, kTrefK);
+  // The chain correction can only reduce the (median) lifetime further.
+  EXPECT_LE(em_prof.weakest_link_ratio, em_prof.worst_ratio * 1.0001);
+  EXPECT_GT(em_prof.weakest_link_ratio, 0.0);
+}
+
+TEST(EmProfile, ShortLineGainsLifetime) {
+  const LineSetup s;
+  const double lambda =
+      thermal::healing_length(s.metal, s.w, s.t, s.rth);
+  const double p = 40.0;  // strong heating: dT_inf ~ 13 K
+  // A line much shorter than lambda stays near T_ref -> gain >> 1.
+  const double gain_short = short_line_lifetime_gain(
+      s.metal, s.w, s.t, s.rth, 0.5 * lambda, p, kTrefK);
+  // A thermally long line has no end-cooling benefit at its midpoint.
+  const double gain_long = short_line_lifetime_gain(
+      s.metal, s.w, s.t, s.rth, 40.0 * lambda, p, kTrefK);
+  EXPECT_GT(gain_short, 1.5);
+  EXPECT_NEAR(gain_long, 1.0, 0.01);
+  EXPECT_GT(gain_short, gain_long);
+}
+
+TEST(EmProfile, UniformProfileIsNeutral) {
+  const LineSetup s;
+  std::vector<double> x{0.0, um(100), um(200)};
+  std::vector<double> t(3, kTrefK);
+  const auto em_prof = evaluate_line_em(s.metal.em, x, t, kTrefK);
+  EXPECT_NEAR(em_prof.worst_ratio, 1.0, 1e-12);
+}
+
+TEST(EmProfile, Validation) {
+  const LineSetup s;
+  EXPECT_THROW(evaluate_line_em(s.metal.em, {0.0}, {kTrefK}, kTrefK),
+               std::invalid_argument);
+  EXPECT_THROW(evaluate_line_em(s.metal.em, {0.0, 1.0}, {kTrefK, kTrefK},
+                                kTrefK, 0.5, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::em

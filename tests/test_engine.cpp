@@ -1,0 +1,95 @@
+// Design-rule engine integration tests.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::core {
+namespace {
+
+EngineOptions fast_options() {
+  EngineOptions o;
+  o.sim.steps_per_period = 1500;
+  o.sim.line_segments = 16;
+  return o;
+}
+
+TEST(Engine, DesignRuleTableShape) {
+  DesignRuleEngine eng(tech::make_ntrs_250nm_cu(), MA_per_cm2(0.6),
+                       fast_options());
+  const auto cells =
+      eng.design_rule_table({5, 6}, materials::paper_dielectrics());
+  EXPECT_EQ(cells.size(), 2u * 3u * 2u);  // duty x dielectric x level
+  for (const auto& c : cells) {
+    EXPECT_TRUE(c.sol.converged);
+    EXPECT_GT(c.sol.j_peak, 0.0);
+    EXPECT_GE(c.sol.t_metal, kTrefK);
+  }
+}
+
+TEST(Engine, ThermalLimitMatchesTableCell) {
+  DesignRuleEngine eng(tech::make_ntrs_100nm_cu(), MA_per_cm2(1.8),
+                       fast_options());
+  const auto direct = eng.thermal_limit(8, materials::make_hsq(), 0.1);
+  const auto cells = eng.design_rule_table({8}, {materials::make_hsq()});
+  bool found = false;
+  for (const auto& c : cells)
+    if (c.duty_cycle == 0.1) {
+      EXPECT_NEAR(c.sol.j_peak, direct.j_peak, 1e-6 * direct.j_peak);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(Engine, PaperHeadlineDelayVsThermal) {
+  // The central circuit-level conclusion: optimally buffered global lines
+  // on oxide respect the self-consistent thermal limits
+  // (j_peak-delay < j_peak-self-consistent).
+  DesignRuleEngine eng(tech::make_ntrs_250nm_cu(), MA_per_cm2(0.6),
+                       fast_options());
+  const auto check = eng.check_layer(6, 4.0, materials::make_oxide());
+  EXPECT_TRUE(check.pass);
+  EXPECT_GT(check.jpeak_margin, 1.0);
+  EXPECT_GT(check.jrms_margin, 1.0);
+  // Effective duty cycle near the paper's 0.12.
+  EXPECT_GT(check.sim.duty_effective, 0.08);
+  EXPECT_LT(check.sim.duty_effective, 0.17);
+}
+
+TEST(Engine, LowKShrinksTheMargin) {
+  // Paper: "the margin between j_peak-self-consistent and j_peak-delay
+  // reduces" with low-k dielectrics (both thermally and electrically).
+  DesignRuleEngine eng(tech::make_ntrs_100nm_cu(), MA_per_cm2(0.6),
+                       fast_options());
+  const auto oxide = eng.check_layer(8, 4.0, materials::make_oxide());
+  const auto lowk = eng.check_layer(8, 2.9, materials::make_hsq());
+  EXPECT_LT(lowk.thermal_limit.j_peak, oxide.thermal_limit.j_peak);
+}
+
+TEST(Engine, CheckLayersCoversAll) {
+  DesignRuleEngine eng(tech::make_ntrs_250nm_cu(), MA_per_cm2(0.6),
+                       fast_options());
+  const auto checks = eng.check_layers({5, 6}, 4.0, materials::make_oxide());
+  ASSERT_EQ(checks.size(), 2u);
+  EXPECT_EQ(checks[0].level, 5);
+  EXPECT_EQ(checks[1].level, 6);
+}
+
+TEST(Engine, EsdScreenSeverityGrowsWithVoltage) {
+  DesignRuleEngine eng(tech::make_ntrs_250nm_alcu(), MA_per_cm2(0.6),
+                       fast_options());
+  const auto mild = eng.esd_screen(6, 500.0, materials::make_oxide());
+  const auto harsh = eng.esd_screen(1, 8000.0, materials::make_oxide());
+  EXPECT_LT(mild.peak_temperature, harsh.peak_temperature);
+  EXPECT_EQ(mild.state, esd::FailureState::kSafe);
+  EXPECT_NE(harsh.state, esd::FailureState::kSafe);
+}
+
+TEST(Engine, RejectsBadJ0) {
+  EXPECT_THROW(DesignRuleEngine(tech::make_ntrs_250nm_cu(), 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::core

@@ -1,0 +1,143 @@
+// ESD waveform and failure-model tests (paper Section 6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "esd/failure.h"
+#include "esd/waveforms.h"
+#include "numeric/constants.h"
+
+namespace dsmt::esd {
+namespace {
+
+TEST(Waveforms, HbmPeakAndScale) {
+  const auto i = hbm(2000.0);  // 2 kV HBM
+  double peak = 0.0;
+  for (int k = 0; k < 4000; ++k) peak = std::max(peak, i(k * 0.2e-9));
+  EXPECT_NEAR(peak, 2000.0 / 1500.0, 0.01);  // ~1.33 A
+  EXPECT_DOUBLE_EQ(i(0.0), 0.0);
+  EXPECT_LT(i(hbm_duration()), 0.05 * peak);  // mostly decayed
+}
+
+TEST(Waveforms, MmRingsAndExceedsHbmPeak) {
+  const auto i_mm = mm(200.0);
+  const auto i_hbm = hbm(200.0);
+  double peak_mm = 0.0, peak_hbm = 0.0, min_mm = 0.0;
+  for (int k = 0; k < 5000; ++k) {
+    const double t = k * 0.1e-9;
+    peak_mm = std::max(peak_mm, i_mm(t));
+    min_mm = std::min(min_mm, i_mm(t));
+    peak_hbm = std::max(peak_hbm, i_hbm(t));
+  }
+  EXPECT_GT(peak_mm, 3.0 * peak_hbm);  // MM is the harsher model per volt
+  EXPECT_LT(min_mm, 0.0);              // rings below zero
+}
+
+TEST(Waveforms, TlpRectangle) {
+  const auto i = tlp(1.5, 100e-9);
+  EXPECT_DOUBLE_EQ(i(50e-9), 1.5);
+  EXPECT_DOUBLE_EQ(i(150e-9), 0.0);
+  EXPECT_DOUBLE_EQ(i(0.0), 0.0);
+}
+
+TEST(Failure, PaperAlCuOpenCircuitDensity) {
+  // Paper Section 6 (ref. [8]): critical open-circuit current density for
+  // AlCu is ~60 MA/cm^2 on ESD time scales (< 200 ns).
+  const auto alcu = materials::make_alcu();
+  const double j_100ns = critical_jpeak_open(alcu, 100e-9, kTrefK);
+  EXPECT_GT(to_MA_per_cm2(j_100ns), 40.0);
+  EXPECT_LT(to_MA_per_cm2(j_100ns), 80.0);
+}
+
+TEST(Failure, MeltOnsetBelowOpenCircuit) {
+  const auto alcu = materials::make_alcu();
+  for (double t_pulse : {50e-9, 100e-9, 200e-9}) {
+    EXPECT_LT(critical_jpeak_melt_onset(alcu, t_pulse, kTrefK),
+              critical_jpeak_open(alcu, t_pulse, kTrefK));
+  }
+}
+
+TEST(Failure, CopperToleratesMoreThanAlCu) {
+  // Higher melting point, heat capacity and lower resistivity all help.
+  const double j_cu =
+      critical_jpeak_open(materials::make_copper(), 100e-9, kTrefK);
+  const double j_alcu =
+      critical_jpeak_open(materials::make_alcu(), 100e-9, kTrefK);
+  EXPECT_GT(j_cu, 1.3 * j_alcu);
+}
+
+thermal::PulseLineSpec io_line() {
+  thermal::PulseLineSpec s;
+  s.metal = materials::make_alcu();
+  s.w_m = um(3.0);
+  s.t_m = um(0.6);
+  s.rth_per_len = 0.3;
+  s.t_ref = kTrefK;
+  return s;
+}
+
+TEST(Assess, SeverityOrderingWithHbmLevel) {
+  const auto line = io_line();
+  const auto mild = assess(line, hbm(500.0));
+  const auto harsh = assess(line, hbm(8000.0));
+  EXPECT_EQ(mild.state, FailureState::kSafe);
+  EXPECT_NE(harsh.state, FailureState::kSafe);
+  EXPECT_GT(harsh.peak_temperature, mild.peak_temperature);
+  EXPECT_LE(harsh.em_lifetime_derating, mild.em_lifetime_derating);
+  EXPECT_DOUBLE_EQ(mild.em_lifetime_derating, 1.0);
+}
+
+TEST(Assess, OpenCircuitAtExtremeStress) {
+  auto line = io_line();
+  line.w_m = um(0.5);  // thin line, huge current
+  const auto out = assess(line, hbm(8000.0));
+  EXPECT_EQ(out.state, FailureState::kOpenCircuit);
+  EXPECT_DOUBLE_EQ(out.em_lifetime_derating, 0.0);
+  EXPECT_GE(out.fusion_fraction, 1.0);
+}
+
+TEST(Assess, LatentDamageBandExists) {
+  // Sweep HBM level: between safe and open there must be latent damage
+  // with a derating strictly between 0 and 1.
+  const auto line = io_line();
+  bool saw_latent = false;
+  for (double v = 500.0; v <= 10000.0; v *= 1.15) {
+    const auto out = assess(line, hbm(v));
+    if (out.state == FailureState::kLatentDamage) {
+      saw_latent = true;
+      EXPECT_GT(out.em_lifetime_derating, 0.0);
+      EXPECT_LT(out.em_lifetime_derating, 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_latent);
+}
+
+TEST(Assess, ToStringCoversAllStates) {
+  EXPECT_STREQ(to_string(FailureState::kSafe), "safe");
+  EXPECT_STREQ(to_string(FailureState::kLatentDamage), "latent-damage");
+  EXPECT_STREQ(to_string(FailureState::kOpenCircuit), "open-circuit");
+}
+
+TEST(MinWidth, ScalesWithCurrentAndSafety) {
+  const auto alcu = materials::make_alcu();
+  const double w1 = min_width_for_esd(alcu, 1.33, 150e-9, um(0.6), kTrefK);
+  const double w2 = min_width_for_esd(alcu, 2.66, 150e-9, um(0.6), kTrefK);
+  EXPECT_NEAR(w2 / w1, 2.0, 1e-9);
+  const double w_safe =
+      min_width_for_esd(alcu, 1.33, 150e-9, um(0.6), kTrefK, 3.0);
+  EXPECT_NEAR(w_safe / w1, 2.0, 1e-9);  // 3.0/1.5 default
+  // A 2 kV HBM (1.33 A) needs a line on the order of microns wide.
+  EXPECT_GT(w1, um(0.3));
+  EXPECT_LT(w1, um(30.0));
+}
+
+TEST(MinWidth, Validation) {
+  const auto alcu = materials::make_alcu();
+  EXPECT_THROW(min_width_for_esd(alcu, 0.0, 1e-7, um(0.6), kTrefK),
+               std::invalid_argument);
+  EXPECT_THROW(min_width_for_esd(alcu, 1.0, 1e-7, um(0.6), kTrefK, 0.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::esd

@@ -1,0 +1,132 @@
+// Capacitance extraction tests: compact models vs the 2-D Laplace solver.
+#include <gtest/gtest.h>
+
+#include "extraction/capmodel.h"
+#include "extraction/laplace2d.h"
+#include "extraction/wire_rc.h"
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::extraction {
+namespace {
+
+TEST(CapModel, ExceedsParallelPlate) {
+  // Fringing always adds to the plate term.
+  const double w = um(1.0), t = um(0.5), h = um(0.8);
+  EXPECT_GT(cap_ground_single(w, t, h, 4.0), cap_parallel_plate(w, h, 4.0));
+}
+
+TEST(CapModel, ScalesLinearlyWithPermittivity) {
+  const double w = um(1.0), t = um(0.5), h = um(0.8), s = um(0.5);
+  EXPECT_NEAR(cap_ground_single(w, t, h, 8.0) / cap_ground_single(w, t, h, 4.0),
+              2.0, 1e-12);
+  EXPECT_NEAR(cap_coupling(w, t, h, s, 8.0) / cap_coupling(w, t, h, s, 4.0),
+              2.0, 1e-12);
+}
+
+TEST(CapModel, GroundCapGrowsWithWidth) {
+  double prev = 0.0;
+  for (double w_um : {0.3, 0.6, 1.2, 2.4}) {
+    const double c = cap_ground_single(um(w_um), um(0.5), um(0.8), 4.0);
+    EXPECT_GT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CapModel, CouplingFallsWithSpacing) {
+  double prev = 1e30;
+  for (double s_um : {0.2, 0.4, 0.8, 1.6}) {
+    const double c = cap_coupling(um(1.0), um(0.5), um(0.8), um(s_um), 4.0);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(CapModel, TypicalMagnitude) {
+  // DSM wires run ~0.1-0.3 fF/um total.
+  const auto bus = cap_bus(um(0.5), um(0.9), um(0.9), um(0.5), 4.0);
+  const double total_ff_per_um = bus.total(1.0) * 1e15 * 1e-6;
+  EXPECT_GT(total_ff_per_um, 0.05);
+  EXPECT_LT(total_ff_per_um, 1.0);
+  // Miller factor 2 doubles only the coupling part.
+  EXPECT_NEAR(bus.total(2.0) - bus.total(1.0), 2.0 * bus.c_coupling, 1e-20);
+}
+
+TEST(Laplace2D, ParallelPlateLimit) {
+  // A conductor nearly spanning the domain width close to the ground plane
+  // behaves like a parallel plate: C ~ eps W / h.
+  const double w_domain = um(40), h_cond = um(0.5);
+  CapExtractor ex(w_domain, um(6), 1.0);
+  const double wc = um(36), x0 = um(2), y0 = um(1);
+  ex.add_conductor({x0, x0 + wc, y0, y0 + h_cond});
+  thermal::MeshOptions mesh;
+  mesh.h_min = 0.05e-6;
+  mesh.h_max = 0.4e-6;
+  const double c = ex.total_capacitance(0, mesh);
+  const double plate = cap_parallel_plate(wc, y0, 1.0);
+  EXPECT_GT(c, plate);             // fringe adds
+  EXPECT_LT(c, 1.35 * plate);      // but not too much for a wide plate
+}
+
+TEST(Laplace2D, MaxwellMatrixStructure) {
+  CapExtractor ex(um(12), um(6), 4.0);
+  ex.add_conductor({um(5.0), um(5.5), um(1.0), um(1.5)});
+  ex.add_conductor({um(6.0), um(6.5), um(1.0), um(1.5)});
+  thermal::MeshOptions mesh;
+  mesh.h_min = 0.04e-6;
+  mesh.h_max = 0.3e-6;
+  const auto c = ex.capacitance_matrix(mesh);
+  // Diagonal positive, off-diagonal negative, symmetric.
+  EXPECT_GT(c(0, 0), 0.0);
+  EXPECT_GT(c(1, 1), 0.0);
+  EXPECT_LT(c(0, 1), 0.0);
+  EXPECT_NEAR(c(0, 1), c(1, 0), 0.03 * std::abs(c(0, 1)));
+  // Coupling smaller than the total.
+  EXPECT_LT(std::abs(c(0, 1)), c(0, 0));
+}
+
+TEST(Laplace2D, AgreesWithSakuraiWithinEngineeringTolerance) {
+  // 3-line bus at typical global-layer geometry: field solver and compact
+  // model should agree to a few tens of percent.
+  const double w = um(1.0), t = um(1.0), h = um(1.0), s = um(1.0);
+  CapExtractor ex(um(30), um(8), 4.0);
+  const double xc = um(15);
+  ex.add_conductor({xc - w / 2, xc + w / 2, h, h + t});                 // victim
+  ex.add_conductor({xc - w / 2 - s - w, xc - w / 2 - s, h, h + t});     // left
+  ex.add_conductor({xc + w / 2 + s, xc + w / 2 + s + w, h, h + t});     // right
+  thermal::MeshOptions mesh;
+  mesh.h_min = 0.05e-6;
+  mesh.h_max = 0.4e-6;
+  const auto cm = ex.capacitance_matrix(mesh);
+  const auto bus = cap_bus(w, t, h, s, 4.0);
+  EXPECT_NEAR(cm(0, 0), bus.total(1.0), 0.4 * bus.total(1.0));
+  // The compact model underestimates coupling at s/h = 1 (edge of its fit
+  // range); require factor-2 agreement.
+  EXPECT_GT(-cm(0, 1), 0.5 * bus.c_coupling);
+  EXPECT_LT(-cm(0, 1), 2.0 * bus.c_coupling);
+}
+
+TEST(WireRc, ExtractionSanity) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto rc = extract_wire_rc(tech, 6, 4.0, kTrefK);
+  EXPECT_GT(rc.r_per_m, 1e2);
+  EXPECT_LT(rc.r_per_m, 1e6);
+  EXPECT_NEAR(rc.c_per_m, rc.c_ground_per_m + 2.0 * rc.c_coupling_per_m,
+              1e-18);
+  // Lower permittivity lowers c proportionally.
+  const auto rc2 = extract_wire_rc(tech, 6, 2.0, kTrefK);
+  EXPECT_NEAR(rc2.c_per_m / rc.c_per_m, 0.5, 1e-9);
+  // Hotter wire is more resistive.
+  const auto rc_hot = extract_wire_rc(tech, 6, 4.0, kTrefK + 100.0);
+  EXPECT_GT(rc_hot.r_per_m, rc.r_per_m);
+}
+
+TEST(CapModel, RejectsBadInputs) {
+  EXPECT_THROW(cap_ground_single(0.0, 1e-6, 1e-6, 4.0), std::invalid_argument);
+  EXPECT_THROW(cap_coupling(1e-6, 1e-6, 1e-6, 0.0, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(cap_parallel_plate(1e-6, 1e-6, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::extraction

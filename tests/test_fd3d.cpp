@@ -1,0 +1,105 @@
+// 3-D voxel thermal solver tests.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+#include "thermal/fd3d.h"
+#include "thermal/scenarios.h"
+
+namespace dsmt::thermal {
+namespace {
+
+Mesh3DOptions coarse() {
+  Mesh3DOptions m;
+  m.h_min = 0.08e-6;
+  m.h_max = 1.0e-6;
+  m.cg_rel_tol = 1e-7;
+  return m;
+}
+
+TEST(Volume3D, ExtrusionMatches2DCrossSection) {
+  // A single line spanning the domain in x is translationally invariant, so
+  // the 3-D solve must reproduce the 2-D cross-section R'_th.
+  SingleLineSpec s2;
+  s2.lateral_margin = 5e-6;
+  const double rth2d = solve_rth_per_length(s2);
+
+  const double length = 20e-6;
+  const double ly = s2.width + 2.0 * s2.lateral_margin;
+  Volume3D vol(length, ly, s2.t_ox_below + s2.thickness + s2.cap_above, 1.15);
+  const auto id = vol.add_wire({0.0, length, 0.5 * (ly - s2.width),
+                                0.5 * (ly + s2.width), s2.t_ox_below,
+                                s2.t_ox_below + s2.thickness},
+                               s2.metal.k_thermal);
+  Mesh3DOptions mo = coarse();
+  mo.h_min = 0.05e-6;
+  const auto sol = vol.solve({1.0 * length}, mo);  // P' = 1 W/m
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.wire_avg_rise[id], rth2d, 0.08 * rth2d);
+}
+
+TEST(Volume3D, WidePlateMatches1D) {
+  // A heater covering nearly the whole footprint above a slab: 1-D flow.
+  const double l = 10e-6, b = 2e-6;
+  Volume3D vol(l, l, b + 1e-6, 1.15);
+  const auto id =
+      vol.add_wire({0.3e-6, l - 0.3e-6, 0.3e-6, l - 0.3e-6, b, b + 0.5e-6},
+                   400.0);
+  const auto sol = vol.solve({1e-3}, coarse());
+  ASSERT_TRUE(sol.converged);
+  const double area = (l - 0.6e-6) * (l - 0.6e-6);
+  const double expected = 1e-3 * b / (1.15 * area);
+  // Edge fringing (two lateral directions) cools the finite plate below the
+  // 1-D estimate, but not dramatically.
+  EXPECT_LT(sol.wire_avg_rise[id], expected);
+  EXPECT_GT(sol.wire_avg_rise[id], 0.6 * expected);
+}
+
+TEST(Volume3D, LinearityAndValidation) {
+  Volume3D vol(5e-6, 5e-6, 3e-6, 1.15);
+  const auto id = vol.add_wire({1e-6, 4e-6, 2e-6, 3e-6, 2e-6, 2.5e-6}, 400.0);
+  const auto s1 = vol.solve({1e-4}, coarse());
+  const auto s2 = vol.solve({2e-4}, coarse());
+  EXPECT_NEAR(s2.wire_avg_rise[id] / s1.wire_avg_rise[id], 2.0, 1e-5);
+  EXPECT_THROW(vol.solve({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Volume3D(0, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(Array3D, AlternatingDirectionsBuild) {
+  Array3DSpec spec;
+  spec.technology = tech::make_ntrs_250nm_cu();
+  spec.max_level = 4;
+  spec.lines_per_level = 3;
+  const auto arr = make_array_3d(spec);
+  EXPECT_EQ(arr.wires.size(), 12u);
+  // Odd levels run along x (full lx extent), even along y.
+  for (const auto& w : arr.wires) {
+    const auto& b = arr.volume.wire(w.id);
+    if (w.level % 2 == 1) {
+      EXPECT_DOUBLE_EQ(b.x0, 0.0);
+      EXPECT_GT(b.y0, 0.0);
+    } else {
+      EXPECT_DOUBLE_EQ(b.y0, 0.0);
+      EXPECT_GT(b.x0, 0.0);
+    }
+  }
+  EXPECT_NO_THROW(arr.center_wire(4));
+  EXPECT_THROW(arr.center_wire(9), std::out_of_range);
+}
+
+TEST(Array3D, AllHotExceedsIsolated) {
+  Array3DSpec spec;
+  spec.technology = tech::make_ntrs_250nm_cu();
+  spec.max_level = 4;
+  spec.lines_per_level = 3;
+  const auto arr = make_array_3d(spec);
+  Mesh3DOptions mo = coarse();
+  mo.h_max = 1.2e-6;
+  const auto h = array3d_heating_coefficients(arr, 4, mo);
+  EXPECT_GT(h.h_all_hot, h.h_isolated);
+  EXPECT_GT(h.h_all_hot / h.h_isolated, 1.5);
+  EXPECT_LT(h.h_all_hot / h.h_isolated, 30.0);
+}
+
+}  // namespace
+}  // namespace dsmt::thermal

@@ -1,0 +1,100 @@
+// Polynomial fitting, interpolation, and statistics tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/interp.h"
+#include "numeric/polyfit.h"
+#include "numeric/stats.h"
+
+namespace dsmt::numeric {
+namespace {
+
+TEST(Polyfit, RecoversQuadraticExactly) {
+  std::vector<double> x{-2, -1, 0, 1, 2, 3};
+  std::vector<double> y;
+  for (double v : x) y.push_back(2.0 - 3.0 * v + 0.5 * v * v);
+  auto c = polyfit(x, y, 2);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_NEAR(c[0], 2.0, 1e-10);
+  EXPECT_NEAR(c[1], -3.0, 1e-10);
+  EXPECT_NEAR(c[2], 0.5, 1e-10);
+}
+
+TEST(Polyfit, InsufficientPointsThrows) {
+  EXPECT_THROW(polyfit({1.0, 2.0}, {1.0, 2.0}, 2), std::invalid_argument);
+}
+
+TEST(Polyval, HornerEvaluation) {
+  EXPECT_DOUBLE_EQ(polyval({1.0, 0.0, 2.0}, 3.0), 19.0);  // 1 + 2 x^2
+}
+
+TEST(LinearFit, PerfectLineHasUnitR2) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y{1, 3, 5, 7, 9};
+  auto f = linear_fit(x, y);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r_squared, 1.0, 1e-12);
+}
+
+TEST(LinearFit, NoisyDataR2BelowOne) {
+  std::vector<double> x{0, 1, 2, 3, 4, 5};
+  std::vector<double> y{0.0, 1.2, 1.8, 3.3, 3.9, 5.1};
+  auto f = linear_fit(x, y);
+  EXPECT_GT(f.r_squared, 0.95);
+  EXPECT_LT(f.r_squared, 1.0);
+  EXPECT_NEAR(f.slope, 1.0, 0.1);
+}
+
+TEST(Interp, ExactAtKnotsLinearBetween) {
+  LinearInterpolant li({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(li(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(li(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(li(0.5), 1.0);
+}
+
+TEST(Interp, ClampsOutsideDomain) {
+  LinearInterpolant li({0.0, 1.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(li(-1.0), 5.0);
+  EXPECT_DOUBLE_EQ(li(2.0), 7.0);
+}
+
+TEST(Interp, RejectsNonMonotone) {
+  EXPECT_THROW(LinearInterpolant({0.0, 0.0}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Interp, ResampleUniform) {
+  LinearInterpolant li({0.0, 2.0}, {0.0, 4.0});
+  auto [xs, ys] = li.resample(5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[2], 1.0);
+  EXPECT_DOUBLE_EQ(ys[2], 2.0);
+}
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampledStats, RmsOfSine) {
+  std::vector<double> t, y;
+  const int n = 20000;
+  for (int i = 0; i <= n; ++i) {
+    const double tt = 2.0 * M_PI * i / n;
+    t.push_back(tt);
+    y.push_back(std::sin(tt));
+  }
+  EXPECT_NEAR(rms_sampled(t, y), 1.0 / std::sqrt(2.0), 1e-4);
+  EXPECT_NEAR(mean_sampled(t, y), 0.0, 1e-10);
+  EXPECT_NEAR(peak_abs(y), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace dsmt::numeric

@@ -1,0 +1,77 @@
+// Foster-network extraction tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+#include "thermal/foster.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::thermal {
+namespace {
+
+ZthCurve synthetic_single_pole(double r, double tau) {
+  ZthCurve c;
+  c.rth_dc = r;
+  for (int k = 0; k < 30; ++k) {
+    const double t = tau * std::pow(10.0, -2.0 + 4.0 * k / 29.0);
+    c.time.push_back(t);
+    c.zth.push_back(r * (1.0 - std::exp(-t / tau)));
+  }
+  return c;
+}
+
+ZthCurve fd_curve() {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto& layer = tech.layer(6);
+  ZthSpec spec;
+  spec.metal = tech.metal;
+  spec.w_m = layer.width;
+  spec.t_m = layer.thickness;
+  spec.stack = tech.stack_below(6, materials::make_oxide());
+  spec.w_eff =
+      effective_width(layer.width, spec.stack.total_thickness(), 2.45);
+  return zth_step_response(spec, 1e-9, 1e-2, 40);
+}
+
+TEST(Foster, RecoversSinglePoleNearlyExactly) {
+  const auto curve = synthetic_single_pole(0.3, 2e-6);
+  const auto net = fit_foster(curve, 4);
+  EXPECT_LT(net.max_relative_error(curve), 0.02);
+  EXPECT_NEAR(net.r_total(), 0.3, 0.01);
+}
+
+TEST(Foster, FitsFdCurveWithinFivePercent) {
+  const auto curve = fd_curve();
+  const auto net = fit_foster(curve, 6);
+  EXPECT_LT(net.max_relative_error(curve), 0.05);
+  EXPECT_NEAR(net.r_total(), curve.zth.back(), 0.05 * curve.zth.back());
+}
+
+TEST(Foster, MoreStagesNeverFitWorse) {
+  const auto curve = fd_curve();
+  const double e3 = fit_foster(curve, 3).max_relative_error(curve);
+  const double e8 = fit_foster(curve, 8).max_relative_error(curve);
+  EXPECT_LE(e8, e3 * 1.05);
+}
+
+TEST(Foster, AllResistancesNonNegative) {
+  const auto net = fit_foster(fd_curve(), 8);
+  for (const auto& s : net.stages) {
+    EXPECT_GT(s.r, 0.0);
+    EXPECT_GT(s.tau, 0.0);
+  }
+  EXPECT_GE(net.stages.size(), 2u);
+}
+
+TEST(Foster, Validation) {
+  ZthCurve empty;
+  EXPECT_THROW(fit_foster(empty, 3), std::invalid_argument);
+  const auto curve = synthetic_single_pole(0.3, 1e-6);
+  EXPECT_THROW(fit_foster(curve, 0), std::invalid_argument);
+  EXPECT_THROW(fit_foster(curve, 100), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::thermal

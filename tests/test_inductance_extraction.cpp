@@ -1,0 +1,48 @@
+// Wire-inductance extraction and RLC-line builder tests.
+#include <gtest/gtest.h>
+
+#include "circuit/rcline.h"
+#include "extraction/capmodel.h"
+#include "numeric/constants.h"
+
+namespace dsmt {
+namespace {
+
+TEST(WireInductance, TypicalMagnitudeAndTrends) {
+  // On-chip wires run a few hundred pH/mm.
+  const double l = extraction::wire_inductance_per_m(um(2.0), um(2.0),
+                                                     um(1.6));
+  EXPECT_GT(l * 1e6, 0.05);  // nH/mm
+  EXPECT_LT(l * 1e6, 1.5);
+  // Higher above the plane -> more inductance; wider -> less.
+  EXPECT_GT(extraction::wire_inductance_per_m(um(2), um(2), um(5)), l);
+  EXPECT_LT(extraction::wire_inductance_per_m(um(6), um(2), um(1.6)), l);
+  EXPECT_THROW(extraction::wire_inductance_per_m(0.0, um(1), um(1)),
+               std::invalid_argument);
+}
+
+TEST(RlcLine, TotalsAndTopology) {
+  circuit::Netlist nl;
+  const auto a = nl.node("a"), b = nl.node("b");
+  circuit::add_rlc_line(nl, a, b, 1e4, 3e-7, 1e-10, 2e-3, 10);
+  EXPECT_EQ(nl.resistors().size(), 10u);
+  EXPECT_EQ(nl.inductors().size(), 10u);
+  double l_total = 0.0, c_total = 0.0;
+  for (const auto& ind : nl.inductors()) l_total += ind.l;
+  for (const auto& c : nl.capacitors()) c_total += c.c;
+  EXPECT_NEAR(l_total, 3e-7 * 2e-3, 1e-15);
+  EXPECT_NEAR(c_total, 1e-10 * 2e-3, 1e-20);
+}
+
+TEST(RlcLine, Validation) {
+  circuit::Netlist nl;
+  EXPECT_THROW(
+      circuit::add_rlc_line(nl, nl.node("a"), nl.node("b"), 1, 0, 1, 1, 4),
+      std::invalid_argument);
+  EXPECT_THROW(
+      circuit::add_rlc_line(nl, nl.node("a"), nl.node("b"), 1, 1, 1, 1, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt

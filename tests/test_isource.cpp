@@ -1,0 +1,80 @@
+// Independent current-source tests (engine stamping + deck card), including
+// an ESD-style zap injected into an RC clamp network.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/deck.h"
+#include "circuit/transient.h"
+#include "circuit/waveform.h"
+#include "esd/waveforms.h"
+
+namespace dsmt::circuit {
+namespace {
+
+TEST(ISource, DcIntoResistorSetsOhmicVoltage) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_isource(kGround, a, dc(1e-3));  // 1 mA into node a
+  nl.add_resistor(a, kGround, 2e3);
+  TransientOptions o{.t_stop = 1e-9, .dt = 1e-10};
+  const auto res = run_transient(nl, o);
+  EXPECT_NEAR(res.voltage(a).back(), 2.0, 1e-6);
+}
+
+TEST(ISource, DirectionConvention) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  nl.add_isource(a, kGround, dc(1e-3));  // pulls current OUT of a
+  nl.add_resistor(a, kGround, 2e3);
+  TransientOptions o{.t_stop = 1e-9, .dt = 1e-10};
+  const auto res = run_transient(nl, o);
+  EXPECT_NEAR(res.voltage(a).back(), -2.0, 1e-6);
+}
+
+TEST(ISource, ChargesCapacitorLinearly) {
+  Netlist nl;
+  const NodeId a = nl.node("a");
+  // Zero at t = 0 so the DC operating point starts the cap at 0 V.
+  nl.add_isource(kGround, a, pwl({0.0, 1e-12, 1.0}, {0.0, 1e-6, 1e-6}));
+  nl.add_capacitor(a, kGround, 1e-12);
+  TransientOptions o{.t_stop = 1e-9, .dt = 1e-12};
+  const auto res = run_transient(nl, o);
+  // dV/dt = I/C = 1e6 V/s -> 1 mV at 1 ns.
+  EXPECT_NEAR(res.voltage(a).back(), 1e-3, 2e-5);
+}
+
+TEST(ISource, HbmZapIntoClampNetwork) {
+  // 2 kV HBM into a pad with a 1.5-Ohm clamp: pad peak voltage ~ I_peak * R.
+  Netlist nl;
+  const NodeId pad = nl.node("pad");
+  const auto hbm = esd::hbm(2000.0);
+  nl.add_isource(kGround, pad, [hbm](double t) { return hbm(t); });
+  nl.add_resistor(pad, kGround, 1.5);   // clamp on-resistance
+  nl.add_capacitor(pad, kGround, 1e-12);
+  TransientOptions o{.t_stop = 600e-9, .dt = 0.2e-9};
+  const auto res = run_transient(nl, o);
+  double v_peak = 0.0;
+  for (double v : res.voltage(pad)) v_peak = std::max(v_peak, v);
+  EXPECT_NEAR(v_peak, (2000.0 / 1500.0) * 1.5, 0.1);
+}
+
+TEST(ISource, DeckCardVariants) {
+  const std::string text =
+      "IZAP 0 pad PULSE(0 1 1n 2n 2n 10n 100n)\n"
+      "IDC 0 pad DC 1m\n"
+      "R1 pad 0 10\n"
+      ".tran 0.1n 30n\n.end\n";
+  Deck deck = parse_deck(text);
+  ASSERT_EQ(deck.netlist.isources().size(), 2u);
+  const auto res = run_transient(deck.netlist, deck.tran);
+  const auto v = res.voltage(deck.node("pad"));
+  EXPECT_NEAR(v.front(), 0.01, 1e-5);  // DC 1 mA * 10 Ohm
+  double peak = 0.0;
+  for (double x : v) peak = std::max(peak, x);
+  EXPECT_NEAR(peak, 10.0 * (1.0 + 1e-3), 0.1);  // pulse rides on the DC
+  EXPECT_THROW(parse_deck("I1 0 a SIN(0 1 1k)\n.end\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsmt::circuit

@@ -1,0 +1,75 @@
+// JSON writer and sign-off serialization tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "core/signoff.h"
+#include "numeric/constants.h"
+#include "report/json.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::report {
+namespace {
+
+TEST(Json, Scalars) {
+  EXPECT_EQ(Json::string("hi").dump(-1), "\"hi\"");
+  EXPECT_EQ(Json::integer(42).dump(-1), "42");
+  EXPECT_EQ(Json::boolean(true).dump(-1), "true");
+  EXPECT_EQ(Json::number(1.5).dump(-1), "1.5");
+  EXPECT_EQ(Json::number(std::nan("")).dump(-1), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Json::string("a\"b\\c\nd").dump(-1), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json::string(std::string(1, '\x01')).dump(-1), "\"\\u0001\"");
+}
+
+TEST(Json, NestedStructure) {
+  Json root = Json::object();
+  root.set("name", Json::string("dsmt"));
+  Json arr = Json::array();
+  arr.push(Json::integer(1)).push(Json::integer(2));
+  root.set("values", std::move(arr));
+  root.set("nested", Json::object().set("ok", Json::boolean(false)));
+  EXPECT_EQ(root.dump(-1),
+            "{\"name\":\"dsmt\",\"values\":[1,2],\"nested\":{\"ok\":false}}");
+  // Indented output contains newlines and preserves order.
+  const std::string pretty = root.dump(2);
+  EXPECT_NE(pretty.find("\n  \"name\""), std::string::npos);
+  EXPECT_LT(pretty.find("name"), pretty.find("values"));
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::object().dump(-1), "{}");
+  EXPECT_EQ(Json::array().dump(-1), "[]");
+}
+
+TEST(Json, KindMisuseThrows) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("x", Json::integer(1)), std::logic_error);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push(Json::integer(1)), std::logic_error);
+}
+
+TEST(Json, SignoffReportSerializes) {
+  core::SignoffOptions opts;
+  opts.j0 = MA_per_cm2(0.6);
+  opts.engine.sim.steps_per_period = 1200;
+  opts.engine.sim.line_segments = 12;
+  const auto report = core::run_signoff(tech::make_ntrs_250nm_cu(), opts);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"technology\": \"NTRS-250nm-Cu\""), std::string::npos);
+  EXPECT_NE(json.find("\"design_rules\""), std::string::npos);
+  EXPECT_NE(json.find("\"global_checks\""), std::string::npos);
+  EXPECT_NE(json.find("\"esd\""), std::string::npos);
+  EXPECT_NE(json.find("\"all_global_layers_pass\": true"), std::string::npos);
+  // Rough structural sanity: one design-rule object per table cell.
+  std::size_t count = 0, pos = 0;
+  while ((pos = json.find("\"jpeak_MA_cm2\"", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, report.design_rules.size());
+}
+
+}  // namespace
+}  // namespace dsmt::report

@@ -1,0 +1,124 @@
+// Material property tests, including the paper's Table 1 values.
+#include <gtest/gtest.h>
+
+#include "materials/dielectric.h"
+#include "materials/metal.h"
+#include "numeric/constants.h"
+
+namespace dsmt::materials {
+namespace {
+
+TEST(Metal, ResistivityLinearInTemperature) {
+  const Metal cu = make_copper();
+  const double rho_ref = cu.resistivity(cu.t_ref);
+  EXPECT_DOUBLE_EQ(rho_ref, cu.rho_ref);
+  const double rho_150 = cu.resistivity(cu.t_ref + 50.0);
+  EXPECT_NEAR(rho_150 / rho_ref, 1.0 + 50.0 * cu.tcr, 1e-12);
+}
+
+TEST(Metal, PaperCopperModel) {
+  // Fig. 2 caption: rho = 1.67 uOhm-cm at T_ref with TCR 6.8e-3 / degC.
+  const Metal cu = make_copper();
+  EXPECT_DOUBLE_EQ(cu.rho_ref, dsmt::uohm_cm(1.67));
+  EXPECT_DOUBLE_EQ(cu.tcr, 6.8e-3);
+  EXPECT_DOUBLE_EQ(cu.t_ref, dsmt::kTrefK);
+}
+
+TEST(Metal, ResistivityClampedAtLowTemperature) {
+  const Metal cu = make_copper();
+  EXPECT_GT(cu.resistivity(1.0), 0.0);
+}
+
+TEST(Metal, AlCuMeltsBeforeCopper) {
+  EXPECT_LT(make_alcu().t_melt, make_copper().t_melt);
+}
+
+TEST(Metal, AlCuMoreResistiveThanCopper) {
+  const double t = dsmt::kTrefK;
+  EXPECT_GT(make_alcu().resistivity(t), make_copper().resistivity(t));
+}
+
+TEST(Metal, SheetResistance) {
+  const Metal cu = make_copper();
+  // 1 um film: R_sheet = rho / t.
+  EXPECT_NEAR(cu.sheet_resistance(1e-6, cu.t_ref), cu.rho_ref / 1e-6, 1e-12);
+  EXPECT_THROW(cu.sheet_resistance(0.0, cu.t_ref), std::invalid_argument);
+}
+
+TEST(Metal, LookupByName) {
+  EXPECT_EQ(metal_by_name("cu").name, "Cu");
+  EXPECT_EQ(metal_by_name("Cu").name, "Cu");
+  EXPECT_EQ(metal_by_name("ALCU").name, "AlCu");
+  EXPECT_EQ(metal_by_name("w").name, "W");
+  EXPECT_THROW(metal_by_name("unobtainium"), std::out_of_range);
+}
+
+TEST(Metal, EmDefaults) {
+  const Metal alcu = make_alcu();
+  EXPECT_DOUBLE_EQ(alcu.em.activation_energy_ev, 0.7);  // paper Section 2.2
+  EXPECT_DOUBLE_EQ(alcu.em.current_exponent, 2.0);
+  EXPECT_DOUBLE_EQ(alcu.em.design_rule_javg, dsmt::MA_per_cm2(0.6));
+}
+
+TEST(Dielectric, PaperTable1ThermalConductivities) {
+  EXPECT_DOUBLE_EQ(make_oxide().k_thermal, 1.15);      // PETEOS
+  EXPECT_DOUBLE_EQ(make_hsq().k_thermal, 0.60);        // HSQ
+  EXPECT_DOUBLE_EQ(make_polyimide().k_thermal, 0.25);  // polyimide
+}
+
+TEST(Dielectric, LowKHasLowerPermittivityThanOxide) {
+  const double k_ox = make_oxide().rel_permittivity;
+  EXPECT_LT(make_hsq().rel_permittivity, k_ox);
+  EXPECT_LT(make_polyimide().rel_permittivity, k_ox);
+  EXPECT_LT(make_aerogel().rel_permittivity, k_ox);
+}
+
+TEST(Dielectric, LookupByName) {
+  EXPECT_EQ(dielectric_by_name("sio2").name, "Oxide");
+  EXPECT_EQ(dielectric_by_name("HSQ").name, "HSQ");
+  EXPECT_EQ(dielectric_by_name("pi").name, "Polyimide");
+  EXPECT_THROW(dielectric_by_name("vacuumite"), std::out_of_range);
+}
+
+TEST(Dielectric, PaperSetOrder) {
+  const auto d = paper_dielectrics();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_EQ(d[0].name, "Oxide");
+  EXPECT_EQ(d[1].name, "HSQ");
+  EXPECT_EQ(d[2].name, "Polyimide");
+}
+
+// Property: every registered metal has physically sane parameters.
+class MetalInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MetalInvariants, PhysicallySane) {
+  const Metal m = metal_by_name(GetParam());
+  EXPECT_GT(m.rho_ref, 1e-9);
+  EXPECT_LT(m.rho_ref, 1e-6);
+  EXPECT_GT(m.tcr, 0.0);
+  EXPECT_GT(m.k_thermal, 50.0);
+  EXPECT_GT(m.c_volumetric, 1e6);
+  EXPECT_GT(m.t_melt, 600.0);
+  EXPECT_GT(m.latent_heat, 1e8);
+  EXPECT_GT(m.em.activation_energy_ev, 0.3);
+  EXPECT_GT(m.em.design_rule_javg, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetals, MetalInvariants,
+                         ::testing::Values("cu", "alcu", "al", "w"));
+
+class DielectricInvariants : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DielectricInvariants, PhysicallySane) {
+  const Dielectric d = dielectric_by_name(GetParam());
+  EXPECT_GE(d.rel_permittivity, 1.0);
+  EXPECT_GT(d.k_thermal, 0.0);
+  EXPECT_LT(d.k_thermal, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDielectrics, DielectricInvariants,
+                         ::testing::Values("oxide", "hsq", "polyimide", "fsg",
+                                           "aerogel", "air"));
+
+}  // namespace
+}  // namespace dsmt::materials

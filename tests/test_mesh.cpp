@@ -1,0 +1,48 @@
+// Graded-axis mesh helper tests.
+#include <gtest/gtest.h>
+
+#include "numeric/mesh.h"
+
+namespace dsmt::numeric {
+namespace {
+
+TEST(GradedAxis, CoversDomainAndHitsBreakpoints) {
+  const auto edges = graded_axis({0.3e-6, 0.7e-6}, 0.0, 2e-6, 0.05e-6,
+                                 0.5e-6);
+  EXPECT_DOUBLE_EQ(edges.front(), 0.0);
+  EXPECT_DOUBLE_EQ(edges.back(), 2e-6);
+  // Breakpoints appear as edges.
+  bool has_03 = false, has_07 = false;
+  for (double e : edges) {
+    if (std::abs(e - 0.3e-6) < 1e-15) has_03 = true;
+    if (std::abs(e - 0.7e-6) < 1e-15) has_07 = true;
+  }
+  EXPECT_TRUE(has_03);
+  EXPECT_TRUE(has_07);
+  // Strictly increasing, cells within the grading bounds (with slack for
+  // interval subdivision rounding).
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_GT(edges[i], edges[i - 1]);
+    EXPECT_LE(edges[i] - edges[i - 1], 0.5e-6 * 1.0001);
+  }
+}
+
+TEST(GradedAxis, DropsOutOfDomainAndCoincidentPoints) {
+  const auto edges =
+      graded_axis({-1.0, 0.5e-6, 0.5e-6 + 1e-12, 9.0}, 0.0, 1e-6, 0.1e-6,
+                  0.5e-6);
+  EXPECT_DOUBLE_EQ(edges.front(), 0.0);
+  EXPECT_DOUBLE_EQ(edges.back(), 1e-6);
+  for (std::size_t i = 1; i < edges.size(); ++i)
+    EXPECT_GT(edges[i] - edges[i - 1], 1e-9);  // no near-duplicate edges
+}
+
+TEST(AxisCells, CentersAndSizes) {
+  const auto cells = axis_cells({0.0, 1.0, 3.0});
+  ASSERT_EQ(cells.center.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells.center[0], 0.5);
+  EXPECT_DOUBLE_EQ(cells.size[1], 2.0);
+}
+
+}  // namespace
+}  // namespace dsmt::numeric

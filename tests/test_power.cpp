@@ -1,0 +1,71 @@
+// Repeater power-model tests.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+#include "repeater/power.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::repeater {
+namespace {
+
+SimulationOptions fast() {
+  SimulationOptions o;
+  o.steps_per_period = 1500;
+  o.line_segments = 12;
+  return o;
+}
+
+TEST(Power, SupplyPowerIsPositiveAndPlausible) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto opt = optimize_layer(tech, 6, 4.0, kTrefK);
+  const auto sim = simulate_stage(tech, 6, 4.0, opt, fast());
+  EXPECT_GT(sim.supply_power, 0.0);
+  // Dynamic estimate: both edges per period switch ~C_total.
+  const double e_dyn =
+      stage_dynamic_energy(tech.device, sim.size_used, opt.c_per_m,
+                           sim.length_used);
+  const double p_dyn = e_dyn / tech.device.clock_period;
+  // Measured power within a factor ~2 of the dynamic estimate (short
+  // circuit adds, partial swing at the far end subtracts).
+  EXPECT_GT(sim.supply_power, 0.3 * p_dyn);
+  EXPECT_LT(sim.supply_power, 2.5 * p_dyn);
+}
+
+TEST(Power, DownsizingSavesPowerCostsDelay) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto sweep = power_delay_sweep(tech, 6, 4.0, {0.4, 0.7, 1.0}, fast());
+  ASSERT_EQ(sweep.size(), 3u);
+  // Power falls monotonically with driver size (shorter matched lines too).
+  EXPECT_LT(sweep[0].power, sweep[1].power);
+  EXPECT_LT(sweep[1].power, sweep[2].power);
+  // Per-unit-length delay is best at the optimum (scale = 1).
+  EXPECT_GE(sweep[0].delay_per_mm, sweep[2].delay_per_mm * 0.999);
+  // Matched downsizing (s and l together) shrinks the current pulse with
+  // the line while the clock period is fixed, so r_eff *falls* here — the
+  // paper's "duty rises with downsizing" applies to fixed-length lines
+  // (covered by StageSim.DownsizedDriverRaisesEffectiveDuty).
+  EXPECT_LE(sweep[0].duty_effective, sweep[2].duty_effective * 1.001);
+}
+
+TEST(Power, DynamicEnergyClosedForm) {
+  tech::DeviceParameters dev;
+  dev.vdd = 2.0;
+  dev.cg = 1e-15;
+  dev.cp = 1e-15;
+  // C = 10 fF wire + 2 fF devices = 12 fF; E = C V^2 = 48 fJ.
+  EXPECT_NEAR(stage_dynamic_energy(dev, 1.0, 1e-11, 1e-3), 48e-15, 1e-18);
+  EXPECT_THROW(stage_dynamic_energy(dev, 0.0, 1e-11, 1e-3),
+               std::invalid_argument);
+}
+
+TEST(Power, SweepValidation) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  EXPECT_THROW(power_delay_sweep(tech, 6, 4.0, {}, fast()),
+               std::invalid_argument);
+  EXPECT_THROW(power_delay_sweep(tech, 6, 4.0, {-1.0}, fast()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::repeater

@@ -1,0 +1,139 @@
+// Power-grid solver tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "powergrid/grid.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::powergrid {
+namespace {
+
+GridSpec small_grid() {
+  GridSpec spec;
+  spec.technology = tech::make_ntrs_250nm_cu();
+  spec.nx = 7;
+  spec.ny = 7;
+  spec.pitch = 100e-6;
+  spec.layer_h = 5;
+  spec.layer_v = 6;
+  spec.vdd = 2.5;
+  return spec;
+}
+
+std::vector<Pad> corner_pads(const GridSpec& s) {
+  return {{0, 0}, {s.nx - 1, 0}, {0, s.ny - 1}, {s.nx - 1, s.ny - 1}};
+}
+
+TEST(PowerGrid, NoLoadNoDrop) {
+  const auto spec = small_grid();
+  const auto sol = solve(spec, corner_pads(spec), {});
+  ASSERT_TRUE(sol.converged);
+  EXPECT_NEAR(sol.worst_ir_drop, 0.0, 1e-9);
+  for (double v : sol.node_voltage) EXPECT_NEAR(v, spec.vdd, 1e-9);
+}
+
+TEST(PowerGrid, CenterLoadSagsAtCenter) {
+  const auto spec = small_grid();
+  const auto sol = solve(spec, corner_pads(spec), {{3, 3, 0.2}});
+  ASSERT_TRUE(sol.converged);
+  EXPECT_GT(sol.worst_ir_drop, 0.0);
+  // The minimum voltage is at the loaded node.
+  const double v_center = sol.voltage(3, 3, spec.nx);
+  for (double v : sol.node_voltage) EXPECT_GE(v, v_center - 1e-12);
+  // Symmetry of the four-corner pad arrangement.
+  EXPECT_NEAR(sol.voltage(1, 3, spec.nx), sol.voltage(5, 3, spec.nx), 1e-6);
+  EXPECT_NEAR(sol.voltage(3, 1, spec.nx), sol.voltage(3, 5, spec.nx), 1e-6);
+}
+
+TEST(PowerGrid, CurrentConservationAtPads) {
+  // Total current through segments adjacent to pads equals total demand.
+  const auto spec = small_grid();
+  const double demand = 0.35;
+  const auto sol = solve(spec, {{0, 0}}, {{6, 6, demand}});
+  ASSERT_TRUE(sol.converged);
+  double pad_current = 0.0;
+  for (const auto& s : sol.segments) {
+    const bool touches_pad =
+        (s.ix == 0 && s.iy == 0) ||
+        (s.horizontal ? false : (s.ix == 0 && s.iy == 0));
+    if ((s.horizontal && s.ix == 0 && s.iy == 0) ||
+        (!s.horizontal && s.ix == 0 && s.iy == 0))
+      pad_current += s.current;
+    (void)touches_pad;
+  }
+  EXPECT_NEAR(pad_current, demand, 1e-6 * demand);
+}
+
+TEST(PowerGrid, IrDropScalesLinearlyWithLoad) {
+  const auto spec = small_grid();
+  const auto pads = corner_pads(spec);
+  const auto s1 = solve(spec, pads, uniform_demand(spec, 0.5));
+  const auto s2 = solve(spec, pads, uniform_demand(spec, 1.0));
+  EXPECT_NEAR(s2.worst_ir_drop / s1.worst_ir_drop, 2.0, 1e-6);
+  EXPECT_NEAR(s2.max_j_horizontal / s1.max_j_horizontal, 2.0, 1e-6);
+}
+
+TEST(PowerGrid, WiderStrapsReduceDropAndDensity) {
+  auto spec = small_grid();
+  const auto pads = corner_pads(spec);
+  const auto demands = uniform_demand(spec, 1.0);
+  const auto narrow = solve(spec, pads, demands);
+  spec.width_h = 4.0 * spec.technology.layer(spec.layer_h).width;
+  spec.width_v = 4.0 * spec.technology.layer(spec.layer_v).width;
+  const auto wide = solve(spec, pads, demands);
+  EXPECT_LT(wide.worst_ir_drop, narrow.worst_ir_drop);
+  EXPECT_LT(wide.max_j_horizontal, narrow.max_j_horizontal);
+}
+
+TEST(PowerGrid, MorePadsReduceDrop) {
+  const auto spec = small_grid();
+  const auto demands = uniform_demand(spec, 1.0);
+  const auto four = solve(spec, corner_pads(spec), demands);
+  auto pads = corner_pads(spec);
+  pads.push_back({3, 0});
+  pads.push_back({3, 6});
+  pads.push_back({0, 3});
+  pads.push_back({6, 3});
+  const auto eight = solve(spec, pads, demands);
+  EXPECT_LT(eight.worst_ir_drop, four.worst_ir_drop);
+}
+
+TEST(PowerGrid, HotterGridDropsMore) {
+  auto spec = small_grid();
+  const auto pads = corner_pads(spec);
+  const auto demands = uniform_demand(spec, 1.0);
+  const auto cold = solve(spec, pads, demands);
+  spec.temperature = kTrefK + 80.0;
+  const auto hot = solve(spec, pads, demands);
+  EXPECT_GT(hot.worst_ir_drop, cold.worst_ir_drop);
+}
+
+TEST(PowerGrid, SegmentBookkeeping) {
+  const auto spec = small_grid();
+  const auto sol = solve(spec, corner_pads(spec), uniform_demand(spec, 0.3));
+  // nx*(ny-1) vertical + (nx-1)*ny horizontal segments.
+  EXPECT_EQ(sol.segments.size(),
+            static_cast<std::size_t>(spec.nx * (spec.ny - 1) +
+                                     (spec.nx - 1) * spec.ny));
+  for (const auto& s : sol.segments) {
+    EXPECT_GE(s.current, 0.0);
+    EXPECT_GE(s.j_density, 0.0);
+  }
+  EXPECT_GT(sol.max_j_horizontal, 0.0);
+  EXPECT_GT(sol.max_j_vertical, 0.0);
+}
+
+TEST(PowerGrid, Validation) {
+  auto spec = small_grid();
+  EXPECT_THROW(solve(spec, {}, {}), std::invalid_argument);
+  EXPECT_THROW(solve(spec, {{99, 0}}, {}), std::invalid_argument);
+  EXPECT_THROW(solve(spec, {{0, 0}}, {{99, 99, 1.0}}),
+               std::invalid_argument);
+  spec.nx = 1;
+  EXPECT_THROW(solve(spec, {{0, 0}}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::powergrid

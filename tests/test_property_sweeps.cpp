@@ -1,0 +1,132 @@
+// Large parameterized sweeps asserting the solver invariants across the
+// full (technology x level x dielectric x duty) space — the structural
+// guarantees behind every table in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "numeric/constants.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::selfconsistent {
+namespace {
+
+tech::Technology node_by_index(int node) {
+  switch (node) {
+    case 0: return tech::make_ntrs_250nm_cu();
+    case 1: return tech::make_ntrs_180nm_cu();
+    case 2: return tech::make_ntrs_130nm_cu();
+    default: return tech::make_ntrs_100nm_cu();
+  }
+}
+
+materials::Dielectric dielectric_by_index(int d) {
+  switch (d) {
+    case 0: return materials::make_oxide();
+    case 1: return materials::make_hsq();
+    default: return materials::make_polyimide();
+  }
+}
+
+// (node, level, dielectric, duty-index) — levels beyond a node's stack are
+// clamped to its top.
+using Case = std::tuple<int, int, int, int>;
+
+class SolverInvariants : public ::testing::TestWithParam<Case> {
+ protected:
+  static constexpr double kDuties[3] = {0.05, 0.1, 1.0};
+
+  Problem problem() const {
+    const auto [node, level_raw, d, duty_idx] = GetParam();
+    const auto technology = node_by_index(node);
+    const int level = std::min(level_raw, technology.top_level());
+    return make_level_problem(technology, level, dielectric_by_index(d),
+                              thermal::kPhiQuasi2D, kDuties[duty_idx],
+                              MA_per_cm2(1.8));
+  }
+};
+
+TEST_P(SolverInvariants, SolutionIsPhysicalAndSelfConsistent) {
+  const Problem p = problem();
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.converged);
+
+  // Physicality.
+  EXPECT_GT(s.t_metal, p.t_ref);
+  EXPECT_LT(s.t_metal, p.metal.t_melt);
+  EXPECT_GT(s.j_peak, 0.0);
+
+  // Waveform identities (Eqs. 4-5).
+  EXPECT_NEAR(s.j_avg, p.duty_cycle * s.j_peak, 1e-6 * s.j_avg);
+  EXPECT_NEAR(s.j_rms, std::sqrt(p.duty_cycle) * s.j_peak, 1e-6 * s.j_rms);
+
+  // Residual vanishes at the root.
+  EXPECT_NEAR(residual(p, s.t_metal), 0.0,
+              1e-6 * p.j0 * p.j0 + std::abs(residual(p, s.t_metal)) * 1e-3);
+
+  // Thermal side reproduces delta_t exactly.
+  const double dt = s.j_rms * s.j_rms * p.metal.resistivity(s.t_metal) *
+                    p.heating_coefficient;
+  EXPECT_NEAR(dt, s.delta_t, 1e-6 * std::max(1e-9, s.delta_t));
+
+  // Never exceeds the EM-only bound.
+  EXPECT_LE(s.j_peak, jpeak_em_only(p) * (1.0 + 1e-9));
+}
+
+TEST_P(SolverInvariants, PerturbationsMoveTheAnswerTheRightWay) {
+  const Problem base = problem();
+  const Solution s0 = solve(base);
+
+  Problem hotter = base;
+  hotter.heating_coefficient *= 1.3;
+  EXPECT_LT(solve(hotter).j_peak, s0.j_peak * (1.0 + 1e-12));
+
+  Problem stronger_em = base;
+  stronger_em.j0 *= 1.3;
+  EXPECT_GT(solve(stronger_em).j_peak, s0.j_peak * (1.0 - 1e-12));
+
+  if (base.duty_cycle < 0.9) {
+    Problem denser = base;
+    denser.duty_cycle = std::min(1.0, base.duty_cycle * 1.5);
+    EXPECT_LT(solve(denser).j_peak, s0.j_peak);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullSpace, SolverInvariants,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),     // node
+                       ::testing::Values(1, 4, 6, 8),     // level (clamped)
+                       ::testing::Values(0, 1, 2),        // dielectric
+                       ::testing::Values(0, 1, 2)));      // duty
+
+// Level monotonicity within each node/dielectric/duty combination.
+using LevelCase = std::tuple<int, int, int>;
+class LevelMonotonicity : public ::testing::TestWithParam<LevelCase> {};
+
+TEST_P(LevelMonotonicity, JpeakNeverIncreasesGoingUpTheStack) {
+  const auto [node, d, duty_idx] = GetParam();
+  const double duties[2] = {0.1, 1.0};
+  const auto technology = node_by_index(node);
+  const auto gf = dielectric_by_index(d);
+  double prev = 1e300;
+  for (int level = 1; level <= technology.top_level(); ++level) {
+    const auto s = solve(make_level_problem(technology, level, gf,
+                                            thermal::kPhiQuasi2D,
+                                            duties[duty_idx],
+                                            MA_per_cm2(1.8)));
+    EXPECT_LE(s.j_peak, prev * (1.0 + 1e-9))
+        << technology.name << " level " << level;
+    prev = s.j_peak;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllNodes, LevelMonotonicity,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1)));
+
+}  // namespace
+}  // namespace dsmt::selfconsistent

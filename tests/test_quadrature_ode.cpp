@@ -1,0 +1,92 @@
+// Quadrature and ODE integrator tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/ode.h"
+#include "numeric/quadrature.h"
+
+namespace dsmt::numeric {
+namespace {
+
+TEST(Trapezoid, ExactForLinear) {
+  auto f = [](double x) { return 3.0 * x + 1.0; };
+  EXPECT_NEAR(trapezoid(f, 0.0, 2.0, 1), 8.0, 1e-12);
+}
+
+TEST(Simpson, ExactForCubic) {
+  auto f = [](double x) { return x * x * x - 2.0 * x; };
+  // integral over [0,2] = 4 - 4 = 0.
+  EXPECT_NEAR(simpson(f, 0.0, 2.0, 2), 0.0, 1e-12);
+}
+
+TEST(AdaptiveSimpson, PeakedIntegrand) {
+  // integral of 1/(1e-4 + x^2) over [-1,1] = 2 atan(1e2)/1e-2.
+  auto f = [](double x) { return 1.0 / (1e-4 + x * x); };
+  const double exact = 2.0 * std::atan(100.0) / 1e-2;
+  EXPECT_NEAR(adaptive_simpson(f, -1.0, 1.0, 1e-10), exact, 1e-5 * exact);
+}
+
+TEST(TrapezoidSampled, NonUniformGrid) {
+  std::vector<double> t{0.0, 0.1, 0.5, 1.0};
+  std::vector<double> y{0.0, 0.2, 1.0, 2.0};  // y = 2t
+  EXPECT_NEAR(trapezoid_sampled(t, y), 1.0, 1e-12);
+}
+
+TEST(TrapezoidSampledSquared, MatchesAnalytic) {
+  // y = t on [0,1]: integral of t^2 = 1/3 (trapezoid overestimates slightly).
+  std::vector<double> t, y;
+  for (int i = 0; i <= 1000; ++i) {
+    t.push_back(i / 1000.0);
+    y.push_back(i / 1000.0);
+  }
+  EXPECT_NEAR(trapezoid_sampled_squared(t, y), 1.0 / 3.0, 1e-6);
+}
+
+TEST(Rk4, ExponentialDecay) {
+  auto tr = rk4([](double, double y) { return -2.0 * y; }, 0.0, 1.0, 1.0, 200);
+  EXPECT_NEAR(tr.y.back(), std::exp(-2.0), 1e-8);
+  EXPECT_EQ(tr.t.size(), 201u);
+}
+
+TEST(Rk4, FourthOrderConvergence) {
+  auto rhs = [](double t, double y) { return y - t * t + 1.0; };
+  // y' = y - t^2 + 1, y(0)=0.5 has exact y(t) = (t+1)^2 - 0.5 e^t.
+  auto exact = [](double t) { return (t + 1.0) * (t + 1.0) - 0.5 * std::exp(t); };
+  const double e1 = std::abs(rk4(rhs, 0.0, 0.5, 2.0, 20).y.back() - exact(2.0));
+  const double e2 = std::abs(rk4(rhs, 0.0, 0.5, 2.0, 40).y.back() - exact(2.0));
+  EXPECT_GT(e1 / e2, 12.0);  // ~16x for 4th order
+}
+
+TEST(Rkf45, MatchesClosedForm) {
+  auto tr = rkf45([](double t, double) { return std::cos(t); }, 0.0, 0.0,
+                  3.0, 1e-10, 1e-10);
+  EXPECT_NEAR(tr.y.back(), std::sin(3.0), 1e-7);
+}
+
+TEST(Rkf45, EventStopsIntegration) {
+  auto tr = rkf45([](double, double) { return 1.0; }, 0.0, 0.0, 10.0, 1e-9,
+                  1e-9, [](double, double y) { return y >= 2.0; });
+  EXPECT_LT(tr.t.back(), 3.0);
+  EXPECT_GE(tr.y.back(), 2.0);
+}
+
+TEST(ImplicitEuler, StableOnStiffProblem) {
+  // y' = -1e6 (y - cos(t)); explicit methods at this step size explode.
+  auto rhs = [](double t, double y) { return -1e6 * (y - std::cos(t)); };
+  auto tr = implicit_euler(rhs, 0.0, 0.0, 1.0, 100);
+  EXPECT_NEAR(tr.y.back(), std::cos(1.0), 1e-2);
+  for (double y : tr.y) EXPECT_LT(std::abs(y), 2.0);
+}
+
+TEST(ImplicitEuler, LinearDecayFirstOrderAccuracy) {
+  auto rhs = [](double, double y) { return -y; };
+  const double e1 =
+      std::abs(implicit_euler(rhs, 0.0, 1.0, 1.0, 100).y.back() - std::exp(-1.0));
+  const double e2 =
+      std::abs(implicit_euler(rhs, 0.0, 1.0, 1.0, 200).y.back() - std::exp(-1.0));
+  EXPECT_GT(e1 / e2, 1.7);  // ~2x for 1st order
+}
+
+}  // namespace
+}  // namespace dsmt::numeric

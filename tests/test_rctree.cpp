@@ -1,0 +1,112 @@
+// RC-tree Elmore analysis tests, validated against the MNA engine.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/rctree.h"
+#include "circuit/transient.h"
+#include "circuit/waveform.h"
+
+namespace dsmt::circuit {
+namespace {
+
+TEST(RcTree, DownstreamCapacitanceAccumulates) {
+  RcTree tree(100.0);
+  const auto a = tree.add_segment(0, 1e4, 1e-10, 1e-3);   // 10 Ohm? no: 10 Ohm=1e4*1e-3
+  const auto b = tree.add_segment(a, 1e4, 1e-10, 2e-3);   // branch 1
+  const auto c = tree.add_segment(a, 1e4, 1e-10, 1e-3);   // branch 2
+  tree.add_load(b, 50e-15);
+  tree.add_load(c, 20e-15);
+  const auto cap = tree.downstream_capacitance();
+  // Node c subtree: wire 0.1 pF + 20 fF load.
+  EXPECT_NEAR(cap[c], 1e-10 * 1e-3 + 20e-15, 1e-20);
+  // Root sees everything: wire (1+2+1) mm * 0.1 pF/mm + loads.
+  EXPECT_NEAR(cap[0], 4e-13 + 70e-15, 1e-19);
+  EXPECT_GT(cap[a], cap[b]);
+}
+
+TEST(RcTree, SingleLineMatchesClosedFormElmore) {
+  // One segment: delay = Rs(C+CL) + R(C/2 + CL) — the delay.h formula.
+  const double rs = 200.0, r = 1e4, c = 1.5e-10, len = 2e-3, cl = 10e-15;
+  RcTree tree(rs);
+  const auto end = tree.add_segment(0, r, c, len);
+  tree.add_load(end, cl);
+  const double expected =
+      rs * (c * len + cl) + r * len * (0.5 * c * len + cl);
+  EXPECT_NEAR(tree.elmore_delays()[end], expected, 1e-9 * expected);
+}
+
+TEST(RcTree, BranchesShareUpstreamDelay) {
+  RcTree tree(100.0);
+  const auto trunk = tree.add_segment(0, 1e4, 1e-10, 1e-3);
+  const auto left = tree.add_segment(trunk, 1e4, 1e-10, 1e-3);
+  const auto right = tree.add_segment(trunk, 1e4, 1e-10, 3e-3);
+  const auto d = tree.elmore_delays();
+  EXPECT_GT(d[right], d[left]);   // longer branch is slower
+  EXPECT_GT(d[left], d[trunk]);   // downstream of the trunk
+  EXPECT_DOUBLE_EQ(tree.critical_delay(), d[right]);
+}
+
+TEST(RcTree, LoadOnOneBranchSlowsTheOther) {
+  // Elmore couples branches through shared upstream resistance.
+  RcTree a(100.0);
+  const auto ta = a.add_segment(0, 1e4, 1e-10, 1e-3);
+  const auto la = a.add_segment(ta, 1e4, 1e-10, 1e-3);
+  a.add_segment(ta, 1e4, 1e-10, 1e-3);
+  const double d_before = a.elmore_delays()[la];
+
+  RcTree b(100.0);
+  const auto tb = b.add_segment(0, 1e4, 1e-10, 1e-3);
+  const auto lb = b.add_segment(tb, 1e4, 1e-10, 1e-3);
+  const auto rb = b.add_segment(tb, 1e4, 1e-10, 1e-3);
+  b.add_load(rb, 100e-15);  // heavy sibling
+  EXPECT_GT(b.elmore_delays()[lb], d_before);
+}
+
+TEST(RcTree, ElmoreUpperBoundsSimulatedT50OnTree) {
+  // Three-sink tree; simulate and compare per-sink.
+  RcTree tree(150.0);
+  const auto trunk = tree.add_segment(0, 2e4, 1.2e-10, 1.5e-3);
+  const auto s1 = tree.add_segment(trunk, 2e4, 1.2e-10, 1e-3);
+  const auto s2 = tree.add_segment(trunk, 2e4, 1.2e-10, 2.5e-3);
+  const auto mid = tree.add_segment(trunk, 2e4, 1.2e-10, 0.5e-3);
+  const auto s3 = tree.add_segment(mid, 2e4, 1.2e-10, 0.8e-3);
+  tree.add_load(s1, 15e-15);
+  tree.add_load(s2, 15e-15);
+  tree.add_load(s3, 30e-15);
+  const auto elmore = tree.elmore_delays();
+
+  Netlist nl;
+  const NodeId in = nl.node("in");
+  const auto ids = tree.emit_netlist(nl, in, 10);
+  const double tau = tree.critical_delay();
+  nl.add_vsource(in, kGround,
+                 pwl({0.0, 0.02 * tau, 0.02 * tau + tau * 1e-3, 1.0},
+                     {0.0, 0.0, 1.0, 1.0}));
+  TransientOptions o;
+  o.t_stop = 10.0 * tau;
+  o.dt = o.t_stop / 8000;
+  const auto res = run_transient(nl, o);
+
+  for (std::size_t sink : {s1, s2, s3}) {
+    const double t50 =
+        crossing_time(res.time(), res.voltage(ids[sink]), 0.5, 0.0, true) -
+        0.02 * tau;
+    ASSERT_GT(t50, 0.0);
+    EXPECT_GT(elmore[sink], t50);        // Elmore is an upper bound
+    EXPECT_LT(elmore[sink], 2.5 * t50);  // but not a wild one
+  }
+}
+
+TEST(RcTree, Validation) {
+  RcTree tree(100.0);
+  EXPECT_THROW(tree.add_segment(5, 1.0, 1.0, 1.0), std::out_of_range);
+  EXPECT_THROW(tree.add_segment(0, -1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tree.add_segment(0, 1.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(tree.add_load(9, 1e-15), std::out_of_range);
+  EXPECT_THROW(tree.add_load(0, -1e-15), std::invalid_argument);
+  EXPECT_THROW(RcTree(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::circuit

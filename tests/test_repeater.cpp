@@ -1,0 +1,135 @@
+// Repeater optimization and stage simulation tests (paper Eqs. 16-17,
+// Tables 5-6, Fig. 7).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "repeater/optimizer.h"
+#include "repeater/simulate.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::repeater {
+namespace {
+
+TEST(Optimizer, ClosedFormsMatchPaperEquations) {
+  tech::DeviceParameters dev;
+  dev.r0 = 5e3;
+  dev.cg = 3e-15;
+  dev.cp = 3e-15;
+  const double r = 4e3, c = 2e-10;
+  const auto opt = optimize(dev, r, c);
+  EXPECT_NEAR(opt.l_opt, std::sqrt(2.0 * dev.r0 * (dev.cg + dev.cp) / (r * c)),
+              1e-12);
+  EXPECT_NEAR(opt.s_opt, std::sqrt(dev.r0 * c / (r * dev.cg)), 1e-9);
+}
+
+TEST(Optimizer, OptimumActuallyMinimizesElmoreDelay) {
+  tech::DeviceParameters dev;
+  dev.r0 = 5e3;
+  dev.cg = 3e-15;
+  dev.cp = 3e-15;
+  const double r = 4e3, c = 2e-10;
+  const auto opt = optimize(dev, r, c);
+  // Per-unit-length delay l -> delay(l)/l is minimized at l_opt; size is
+  // minimized at s_opt for fixed l.
+  auto delay_per_len = [&](double size, double length) {
+    return stage_delay_elmore(dev, size, length, r, c) / length;
+  };
+  const double base = delay_per_len(opt.s_opt, opt.l_opt);
+  for (double f : {0.7, 0.9, 1.1, 1.4}) {
+    EXPECT_GE(delay_per_len(opt.s_opt * f, opt.l_opt), base * 0.9999);
+    EXPECT_GE(delay_per_len(opt.s_opt, opt.l_opt * f), base * 0.9999);
+  }
+}
+
+TEST(Optimizer, LowKLengthensSegmentsAndShrinksDrivers) {
+  // Paper Section 4.1: with low-k (smaller c), l_opt increases and s_opt
+  // decreases by the same factor, leaving j_rms nearly unchanged.
+  const auto tech = tech::make_ntrs_100nm_cu();
+  const auto opt_ox = optimize_layer(tech, 8, 4.0, kTrefK);
+  const auto opt_lk = optimize_layer(tech, 8, 2.0, kTrefK);
+  EXPECT_GT(opt_lk.l_opt, opt_ox.l_opt);
+  EXPECT_LT(opt_lk.s_opt, opt_ox.s_opt);
+  const double lf = opt_lk.l_opt / opt_ox.l_opt;
+  const double sf = opt_ox.s_opt / opt_lk.s_opt;
+  EXPECT_NEAR(lf, sf, 0.02 * sf);  // same factor
+}
+
+TEST(Optimizer, StageDelayLayerInvariant) {
+  // "The delay between any two optimally spaced and sized repeaters is
+  // independent of the layer."
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const double d5 = optimize_layer(tech, 5, 4.0, kTrefK).stage_delay;
+  const double d6 = optimize_layer(tech, 6, 4.0, kTrefK).stage_delay;
+  EXPECT_NEAR(d5, d6, 0.01 * d5);
+}
+
+TEST(Optimizer, DownsizedDriverRule) {
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto opt = optimize_layer(tech, 6, 4.0, kTrefK);
+  EXPECT_NEAR(downsized_driver(opt, 0.5 * opt.l_opt), 0.5 * opt.s_opt,
+              1e-9 * opt.s_opt);
+  EXPECT_NEAR(downsized_driver(opt, 2.0 * opt.l_opt), opt.s_opt,
+              1e-9 * opt.s_opt);  // capped at s_opt
+  EXPECT_GE(downsized_driver(opt, opt.l_opt * 1e-6), 1.0);  // floor
+}
+
+TEST(Optimizer, Validation) {
+  tech::DeviceParameters dev;
+  EXPECT_THROW(optimize(dev, 0.0, 1e-10), std::invalid_argument);
+  EXPECT_THROW(optimize(dev, 1e3, -1.0), std::invalid_argument);
+}
+
+class StageSim : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(StageSim, PaperObservables) {
+  const auto [node, level] = GetParam();
+  const tech::Technology tech =
+      node == 0 ? tech::make_ntrs_250nm_cu() : tech::make_ntrs_100nm_cu();
+  const double k_rel = node == 0 ? 4.0 : 2.0;
+  const auto opt = optimize_layer(tech, level, k_rel, kTrefK);
+  SimulationOptions so;
+  so.steps_per_period = 2000;  // keep the suite fast
+  const auto sim = simulate_stage(tech, level, k_rel, opt, so);
+
+  // Basic waveform sanity.
+  EXPECT_GT(sim.current_stats.peak, 0.0);
+  EXPECT_GT(sim.j_peak, sim.j_rms);
+  EXPECT_GT(sim.j_rms, 0.0);
+
+  // Paper Fig. 7 headline: effective duty cycle 0.12 +/- a small band for
+  // optimally buffered lines, invariant across layers and technologies.
+  EXPECT_GT(sim.duty_effective, 0.08);
+  EXPECT_LT(sim.duty_effective, 0.17);
+
+  // Good slew: 10-90% output rise a modest fraction of the clock period.
+  EXPECT_GT(sim.out_rise_fraction, 0.0);
+  EXPECT_LT(sim.out_rise_fraction, 0.4);
+
+  // Delay through one optimal stage is positive and below a clock period.
+  EXPECT_GT(sim.delay_50, 0.0);
+  EXPECT_LT(sim.delay_50, tech.device.clock_period);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NodesAndLayers, StageSim,
+    ::testing::Values(std::make_pair(0, 5), std::make_pair(0, 6),
+                      std::make_pair(1, 7), std::make_pair(1, 8)));
+
+TEST(StageSim, DownsizedDriverRaisesEffectiveDuty) {
+  // Paper: reducing buffer size on non-critical lines increases the
+  // effective duty cycle slightly.
+  const auto tech = tech::make_ntrs_250nm_cu();
+  const auto opt = optimize_layer(tech, 6, 4.0, kTrefK);
+  SimulationOptions so;
+  so.steps_per_period = 2000;
+  const auto nominal = simulate_stage(tech, 6, 4.0, opt, so);
+  so.size_scale = 0.5;
+  const auto downsized = simulate_stage(tech, 6, 4.0, opt, so);
+  EXPECT_GT(downsized.duty_effective, nominal.duty_effective);
+  EXPECT_LT(downsized.j_peak, nominal.j_peak);
+}
+
+}  // namespace
+}  // namespace dsmt::repeater

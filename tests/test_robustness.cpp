@@ -1,0 +1,129 @@
+// Failure injection and extreme-input robustness: parsers must throw (never
+// crash) on garbage, and the solvers must stay finite and ordered at the
+// edges of their legal domains.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/deck.h"
+#include "numeric/constants.h"
+#include "selfconsistent/solver.h"
+#include "tech/techfile.h"
+#include "thermal/impedance.h"
+
+namespace dsmt {
+namespace {
+
+TEST(Robustness, DeckParserThrowsOnGarbageNeverCrashes) {
+  const char* cases[] = {
+      "",                     // empty -> missing .end is fine? no cards: ok
+      "\x01\x02\x03",         // binary junk card
+      "R",                    // bare element
+      "R1 a",                 // missing node
+      "R1 a 0 1k extra",      // trailing token (swallowed? must not crash)
+      "V1 a 0 PULSE(",        // unterminated args
+      "V1 a 0 PULSE(1 2 3 4 5 6 7",  // unterminated paren
+      "M1 a b",               // missing terminals
+      "M1 a b c nmos vt",     // key without value
+      ".tran x y",            // non-numeric tran
+      "C1 a 0 1f\n.tran 1p\n.end",  // missing tstop
+      "R1 a 0 1k\n.frobnicate\n.end",
+  };
+  for (const char* text : cases) {
+    try {
+      circuit::parse_deck(text);
+    } catch (const std::exception&) {
+      // throwing is the expected failure mode
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, TechfileParserThrowsOnGarbageNeverCrashes) {
+  const char* cases[] = {
+      "tech",
+      "tech x\nfeature_um -1\nend",
+      "tech x\nlayer one w_um 1\nend",
+      "tech x\nlayer 1 w_um nope pitch_um 2 t_um 1 ild_um 1\nend",
+      "device vdd 1\nend",
+      "tech x\nmetal\nend",
+      "tech x\nlayer 1 w_um 1 pitch_um 2 t_um 1 ild_um 1 bogus 3\nend",
+  };
+  for (const char* text : cases) {
+    try {
+      tech::parse_techfile(text);
+    } catch (const std::exception&) {
+    }
+  }
+  SUCCEED();
+}
+
+TEST(Robustness, SolverStaysFiniteAtExtremeDutyCycles) {
+  selfconsistent::Problem p;
+  p.metal = materials::make_copper();
+  p.j0 = MA_per_cm2(0.6);
+  const double weff =
+      thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
+  p.heating_coefficient = selfconsistent::heating_coefficient(
+      um(3.0), um(0.5), thermal::rth_per_length_uniform(um(3.0), 1.15, weff));
+  for (double r : {1e-6, 1e-5, 0.999999, 1.0}) {
+    p.duty_cycle = r;
+    const auto s = selfconsistent::solve(p);
+    EXPECT_TRUE(std::isfinite(s.j_peak)) << r;
+    EXPECT_TRUE(std::isfinite(s.t_metal)) << r;
+    EXPECT_GT(s.j_peak, 0.0) << r;
+  }
+}
+
+TEST(Robustness, SolverHandlesExtremeGeometry) {
+  selfconsistent::Problem p;
+  p.metal = materials::make_copper();
+  p.j0 = MA_per_cm2(0.6);
+  p.duty_cycle = 0.1;
+  // Nanoscale line over a thin stack and a huge bus over a thick one.
+  for (const auto& [w, t, b] :
+       {std::tuple{nm(30), nm(60), nm(100)},
+        std::tuple{um(20.0), um(5.0), um(50.0)}}) {
+    const double weff = thermal::effective_width(w, b, 2.45);
+    p.heating_coefficient = selfconsistent::heating_coefficient(
+        w, t, thermal::rth_per_length_uniform(b, 1.15, weff));
+    const auto s = selfconsistent::solve(p);
+    EXPECT_TRUE(s.converged);
+    EXPECT_GT(s.j_peak, 0.0);
+    EXPECT_LT(s.t_metal, p.metal.t_melt);
+  }
+}
+
+TEST(Robustness, SolverHandlesExtremeJ0) {
+  selfconsistent::Problem p;
+  p.metal = materials::make_copper();
+  p.duty_cycle = 0.1;
+  const double weff =
+      thermal::effective_width(um(1.0), um(3.0), thermal::kPhiQuasi1D);
+  p.heating_coefficient = selfconsistent::heating_coefficient(
+      um(1.0), um(0.5), thermal::rth_per_length_uniform(um(3.0), 1.15, weff));
+  // Tiny j0: EM-dominated, nearly no heating.
+  p.j0 = MA_per_cm2(1e-4);
+  const auto weak = selfconsistent::solve(p);
+  EXPECT_NEAR(weak.j_peak, selfconsistent::jpeak_em_only(p),
+              0.01 * selfconsistent::jpeak_em_only(p));
+  // Enormous j0: thermally clamped far below the EM-only line.
+  p.j0 = MA_per_cm2(1e4);
+  const auto strong = selfconsistent::solve(p);
+  EXPECT_TRUE(strong.converged);
+  EXPECT_LT(strong.j_peak, 0.05 * selfconsistent::jpeak_em_only(p));
+  EXPECT_LT(strong.t_metal, p.metal.t_melt);
+}
+
+TEST(Robustness, SelfHeatingRunawayIsFlaggedNotInf) {
+  const auto cu = materials::make_copper();
+  for (double j_ma : {1e2, 1e3, 1e4}) {
+    const auto sol = thermal::solve_self_heating(MA_per_cm2(j_ma), cu, um(1),
+                                                 um(1), 1.0, kTrefK);
+    EXPECT_TRUE(std::isfinite(sol.t_metal));
+    if (sol.runaway) EXPECT_DOUBLE_EQ(sol.t_metal, cu.t_melt);
+  }
+}
+
+}  // namespace
+}  // namespace dsmt

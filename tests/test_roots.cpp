@@ -1,0 +1,105 @@
+// Scalar root-finding unit and property tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/roots.h"
+
+namespace dsmt::numeric {
+namespace {
+
+TEST(Bisect, LinearRoot) {
+  auto r = bisect([](double x) { return 2.0 * x - 3.0; }, 0.0, 10.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 1.5, 1e-9);
+}
+
+TEST(Bisect, NoBracketReportsFailure) {
+  auto r = bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0);
+  EXPECT_FALSE(r.converged);
+}
+
+TEST(Bisect, EndpointRoot) {
+  auto r = bisect([](double x) { return x; }, 0.0, 1.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_DOUBLE_EQ(r.root, 0.0);
+}
+
+TEST(Brent, TranscendentalRoot) {
+  // x = exp(1/x) has a root near x ~ 1.763 for f(x) = exp(1/x) - x.
+  auto r = brent([](double x) { return std::exp(1.0 / x) - x; }, 1.0, 4.0);
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(std::exp(1.0 / r.root), r.root, 1e-8);
+}
+
+TEST(Brent, HighMultiplicityStillConverges) {
+  auto r = brent([](double x) { return std::pow(x - 1.0, 3); }, 0.0, 3.0,
+                 {.x_tol = 1e-10, .f_tol = 0.0, .max_iterations = 500});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, 1.0, 1e-3);
+}
+
+TEST(Brent, FewerIterationsThanBisectOnSmoothFunction) {
+  int calls_brent = 0, calls_bisect = 0;
+  auto fb = [&](double x) {
+    ++calls_brent;
+    return std::cos(x) - x;
+  };
+  auto fb2 = [&](double x) {
+    ++calls_bisect;
+    return std::cos(x) - x;
+  };
+  auto rb = brent(fb, 0.0, 1.0, {.x_tol = 1e-12});
+  auto rs = bisect(fb2, 0.0, 1.0, {.x_tol = 1e-12});
+  EXPECT_TRUE(rb.converged);
+  EXPECT_TRUE(rs.converged);
+  EXPECT_LT(calls_brent, calls_bisect);
+  EXPECT_NEAR(rb.root, rs.root, 1e-9);
+}
+
+TEST(Newton, QuadraticConvergence) {
+  auto f = [](double x) { return x * x - 2.0; };
+  auto df = [](double x) { return 2.0 * x; };
+  auto r = newton(f, df, 1.0, {.x_tol = 1e-14});
+  EXPECT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::sqrt(2.0), 1e-12);
+  EXPECT_LT(r.iterations, 10);
+}
+
+TEST(Newton, DampingRecoversFromOvershoot) {
+  // atan has a famously divergent Newton iteration from large |x0|.
+  auto f = [](double x) { return std::atan(x); };
+  auto df = [](double x) { return 1.0 / (1.0 + x * x); };
+  auto r = newton(f, df, 5.0, {.x_tol = 1e-12, .f_tol = 1e-12,
+                               .max_iterations = 200});
+  EXPECT_NEAR(r.root, 0.0, 1e-6);
+}
+
+TEST(ExpandBracket, FindsSignChange) {
+  auto f = [](double x) { return x - 100.0; };
+  auto b = expand_bracket(f, 0.0, 1.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_LT(f(b->first) * f(b->second), 0.0);
+}
+
+TEST(ExpandBracket, GivesUpWithoutRoot) {
+  auto b = expand_bracket([](double x) { return x * x + 1.0; }, -1.0, 1.0, 8);
+  EXPECT_FALSE(b.has_value());
+}
+
+// Property sweep: brent finds roots of x^3 - c for a range of c.
+class BrentCubeRoot : public ::testing::TestWithParam<double> {};
+
+TEST_P(BrentCubeRoot, RecoversCubeRoot) {
+  const double c = GetParam();
+  auto r = brent([c](double x) { return x * x * x - c; }, 0.0, 20.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.root, std::cbrt(c), 1e-8 * std::max(1.0, std::cbrt(c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(CubeRoots, BrentCubeRoot,
+                         ::testing::Values(0.001, 0.1, 1.0, 2.0, 8.0, 27.0,
+                                           100.0, 1234.5, 7999.0));
+
+}  // namespace
+}  // namespace dsmt::numeric

@@ -1,0 +1,26 @@
+// Build sanity: constants and unit conversions.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+
+namespace dsmt {
+namespace {
+
+TEST(Units, CurrentDensityRoundTrip) {
+  EXPECT_DOUBLE_EQ(MA_per_cm2(0.6), 6.0e9);
+  EXPECT_DOUBLE_EQ(to_MA_per_cm2(MA_per_cm2(4.2)), 4.2);
+}
+
+TEST(Units, TemperatureConversion) {
+  EXPECT_DOUBLE_EQ(celsius_to_kelvin(100.0), 373.15);
+  EXPECT_DOUBLE_EQ(kelvin_to_celsius(kTrefK), 100.0);
+}
+
+TEST(Units, LengthAndResistivity) {
+  EXPECT_DOUBLE_EQ(um(3.0), 3.0e-6);
+  EXPECT_DOUBLE_EQ(to_um(um(0.25)), 0.25);
+  EXPECT_DOUBLE_EQ(uohm_cm(1.67), 1.67e-8);
+}
+
+}  // namespace
+}  // namespace dsmt

@@ -1,0 +1,134 @@
+// General-waveform self-consistent evaluation tests (Hunter Part II).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "selfconsistent/waveform.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::selfconsistent {
+namespace {
+
+Problem base_problem() {
+  Problem p;
+  p.metal = materials::make_copper();
+  p.j0 = MA_per_cm2(0.6);
+  const double weff =
+      thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
+  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  p.heating_coefficient = heating_coefficient(um(3.0), um(0.5), rth);
+  return p;
+}
+
+std::pair<std::vector<double>, std::vector<double>> rectangular(
+    double r, double amplitude, int n = 20001) {
+  std::vector<double> t(n), j(n);
+  for (int i = 0; i < n; ++i) {
+    t[i] = static_cast<double>(i) / (n - 1);
+    j[i] = (t[i] <= r) ? amplitude : 0.0;
+  }
+  return {t, j};
+}
+
+TEST(ScWaveform, ShapeOfRectangle) {
+  auto [t, j] = rectangular(0.25, MA_per_cm2(2.0));
+  const auto s = measure_shape(t, j);
+  EXPECT_NEAR(s.duty_effective, 0.25, 0.01);
+  EXPECT_NEAR(s.peak, MA_per_cm2(2.0), 1.0);
+  EXPECT_NEAR(s.avg_abs_over_peak, 0.25, 0.01);
+}
+
+TEST(ScWaveform, RectangleMatchesDutyCycleSolve) {
+  // Evaluating a rectangular waveform must reproduce the classic Eq. 13
+  // solve at the same r.
+  auto [t, j] = rectangular(0.1, MA_per_cm2(1.0));
+  const auto v = evaluate_waveform(base_problem(), t, j);
+  Problem p = base_problem();
+  p.duty_cycle = 0.1;
+  const auto direct = solve(p);
+  EXPECT_NEAR(v.limit.j_peak, direct.j_peak, 0.02 * direct.j_peak);
+}
+
+TEST(ScWaveform, MarginScalesInverselyWithAmplitude) {
+  auto [t1, j1] = rectangular(0.1, MA_per_cm2(1.0));
+  auto [t2, j2] = rectangular(0.1, MA_per_cm2(2.0));
+  const auto v1 = evaluate_waveform(base_problem(), t1, j1);
+  const auto v2 = evaluate_waveform(base_problem(), t2, j2);
+  EXPECT_NEAR(v1.amplitude_margin / v2.amplitude_margin, 2.0, 0.02);
+}
+
+TEST(ScWaveform, PassFailBoundary) {
+  // A waveform exactly at the limit has margin 1; scaled above, it fails.
+  auto [t, j] = rectangular(0.1, MA_per_cm2(1.0));
+  const auto v = evaluate_waveform(base_problem(), t, j);
+  std::vector<double> j_at_limit(j.size());
+  for (std::size_t i = 0; i < j.size(); ++i)
+    j_at_limit[i] = j[i] * v.amplitude_margin * 1.05;
+  const auto v_over = evaluate_waveform(base_problem(), t, j_at_limit);
+  EXPECT_FALSE(v_over.pass);
+  EXPECT_NEAR(v_over.amplitude_margin, 1.0 / 1.05, 0.02);
+}
+
+TEST(ScWaveform, BipolarTriangleHasHigherREff) {
+  // Triangular bipolar pulse: rms/peak ratio differs from a rectangle;
+  // r_eff must reflect the true heating.
+  const int n = 20001;
+  std::vector<double> t(n), j(n);
+  for (int i = 0; i < n; ++i) {
+    t[i] = static_cast<double>(i) / (n - 1);
+    // Two triangular lobes of opposite sign, each of width 0.2.
+    const double x = t[i];
+    if (x < 0.2)
+      j[i] = MA_per_cm2(1.0) * (1.0 - std::abs(x - 0.1) / 0.1);
+    else if (x >= 0.5 && x < 0.7)
+      j[i] = -MA_per_cm2(1.0) * (1.0 - std::abs(x - 0.6) / 0.1);
+    else
+      j[i] = 0.0;
+  }
+  const auto s = measure_shape(t, j);
+  // Each triangle contributes peak^2*width/3: r_eff = 2*0.2/3 = 0.1333.
+  EXPECT_NEAR(s.duty_effective, 2.0 * 0.2 / 3.0, 0.005);
+  const auto v = evaluate_waveform(base_problem(), t, j);
+  EXPECT_TRUE(v.limit.converged);
+}
+
+TEST(ScWaveform, BipolarRecoveryRaisesTheLimit) {
+  // A symmetric bipolar square wave: same heating as its unipolar |j|
+  // counterpart, but EM recovery grants a higher allowed amplitude.
+  const int n = 20001;
+  std::vector<double> t(n), j(n);
+  for (int i = 0; i < n; ++i) {
+    t[i] = static_cast<double>(i) / (n - 1);
+    const double x = t[i];
+    if (x < 0.1)
+      j[i] = MA_per_cm2(1.0);
+    else if (x >= 0.5 && x < 0.6)
+      j[i] = -MA_per_cm2(1.0);
+    else
+      j[i] = 0.0;
+  }
+  const auto unipolar = evaluate_waveform(base_problem(), t, j);
+  const auto partial = evaluate_waveform_bipolar(base_problem(), t, j, 0.5);
+  const auto full = evaluate_waveform_bipolar(base_problem(), t, j, 1.0);
+  EXPECT_GT(partial.amplitude_margin, unipolar.amplitude_margin);
+  EXPECT_GT(full.amplitude_margin, partial.amplitude_margin);
+  // gamma = 0 still credits polarity separation (each lobe damages only
+  // its own direction), so it sits above the conservative |j| treatment
+  // but below any nonzero recovery.
+  const auto none = evaluate_waveform_bipolar(base_problem(), t, j, 0.0);
+  EXPECT_GT(none.amplitude_margin, unipolar.amplitude_margin);
+  EXPECT_LE(none.amplitude_margin, partial.amplitude_margin * 1.0001);
+  // Even with full recovery the thermal side still caps the amplitude.
+  EXPECT_TRUE(std::isfinite(full.limit.j_peak));
+  EXPECT_GT(full.limit.t_metal, base_problem().t_ref);
+}
+
+TEST(ScWaveform, RejectsDegenerateInput) {
+  EXPECT_THROW(measure_shape({0.0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(measure_shape({0.0, 1.0}, {0.0, 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::selfconsistent

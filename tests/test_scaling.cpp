@@ -1,0 +1,72 @@
+// Programmatic technology-scaling tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "tech/scaling.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::tech {
+namespace {
+
+TEST(Scaling, GeometryAndDeviceLaws) {
+  const auto base = make_ntrs_250nm_cu();
+  const auto half = scale_technology(base, 0.5, "half-node");
+  EXPECT_EQ(half.name, "half-node");
+  EXPECT_DOUBLE_EQ(half.feature_size, 0.5 * base.feature_size);
+  for (std::size_t i = 0; i < base.layers.size(); ++i) {
+    EXPECT_DOUBLE_EQ(half.layers[i].width, 0.5 * base.layers[i].width);
+    EXPECT_DOUBLE_EQ(half.layers[i].thickness,
+                     0.5 * base.layers[i].thickness);
+    EXPECT_DOUBLE_EQ(half.layers[i].ild_below,
+                     0.5 * base.layers[i].ild_below);
+  }
+  EXPECT_NEAR(half.device.vdd, base.device.vdd / std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(half.device.idsat_n, base.device.idsat_n / std::sqrt(2.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(half.device.cg, 0.5 * base.device.cg);
+  EXPECT_DOUBLE_EQ(half.device.r0, base.device.r0);  // invariant
+  EXPECT_DOUBLE_EQ(half.device.clock_period, 0.5 * base.device.clock_period);
+  EXPECT_THROW(scale_technology(base, 0.0, "x"), std::invalid_argument);
+}
+
+TEST(Scaling, IdentityFactorIsNoOp) {
+  const auto base = make_ntrs_100nm_cu();
+  const auto same = scale_technology(base, 1.0, base.name);
+  EXPECT_DOUBLE_EQ(same.layers.back().width, base.layers.back().width);
+  EXPECT_DOUBLE_EQ(same.device.vdd, base.device.vdd);
+}
+
+TEST(Scaling, ShrinkingRaisesSelfHeatingPerJ) {
+  // Pure geometric shrink at fixed current density: W_m, t_m, b all scale
+  // by s, so dT ~ j^2 rho t W b / (K (W + phi b)) scales by ~s^2 — the
+  // *same j* heats the smaller wire less in absolute terms, but the EM-only
+  // j0/r cap is unchanged, so the self-consistent j_peak (at fixed j0)
+  // should *rise or hold* as we shrink at fixed level count.
+  const auto base = make_ntrs_250nm_cu();
+  const auto sol_base = selfconsistent::solve(
+      selfconsistent::make_level_problem(base, 6, materials::make_oxide(),
+                                         2.45, 0.1, MA_per_cm2(1.8)));
+  const auto shrunk = scale_technology(base, 0.6, "shrunk");
+  const auto sol_shrunk = selfconsistent::solve(
+      selfconsistent::make_level_problem(shrunk, 6, materials::make_oxide(),
+                                         2.45, 0.1, MA_per_cm2(1.8)));
+  EXPECT_GE(sol_shrunk.j_peak, sol_base.j_peak * 0.999);
+  // And a continuous sweep is monotone in the factor.
+  double prev = 0.0;
+  for (double f : {1.0, 0.8, 0.6, 0.4}) {
+    const auto t = scale_technology(base, f, "sweep");
+    const auto s = selfconsistent::solve(selfconsistent::make_level_problem(
+        t, 6, materials::make_oxide(), 2.45, 0.1, MA_per_cm2(1.8)));
+    if (prev > 0.0) {
+      EXPECT_GE(s.j_peak, prev * 0.999);
+    }
+    prev = s.j_peak;
+  }
+}
+
+}  // namespace
+}  // namespace dsmt::tech

@@ -1,0 +1,226 @@
+// Self-consistent solver tests — the paper's Eq. 13 and its consequences
+// (Figs. 2-3, Tables 2-4 structure).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "selfconsistent/solver.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::selfconsistent {
+namespace {
+
+/// The Fig. 2 problem: Cu, j0 = 0.6 MA/cm^2, t_ox = 3 um, t_m = 0.5 um,
+/// W_m = 3 um, quasi-1D W_eff.
+Problem fig2_problem() {
+  Problem p;
+  p.metal = materials::make_copper();
+  p.j0 = MA_per_cm2(0.6);
+  const double weff =
+      thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
+  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  p.heating_coefficient = heating_coefficient(um(3.0), um(0.5), rth);
+  return p;
+}
+
+TEST(Solver, ResidualSignStructure) {
+  Problem p = fig2_problem();
+  p.duty_cycle = 0.01;
+  EXPECT_LT(residual(p, p.t_ref + 1e-6), 0.0);
+  EXPECT_GT(residual(p, p.t_ref + 2000.0), 0.0);
+}
+
+TEST(Solver, SolutionSatisfiesBothConstraints) {
+  Problem p = fig2_problem();
+  p.duty_cycle = 0.01;
+  const Solution s = solve(p);
+  ASSERT_TRUE(s.converged);
+
+  // Thermal side: dT equals the self-heating at (j_rms, T_m).
+  const double dt = s.j_rms * s.j_rms * p.metal.resistivity(s.t_metal) *
+                    p.heating_coefficient;
+  EXPECT_NEAR(dt, s.delta_t, 1e-6 * std::max(1.0, s.delta_t));
+
+  // EM side: j_avg equals the maximum allowed at T_m.
+  const double javg_max = p.j0 * std::exp(p.metal.em.activation_energy_ev /
+                                          (2.0 * kBoltzmannEv) *
+                                          (1.0 / s.t_metal - 1.0 / p.t_ref));
+  EXPECT_NEAR(s.j_avg, javg_max, 1e-6 * javg_max);
+
+  // Waveform identities (Eqs. 4-5).
+  EXPECT_NEAR(s.j_avg, p.duty_cycle * s.j_peak, 1e-3);
+  EXPECT_NEAR(s.j_rms, std::sqrt(p.duty_cycle) * s.j_peak, 1e-3);
+}
+
+TEST(Solver, UnityDutyCycleApproachesJ0) {
+  Problem p = fig2_problem();
+  p.duty_cycle = 1.0;
+  const Solution s = solve(p);
+  EXPECT_LT(s.j_peak, p.j0);
+  EXPECT_GT(s.j_peak, 0.9 * p.j0);  // weak heating at DC for this geometry
+  EXPECT_LT(s.delta_t, 2.0);
+}
+
+TEST(Solver, Figure2HeadlineRatioAtCentiDuty) {
+  // "At r = 1e-2 the self-consistent j_peak is nearly 2x smaller than the
+  // EM-only j_peak."
+  Problem p = fig2_problem();
+  p.duty_cycle = 1e-2;
+  const Solution s = solve(p);
+  const double ratio = s.j_peak / jpeak_em_only(p);
+  EXPECT_LT(ratio, 0.75);
+  EXPECT_GT(ratio, 0.4);
+}
+
+TEST(Solver, TemperatureRisesAsDutyCycleFalls) {
+  Problem p = fig2_problem();
+  double prev_t = 0.0, prev_jpeak_ratio = 1.1;
+  for (double r : {1.0, 0.1, 0.01, 0.001, 0.0001}) {
+    p.duty_cycle = r;
+    const Solution s = solve(p);
+    EXPECT_GT(s.t_metal, prev_t);
+    prev_t = s.t_metal;
+    // Monotone loss of EM-only headroom (Fig. 2's 1/r line divergence).
+    const double ratio = s.j_peak / jpeak_em_only(p);
+    EXPECT_LT(ratio, prev_jpeak_ratio);
+    prev_jpeak_ratio = ratio;
+  }
+  // Fig. 2's hot end: T_m well above 150 degC by r = 1e-4.
+  EXPECT_GT(prev_t, celsius_to_kelvin(150.0));
+}
+
+TEST(Solver, RaisingJ0RaisesTemperatureAndJpeak) {
+  // Fig. 3: higher j_o moves both curves up.
+  Problem p = fig2_problem();
+  p.duty_cycle = 1e-3;
+  const Solution s06 = solve(p);
+  p.j0 = MA_per_cm2(1.8);
+  const Solution s18 = solve(p);
+  EXPECT_GT(s18.t_metal, s06.t_metal);
+  EXPECT_GT(s18.j_peak, s06.j_peak);
+  // Diminishing returns: 3x j0 gives less than 3x j_peak.
+  EXPECT_LT(s18.j_peak / s06.j_peak, 3.0);
+}
+
+TEST(Solver, StrongerHeatingLowersJpeak) {
+  Problem p = fig2_problem();
+  p.duty_cycle = 0.1;
+  const Solution s1 = solve(p);
+  p.heating_coefficient *= 4.0;
+  const Solution s2 = solve(p);
+  EXPECT_LT(s2.j_peak, s1.j_peak);
+  EXPECT_GT(s2.t_metal, s1.t_metal);
+}
+
+TEST(Solver, ValidatesInputs) {
+  Problem p = fig2_problem();
+  p.duty_cycle = 0.0;
+  EXPECT_THROW(solve(p), std::invalid_argument);
+  p = fig2_problem();
+  p.j0 = -1.0;
+  EXPECT_THROW(solve(p), std::invalid_argument);
+  p = fig2_problem();
+  p.heating_coefficient = 0.0;
+  EXPECT_THROW(solve(p), std::invalid_argument);
+}
+
+// Property: across a wide duty-cycle sweep, the solution is always between
+// the two bounding dotted lines of Fig. 2 (thermal-only and EM-only).
+class DutySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DutySweep, BoundedByReferenceLines) {
+  Problem p = fig2_problem();
+  p.duty_cycle = GetParam();
+  const auto pts = sweep_duty_cycle(p, {GetParam()});
+  ASSERT_EQ(pts.size(), 1u);
+  const auto& pt = pts[0];
+  EXPECT_LE(pt.sc.j_peak, pt.jpeak_em_only * (1.0 + 1e-9));
+  // The thermal-only line uses the r=1 j_rms; self-consistent j_rms exceeds
+  // it at smaller r only insofar as EM permits — it must stay within ~3x.
+  EXPECT_LT(pt.sc.j_peak, 3.0 * pt.jpeak_thermal_only + pt.jpeak_em_only);
+}
+
+INSTANTIATE_TEST_SUITE_P(WideRange, DutySweep,
+                         ::testing::Values(1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2,
+                                           1e-1, 3e-1, 1.0));
+
+TEST(Sweep, LogSpacedEndpoints) {
+  const auto v = log_spaced(1e-4, 1.0, 9);
+  ASSERT_EQ(v.size(), 9u);
+  EXPECT_DOUBLE_EQ(v.front(), 1e-4);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+  EXPECT_THROW(log_spaced(0.0, 1.0, 5), std::invalid_argument);
+}
+
+TEST(Sweep, J0FamilyIsOrdered) {
+  Problem p = fig2_problem();
+  const auto fam = sweep_j0(p, {MA_per_cm2(0.6), MA_per_cm2(1.8)},
+                            {1e-3, 1e-2, 1e-1});
+  ASSERT_EQ(fam.size(), 2u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_GT(fam[1][k].sc.j_peak, fam[0][k].sc.j_peak);
+    EXPECT_GT(fam[1][k].sc.t_metal, fam[0][k].sc.t_metal);
+  }
+}
+
+TEST(Table, PaperOrderings) {
+  // Tables 2-4 structure: within a technology, j_peak falls going up the
+  // stack and falls with lower-conductivity gap-fill.
+  TableSpec spec;
+  spec.technology = tech::make_ntrs_100nm_cu();
+  spec.gap_fills = materials::paper_dielectrics();
+  spec.levels = {5, 6, 7, 8};
+  spec.duty_cycles = {0.1, 1.0};
+  spec.j0 = MA_per_cm2(1.8);
+  const auto cells = generate_design_rule_table(spec);
+  ASSERT_EQ(cells.size(), 2u * 3u * 4u);
+
+  auto jpeak = [&](double r, const std::string& d, int level) {
+    for (const auto& c : cells)
+      if (c.duty_cycle == r && c.dielectric == d && c.level == level)
+        return c.sol.j_peak;
+    ADD_FAILURE() << "cell missing";
+    return 0.0;
+  };
+
+  for (double r : {0.1, 1.0}) {
+    for (const char* d : {"Oxide", "HSQ", "Polyimide"}) {
+      EXPECT_GE(jpeak(r, d, 5), jpeak(r, d, 7));
+      EXPECT_GE(jpeak(r, d, 7), jpeak(r, d, 8));
+    }
+    for (int level : {5, 6, 7, 8}) {
+      EXPECT_GT(jpeak(r, "Oxide", level), jpeak(r, "HSQ", level));
+      EXPECT_GT(jpeak(r, "HSQ", level), jpeak(r, "Polyimide", level));
+    }
+  }
+  // Signal lines beat power lines by roughly 1/sqrt(r) when thermally
+  // moderated; at minimum they must be strictly higher.
+  for (int level : {5, 6, 7, 8})
+    EXPECT_GT(jpeak(0.1, "Oxide", level), 2.0 * jpeak(1.0, "Oxide", level));
+}
+
+TEST(Table, CuBeatsAlCuAtSameJ0) {
+  // Table 4 companion: with identical j0, AlCu (more resistive) heats more
+  // and gets a lower allowed j_peak.
+  for (double r : {0.1, 1.0}) {
+    const auto cu = solve(make_level_problem(tech::make_ntrs_250nm_cu(), 6,
+                                             materials::make_oxide(), 2.45, r,
+                                             MA_per_cm2(0.6)));
+    const auto alcu = solve(make_level_problem(tech::make_ntrs_250nm_alcu(), 6,
+                                               materials::make_oxide(), 2.45,
+                                               r, MA_per_cm2(0.6)));
+    EXPECT_LT(alcu.j_peak, cu.j_peak);
+  }
+}
+
+TEST(HeatingCoefficient, Validation) {
+  EXPECT_THROW(heating_coefficient(0.0, 1e-6, 0.3), std::invalid_argument);
+  EXPECT_GT(heating_coefficient(1e-6, 1e-6, 0.3), 0.0);
+}
+
+}  // namespace
+}  // namespace dsmt::selfconsistent

@@ -1,0 +1,105 @@
+// Sensitivity and Monte-Carlo variation tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sensitivity.h"
+#include "core/variation.h"
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::core {
+namespace {
+
+TEST(Sensitivity, SignsMatchPhysics) {
+  const auto sens = design_rule_sensitivities(
+      tech::make_ntrs_100nm_cu(), 8, materials::make_hsq(), 2.45, 0.1,
+      MA_per_cm2(1.8));
+  auto find = [&](const std::string& name) -> const Sensitivity& {
+    for (const auto& s : sens)
+      if (s.parameter == name) return s;
+    throw std::runtime_error("missing " + name);
+  };
+  // More heating -> lower j_peak; better cooling -> higher j_peak.
+  EXPECT_LT(find("metal thickness t_m").s_jpeak, 0.0);
+  // Stack thickness is a near-wash in the quasi-2D model: a thicker stack
+  // insulates more (sum t/K grows) but also spreads more (W_eff = W + phi b
+  // grows), and with low-k gap-fill slabs held fixed the spreading slightly
+  // wins. Assert the near-cancellation rather than a sign.
+  EXPECT_LT(std::abs(find("stack thickness b").s_jpeak), 0.3);
+  EXPECT_GT(find("gap-fill K_th").s_jpeak, 0.0);
+  EXPECT_GT(find("ILD K_th").s_jpeak, 0.0);
+  EXPECT_GT(find("spreading phi").s_jpeak, 0.0);
+  EXPECT_LT(find("resistivity rho_ref").s_jpeak, 0.0);
+  // Stronger EM rule -> higher j_peak (sublinearly).
+  EXPECT_GT(find("design-rule j0").s_jpeak, 0.3);
+  EXPECT_LT(find("design-rule j0").s_jpeak, 1.01);
+  // Larger duty cycle -> lower j_peak (roughly -1..-0.5 power).
+  EXPECT_LT(find("duty cycle r").s_jpeak, -0.3);
+  // Better gap-fill conduction cools the wire at its operating point.
+  EXPECT_LT(find("gap-fill K_th").s_tmetal, 0.0);
+}
+
+TEST(Sensitivity, Validation) {
+  EXPECT_THROW(design_rule_sensitivities(tech::make_ntrs_100nm_cu(), 8,
+                                         materials::make_hsq(), 2.45, 0.1,
+                                         MA_per_cm2(1.8), 0.9),
+               std::invalid_argument);
+}
+
+TEST(Variation, DistributionCentersOnNominal) {
+  VariationSpec spec;
+  const auto res = monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                     materials::make_hsq(), 2.45, 0.1,
+                                     MA_per_cm2(1.8), spec, 400);
+  EXPECT_EQ(res.samples.size(), 400u);
+  EXPECT_NEAR(res.mean, res.nominal, 0.05 * res.nominal);
+  EXPECT_NEAR(res.p50, res.nominal, 0.05 * res.nominal);
+  EXPECT_LT(res.p01, res.p50);
+  EXPECT_LT(res.p50, res.p99);
+  // The 1% corner costs a meaningful but bounded margin.
+  EXPECT_GT(res.p01, 0.7 * res.nominal);
+  EXPECT_LT(res.p01, res.nominal);
+}
+
+TEST(Variation, WiderVariationWidensDistribution) {
+  VariationSpec tight;
+  tight.width = tight.thickness = tight.stack = tight.k_thermal = 0.02;
+  VariationSpec wide;
+  wide.width = wide.thickness = wide.stack = wide.k_thermal = 0.10;
+  const auto rt = monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                    materials::make_hsq(), 2.45, 0.1,
+                                    MA_per_cm2(1.8), tight, 300);
+  const auto rw = monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                    materials::make_hsq(), 2.45, 0.1,
+                                    MA_per_cm2(1.8), wide, 300);
+  EXPECT_GT(rw.stddev, 2.0 * rt.stddev);
+  EXPECT_LT(rw.p01, rt.p01);
+}
+
+TEST(Variation, DeterministicSeeding) {
+  VariationSpec spec;
+  const auto a = monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                   materials::make_hsq(), 2.45, 0.1,
+                                   MA_per_cm2(1.8), spec, 50);
+  const auto b = monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                   materials::make_hsq(), 2.45, 0.1,
+                                   MA_per_cm2(1.8), spec, 50);
+  for (std::size_t i = 0; i < a.samples.size(); ++i)
+    EXPECT_DOUBLE_EQ(a.samples[i], b.samples[i]);
+  spec.seed = 999;
+  const auto c = monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                   materials::make_hsq(), 2.45, 0.1,
+                                   MA_per_cm2(1.8), spec, 50);
+  EXPECT_NE(a.samples[0], c.samples[0]);
+}
+
+TEST(Variation, Validation) {
+  EXPECT_THROW(monte_carlo_jpeak(tech::make_ntrs_100nm_cu(), 8,
+                                 materials::make_hsq(), 2.45, 0.1,
+                                 MA_per_cm2(1.8), {}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::core

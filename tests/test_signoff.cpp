@@ -1,0 +1,59 @@
+// Chip-level sign-off integration tests.
+#include <gtest/gtest.h>
+
+#include "core/signoff.h"
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+
+namespace dsmt::core {
+namespace {
+
+SignoffOptions fast() {
+  SignoffOptions o;
+  o.j0 = MA_per_cm2(0.6);
+  o.engine.sim.steps_per_period = 1200;
+  o.engine.sim.line_segments = 12;
+  return o;
+}
+
+TEST(Signoff, FullReportStructure) {
+  const auto report = run_signoff(tech::make_ntrs_250nm_cu(), fast());
+  EXPECT_EQ(report.technology, "NTRS-250nm-Cu");
+  // 6 levels x 3 dielectrics x 2 duty cycles.
+  EXPECT_EQ(report.design_rules.size(), 6u * 3u * 2u);
+  EXPECT_EQ(report.global_checks.size(), 2u);  // M5, M6
+  EXPECT_GT(report.j0_chip_budgeted, 0.0);
+  EXPECT_LT(report.j0_chip_budgeted, fast().j0);
+  EXPECT_TRUE(report.all_global_layers_pass);
+}
+
+TEST(Signoff, EightLevelStackChecksFourGlobals) {
+  auto opts = fast();
+  const auto report = run_signoff(tech::make_ntrs_100nm_cu(), opts);
+  EXPECT_EQ(report.global_checks.size(), 4u);  // M5..M8
+  EXPECT_EQ(report.design_rules.size(), 8u * 3u * 2u);
+}
+
+TEST(Signoff, TextRenderingContainsEverySection) {
+  const auto report = run_signoff(tech::make_ntrs_250nm_cu(), fast());
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("[1] Self-consistent design rules"), std::string::npos);
+  EXPECT_NE(text.find("[2] Global-layer delay-vs-thermal"), std::string::npos);
+  EXPECT_NE(text.find("[3] ESD screen"), std::string::npos);
+  EXPECT_NE(text.find("[4] Chip-level EM budget"), std::string::npos);
+  EXPECT_NE(text.find("Overall: global layers PASS"), std::string::npos);
+  EXPECT_NE(text.find("M6"), std::string::npos);
+  EXPECT_NE(text.find("Polyimide"), std::string::npos);
+}
+
+TEST(Signoff, HarshEsdTargetFlagsUnsafe) {
+  auto opts = fast();
+  opts.esd_hbm_volts = 25000.0;  // absurd zap through a signal line
+  const auto report = run_signoff(tech::make_ntrs_250nm_alcu(), opts);
+  EXPECT_FALSE(report.esd_safe);
+  EXPECT_NE(report.to_text().find("NEEDS DEDICATED SIZING"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsmt::core

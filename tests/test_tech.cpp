@@ -1,0 +1,186 @@
+// Technology / layer-stack / techfile tests.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+#include "tech/techfile.h"
+
+namespace dsmt::tech {
+namespace {
+
+TEST(LayerStack, StackBelowComposition) {
+  std::vector<MetalLayer> layers = {
+      {1, um(0.3), um(0.6), um(0.5), um(0.8)},
+      {2, um(0.4), um(0.8), um(0.6), um(0.7)},
+      {3, um(0.5), um(1.0), um(0.7), um(0.9)},
+  };
+  const auto ox = materials::make_oxide();
+  const auto hsq = materials::make_hsq();
+
+  // Below M3: PMD(0.8 ox) + M1(0.5 gf) + ILD(0.7 ox) + M2(0.6 gf) + ILD(0.9 ox).
+  const auto stack = stack_below(layers, 3, ox, hsq);
+  ASSERT_EQ(stack.slabs.size(), 5u);
+  EXPECT_NEAR(stack.total_thickness(), um(3.5), 1e-12);
+
+  double gap_fill_total = 0.0;
+  for (const auto& s : stack.slabs)
+    if (s.is_gap_fill) gap_fill_total += s.thickness;
+  EXPECT_NEAR(gap_fill_total, um(1.1), 1e-12);
+
+  // Below M1: just the PMD.
+  const auto stack1 = stack_below(layers, 1, ox, hsq);
+  ASSERT_EQ(stack1.slabs.size(), 1u);
+  EXPECT_FALSE(stack1.slabs[0].is_gap_fill);
+
+  EXPECT_THROW(stack_below(layers, 9, ox, hsq), std::out_of_range);
+}
+
+TEST(LayerStack, SeriesResistanceAllOxideMatchesUniform) {
+  std::vector<MetalLayer> layers = {{1, um(0.3), um(0.6), um(0.5), um(2.0)}};
+  const auto ox = materials::make_oxide();
+  const auto stack = stack_below(layers, 1, ox, ox);
+  EXPECT_NEAR(stack.series_resistance_term(), um(2.0) / 1.15, 1e-15);
+  EXPECT_NEAR(stack.effective_conductivity(), 1.15, 1e-12);
+}
+
+TEST(LayerStack, LowKGapFillRaisesResistance) {
+  std::vector<MetalLayer> layers = {
+      {1, um(0.3), um(0.6), um(0.5), um(0.8)},
+      {2, um(0.4), um(0.8), um(0.6), um(0.7)},
+  };
+  const auto ox = materials::make_oxide();
+  const auto pi = materials::make_polyimide();
+  const double r_ox = stack_below(layers, 2, ox, ox).series_resistance_term();
+  const double r_pi = stack_below(layers, 2, ox, pi).series_resistance_term();
+  EXPECT_GT(r_pi, r_ox);
+  // Total thickness is unchanged by the gap-fill material.
+  EXPECT_NEAR(stack_below(layers, 2, ox, pi).total_thickness(),
+              stack_below(layers, 2, ox, ox).total_thickness(), 1e-15);
+}
+
+class NtrsInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(NtrsInvariants, StackIsWellFormed) {
+  const Technology t = GetParam() == 0 ? make_ntrs_250nm_cu()
+                                       : make_ntrs_100nm_cu();
+  EXPECT_FALSE(t.layers.empty());
+  int prev = 0;
+  for (const auto& l : t.layers) {
+    EXPECT_EQ(l.level, prev + 1);  // contiguous ascending levels
+    prev = l.level;
+    EXPECT_GT(l.width, 0.0);
+    EXPECT_GE(l.pitch, 2.0 * l.width * 0.99);  // ~50% density or sparser
+    EXPECT_GT(l.thickness, 0.0);
+    EXPECT_GT(l.ild_below, 0.0);
+    EXPECT_GT(l.aspect_ratio(), 0.5);
+    EXPECT_LT(l.aspect_ratio(), 3.0);
+  }
+  // Upper layers are wider and thicker than lower ones.
+  EXPECT_GT(t.layers.back().width, t.layers.front().width);
+  EXPECT_GT(t.layers.back().thickness, t.layers.front().thickness);
+  // Device sanity.
+  EXPECT_GT(t.device.vdd, t.device.vt);
+  EXPECT_GT(t.device.r0, 0.0);
+  EXPECT_GT(t.device.cg, 0.0);
+  EXPECT_GT(t.device.clock_period, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothNodes, NtrsInvariants, ::testing::Values(0, 1));
+
+TEST(Ntrs, NodeStructure) {
+  EXPECT_EQ(make_ntrs_250nm_cu().num_levels(), 6);
+  EXPECT_EQ(make_ntrs_100nm_cu().num_levels(), 8);
+  EXPECT_EQ(make_ntrs_250nm_cu().metal.name, "Cu");
+  EXPECT_EQ(make_ntrs_250nm_alcu().metal.name, "AlCu");
+  EXPECT_EQ(make_ntrs_100nm_alcu().num_levels(), 8);
+}
+
+TEST(Technology, LayerLookupAndResistance) {
+  const Technology t = make_ntrs_250nm_cu();
+  EXPECT_EQ(t.layer(6).level, 6);
+  EXPECT_THROW(t.layer(7), std::out_of_range);
+  EXPECT_EQ(t.top_level(), 6);
+
+  const auto& l6 = t.layer(6);
+  const double r = t.wire_resistance_per_m(6, l6.width, kTrefK);
+  EXPECT_NEAR(r, t.metal.rho_ref / (l6.width * l6.thickness), 1e-9);
+  EXPECT_THROW(t.wire_resistance_per_m(6, 0.0, kTrefK), std::invalid_argument);
+}
+
+TEST(Technology, CumulativeStackGrowsWithLevel) {
+  const Technology t = make_ntrs_100nm_cu();
+  const auto ox = materials::make_oxide();
+  double prev = 0.0;
+  for (int level = 1; level <= t.num_levels(); ++level) {
+    const double b = t.stack_below(level, ox).total_thickness();
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+  // Total dielectric below the top level is multiple microns.
+  EXPECT_GT(prev, um(5.0));
+  EXPECT_LT(prev, um(20.0));
+}
+
+TEST(Techfile, RoundTripPreservesEverything) {
+  const Technology t0 = make_ntrs_100nm_cu();
+  const Technology t1 = parse_techfile(to_techfile(t0));
+  EXPECT_EQ(t1.name, t0.name);
+  EXPECT_NEAR(t1.feature_size, t0.feature_size, 1e-18);
+  EXPECT_EQ(t1.metal.name, t0.metal.name);
+  EXPECT_EQ(t1.ild.name, t0.ild.name);
+  ASSERT_EQ(t1.layers.size(), t0.layers.size());
+  for (std::size_t i = 0; i < t0.layers.size(); ++i) {
+    EXPECT_EQ(t1.layers[i].level, t0.layers[i].level);
+    EXPECT_NEAR(t1.layers[i].width, t0.layers[i].width, 1e-15);
+    EXPECT_NEAR(t1.layers[i].pitch, t0.layers[i].pitch, 1e-15);
+    EXPECT_NEAR(t1.layers[i].thickness, t0.layers[i].thickness, 1e-15);
+    EXPECT_NEAR(t1.layers[i].ild_below, t0.layers[i].ild_below, 1e-15);
+  }
+  EXPECT_NEAR(t1.device.vdd, t0.device.vdd, 1e-12);
+  EXPECT_NEAR(t1.device.r0, t0.device.r0, 1e-6);
+  EXPECT_NEAR(t1.device.cg, t0.device.cg, 1e-21);
+  EXPECT_NEAR(t1.device.vdsat0, t0.device.vdsat0, 1e-12);
+  EXPECT_NEAR(t1.device.clock_period, t0.device.clock_period, 1e-18);
+}
+
+TEST(Techfile, RejectsMalformedInput) {
+  EXPECT_THROW(parse_techfile(""), std::runtime_error);
+  EXPECT_THROW(parse_techfile("tech x\nend\n"), std::runtime_error);  // no layers
+  EXPECT_THROW(parse_techfile("tech x\nlayer 1 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"),
+               std::runtime_error);  // no end
+  EXPECT_THROW(
+      parse_techfile("tech x\nmetal adamantium\nlayer 1 w_um 1 pitch_um 2 "
+                     "t_um 1 ild_um 1\nend\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_techfile("tech x\nlayer 2 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"
+                     "layer 1 w_um 1 pitch_um 2 t_um 1 ild_um 1\nend\n"),
+      std::runtime_error);  // descending levels
+  EXPECT_THROW(
+      parse_techfile("tech x\nlayer 1 w_um 2 pitch_um 1 t_um 1 ild_um 1\nend\n"),
+      std::runtime_error);  // pitch < width
+}
+
+TEST(Techfile, CommentsAndBlanksIgnored) {
+  const std::string text =
+      "# header comment\n"
+      "tech demo\n"
+      "\n"
+      "metal cu  # trailing comment\n"
+      "layer 1 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"
+      "end\n";
+  const Technology t = parse_techfile(text);
+  EXPECT_EQ(t.name, "demo");
+  EXPECT_EQ(t.metal.name, "Cu");
+}
+
+TEST(Techfile, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dsmt_tech_test.tech";
+  save_techfile(make_ntrs_250nm_cu(), path);
+  const Technology t = load_techfile(path);
+  EXPECT_EQ(t.name, "NTRS-250nm-Cu");
+  EXPECT_EQ(t.num_levels(), 6);
+}
+
+}  // namespace
+}  // namespace dsmt::tech

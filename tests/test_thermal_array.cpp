@@ -1,0 +1,80 @@
+// Dense 3-D interconnect-array coupling tests (paper Fig. 8 / Table 7).
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+#include "thermal/scenarios.h"
+
+namespace dsmt::thermal {
+namespace {
+
+MeshOptions coarse() {
+  MeshOptions m;
+  m.h_min = 0.06e-6;
+  m.h_max = 0.6e-6;
+  return m;
+}
+
+ArraySpec paper_array() {
+  ArraySpec spec;
+  spec.technology = tech::make_ntrs_250nm_cu();
+  spec.max_level = 4;
+  spec.lines_per_level = 5;
+  return spec;
+}
+
+TEST(ArraySection, StructureMatchesSpec) {
+  const auto spec = paper_array();
+  const auto arr = make_array_section(spec);
+  EXPECT_EQ(arr.section.wire_count(), 4u * 5u);
+  EXPECT_EQ(arr.wires.size(), 20u);
+  // Center wires exist on every level.
+  for (int level = 1; level <= 4; ++level)
+    EXPECT_NO_THROW(arr.center_wire(level));
+  EXPECT_THROW(arr.center_wire(5), std::out_of_range);
+}
+
+TEST(ArraySection, AllHotExceedsIsolated) {
+  const auto arr = make_array_section(paper_array());
+  const auto h = array_heating_coefficients(arr, 4, coarse());
+  EXPECT_GT(h.h_all_hot, h.h_isolated);
+  EXPECT_GT(h.h_isolated, 0.0);
+  // Paper Table 7: all-hot heating is severalfold the isolated value
+  // (enough to cut allowed j_peak by ~40%).
+  EXPECT_GT(h.h_all_hot / h.h_isolated, 2.0);
+  EXPECT_LT(h.h_all_hot / h.h_isolated, 30.0);
+}
+
+TEST(ArraySection, LowerLevelsRunHotterPerUnitHeating) {
+  // With all lines heated, M1 (closest to silicon) has the smallest rise?
+  // No: M1 is best heat-sunk, so its *self* coefficient is smallest.
+  const auto arr = make_array_section(paper_array());
+  const auto h1 = array_heating_coefficients(arr, 1, coarse());
+  const auto h4 = array_heating_coefficients(arr, 4, coarse());
+  EXPECT_LT(h1.h_isolated, h4.h_isolated);
+  EXPECT_LT(h1.h_all_hot, h4.h_all_hot);
+}
+
+TEST(ArraySection, MoreNeighborsMoreCoupling) {
+  ArraySpec narrow = paper_array();
+  narrow.lines_per_level = 3;
+  ArraySpec wide = paper_array();
+  wide.lines_per_level = 9;
+  const auto h_narrow =
+      array_heating_coefficients(make_array_section(narrow), 4, coarse());
+  const auto h_wide =
+      array_heating_coefficients(make_array_section(wide), 4, coarse());
+  EXPECT_GT(h_wide.h_all_hot, h_narrow.h_all_hot);
+  // Isolated victim heating is insensitive to the neighbor count.
+  EXPECT_NEAR(h_wide.h_isolated, h_narrow.h_isolated,
+              0.15 * h_narrow.h_isolated);
+}
+
+TEST(ArraySection, RejectsBadSpec) {
+  ArraySpec spec = paper_array();
+  spec.lines_per_level = 0;
+  EXPECT_THROW(make_array_section(spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::thermal

@@ -1,0 +1,171 @@
+// Thermal healing length and finite-line profile tests, cross-validated
+// against the 1-D finite-difference solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "materials/metal.h"
+#include "numeric/constants.h"
+#include "thermal/fd1d.h"
+#include "thermal/healing.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::thermal {
+namespace {
+
+struct Geometry {
+  materials::Metal metal = materials::make_copper();
+  double w = um(3.0);
+  double t = um(0.5);
+  double rth = 0.0;
+
+  Geometry() {
+    const double weff = effective_width(w, um(3.0), kPhiQuasi1D);
+    rth = rth_per_length_uniform(um(3.0), 1.15, weff);
+  }
+};
+
+TEST(HealingLength, PaperOrderOfMagnitude) {
+  // The paper quotes lambda ~ 25-200 um; the Fig. 2 geometry lands at the
+  // tens-of-microns scale.
+  const Geometry g;
+  const double lambda = healing_length(g.metal, g.w, g.t, g.rth);
+  EXPECT_GT(lambda, um(5.0));
+  EXPECT_LT(lambda, um(200.0));
+}
+
+TEST(HealingLength, ScalesAsSqrtOfConductivity) {
+  const Geometry g;
+  materials::Metal m2 = g.metal;
+  m2.k_thermal *= 4.0;
+  EXPECT_NEAR(healing_length(m2, g.w, g.t, g.rth) /
+                  healing_length(g.metal, g.w, g.t, g.rth),
+              2.0, 1e-12);
+}
+
+TEST(ThermallyLongClassification, Thresholds) {
+  EXPECT_TRUE(is_thermally_long(um(1000), um(20)));
+  EXPECT_FALSE(is_thermally_long(um(100), um(20)));
+}
+
+TEST(FiniteLineProfile, EndsPinnedMiddleHot) {
+  const Geometry g;
+  const double p = 1.0;  // W/m
+  const auto prof = finite_line_profile(g.metal, g.w, g.t, g.rth, um(500), p,
+                                        kTrefK, kTrefK);
+  EXPECT_NEAR(prof.t.front(), kTrefK, 1e-9);
+  EXPECT_NEAR(prof.t.back(), kTrefK, 1e-9);
+  EXPECT_GT(prof.t_peak, kTrefK);
+  const double t_inf = kTrefK + p * g.rth;
+  EXPECT_LT(prof.t_peak, t_inf + 1e-9);
+  EXPECT_LT(prof.t_avg, prof.t_peak);
+}
+
+TEST(FiniteLineProfile, LongLineApproachesInfiniteLimit) {
+  const Geometry g;
+  const double p = 2.0;
+  const double lambda = healing_length(g.metal, g.w, g.t, g.rth);
+  const auto prof = finite_line_profile(g.metal, g.w, g.t, g.rth,
+                                        40.0 * lambda, p, kTrefK, kTrefK);
+  const double t_inf = kTrefK + p * g.rth;
+  EXPECT_NEAR(prof.t_peak, t_inf, 1e-6 * (t_inf - kTrefK));
+}
+
+TEST(RiseFractions, LimitsAndMonotonicity) {
+  const double lambda = um(20);
+  // Very long line: fractions -> 1. Very short: -> 0.
+  EXPECT_NEAR(peak_rise_fraction(um(2000), lambda), 1.0, 1e-6);
+  EXPECT_LT(peak_rise_fraction(um(2), lambda), 0.01);
+  EXPECT_NEAR(average_rise_fraction(um(4000), lambda), 1.0, 0.03);
+  double prev = 0.0;
+  for (double len_um : {10.0, 30.0, 100.0, 300.0, 1000.0}) {
+    const double f = average_rise_fraction(um(len_um), lambda);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  // Peak rises faster than the average everywhere.
+  EXPECT_GT(peak_rise_fraction(um(60), lambda),
+            average_rise_fraction(um(60), lambda));
+}
+
+TEST(Fd1dSteady, MatchesAnalyticProfile) {
+  const Geometry g;
+  materials::Metal const_rho = g.metal;
+  const_rho.tcr = 0.0;  // analytic profile assumes constant resistivity
+
+  Line1DSpec spec;
+  spec.metal = const_rho;
+  spec.w_m = g.w;
+  spec.t_m = g.t;
+  spec.length = um(400);
+  spec.rth_per_len = g.rth;
+  spec.nodes = 401;
+
+  const double j = MA_per_cm2(2.0);
+  const auto fd = solve_steady_line(spec, j);
+  ASSERT_TRUE(fd.converged);
+
+  const double p = j * j * const_rho.resistivity(kTrefK) * g.w * g.t;
+  const auto an = finite_line_profile(const_rho, g.w, g.t, g.rth, um(400), p,
+                                      kTrefK, kTrefK, 401);
+  EXPECT_NEAR(fd.t_peak, an.t_peak, 0.02 * (an.t_peak - kTrefK) + 1e-6);
+  EXPECT_NEAR(fd.t_avg, an.t_avg, 0.02 * (an.t_avg - kTrefK) + 1e-6);
+}
+
+TEST(Fd1dSteady, TemperatureDependentRhoRunsHotter) {
+  const Geometry g;
+  Line1DSpec spec;
+  spec.metal = g.metal;  // tcr > 0
+  spec.w_m = g.w;
+  spec.t_m = g.t;
+  spec.length = um(400);
+  spec.rth_per_len = g.rth;
+
+  Line1DSpec spec_const = spec;
+  spec_const.metal.tcr = 0.0;
+
+  const double j = MA_per_cm2(4.0);
+  EXPECT_GT(solve_steady_line(spec, j).t_peak,
+            solve_steady_line(spec_const, j).t_peak);
+}
+
+TEST(Fd1dTransient, ApproachesSteadyState) {
+  const Geometry g;
+  Line1DSpec spec;
+  spec.metal = g.metal;
+  spec.w_m = g.w;
+  spec.t_m = g.t;
+  spec.length = um(200);
+  spec.rth_per_len = g.rth;
+  spec.nodes = 101;
+
+  const double j = MA_per_cm2(3.0);
+  const auto steady = solve_steady_line(spec, j);
+  // Long transient with constant drive should settle to the steady peak.
+  const auto tr = solve_transient_line(
+      spec, [j](double) { return j; }, 2e-4, 4000);
+  EXPECT_FALSE(tr.melted);
+  EXPECT_NEAR(tr.t_peak.back(), steady.t_peak,
+              0.02 * (steady.t_peak - kTrefK) + 1e-6);
+}
+
+TEST(Fd1dTransient, MeltDetection) {
+  const Geometry g;
+  Line1DSpec spec;
+  spec.metal = materials::make_alcu();
+  spec.w_m = um(0.5);
+  spec.t_m = um(0.5);
+  spec.length = um(100);
+  spec.rth_per_len = g.rth;
+  spec.nodes = 81;
+
+  const double j = MA_per_cm2(80.0);  // far above the ESD critical density
+  const auto tr = solve_transient_line(
+      spec, [j](double) { return j; }, 400e-9, 2000);
+  EXPECT_TRUE(tr.melted);
+  EXPECT_GT(tr.melt_time, 0.0);
+  EXPECT_LT(tr.melt_time, 400e-9);
+}
+
+}  // namespace
+}  // namespace dsmt::thermal

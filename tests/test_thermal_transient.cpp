@@ -1,0 +1,117 @@
+// Lumped pulse-heating model tests (ESD substrate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/constants.h"
+#include "thermal/transient.h"
+
+namespace dsmt::thermal {
+namespace {
+
+PulseLineSpec alcu_line() {
+  PulseLineSpec s;
+  s.metal = materials::make_alcu();
+  s.w_m = um(1.0);
+  s.t_m = um(0.5);
+  s.rth_per_len = 0.0;  // adiabatic
+  s.t_ref = kTrefK;
+  return s;
+}
+
+TEST(Adiabatic, TimeToMeltMatchesClosedFormIntegration) {
+  const auto spec = alcu_line();
+  const double j = MA_per_cm2(50.0);
+  const double t_closed = adiabatic_time_to_melt_onset(spec, j);
+  // Numeric integration of the same ODE should agree.
+  const auto res = simulate_pulse(spec, [j](double) { return j; },
+                                  2.0 * t_closed);
+  ASSERT_TRUE(res.reached_melt);
+  EXPECT_NEAR(res.melt_onset_time, t_closed, 0.02 * t_closed);
+}
+
+TEST(Adiabatic, TimeScalesInverselyWithJSquared) {
+  const auto spec = alcu_line();
+  const double t1 = adiabatic_time_to_melt_onset(spec, MA_per_cm2(40.0));
+  const double t2 = adiabatic_time_to_melt_onset(spec, MA_per_cm2(80.0));
+  EXPECT_NEAR(t1 / t2, 4.0, 1e-9);
+}
+
+TEST(Adiabatic, ZeroCurrentNeverMelts) {
+  const auto spec = alcu_line();
+  EXPECT_TRUE(std::isinf(adiabatic_time_to_melt_onset(spec, 0.0)));
+}
+
+TEST(Adiabatic, CriticalDensityInvertsTimeToMelt) {
+  const auto spec = alcu_line();
+  for (double t_pulse : {50e-9, 100e-9, 200e-9}) {
+    const double j = critical_current_density_adiabatic(spec, t_pulse);
+    EXPECT_NEAR(adiabatic_time_to_melt_onset(spec, j), t_pulse,
+                1e-6 * t_pulse);
+  }
+}
+
+TEST(Adiabatic, PaperAlCuCriticalDensityScale) {
+  // Paper Section 6: ~60 MA/cm^2 opens AlCu lines on < 200 ns time scales.
+  // Melt onset at 100 ns should be several tens of MA/cm^2.
+  const auto spec = alcu_line();
+  const double j = critical_current_density_adiabatic(spec, 100e-9);
+  EXPECT_GT(to_MA_per_cm2(j), 30.0);
+  EXPECT_LT(to_MA_per_cm2(j), 90.0);
+}
+
+TEST(Adiabatic, FusionTimePositiveAndShorterAtHigherJ) {
+  const auto spec = alcu_line();
+  const double f1 = adiabatic_fusion_time(spec, MA_per_cm2(40.0));
+  const double f2 = adiabatic_fusion_time(spec, MA_per_cm2(80.0));
+  EXPECT_GT(f1, 0.0);
+  EXPECT_NEAR(f1 / f2, 4.0, 1e-9);
+}
+
+TEST(SimulatePulse, HeatLossReducesPeakTemperature) {
+  auto spec = alcu_line();
+  const double j = MA_per_cm2(20.0);
+  const auto adiabatic =
+      simulate_pulse(spec, [j](double) { return j; }, 200e-9);
+  spec.rth_per_len = 0.2;  // strong vertical loss
+  const auto lossy = simulate_pulse(spec, [j](double) { return j; }, 200e-9);
+  EXPECT_GT(adiabatic.peak_temperature, lossy.peak_temperature);
+}
+
+TEST(SimulatePulse, StopsAtMeltOnset) {
+  const auto spec = alcu_line();
+  const double j = MA_per_cm2(100.0);
+  const auto res = simulate_pulse(spec, [j](double) { return j; }, 1e-6);
+  ASSERT_TRUE(res.reached_melt);
+  EXPECT_LT(res.trajectory.t.back(), 1e-6);  // event fired early
+  EXPECT_GE(res.peak_temperature, spec.metal.t_melt * 0.999);
+}
+
+TEST(CriticalCurrentDensity, LossyExceedsAdiabatic) {
+  auto spec = alcu_line();
+  spec.rth_per_len = 0.5;
+  const double j_adiabatic =
+      critical_current_density_adiabatic(spec, 500e-9);
+  const double j_lossy = critical_current_density(spec, 500e-9);
+  EXPECT_GE(j_lossy, 0.99 * j_adiabatic);
+}
+
+// Property: critical density falls monotonically with pulse width (longer
+// pulses need less current to melt).
+class CriticalVsWidth : public ::testing::TestWithParam<double> {};
+
+TEST_P(CriticalVsWidth, ShorterPulsesNeedMoreCurrent) {
+  const auto spec = alcu_line();
+  const double t = GetParam();
+  const double j_short = critical_current_density_adiabatic(spec, t);
+  const double j_long = critical_current_density_adiabatic(spec, 2.0 * t);
+  EXPECT_GT(j_short, j_long);
+  EXPECT_NEAR(j_short / j_long, std::sqrt(2.0), 1e-9);  // 1/sqrt(t) law
+}
+
+INSTANTIATE_TEST_SUITE_P(PulseWidths, CriticalVsWidth,
+                         ::testing::Values(10e-9, 50e-9, 100e-9, 200e-9,
+                                           500e-9));
+
+}  // namespace
+}  // namespace dsmt::thermal

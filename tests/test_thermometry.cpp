@@ -1,0 +1,80 @@
+// Electrical-thermometry tests: the simulated Fig. 5 measurement procedure
+// must recover the true thermal impedance, with and without noise.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "thermal/impedance.h"
+#include "thermal/thermometry.h"
+
+namespace dsmt::thermal {
+namespace {
+
+ThermometrySetup fig5_line() {
+  ThermometrySetup s;
+  s.metal = materials::make_alcu();
+  s.w_m = um(0.35);
+  s.t_m = um(0.6);
+  s.length = um(1000);
+  const double weff = effective_width(s.w_m, um(1.2), kPhiQuasi2D);
+  s.rth_per_len = rth_per_length_uniform(um(1.2), 1.15, weff);
+  return s;
+}
+
+TEST(Thermometry, SweepIsPhysical) {
+  const auto setup = fig5_line();
+  const auto sweep = simulate_sweep(setup, 6e-3, 12);
+  ASSERT_EQ(sweep.size(), 12u);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i].current, sweep[i - 1].current);
+    EXPECT_GT(sweep[i].power, sweep[i - 1].power);
+    EXPECT_GT(sweep[i].temperature, sweep[i - 1].temperature);
+    EXPECT_GT(sweep[i].resistance, sweep[i - 1].resistance);
+  }
+  EXPECT_GT(sweep.back().temperature, setup.t_chuck + 0.5);
+}
+
+TEST(Thermometry, CleanExtractionRecoversTruth) {
+  const auto setup = fig5_line();
+  const auto sweep = simulate_sweep(setup, 3e-3, 15);
+  const auto ext = extract_theta(setup, sweep);
+  EXPECT_GT(ext.fit_r_squared, 0.999);
+  // theta_true = R'_th / L.
+  const double theta_true = setup.rth_per_len / setup.length;
+  EXPECT_NEAR(ext.theta, theta_true, 0.03 * theta_true);
+  EXPECT_NEAR(ext.rth_per_len, setup.rth_per_len, 0.03 * setup.rth_per_len);
+  // R0 matches rho(T_chuck) L / A.
+  const double r0_true = setup.metal.resistivity(setup.t_chuck) *
+                         setup.length / (setup.w_m * setup.t_m);
+  EXPECT_NEAR(ext.r0, r0_true, 0.01 * r0_true);
+}
+
+TEST(Thermometry, NoiseInjectionDegradesButDoesNotBreakExtraction) {
+  const auto setup = fig5_line();
+  const auto sweep = simulate_sweep(setup, 8e-3, 60, /*noise=*/0.001);
+  const auto ext = extract_theta(setup, sweep);
+  const double theta_true = setup.rth_per_len / setup.length;
+  EXPECT_NEAR(ext.theta, theta_true, 0.5 * theta_true);
+  EXPECT_LT(ext.fit_r_squared, 1.0);
+}
+
+TEST(Thermometry, ExtractionSeesGapFillDifference) {
+  // HSQ gap-fill raises the true R'_th; the virtual measurement must see it.
+  auto ox = fig5_line();
+  auto hsq = fig5_line();
+  hsq.rth_per_len *= 1.2;  // the paper's ~20% penalty
+  const auto e_ox = extract_theta(ox, simulate_sweep(ox, 3e-3, 15));
+  const auto e_hsq = extract_theta(hsq, simulate_sweep(hsq, 3e-3, 15));
+  EXPECT_NEAR(e_hsq.theta / e_ox.theta, 1.2, 0.03);
+}
+
+TEST(Thermometry, Validation) {
+  auto setup = fig5_line();
+  EXPECT_THROW(simulate_sweep(setup, 0.0, 10), std::invalid_argument);
+  EXPECT_THROW(simulate_sweep(setup, 1e-3, 1), std::invalid_argument);
+  EXPECT_THROW(extract_theta(setup, {}), std::invalid_argument);
+  setup.w_m = 0.0;
+  EXPECT_THROW(simulate_sweep(setup, 1e-3, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::thermal

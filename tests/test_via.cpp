@@ -1,0 +1,85 @@
+// Via electrical/thermal model tests.
+#include <gtest/gtest.h>
+
+#include "numeric/constants.h"
+#include "tech/ntrs.h"
+#include "tech/via.h"
+
+namespace dsmt::tech {
+namespace {
+
+ViaSpec basic_via() {
+  ViaSpec v;
+  v.size = um(0.25);
+  v.height = um(0.7);
+  v.count = 1;
+  return v;
+}
+
+TEST(Via, ResistanceMatchesHandCalc) {
+  const auto v = basic_via();
+  const double expected =
+      v.fill.resistivity(kTrefK) * v.height / (v.size * v.size);
+  EXPECT_NEAR(via_resistance(v, kTrefK), expected, 1e-9 * expected);
+  // A typical W via is a few ohms.
+  EXPECT_GT(via_resistance(v, kTrefK), 0.1);
+  EXPECT_LT(via_resistance(v, kTrefK), 10.0);
+}
+
+TEST(Via, ParallelCutsDivideResistance) {
+  auto v = basic_via();
+  const double r1 = via_resistance(v, kTrefK);
+  v.count = 4;
+  EXPECT_NEAR(via_resistance(v, kTrefK), r1 / 4.0, 1e-12);
+  EXPECT_NEAR(via_thermal_resistance(v),
+              via_thermal_resistance(basic_via()) / 4.0, 1e-9);
+}
+
+TEST(Via, CurrentDensityAndCutSizing) {
+  const auto v = basic_via();
+  const double i = 1e-3;
+  EXPECT_NEAR(via_current_density(v, i), i / (v.size * v.size), 1e-3);
+  // Sizing: enough cuts to stay under 1 MA/cm^2.
+  const int cuts = cuts_for_current(v, 5e-3, MA_per_cm2(1.0));
+  ViaSpec sized = v;
+  sized.count = cuts;
+  EXPECT_LE(via_current_density(sized, 5e-3), MA_per_cm2(1.0) * 1.0001);
+  // One fewer cut would violate the limit.
+  if (cuts > 1) {
+    sized.count = cuts - 1;
+    EXPECT_GT(via_current_density(sized, 5e-3), MA_per_cm2(1.0));
+  }
+}
+
+TEST(Via, EndTemperatureAnchoring) {
+  const auto v = basic_via();
+  const double t_end = via_end_temperature(v, 5e-5, kTrefK);  // 0.05 mW
+  EXPECT_GT(t_end, kTrefK);
+  EXPECT_LT(t_end, kTrefK + 5.0);  // vias are good heat sinks
+}
+
+TEST(Via, StackToSubstrateAccumulates) {
+  const auto tech = make_ntrs_100nm_cu();
+  const auto s4 = via_stack_to_substrate(tech, 4);
+  const auto s8 = via_stack_to_substrate(tech, 8);
+  EXPECT_EQ(s4.levels_crossed, 4);
+  EXPECT_EQ(s8.levels_crossed, 8);
+  EXPECT_GT(s8.resistance, s4.resistance);
+  EXPECT_GT(s8.thermal_resistance, s4.thermal_resistance);
+  // More cuts per level reduce both.
+  const auto s8x4 = via_stack_to_substrate(tech, 8, 4);
+  EXPECT_NEAR(s8x4.resistance, s8.resistance / 4.0, 1e-9);
+}
+
+TEST(Via, Validation) {
+  ViaSpec v = basic_via();
+  v.size = 0.0;
+  EXPECT_THROW(via_resistance(v, kTrefK), std::invalid_argument);
+  EXPECT_THROW(cuts_for_current(basic_via(), 1e-3, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(via_stack_to_substrate(make_ntrs_100nm_cu(), 8, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::tech

@@ -1,0 +1,112 @@
+// Two-phase EM void-growth model tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "em/void_growth.h"
+#include "numeric/constants.h"
+
+namespace dsmt::em {
+namespace {
+
+materials::Metal alcu() { return materials::make_alcu(); }
+
+TEST(VoidGrowth, DriftVelocityScalesWithJ) {
+  VoidModelParams p;
+  const double v1 = drift_velocity(alcu(), p, MA_per_cm2(1.0), kTrefK);
+  const double v2 = drift_velocity(alcu(), p, MA_per_cm2(2.0), kTrefK);
+  EXPECT_NEAR(v2 / v1, 2.0, 1e-9);
+  EXPECT_GT(v1, 0.0);
+}
+
+TEST(VoidGrowth, DriftVelocityArrhenius) {
+  VoidModelParams p;
+  const double j = MA_per_cm2(1.0);
+  const double v_cool = drift_velocity(alcu(), p, j, kTrefK);
+  const double v_hot = drift_velocity(alcu(), p, j, kTrefK + 50.0);
+  // exp(-Q/kT) dominates; roughly e^(Q dT / (k T^2)).
+  EXPECT_GT(v_hot / v_cool, 5.0);
+}
+
+TEST(VoidGrowth, NucleationIsBlackLike) {
+  VoidModelParams p;
+  const double t1 = nucleation_time(alcu(), p, MA_per_cm2(1.0), kTrefK);
+  const double t2 = nucleation_time(alcu(), p, MA_per_cm2(2.0), kTrefK);
+  EXPECT_NEAR(t1 / t2, 4.0, 1e-9);  // n = 2
+}
+
+TEST(VoidGrowth, UseConditionLifetimeIsYears) {
+  // At design-rule stress the model should give a multi-year TTF.
+  VoidModelParams p;
+  const double ttf = time_to_failure_void(alcu(), p, um(0.5), um(0.5),
+                                          um(100), MA_per_cm2(0.6), kTrefK);
+  const double years = ttf / (365.25 * 86400.0);
+  EXPECT_GT(years, 1.0);
+  EXPECT_LT(years, 1000.0);
+}
+
+TEST(VoidGrowth, AcceleratedTestIsHoursToDays) {
+  VoidModelParams p;
+  const double ttf =
+      time_to_failure_void(alcu(), p, um(0.5), um(0.5), um(100),
+                           MA_per_cm2(2.5), celsius_to_kelvin(250.0));
+  EXPECT_GT(ttf, 60.0);              // more than a minute
+  EXPECT_LT(ttf, 40.0 * 86400.0);    // less than ~a month
+}
+
+TEST(VoidGrowth, CurrentExponentCrossover) {
+  // n ~ 2 (nucleation-limited) at use currents, drifting toward 1
+  // (growth-limited) under strong acceleration — the classic signature.
+  VoidModelParams p;
+  const double n_use = apparent_current_exponent(
+      alcu(), p, um(0.5), um(0.5), um(100), MA_per_cm2(0.3), kTrefK);
+  const double n_acc = apparent_current_exponent(
+      alcu(), p, um(0.5), um(0.5), um(100), MA_per_cm2(50.0), kTrefK);
+  EXPECT_GT(n_use, 1.6);
+  EXPECT_LT(n_use, 2.05);
+  EXPECT_LT(n_acc, n_use);
+  EXPECT_GE(n_acc, 0.95);
+}
+
+TEST(VoidGrowth, TraceShapeAndFailure) {
+  VoidModelParams p;
+  const double j = MA_per_cm2(3.0);
+  const double t_pred =
+      time_to_failure_void(alcu(), p, um(0.5), um(0.5), um(100), j,
+                           celsius_to_kelvin(220.0));
+  const auto trace =
+      simulate_void_growth(alcu(), p, um(0.5), um(0.5), um(100), j,
+                           celsius_to_kelvin(220.0), 2.0 * t_pred);
+  ASSERT_TRUE(trace.failed);
+  EXPECT_NEAR(trace.ttf, t_pred, 0.02 * t_pred);
+  // Resistance is monotone non-decreasing and flat during nucleation.
+  EXPECT_DOUBLE_EQ(trace.resistance.front(), trace.r_initial);
+  for (std::size_t i = 1; i < trace.resistance.size(); ++i)
+    EXPECT_GE(trace.resistance[i], trace.resistance[i - 1] - 1e-12);
+  // Failure happens at ~10% resistance growth.
+  const double r_at_fail =
+      trace.r_initial * (1.0 + p.critical_delta_r);
+  bool crossed = false;
+  for (std::size_t i = 0; i < trace.time.size(); ++i)
+    if (trace.time[i] >= trace.ttf && !crossed) {
+      EXPECT_NEAR(trace.resistance[i], r_at_fail, 0.05 * trace.r_initial);
+      crossed = true;
+    }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(VoidGrowth, Validation) {
+  VoidModelParams p;
+  EXPECT_THROW(time_to_failure_void(alcu(), p, 0.0, um(0.5), um(100),
+                                    MA_per_cm2(1.0), kTrefK),
+               std::invalid_argument);
+  EXPECT_THROW(nucleation_time(alcu(), p, 0.0, kTrefK),
+               std::invalid_argument);
+  p.liner_resistance_factor = 0.5;
+  EXPECT_THROW(time_to_failure_void(alcu(), p, um(0.5), um(0.5), um(100),
+                                    MA_per_cm2(1.0), kTrefK),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dsmt::em

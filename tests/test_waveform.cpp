@@ -1,0 +1,106 @@
+// Waveform generator and measurement tests — the paper's current-density
+// definitions (Eqs. 1-3) and effective duty cycle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/waveform.h"
+
+namespace dsmt::circuit {
+namespace {
+
+TEST(Pulse, ShapeAndPeriodicity) {
+  const auto p = pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.5e-9, 0.1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(p(0.0), 0.0);                 // before delay
+  EXPECT_DOUBLE_EQ(p(1.05e-9), 0.5);             // mid rise
+  EXPECT_DOUBLE_EQ(p(1.3e-9), 1.0);              // high
+  EXPECT_NEAR(p(1.65e-9), 0.5, 1e-9);            // mid fall
+  EXPECT_DOUBLE_EQ(p(1.9e-9), 0.0);              // low
+  EXPECT_DOUBLE_EQ(p(3.3e-9), p(1.3e-9));        // periodic
+  EXPECT_THROW(pulse(0, 1, 0, 1e-9, 1.5e-9, 1e-9, 2e-9),
+               std::invalid_argument);  // longer than period
+}
+
+TEST(Pwl, InterpolatesAndClamps) {
+  const auto f = pwl({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(3.0), 0.0);
+}
+
+TEST(DoubleExponential, PeakNormalized) {
+  const auto f = double_exponential(2.0, 10e-9, 150e-9);
+  double peak = 0.0;
+  for (int i = 0; i < 5000; ++i) peak = std::max(peak, f(i * 0.2e-9));
+  EXPECT_NEAR(peak, 2.0, 1e-3);
+  EXPECT_DOUBLE_EQ(f(0.0), 0.0);
+  EXPECT_THROW(double_exponential(1.0, 10e-9, 5e-9), std::invalid_argument);
+}
+
+// Property (paper Eqs. 4-5): a rectangular unipolar pulse train of duty r
+// has j_avg = r j_peak, j_rms = sqrt(r) j_peak, r_eff = r.
+class RectangularDuty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RectangularDuty, CurrentDensityIdentities) {
+  const double r = GetParam();
+  const double period = 1.0;
+  const int n = 200001;
+  std::vector<double> t(n), y(n);
+  for (int i = 0; i < n; ++i) {
+    t[i] = period * i / (n - 1);
+    y[i] = (t[i] <= r * period) ? 1.0 : 0.0;
+  }
+  const auto s = measure(t, y);
+  EXPECT_NEAR(s.peak, 1.0, 1e-12);
+  EXPECT_NEAR(s.average, r, 2e-3);
+  EXPECT_NEAR(s.rms, std::sqrt(r), 2e-3);
+  EXPECT_NEAR(s.duty_effective, r, 5e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(DutyCycles, RectangularDuty,
+                         ::testing::Values(0.05, 0.1, 0.12, 0.25, 0.5, 0.9));
+
+TEST(Measure, BipolarWaveformUsesAbsolutePeak) {
+  std::vector<double> t{0.0, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y{0.0, 2.0, 0.0, -3.0, 0.0};
+  const auto s = measure(t, y);
+  EXPECT_DOUBLE_EQ(s.peak, 3.0);
+  EXPECT_GT(s.average_abs, std::abs(s.average));
+}
+
+TEST(Window, RestrictsAndInterpolatesEnds) {
+  std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> y{0.0, 10.0, 20.0, 30.0};
+  auto [tw, yw] = window(t, y, 0.5, 2.5);
+  EXPECT_DOUBLE_EQ(tw.front(), 0.5);
+  EXPECT_DOUBLE_EQ(yw.front(), 5.0);
+  EXPECT_DOUBLE_EQ(tw.back(), 2.5);
+  EXPECT_DOUBLE_EQ(yw.back(), 25.0);
+  for (std::size_t i = 1; i < tw.size(); ++i) EXPECT_GT(tw[i], tw[i - 1]);
+}
+
+TEST(CrossingTime, RisingAndFalling) {
+  std::vector<double> t{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> v{0.0, 1.0, 0.0, 1.0};
+  EXPECT_NEAR(crossing_time(t, v, 0.5, 0.0, true), 0.5, 1e-12);
+  EXPECT_NEAR(crossing_time(t, v, 0.5, 1.0, false), 1.5, 1e-12);
+  EXPECT_NEAR(crossing_time(t, v, 0.5, 2.0, true), 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(crossing_time(t, v, 2.0, 0.0, true), -1.0);  // never
+}
+
+TEST(RiseTime, TenToNinety) {
+  // Linear ramp 0 -> 1 over [0, 1]: 10-90% spans 0.8.
+  std::vector<double> t, v;
+  for (int i = 0; i <= 100; ++i) {
+    t.push_back(i / 100.0);
+    v.push_back(i / 100.0);
+  }
+  EXPECT_NEAR(rise_time_10_90(t, v, 0.0, 1.0), 0.8, 1e-9);
+  // Flat line never rises.
+  std::vector<double> flat(t.size(), 0.0);
+  EXPECT_DOUBLE_EQ(rise_time_10_90(t, flat, 0.0, 1.0), -1.0);
+}
+
+}  // namespace
+}  // namespace dsmt::circuit
