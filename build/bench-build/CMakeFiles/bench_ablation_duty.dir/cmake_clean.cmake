@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_duty"
+  "../bench/bench_ablation_duty.pdb"
+  "CMakeFiles/bench_ablation_duty.dir/bench_ablation_duty.cpp.o"
+  "CMakeFiles/bench_ablation_duty.dir/bench_ablation_duty.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_duty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

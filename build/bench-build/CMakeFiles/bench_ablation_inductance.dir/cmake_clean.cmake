@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_inductance"
+  "../bench/bench_ablation_inductance.pdb"
+  "CMakeFiles/bench_ablation_inductance.dir/bench_ablation_inductance.cpp.o"
+  "CMakeFiles/bench_ablation_inductance.dir/bench_ablation_inductance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_inductance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

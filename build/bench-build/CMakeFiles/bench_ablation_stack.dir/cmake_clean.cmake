@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_stack"
+  "../bench/bench_ablation_stack.pdb"
+  "CMakeFiles/bench_ablation_stack.dir/bench_ablation_stack.cpp.o"
+  "CMakeFiles/bench_ablation_stack.dir/bench_ablation_stack.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_crowding"
+  "../bench/bench_crowding.pdb"
+  "CMakeFiles/bench_crowding.dir/bench_crowding.cpp.o"
+  "CMakeFiles/bench_crowding.dir/bench_crowding.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crowding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

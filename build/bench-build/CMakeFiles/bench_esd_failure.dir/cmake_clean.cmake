@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_esd_failure"
+  "../bench/bench_esd_failure.pdb"
+  "CMakeFiles/bench_esd_failure.dir/bench_esd_failure.cpp.o"
+  "CMakeFiles/bench_esd_failure.dir/bench_esd_failure.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_esd_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

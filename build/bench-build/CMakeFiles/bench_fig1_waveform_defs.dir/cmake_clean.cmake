@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_waveform_defs"
+  "../bench/bench_fig1_waveform_defs.pdb"
+  "CMakeFiles/bench_fig1_waveform_defs.dir/bench_fig1_waveform_defs.cpp.o"
+  "CMakeFiles/bench_fig1_waveform_defs.dir/bench_fig1_waveform_defs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_waveform_defs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_duty_cycle"
+  "../bench/bench_fig2_duty_cycle.pdb"
+  "CMakeFiles/bench_fig2_duty_cycle.dir/bench_fig2_duty_cycle.cpp.o"
+  "CMakeFiles/bench_fig2_duty_cycle.dir/bench_fig2_duty_cycle.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_duty_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_jo_dependence"
+  "../bench/bench_fig3_jo_dependence.pdb"
+  "CMakeFiles/bench_fig3_jo_dependence.dir/bench_fig3_jo_dependence.cpp.o"
+  "CMakeFiles/bench_fig3_jo_dependence.dir/bench_fig3_jo_dependence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_jo_dependence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_thermal_impedance"
+  "../bench/bench_fig5_thermal_impedance.pdb"
+  "CMakeFiles/bench_fig5_thermal_impedance.dir/bench_fig5_thermal_impedance.cpp.o"
+  "CMakeFiles/bench_fig5_thermal_impedance.dir/bench_fig5_thermal_impedance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_thermal_impedance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

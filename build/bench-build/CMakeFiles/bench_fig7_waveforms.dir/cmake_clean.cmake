@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_waveforms"
+  "../bench/bench_fig7_waveforms.pdb"
+  "CMakeFiles/bench_fig7_waveforms.dir/bench_fig7_waveforms.cpp.o"
+  "CMakeFiles/bench_fig7_waveforms.dir/bench_fig7_waveforms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_waveforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

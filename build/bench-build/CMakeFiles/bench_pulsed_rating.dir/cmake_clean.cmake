@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_pulsed_rating"
+  "../bench/bench_pulsed_rating.pdb"
+  "CMakeFiles/bench_pulsed_rating.dir/bench_pulsed_rating.cpp.o"
+  "CMakeFiles/bench_pulsed_rating.dir/bench_pulsed_rating.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pulsed_rating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

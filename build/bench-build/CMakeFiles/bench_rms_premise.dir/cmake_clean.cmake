@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rms_premise"
+  "../bench/bench_rms_premise.pdb"
+  "CMakeFiles/bench_rms_premise.dir/bench_rms_premise.cpp.o"
+  "CMakeFiles/bench_rms_premise.dir/bench_rms_premise.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rms_premise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

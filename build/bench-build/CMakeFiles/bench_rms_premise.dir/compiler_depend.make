@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_rms_premise.
+# This may be replaced when dependencies are built.

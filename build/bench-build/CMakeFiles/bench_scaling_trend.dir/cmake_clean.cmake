@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_scaling_trend"
+  "../bench/bench_scaling_trend.pdb"
+  "CMakeFiles/bench_scaling_trend.dir/bench_scaling_trend.cpp.o"
+  "CMakeFiles/bench_scaling_trend.dir/bench_scaling_trend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

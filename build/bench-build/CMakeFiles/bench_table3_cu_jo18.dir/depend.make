@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_cu_jo18.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_alcu"
+  "../bench/bench_table4_alcu.pdb"
+  "CMakeFiles/bench_table4_alcu.dir/bench_table4_alcu.cpp.o"
+  "CMakeFiles/bench_table4_alcu.dir/bench_table4_alcu.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_alcu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

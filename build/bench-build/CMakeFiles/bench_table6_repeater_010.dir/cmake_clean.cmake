@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_repeater_010"
+  "../bench/bench_table6_repeater_010.pdb"
+  "CMakeFiles/bench_table6_repeater_010.dir/bench_table6_repeater_010.cpp.o"
+  "CMakeFiles/bench_table6_repeater_010.dir/bench_table6_repeater_010.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_repeater_010.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

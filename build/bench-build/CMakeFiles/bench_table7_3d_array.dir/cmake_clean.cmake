@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_3d_array"
+  "../bench/bench_table7_3d_array.pdb"
+  "CMakeFiles/bench_table7_3d_array.dir/bench_table7_3d_array.cpp.o"
+  "CMakeFiles/bench_table7_3d_array.dir/bench_table7_3d_array.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_3d_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

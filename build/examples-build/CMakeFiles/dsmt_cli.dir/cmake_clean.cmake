@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dsmt_cli"
+  "../examples/dsmt_cli.pdb"
+  "CMakeFiles/dsmt_cli.dir/dsmt_cli.cpp.o"
+  "CMakeFiles/dsmt_cli.dir/dsmt_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmt_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

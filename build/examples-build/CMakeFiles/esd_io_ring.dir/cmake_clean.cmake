@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/esd_io_ring"
+  "../examples/esd_io_ring.pdb"
+  "CMakeFiles/esd_io_ring.dir/esd_io_ring.cpp.o"
+  "CMakeFiles/esd_io_ring.dir/esd_io_ring.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_io_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

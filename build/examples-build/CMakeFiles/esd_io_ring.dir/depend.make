@@ -1,0 +1,2 @@
+# Empty dependencies file for esd_io_ring.
+# This may be replaced when dependencies are built.

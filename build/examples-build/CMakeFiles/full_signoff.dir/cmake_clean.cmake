@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/full_signoff"
+  "../examples/full_signoff.pdb"
+  "CMakeFiles/full_signoff.dir/full_signoff.cpp.o"
+  "CMakeFiles/full_signoff.dir/full_signoff.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_signoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/global_bus_designrule"
+  "../examples/global_bus_designrule.pdb"
+  "CMakeFiles/global_bus_designrule.dir/global_bus_designrule.cpp.o"
+  "CMakeFiles/global_bus_designrule.dir/global_bus_designrule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_bus_designrule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for global_bus_designrule.
+# This may be replaced when dependencies are built.

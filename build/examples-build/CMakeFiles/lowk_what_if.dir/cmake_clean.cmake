@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lowk_what_if"
+  "../examples/lowk_what_if.pdb"
+  "CMakeFiles/lowk_what_if.dir/lowk_what_if.cpp.o"
+  "CMakeFiles/lowk_what_if.dir/lowk_what_if.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lowk_what_if.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

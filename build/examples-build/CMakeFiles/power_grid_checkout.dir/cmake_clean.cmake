@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/power_grid_checkout"
+  "../examples/power_grid_checkout.pdb"
+  "CMakeFiles/power_grid_checkout.dir/power_grid_checkout.cpp.o"
+  "CMakeFiles/power_grid_checkout.dir/power_grid_checkout.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_grid_checkout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/spice_deck_demo"
+  "../examples/spice_deck_demo.pdb"
+  "CMakeFiles/spice_deck_demo.dir/spice_deck_demo.cpp.o"
+  "CMakeFiles/spice_deck_demo.dir/spice_deck_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_deck_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/deck.cpp" "src/CMakeFiles/dsmt.dir/circuit/deck.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/circuit/deck.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/CMakeFiles/dsmt.dir/circuit/netlist.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/circuit/netlist.cpp.o.d"
+  "/root/repo/src/circuit/rcline.cpp" "src/CMakeFiles/dsmt.dir/circuit/rcline.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/circuit/rcline.cpp.o.d"
+  "/root/repo/src/circuit/rctree.cpp" "src/CMakeFiles/dsmt.dir/circuit/rctree.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/circuit/rctree.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/CMakeFiles/dsmt.dir/circuit/transient.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/circuit/transient.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/CMakeFiles/dsmt.dir/circuit/waveform.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/circuit/waveform.cpp.o.d"
+  "/root/repo/src/core/cosim.cpp" "src/CMakeFiles/dsmt.dir/core/cosim.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/core/cosim.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/dsmt.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/CMakeFiles/dsmt.dir/core/sensitivity.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/core/sensitivity.cpp.o.d"
+  "/root/repo/src/core/signoff.cpp" "src/CMakeFiles/dsmt.dir/core/signoff.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/core/signoff.cpp.o.d"
+  "/root/repo/src/core/variation.cpp" "src/CMakeFiles/dsmt.dir/core/variation.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/core/variation.cpp.o.d"
+  "/root/repo/src/em/bipolar.cpp" "src/CMakeFiles/dsmt.dir/em/bipolar.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/em/bipolar.cpp.o.d"
+  "/root/repo/src/em/black.cpp" "src/CMakeFiles/dsmt.dir/em/black.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/em/black.cpp.o.d"
+  "/root/repo/src/em/budget.cpp" "src/CMakeFiles/dsmt.dir/em/budget.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/em/budget.cpp.o.d"
+  "/root/repo/src/em/crowding.cpp" "src/CMakeFiles/dsmt.dir/em/crowding.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/em/crowding.cpp.o.d"
+  "/root/repo/src/em/profile.cpp" "src/CMakeFiles/dsmt.dir/em/profile.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/em/profile.cpp.o.d"
+  "/root/repo/src/em/void_growth.cpp" "src/CMakeFiles/dsmt.dir/em/void_growth.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/em/void_growth.cpp.o.d"
+  "/root/repo/src/esd/failure.cpp" "src/CMakeFiles/dsmt.dir/esd/failure.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/esd/failure.cpp.o.d"
+  "/root/repo/src/esd/waveforms.cpp" "src/CMakeFiles/dsmt.dir/esd/waveforms.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/esd/waveforms.cpp.o.d"
+  "/root/repo/src/extraction/capmodel.cpp" "src/CMakeFiles/dsmt.dir/extraction/capmodel.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/extraction/capmodel.cpp.o.d"
+  "/root/repo/src/extraction/laplace2d.cpp" "src/CMakeFiles/dsmt.dir/extraction/laplace2d.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/extraction/laplace2d.cpp.o.d"
+  "/root/repo/src/extraction/wire_rc.cpp" "src/CMakeFiles/dsmt.dir/extraction/wire_rc.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/extraction/wire_rc.cpp.o.d"
+  "/root/repo/src/materials/dielectric.cpp" "src/CMakeFiles/dsmt.dir/materials/dielectric.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/materials/dielectric.cpp.o.d"
+  "/root/repo/src/materials/metal.cpp" "src/CMakeFiles/dsmt.dir/materials/metal.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/materials/metal.cpp.o.d"
+  "/root/repo/src/numeric/dense.cpp" "src/CMakeFiles/dsmt.dir/numeric/dense.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/dense.cpp.o.d"
+  "/root/repo/src/numeric/interp.cpp" "src/CMakeFiles/dsmt.dir/numeric/interp.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/interp.cpp.o.d"
+  "/root/repo/src/numeric/mesh.cpp" "src/CMakeFiles/dsmt.dir/numeric/mesh.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/mesh.cpp.o.d"
+  "/root/repo/src/numeric/ode.cpp" "src/CMakeFiles/dsmt.dir/numeric/ode.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/ode.cpp.o.d"
+  "/root/repo/src/numeric/polyfit.cpp" "src/CMakeFiles/dsmt.dir/numeric/polyfit.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/polyfit.cpp.o.d"
+  "/root/repo/src/numeric/quadrature.cpp" "src/CMakeFiles/dsmt.dir/numeric/quadrature.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/quadrature.cpp.o.d"
+  "/root/repo/src/numeric/roots.cpp" "src/CMakeFiles/dsmt.dir/numeric/roots.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/roots.cpp.o.d"
+  "/root/repo/src/numeric/sparse.cpp" "src/CMakeFiles/dsmt.dir/numeric/sparse.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/sparse.cpp.o.d"
+  "/root/repo/src/numeric/stats.cpp" "src/CMakeFiles/dsmt.dir/numeric/stats.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/stats.cpp.o.d"
+  "/root/repo/src/numeric/tridiag.cpp" "src/CMakeFiles/dsmt.dir/numeric/tridiag.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/numeric/tridiag.cpp.o.d"
+  "/root/repo/src/powergrid/grid.cpp" "src/CMakeFiles/dsmt.dir/powergrid/grid.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/powergrid/grid.cpp.o.d"
+  "/root/repo/src/repeater/constrained.cpp" "src/CMakeFiles/dsmt.dir/repeater/constrained.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/repeater/constrained.cpp.o.d"
+  "/root/repo/src/repeater/crosstalk.cpp" "src/CMakeFiles/dsmt.dir/repeater/crosstalk.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/repeater/crosstalk.cpp.o.d"
+  "/root/repo/src/repeater/delay.cpp" "src/CMakeFiles/dsmt.dir/repeater/delay.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/repeater/delay.cpp.o.d"
+  "/root/repo/src/repeater/optimizer.cpp" "src/CMakeFiles/dsmt.dir/repeater/optimizer.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/repeater/optimizer.cpp.o.d"
+  "/root/repo/src/repeater/power.cpp" "src/CMakeFiles/dsmt.dir/repeater/power.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/repeater/power.cpp.o.d"
+  "/root/repo/src/repeater/simulate.cpp" "src/CMakeFiles/dsmt.dir/repeater/simulate.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/repeater/simulate.cpp.o.d"
+  "/root/repo/src/report/json.cpp" "src/CMakeFiles/dsmt.dir/report/json.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/report/json.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/dsmt.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/report/table.cpp.o.d"
+  "/root/repo/src/selfconsistent/solver.cpp" "src/CMakeFiles/dsmt.dir/selfconsistent/solver.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/selfconsistent/solver.cpp.o.d"
+  "/root/repo/src/selfconsistent/sweep.cpp" "src/CMakeFiles/dsmt.dir/selfconsistent/sweep.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/selfconsistent/sweep.cpp.o.d"
+  "/root/repo/src/selfconsistent/waveform.cpp" "src/CMakeFiles/dsmt.dir/selfconsistent/waveform.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/selfconsistent/waveform.cpp.o.d"
+  "/root/repo/src/tech/layer_stack.cpp" "src/CMakeFiles/dsmt.dir/tech/layer_stack.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/tech/layer_stack.cpp.o.d"
+  "/root/repo/src/tech/ntrs.cpp" "src/CMakeFiles/dsmt.dir/tech/ntrs.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/tech/ntrs.cpp.o.d"
+  "/root/repo/src/tech/scaling.cpp" "src/CMakeFiles/dsmt.dir/tech/scaling.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/tech/scaling.cpp.o.d"
+  "/root/repo/src/tech/techfile.cpp" "src/CMakeFiles/dsmt.dir/tech/techfile.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/tech/techfile.cpp.o.d"
+  "/root/repo/src/tech/technology.cpp" "src/CMakeFiles/dsmt.dir/tech/technology.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/tech/technology.cpp.o.d"
+  "/root/repo/src/tech/via.cpp" "src/CMakeFiles/dsmt.dir/tech/via.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/tech/via.cpp.o.d"
+  "/root/repo/src/thermal/fd1d.cpp" "src/CMakeFiles/dsmt.dir/thermal/fd1d.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/fd1d.cpp.o.d"
+  "/root/repo/src/thermal/fd2d.cpp" "src/CMakeFiles/dsmt.dir/thermal/fd2d.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/fd2d.cpp.o.d"
+  "/root/repo/src/thermal/fd3d.cpp" "src/CMakeFiles/dsmt.dir/thermal/fd3d.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/fd3d.cpp.o.d"
+  "/root/repo/src/thermal/foster.cpp" "src/CMakeFiles/dsmt.dir/thermal/foster.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/foster.cpp.o.d"
+  "/root/repo/src/thermal/healing.cpp" "src/CMakeFiles/dsmt.dir/thermal/healing.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/healing.cpp.o.d"
+  "/root/repo/src/thermal/impedance.cpp" "src/CMakeFiles/dsmt.dir/thermal/impedance.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/impedance.cpp.o.d"
+  "/root/repo/src/thermal/scenarios.cpp" "src/CMakeFiles/dsmt.dir/thermal/scenarios.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/scenarios.cpp.o.d"
+  "/root/repo/src/thermal/thermometry.cpp" "src/CMakeFiles/dsmt.dir/thermal/thermometry.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/thermometry.cpp.o.d"
+  "/root/repo/src/thermal/transient.cpp" "src/CMakeFiles/dsmt.dir/thermal/transient.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/transient.cpp.o.d"
+  "/root/repo/src/thermal/zth.cpp" "src/CMakeFiles/dsmt.dir/thermal/zth.cpp.o" "gcc" "src/CMakeFiles/dsmt.dir/thermal/zth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

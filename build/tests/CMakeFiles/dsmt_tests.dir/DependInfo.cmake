@@ -1,0 +1,71 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_circuit_mosfet.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_circuit_mosfet.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_circuit_mosfet.cpp.o.d"
+  "/root/repo/tests/test_circuit_transient.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_circuit_transient.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_circuit_transient.cpp.o.d"
+  "/root/repo/tests/test_constrained.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_constrained.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_constrained.cpp.o.d"
+  "/root/repo/tests/test_cosim.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_cosim.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_cosim.cpp.o.d"
+  "/root/repo/tests/test_crosstalk.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_crosstalk.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_crosstalk.cpp.o.d"
+  "/root/repo/tests/test_crowding.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_crowding.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_crowding.cpp.o.d"
+  "/root/repo/tests/test_deck.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_deck.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_deck.cpp.o.d"
+  "/root/repo/tests/test_delay_models.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_delay_models.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_delay_models.cpp.o.d"
+  "/root/repo/tests/test_electrothermal.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_electrothermal.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_electrothermal.cpp.o.d"
+  "/root/repo/tests/test_em.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_em.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_em.cpp.o.d"
+  "/root/repo/tests/test_em_budget.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_em_budget.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_em_budget.cpp.o.d"
+  "/root/repo/tests/test_em_profile.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_em_profile.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_em_profile.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_esd.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_esd.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_esd.cpp.o.d"
+  "/root/repo/tests/test_extraction.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_extraction.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_extraction.cpp.o.d"
+  "/root/repo/tests/test_fd3d.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_fd3d.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_fd3d.cpp.o.d"
+  "/root/repo/tests/test_fit_interp_stats.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_fit_interp_stats.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_fit_interp_stats.cpp.o.d"
+  "/root/repo/tests/test_foster.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_foster.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_foster.cpp.o.d"
+  "/root/repo/tests/test_inductance_extraction.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_inductance_extraction.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_inductance_extraction.cpp.o.d"
+  "/root/repo/tests/test_inductor.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_inductor.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_inductor.cpp.o.d"
+  "/root/repo/tests/test_isource.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_isource.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_isource.cpp.o.d"
+  "/root/repo/tests/test_json.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_json.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_json.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_materials.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_materials.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_materials.cpp.o.d"
+  "/root/repo/tests/test_mesh.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_mesh.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_mesh.cpp.o.d"
+  "/root/repo/tests/test_paper_claims.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_paper_claims.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_paper_claims.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_powergrid.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_powergrid.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_powergrid.cpp.o.d"
+  "/root/repo/tests/test_property_sweeps.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_property_sweeps.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_property_sweeps.cpp.o.d"
+  "/root/repo/tests/test_quadrature_ode.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_quadrature_ode.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_quadrature_ode.cpp.o.d"
+  "/root/repo/tests/test_rctree.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_rctree.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_rctree.cpp.o.d"
+  "/root/repo/tests/test_repeater.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_repeater.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_repeater.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_roots.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_roots.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_roots.cpp.o.d"
+  "/root/repo/tests/test_sanity.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_sanity.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_sanity.cpp.o.d"
+  "/root/repo/tests/test_sc_waveform.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_sc_waveform.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_sc_waveform.cpp.o.d"
+  "/root/repo/tests/test_scaling.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_scaling.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_scaling.cpp.o.d"
+  "/root/repo/tests/test_selfconsistent.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_selfconsistent.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_selfconsistent.cpp.o.d"
+  "/root/repo/tests/test_sensitivity_variation.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_sensitivity_variation.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_sensitivity_variation.cpp.o.d"
+  "/root/repo/tests/test_signoff.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_signoff.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_signoff.cpp.o.d"
+  "/root/repo/tests/test_tech.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_tech.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_tech.cpp.o.d"
+  "/root/repo/tests/test_thermal_array.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_array.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_array.cpp.o.d"
+  "/root/repo/tests/test_thermal_fd2d.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_fd2d.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_fd2d.cpp.o.d"
+  "/root/repo/tests/test_thermal_healing.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_healing.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_healing.cpp.o.d"
+  "/root/repo/tests/test_thermal_impedance.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_impedance.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_impedance.cpp.o.d"
+  "/root/repo/tests/test_thermal_transient.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_transient.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_thermal_transient.cpp.o.d"
+  "/root/repo/tests/test_thermometry.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_thermometry.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_thermometry.cpp.o.d"
+  "/root/repo/tests/test_via.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_via.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_via.cpp.o.d"
+  "/root/repo/tests/test_void_growth.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_void_growth.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_void_growth.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_waveform.cpp.o.d"
+  "/root/repo/tests/test_zth.cpp" "tests/CMakeFiles/dsmt_tests.dir/test_zth.cpp.o" "gcc" "tests/CMakeFiles/dsmt_tests.dir/test_zth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
