@@ -43,9 +43,9 @@ int main() {
     p.metal = technology.metal;
     p.duty_cycle = 0.1;
     p.j0 = MA_per_cm2(1.8);
-    p.heating_coefficient = h_all;
+    p.heating_coefficient = units::HeatingCoefficient{h_all};
     const double j_all = selfconsistent::solve(p).j_peak;
-    p.heating_coefficient = h_iso;
+    p.heating_coefficient = units::HeatingCoefficient{h_iso};
     const double j_iso = selfconsistent::solve(p).j_peak;
     return std::pair{j_all, j_iso};
   };

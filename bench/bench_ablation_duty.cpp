@@ -34,7 +34,7 @@ int main() {
   };
   for (const auto& c : cases) {
     const auto sol = selfconsistent::solve(selfconsistent::make_level_problem(
-        technology, level, materials::make_oxide(), 2.45, c.r, j0));
+        technology, level, materials::make_oxide(), 2.45, c.r, A_per_m2(j0)));
     table.add_row({report::fmt(c.r, 3), c.note,
                    report::fmt(to_MA_per_cm2(sol.j_peak), 2),
                    report::fmt(to_MA_per_cm2(sol.j_rms), 2),

@@ -48,14 +48,14 @@ int main() {
        {std::pair{"no spreading", 0.0}, std::pair{"quasi-1D (Bilotti)", 0.88},
         std::pair{"quasi-2D (paper)", 2.45},
         std::pair{"FD cross-section", phi_fd}}) {
-    const double weff = thermal::effective_width(
-        layer.width, stack.total_thickness(), phi);
-    const double rth = thermal::rth_per_length(stack, weff);
+    const auto weff = thermal::effective_width(
+        metres(layer.width), metres(stack.total_thickness()), phi);
+    const auto rth = thermal::rth_per_length(stack, weff);
     selfconsistent::Problem p;
     p.metal = technology.metal;
-    p.j0 = j0;
+    p.j0 = A_per_m2(j0);
     p.heating_coefficient = selfconsistent::heating_coefficient(
-        layer.width, layer.thickness, rth);
+        metres(layer.width), metres(layer.thickness), rth);
     p.duty_cycle = 0.1;
     const auto sig = selfconsistent::solve(p);
     p.duty_cycle = 1.0;

@@ -30,19 +30,19 @@ int main() {
                          materials::make_polyimide(),
                          materials::make_aerogel()}) {
     const auto stack = technology.stack_below(level, gf);
-    const double b = stack.total_thickness();
-    const double weff = thermal::effective_width(layer.width, b, 2.45);
-    const double rth_layered = thermal::rth_per_length(stack, weff);
-    const double rth_homog = thermal::rth_per_length_uniform(
+    const auto b = metres(stack.total_thickness());
+    const auto weff = thermal::effective_width(metres(layer.width), b, 2.45);
+    const auto rth_layered = thermal::rth_per_length(stack, weff);
+    const auto rth_homog = thermal::rth_per_length_uniform(
         b, materials::make_oxide().k_thermal, weff);
 
-    auto solve_with = [&](double rth) {
+    auto solve_with = [&](units::ThermalResistancePerLength rth) {
       selfconsistent::Problem p;
       p.metal = technology.metal;
-      p.j0 = j0;
+      p.j0 = A_per_m2(j0);
       p.duty_cycle = 0.1;
       p.heating_coefficient = selfconsistent::heating_coefficient(
-          layer.width, layer.thickness, rth);
+          metres(layer.width), metres(layer.thickness), rth);
       return selfconsistent::solve(p);
     };
     const auto s_layered = solve_with(rth_layered);

@@ -49,9 +49,9 @@ int main() {
 
   // 3. Thermally short vs long lines.
   const auto cu = materials::make_copper();
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(1.0), um(3.0), thermal::kPhiQuasi1D);
-  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  const auto rth = thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
   const double lambda = thermal::healing_length(cu, um(1.0), um(0.8), rth);
   report::Table st({"L/lambda", "TTF gain vs infinite line"});
   for (double f : {0.5, 1.0, 2.0, 5.0, 20.0}) {
@@ -67,7 +67,7 @@ int main() {
   report::Table bt({"lines", "usable fraction of j0"});
   for (std::size_t n : {1ul, 1000ul, 1000000ul, 1000000000ul})
     bt.add_row({std::to_string(n),
-                report::fmt(em::chip_level_j0(cu.em, 1.0, 0.5, n), 3)});
+                report::fmt(em::chip_level_j0(cu.em, A_per_m2(1.0), 0.5, n), 3)});
   std::printf("Statistical budget (sigma = 0.5):\n%s\n", bt.to_string().c_str());
   std::printf(
       "These extension models close the gap between the paper's single-line\n"

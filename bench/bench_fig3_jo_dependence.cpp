@@ -13,9 +13,9 @@ int main() {
   selfconsistent::Problem p;
   p.metal = materials::make_copper();
   p.metal.em.activation_energy_ev = 0.7;
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
-  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  const auto rth = thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
   p.heating_coefficient =
       selfconsistent::heating_coefficient(um(3.0), um(0.5), rth);
 

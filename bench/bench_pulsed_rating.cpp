@@ -20,31 +20,31 @@ int main() {
 
   thermal::ZthSpec spec;
   spec.metal = technology.metal;
-  spec.w_m = layer.width;
-  spec.t_m = layer.thickness;
+  spec.w_m = metres(layer.width);
+  spec.t_m = metres(layer.thickness);
   spec.stack = technology.stack_below(level, materials::make_oxide());
-  spec.w_eff = thermal::effective_width(layer.width,
-                                        spec.stack.total_thickness(), 2.45);
-  const auto curve = thermal::zth_step_response(spec, 1e-9, 1e-1, 48);
+  spec.w_eff = thermal::effective_width(
+      metres(layer.width), metres(spec.stack.total_thickness()), 2.45);
+  const auto curve = thermal::zth_step_response(spec, seconds(1e-9), seconds(1e-1), 48);
 
   std::printf("== Pulsed current ratings, %s M%d ==\n", technology.name.c_str(),
               level);
-  std::printf("Z'th(DC) = %.3f K*m/W, wire tau = %.2f us\n\n", curve.rth_dc,
-              curve.tau_wire * 1e6);
+  std::printf("Z'th(DC) = %.3f K*m/W, wire tau = %.2f us\n\n", curve.rth_dc.value(),
+              curve.tau_wire.value() * 1e6);
 
   // Rating for a modest dT budget (design-rule-like) and for melt (ESD-like).
-  const double dt_rule = 20.0;
-  const double dt_melt = technology.metal.t_melt - kTrefK;
+  const auto dt_rule = kelvin_delta(20.0);
+  const auto dt_melt = technology.metal.t_melt - kTrefK;
   report::Table table({"pulse width", "Zth [K*m/W]", "j(dT=20K)",
                        "j(melt)", "[MA/cm2]"});
   for (double tp : {1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1}) {
     const double j_rule =
-        thermal::pulsed_current_rating(spec, curve, tp, dt_rule, kTrefK);
+        thermal::pulsed_current_rating(spec, curve, seconds(tp), dt_rule, kTrefK);
     const double j_melt =
-        thermal::pulsed_current_rating(spec, curve, tp, dt_melt, kTrefK);
+        thermal::pulsed_current_rating(spec, curve, seconds(tp), dt_melt, kTrefK);
     char label[32];
     std::snprintf(label, sizeof label, "%.0e s", tp);
-    table.add_row({label, report::fmt(thermal::zth_at(curve, tp), 4),
+    table.add_row({label, report::fmt(thermal::zth_at(curve, seconds(tp)), 4),
                    report::fmt(to_MA_per_cm2(j_rule), 1),
                    report::fmt(to_MA_per_cm2(j_melt), 1), ""});
   }

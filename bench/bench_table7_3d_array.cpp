@@ -40,9 +40,9 @@ int main() {
 
   report::Table table(
       {"Configuration", "max j_peak [MA/cm2]", "T_m [C]", "paper [MA/cm2]"});
-  p.heating_coefficient = h.h_all_hot;
+  p.heating_coefficient = units::HeatingCoefficient{h.h_all_hot};
   const auto all_hot = selfconsistent::solve(p);
-  p.heating_coefficient = h.h_isolated;
+  p.heating_coefficient = units::HeatingCoefficient{h.h_isolated};
   const auto isolated = selfconsistent::solve(p);
 
   table.add_row({"M1-M4 heated (3-D)", report::fmt(to_MA_per_cm2(all_hot.j_peak), 2),

@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
           opts.count("dielectric") ? opts["dielectric"] : "oxide");
       const auto sol = selfconsistent::solve(
           selfconsistent::make_level_problem(technology, level, gf, 2.45,
-                                             duty, j0));
+                                             duty, A_per_m2(j0)));
       std::printf(
           "%s M%d, %s gap-fill, r = %.3g, j0 = %.2f MA/cm2:\n"
           "  T_m    = %.1f C\n  j_peak = %.3f MA/cm2\n"

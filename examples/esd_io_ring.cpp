@@ -50,7 +50,8 @@ int main() {
     line.w_m = um(w_um);
     line.t_m = top.thickness;
     line.rth_per_len = thermal::rth_per_length(
-        stack, thermal::effective_width(line.w_m, stack.total_thickness(),
+        stack, thermal::effective_width(metres(line.w_m),
+                                        metres(stack.total_thickness()),
                                         thermal::kPhiQuasi2D));
     line.t_ref = kTrefK;
     const auto out = esd::assess(line, esd::hbm(hbm_kv * 1000.0));

@@ -34,13 +34,13 @@ int main() {
         repeater::optimize_layer(technology, level, d.rel_permittivity, kTrefK);
     // Thermal side: lower K_th -> hotter lines -> lower allowed j_peak.
     const auto sol = selfconsistent::solve(selfconsistent::make_level_problem(
-        technology, level, d, thermal::kPhiQuasi2D, 0.1, j0));
+        technology, level, d, thermal::kPhiQuasi2D, 0.1, A_per_m2(j0)));
     // Thermal healing length for via-cooled segments.
     const auto stack = technology.stack_below(level, d);
     const double rth = thermal::rth_per_length(
         stack,
-        thermal::effective_width(technology.layer(level).width,
-                                 stack.total_thickness(),
+        thermal::effective_width(metres(technology.layer(level).width),
+                                 metres(stack.total_thickness()),
                                  thermal::kPhiQuasi2D));
     const double lambda = thermal::healing_length(
         technology.metal, technology.layer(level).width,

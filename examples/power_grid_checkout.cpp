@@ -52,7 +52,7 @@ int main() {
     const auto limit = selfconsistent::solve(
         selfconsistent::make_level_problem(spec.technology, level,
                                            materials::make_oxide(), 2.45, 1.0,
-                                           j0));
+                                           A_per_m2(j0)));
     const double util = j_max / limit.j_peak;
     table.add_row({report::level_label(level),
                    pass == 0 ? "x-straps" : "y-straps",
@@ -67,7 +67,7 @@ int main() {
   std::printf("EM budgeting (lognormal sigma = 0.5, 0.1%% chip quantile):\n");
   report::Table budget({"stressed lines", "usable j0 [MA/cm2]", "fraction"});
   for (std::size_t n : {1ul, 1000ul, 1000000ul, 100000000ul}) {
-    const double jb = em::chip_level_j0(spec.technology.metal.em, j0, 0.5, n);
+    const double jb = em::chip_level_j0(spec.technology.metal.em, A_per_m2(j0), 0.5, n);
     budget.add_row({std::to_string(n), report::fmt(to_MA_per_cm2(jb), 3),
                     report::fmt(jb / j0, 3)});
   }

@@ -27,7 +27,7 @@ int main() {
        {materials::make_oxide(), materials::make_polyimide()}) {
     const auto problem = selfconsistent::make_level_problem(
         technology, technology.top_level(), gap_fill,
-        thermal::kPhiQuasi2D, duty_cycle, j0);
+        thermal::kPhiQuasi2D, duty_cycle, A_per_m2(j0));
     const auto sol = selfconsistent::solve(problem);
 
     std::printf("%-10s  T_m = %6.1f C   j_peak = %5.2f  j_rms = %5.2f  "

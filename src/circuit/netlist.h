@@ -46,6 +46,7 @@ class Netlist {
 
   int node_count() const { return next_node_; }  ///< includes ground
 
+  /// Units: ohms [Ohm], farads [F], henries [H].
   void add_resistor(NodeId a, NodeId b, double ohms);
   void add_capacitor(NodeId a, NodeId b, double farads);
   /// Inductor between a and b (trapezoidal companion in the engine).

@@ -11,6 +11,7 @@ namespace dsmt::circuit {
 /// each segment carries r*l/N in series with c*l/(N) split half at each end.
 /// Returns the internal node just after `in` (useful for probing).
 /// Total series resistance r_total = r_per_m * length, likewise for C.
+/// Units: r_per_m [Ohm/m], c_per_m [F/m], length [m].
 void add_rc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
                  double c_per_m, double length, int segments);
 
@@ -19,6 +20,7 @@ void add_rc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
 /// matters (see bench_ablation_inductance: visible at repeater spacing on
 /// fat low-k global wires, but it lowers peak currents, so the RC-based
 /// thermal design rules remain conservative).
+/// Units: r_per_m [Ohm/m], l_per_m [H/m], c_per_m [F/m], length [m].
 void add_rlc_line(Netlist& nl, NodeId in, NodeId out, double r_per_m,
                   double l_per_m, double c_per_m, double length,
                   int segments);

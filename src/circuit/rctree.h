@@ -21,14 +21,17 @@ class RcTree {
  public:
   /// Creates the root (driver output). `driver_resistance` is the source
   /// resistance feeding the tree.
+  /// driver_resistance [Ohm].
   explicit RcTree(double driver_resistance);
 
   /// Adds a segment of `length` metres with the given per-unit-length
   /// parasitics, hanging from `parent` (0 = root). Returns the new node id.
+  /// r_per_m [Ohm/m], c_per_m [F/m], length [m].
   std::size_t add_segment(std::size_t parent, double r_per_m, double c_per_m,
                           double length);
 
   /// Adds a lumped load (sink pin) at a node.
+  /// farads [F].
   void add_load(std::size_t node, double farads);
 
   std::size_t node_count() const { return nodes_.size(); }

@@ -31,6 +31,7 @@ class TransientResult {
   int steps() const { return static_cast<int>(time_.size()); }
 
   // Engine-side appenders.
+  /// t [s]; x holds node voltages [V].
   void append(double t, const std::vector<double>& x);
   int nodes_ = 0;
   int sources_ = 0;

@@ -14,10 +14,12 @@ namespace dsmt::circuit {
 
 /// Periodic trapezoidal pulse: v0 -> v1 at t_delay with rise `t_rise`, high
 /// for `t_high`, falls in `t_fall`, period `period`.
+/// Levels v0/v1 [V or A]; t_delay, t_rise, t_high, t_fall, period [s].
 TimeFunction pulse(double v0, double v1, double t_delay, double t_rise,
                    double t_high, double t_fall, double period);
 
 /// Constant source.
+/// v [V or A].
 TimeFunction dc(double v);
 
 /// Piecewise-linear source through (t, v) points; clamps outside.
@@ -25,6 +27,7 @@ TimeFunction pwl(std::vector<double> t, std::vector<double> v);
 
 /// Double-exponential pulse i(t) = i0 (exp(-t/tau_fall) - exp(-t/tau_rise)),
 /// normalized so the peak equals `peak` — standard ESD (HBM/MM) shape.
+/// peak [A]; tau_rise, tau_fall [s].
 TimeFunction double_exponential(double peak, double tau_rise, double tau_fall);
 
 /// Scalar measurements over a sampled waveform (typically one clock period).

@@ -21,10 +21,10 @@ CosimResult verify_rms_premise(const tech::Technology& technology, int level,
 
   const auto& layer = technology.layer(level);
   const auto stack = technology.stack_below(level, gap_fill);
-  const double b = stack.total_thickness();
-  const double w_eff =
-      thermal::effective_width(layer.width, b, options.phi);
-  const double rth = thermal::rth_per_length(stack, w_eff);
+  const auto b = metres(stack.total_thickness());
+  const auto w_eff =
+      thermal::effective_width(metres(layer.width), b, options.phi);
+  const auto rth = thermal::rth_per_length(stack, w_eff);
   const double area = layer.width * layer.thickness;
 
   CosimResult out;
@@ -98,13 +98,14 @@ CosimResult verify_rms_premise(const tech::Technology& technology, int level,
     t_max = std::max(t_max, tr.t_peak[i]);
     t_sum += tr.t_peak[i];
   }
-  out.dt_transient = t_sum / tail - kTrefK;
+  out.dt_transient = t_sum / static_cast<double>(tail) - kTrefK;
   out.ripple = t_max - t_min;
 
   // Analytic prediction from the waveform's RMS density (Eq. 9 with the
   // electro-thermal fixed point).
   const auto sh = thermal::solve_self_heating(
-      sim.j_rms, technology.metal, layer.width, layer.thickness, rth, kTrefK);
+      A_per_m2(sim.j_rms), technology.metal, metres(layer.width),
+      metres(layer.thickness), rth, kTrefK);
   out.dt_rms_model = sh.delta_t;
   out.agreement =
       out.dt_rms_model > 0.0 ? out.dt_transient / out.dt_rms_model : 0.0;

@@ -21,7 +21,7 @@ std::vector<selfconsistent::TableCell> DesignRuleEngine::design_rule_table(
   spec.gap_fills = gap_fills;
   spec.levels = levels;
   spec.duty_cycles = {opts_.duty_cycle_signal, opts_.duty_cycle_power};
-  spec.j0 = j0_;
+  spec.j0 = A_per_m2(j0_);
   spec.phi = opts_.phi;
   return selfconsistent::generate_design_rule_table(spec);
 }
@@ -29,7 +29,7 @@ std::vector<selfconsistent::TableCell> DesignRuleEngine::design_rule_table(
 selfconsistent::Solution DesignRuleEngine::thermal_limit(
     int level, const materials::Dielectric& gap_fill, double duty_cycle) const {
   return selfconsistent::solve(selfconsistent::make_level_problem(
-      tech_, level, gap_fill, opts_.phi, duty_cycle, j0_));
+      tech_, level, gap_fill, opts_.phi, duty_cycle, A_per_m2(j0_)));
 }
 
 LayerCheck DesignRuleEngine::check_layer(
@@ -71,9 +71,9 @@ DesignRuleEngine::check_layer_electrothermal(
 
   const auto& layer = tech_.layer(level);
   const auto stack = tech_.stack_below(level, gap_fill);
-  const double w_eff = thermal::effective_width(
-      layer.width, stack.total_thickness(), opts_.phi);
-  const double rth = thermal::rth_per_length(stack, w_eff);
+  const auto w_eff = thermal::effective_width(
+      metres(layer.width), metres(stack.total_thickness()), opts_.phi);
+  const auto rth = thermal::rth_per_length(stack, w_eff);
 
   double t_wire = kTrefK;
   LayerCheck hot = out.at_tref;
@@ -92,8 +92,8 @@ DesignRuleEngine::check_layer_electrothermal(
 
     // Actual dissipation -> temperature.
     const auto sh = thermal::solve_self_heating(
-        hot.sim.j_rms, tech_.metal, layer.width, layer.thickness, rth,
-        kTrefK);
+        A_per_m2(hot.sim.j_rms), tech_.metal, metres(layer.width),
+        metres(layer.thickness), rth, kTrefK);
     const double t_new = sh.t_metal;
     const bool done = std::abs(t_new - t_wire) <= t_tol;
     t_wire = t_new;
@@ -112,8 +112,8 @@ esd::StressAssessment DesignRuleEngine::esd_screen(
     int level, double v_charge, const materials::Dielectric& gap_fill) const {
   const auto& layer = tech_.layer(level);
   const auto stack = tech_.stack_below(level, gap_fill);
-  const double b = stack.total_thickness();
-  const double w_eff = thermal::effective_width(layer.width, b, opts_.phi);
+  const auto b = metres(stack.total_thickness());
+  const auto w_eff = thermal::effective_width(metres(layer.width), b, opts_.phi);
 
   thermal::PulseLineSpec line;
   line.metal = tech_.metal;

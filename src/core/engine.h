@@ -42,6 +42,7 @@ struct EngineOptions {
 
 class DesignRuleEngine {
  public:
+  /// j0 [A/m^2]: the EM design-rule current density at T_ref.
   DesignRuleEngine(tech::Technology technology, double j0,
                    EngineOptions options = {});
 
@@ -61,6 +62,7 @@ class DesignRuleEngine {
   /// Full delay-vs-thermal check of one level: optimize repeaters with
   /// insulator permittivity `k_rel`, simulate the stage, compare current
   /// densities against the self-consistent limit computed with `gap_fill`.
+  /// k_rel [1]: relative permittivity of the interlevel insulator.
   LayerCheck check_layer(int level, double k_rel,
                          const materials::Dielectric& gap_fill) const;
 
@@ -71,6 +73,7 @@ class DesignRuleEngine {
 
   /// ESD screen of a level's minimum-width line: outcome of an HBM zap of
   /// `v_charge` volts routed through it.
+  /// v_charge [V].
   esd::StressAssessment esd_screen(int level, double v_charge,
                                    const materials::Dielectric& gap_fill) const;
 

@@ -22,7 +22,7 @@ struct Knobs {
 
 selfconsistent::Solution solve_knobs(const Knobs& k) {
   return selfconsistent::solve(selfconsistent::make_level_problem(
-      k.technology, k.level, k.gap_fill, k.phi, k.duty_cycle, k.j0));
+      k.technology, k.level, k.gap_fill, k.phi, k.duty_cycle, A_per_m2(k.j0)));
 }
 
 Sensitivity probe(const std::string& name, double nominal,

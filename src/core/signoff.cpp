@@ -40,8 +40,8 @@ SignoffReport run_signoff(const tech::Technology& technology,
 
   // 4. EM budget.
   report.j0_chip_budgeted =
-      em::chip_level_j0(technology.metal.em, options.j0, options.em_sigma,
-                        options.em_population);
+      em::chip_level_j0(technology.metal.em, A_per_m2(options.j0),
+                        options.em_sigma, options.em_population);
   return report;
 }
 

@@ -1,0 +1,72 @@
+#include "core/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dsmt::units {
+
+namespace {
+/// "%.4g" of `value` followed by a unit symbol: "1.67 uOhm*cm".
+std::string format(double value, const char* symbol) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.4g %s", value, symbol);
+  return buf;
+}
+
+/// Engineering-scaled formatting: picks the largest listed scale whose
+/// magnitude does not exceed |value| (falls back to the smallest).
+struct Scale {
+  double factor;
+  const char* symbol;
+};
+
+std::string format_scaled(double value, const Scale* scales, int n) {
+  const double mag = std::fabs(value);
+  int pick = n - 1;
+  for (int i = 0; i < n; ++i) {
+    if (mag >= scales[i].factor || i == n - 1) {
+      pick = i;
+      break;
+    }
+  }
+  return format(value / scales[pick].factor, scales[pick].symbol);
+}
+}  // namespace
+
+std::string to_string(Kelvin t) { return format(t.value(), "K"); }
+
+std::string to_string(CelsiusDelta dt) { return format(dt.value(), "K"); }
+
+std::string to_string(Metres length) {
+  static constexpr Scale kScales[] = {
+      {1.0, "m"}, {1e-3, "mm"}, {1e-6, "um"}, {1e-9, "nm"}};
+  return format_scaled(length.value(), kScales, 4);
+}
+
+std::string to_string(Seconds t) {
+  static constexpr Scale kScales[] = {
+      {1.0, "s"}, {1e-3, "ms"}, {1e-6, "us"}, {1e-9, "ns"}, {1e-12, "ps"}};
+  return format_scaled(t.value(), kScales, 5);
+}
+
+std::string to_string(CurrentDensity j) {
+  return format(to_MA_per_cm2(j.value()), "MA/cm^2");
+}
+
+std::string to_string(Resistivity rho) {
+  return format(rho.value() * 1e8, "uOhm*cm");
+}
+
+std::string to_string(ThermalConductivity k) {
+  return format(k.value(), "W/(m*K)");
+}
+
+std::string to_string(ThermalResistancePerLength rth) {
+  return format(rth.value(), "K*m/W");
+}
+
+std::string to_string(HeatingCoefficient h) {
+  return format(h.value(), "K*m^3/W");
+}
+
+}  // namespace dsmt::units

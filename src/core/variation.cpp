@@ -43,10 +43,10 @@ class NormalGen {
 };
 
 double percentile(std::vector<double> sorted, double p) {
-  const double idx = p * (sorted.size() - 1);
+  const double idx = p * static_cast<double>(sorted.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(idx);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double f = idx - lo;
+  const double f = idx - static_cast<double>(lo);
   return sorted[lo] * (1.0 - f) + sorted[hi] * f;
 }
 
@@ -62,7 +62,7 @@ VariationResult monte_carlo_jpeak(const tech::Technology& technology,
 
   VariationResult out;
   out.nominal = selfconsistent::solve(selfconsistent::make_level_problem(
-                    technology, level, gap_fill, phi, duty_cycle, j0))
+                    technology, level, gap_fill, phi, duty_cycle, A_per_m2(j0)))
                     .j_peak;
 
   NormalGen gen(spec.seed);
@@ -87,7 +87,7 @@ VariationResult monte_carlo_jpeak(const tech::Technology& technology,
     gf.k_thermal *= fk;
     const double j =
         selfconsistent::solve(selfconsistent::make_level_problem(
-                                  t, level, gf, phi, duty_cycle, j0))
+                                  t, level, gf, phi, duty_cycle, A_per_m2(j0)))
             .j_peak;
     out.samples.push_back(j);
     stats.add(j);

@@ -30,10 +30,13 @@ double bipolar_immunity_factor(const std::vector<double>& t,
 
 /// Average-current duty-cycle transformation for unipolar rectangular
 /// pulses (paper Eq. 4): j_avg = r * j_peak.
+/// j_peak [A/m^2], duty_cycle [1].
 double javg_unipolar(double j_peak, double duty_cycle);
 /// RMS transformation (paper Eq. 5): j_rms = sqrt(r) * j_peak.
+/// j_peak [A/m^2], duty_cycle [1].
 double jrms_unipolar(double j_peak, double duty_cycle);
 /// Paper Eq. 6's companion identity: j_avg^2 = r * j_rms^2.
+/// j_rms [A/m^2], duty_cycle [1].
 double javg_from_jrms(double j_rms, double duty_cycle);
 
 }  // namespace dsmt::em

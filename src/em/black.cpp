@@ -9,53 +9,59 @@
 namespace dsmt::em {
 
 double time_to_failure(double a_star, const materials::EmParameters& em,
-                       double j_avg, double t_metal_k) {
-  if (j_avg <= 0.0 || t_metal_k <= 0.0)
+                       units::CurrentDensity j_avg, units::Kelvin t_metal) {
+  if (j_avg <= 0.0 || t_metal <= 0.0)
     throw std::invalid_argument("time_to_failure: non-positive inputs");
   return a_star * std::pow(j_avg, -em.current_exponent) *
-         std::exp(em.activation_energy_ev / (kBoltzmannEv * t_metal_k));
+         std::exp(em.activation_energy_ev / (kBoltzmannEv * t_metal));
 }
 
-double lifetime_ratio(const materials::EmParameters& em, double j1,
-                      double t1_k, double j0, double t0_k) {
-  if (j1 <= 0.0 || j0 <= 0.0 || t1_k <= 0.0 || t0_k <= 0.0)
+double lifetime_ratio(const materials::EmParameters& em,
+                      units::CurrentDensity j1, units::Kelvin t1,
+                      units::CurrentDensity j0, units::Kelvin t0) {
+  if (j1 <= 0.0 || j0 <= 0.0 || t1 <= 0.0 || t0 <= 0.0)
     throw std::invalid_argument("lifetime_ratio: non-positive inputs");
   return std::pow(j0 / j1, em.current_exponent) *
          std::exp(em.activation_energy_ev / kBoltzmannEv *
-                  (1.0 / t1_k - 1.0 / t0_k));
+                  (1.0 / t1 - 1.0 / t0));
 }
 
-double javg_max_at_temperature(const materials::EmParameters& em, double j0,
-                               double t0_k, double t_metal_k) {
-  if (j0 <= 0.0 || t0_k <= 0.0 || t_metal_k <= 0.0)
+units::CurrentDensity javg_max_at_temperature(
+    const materials::EmParameters& em, units::CurrentDensity j0,
+    units::Kelvin t0, units::Kelvin t_metal) {
+  if (j0 <= 0.0 || t0 <= 0.0 || t_metal <= 0.0)
     throw std::invalid_argument("javg_max_at_temperature: bad inputs");
   return j0 * std::exp(em.activation_energy_ev /
                        (em.current_exponent * kBoltzmannEv) *
-                       (1.0 / t_metal_k - 1.0 / t0_k));
+                       (1.0 / t_metal - 1.0 / t0));
 }
 
-double temperature_for_javg(const materials::EmParameters& em, double javg,
-                            double j0, double t0_k) {
-  if (javg <= 0.0 || j0 <= 0.0 || t0_k <= 0.0)
+units::Kelvin temperature_for_javg(const materials::EmParameters& em,
+                                   units::CurrentDensity javg,
+                                   units::CurrentDensity j0,
+                                   units::Kelvin t0) {
+  if (javg <= 0.0 || j0 <= 0.0 || t0 <= 0.0)
     throw std::invalid_argument("temperature_for_javg: bad inputs");
   // javg = j0 exp[(Q/n kB)(1/T - 1/T0)]  =>
   // 1/T = 1/T0 + (n kB / Q) ln(javg/j0).
   const double inv_t =
-      1.0 / t0_k + em.current_exponent * kBoltzmannEv /
-                       em.activation_energy_ev * std::log(javg / j0);
-  if (inv_t <= 0.0) return std::numeric_limits<double>::infinity();
-  return 1.0 / inv_t;
+      1.0 / t0 + em.current_exponent * kBoltzmannEv /
+                     em.activation_energy_ev * std::log(javg / j0);
+  if (inv_t <= 0.0)
+    return units::Kelvin{std::numeric_limits<double>::infinity()};
+  return units::Kelvin{1.0 / inv_t};
 }
 
-double design_rule_j0(const materials::EmParameters& em, double j_test,
-                      double t_test_k, double ttf_test, double ttf_goal,
-                      double t_ref_k) {
+units::CurrentDensity design_rule_j0(const materials::EmParameters& em,
+                                     units::CurrentDensity j_test,
+                                     units::Kelvin t_test, double ttf_test,
+                                     double ttf_goal, units::Kelvin t_ref) {
   if (j_test <= 0.0 || ttf_test <= 0.0 || ttf_goal <= 0.0)
     throw std::invalid_argument("design_rule_j0: bad inputs");
   const double n = em.current_exponent;
   return j_test * std::pow(ttf_test / ttf_goal, 1.0 / n) *
          std::exp(em.activation_energy_ev / (n * kBoltzmannEv) *
-                  (1.0 / t_ref_k - 1.0 / t_test_k));
+                  (1.0 / t_ref - 1.0 / t_test));
 }
 
 namespace {

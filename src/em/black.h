@@ -6,46 +6,56 @@
 // The absolute prefactor A* is process-specific; everything the paper needs
 // is a *ratio* of lifetimes, so the API exposes ratios and the equivalent
 // current-density transformations, plus an absolute TTF when the caller
-// supplies A*.
+// supplies A*. Current densities and temperatures are strong-typed
+// (core/units.h); lifetimes stay raw doubles because the exponent n makes
+// A*'s dimension process-dependent — they carry whatever time unit A* (or
+// the test lifetime) was quoted in.
 #pragma once
 
+#include "core/units.h"
 #include "materials/metal.h"
 
 namespace dsmt::em {
 
-/// Absolute time-to-failure [s] for prefactor `a_star` (same units as the
-/// result), average current density j [A/m^2] and metal temperature T [K].
+/// Absolute time-to-failure for prefactor `a_star` [t], where [t] is the
+/// time unit of the result; j_avg and T carry their own strong types.
 double time_to_failure(double a_star, const materials::EmParameters& em,
-                       double j_avg, double t_metal_k);
+                       units::CurrentDensity j_avg, units::Kelvin t_metal);
 
-/// Lifetime ratio TTF(j1, T1) / TTF(j0, T0) — prefactor cancels.
-double lifetime_ratio(const materials::EmParameters& em, double j1, double t1_k,
-                      double j0, double t0_k);
+/// Lifetime ratio TTF(j1, T1) / TTF(j0, T0) [1] — prefactor cancels.
+double lifetime_ratio(const materials::EmParameters& em,
+                      units::CurrentDensity j1, units::Kelvin t1,
+                      units::CurrentDensity j0, units::Kelvin t0);
 
 /// The maximum average current density at metal temperature T that still
 /// meets the lifetime achieved by `j0` at `t0` (paper Eq. 12 solved for j):
 ///   j_max = j0 * exp[(Q/(n kB)) (1/T - 1/T0)]
 /// For T > T0 this is *smaller* than j0 — hotter metal must carry less.
-double javg_max_at_temperature(const materials::EmParameters& em, double j0,
-                               double t0_k, double t_metal_k);
+units::CurrentDensity javg_max_at_temperature(
+    const materials::EmParameters& em, units::CurrentDensity j0,
+    units::Kelvin t0, units::Kelvin t_metal);
 
 /// Inverse of the above: the metal temperature at which `javg` exactly meets
 /// the lifetime of `j0` at `t0`. Returns +inf when javg <= 0 is degenerate.
-double temperature_for_javg(const materials::EmParameters& em, double javg,
-                            double j0, double t0_k);
+units::Kelvin temperature_for_javg(const materials::EmParameters& em,
+                                   units::CurrentDensity javg,
+                                   units::CurrentDensity j0, units::Kelvin t0);
 
 /// Derives the design-rule current density j0 at `t_ref` from accelerated
 /// test conditions: a measured TTF `ttf_test` at (j_test, t_test) scaled to
-/// the lifetime goal `ttf_goal` at `t_ref`:
+/// the lifetime goal `ttf_goal` at `t_ref` (both lifetimes in the same,
+/// arbitrary time unit):
 ///   j0 = j_test * (ttf_test/ttf_goal)^(1/n) * exp[(Q/(n kB))(1/t_ref - 1/t_test)]
-double design_rule_j0(const materials::EmParameters& em, double j_test,
-                      double t_test_k, double ttf_test, double ttf_goal,
-                      double t_ref_k);
+units::CurrentDensity design_rule_j0(const materials::EmParameters& em,
+                                     units::CurrentDensity j_test,
+                                     units::Kelvin t_test, double ttf_test,
+                                     double ttf_goal, units::Kelvin t_ref);
 
 /// Lognormal failure statistics: scales a median TTF (t50) to the time at
-/// which `cum_fraction` of a population has failed, given the lognormal
-/// shape parameter sigma. Black's TTF is conventionally quoted at 0.1 %
-/// cumulative failure; this converts between quantiles.
+/// which `cum_fraction` [1] of a population has failed, given the lognormal
+/// shape parameter sigma [1]. Black's TTF is conventionally quoted at 0.1 %
+/// cumulative failure; this converts between quantiles. t50 and the result
+/// share whatever time unit t50 is quoted in.
 double lognormal_quantile_time(double t50, double sigma, double cum_fraction);
 
 }  // namespace dsmt::em

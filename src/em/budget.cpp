@@ -28,16 +28,18 @@ double median_scale_for_chip(double chip_quantile, double line_quantile,
   return t_line / t_chip;
 }
 
-double derate_j0(const materials::EmParameters& em, double j0,
-                 double median_scale) {
+units::CurrentDensity derate_j0(const materials::EmParameters& em,
+                                units::CurrentDensity j0,
+                                double median_scale) {
   if (j0 <= 0.0 || median_scale <= 0.0)
     throw std::invalid_argument("derate_j0: non-positive inputs");
   return j0 * std::pow(median_scale, -1.0 / em.current_exponent);
 }
 
-double chip_level_j0(const materials::EmParameters& em, double j0,
-                     double sigma, std::size_t n_lines, double chip_quantile,
-                     double line_quantile) {
+units::CurrentDensity chip_level_j0(const materials::EmParameters& em,
+                                    units::CurrentDensity j0, double sigma,
+                                    std::size_t n_lines, double chip_quantile,
+                                    double line_quantile) {
   return derate_j0(
       em, j0,
       median_scale_for_chip(chip_quantile, line_quantile, sigma, n_lines));

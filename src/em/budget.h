@@ -12,33 +12,37 @@
 
 #include <cstddef>
 
+#include "core/units.h"
 #include "materials/metal.h"
 
 namespace dsmt::em {
 
-/// Per-line cumulative-failure quantile that yields chip quantile
-/// `chip_quantile` across `n_lines` independent lines.
+/// Per-line cumulative-failure quantile [1] that yields chip quantile
+/// `chip_quantile` [1] across `n_lines` independent lines.
 double per_line_quantile(double chip_quantile, std::size_t n_lines);
 
-/// Scale factor on the per-line *median* lifetime required so that the
-/// chip-level quantile at `t_goal` is met, relative to a single line quoted
-/// at `line_quantile` (e.g. 1e-3): returns t50_required / t50_single.
+/// Scale factor [1] on the per-line *median* lifetime required so that the
+/// chip-level quantile [1] at `t_goal` is met, relative to a single line
+/// quoted at `line_quantile` [1] (e.g. 1e-3) with lognormal shape sigma [1]:
+/// returns t50_required / t50_single.
 double median_scale_for_chip(double chip_quantile, double line_quantile,
                              double sigma, std::size_t n_lines);
 
 /// Derated design-rule current density: j_o scaled so that the lifetime
-/// margin `median_scale` is absorbed through Black's j^-n:
+/// margin `median_scale` [1] is absorbed through Black's j^-n:
 ///   j_derated = j0 * median_scale^(-1/n).
-double derate_j0(const materials::EmParameters& em, double j0,
-                 double median_scale);
+units::CurrentDensity derate_j0(const materials::EmParameters& em,
+                                units::CurrentDensity j0,
+                                double median_scale);
 
 /// One-call helper: the design-rule current density for a chip with
 /// `n_lines` stressed segments, given the single-line j0 quoted at
-/// `line_quantile` with lognormal sigma, holding the same lifetime goal and
-/// chip-level quantile `chip_quantile`.
-double chip_level_j0(const materials::EmParameters& em, double j0,
-                     double sigma, std::size_t n_lines,
-                     double chip_quantile = 1e-3,
-                     double line_quantile = 1e-3);
+/// `line_quantile` [1] with lognormal sigma [1], holding the same lifetime
+/// goal and chip-level quantile `chip_quantile` [1].
+units::CurrentDensity chip_level_j0(const materials::EmParameters& em,
+                                    units::CurrentDensity j0, double sigma,
+                                    std::size_t n_lines,
+                                    double chip_quantile = 1e-3,
+                                    double line_quantile = 1e-3);
 
 }  // namespace dsmt::em

@@ -38,9 +38,9 @@ Grid rasterize(const std::vector<SheetRect>& rects, double cell) {
     throw std::invalid_argument("crowding: cell too large for the shape");
   g.inside.assign(g.nx * g.ny, 0);
   for (std::size_t j = 0; j < g.ny; ++j) {
-    const double yc = y0 + (j + 0.5) * cell;
+    const double yc = y0 + (static_cast<double>(j) + 0.5) * cell;
     for (std::size_t i = 0; i < g.nx; ++i) {
-      const double xc = x0 + (i + 0.5) * cell;
+      const double xc = x0 + (static_cast<double>(i) + 0.5) * cell;
       for (const auto& r : rects)
         if (xc >= r.x0 && xc <= r.x1 && yc >= r.y0 && yc <= r.y1) {
           g.inside[g.idx(i, j)] = 1;
@@ -55,10 +55,10 @@ Grid rasterize(const std::vector<SheetRect>& rects, double cell) {
 std::vector<std::size_t> terminal_cells(const Grid& g, const TerminalEdge& t) {
   std::vector<std::size_t> cells;
   for (std::size_t j = 0; j < g.ny; ++j) {
-    const double yc = g.y0 + (j + 0.5) * g.cell;
+    const double yc = g.y0 + (static_cast<double>(j) + 0.5) * g.cell;
     for (std::size_t i = 0; i < g.nx; ++i) {
       if (!g.inside[g.idx(i, j)]) continue;
-      const double xc = g.x0 + (i + 0.5) * g.cell;
+      const double xc = g.x0 + (static_cast<double>(i) + 0.5) * g.cell;
       if (t.vertical) {
         if (std::abs(xc - t.pos) <= 0.75 * g.cell && yc >= t.lo && yc <= t.hi)
           cells.push_back(g.idx(i, j));

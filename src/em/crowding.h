@@ -54,10 +54,12 @@ CrowdingResult solve_crowding(const std::vector<SheetRect>& rects,
 /// Convenience: a right-angle bend of two `width`-wide legs of length
 /// `leg` (an L shape). The classic result is a crowding factor well above
 /// 1 concentrated at the inside corner.
+/// width, leg [m].
 CrowdingResult solve_l_bend(double width, double leg,
                             const CrowdingOptions& options = {});
 
 /// Convenience: a straight strip (control case, factor ~ 1).
+/// width, length [m].
 CrowdingResult solve_straight_strip(double width, double length,
                                     const CrowdingOptions& options = {});
 

@@ -39,6 +39,7 @@ LineEmProfile evaluate_line_em(const materials::EmParameters& em,
 /// same (j, heating): the ratio of the weakest-link TTF of a line of
 /// `length` to that of an effectively infinite line, both carrying power
 /// `p_per_len` with end clamps at t_ref.
+/// w_m, t_m, length [m]; rth_per_len [K*m/W]; p_per_len [W/m]; t_ref_k [K].
 double short_line_lifetime_gain(const materials::Metal& metal, double w_m,
                                 double t_m, double rth_per_len, double length,
                                 double p_per_len, double t_ref_k);

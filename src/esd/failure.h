@@ -56,6 +56,7 @@ double critical_jpeak_open(const materials::Metal& metal, double t_pulse,
                            double t_start_k);
 
 /// Critical current density for melt onset only (latent-damage threshold).
+/// t_pulse [s], t_start_k [K].
 double critical_jpeak_melt_onset(const materials::Metal& metal, double t_pulse,
                                  double t_start_k);
 

@@ -28,6 +28,7 @@ CurrentWaveform cdm(double i_peak);
 
 /// Rectangular transmission-line-pulse (TLP) current of amplitude `i` and
 /// width `t_pulse` — the waveform used to characterize the failure model.
+/// i [A], t_pulse [s].
 CurrentWaveform tlp(double i, double t_pulse);
 
 /// Duration containing the bulk of the stress: HBM ~ 4 decay constants.

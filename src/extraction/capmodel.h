@@ -36,10 +36,12 @@ struct BusCapacitance {
 };
 
 /// Sakurai model for the center line of a bus at pitch = width + spacing.
+/// width, thickness, height, spacing [m]; k_rel [1].
 BusCapacitance cap_bus(double width, double thickness, double height,
                        double spacing, double k_rel);
 
 /// Parallel-plate limit (sanity reference): eps * W / h.
+/// width, height [m]; k_rel [1]; result [F/m].
 double cap_parallel_plate(double width, double height, double k_rel);
 
 /// Per-unit-length self-inductance of a wire over a ground plane
@@ -47,6 +49,7 @@ double cap_parallel_plate(double width, double height, double k_rel);
 ///   L' = (mu0 / 2pi) ln(8h/w_eff + w_eff/(4h)),  w_eff = w + t.
 /// Used to test whether the paper's RC-only treatment of global lines is
 /// justified (see bench_ablation_inductance).
+/// width, thickness, height [m]; result [H/m].
 double wire_inductance_per_m(double width, double thickness, double height);
 
 }  // namespace dsmt::extraction

@@ -25,9 +25,11 @@ class CapExtractor {
   /// Domain [0,width]x[0,height] with background permittivity k_background
   /// (relative). The bottom edge (y = 0) is a grounded plane; other outer
   /// boundaries are Neumann (zero normal field).
+  /// width, height [m]; k_background [1].
   CapExtractor(double width, double height, double k_background);
 
   /// Paints a dielectric rectangle (later overrides earlier).
+  /// k_rel [1].
   void add_dielectric(const RectRegion& r, double k_rel);
   /// Adds an ideal conductor; returns its index.
   std::size_t add_conductor(const RectRegion& r);

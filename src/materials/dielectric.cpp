@@ -6,12 +6,16 @@
 
 namespace dsmt::materials {
 
-Dielectric make_oxide() { return {"Oxide", 4.0, 1.15, 1.65e6}; }
-Dielectric make_hsq() { return {"HSQ", 2.9, 0.60, 1.2e6}; }
-Dielectric make_polyimide() { return {"Polyimide", 3.0, 0.25, 1.55e6}; }
-Dielectric make_fsg() { return {"FSG", 3.5, 1.00, 1.6e6}; }
-Dielectric make_aerogel() { return {"Aerogel", 2.0, 0.10, 0.3e6}; }
-Dielectric make_air() { return {"Air", 1.0, 0.026, 1.2e3}; }
+Dielectric make_oxide() { return {"Oxide", 4.0, dsmt::W_per_mK(1.15), 1.65e6}; }
+Dielectric make_hsq() { return {"HSQ", 2.9, dsmt::W_per_mK(0.60), 1.2e6}; }
+Dielectric make_polyimide() {
+  return {"Polyimide", 3.0, dsmt::W_per_mK(0.25), 1.55e6};
+}
+Dielectric make_fsg() { return {"FSG", 3.5, dsmt::W_per_mK(1.00), 1.6e6}; }
+Dielectric make_aerogel() {
+  return {"Aerogel", 2.0, dsmt::W_per_mK(0.10), 0.3e6};
+}
+Dielectric make_air() { return {"Air", 1.0, dsmt::W_per_mK(0.026), 1.2e3}; }
 
 Dielectric dielectric_by_name(const std::string& name) {
   std::string key = name;

@@ -6,13 +6,15 @@
 #include <string>
 #include <vector>
 
+#include "core/units.h"
+
 namespace dsmt::materials {
 
 /// An insulating film.
 struct Dielectric {
   std::string name;
-  double rel_permittivity = 4.0;  ///< k (electrical), relative to eps0
-  double k_thermal = 1.15;        ///< thermal conductivity [W/(m*K)]
+  double rel_permittivity = 4.0;  ///< k (electrical), relative to eps0 [1]
+  units::ThermalConductivity k_thermal{1.15};  ///< thermal conductivity
   double c_volumetric = 1.6e6;    ///< volumetric heat capacity [J/(m^3*K)]
 };
 

@@ -9,8 +9,8 @@
 namespace dsmt::materials {
 
 double Metal::resistivity(double temperature_k) const {
-  const double rho = rho_ref * (1.0 + tcr * (temperature_k - t_ref));
-  return std::max(rho, 0.01 * rho_ref);
+  const double rho = rho_ref.value() * (1.0 + tcr * (temperature_k - t_ref));
+  return std::max(rho, 0.01 * rho_ref.value());
 }
 
 double Metal::sheet_resistance(double thickness_m, double temperature_k) const {
@@ -25,9 +25,9 @@ Metal make_copper() {
   m.rho_ref = dsmt::uohm_cm(1.67);  // paper Fig. 2 caption, at 100 degC
   m.t_ref = dsmt::kTrefK;
   m.tcr = 6.8e-3;
-  m.k_thermal = 395.0;
+  m.k_thermal = dsmt::W_per_mK(395.0);
   m.c_volumetric = 3.45e6;
-  m.t_melt = 1357.8;       // 1084.6 degC
+  m.t_melt = units::Kelvin{1357.8};       // 1084.6 degC
   m.latent_heat = 1.83e9;  // 204.6 kJ/kg * 8960 kg/m^3
   m.em.activation_energy_ev = 0.8;  // Cu interface/surface diffusion
   m.em.current_exponent = 2.0;
@@ -41,9 +41,9 @@ Metal make_alcu() {
   m.rho_ref = dsmt::uohm_cm(3.25);  // Al-0.5%Cu at 100 degC
   m.t_ref = dsmt::kTrefK;
   m.tcr = 3.9e-3;
-  m.k_thermal = 200.0;
+  m.k_thermal = dsmt::W_per_mK(200.0);
   m.c_volumetric = 2.44e6;
-  m.t_melt = 933.5;        // ~660 degC
+  m.t_melt = units::Kelvin{933.5};        // ~660 degC
   m.latent_heat = 1.08e9;  // 398 kJ/kg * 2700 kg/m^3
   m.em.activation_energy_ev = 0.7;  // paper: ~0.7 eV for AlCu
   m.em.current_exponent = 2.0;
@@ -56,7 +56,7 @@ Metal make_aluminum() {
   m.name = "Al";
   m.rho_ref = dsmt::uohm_cm(3.55);  // pure Al at 100 degC
   m.tcr = 4.2e-3;
-  m.k_thermal = 237.0;
+  m.k_thermal = dsmt::W_per_mK(237.0);
   return m;
 }
 
@@ -66,9 +66,9 @@ Metal make_tungsten() {
   m.rho_ref = dsmt::uohm_cm(7.0);  // CVD W film at 100 degC
   m.t_ref = dsmt::kTrefK;
   m.tcr = 4.5e-3;
-  m.k_thermal = 173.0;
+  m.k_thermal = dsmt::W_per_mK(173.0);
   m.c_volumetric = 2.58e6;
-  m.t_melt = 3695.0;
+  m.t_melt = units::Kelvin{3695.0};
   m.latent_heat = 3.68e9;
   m.em.activation_energy_ev = 1.0;  // W is effectively EM-immune
   m.em.current_exponent = 2.0;

@@ -2,9 +2,14 @@
 // transport, thermodynamics for melt/ESD analysis, and electromigration
 // parameters (Black's-equation activation energy, exponent, and the
 // technology's design-rule current density j_o).
+//
+// Quantities that cross the solver boundary are strong-typed (core/units.h);
+// the remaining coefficients are raw doubles with their unit in brackets.
 #pragma once
 
 #include <string>
+
+#include "core/units.h"
 
 namespace dsmt::materials {
 
@@ -12,32 +17,44 @@ namespace dsmt::materials {
 ///   TTF = A * j^-n * exp(Q / (kB * T)).
 struct EmParameters {
   double activation_energy_ev = 0.7;  ///< Q [eV] (grain-boundary diffusion)
-  double current_exponent = 2.0;      ///< n (typically 2 in use conditions)
+  double current_exponent = 2.0;      ///< n [1] (typically 2 in use conditions)
   /// Design-rule average current density at T_ref giving the lifetime goal
-  /// (e.g. 10 yr at 100 degC), [A/m^2]. The paper uses 0.6 MA/cm^2 for AlCu
+  /// (e.g. 10 yr at 100 degC) [A/m^2]. The paper uses 0.6 MA/cm^2 for AlCu
   /// and up to 3x that for Cu.
-  double design_rule_javg = 6.0e9;
+  units::CurrentDensity design_rule_javg{6.0e9};
 };
 
 /// An interconnect metal. Resistivity follows the linear model used in the
 /// paper: rho(T) = rho_ref * (1 + tcr * (T - T_ref)).
 struct Metal {
   std::string name;
-  double rho_ref = 1.67e-8;    ///< resistivity at reference temp [Ohm*m]
-  double t_ref = 373.15;       ///< reference temperature for rho_ref [K]
-  double tcr = 6.8e-3;         ///< temperature coefficient of rho [1/K]
-  double k_thermal = 400.0;    ///< thermal conductivity [W/(m*K)]
-  double c_volumetric = 3.45e6;///< volumetric heat capacity [J/(m^3*K)]
-  double t_melt = 1357.8;      ///< melting point [K]
-  double latent_heat = 1.77e9; ///< volumetric heat of fusion [J/m^3]
+  units::Resistivity rho_ref{1.67e-8};  ///< resistivity at reference temp
+  units::Kelvin t_ref = kTrefK;         ///< reference temperature for rho_ref
+  double tcr = 6.8e-3;                  ///< temperature coefficient of rho [1/K]
+  units::ThermalConductivity k_thermal{400.0};  ///< bulk thermal conductivity
+  double c_volumetric = 3.45e6;  ///< volumetric heat capacity [J/(m^3*K)]
+  units::Kelvin t_melt{1357.8};  ///< melting point
+  double latent_heat = 1.77e9;   ///< volumetric heat of fusion [J/m^3]
   EmParameters em;
 
-  /// rho(T) [Ohm*m]; clamped below at 1% of rho_ref to stay physical if a
-  /// caller extrapolates far below t_ref.
+  /// rho(T) [Ohm*m] at absolute temperature [K]; clamped below at 1% of
+  /// rho_ref to stay physical if a caller extrapolates far below t_ref.
   double resistivity(double temperature_k) const;
+  /// Strong-typed form of the same model.
+  units::Resistivity resistivity(units::Kelvin temperature) const {
+    return units::Resistivity{resistivity(temperature.value())};
+  }
+  /// Any other dimension in the temperature slot is a compile error.
+  template <int M, int Kg, int S, int A, int K, int Tag>
+  double resistivity(units::Quantity<M, Kg, S, A, K, Tag>) const = delete;
 
-  /// Sheet resistance [Ohm/sq] of a film of thickness t at temperature T.
+  /// Sheet resistance [Ohm/sq] of a film of thickness [m] at temperature [K].
   double sheet_resistance(double thickness_m, double temperature_k) const;
+  /// Strong-typed form.
+  double sheet_resistance(units::Metres thickness,
+                          units::Kelvin temperature) const {
+    return sheet_resistance(thickness.value(), temperature.value());
+  }
 };
 
 /// Copper with the paper's Fig. 2 resistivity model (rho = 1.67 uOhm*cm at

@@ -1,57 +1,8 @@
-// Physical constants and unit-conversion helpers used throughout dsmt.
-//
-// Internal unit policy (SI unless stated):
-//   length        metres            temperature  kelvin
-//   current       amperes           resistivity  ohm-metre
-//   current dens. A/m^2             therm. cond. W/(m*K)
-//   capacitance   farads            heat cap.    J/(m^3*K)
-//
-// The DAC-99 paper quotes current densities in MA/cm^2 and lengths in um;
-// the conversion helpers below keep paper-facing code readable.
+// Back-compat forwarding header: the physical constants and unit helpers
+// grew into the strong-typed dimensional layer in core/units.h. Everything
+// that used to be declared here (kBoltzmannJ, kTrefK, um, MA_per_cm2, ...)
+// is still reachable through this include; the conversion helpers now return
+// units::Quantity values that implicitly decay to double.
 #pragma once
 
-namespace dsmt {
-
-/// Boltzmann constant [J/K].
-inline constexpr double kBoltzmannJ = 1.380649e-23;
-/// Boltzmann constant [eV/K] — Black's equation uses Q in eV.
-inline constexpr double kBoltzmannEv = 8.617333262e-5;
-/// Elementary charge [C].
-inline constexpr double kElementaryCharge = 1.602176634e-19;
-/// Absolute zero offset: 0 degC in kelvin.
-inline constexpr double kCelsiusOffset = 273.15;
-
-/// Convert degrees Celsius to kelvin.
-constexpr double celsius_to_kelvin(double t_c) { return t_c + kCelsiusOffset; }
-/// Convert kelvin to degrees Celsius.
-constexpr double kelvin_to_celsius(double t_k) { return t_k - kCelsiusOffset; }
-
-/// Reference chip (silicon junction) temperature used by the paper: 100 degC.
-inline constexpr double kTrefK = 373.15;
-
-// --- length -----------------------------------------------------------------
-constexpr double um(double v) { return v * 1e-6; }   ///< micrometres -> m
-constexpr double nm(double v) { return v * 1e-9; }   ///< nanometres  -> m
-constexpr double to_um(double m) { return m * 1e6; } ///< m -> micrometres
-
-// --- current density --------------------------------------------------------
-/// MA/cm^2 -> A/m^2.  1 MA/cm^2 = 1e6 A / 1e-4 m^2 = 1e10 A/m^2.
-constexpr double MA_per_cm2(double v) { return v * 1e10; }
-/// A/m^2 -> MA/cm^2.
-constexpr double to_MA_per_cm2(double j) { return j * 1e-10; }
-
-// --- resistivity ------------------------------------------------------------
-/// micro-ohm-cm -> ohm-m.  1 uOhm-cm = 1e-6 * 1e-2 Ohm-m = 1e-8 Ohm-m.
-constexpr double uohm_cm(double v) { return v * 1e-8; }
-
-// --- time -------------------------------------------------------------------
-constexpr double ns(double v) { return v * 1e-9; }
-constexpr double ps(double v) { return v * 1e-12; }
-
-// --- capacitance ------------------------------------------------------------
-constexpr double fF(double v) { return v * 1e-15; }
-constexpr double pF(double v) { return v * 1e-12; }
-/// Vacuum permittivity [F/m].
-inline constexpr double kEpsilon0 = 8.8541878128e-12;
-
-}  // namespace dsmt
+#include "core/units.h"

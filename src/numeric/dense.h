@@ -13,6 +13,7 @@ namespace dsmt::numeric {
 class Matrix {
  public:
   Matrix() = default;
+  /// fill [1]: initial value of every entry.
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
 
@@ -29,6 +30,7 @@ class Matrix {
   }
 
   /// Reset every entry to `v` without reallocating.
+  /// v [1].
   void fill(double v) { data_.assign(data_.size(), v); }
 
   /// Matrix-vector product. `x.size()` must equal `cols()`.
@@ -51,6 +53,7 @@ class LuFactorization {
  public:
   /// Factorizes a copy of `a`. Throws std::runtime_error on singularity
   /// (pivot below `pivot_tol`).
+  /// pivot_tol [1].
   explicit LuFactorization(const Matrix& a, double pivot_tol = 1e-300);
 
   std::size_t size() const { return n_; }

@@ -12,6 +12,7 @@ class LinearInterpolant {
  public:
   LinearInterpolant(std::vector<double> x, std::vector<double> y);
 
+  /// xq in the x-axis unit [1]; result in the y-axis unit [1].
   double operator()(double xq) const;
 
   double x_min() const { return x_.front(); }

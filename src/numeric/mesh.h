@@ -11,6 +11,7 @@ namespace dsmt::numeric {
 /// the domain becomes an edge (deduplicated below h_min/4), and each
 /// interval is subdivided with a target size graded between h_min and
 /// h_max. Throws std::runtime_error if the axis degenerates.
+/// Coordinates lo, hi, h_min, h_max in the axis unit [m].
 std::vector<double> graded_axis(std::set<double> breakpoints, double lo,
                                 double hi, double h_min, double h_max);
 

@@ -14,6 +14,7 @@ std::vector<double> polyfit(const std::vector<double>& x,
                             const std::vector<double>& y, int degree);
 
 /// Evaluates a polynomial with coefficients lowest power first.
+/// x in the abscissa unit [1].
 double polyval(const std::vector<double>& coeffs, double x);
 
 /// Simple linear regression y = a + b x; returns {a, b, r^2}.

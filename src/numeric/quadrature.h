@@ -10,14 +10,17 @@
 namespace dsmt::numeric {
 
 /// Composite trapezoidal rule over uniformly spaced samples on [a, b].
+/// Bounds a, b in f's argument unit [1].
 double trapezoid(const std::function<double(double)>& f, double a, double b,
                  int intervals);
 
 /// Composite Simpson rule over [a, b]; `intervals` is rounded up to even.
+/// Bounds a, b in f's argument unit [1].
 double simpson(const std::function<double(double)>& f, double a, double b,
                int intervals);
 
 /// Adaptive Simpson with absolute tolerance `tol`.
+/// Bounds a, b in f's argument unit [1]; tol in f's value unit [1].
 double adaptive_simpson(const std::function<double(double)>& f, double a,
                         double b, double tol = 1e-10, int max_depth = 30);
 

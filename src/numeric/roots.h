@@ -28,23 +28,27 @@ struct RootOptions {
 
 /// Classic bisection on [lo, hi]. Requires f(lo) and f(hi) of opposite sign;
 /// returns a non-converged result otherwise.
+/// lo, hi in f's argument unit [1].
 RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
                   const RootOptions& opts = {});
 
 /// Brent's method (inverse quadratic interpolation + secant + bisection).
 /// Requires a sign change on [lo, hi]. Converges superlinearly on smooth f
 /// while retaining bisection's robustness.
+/// lo, hi in f's argument unit [1].
 RootResult brent(const std::function<double(double)>& f, double lo, double hi,
                  const RootOptions& opts = {});
 
 /// Damped Newton iteration from x0 with user-supplied derivative. Halves the
 /// step (up to 40 times) whenever |f| fails to decrease.
 RootResult newton(const std::function<double(double)>& f,
+/// x0 in f's argument unit [1].
                   const std::function<double(double)>& dfdx, double x0,
                   const RootOptions& opts = {});
 
 /// Expands [lo, hi] geometrically about its midpoint until f changes sign or
 /// `max_doublings` is hit. Returns the bracket if found.
+/// lo, hi in f's argument unit [1].
 std::optional<std::pair<double, double>> expand_bracket(
     const std::function<double(double)>& f, double lo, double hi,
     int max_doublings = 60);

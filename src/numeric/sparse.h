@@ -19,6 +19,7 @@ class SparseBuilder {
 
   std::size_t size() const { return n_; }
 
+  /// value [1]: accumulated into the (row, col) entry.
   void add(std::size_t row, std::size_t col, double value) {
     rows_.push_back(row);
     cols_.push_back(col);

@@ -10,6 +10,7 @@ namespace dsmt::numeric {
 /// Welford-style running accumulator.
 class RunningStats {
  public:
+  /// v in the sample unit [1].
   void add(double v);
   std::size_t count() const { return n_; }
   double mean() const { return mean_; }

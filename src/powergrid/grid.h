@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "tech/technology.h"
+#include "core/units.h"
 
 namespace dsmt::powergrid {
 
@@ -35,7 +36,7 @@ struct GridSpec {
   double width_v = 0.0;
   double via_resistance = 0.05;  ///< per segment, folds the via stack [Ohm]
   double vdd = 2.5;
-  double temperature = 373.15;   ///< strap temperature for rho(T) [K]
+  double temperature = kTrefK;   ///< strap temperature for rho(T) [K]
 };
 
 /// A vdd pad (ideal source) at a grid node.
@@ -80,6 +81,7 @@ GridSolution solve(const GridSpec& spec, const std::vector<Pad>& pads,
 
 /// Uniformly distributed demand helper: total current spread over every
 /// interior node.
+/// total_amps [A].
 std::vector<Demand> uniform_demand(const GridSpec& spec, double total_amps);
 
 }  // namespace dsmt::powergrid

@@ -18,7 +18,8 @@ selfconsistent::Solution limit_at(const tech::Technology& technology,
                                   const ConstrainedOptions& opts,
                                   double duty) {
   return selfconsistent::solve(selfconsistent::make_level_problem(
-      technology, level, gap_fill, opts.phi, std::max(duty, 1e-3), opts.j0));
+      technology, level, gap_fill, opts.phi, std::max(duty, 1e-3),
+      A_per_m2(opts.j0)));
 }
 
 }  // namespace

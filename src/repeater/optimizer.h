@@ -36,11 +36,13 @@ OptimalRepeater optimize_layer(const tech::Technology& technology, int level,
 
 /// Driver size for a line of length l <= l_opt at equal slew:
 /// s = s_opt * l / l_opt (floored at 1 minimum inverter).
+/// length [m]; result [1] (multiples of a minimum inverter).
 double downsized_driver(const OptimalRepeater& opt, double length);
 
 /// Elmore delay of a stage: driver r_o/s driving (c_p s + c l + c_g s) plus
 /// the distributed line term 0.5 r c l^2 + r l c_g s. Exposed so tests can
 /// verify l_opt/s_opt are the analytic minimizers.
+/// size [1]; length [m]; r_per_m [Ohm/m]; c_per_m [F/m]; result [s].
 double stage_delay_elmore(const tech::DeviceParameters& dev, double size,
                           double length, double r_per_m, double c_per_m);
 

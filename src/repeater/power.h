@@ -14,6 +14,7 @@ namespace dsmt::repeater {
 
 /// Closed-form per-stage energy estimate per clock period:
 ///   E_dyn = (c l + (c_g + c_p) s) Vdd^2   (both edges switch the full cap)
+/// size [1]; length [m]; c_per_m [F/m]; result [J].
 double stage_dynamic_energy(const tech::DeviceParameters& dev, double size,
                             double c_per_m, double length);
 

@@ -18,6 +18,7 @@ class Json {
   static Json object();
   static Json array();
   static Json string(std::string value);
+  /// value [1]: emitted verbatim, unit is the caller's concern.
   static Json number(double value);
   static Json integer(long long value);
   static Json boolean(bool value);

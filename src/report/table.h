@@ -32,6 +32,7 @@ class Table {
 };
 
 /// Formats a double with fixed precision.
+/// v [1]: formatted verbatim, unit is the caller's concern.
 std::string fmt(double v, int precision = 3);
 
 /// Formats a metal level as "M<level>" ("M4").

@@ -8,7 +8,9 @@
 
 namespace dsmt::selfconsistent {
 
-double heating_coefficient(double w_m, double t_m, double rth_per_len) {
+units::HeatingCoefficient heating_coefficient(
+    units::Metres w_m, units::Metres t_m,
+    units::ThermalResistancePerLength rth_per_len) {
   if (w_m <= 0.0 || t_m <= 0.0 || rth_per_len <= 0.0)
     throw std::invalid_argument("heating_coefficient: bad parameters");
   return w_m * t_m * rth_per_len;
@@ -16,21 +18,25 @@ double heating_coefficient(double w_m, double t_m, double rth_per_len) {
 
 namespace {
 void validate(const Problem& p) {
-  if (p.duty_cycle <= 0.0 || p.duty_cycle > 1.0)
+  if (!std::isfinite(p.duty_cycle) || p.duty_cycle <= 0.0 ||
+      p.duty_cycle > 1.0)
     throw std::invalid_argument("Problem: duty cycle outside (0,1]");
-  if (p.j0 <= 0.0) throw std::invalid_argument("Problem: j0 <= 0");
-  if (p.t_ref <= 0.0) throw std::invalid_argument("Problem: t_ref <= 0");
-  if (p.heating_coefficient <= 0.0)
-    throw std::invalid_argument("Problem: heating coefficient <= 0");
+  if (!std::isfinite(p.j0) || p.j0 <= 0.0)
+    throw std::invalid_argument("Problem: j0 <= 0 or non-finite");
+  if (!std::isfinite(p.t_ref) || p.t_ref <= 0.0)
+    throw std::invalid_argument("Problem: t_ref <= 0 or non-finite");
+  if (!std::isfinite(p.heating_coefficient) || p.heating_coefficient <= 0.0)
+    throw std::invalid_argument(
+        "Problem: heating coefficient <= 0 or non-finite");
 }
 
-/// j_rms^2 admissible thermally at metal temperature t_m.
+/// j_rms^2 admissible thermally at metal temperature t_m [K].
 double jrms2_thermal(const Problem& p, double t_m) {
   return (t_m - p.t_ref) /
-         (p.metal.resistivity(t_m) * p.heating_coefficient);
+         (p.metal.resistivity(t_m) * p.heating_coefficient.value());
 }
 
-/// j_avg_max^2 admissible by EM at metal temperature t_m.
+/// j_avg_max^2 admissible by EM at metal temperature t_m [K].
 double javg2_em(const Problem& p, double t_m) {
   const auto& em = p.metal.em;
   const double expo = 2.0 * em.activation_energy_ev /
@@ -40,13 +46,13 @@ double javg2_em(const Problem& p, double t_m) {
 }
 }  // namespace
 
-double residual(const Problem& p, double t_m) {
+double residual(const Problem& p, units::Kelvin t_m) {
   // r * j_rms^2(thermal) - j_avg^2(EM): negative below the root (thermal
   // side admits less than EM needs), positive above.
   return p.duty_cycle * jrms2_thermal(p, t_m) - javg2_em(p, t_m);
 }
 
-double jpeak_em_only(const Problem& p) {
+units::CurrentDensity jpeak_em_only(const Problem& p) {
   validate(p);
   return p.j0 / p.duty_cycle;
 }
@@ -60,22 +66,23 @@ Solution solve(const Problem& p) {
   // grows, EM side decays). The root is unique.
   const double lo = p.t_ref * (1.0 + 1e-12);
   double hi = p.t_ref + 1.0;
-  while (residual(p, hi) < 0.0 && hi < p.t_ref + 5000.0) {
+  while (residual(p, units::Kelvin{hi}) < 0.0 && hi < p.t_ref + 5000.0) {
     hi = p.t_ref + 2.0 * (hi - p.t_ref);
   }
-  if (residual(p, hi) < 0.0)
+  if (residual(p, units::Kelvin{hi}) < 0.0)
     throw std::runtime_error("selfconsistent::solve: failed to bracket root");
 
-  const auto root = numeric::brent([&](double t) { return residual(p, t); },
-                                   lo, hi, {.x_tol = 1e-9, .f_tol = 0.0,
-                                            .max_iterations = 200});
-  sol.t_metal = root.root;
+  const auto root =
+      numeric::brent([&](double t) { return residual(p, units::Kelvin{t}); },
+                     lo, hi, {.x_tol = 1e-9, .f_tol = 0.0,
+                              .max_iterations = 200});
+  sol.t_metal = units::Kelvin{root.root};
   sol.delta_t = sol.t_metal - p.t_ref;
   sol.converged = root.converged;
   sol.iterations = root.iterations;
 
   const double jrms2 = jrms2_thermal(p, sol.t_metal);
-  sol.j_rms = jrms2 > 0.0 ? std::sqrt(jrms2) : 0.0;
+  sol.j_rms = A_per_m2(jrms2 > 0.0 ? std::sqrt(jrms2) : 0.0);
   sol.j_peak = sol.j_rms / std::sqrt(p.duty_cycle);
   sol.j_avg = p.duty_cycle * sol.j_peak;
   return sol;

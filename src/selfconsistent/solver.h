@@ -15,8 +15,14 @@
 //   r (T_m - T_ref)/(rho(T_m) H) = j_o^2 exp[(2Q/(n kB))(1/T_m - 1/T_ref)]
 // (for n = 2 this is exactly the paper's form). The left side rises with
 // T_m, the right side falls, so the root is unique; we solve it with Brent.
+//
+// All temperatures, current densities, and thermal coefficients crossing
+// this API are strong-typed (core/units.h): a Kelvin/CurrentDensity swap is
+// a compile error, and the factory helpers (MA_per_cm2, kelvin, ...) are the
+// only blessed entry points for raw numbers.
 #pragma once
 
+#include "core/units.h"
 #include "materials/metal.h"
 #include "tech/layer_stack.h"
 
@@ -25,38 +31,43 @@ namespace dsmt::selfconsistent {
 /// Problem statement for one line.
 struct Problem {
   materials::Metal metal;
-  double duty_cycle = 0.1;     ///< r (or effective r for general waveforms)
-  double j0 = 6.0e9;           ///< design-rule j_avg at t_ref [A/m^2]
-  double t_ref = 373.15;       ///< reference junction temperature [K]
-  /// Heating coefficient H [K m / (W/m^3)]: dT = j_rms^2 rho(T) H.
+  double duty_cycle = 0.1;  ///< r [1] (or effective r for general waveforms)
+  units::CurrentDensity j0{6.0e9};  ///< design-rule j_avg at t_ref
+  units::Kelvin t_ref = kTrefK;     ///< reference junction temperature
+  /// Heating coefficient H [K*m^3/W]: dT = j_rms^2 rho(T) H.
   /// Build with heating_coefficient() below or from an array FD solve.
-  double heating_coefficient = 0.0;
+  units::HeatingCoefficient heating_coefficient{};
 };
 
-/// H for an isolated line: t_m W_m R'_th (see impedance.h for R'_th).
-double heating_coefficient(double w_m, double t_m, double rth_per_len);
+/// H for an isolated line: t_m W_m R'_th (see impedance.h for R'_th). The
+/// result dimension is checked at compile time against Eq. 15.
+units::HeatingCoefficient heating_coefficient(
+    units::Metres w_m, units::Metres t_m,
+    units::ThermalResistancePerLength rth_per_len);
 
 /// The self-consistent operating point.
 struct Solution {
-  double t_metal = 0.0;    ///< self-consistent metal temperature [K]
-  double delta_t = 0.0;    ///< T_m - T_ref [K]
-  double j_peak = 0.0;     ///< maximum allowed peak current density [A/m^2]
-  double j_rms = 0.0;      ///< corresponding RMS density [A/m^2]
-  double j_avg = 0.0;      ///< corresponding average density [A/m^2]
+  units::Kelvin t_metal{};        ///< self-consistent metal temperature
+  units::CelsiusDelta delta_t{};  ///< T_m - T_ref
+  units::CurrentDensity j_peak{};  ///< maximum allowed peak current density
+  units::CurrentDensity j_rms{};   ///< corresponding RMS density
+  units::CurrentDensity j_avg{};   ///< corresponding average density
   bool converged = false;
   int iterations = 0;
 };
 
-/// Solves Eq. 13. Throws std::invalid_argument on malformed problems.
+/// Solves Eq. 13. Throws std::invalid_argument on malformed problems
+/// (duty cycle outside (0,1], non-positive or non-finite j0 / t_ref /
+/// heating coefficient).
 Solution solve(const Problem& problem);
 
 /// The EM-only limit (no self-heating): j_peak = j_o / r (the dotted line
 /// "a" in Fig. 2). Diverges as r -> 0.
-double jpeak_em_only(const Problem& problem);
+units::CurrentDensity jpeak_em_only(const Problem& problem);
 
 /// Residual of the self-consistent equation at temperature t_m — positive
 /// when the thermally-limited j_avg exceeds the EM-limited one. Exposed for
 /// testing and for diagnostics plots.
-double residual(const Problem& problem, double t_m);
+double residual(const Problem& problem, units::Kelvin t_m);
 
 }  // namespace dsmt::selfconsistent

@@ -34,7 +34,7 @@ std::vector<DutyCyclePoint> sweep_duty_cycle(
     pt.duty_cycle = r;
     pt.sc = solve(p);
     pt.jpeak_em_only = jpeak_em_only(p);
-    pt.jpeak_thermal_only = jrms_dc / std::sqrt(r);
+    pt.jpeak_thermal_only = A_per_m2(jrms_dc / std::sqrt(r));
     out.push_back(pt);
   }
   return out;
@@ -47,7 +47,7 @@ std::vector<std::vector<DutyCyclePoint>> sweep_j0(
   out.reserve(j0_values.size());
   for (double j0 : j0_values) {
     Problem p = base;
-    p.j0 = j0;
+    p.j0 = A_per_m2(j0);
     out.push_back(sweep_duty_cycle(p, duty_cycles));
   }
   return out;
@@ -55,19 +55,19 @@ std::vector<std::vector<DutyCyclePoint>> sweep_j0(
 
 Problem make_level_problem(const tech::Technology& technology, int level,
                            const materials::Dielectric& gap_fill, double phi,
-                           double duty_cycle, double j0) {
+                           double duty_cycle, units::CurrentDensity j0) {
   const auto& layer = technology.layer(level);
   const auto stack = technology.stack_below(level, gap_fill);
-  const double b = stack.total_thickness();
-  const double w_eff = thermal::effective_width(layer.width, b, phi);
-  const double rth = thermal::rth_per_length(stack, w_eff);
+  const auto b = metres(stack.total_thickness());
+  const auto w_eff = thermal::effective_width(metres(layer.width), b, phi);
+  const auto rth = thermal::rth_per_length(stack, w_eff);
 
   Problem p;
   p.metal = technology.metal;
   p.duty_cycle = duty_cycle;
   p.j0 = j0;
-  p.heating_coefficient =
-      heating_coefficient(layer.width, layer.thickness, rth);
+  p.heating_coefficient = heating_coefficient(
+      metres(layer.width), metres(layer.thickness), rth);
   return p;
 }
 

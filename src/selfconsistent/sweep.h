@@ -13,21 +13,24 @@ namespace dsmt::selfconsistent {
 
 /// One point of a duty-cycle sweep.
 struct DutyCyclePoint {
-  double duty_cycle = 0.0;
+  double duty_cycle = 0.0;  ///< r [1]
   Solution sc;              ///< self-consistent solution
-  double jpeak_em_only = 0.0;  ///< dotted line (a) of Fig. 2: j_o / r
-  double jpeak_thermal_only = 0.0;  ///< dotted line (b): j_rms(r=1 sc)/sqrt(r)
+  /// Dotted line (a) of Fig. 2: j_o / r.
+  units::CurrentDensity jpeak_em_only{};
+  /// Dotted line (b): j_rms(r=1 sc)/sqrt(r).
+  units::CurrentDensity jpeak_thermal_only{};
 };
 
 /// Sweeps duty cycle over `duty_cycles` for a fixed problem (Fig. 2).
 std::vector<DutyCyclePoint> sweep_duty_cycle(
     const Problem& base, const std::vector<double>& duty_cycles);
 
-/// Logarithmically spaced duty cycles in [lo, hi].
+/// Logarithmically spaced duty cycles [1] in [lo, hi].
 std::vector<double> log_spaced(double lo, double hi, int points);
 
-/// Sweeps the design-rule current density j_o at each duty cycle (Fig. 3):
-/// result[i][k] is the solution at duty_cycles[k] for j0_values[i].
+/// Sweeps the design-rule current density j_o [A/m^2] at each duty cycle
+/// [1] (Fig. 3): result[i][k] is the solution at duty_cycles[k] for
+/// j0_values[i].
 std::vector<std::vector<DutyCyclePoint>> sweep_j0(
     const Problem& base, const std::vector<double>& j0_values,
     const std::vector<double>& duty_cycles);
@@ -37,16 +40,16 @@ struct TableSpec {
   tech::Technology technology;
   std::vector<materials::Dielectric> gap_fills;  ///< columns
   std::vector<int> levels;                       ///< rows (metal levels)
-  std::vector<double> duty_cycles;               ///< sections (0.1, 1.0)
-  double j0 = 6.0e9;                             ///< [A/m^2]
-  double phi = 2.45;                             ///< heat-spreading parameter
+  std::vector<double> duty_cycles;               ///< sections (0.1, 1.0) [1]
+  units::CurrentDensity j0{6.0e9};               ///< design-rule j_avg
+  double phi = 2.45;                             ///< heat-spreading param [1]
 };
 
 /// One solved table cell.
 struct TableCell {
   int level = 0;
   std::string dielectric;
-  double duty_cycle = 0.0;
+  double duty_cycle = 0.0;  ///< r [1]
   Solution sol;
 };
 
@@ -54,9 +57,10 @@ struct TableCell {
 /// using the layered-stack heating coefficient (Eq. 15 + quasi-2D W_eff).
 std::vector<TableCell> generate_design_rule_table(const TableSpec& spec);
 
-/// Convenience: builds the Problem for one technology level/gap-fill.
+/// Convenience: builds the Problem for one technology level/gap-fill with
+/// heat-spreading parameter phi [1] and duty cycle r [1].
 Problem make_level_problem(const tech::Technology& technology, int level,
                            const materials::Dielectric& gap_fill, double phi,
-                           double duty_cycle, double j0);
+                           double duty_cycle, units::CurrentDensity j0);
 
 }  // namespace dsmt::selfconsistent

@@ -36,7 +36,7 @@ WaveformVerdict evaluate_waveform(const Problem& base,
   Problem p = base;
   p.duty_cycle = std::clamp(v.shape.duty_effective, 1e-6, 1.0);
   v.limit = solve(p);
-  v.jpeak_actual = v.shape.peak;
+  v.jpeak_actual = A_per_m2(v.shape.peak);
   v.amplitude_margin =
       v.jpeak_actual > 0.0 ? v.limit.j_peak / v.jpeak_actual : 0.0;
   v.pass = v.amplitude_margin >= 1.0;

@@ -19,10 +19,10 @@ namespace dsmt::selfconsistent {
 
 /// Shape metrics of a sampled waveform (amplitude-invariant).
 struct WaveformShape {
-  double duty_effective = 0.0;  ///< (rms/peak)^2
-  double rms_over_peak = 0.0;
-  double avg_abs_over_peak = 0.0;
-  double peak = 0.0;            ///< of the input samples [same unit as input]
+  double duty_effective = 0.0;  ///< (rms/peak)^2 [1]
+  double rms_over_peak = 0.0;       ///< [1]
+  double avg_abs_over_peak = 0.0;   ///< [1]
+  double peak = 0.0;  ///< of the input samples [same unit as input]
 };
 
 /// Measures the shape of samples j(t) (or I(t) — units cancel).
@@ -32,9 +32,10 @@ WaveformShape measure_shape(const std::vector<double>& t,
 /// Self-consistent verdict for a concrete waveform on a concrete line.
 struct WaveformVerdict {
   WaveformShape shape;
-  Solution limit;             ///< solved at r_eff
-  double jpeak_actual = 0.0;  ///< the waveform's own peak density [A/m^2]
-  double amplitude_margin = 0.0;  ///< limit.j_peak / jpeak_actual
+  Solution limit;  ///< solved at r_eff
+  /// The waveform's own peak density.
+  units::CurrentDensity jpeak_actual{};
+  double amplitude_margin = 0.0;  ///< limit.j_peak / jpeak_actual [1]
   bool pass = false;              ///< amplitude_margin >= 1
 };
 

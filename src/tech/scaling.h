@@ -19,6 +19,7 @@
 namespace dsmt::tech {
 
 /// Returns `base` scaled by `factor` (0 < factor; < 1 shrinks), renamed.
+/// factor [1].
 Technology scale_technology(const Technology& base, double factor,
                             const std::string& name);
 

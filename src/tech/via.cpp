@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include "core/units.h"
 
 namespace dsmt::tech {
 
@@ -56,7 +57,7 @@ ViaStack via_stack_to_substrate(const Technology& technology, int level,
     via.size = std::min(layer.width, lower_w);
     via.height = layer.ild_below;
     via.count = cuts_per_level;
-    stack.resistance += via_resistance(via, 373.15);
+    stack.resistance += via_resistance(via, kTrefK);
     stack.thermal_resistance += via_thermal_resistance(via);
     ++stack.levels_crossed;
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "materials/metal.h"
+#include "core/units.h"
 
 namespace dsmt::thermal {
 
@@ -22,8 +23,8 @@ struct Line1DSpec {
   double t_m = 0.0;           ///< thickness [m]
   double length = 0.0;        ///< [m]
   double rth_per_len = 0.0;   ///< vertical K*m/W (impedance.h)
-  double t_ref = 373.15;      ///< ambient / substrate [K]
-  double t_end = 373.15;      ///< end-clamp temperature [K]
+  double t_ref = kTrefK;      ///< ambient / substrate [K]
+  double t_end = kTrefK;      ///< end-clamp temperature [K]
   int nodes = 201;            ///< FD nodes including ends
 };
 

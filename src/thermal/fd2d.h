@@ -51,6 +51,7 @@ class CrossSection2D {
   void add_band(double y0, double y1, double k_thermal);
   /// Registers a wire (also paints it with the metal conductivity).
   /// Returns the wire index used by solve()/coupling_matrix().
+  /// k_metal [W/(m*K)].
   std::size_t add_wire(const RectRegion& r, double k_metal);
 
   std::size_t wire_count() const { return wires_.size(); }

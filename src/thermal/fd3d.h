@@ -40,6 +40,7 @@ class Volume3D {
   /// Full-extent horizontal slab [z0, z1].
   void add_slab(double z0, double z1, double k_thermal);
   /// Registers a heated wire box; returns its index.
+  /// k_metal [W/(m*K)].
   std::size_t add_wire(const Box& b, double k_metal);
 
   std::size_t wire_count() const { return wires_.size(); }

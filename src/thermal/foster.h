@@ -23,6 +23,7 @@ struct FosterNetwork {
   std::vector<FosterStage> stages;
 
   /// Z(t) of the network.
+  /// t [s]; result [K*m/W].
   double evaluate(double t) const;
   /// DC limit sum R_i.
   double r_total() const;

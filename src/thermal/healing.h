@@ -44,9 +44,11 @@ LineProfile finite_line_profile(const materials::Metal& metal, double w_m,
 /// Peak-rise fraction relative to the infinite line:
 ///   (T_peak - T_ref)/(T_inf - T_ref) = 1 - cosh(0)/cosh(L/2lambda) ... for
 /// t_end = t_ref this is 1 - 1/cosh(L/2lambda).
+/// length, lambda [m]; result [1].
 double peak_rise_fraction(double length, double lambda);
 
 /// Average-rise fraction 1 - tanh(L/2lambda)/(L/2lambda) for t_end = t_ref.
+/// length, lambda [m]; result [1].
 double average_rise_fraction(double length, double lambda);
 
 }  // namespace dsmt::thermal

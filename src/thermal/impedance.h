@@ -9,59 +9,70 @@
 // The per-unit-length thermal resistance of a layered stack is
 //   R'_th = sum_i(t_i / K_i) / W_eff                     (generalizes Eq. 15)
 // and the temperature rise is dT = P' * R'_th.
+//
+// Geometry, temperatures, and current densities are strong-typed
+// (core/units.h); dimensionless shape factors stay raw doubles.
 #pragma once
 
+#include "core/units.h"
 #include "materials/metal.h"
 #include "tech/layer_stack.h"
 
 namespace dsmt::thermal {
 
-/// Bilotti quasi-1D heat-spreading parameter (paper Eq. 10).
+/// Bilotti quasi-1D heat-spreading parameter (paper Eq. 10) [1].
 inline constexpr double kPhiQuasi1D = 0.88;
-/// Quasi-2D heat-spreading parameter extracted by the paper (Eq. 14).
+/// Quasi-2D heat-spreading parameter extracted by the paper (Eq. 14) [1].
 inline constexpr double kPhiQuasi2D = 2.45;
 
-/// W_eff = W_m + phi * b. Throws std::invalid_argument on non-positive W_m.
-double effective_width(double w_m, double b, double phi);
+/// W_eff = W_m + phi * b with shape factor phi [1]. Throws
+/// std::invalid_argument on non-positive W_m.
+units::Metres effective_width(units::Metres w_m, units::Metres b, double phi);
 
-/// Per-unit-length thermal resistance [K*m/W] of a layered stack under a
-/// line with effective width `w_eff` (paper Eq. 15 generalized).
-double rth_per_length(const tech::DielectricStack& stack, double w_eff);
+/// Per-unit-length thermal resistance of a layered stack under a line with
+/// effective width `w_eff` (paper Eq. 15 generalized).
+units::ThermalResistancePerLength rth_per_length(
+    const tech::DielectricStack& stack, units::Metres w_eff);
 
 /// Convenience: R'_th for a homogeneous dielectric of thickness b and
 /// conductivity k under effective width w_eff — Eq. 10's b/(K_ox * W_eff).
-double rth_per_length_uniform(double b, double k_thermal, double w_eff);
+units::ThermalResistancePerLength rth_per_length_uniform(
+    units::Metres b, units::ThermalConductivity k_thermal,
+    units::Metres w_eff);
 
 /// Whole-line thermal impedance theta [K/W] for a line of length L (Eq. 8).
-double theta_line(const tech::DielectricStack& stack, double w_eff,
-                  double length);
+double theta_line(const tech::DielectricStack& stack, units::Metres w_eff,
+                  units::Metres length);
 
 /// Temperature rise for a given j_rms with resistivity evaluated at the
 /// supplied metal temperature (one evaluation of Eq. 9/11; no
 /// self-consistency).
-double delta_t_at(double j_rms, const materials::Metal& metal,
-                  double t_metal_k, double w_m, double t_m,
-                  double rth_per_len);
+units::CelsiusDelta delta_t_at(units::CurrentDensity j_rms,
+                               const materials::Metal& metal,
+                               units::Kelvin t_metal, units::Metres w_m,
+                               units::Metres t_m,
+                               units::ThermalResistancePerLength rth_per_len);
 
 /// Result of the electro-thermal fixed point T = T_ref + dT(T).
 struct SelfHeatingSolution {
-  double t_metal = 0.0;   ///< [K]
-  double delta_t = 0.0;   ///< [K]
-  bool runaway = false;   ///< true if positive feedback diverges
+  units::Kelvin t_metal{};
+  units::CelsiusDelta delta_t{};
+  bool runaway = false;  ///< true if positive feedback diverges
 };
 
 /// Solves T_m = T_ref + j_rms^2 * rho(T_m) * t_m * W_m * R'_th exactly
 /// (rho is linear in T, so the fixed point is closed-form). Flags thermal
 /// runaway when the loop gain reaches unity.
-SelfHeatingSolution solve_self_heating(double j_rms,
-                                       const materials::Metal& metal,
-                                       double w_m, double t_m,
-                                       double rth_per_len, double t_ref_k);
+SelfHeatingSolution solve_self_heating(
+    units::CurrentDensity j_rms, const materials::Metal& metal,
+    units::Metres w_m, units::Metres t_m,
+    units::ThermalResistancePerLength rth_per_len, units::Kelvin t_ref);
 
 /// Inverse of Eq. 9: the j_rms that produces metal temperature `t_metal`
 /// (resistivity evaluated at t_metal).
-double jrms_for_temperature(const materials::Metal& metal, double t_metal_k,
-                            double t_ref_k, double w_m, double t_m,
-                            double rth_per_len);
+units::CurrentDensity jrms_for_temperature(
+    const materials::Metal& metal, units::Kelvin t_metal, units::Kelvin t_ref,
+    units::Metres w_m, units::Metres t_m,
+    units::ThermalResistancePerLength rth_per_len);
 
 }  // namespace dsmt::thermal

@@ -42,6 +42,7 @@ double solve_theta_line(const SingleLineSpec& spec, double length,
 
 /// Extracts the heat-spreading parameter phi from a solved/measured R'_th
 /// assuming the homogeneous model R'_th = b/(K_ox (W + phi b)) (Eq. 10/14).
+/// rth_per_len [K*m/W]; w_m, b [m]; k_ox [W/(m*K)]; result [1].
 double extract_phi(double rth_per_len, double w_m, double b, double k_ox);
 
 /// Multi-level dense-array cross-section (Fig. 8 geometry).

@@ -39,8 +39,10 @@ std::vector<ThermometryPoint> simulate_sweep(const ThermometrySetup& setup,
     ThermometryPoint pt;
     pt.current = i_max * (k + 1) / points;
     const double j = pt.current / area;
-    const auto sol = solve_self_heating(j, setup.metal, setup.w_m, setup.t_m,
-                                        setup.rth_per_len, setup.t_chuck);
+    const auto sol = solve_self_heating(
+        A_per_m2(j), setup.metal, metres(setup.w_m), metres(setup.t_m),
+        units::ThermalResistancePerLength{setup.rth_per_len},
+        units::Kelvin{setup.t_chuck});
     pt.temperature = sol.t_metal;
     const double rho = setup.metal.resistivity(pt.temperature);
     pt.resistance = rho * setup.length / area;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "materials/metal.h"
+#include "core/units.h"
 
 namespace dsmt::thermal {
 
@@ -22,7 +23,7 @@ struct ThermometrySetup {
   double t_m = 0.0;         ///< thickness [m]
   double length = 0.0;      ///< [m]
   double rth_per_len = 0.0; ///< true vertical thermal resistance [K*m/W]
-  double t_chuck = 373.15;  ///< stage/chuck temperature [K]
+  double t_chuck = kTrefK;  ///< stage/chuck temperature [K]
 };
 
 /// One sweep point.

@@ -15,6 +15,7 @@
 
 #include "materials/metal.h"
 #include "numeric/ode.h"
+#include "core/units.h"
 
 namespace dsmt::thermal {
 
@@ -24,7 +25,7 @@ struct PulseLineSpec {
   double w_m = 0.0;
   double t_m = 0.0;
   double rth_per_len = 0.0;  ///< vertical loss path [K*m/W]; <=0 -> adiabatic
-  double t_ref = 373.15;     ///< initial/ambient temperature [K]
+  double t_ref = kTrefK;     ///< initial/ambient temperature [K]
 };
 
 /// Closed-form adiabatic time for the line to reach `t_target` under a
@@ -34,10 +35,12 @@ double adiabatic_time_to_temperature(const PulseLineSpec& spec, double j,
 
 /// Closed-form adiabatic time to reach the metal's melting point (onset of
 /// melting; latent heat not yet absorbed).
+/// j [A/m^2]; result [s].
 double adiabatic_time_to_melt_onset(const PulseLineSpec& spec, double j);
 
 /// Additional time at constant j to supply the latent heat of fusion once
 /// the melting point is reached (temperature clamped at T_melt).
+/// j [A/m^2]; result [s].
 double adiabatic_fusion_time(const PulseLineSpec& spec, double j);
 
 /// The constant current density that reaches melt onset in exactly
@@ -60,6 +63,7 @@ PulseResult simulate_pulse(const PulseLineSpec& spec,
 /// The constant current density that reaches melt onset in exactly
 /// `pulse_width` including vertical heat loss (numeric bisection over
 /// simulate_pulse; reduces to the adiabatic value as rth -> infinity).
+/// pulse_width [s]; result [A/m^2].
 double critical_current_density(const PulseLineSpec& spec, double pulse_width);
 
 }  // namespace dsmt::thermal

@@ -17,8 +17,8 @@ void check(const ZthSpec& spec) {
 }
 }  // namespace
 
-ZthCurve zth_step_response(const ZthSpec& spec, double t_min, double t_max,
-                           int samples) {
+ZthCurve zth_step_response(const ZthSpec& spec, units::Seconds t_min,
+                           units::Seconds t_max, int samples) {
   check(spec);
   if (t_min <= 0.0 || t_max <= t_min || samples < 2)
     throw std::invalid_argument("zth_step_response: bad time range");
@@ -55,8 +55,8 @@ ZthCurve zth_step_response(const ZthSpec& spec, double t_min, double t_max,
   const double rth_dc = rth_per_length(spec.stack, spec.w_eff);
 
   ZthCurve curve;
-  curve.rth_dc = rth_dc;
-  curve.tau_wire = cap_wire * rth_dc;
+  curve.rth_dc = units::ThermalResistancePerLength{rth_dc};
+  curve.tau_wire = units::Seconds{cap_wire * rth_dc};
   curve.time.resize(samples);
   const double lstep = std::log(t_max / t_min) / (samples - 1);
   for (int s = 0; s < samples; ++s)
@@ -89,27 +89,34 @@ ZthCurve zth_step_response(const ZthSpec& spec, double t_min, double t_max,
   return curve;
 }
 
-double zth_at(const ZthCurve& curve, double t_pulse) {
+units::ThermalResistancePerLength zth_at(const ZthCurve& curve,
+                                         units::Seconds t_pulse) {
   if (curve.time.empty()) throw std::invalid_argument("zth_at: empty curve");
-  if (t_pulse <= curve.time.front()) return curve.zth.front();
-  if (t_pulse >= curve.time.back()) return curve.zth.back();
+  if (t_pulse <= curve.time.front())
+    return units::ThermalResistancePerLength{curve.zth.front()};
+  if (t_pulse >= curve.time.back())
+    return units::ThermalResistancePerLength{curve.zth.back()};
   const auto it =
       std::upper_bound(curve.time.begin(), curve.time.end(), t_pulse);
   const std::size_t i = static_cast<std::size_t>(it - curve.time.begin());
   // Log-time interpolation matches the sampling.
   const double f = std::log(t_pulse / curve.time[i - 1]) /
                    std::log(curve.time[i] / curve.time[i - 1]);
-  return curve.zth[i - 1] + f * (curve.zth[i] - curve.zth[i - 1]);
+  return units::ThermalResistancePerLength{
+      curve.zth[i - 1] + f * (curve.zth[i] - curve.zth[i - 1])};
 }
 
-double pulsed_current_rating(const ZthSpec& spec, const ZthCurve& curve,
-                             double t_pulse, double dt_max, double t_ref_k) {
+units::CurrentDensity pulsed_current_rating(const ZthSpec& spec,
+                                            const ZthCurve& curve,
+                                            units::Seconds t_pulse,
+                                            units::CelsiusDelta dt_max,
+                                            units::Kelvin t_ref) {
   check(spec);
   if (dt_max <= 0.0)
     throw std::invalid_argument("pulsed_current_rating: dt_max <= 0");
   const double z = zth_at(curve, t_pulse);
-  const double rho = spec.metal.resistivity(t_ref_k + 0.5 * dt_max);
-  return std::sqrt(dt_max / (rho * spec.t_m * spec.w_m * z));
+  const double rho = spec.metal.resistivity(t_ref + 0.5 * dt_max);
+  return A_per_m2(std::sqrt(dt_max / (rho * spec.t_m * spec.w_m * z)));
 }
 
 }  // namespace dsmt::thermal

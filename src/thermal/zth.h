@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "core/units.h"
 #include "materials/metal.h"
 #include "tech/layer_stack.h"
 
@@ -24,11 +25,11 @@ namespace dsmt::thermal {
 /// Vertical transient model of one line over its stack.
 struct ZthSpec {
   materials::Metal metal;
-  double w_m = 0.0;             ///< line width [m]
-  double t_m = 0.0;             ///< line thickness [m]
+  units::Metres w_m{};          ///< line width
+  units::Metres t_m{};          ///< line thickness
   tech::DielectricStack stack;  ///< below the line (impedance.h semantics)
-  double w_eff = 0.0;           ///< spreading width for the vertical path
-  /// Volumetric heat capacity of the dielectric [J/(m^3 K)] (single value;
+  units::Metres w_eff{};        ///< spreading width for the vertical path
+  /// Volumetric heat capacity of the dielectric [J/(m^3*K)] (single value;
   /// the conductivities vary per slab, capacities differ little).
   double c_dielectric = 1.6e6;
   int nodes_per_slab = 24;
@@ -38,24 +39,28 @@ struct ZthSpec {
 /// the sampled times, for unit power per length injected in the wire at
 /// t = 0. Monotonically rises to the DC R'_th.
 struct ZthCurve {
-  std::vector<double> time;  ///< [s]
-  std::vector<double> zth;   ///< [K*m/W]
-  double rth_dc = 0.0;       ///< the steady-state limit
-  double tau_wire = 0.0;     ///< wire heat capacity x DC resistance [s]
+  std::vector<double> time;  ///< sample times [s]
+  std::vector<double> zth;   ///< impedance samples [K*m/W]
+  units::ThermalResistancePerLength rth_dc{};  ///< the steady-state limit
+  units::Seconds tau_wire{};  ///< wire heat capacity x DC resistance
 };
 
 /// Computes Z'_th(t) from `t_min` to `t_max` (log-spaced samples) with an
 /// implicit vertical finite-difference solve.
-ZthCurve zth_step_response(const ZthSpec& spec, double t_min, double t_max,
-                           int samples = 40);
+ZthCurve zth_step_response(const ZthSpec& spec, units::Seconds t_min,
+                           units::Seconds t_max, int samples = 40);
 
 /// Interpolates a curve at pulse width t_p (clamped to the sampled range).
-double zth_at(const ZthCurve& curve, double t_pulse);
+units::ThermalResistancePerLength zth_at(const ZthCurve& curve,
+                                         units::Seconds t_pulse);
 
 /// Single-pulse current-density rating: the constant j that produces
 /// `dt_max` kelvin of rise at the end of an isolated pulse of width t_p
 /// (resistivity evaluated at t_ref + dt_max/2 for mild conservatism).
-double pulsed_current_rating(const ZthSpec& spec, const ZthCurve& curve,
-                             double t_pulse, double dt_max, double t_ref_k);
+units::CurrentDensity pulsed_current_rating(const ZthSpec& spec,
+                                            const ZthCurve& curve,
+                                            units::Seconds t_pulse,
+                                            units::CelsiusDelta dt_max,
+                                            units::Kelvin t_ref);
 
 }  // namespace dsmt::thermal

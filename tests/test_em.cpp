@@ -21,15 +21,15 @@ TEST(Black, TtfScalesAsJToMinusN) {
 
 TEST(Black, HotterMetalFailsSooner) {
   const auto em = alcu_em();
-  const double j = MA_per_cm2(1.0);
+  const auto j = MA_per_cm2(1.0);
   EXPECT_GT(time_to_failure(1.0, em, j, kTrefK),
-            time_to_failure(1.0, em, j, kTrefK + 30.0));
+            time_to_failure(1.0, em, j, kTrefK + kelvin_delta(30.0)));
 }
 
 TEST(Black, LifetimeRatioConsistentWithTtf) {
   const auto em = alcu_em();
-  const double j0 = MA_per_cm2(0.6), j1 = MA_per_cm2(1.1);
-  const double t0 = kTrefK, t1 = kTrefK + 17.0;
+  const auto j0 = MA_per_cm2(0.6), j1 = MA_per_cm2(1.1);
+  const auto t0 = kTrefK, t1 = kTrefK + kelvin_delta(17.0);
   const double expected = time_to_failure(1.0, em, j1, t1) /
                           time_to_failure(1.0, em, j0, t0);
   EXPECT_NEAR(lifetime_ratio(em, j1, t1, j0, t0), expected, 1e-12);
@@ -37,16 +37,16 @@ TEST(Black, LifetimeRatioConsistentWithTtf) {
 
 TEST(Black, JavgMaxEqualsJ0AtReference) {
   const auto em = alcu_em();
-  const double j0 = MA_per_cm2(0.6);
+  const auto j0 = MA_per_cm2(0.6);
   EXPECT_NEAR(javg_max_at_temperature(em, j0, kTrefK, kTrefK), j0, 1e-9);
 }
 
 TEST(Black, JavgMaxFallsWithTemperature) {
   const auto em = alcu_em();
-  const double j0 = MA_per_cm2(0.6);
+  const auto j0 = MA_per_cm2(0.6);
   double prev = j0;
   for (double dt : {10.0, 30.0, 60.0, 120.0}) {
-    const double j = javg_max_at_temperature(em, j0, kTrefK, kTrefK + dt);
+    const double j = javg_max_at_temperature(em, j0, kTrefK, kTrefK + kelvin_delta(dt));
     EXPECT_LT(j, prev);
     prev = j;
   }
@@ -56,9 +56,9 @@ TEST(Black, JavgMaxPreservesLifetime) {
   // The reduced j at the hot temperature must give exactly the reference
   // lifetime — the defining property of Eq. 12.
   const auto em = alcu_em();
-  const double j0 = MA_per_cm2(0.6);
-  const double t_hot = kTrefK + 42.0;
-  const double j_hot = javg_max_at_temperature(em, j0, kTrefK, t_hot);
+  const auto j0 = MA_per_cm2(0.6);
+  const auto t_hot = kTrefK + kelvin_delta(42.0);
+  const auto j_hot = javg_max_at_temperature(em, j0, kTrefK, t_hot);
   EXPECT_NEAR(lifetime_ratio(em, j_hot, t_hot, j0, kTrefK), 1.0, 1e-10);
 }
 
@@ -67,9 +67,9 @@ class EmInverse : public ::testing::TestWithParam<double> {};
 
 TEST_P(EmInverse, RoundTrip) {
   const auto em = alcu_em();
-  const double j0 = MA_per_cm2(0.6);
-  const double t_hot = kTrefK + GetParam();
-  const double j = javg_max_at_temperature(em, j0, kTrefK, t_hot);
+  const auto j0 = MA_per_cm2(0.6);
+  const auto t_hot = kTrefK + kelvin_delta(GetParam());
+  const auto j = javg_max_at_temperature(em, j0, kTrefK, t_hot);
   EXPECT_NEAR(temperature_for_javg(em, j, j0, kTrefK), t_hot, 1e-6 * t_hot);
 }
 
@@ -80,7 +80,7 @@ TEST(Black, DesignRuleJ0FromAcceleratedTest) {
   const auto em = alcu_em();
   // Accelerated test: 2 MA/cm^2 at 200 degC failed in 1000 h; goal 10 yr at
   // 100 degC. j0 must be positive and below the test current.
-  const double j0 = design_rule_j0(em, MA_per_cm2(2.0),
+  const auto j0 = design_rule_j0(em, MA_per_cm2(2.0),
                                    celsius_to_kelvin(200.0), 1000.0 * 3600.0,
                                    10.0 * 365.25 * 86400.0, kTrefK);
   EXPECT_GT(j0, 0.0);

@@ -61,8 +61,8 @@ TEST(Budget, Validation) {
   EXPECT_THROW(per_line_quantile(0.0, 10), std::invalid_argument);
   EXPECT_THROW(per_line_quantile(1.0, 10), std::invalid_argument);
   EXPECT_THROW(per_line_quantile(0.5, 0), std::invalid_argument);
-  EXPECT_THROW(derate_j0(em(), -1.0, 2.0), std::invalid_argument);
-  EXPECT_THROW(derate_j0(em(), 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(derate_j0(em(), A_per_m2(-1.0), 2.0), std::invalid_argument);
+  EXPECT_THROW(derate_j0(em(), A_per_m2(1.0), 0.0), std::invalid_argument);
 }
 
 }  // namespace

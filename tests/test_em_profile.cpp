@@ -17,8 +17,8 @@ struct LineSetup {
   double rth = 0.0;
   LineSetup() {
     const double weff =
-        thermal::effective_width(w, um(3.0), thermal::kPhiQuasi1D);
-    rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+        thermal::effective_width(metres(w), um(3.0), thermal::kPhiQuasi1D);
+    rth = thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), metres(weff));
   }
 };
 

@@ -13,7 +13,7 @@ namespace {
 
 ZthCurve synthetic_single_pole(double r, double tau) {
   ZthCurve c;
-  c.rth_dc = r;
+  c.rth_dc = units::ThermalResistancePerLength{r};
   for (int k = 0; k < 30; ++k) {
     const double t = tau * std::pow(10.0, -2.0 + 4.0 * k / 29.0);
     c.time.push_back(t);
@@ -27,12 +27,12 @@ ZthCurve fd_curve() {
   const auto& layer = tech.layer(6);
   ZthSpec spec;
   spec.metal = tech.metal;
-  spec.w_m = layer.width;
-  spec.t_m = layer.thickness;
+  spec.w_m = metres(layer.width);
+  spec.t_m = metres(layer.thickness);
   spec.stack = tech.stack_below(6, materials::make_oxide());
   spec.w_eff =
-      effective_width(layer.width, spec.stack.total_thickness(), 2.45);
-  return zth_step_response(spec, 1e-9, 1e-2, 40);
+      effective_width(metres(layer.width), metres(spec.stack.total_thickness()), 2.45);
+  return zth_step_response(spec, seconds(1e-9), seconds(1e-2), 40);
 }
 
 TEST(Foster, RecoversSinglePoleNearlyExactly) {

@@ -24,9 +24,9 @@ selfconsistent::Problem fig2_problem() {
   p.metal = materials::make_copper();
   p.metal.em.activation_energy_ev = 0.7;
   p.j0 = MA_per_cm2(0.6);
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
-  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  const auto rth = thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
   p.heating_coefficient =
       selfconsistent::heating_coefficient(um(3.0), um(0.5), rth);
   return p;
@@ -96,7 +96,7 @@ TEST(PaperClaims, DesignRuleTableOrderings) {
   auto cell = [&](double r, const std::string& d, int lvl) {
     for (const auto& c : cells)
       if (c.duty_cycle == r && c.dielectric == d && c.level == lvl)
-        return c.sol.j_peak;
+        return c.sol.j_peak.value();
     return -1.0;
   };
   EXPECT_GT(cell(0.1, "Oxide", 5), cell(0.1, "Oxide", 8));       // level
@@ -144,9 +144,9 @@ TEST(PaperClaims, DenseArrayCutsJpeakByFortyPercent) {
   p.metal = spec.technology.metal;
   p.duty_cycle = 0.1;
   p.j0 = MA_per_cm2(1.8);
-  p.heating_coefficient = h.h_all_hot;
+  p.heating_coefficient = units::HeatingCoefficient{h.h_all_hot};
   const auto all_hot = selfconsistent::solve(p);
-  p.heating_coefficient = h.h_isolated;
+  p.heating_coefficient = units::HeatingCoefficient{h.h_isolated};
   const auto isolated = selfconsistent::solve(p);
 
   const double reduction = 1.0 - all_hot.j_peak / isolated.j_peak;

@@ -70,7 +70,7 @@ TEST_P(SolverInvariants, SolutionIsPhysicalAndSelfConsistent) {
   // Thermal side reproduces delta_t exactly.
   const double dt = s.j_rms * s.j_rms * p.metal.resistivity(s.t_metal) *
                     p.heating_coefficient;
-  EXPECT_NEAR(dt, s.delta_t, 1e-6 * std::max(1e-9, s.delta_t));
+  EXPECT_NEAR(dt, s.delta_t, 1e-6 * std::max(1e-9, s.delta_t.value()));
 
   // Never exceeds the EM-only bound.
   EXPECT_LE(s.j_peak, jpeak_em_only(p) * (1.0 + 1e-9));

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "circuit/deck.h"
 #include "numeric/constants.h"
@@ -58,14 +60,57 @@ TEST(Robustness, TechfileParserThrowsOnGarbageNeverCrashes) {
   SUCCEED();
 }
 
+TEST(Robustness, SolverRejectsIllegalProblems) {
+  const auto make_valid = [] {
+    selfconsistent::Problem p;
+    p.metal = materials::make_copper();
+    p.j0 = MA_per_cm2(0.6);
+    p.duty_cycle = 0.1;
+    const auto weff =
+        thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
+    p.heating_coefficient = selfconsistent::heating_coefficient(
+        um(3.0), um(0.5),
+        thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff));
+    return p;
+  };
+  ASSERT_NO_THROW(selfconsistent::solve(make_valid()));
+
+  // Negative / zero / super-unity duty cycle.
+  for (double r : {-0.5, 0.0, 1.5}) {
+    auto p = make_valid();
+    p.duty_cycle = r;
+    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument) << r;
+  }
+  // Default-constructed (zero) heating coefficient: the thermal feedback
+  // term would silently vanish, so the solver must refuse to run.
+  {
+    auto p = make_valid();
+    p.heating_coefficient = units::HeatingCoefficient{};
+    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument);
+  }
+  // Non-finite or non-positive design-rule density.
+  for (double j : {std::nan(""), -1.0, 0.0,
+                   std::numeric_limits<double>::infinity()}) {
+    auto p = make_valid();
+    p.j0 = A_per_m2(j);
+    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument) << j;
+  }
+  // Non-physical reference temperature.
+  {
+    auto p = make_valid();
+    p.t_ref = units::Kelvin{-1.0};
+    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument);
+  }
+}
+
 TEST(Robustness, SolverStaysFiniteAtExtremeDutyCycles) {
   selfconsistent::Problem p;
   p.metal = materials::make_copper();
   p.j0 = MA_per_cm2(0.6);
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
   p.heating_coefficient = selfconsistent::heating_coefficient(
-      um(3.0), um(0.5), thermal::rth_per_length_uniform(um(3.0), 1.15, weff));
+      um(3.0), um(0.5), thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff));
   for (double r : {1e-6, 1e-5, 0.999999, 1.0}) {
     p.duty_cycle = r;
     const auto s = selfconsistent::solve(p);
@@ -84,9 +129,9 @@ TEST(Robustness, SolverHandlesExtremeGeometry) {
   for (const auto& [w, t, b] :
        {std::tuple{nm(30), nm(60), nm(100)},
         std::tuple{um(20.0), um(5.0), um(50.0)}}) {
-    const double weff = thermal::effective_width(w, b, 2.45);
+    const auto weff = thermal::effective_width(w, b, 2.45);
     p.heating_coefficient = selfconsistent::heating_coefficient(
-        w, t, thermal::rth_per_length_uniform(b, 1.15, weff));
+        w, t, thermal::rth_per_length_uniform(b, W_per_mK(1.15), weff));
     const auto s = selfconsistent::solve(p);
     EXPECT_TRUE(s.converged);
     EXPECT_GT(s.j_peak, 0.0);
@@ -98,10 +143,10 @@ TEST(Robustness, SolverHandlesExtremeJ0) {
   selfconsistent::Problem p;
   p.metal = materials::make_copper();
   p.duty_cycle = 0.1;
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(1.0), um(3.0), thermal::kPhiQuasi1D);
   p.heating_coefficient = selfconsistent::heating_coefficient(
-      um(1.0), um(0.5), thermal::rth_per_length_uniform(um(3.0), 1.15, weff));
+      um(1.0), um(0.5), thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff));
   // Tiny j0: EM-dominated, nearly no heating.
   p.j0 = MA_per_cm2(1e-4);
   const auto weak = selfconsistent::solve(p);
@@ -119,7 +164,7 @@ TEST(Robustness, SelfHeatingRunawayIsFlaggedNotInf) {
   const auto cu = materials::make_copper();
   for (double j_ma : {1e2, 1e3, 1e4}) {
     const auto sol = thermal::solve_self_heating(MA_per_cm2(j_ma), cu, um(1),
-                                                 um(1), 1.0, kTrefK);
+                                                 um(1), K_m_per_W(1.0), kTrefK);
     EXPECT_TRUE(std::isfinite(sol.t_metal));
     if (sol.runaway) EXPECT_DOUBLE_EQ(sol.t_metal, cu.t_melt);
   }

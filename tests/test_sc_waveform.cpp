@@ -15,9 +15,9 @@ Problem base_problem() {
   Problem p;
   p.metal = materials::make_copper();
   p.j0 = MA_per_cm2(0.6);
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
-  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  const auto rth = thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
   p.heating_coefficient = heating_coefficient(um(3.0), um(0.5), rth);
   return p;
 }

@@ -19,9 +19,9 @@ Problem fig2_problem() {
   Problem p;
   p.metal = materials::make_copper();
   p.j0 = MA_per_cm2(0.6);
-  const double weff =
+  const auto weff =
       thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
-  const double rth = thermal::rth_per_length_uniform(um(3.0), 1.15, weff);
+  const auto rth = thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
   p.heating_coefficient = heating_coefficient(um(3.0), um(0.5), rth);
   return p;
 }
@@ -29,8 +29,8 @@ Problem fig2_problem() {
 TEST(Solver, ResidualSignStructure) {
   Problem p = fig2_problem();
   p.duty_cycle = 0.01;
-  EXPECT_LT(residual(p, p.t_ref + 1e-6), 0.0);
-  EXPECT_GT(residual(p, p.t_ref + 2000.0), 0.0);
+  EXPECT_LT(residual(p, p.t_ref + kelvin_delta(1e-6)), 0.0);
+  EXPECT_GT(residual(p, p.t_ref + kelvin_delta(2000.0)), 0.0);
 }
 
 TEST(Solver, SolutionSatisfiesBothConstraints) {
@@ -42,7 +42,7 @@ TEST(Solver, SolutionSatisfiesBothConstraints) {
   // Thermal side: dT equals the self-heating at (j_rms, T_m).
   const double dt = s.j_rms * s.j_rms * p.metal.resistivity(s.t_metal) *
                     p.heating_coefficient;
-  EXPECT_NEAR(dt, s.delta_t, 1e-6 * std::max(1.0, s.delta_t));
+  EXPECT_NEAR(dt, s.delta_t, 1e-6 * std::max(1.0, s.delta_t.value()));
 
   // EM side: j_avg equals the maximum allowed at T_m.
   const double javg_max = p.j0 * std::exp(p.metal.em.activation_energy_ev /
@@ -120,10 +120,10 @@ TEST(Solver, ValidatesInputs) {
   p.duty_cycle = 0.0;
   EXPECT_THROW(solve(p), std::invalid_argument);
   p = fig2_problem();
-  p.j0 = -1.0;
+  p.j0 = A_per_m2(-1.0);
   EXPECT_THROW(solve(p), std::invalid_argument);
   p = fig2_problem();
-  p.heating_coefficient = 0.0;
+  p.heating_coefficient = units::HeatingCoefficient{};
   EXPECT_THROW(solve(p), std::invalid_argument);
 }
 
@@ -182,7 +182,7 @@ TEST(Table, PaperOrderings) {
   auto jpeak = [&](double r, const std::string& d, int level) {
     for (const auto& c : cells)
       if (c.duty_cycle == r && c.dielectric == d && c.level == level)
-        return c.sol.j_peak;
+        return c.sol.j_peak.value();
     ADD_FAILURE() << "cell missing";
     return 0.0;
   };
@@ -218,8 +218,10 @@ TEST(Table, CuBeatsAlCuAtSameJ0) {
 }
 
 TEST(HeatingCoefficient, Validation) {
-  EXPECT_THROW(heating_coefficient(0.0, 1e-6, 0.3), std::invalid_argument);
-  EXPECT_GT(heating_coefficient(1e-6, 1e-6, 0.3), 0.0);
+  EXPECT_THROW(heating_coefficient(metres(0.0), metres(1e-6), K_m_per_W(0.3)),
+               std::invalid_argument);
+  EXPECT_GT(heating_coefficient(metres(1e-6), metres(1e-6), K_m_per_W(0.3)),
+            0.0);
 }
 
 }  // namespace

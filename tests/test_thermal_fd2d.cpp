@@ -58,11 +58,12 @@ TEST(CrossSection2D, NarrowLineSpreadingBeatsQuasi1D) {
   // estimate and in the neighborhood of the quasi-2D (phi = 2.45) one.
   SingleLineSpec spec;  // W = 0.35 um over 1.2 um oxide
   const double rth_fd = solve_rth_per_length(spec, coarse());
-  const double rth_no_spread =
-      rth_per_length_uniform(spec.t_ox_below, 1.15, spec.width);
+  const double rth_no_spread = rth_per_length_uniform(
+      metres(spec.t_ox_below), W_per_mK(1.15), metres(spec.width));
   const double rth_q2d = rth_per_length_uniform(
-      spec.t_ox_below, 1.15,
-      effective_width(spec.width, spec.t_ox_below, kPhiQuasi2D));
+      metres(spec.t_ox_below), W_per_mK(1.15),
+      effective_width(metres(spec.width), metres(spec.t_ox_below),
+                      kPhiQuasi2D));
   EXPECT_LT(rth_fd, 0.5 * rth_no_spread);
   EXPECT_GT(rth_fd, 0.5 * rth_q2d);
   EXPECT_LT(rth_fd, 2.0 * rth_q2d);
@@ -122,8 +123,10 @@ TEST(Scenarios, PhiExtractionNearPaperValue) {
 
 TEST(Scenarios, ExtractPhiInverseOfEffectiveWidth) {
   // Exact inverse: build rth from a known phi and recover it.
-  const double w = um(0.5), b = um(2.0), k = 1.15, phi = 2.45;
-  const double rth = rth_per_length_uniform(b, k, effective_width(w, b, phi));
+  const auto w = um(0.5), b = um(2.0);
+  const double k = 1.15, phi = 2.45;
+  const double rth =
+      rth_per_length_uniform(b, W_per_mK(k), effective_width(w, b, phi));
   EXPECT_NEAR(extract_phi(rth, w, b, k), phi, 1e-10);
 }
 

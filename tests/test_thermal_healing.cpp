@@ -20,8 +20,8 @@ struct Geometry {
   double rth = 0.0;
 
   Geometry() {
-    const double weff = effective_width(w, um(3.0), kPhiQuasi1D);
-    rth = rth_per_length_uniform(um(3.0), 1.15, weff);
+    const auto weff = effective_width(metres(w), um(3.0), kPhiQuasi1D);
+    rth = rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
   }
 };
 

@@ -20,20 +20,21 @@ TEST(EffectiveWidth, Quasi1DAndQuasi2D) {
   EXPECT_NEAR(effective_width(um(3.0), um(3.0), kPhiQuasi1D), um(5.64), 1e-12);
   EXPECT_NEAR(effective_width(um(0.35), um(1.2), kPhiQuasi2D), um(3.29),
               1e-12);
-  EXPECT_THROW(effective_width(0.0, um(1.0), 0.88), std::invalid_argument);
+  EXPECT_THROW(effective_width(metres(0.0), um(1.0), 0.88),
+               std::invalid_argument);
 }
 
 TEST(RthPerLength, UniformMatchesStackForm) {
-  const double b = um(3.0), weff = um(5.64);
+  const auto b = um(3.0), weff = um(5.64);
   EXPECT_NEAR(rth_per_length(uniform_oxide(b), weff),
-              rth_per_length_uniform(b, 1.15, weff), 1e-15);
+              rth_per_length_uniform(b, W_per_mK(1.15), weff), 1e-15);
 }
 
 TEST(RthPerLength, LayeredStackIsSeriesSum) {
   tech::DielectricStack s;
   s.slabs.push_back({um(1.0), 1.15, false});
   s.slabs.push_back({um(0.5), 0.25, true});
-  const double weff = um(4.0);
+  const auto weff = um(4.0);
   const double expected = (um(1.0) / 1.15 + um(0.5) / 0.25) / weff;
   EXPECT_NEAR(rth_per_length(s, weff), expected, 1e-15);
 }
@@ -41,7 +42,7 @@ TEST(RthPerLength, LayeredStackIsSeriesSum) {
 TEST(ThetaLine, Figure5ScaleCheck) {
   // Quasi-2D model for W = 0.35 um, t_ox = 1.2 um, L = 1000 um gives a
   // whole-line impedance of a few hundred K/W.
-  const double weff = effective_width(um(0.35), um(1.2), kPhiQuasi2D);
+  const auto weff = effective_width(um(0.35), um(1.2), kPhiQuasi2D);
   const double theta = theta_line(uniform_oxide(um(1.2)), weff, um(1000));
   EXPECT_GT(theta, 200.0);
   EXPECT_LT(theta, 500.0);
@@ -49,7 +50,7 @@ TEST(ThetaLine, Figure5ScaleCheck) {
 
 TEST(DeltaT, ScalesWithJSquared) {
   const auto cu = materials::make_copper();
-  const double rth = 0.3;  // K*m/W
+  const auto rth = K_m_per_W(0.3);
   const double d1 = delta_t_at(MA_per_cm2(1.0), cu, kTrefK, um(1), um(1), rth);
   const double d2 = delta_t_at(MA_per_cm2(2.0), cu, kTrefK, um(1), um(1), rth);
   EXPECT_NEAR(d2 / d1, 4.0, 1e-12);
@@ -57,25 +58,28 @@ TEST(DeltaT, ScalesWithJSquared) {
 
 TEST(SelfHeating, ClosedFormSatisfiesFixedPoint) {
   const auto cu = materials::make_copper();
-  const double rth = 0.4, w = um(2), t = um(1), j = MA_per_cm2(3.0);
+  const auto rth = K_m_per_W(0.4);
+  const auto w = um(2), t = um(1);
+  const auto j = MA_per_cm2(3.0);
   const auto sol = solve_self_heating(j, cu, w, t, rth, kTrefK);
   ASSERT_FALSE(sol.runaway);
   // Verify: delta_t == j^2 rho(T_m) t w rth at the solution temperature.
   const double dt_check = delta_t_at(j, cu, sol.t_metal, w, t, rth);
-  EXPECT_NEAR(sol.delta_t, dt_check, 1e-9 * std::max(1.0, sol.delta_t));
+  EXPECT_NEAR(sol.delta_t, dt_check, 1e-9 * std::max(1.0, sol.delta_t.value()));
   EXPECT_GT(sol.delta_t, 0.0);
 }
 
 TEST(SelfHeating, RunawayFlaggedAtHugeCurrent) {
   const auto cu = materials::make_copper();
-  const auto sol =
-      solve_self_heating(MA_per_cm2(500.0), cu, um(2), um(1), 0.4, kTrefK);
+  const auto sol = solve_self_heating(MA_per_cm2(500.0), cu, um(2), um(1),
+                                      K_m_per_W(0.4), kTrefK);
   EXPECT_TRUE(sol.runaway);
 }
 
 TEST(SelfHeating, ZeroCurrentNoRise) {
   const auto cu = materials::make_copper();
-  const auto sol = solve_self_heating(0.0, cu, um(2), um(1), 0.4, kTrefK);
+  const auto sol = solve_self_heating(A_per_m2(0.0), cu, um(2), um(1),
+                                      K_m_per_W(0.4), kTrefK);
   EXPECT_DOUBLE_EQ(sol.delta_t, 0.0);
   EXPECT_DOUBLE_EQ(sol.t_metal, kTrefK);
 }
@@ -86,9 +90,10 @@ class JrmsInverse : public ::testing::TestWithParam<double> {};
 
 TEST_P(JrmsInverse, RoundTrip) {
   const auto cu = materials::make_copper();
-  const double t_m = kTrefK + GetParam();
-  const double rth = 0.35, w = um(1.5), t = um(0.8);
-  const double j = jrms_for_temperature(cu, t_m, kTrefK, w, t, rth);
+  const auto t_m = kTrefK + kelvin_delta(GetParam());
+  const auto rth = K_m_per_W(0.35);
+  const auto w = um(1.5), t = um(0.8);
+  const auto j = jrms_for_temperature(cu, t_m, kTrefK, w, t, rth);
   const double dt = delta_t_at(j, cu, t_m, w, t, rth);
   EXPECT_NEAR(dt, t_m - kTrefK, 1e-9 * (t_m - kTrefK));
 }
@@ -99,7 +104,8 @@ INSTANTIATE_TEST_SUITE_P(TemperatureRises, JrmsInverse,
 
 TEST(JrmsForTemperature, ZeroAtOrBelowReference) {
   const auto cu = materials::make_copper();
-  EXPECT_DOUBLE_EQ(jrms_for_temperature(cu, kTrefK, kTrefK, um(1), um(1), 0.3),
+  EXPECT_DOUBLE_EQ(jrms_for_temperature(cu, kTrefK, kTrefK, um(1), um(1),
+                                        K_m_per_W(0.3)),
                    0.0);
 }
 

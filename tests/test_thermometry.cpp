@@ -15,8 +15,8 @@ ThermometrySetup fig5_line() {
   s.w_m = um(0.35);
   s.t_m = um(0.6);
   s.length = um(1000);
-  const double weff = effective_width(s.w_m, um(1.2), kPhiQuasi2D);
-  s.rth_per_len = rth_per_length_uniform(um(1.2), 1.15, weff);
+  const auto weff = effective_width(metres(s.w_m), um(1.2), kPhiQuasi2D);
+  s.rth_per_len = rth_per_length_uniform(um(1.2), W_per_mK(1.15), weff);
   return s;
 }
 

@@ -16,17 +16,17 @@ ZthSpec m6_line() {
   const auto& layer = tech.layer(6);
   ZthSpec spec;
   spec.metal = tech.metal;
-  spec.w_m = layer.width;
-  spec.t_m = layer.thickness;
+  spec.w_m = metres(layer.width);
+  spec.t_m = metres(layer.thickness);
   spec.stack = tech.stack_below(6, materials::make_oxide());
-  spec.w_eff =
-      effective_width(layer.width, spec.stack.total_thickness(), 2.45);
+  spec.w_eff = effective_width(metres(layer.width),
+                               metres(spec.stack.total_thickness()), 2.45);
   return spec;
 }
 
 TEST(Zth, MonotoneRiseToDcLimit) {
   const auto spec = m6_line();
-  const auto curve = zth_step_response(spec, 1e-9, 1e-2, 36);
+  const auto curve = zth_step_response(spec, seconds(1e-9), seconds(1e-2), 36);
   ASSERT_EQ(curve.zth.size(), 36u);
   for (std::size_t i = 1; i < curve.zth.size(); ++i)
     EXPECT_GE(curve.zth[i], curve.zth[i - 1] * (1.0 - 1e-9));
@@ -39,7 +39,7 @@ TEST(Zth, MonotoneRiseToDcLimit) {
 TEST(Zth, EarlyTimeIsAdiabaticWireHeating) {
   // For t << tau, Z ~ t / C'_wire (all heat stays in the metal).
   const auto spec = m6_line();
-  const auto curve = zth_step_response(spec, 1e-10, 1e-3, 40);
+  const auto curve = zth_step_response(spec, seconds(1e-10), seconds(1e-3), 40);
   const double c_wire = spec.metal.c_volumetric * spec.w_m * spec.t_m;
   const double z_expected = curve.time.front() / c_wire;
   EXPECT_NEAR(curve.zth.front(), z_expected, 0.3 * z_expected);
@@ -47,43 +47,44 @@ TEST(Zth, EarlyTimeIsAdiabaticWireHeating) {
 
 TEST(Zth, InterpolationClampsAndMatchesSamples) {
   const auto spec = m6_line();
-  const auto curve = zth_step_response(spec, 1e-9, 1e-3, 20);
-  EXPECT_DOUBLE_EQ(zth_at(curve, 1e-12), curve.zth.front());
-  EXPECT_DOUBLE_EQ(zth_at(curve, 1.0), curve.zth.back());
-  EXPECT_NEAR(zth_at(curve, curve.time[7]), curve.zth[7], 1e-12);
+  const auto curve = zth_step_response(spec, seconds(1e-9), seconds(1e-3), 20);
+  EXPECT_DOUBLE_EQ(zth_at(curve, seconds(1e-12)), curve.zth.front());
+  EXPECT_DOUBLE_EQ(zth_at(curve, seconds(1.0)), curve.zth.back());
+  EXPECT_NEAR(zth_at(curve, seconds(curve.time[7])), curve.zth[7], 1e-12);
   const double mid = std::sqrt(curve.time[7] * curve.time[8]);
-  EXPECT_GT(zth_at(curve, mid), curve.zth[7]);
-  EXPECT_LT(zth_at(curve, mid), curve.zth[8]);
+  EXPECT_GT(zth_at(curve, seconds(mid)), curve.zth[7]);
+  EXPECT_LT(zth_at(curve, seconds(mid)), curve.zth[8]);
 }
 
 TEST(Zth, PulsedRatingSweepsBetweenRegimes) {
   const auto spec = m6_line();
-  const auto curve = zth_step_response(spec, 1e-9, 1e-2, 40);
-  const double dt_max = 20.0;
+  const auto curve = zth_step_response(spec, seconds(1e-9), seconds(1e-2), 40);
+  const auto dt_max = kelvin_delta(20.0);
   double prev = 1e300;
   for (double tp : {1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3}) {
-    const double j = pulsed_current_rating(spec, curve, tp, dt_max, kTrefK);
+    const double j = pulsed_current_rating(spec, curve, seconds(tp), dt_max, kTrefK);
     EXPECT_LT(j, prev);  // shorter pulses allow more current
     prev = j;
   }
   // DC-ish rating consistent with the steady model: dT = j^2 rho t W R'_th.
-  const double j_dc = pulsed_current_rating(spec, curve, 1e-2, dt_max, kTrefK);
-  const double rho = spec.metal.resistivity(kTrefK + 10.0);
+  const double j_dc = pulsed_current_rating(spec, curve, seconds(1e-2), dt_max, kTrefK);
+  const double rho = spec.metal.resistivity(kTrefK + kelvin_delta(10.0));
   const double j_expected = std::sqrt(
       dt_max / (rho * spec.t_m * spec.w_m * curve.rth_dc));
   EXPECT_NEAR(j_dc, j_expected, 0.1 * j_expected);
   // Short-pulse rating approaches the ESD scale (tens of MA/cm^2).
-  const double j_esd = pulsed_current_rating(spec, curve, 1e-8, 900.0, kTrefK);
+  const double j_esd = pulsed_current_rating(spec, curve, seconds(1e-8), kelvin_delta(900.0),
+                            kTrefK);
   EXPECT_GT(to_MA_per_cm2(j_esd), 20.0);
 }
 
 TEST(Zth, Validation) {
   auto spec = m6_line();
-  EXPECT_THROW(zth_step_response(spec, 0.0, 1e-3), std::invalid_argument);
-  EXPECT_THROW(zth_step_response(spec, 1e-3, 1e-4), std::invalid_argument);
-  spec.w_eff = 0.0;
-  EXPECT_THROW(zth_step_response(spec, 1e-9, 1e-3), std::invalid_argument);
-  EXPECT_THROW(zth_at({}, 1e-6), std::invalid_argument);
+  EXPECT_THROW(zth_step_response(spec, seconds(0.0), seconds(1e-3)), std::invalid_argument);
+  EXPECT_THROW(zth_step_response(spec, seconds(1e-3), seconds(1e-4)), std::invalid_argument);
+  spec.w_eff = metres(0.0);
+  EXPECT_THROW(zth_step_response(spec, seconds(1e-9), seconds(1e-3)), std::invalid_argument);
+  EXPECT_THROW(zth_at({}, seconds(1e-6)), std::invalid_argument);
 }
 
 }  // namespace

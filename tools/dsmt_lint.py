@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Physics-aware lint gate for the dsmt library sources.
+
+Rules (library code under src/ only — tests/bench/examples are exempt):
+
+  R1 unit-tag     Exported function declarations in headers must not take
+                  raw `double` parameters unless the parameter is documented
+                  with a `[unit]` tag (e.g. [1], [K], [s], [m], [W/(m*K)])
+                  in a doc comment within the preceding lines, or on the
+                  same line. Strong types from core/units.h need no tag.
+  R2 no-stdio     Library code must not write to std::cout / std::cerr or
+                  call printf: the library computes, callers report.
+  R3 constants    Physical-constant literals (273.15, Boltzmann, elementary
+                  charge, vacuum permittivity, ...) may appear only in
+                  core/units.h — everywhere else use the named constant.
+  R4 pragma-once  Every header must start its preprocessor life with
+                  `#pragma once`.
+
+Exit status 0 when clean, 1 when any violation is found.
+
+Usage: dsmt_lint.py [--root DIR] [--self-test]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+# Files that define the constants / unit vocabulary and are allowed to spell
+# the raw literals.
+CONSTANT_HOMES = {"core/units.h", "core/units.cpp", "numeric/constants.h"}
+
+# Physical constants that must be referenced by name, with enough context to
+# not fire on arbitrary numerics (regexes anchored on the literal).
+PHYSICAL_CONSTANTS = [
+    (re.compile(r"\b273\.15\b"), "celsius offset (use kCelsiusOffset)"),
+    (re.compile(r"\b373\.15\b"), "reference temperature (use kTrefK)"),
+    (re.compile(r"\b1\.380649e-23\b"), "Boltzmann constant (use kBoltzmannJ)"),
+    (re.compile(r"\b8\.617333262(?:e-5|e-05)\b"),
+     "Boltzmann constant in eV (use kBoltzmannEv)"),
+    (re.compile(r"\b1\.602176634e-19\b"),
+     "elementary charge (use kElementaryCharge)"),
+    (re.compile(r"\b8\.8541878128e-12\b"),
+     "vacuum permittivity (use kEpsilon0)"),
+]
+
+STDIO_RE = re.compile(r"std::cout\b|std::cerr\b|(?<![\w:])printf\s*\(")
+
+# A doc line counts as carrying a unit tag when it contains [...] with a
+# plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
+UNIT_TAG_RE = re.compile(r"\[[\w\s./*^()%-]+\]")
+
+# Parameter declared as raw double (not double* / double& / std::function /
+# vector<double> — those are data containers, not single physical values).
+RAW_DOUBLE_PARAM_RE = re.compile(r"(?<![\w<])double\s+(\w+)\s*[,)=]")
+
+
+def strip_comments(line: str) -> str:
+    return re.sub(r"//.*$", "", line)
+
+
+def find_decl_params(text: str):
+    """Yield (line_no, param_name, context_lines) for raw-double params of
+    function declarations at namespace/class scope in a header."""
+    lines = text.split("\n")
+    depth = 0
+    for i, raw in enumerate(lines):
+        line = strip_comments(raw)
+        # Only consider declaration-ish lines outside function bodies: we
+        # track brace depth but allow depth 1-2 (namespace + class).
+        open_b = line.count("{")
+        close_b = line.count("}")
+        if depth <= 3 and "(" in line and "double" in line:
+            # Skip control flow and macro lines.
+            stripped = line.strip()
+            if not stripped.startswith(("if", "for", "while", "switch", "#",
+                                        "return", "throw")):
+                for m in RAW_DOUBLE_PARAM_RE.finditer(line):
+                    context = lines[max(0, i - 6):i + 1]
+                    yield i + 1, m.group(1), context
+        depth += open_b - close_b
+
+
+def has_unit_tag(context_lines) -> bool:
+    for line in context_lines:
+        if ("//" in line or "/*" in line or "*" in line.strip()[:1]) and \
+                UNIT_TAG_RE.search(line):
+            return True
+    # Same-line trailing comment also counts.
+    last = context_lines[-1]
+    return "//" in last and UNIT_TAG_RE.search(last.split("//", 1)[1]) is not None
+
+
+def lint_file(path: pathlib.Path, rel: str, errors: list):
+    text = path.read_text(encoding="utf-8")
+    lines = text.split("\n")
+
+    is_header = rel.endswith(".h")
+
+    # R4: #pragma once must be the first preprocessor directive.
+    if is_header:
+        for line in lines:
+            s = line.strip()
+            if not s or s.startswith("//"):
+                continue
+            if s != "#pragma once":
+                errors.append(f"{rel}:1: [pragma-once] header does not start "
+                              f"with '#pragma once'")
+            break
+
+    # R2: no stdio in library code.
+    for i, raw in enumerate(lines):
+        line = strip_comments(raw)
+        m = STDIO_RE.search(line)
+        if m:
+            errors.append(f"{rel}:{i + 1}: [no-stdio] library code writes to "
+                          f"stdio ('{m.group(0).strip()}') — return data, "
+                          f"let callers report")
+
+    # R3: physical-constant literals only in their home files.
+    if rel not in CONSTANT_HOMES:
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            for pat, what in PHYSICAL_CONSTANTS:
+                if pat.search(line):
+                    errors.append(f"{rel}:{i + 1}: [constants] literal "
+                                  f"{what}")
+
+    # R1: raw double params in exported header decls need a [unit] doc tag.
+    # core/units.h is the unit vocabulary itself: its factory helpers and
+    # scalar operators are exactly the sanctioned raw-double boundary.
+    if is_header and rel not in CONSTANT_HOMES:
+        for line_no, name, context in find_decl_params(text):
+            if not has_unit_tag(context):
+                errors.append(
+                    f"{rel}:{line_no}: [unit-tag] raw double parameter "
+                    f"'{name}' lacks a [unit] doc tag — use a strong type "
+                    f"from core/units.h or document the unit")
+
+
+def run(root: pathlib.Path) -> int:
+    src = root / "src"
+    # A missing tree must not read as "clean": a typo'd --root in CI would
+    # otherwise pass the gate vacuously.
+    if not src.is_dir():
+        print(f"dsmt_lint: error: no src/ directory under {root}",
+              file=sys.stderr)
+        return 2
+    errors: list[str] = []
+    for path in sorted(src.rglob("*.h")) + sorted(src.rglob("*.cpp")):
+        rel = path.relative_to(src).as_posix()
+        lint_file(path, rel, errors)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"\ndsmt_lint: {len(errors)} violation(s)")
+        return 1
+    print("dsmt_lint: clean")
+    return 0
+
+
+SELF_TEST_BAD_HEADER = """\
+#include <cmath>
+#pragma once
+
+namespace dsmt {
+
+/// Converts a temperature with no unit documentation anywhere.
+double shady_convert(double temperature);
+
+inline double to_kelvin(double t_c) { return t_c + 273.15; }
+
+inline void report(double x) { std::cout << x; }  // [1]
+
+}  // namespace dsmt
+"""
+
+SELF_TEST_GOOD_HEADER = """\
+// A well-behaved header.
+#pragma once
+
+namespace dsmt {
+
+/// Scales a ratio [1] by gain [1].
+double scale(double ratio, double gain);
+
+}  // namespace dsmt
+"""
+
+
+def self_test() -> int:
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as d:
+        root = pathlib.Path(d)
+        (root / "src" / "demo").mkdir(parents=True)
+        bad = root / "src" / "demo" / "bad.h"
+        bad.write_text(SELF_TEST_BAD_HEADER)
+        good = root / "src" / "demo" / "good.h"
+        good.write_text(SELF_TEST_GOOD_HEADER)
+
+        errors: list[str] = []
+        lint_file(bad, "demo/bad.h", errors)
+        tags = sorted({re.search(r"\[([\w-]+)\]", e).group(1) for e in errors})
+        expect = ["constants", "no-stdio", "pragma-once", "unit-tag"]
+        if tags != expect:
+            print(f"self-test FAILED: bad.h raised {tags}, expected {expect}")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        errors = []
+        lint_file(good, "demo/good.h", errors)
+        if errors:
+            print("self-test FAILED: good.h should be clean:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+    print("dsmt_lint: self-test passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".",
+                    help="repository root (contains src/)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the built-in rule self-test and exit")
+    args = ap.parse_args()
+    if args.self_test:
+        return self_test()
+    return run(pathlib.Path(args.root).resolve())
+
+
+if __name__ == "__main__":
+    sys.exit(main())
