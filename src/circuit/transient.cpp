@@ -3,7 +3,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/status.h"
 #include "numeric/dense.h"
+#include "numeric/fault_injection.h"
 
 namespace dsmt::circuit {
 
@@ -174,7 +176,12 @@ std::vector<double> newton_solve(
     const std::vector<std::pair<double, double>>& ind_state,
     const TransientOptions& opts) {
   double dmax = 0.0;
-  for (int it = 0; it < opts.max_newton; ++it) {
+  int used = 0;
+  core::StatusCode stop = core::StatusCode::kMaxIterations;
+  const int max_it =
+      numeric::fault::clamp_iterations("circuit/transient", opts.max_newton);
+  for (int it = 0; it < max_it; ++it) {
+    used = it + 1;
     asmbl.assemble(t, x, cap_scale, dt, cap_state, ind_state);
     std::vector<double> x_new = asmbl.solve();
     // SPICE-style per-node voltage-step limiting keeps the power-law
@@ -188,13 +195,22 @@ std::vector<double> newton_solve(
       x_new[i] = x[i] + d;
       dmax = std::max(dmax, std::abs(d));
     }
+    dmax = numeric::fault::filter_residual("circuit/transient", used, dmax);
+    if (!std::isfinite(dmax)) {
+      stop = core::StatusCode::kNonFinite;
+      break;
+    }
     const bool converged = dmax <= opts.v_abs_tol;
     x = std::move(x_new);
     if (converged && it > 0) return x;
   }
-  throw std::runtime_error("run_transient: Newton did not converge at t = " +
-                           std::to_string(t) + " (dmax = " +
-                           std::to_string(dmax) + ")");
+  core::SolverDiag diag;
+  diag.record("circuit/transient", stop, used, dmax,
+              "Newton at t = " + std::to_string(t));
+  throw SolveError("run_transient: Newton did not converge at t = " +
+                       std::to_string(t) + " (dmax = " + std::to_string(dmax) +
+                       ")",
+                   diag);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include "core/engine.h"
 
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "numeric/constants.h"
+#include "numeric/fault_injection.h"
 #include "thermal/impedance.h"
 
 namespace dsmt::core {
@@ -28,8 +31,13 @@ std::vector<selfconsistent::TableCell> DesignRuleEngine::design_rule_table(
 
 selfconsistent::Solution DesignRuleEngine::thermal_limit(
     int level, const materials::Dielectric& gap_fill, double duty_cycle) const {
-  return selfconsistent::solve(selfconsistent::make_level_problem(
-      tech_, level, gap_fill, opts_.phi, duty_cycle, A_per_m2(j0_)));
+  try {
+    return selfconsistent::solve(selfconsistent::make_level_problem(
+        tech_, level, gap_fill, opts_.phi, duty_cycle, A_per_m2(j0_)));
+  } catch (const SolveError& e) {
+    throw e.with_context("core/engine.thermal_limit level " +
+                         std::to_string(level));
+  }
 }
 
 LayerCheck DesignRuleEngine::check_layer(
@@ -42,7 +50,17 @@ LayerCheck DesignRuleEngine::check_layer(
   // Compare against the limit at the *measured* effective duty cycle, as
   // the paper does (it justifies r = 0.1 from the 0.12 +/- 0.01 finding).
   const double r_eff = std::max(check.sim.duty_effective, 1e-3);
-  check.thermal_limit = thermal_limit(level, gap_fill, r_eff);
+  try {
+    check.thermal_limit = thermal_limit(level, gap_fill, r_eff);
+  } catch (const SolveError& e) {
+    throw e.with_context("core/engine.check_layer level " +
+                         std::to_string(level));
+  }
+  if (!check.thermal_limit.diag.ok()) {
+    SolverDiag diag = check.thermal_limit.diag;
+    diag.add_context("core/engine.check_layer level " + std::to_string(level));
+    throw SolveError("check_layer: thermal limit did not converge", diag);
+  }
   check.jpeak_margin =
       check.sim.j_peak > 0.0 ? check.thermal_limit.j_peak / check.sim.j_peak
                              : 0.0;
@@ -75,9 +93,15 @@ DesignRuleEngine::check_layer_electrothermal(
       metres(layer.width), metres(stack.total_thickness()), opts_.phi);
   const auto rth = thermal::rth_per_length(stack, w_eff);
 
+  out.diag.kernel = "core/engine.electrothermal";
   double t_wire = kTrefK;
+  double prev_step = 0.0;
+  double step = 0.0;
+  StatusCode stop = StatusCode::kMaxIterations;
   LayerCheck hot = out.at_tref;
-  for (int it = 0; it < max_iterations; ++it) {
+  const int max_it = numeric::fault::clamp_iterations(
+      "core/engine.electrothermal", max_iterations);
+  for (int it = 0; it < max_it; ++it) {
     out.iterations = it + 1;
     // Re-extract/optimize/simulate with the wire resistance at t_wire.
     hot.level = level;
@@ -95,12 +119,38 @@ DesignRuleEngine::check_layer_electrothermal(
         A_per_m2(hot.sim.j_rms), tech_.metal, metres(layer.width),
         metres(layer.thickness), rth, kTrefK);
     const double t_new = sh.t_metal;
-    const bool done = std::abs(t_new - t_wire) <= t_tol;
-    t_wire = t_new;
-    if (done) {
-      out.converged = true;
+    step = numeric::fault::filter_residual("core/engine.electrothermal",
+                                           out.iterations, t_new - t_wire);
+    if (!std::isfinite(step)) {
+      stop = StatusCode::kNonFinite;
       break;
     }
+    const bool done = std::abs(step) <= t_tol;
+    if (!done && it > 0 && step * prev_step < 0.0 &&
+        std::abs(step) >= std::abs(prev_step)) {
+      // Successive steps alternate sign without shrinking: the plain
+      // fixed point is oscillating. Halve the step to restore contraction.
+      t_wire += 0.5 * step;
+      out.diag.record("core/engine.electrothermal", StatusCode::kOk,
+                      out.iterations, step,
+                      "oscillation detected, step damped 0.5x");
+    } else {
+      t_wire = t_new;
+    }
+    prev_step = step;
+    if (done) {
+      out.converged = true;
+      stop = StatusCode::kOk;
+      break;
+    }
+  }
+  out.diag.record("core/engine.electrothermal", stop, out.iterations, step);
+  if (!out.diag.ok()) {
+    SolverDiag diag = out.diag;
+    diag.add_context("core/engine.check_layer_electrothermal level " +
+                     std::to_string(level));
+    throw SolveError(
+        "check_layer_electrothermal: fixed point did not converge", diag);
   }
   out.at_operating = hot;
   out.t_operating = t_wire;

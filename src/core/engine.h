@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "esd/failure.h"
 #include "materials/dielectric.h"
 #include "repeater/simulate.h"
@@ -89,7 +90,10 @@ class DesignRuleEngine {
     double delta_t = 0.0;      ///< operating rise above T_ref [K]
     int iterations = 0;
     bool converged = false;
+    SolverDiag diag;  ///< fixed-point history incl. damping stages
   };
+  /// Throws dsmt::SolveError (with the full diagnostic chain) when the
+  /// fixed point fails to converge even after oscillation damping.
   ElectrothermalResult check_layer_electrothermal(
       int level, double k_rel, const materials::Dielectric& gap_fill,
       double t_tol = 0.05, int max_iterations = 12) const;

@@ -4,6 +4,7 @@
 
 #include "em/budget.h"
 #include "numeric/constants.h"
+#include "report/diagnostics.h"
 #include "report/json.h"
 #include "report/table.h"
 
@@ -141,7 +142,8 @@ std::string SignoffReport::to_json(int indent) const {
         .set("jpeak_limit_MA_cm2",
              Json::number(to_MA_per_cm2(c.thermal_limit.j_peak)))
         .set("margin", Json::number(c.jpeak_margin))
-        .set("pass", Json::boolean(c.pass));
+        .set("pass", Json::boolean(c.pass))
+        .set("solver", report::diag_to_json(c.thermal_limit.diag));
     checks.push(std::move(entry));
   }
   root.set("global_checks", std::move(checks));

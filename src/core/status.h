@@ -1,0 +1,94 @@
+// Unified solver failure taxonomy and diagnostics.
+//
+// Every iterative kernel in the library (Brent/bisection/Newton root finds,
+// conjugate gradients, Picard loops, the electrothermal fixed point) reports
+// its outcome through this vocabulary: a StatusCode classifying the failure
+// mode and a SolverDiag record accumulating the attempt/recovery chain.
+// Public entry points either return a diagnosed result (possibly after a
+// recovery stage) or throw dsmt::SolveError carrying the full chain — an
+// unconverged number must never escape silently.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dsmt::core {
+
+/// Failure taxonomy shared by every iterative kernel.
+enum class StatusCode {
+  kOk = 0,          ///< converged within tolerance
+  kInvalidInput,    ///< malformed problem (NaN spec, empty system, ...)
+  kNoBracket,       ///< root finder could not find a sign change
+  kMaxIterations,   ///< iteration budget exhausted before tolerance
+  kNonFinite,       ///< NaN/Inf appeared in the iteration
+  kSingularSystem,  ///< linear operator is singular / derivative vanished
+};
+
+/// Short stable name for a status code ("ok", "no-bracket", ...).
+const char* status_name(StatusCode code);
+
+/// One step in a solve: the primary attempt, a recovery stage, or a context
+/// frame added while the failure propagated outward.
+struct DiagEvent {
+  std::string kernel;  ///< e.g. "numeric/brent", "numeric/cg"
+  StatusCode status = StatusCode::kOk;
+  int iterations = 0;
+  double residual = 0.0;  ///< final residual in the kernel's own norm [1]
+  std::string note;       ///< context ("retry on expanded bracket", ...)
+};
+
+/// Diagnostic chain for one logical solve. The summary fields mirror the
+/// most recent event; `chain` keeps every attempt in order, so a recovered
+/// solve shows the failed first attempt followed by the stage that saved it.
+struct SolverDiag {
+  std::string kernel;  ///< outermost kernel ("selfconsistent/solve", ...)
+  StatusCode status = StatusCode::kOk;
+  int iterations = 0;      ///< total across all attempts
+  double residual = 0.0;   ///< final residual in the last kernel's norm [1]
+  bool recovered = false;  ///< a fallback stage was needed and succeeded
+  std::vector<DiagEvent> chain;  ///< attempts and recoveries, oldest first
+
+  bool ok() const { return status == StatusCode::kOk; }
+
+  /// Appends an event and folds it into the summary fields. A kOk event
+  /// recorded after a failed one marks the solve as recovered.
+  /// residual_value [1]: final residual in the kernel's own norm.
+  void record(std::string kernel_name, StatusCode event_status,
+              int iterations_used, double residual_value,
+              std::string note = {});
+
+  /// Prepends a context frame (outermost caller first) to the chain.
+  void add_context(std::string context);
+
+  /// Merges an inner solve's chain under a context label, adopting its
+  /// status/residual as the current outcome.
+  void absorb(const SolverDiag& inner, std::string context);
+
+  /// One-line summary plus the chain, for exception messages and logs.
+  std::string to_string() const;
+};
+
+}  // namespace dsmt::core
+
+namespace dsmt {
+
+/// Thrown when a solve fails after its recovery chain is exhausted. Derives
+/// std::runtime_error so legacy catch sites keep working; new call sites
+/// catch SolveError and inspect diag() for the full attempt chain.
+class SolveError : public std::runtime_error {
+ public:
+  SolveError(const std::string& what_prefix, core::SolverDiag diagnostics);
+
+  const core::SolverDiag& diag() const { return diag_; }
+  core::StatusCode status() const { return diag_.status; }
+
+  /// Copy with an extra outer context frame, for rethrow sites that want
+  /// to tag the failure with where it surfaced ("core/engine.check_layer").
+  SolveError with_context(const std::string& context) const;
+
+ private:
+  core::SolverDiag diag_;
+};
+
+}  // namespace dsmt

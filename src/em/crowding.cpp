@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "numeric/sparse.h"
 
@@ -121,8 +122,10 @@ CrowdingResult solve_crowding(const std::vector<SheetRect>& rects,
     if (unk[c] >= 0) rhs[unk[c]] += i_per_cell;
 
   std::vector<double> phi(n_unk, 0.0);
-  const auto cg = numeric::conjugate_gradient(
-      a, rhs, phi, {options.cg_rel_tol, options.cg_max_iterations});
+  core::SolverDiag diag;
+  diag.kernel = "em/crowding";
+  const auto cg = numeric::conjugate_gradient_robust(
+      a, rhs, phi, {options.cg_rel_tol, options.cg_max_iterations}, diag);
 
   auto pot = [&](std::size_t c) { return unk[c] >= 0 ? phi[unk[c]] : 0.0; };
 
@@ -131,7 +134,8 @@ CrowdingResult solve_crowding(const std::vector<SheetRect>& rects,
   // units of A per metre of width for a 1 A drive.
   CrowdingResult res;
   res.unknowns = n_unk;
-  res.converged = cg.converged;
+  res.converged = cg.ok();
+  res.diag = std::move(diag);
   double j_max = 0.0;
   for (std::size_t j = 0; j < g.ny; ++j)
     for (std::size_t i = 0; i < g.nx; ++i) {

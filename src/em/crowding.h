@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/status.h"
+
 namespace dsmt::em {
 
 /// A conductor shape made of axis-aligned rectangles (union), in metres.
@@ -42,6 +44,7 @@ struct CrowdingResult {
   double resistance_squares = 0.0;  ///< shape resistance in squares
   std::size_t unknowns = 0;
   bool converged = false;
+  core::SolverDiag diag;  ///< linear-solve history incl. recovery stages
 };
 
 /// Solves a unit current driven from `source` to `sink` through the union

@@ -152,10 +152,14 @@ numeric::Matrix CapExtractor::capacitance_matrix(
         if (ci == static_cast<int>(energized)) rhs[u] += g;  // V = 1
 
     std::vector<double> v(n_unk, 0.0);
-    const auto cg = numeric::conjugate_gradient(
-        a, rhs, v, {opts.cg_rel_tol, opts.cg_max_iterations});
-    if (!cg.converged)
-      throw std::runtime_error("CapExtractor: CG did not converge");
+    core::SolverDiag diag;
+    diag.kernel = "extraction/laplace2d";
+    const auto cg = numeric::conjugate_gradient_robust(
+        a, rhs, v, {opts.cg_rel_tol, opts.cg_max_iterations}, diag);
+    if (!cg.ok()) {
+      diag.add_context("CapExtractor::capacitance_matrix");
+      throw SolveError("CapExtractor: CG did not converge", diag);
+    }
 
     for (std::size_t ci = 0; ci < nc; ++ci) {
       const double v_cond = (ci == energized) ? 1.0 : 0.0;

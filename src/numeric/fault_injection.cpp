@@ -1,0 +1,60 @@
+#include "numeric/fault_injection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+namespace dsmt::numeric::fault {
+
+namespace {
+FaultPlan g_plan;
+bool g_armed = false;
+int g_count = 0;
+
+bool matches(const char* kernel) {
+  return g_plan.kernel_substr.empty() ||
+         std::strstr(kernel, g_plan.kernel_substr.c_str()) != nullptr;
+}
+}  // namespace
+
+void arm(const FaultPlan& plan) {
+  g_plan = plan;
+  g_armed = true;
+  g_count = 0;
+}
+
+void disarm() {
+  g_armed = false;
+  g_plan = FaultPlan{};
+}
+
+bool armed() { return g_armed; }
+
+int injection_count() { return g_count; }
+
+double filter_residual(const char* kernel, int iteration, double residual) {
+  if (!g_armed || !matches(kernel) || iteration < g_plan.at_iteration)
+    return residual;
+  switch (g_plan.kind) {
+    case FaultKind::kNanResidual:
+      ++g_count;
+      return std::numeric_limits<double>::quiet_NaN();
+    case FaultKind::kPerturbResidual:
+      ++g_count;
+      return residual * g_plan.scale;
+    case FaultKind::kExhaustIterations:
+    case FaultKind::kNone:
+      break;
+  }
+  return residual;
+}
+
+int clamp_iterations(const char* kernel, int max_iterations) {
+  if (!g_armed || !matches(kernel) ||
+      g_plan.kind != FaultKind::kExhaustIterations)
+    return max_iterations;
+  ++g_count;
+  return std::min(max_iterations, g_plan.at_iteration);
+}
+
+}  // namespace dsmt::numeric::fault

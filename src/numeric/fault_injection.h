@@ -1,0 +1,59 @@
+// Deterministic fault injection for the iterative kernels.
+//
+// Compiled in unconditionally so release and test builds run the same code:
+// when disarmed every hook is a single branch on a global flag and returns
+// its input untouched, which keeps production outputs bit-identical. Tests
+// arm a FaultPlan (via ScopedFault) to force NaN residuals, early iteration
+// exhaustion, or residual perturbation inside a chosen kernel, then assert
+// that every public API either recovers (with the recovery recorded in its
+// core::SolverDiag chain) or throws dsmt::SolveError — never returns silent
+// garbage.
+#pragma once
+
+#include <string>
+
+namespace dsmt::numeric::fault {
+
+enum class FaultKind {
+  kNone = 0,
+  kNanResidual,        ///< residual becomes NaN from `at_iteration` on
+  kExhaustIterations,  ///< iteration budget clamped to `at_iteration`
+  kPerturbResidual,    ///< residual scaled by `scale` from `at_iteration` on
+};
+
+/// What to inject and where. Kernels are matched by substring, so
+/// "numeric/cg" hits every CG solve while "" hits every hooked kernel.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  std::string kernel_substr;  ///< applies to kernels containing this
+  int at_iteration = 1;       ///< first iteration (1-based) the fault fires
+  double scale = 10.0;        ///< residual multiplier [1] for kPerturbResidual
+};
+
+/// Arms `plan` globally and resets the injection counter. The registry is a
+/// plain global: fault injection is a single-threaded test-harness facility.
+void arm(const FaultPlan& plan);
+void disarm();
+bool armed();
+/// Number of times the armed fault has fired since arm().
+int injection_count();
+
+/// Kernel hook: each iteration's convergence residual passes through here.
+/// residual [1]: the kernel's own convergence norm, returned unchanged when
+/// disarmed or unmatched.
+double filter_residual(const char* kernel, int iteration, double residual);
+
+/// Kernel hook: iteration budgets pass through here; kExhaustIterations
+/// clamps the budget to `at_iteration`.
+int clamp_iterations(const char* kernel, int max_iterations);
+
+/// RAII arm/disarm for tests.
+class ScopedFault {
+ public:
+  explicit ScopedFault(const FaultPlan& plan) { arm(plan); }
+  ~ScopedFault() { disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace dsmt::numeric::fault

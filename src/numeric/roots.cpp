@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
+
+#include "numeric/fault_injection.h"
 
 namespace dsmt::numeric {
 
@@ -9,6 +12,8 @@ namespace {
 bool met(double a, double b, const RootOptions& o) {
   return std::abs(b - a) <= o.x_tol;
 }
+
+using core::StatusCode;
 }  // namespace
 
 RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
@@ -16,20 +21,35 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
   RootResult r;
   double flo = f(lo);
   double fhi = f(hi);
-  if (flo == 0.0) return {lo, 0.0, 0, true};
-  if (fhi == 0.0) return {hi, 0.0, 0, true};
+  if (!std::isfinite(flo) || !std::isfinite(fhi)) {
+    r.root = 0.5 * (lo + hi);
+    r.f_at_root = std::isfinite(flo) ? fhi : flo;
+    r.status = StatusCode::kNonFinite;
+    return r;
+  }
+  if (flo == 0.0) return {lo, 0.0, 0, true, StatusCode::kOk};
+  if (fhi == 0.0) return {hi, 0.0, 0, true, StatusCode::kOk};
   if (std::signbit(flo) == std::signbit(fhi)) {
     r.root = 0.5 * (lo + hi);
     r.f_at_root = f(r.root);
+    r.status = StatusCode::kNoBracket;
     return r;  // no bracket: not converged
   }
-  for (int i = 0; i < opts.max_iterations; ++i) {
+  const int max_it = fault::clamp_iterations("numeric/bisect",
+                                             opts.max_iterations);
+  for (int i = 0; i < max_it; ++i) {
     const double mid = 0.5 * (lo + hi);
-    const double fm = f(mid);
+    const double fm = fault::filter_residual("numeric/bisect", i + 1, f(mid));
     r.iterations = i + 1;
+    if (!std::isfinite(fm)) {
+      r.root = mid;
+      r.f_at_root = fm;
+      r.status = StatusCode::kNonFinite;
+      return r;
+    }
     if (fm == 0.0 || met(lo, hi, opts) ||
         (opts.f_tol > 0.0 && std::abs(fm) <= opts.f_tol)) {
-      return {mid, fm, r.iterations, true};
+      return {mid, fm, r.iterations, true, StatusCode::kOk};
     }
     if (std::signbit(fm) == std::signbit(flo)) {
       lo = mid;
@@ -41,6 +61,7 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
   r.root = 0.5 * (lo + hi);
   r.f_at_root = f(r.root);
   r.converged = met(lo, hi, opts);
+  r.status = r.converged ? StatusCode::kOk : StatusCode::kMaxIterations;
   return r;
 }
 
@@ -49,18 +70,27 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
   double a = lo, b = hi;
   double fa = f(a), fb = f(b);
   RootResult res;
-  if (fa == 0.0) return {a, 0.0, 0, true};
-  if (fb == 0.0) return {b, 0.0, 0, true};
+  if (!std::isfinite(fa) || !std::isfinite(fb)) {
+    res.root = 0.5 * (a + b);
+    res.f_at_root = std::isfinite(fa) ? fb : fa;
+    res.status = StatusCode::kNonFinite;
+    return res;
+  }
+  if (fa == 0.0) return {a, 0.0, 0, true, StatusCode::kOk};
+  if (fb == 0.0) return {b, 0.0, 0, true, StatusCode::kOk};
   if (std::signbit(fa) == std::signbit(fb)) {
     res.root = 0.5 * (a + b);
     res.f_at_root = f(res.root);
+    res.status = StatusCode::kNoBracket;
     return res;  // no bracket
   }
   double c = a, fc = fa;
   double d = b - a, e = d;
   const double eps = std::numeric_limits<double>::epsilon();
 
-  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+  const int max_it = fault::clamp_iterations("numeric/brent",
+                                             opts.max_iterations);
+  for (int iter = 0; iter < max_it; ++iter) {
     res.iterations = iter + 1;
     if (std::abs(fc) < std::abs(fb)) {
       a = b; b = c; c = a;
@@ -70,7 +100,7 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
     const double xm = 0.5 * (c - b);
     if (std::abs(xm) <= tol1 || fb == 0.0 ||
         (opts.f_tol > 0.0 && std::abs(fb) <= opts.f_tol)) {
-      return {b, fb, res.iterations, true};
+      return {b, fb, res.iterations, true, StatusCode::kOk};
     }
     if (std::abs(e) >= tol1 && std::abs(fa) > std::abs(fb)) {
       // Attempt inverse quadratic interpolation (secant if only two points).
@@ -103,7 +133,13 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
     a = b;
     fa = fb;
     b += (std::abs(d) > tol1) ? d : (xm > 0 ? tol1 : -tol1);
-    fb = f(b);
+    fb = fault::filter_residual("numeric/brent", res.iterations, f(b));
+    if (!std::isfinite(fb)) {
+      res.root = b;
+      res.f_at_root = fb;
+      res.status = StatusCode::kNonFinite;
+      return res;
+    }
     if (std::signbit(fb) == std::signbit(fc)) {
       c = a;
       fc = fa;
@@ -114,7 +150,42 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
   res.root = b;
   res.f_at_root = fb;
   res.converged = false;
+  res.status = StatusCode::kMaxIterations;
   return res;
+}
+
+RootResult brent_robust(const std::function<double(double)>& f, double lo,
+                        double hi, const RootOptions& opts,
+                        core::SolverDiag& diag) {
+  RootResult r = brent(f, lo, hi, opts);
+  diag.record("numeric/brent", r.status, r.iterations, r.f_at_root);
+  if (r.ok()) return r;
+
+  if (r.status == StatusCode::kNoBracket) {
+    const auto bracket = expand_bracket(f, lo, hi);
+    if (!bracket) {
+      diag.record("numeric/expand_bracket", StatusCode::kNoBracket, 0,
+                  r.f_at_root, "no sign change after 60 doublings");
+      return r;
+    }
+    lo = bracket->first;
+    hi = bracket->second;
+    std::ostringstream note;
+    note << "retry on expanded bracket [" << lo << ", " << hi << "]";
+    r = brent(f, lo, hi, opts);
+    diag.record("numeric/brent", r.status, r.iterations, r.f_at_root,
+                note.str());
+    if (r.ok()) return r;
+  }
+
+  // Bisection sweep: slower but immune to interpolation stalls, and a
+  // different kernel name so faults pinned to Brent do not chase it here.
+  RootOptions fallback = opts;
+  fallback.max_iterations = opts.max_iterations * 4;
+  const RootResult b = bisect(f, lo, hi, fallback);
+  diag.record("numeric/bisect", b.status, b.iterations, b.f_at_root,
+              "bisection fallback, 4x budget");
+  return b;
 }
 
 RootResult newton(const std::function<double(double)>& f,
@@ -123,13 +194,26 @@ RootResult newton(const std::function<double(double)>& f,
   double x = x0;
   double fx = f(x);
   RootResult res;
-  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+  StatusCode stop = StatusCode::kMaxIterations;
+  const int max_it = fault::clamp_iterations("numeric/newton",
+                                             opts.max_iterations);
+  for (int iter = 0; iter < max_it; ++iter) {
     res.iterations = iter + 1;
     const double d = dfdx(x);
-    if (d == 0.0) break;
+    if (d == 0.0) {
+      stop = StatusCode::kSingularSystem;
+      break;
+    }
     double step = fx / d;
     double xn = x - step;
-    double fn = f(xn);
+    double fn = fault::filter_residual("numeric/newton", res.iterations,
+                                       f(xn));
+    if (!std::isfinite(fn)) {
+      res.root = xn;
+      res.f_at_root = fn;
+      res.status = StatusCode::kNonFinite;
+      return res;
+    }
     // Damping: halve the step until the residual shrinks.
     for (int k = 0; k < 40 && std::abs(fn) > std::abs(fx); ++k) {
       step *= 0.5;
@@ -140,11 +224,12 @@ RootResult newton(const std::function<double(double)>& f,
                       (opts.f_tol > 0.0 && std::abs(fn) <= opts.f_tol);
     x = xn;
     fx = fn;
-    if (done) return {x, fx, res.iterations, true};
+    if (done) return {x, fx, res.iterations, true, StatusCode::kOk};
   }
   res.root = x;
   res.f_at_root = fx;
   res.converged = opts.f_tol > 0.0 && std::abs(fx) <= opts.f_tol;
+  res.status = res.converged ? StatusCode::kOk : stop;
   return res;
 }
 

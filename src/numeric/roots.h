@@ -4,19 +4,31 @@
 // single nonlinear equation with a guaranteed bracket, so Brent is the
 // workhorse; bisection is the fallback and Newton is used where analytic
 // derivatives are cheap (ESD time-to-failure inversions).
+//
+// Every kernel classifies its outcome with a core::StatusCode; the
+// brent_robust() wrapper adds the standard recovery chain (bracket
+// expansion, bisection fallback) and records each stage in a
+// core::SolverDiag so failures surface with their full history.
 #pragma once
 
 #include <functional>
 #include <optional>
+#include <utility>
+
+#include "core/status.h"
 
 namespace dsmt::numeric {
 
-/// Outcome of a scalar root search.
-struct RootResult {
+/// Outcome of a scalar root search. [[nodiscard]]: dropping a root result
+/// on the floor is exactly how an unconverged solve leaks garbage upstream.
+struct [[nodiscard]] RootResult {
   double root = 0.0;        ///< abscissa of the root (valid iff converged)
   double f_at_root = 0.0;   ///< residual f(root)
   int iterations = 0;       ///< iterations consumed
   bool converged = false;   ///< true if tolerances were met
+  core::StatusCode status = core::StatusCode::kMaxIterations;
+
+  bool ok() const { return status == core::StatusCode::kOk; }
 };
 
 /// Options shared by the bracketing solvers.
@@ -27,7 +39,7 @@ struct RootOptions {
 };
 
 /// Classic bisection on [lo, hi]. Requires f(lo) and f(hi) of opposite sign;
-/// returns a non-converged result otherwise.
+/// returns status kNoBracket otherwise.
 /// lo, hi in f's argument unit [1].
 RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
                   const RootOptions& opts = {});
@@ -39,10 +51,19 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
 RootResult brent(const std::function<double(double)>& f, double lo, double hi,
                  const RootOptions& opts = {});
 
+/// Brent wrapped in the standard recovery chain: a missing bracket triggers
+/// expand_bracket() and a retry; an exhausted or non-finite attempt falls
+/// back to bisection with a 4x iteration budget. Every stage is recorded in
+/// `diag`; the returned status is the final stage's outcome.
+/// lo, hi in f's argument unit [1].
+RootResult brent_robust(const std::function<double(double)>& f, double lo,
+                        double hi, const RootOptions& opts,
+                        core::SolverDiag& diag);
+
 /// Damped Newton iteration from x0 with user-supplied derivative. Halves the
 /// step (up to 40 times) whenever |f| fails to decrease.
-RootResult newton(const std::function<double(double)>& f,
 /// x0 in f's argument unit [1].
+RootResult newton(const std::function<double(double)>& f,
                   const std::function<double(double)>& dfdx, double x0,
                   const RootOptions& opts = {});
 

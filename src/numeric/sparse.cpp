@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "numeric/fault_injection.h"
+
 namespace dsmt::numeric {
 
 CsrMatrix::CsrMatrix(const SparseBuilder& builder) : n_(builder.size()) {
@@ -78,18 +80,31 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
     bnorm += b[i] * b[i];
   }
   bnorm = std::sqrt(bnorm);
-  if (bnorm == 0.0) bnorm = 1.0;
+  if (bnorm == 0.0) {
+    // All-zero RHS: x = 0 is the exact solution of an SPD system; report it
+    // instead of grinding the iteration against a zero search direction.
+    x.assign(n, 0.0);
+    CgResult res;
+    res.converged = true;
+    res.status = core::StatusCode::kOk;
+    return res;
+  }
 
   for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
   p = z;
   double rz = std::inner_product(r.begin(), r.end(), z.begin(), 0.0);
 
   CgResult res;
-  for (int it = 0; it < opts.max_iterations; ++it) {
+  const int max_it = fault::clamp_iterations("numeric/cg",
+                                             opts.max_iterations);
+  for (int it = 0; it < max_it; ++it) {
     res.iterations = it + 1;
     a.multiply(p, ap);
     const double pap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);
-    if (pap == 0.0) break;
+    if (pap == 0.0) {
+      res.status = core::StatusCode::kSingularSystem;
+      return res;
+    }
     const double alpha = rz / pap;
     double rnorm = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -97,10 +112,16 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
       r[i] -= alpha * ap[i];
       rnorm += r[i] * r[i];
     }
-    rnorm = std::sqrt(rnorm);
+    rnorm = fault::filter_residual("numeric/cg", res.iterations,
+                                   std::sqrt(rnorm));
     res.residual_norm = rnorm / bnorm;
+    if (!std::isfinite(res.residual_norm)) {
+      res.status = core::StatusCode::kNonFinite;
+      return res;
+    }
     if (res.residual_norm <= opts.rel_tol) {
       res.converged = true;
+      res.status = core::StatusCode::kOk;
       return res;
     }
     for (std::size_t i = 0; i < n; ++i) z[i] = diag[i] * r[i];
@@ -110,7 +131,36 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
     rz = rz_new;
     for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
   }
+  res.status = core::StatusCode::kMaxIterations;
   return res;
+}
+
+CgResult conjugate_gradient_robust(const CsrMatrix& a,
+                                   const std::vector<double>& b,
+                                   std::vector<double>& x,
+                                   const CgOptions& opts,
+                                   core::SolverDiag& diag) {
+  CgResult r = conjugate_gradient(a, b, x, opts);
+  diag.record("numeric/cg", r.status, r.iterations, r.residual_norm);
+  if (r.ok()) return r;
+
+  if (r.status == core::StatusCode::kNonFinite) {
+    // Cold restart once: a transient overflow from a bad warm start clears;
+    // a structural NaN (in A or b) recurs and stays fatal.
+    x.assign(x.size(), 0.0);
+    r = conjugate_gradient(a, b, x, opts);
+    diag.record("numeric/cg", r.status, r.iterations, r.residual_norm,
+                "cold restart after non-finite residual");
+    return r;
+  }
+  if (r.status == core::StatusCode::kMaxIterations) {
+    CgOptions escalated = opts;
+    escalated.max_iterations = opts.max_iterations * 4;
+    r = conjugate_gradient(a, b, x, escalated);  // warm start from current x
+    diag.record("numeric/cg", r.status, r.iterations, r.residual_norm,
+                "warm-started Jacobi retry, 4x budget");
+  }
+  return r;
 }
 
 }  // namespace dsmt::numeric

@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/status.h"
+
 namespace dsmt::numeric {
 
 /// Coordinate-format triplet accumulator; duplicate entries are summed when
@@ -58,11 +60,15 @@ class CsrMatrix {
   std::vector<double> vals_;
 };
 
-/// Conjugate-gradient convergence report.
-struct CgResult {
+/// Conjugate-gradient convergence report. [[nodiscard]]: ignoring it is how
+/// an unconverged field solve turns into silently wrong temperatures.
+struct [[nodiscard]] CgResult {
   int iterations = 0;
   double residual_norm = 0.0;  ///< final ||b - Ax|| / ||b||
   bool converged = false;
+  core::StatusCode status = core::StatusCode::kMaxIterations;
+
+  bool ok() const { return status == core::StatusCode::kOk; }
 };
 
 struct CgOptions {
@@ -74,5 +80,15 @@ struct CgOptions {
 /// `x` carries the initial guess in and the solution out.
 CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
                             std::vector<double>& x, const CgOptions& opts = {});
+
+/// CG wrapped in the standard recovery chain: an exhausted budget triggers a
+/// warm-started retry at 4x the budget (Jacobi preconditioner rebuilt); a
+/// non-finite residual triggers one cold restart from x = 0. Every stage is
+/// recorded in `diag`; the returned status is the final stage's outcome.
+CgResult conjugate_gradient_robust(const CsrMatrix& a,
+                                   const std::vector<double>& b,
+                                   std::vector<double>& x,
+                                   const CgOptions& opts,
+                                   core::SolverDiag& diag);
 
 }  // namespace dsmt::numeric

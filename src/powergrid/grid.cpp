@@ -105,11 +105,13 @@ GridSolution solve(const GridSpec& spec, const std::vector<Pad>& pads,
 
   const numeric::CsrMatrix a(builder);
   std::vector<double> x(n_unk, spec.vdd);
-  const auto cg = numeric::conjugate_gradient(a, rhs, x, {1e-12, 50000});
-
   GridSolution sol;
+  sol.diag.kernel = "powergrid/grid";
+  const auto cg =
+      numeric::conjugate_gradient_robust(a, rhs, x, {1e-12, 50000}, sol.diag);
+
   sol.cg_iterations = cg.iterations;
-  sol.converged = cg.converged;
+  sol.converged = cg.ok();
   sol.node_voltage.assign(n, spec.vdd);
   for (std::size_t i = 0; i < n; ++i)
     if (unk[i] >= 0) sol.node_voltage[i] = x[unk[i]];

@@ -19,8 +19,9 @@
 #include <cstddef>
 #include <vector>
 
-#include "tech/technology.h"
+#include "core/status.h"
 #include "core/units.h"
+#include "tech/technology.h"
 
 namespace dsmt::powergrid {
 
@@ -68,6 +69,7 @@ struct GridSolution {
   double max_j_vertical = 0.0;       ///< worst density on layer_v [A/m^2]
   int cg_iterations = 0;
   bool converged = false;
+  core::SolverDiag diag;  ///< linear-solve history incl. recovery stages
 
   double voltage(int ix, int iy, int nx) const {
     return node_voltage[static_cast<std::size_t>(iy) * nx + ix];

@@ -1,0 +1,26 @@
+#include "report/diagnostics.h"
+
+namespace dsmt::report {
+
+Json diag_to_json(const core::SolverDiag& diag) {
+  Json root = Json::object();
+  root.set("kernel", Json::string(diag.kernel))
+      .set("status", Json::string(core::status_name(diag.status)))
+      .set("iterations", Json::integer(diag.iterations))
+      .set("residual", Json::number(diag.residual))
+      .set("recovered", Json::boolean(diag.recovered));
+  Json chain = Json::array();
+  for (const auto& ev : diag.chain) {
+    Json entry = Json::object();
+    entry.set("kernel", Json::string(ev.kernel))
+        .set("status", Json::string(core::status_name(ev.status)))
+        .set("iterations", Json::integer(ev.iterations))
+        .set("residual", Json::number(ev.residual));
+    if (!ev.note.empty()) entry.set("note", Json::string(ev.note));
+    chain.push(std::move(entry));
+  }
+  root.set("chain", std::move(chain));
+  return root;
+}
+
+}  // namespace dsmt::report

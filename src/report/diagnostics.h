@@ -1,0 +1,15 @@
+// JSON serialization of solver diagnostics (core/status.h), so sign-off
+// reports and downstream tooling can see which kernels ran, how hard they
+// worked, and whether any recovery stage fired.
+#pragma once
+
+#include "core/status.h"
+#include "report/json.h"
+
+namespace dsmt::report {
+
+/// Serializes a diagnostic chain: the summary fields plus every recorded
+/// attempt/recovery event, in order.
+Json diag_to_json(const core::SolverDiag& diag);
+
+}  // namespace dsmt::report

@@ -69,16 +69,26 @@ Solution solve(const Problem& p) {
   while (residual(p, units::Kelvin{hi}) < 0.0 && hi < p.t_ref + 5000.0) {
     hi = p.t_ref + 2.0 * (hi - p.t_ref);
   }
-  if (residual(p, units::Kelvin{hi}) < 0.0)
-    throw std::runtime_error("selfconsistent::solve: failed to bracket root");
+  if (residual(p, units::Kelvin{hi}) < 0.0) {
+    core::SolverDiag diag;
+    diag.record("selfconsistent/solve", core::StatusCode::kNoBracket, 0,
+                residual(p, units::Kelvin{hi}),
+                "no sign change up to t_ref + 5000 K");
+    throw SolveError("selfconsistent::solve: failed to bracket root", diag);
+  }
 
-  const auto root =
-      numeric::brent([&](double t) { return residual(p, units::Kelvin{t}); },
-                     lo, hi, {.x_tol = 1e-9, .f_tol = 0.0,
-                              .max_iterations = 200});
+  sol.diag.kernel = "selfconsistent/solve";
+  const auto root = numeric::brent_robust(
+      [&](double t) { return residual(p, units::Kelvin{t}); }, lo, hi,
+      {.x_tol = 1e-9, .f_tol = 0.0, .max_iterations = 200}, sol.diag);
+  if (!root.ok()) {
+    core::SolverDiag diag = sol.diag;
+    diag.add_context("selfconsistent/solve");
+    throw SolveError("selfconsistent::solve: root find failed", diag);
+  }
   sol.t_metal = units::Kelvin{root.root};
   sol.delta_t = sol.t_metal - p.t_ref;
-  sol.converged = root.converged;
+  sol.converged = root.ok();
   sol.iterations = root.iterations;
 
   const double jrms2 = jrms2_thermal(p, sol.t_metal);

@@ -22,6 +22,7 @@
 // only blessed entry points for raw numbers.
 #pragma once
 
+#include "core/status.h"
 #include "core/units.h"
 #include "materials/metal.h"
 #include "tech/layer_stack.h"
@@ -45,8 +46,9 @@ units::HeatingCoefficient heating_coefficient(
     units::Metres w_m, units::Metres t_m,
     units::ThermalResistancePerLength rth_per_len);
 
-/// The self-consistent operating point.
-struct Solution {
+/// The self-consistent operating point. [[nodiscard]]: the solve is the
+/// whole point of the call; dropping it hides a possible failure.
+struct [[nodiscard]] Solution {
   units::Kelvin t_metal{};        ///< self-consistent metal temperature
   units::CelsiusDelta delta_t{};  ///< T_m - T_ref
   units::CurrentDensity j_peak{};  ///< maximum allowed peak current density
@@ -54,11 +56,13 @@ struct Solution {
   units::CurrentDensity j_avg{};   ///< corresponding average density
   bool converged = false;
   int iterations = 0;
+  core::SolverDiag diag;  ///< root-find history incl. recovery stages
 };
 
 /// Solves Eq. 13. Throws std::invalid_argument on malformed problems
 /// (duty cycle outside (0,1], non-positive or non-finite j0 / t_ref /
-/// heating coefficient).
+/// heating coefficient) and dsmt::SolveError when the root find fails
+/// after its recovery chain (bracket expansion, bisection fallback).
 Solution solve(const Problem& problem);
 
 /// The EM-only limit (no self-heating): j_peak = j_o / r (the dotted line

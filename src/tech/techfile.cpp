@@ -1,6 +1,8 @@
 #include "tech/techfile.h"
 
+#include <cmath>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -44,6 +46,13 @@ Technology parse_techfile(const std::string& text) {
   std::string line;
   int lineno = 0;
   bool saw_tech = false, saw_end = false;
+  std::set<std::string> seen_directives;
+  // Single-shot directives: a second occurrence would silently overwrite
+  // the first, so reject it with the duplicate's line number.
+  auto claim = [&](const std::string& key) {
+    if (!seen_directives.insert(key).second)
+      fail(lineno, "duplicate '" + key + "' directive");
+  };
 
   while (std::getline(is, line)) {
     ++lineno;
@@ -54,13 +63,17 @@ Technology parse_techfile(const std::string& text) {
     if (!(ls >> key)) continue;  // blank
 
     if (key == "tech") {
+      claim(key);
       if (!(ls >> t.name)) fail(lineno, "tech: missing name");
       saw_tech = true;
     } else if (key == "feature_um") {
+      claim(key);
       double f;
-      if (!(ls >> f) || f <= 0.0) fail(lineno, "feature_um: bad value");
+      if (!(ls >> f) || !std::isfinite(f) || f <= 0.0)
+        fail(lineno, "feature_um: bad value");
       t.feature_size = dsmt::um(f);
     } else if (key == "metal") {
+      claim(key);
       std::string m;
       if (!(ls >> m)) fail(lineno, "metal: missing name");
       try {
@@ -69,6 +82,7 @@ Technology parse_techfile(const std::string& text) {
         fail(lineno, "metal: unknown '" + m + "'");
       }
     } else if (key == "ild") {
+      claim(key);
       std::string d;
       if (!(ls >> d)) fail(lineno, "ild: missing name");
       try {
@@ -77,10 +91,16 @@ Technology parse_techfile(const std::string& text) {
         fail(lineno, "ild: unknown '" + d + "'");
       }
     } else if (key == "device") {
+      claim(key);
       std::string k;
       double v;
+      std::set<std::string> seen_keys;
       while (ls >> k) {
+        if (!seen_keys.insert(k).second)
+          fail(lineno, "device: duplicate key " + k);
         if (!(ls >> v)) fail(lineno, "device: missing value for " + k);
+        if (!std::isfinite(v))
+          fail(lineno, "device: non-finite value for " + k);
         if (k == "vdd") t.device.vdd = v;
         else if (k == "vt") t.device.vt = v;
         else if (k == "r0") t.device.r0 = v;
@@ -99,8 +119,13 @@ Technology parse_techfile(const std::string& text) {
       std::string k;
       if (!(ls >> l.level)) fail(lineno, "layer: missing level");
       double v;
+      std::set<std::string> seen_keys;
       while (ls >> k) {
+        if (!seen_keys.insert(k).second)
+          fail(lineno, "layer: duplicate key " + k);
         if (!(ls >> v)) fail(lineno, "layer: missing value for " + k);
+        if (!std::isfinite(v))
+          fail(lineno, "layer: non-finite value for " + k);
         if (k == "w_um") l.width = dsmt::um(v);
         else if (k == "pitch_um") l.pitch = dsmt::um(v);
         else if (k == "t_um") l.thickness = dsmt::um(v);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "numeric/fault_injection.h"
 #include "numeric/tridiag.h"
 
 namespace dsmt::thermal {
@@ -31,8 +32,10 @@ Steady1DResult solve_steady_line(const Line1DSpec& spec, double j_density) {
 
   // Picard: freeze rho(T) from the previous iterate, solve the linear BVP
   //   K A T'' - g (T - T_ref) + j^2 rho A = 0.
+  core::StatusCode stop = core::StatusCode::kMaxIterations;
   std::vector<double> lower(n), diag(n), upper(n), rhs(n);
-  for (int it = 0; it < 100; ++it) {
+  const int max_it = numeric::fault::clamp_iterations("thermal/fd1d", 100);
+  for (int it = 0; it < max_it; ++it) {
     for (int i = 0; i < n; ++i) {
       if (i == 0 || i == n - 1) {
         lower[i] = upper[i] = 0.0;
@@ -52,11 +55,22 @@ Steady1DResult solve_steady_line(const Line1DSpec& spec, double j_density) {
     for (int i = 0; i < n; ++i) delta = std::max(delta, std::abs(t_new[i] - res.t[i]));
     res.t = std::move(t_new);
     res.picard_iterations = it + 1;
+    delta = numeric::fault::filter_residual("thermal/fd1d", it + 1, delta);
+    if (!std::isfinite(delta)) {
+      stop = core::StatusCode::kNonFinite;
+      res.diag.record("thermal/fd1d", stop, res.picard_iterations, delta);
+      return res;
+    }
     if (delta < 1e-8) {
       res.converged = true;
+      stop = core::StatusCode::kOk;
+      res.diag.record("thermal/fd1d", stop, res.picard_iterations, delta);
       break;
     }
   }
+  if (stop != core::StatusCode::kOk)
+    res.diag.record("thermal/fd1d", stop, res.picard_iterations, 0.0,
+                    "Picard iteration exhausted");
   res.t_peak = 0.0;
   double sum = 0.0;
   for (int i = 0; i < n; ++i) {

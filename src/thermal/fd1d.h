@@ -10,8 +10,9 @@
 #include <functional>
 #include <vector>
 
-#include "materials/metal.h"
+#include "core/status.h"
 #include "core/units.h"
+#include "materials/metal.h"
 
 namespace dsmt::thermal {
 
@@ -37,7 +38,9 @@ struct Steady1DResult {
   double t_avg = 0.0;
   int picard_iterations = 0;
   bool converged = false;
+  core::SolverDiag diag;  ///< Picard-iteration history
 };
+/// j_density [A/m^2].
 Steady1DResult solve_steady_line(const Line1DSpec& spec, double j_density);
 
 /// Transient evolution under a current-density waveform j(t). Explicit in

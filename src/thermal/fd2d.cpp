@@ -179,12 +179,13 @@ CrossSection2D::Solution CrossSection2D::solve(
   }
 
   std::vector<double> x(m.n_unknowns, 0.0);
-  const auto cg = numeric::conjugate_gradient(
-      m.a, rhs, x, {opts.cg_rel_tol, opts.cg_max_iterations});
-
   Solution sol;
+  sol.diag.kernel = "thermal/fd2d";
+  const auto cg = numeric::conjugate_gradient_robust(
+      m.a, rhs, x, {opts.cg_rel_tol, opts.cg_max_iterations}, sol.diag);
+
   sol.cg_iterations = cg.iterations;
-  sol.converged = cg.converged;
+  sol.converged = cg.ok();
   sol.unknowns = m.n_unknowns;
   sol.wire_avg_rise.resize(wires_.size());
   sol.wire_peak_rise.resize(wires_.size());

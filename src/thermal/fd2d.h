@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/status.h"
 #include "numeric/dense.h"
 
 namespace dsmt::thermal {
@@ -65,6 +66,7 @@ class CrossSection2D {
     int cg_iterations = 0;
     bool converged = false;
     std::size_t unknowns = 0;
+    core::SolverDiag diag;  ///< linear-solve history incl. recovery stages
   };
   Solution solve(const std::vector<double>& p_per_len,
                  const MeshOptions& mesh = {}) const;

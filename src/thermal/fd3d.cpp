@@ -161,13 +161,14 @@ Volume3D::Solution Volume3D::solve(const std::vector<double>& watts,
   }
 
   std::vector<double> x(n_unk, 0.0);
-  const auto cg = numeric::conjugate_gradient(
-      a, rhs, x, {opts.cg_rel_tol, opts.cg_max_iterations});
-
   Solution sol;
+  sol.diag.kernel = "thermal/fd3d";
+  const auto cg = numeric::conjugate_gradient_robust(
+      a, rhs, x, {opts.cg_rel_tol, opts.cg_max_iterations}, sol.diag);
+
   sol.unknowns = n_unk;
   sol.cg_iterations = cg.iterations;
-  sol.converged = cg.converged;
+  sol.converged = cg.ok();
   sol.wire_avg_rise.resize(wires_.size());
   sol.wire_peak_rise.resize(wires_.size());
   for (std::size_t w = 0; w < wires_.size(); ++w) {
@@ -254,8 +255,11 @@ Array3DHeating array3d_heating_coefficients(const Array3D& arr, int level,
   p_iso[victim] = arr.volume.wire(victim).volume();
   const auto sol_iso = arr.volume.solve(p_iso, opts);
 
-  if (!sol_all.converged || !sol_iso.converged)
-    throw std::runtime_error("array3d_heating_coefficients: CG failed");
+  if (!sol_all.diag.ok() || !sol_iso.diag.ok()) {
+    core::SolverDiag diag = sol_all.diag.ok() ? sol_iso.diag : sol_all.diag;
+    diag.add_context("array3d_heating_coefficients");
+    throw SolveError("array3d_heating_coefficients: CG failed", diag);
+  }
   return {sol_all.wire_avg_rise[victim], sol_iso.wire_avg_rise[victim]};
 }
 

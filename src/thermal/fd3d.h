@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/status.h"
 #include "materials/dielectric.h"
 #include "tech/technology.h"
 
@@ -52,6 +53,7 @@ class Volume3D {
     std::size_t unknowns = 0;
     int cg_iterations = 0;
     bool converged = false;
+    core::SolverDiag diag;  ///< linear-solve history incl. recovery stages
   };
   /// Solves with total power `watts[i]` dissipated uniformly in wire i.
   Solution solve(const std::vector<double>& watts,

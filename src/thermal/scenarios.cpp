@@ -25,8 +25,11 @@ double solve_rth_per_length(const SingleLineSpec& spec,
                             const MeshOptions& mesh) {
   CrossSection2D cs = make_single_line_section(spec);
   const auto sol = cs.solve({1.0}, mesh);  // 1 W/m
-  if (!sol.converged)
-    throw std::runtime_error("solve_rth_per_length: CG did not converge");
+  if (!sol.diag.ok()) {
+    core::SolverDiag diag = sol.diag;
+    diag.add_context("solve_rth_per_length");
+    throw SolveError("solve_rth_per_length: CG did not converge", diag);
+  }
   return sol.wire_avg_rise[0];
 }
 
@@ -118,8 +121,11 @@ ArrayHeating array_heating_coefficients(const ArraySection& arr, int level,
   p_iso[victim] = arr.section.wire(victim).area();
   const auto sol_iso = arr.section.solve(p_iso, mesh);
 
-  if (!sol_all.converged || !sol_iso.converged)
-    throw std::runtime_error("array_heating_coefficients: CG not converged");
+  if (!sol_all.diag.ok() || !sol_iso.diag.ok()) {
+    core::SolverDiag diag = sol_all.diag.ok() ? sol_iso.diag : sol_all.diag;
+    diag.add_context("array_heating_coefficients");
+    throw SolveError("array_heating_coefficients: CG not converged", diag);
+  }
 
   return {sol_all.wire_avg_rise[victim], sol_iso.wire_avg_rise[victim]};
 }

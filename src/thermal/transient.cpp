@@ -112,6 +112,12 @@ double critical_current_density(const PulseLineSpec& spec,
   const auto r = numeric::bisect(melts_in_time, lo, hi,
                                  {.x_tol = 1e-4 * j_adiabatic, .f_tol = 0.0,
                                   .max_iterations = 80});
+  if (!r.ok()) {
+    core::SolverDiag diag;
+    diag.record("numeric/bisect", r.status, r.iterations, r.f_at_root);
+    diag.add_context("thermal/critical_current_density");
+    throw SolveError("critical_current_density: bisection failed", diag);
+  }
   return r.root;
 }
 

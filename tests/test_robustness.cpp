@@ -60,6 +60,73 @@ TEST(Robustness, TechfileParserThrowsOnGarbageNeverCrashes) {
   SUCCEED();
 }
 
+/// Asserts parse_techfile rejects `text` with a std::runtime_error whose
+/// message carries the offending line number ("techfile:N:") and, when
+/// `fragment` is non-empty, the expected description.
+void ExpectTechfileError(const std::string& text, int line,
+                         const std::string& fragment) {
+  try {
+    (void)tech::parse_techfile(text);
+    FAIL() << "expected parse_techfile to throw on: " << text;
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("techfile:" + std::to_string(line) + ":"),
+              std::string::npos)
+        << "wrong line number in: " << what;
+    if (!fragment.empty())
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "missing '" << fragment << "' in: " << what;
+  }
+}
+
+TEST(Robustness, TechfileRejectsTruncatedLines) {
+  ExpectTechfileError("tech x\nlayer 1 w_um\nend\n", 2,
+                      "layer: missing value for w_um");
+  ExpectTechfileError("tech x\ndevice vdd\nend\n", 2,
+                      "device: missing value for vdd");
+  ExpectTechfileError("tech\nend\n", 1, "tech: missing name");
+  ExpectTechfileError("tech x\nmetal\nend\n", 2, "metal: missing name");
+}
+
+TEST(Robustness, TechfileRejectsOutOfOrderLayers) {
+  ExpectTechfileError(
+      "tech x\n"
+      "layer 3 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"
+      "layer 2 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"
+      "end\n",
+      3, "layer: levels must be ascending");
+  // Equal levels are just as wrong as descending ones.
+  ExpectTechfileError(
+      "tech x\n"
+      "layer 2 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"
+      "layer 2 w_um 1 pitch_um 2 t_um 1 ild_um 1\n"
+      "end\n",
+      3, "layer: levels must be ascending");
+}
+
+TEST(Robustness, TechfileRejectsNonFiniteValues) {
+  // Whether the stream rejects the token or the isfinite guard catches it,
+  // the error must carry the right line number.
+  ExpectTechfileError("tech x\nfeature_um nan\nend\n", 2, "feature_um");
+  ExpectTechfileError("tech x\nfeature_um inf\nend\n", 2, "feature_um");
+  ExpectTechfileError("tech x\ndevice vdd nan\nend\n", 2, "device:");
+  ExpectTechfileError(
+      "tech x\nlayer 1 w_um inf pitch_um 2 t_um 1 ild_um 1\nend\n", 2,
+      "layer:");
+}
+
+TEST(Robustness, TechfileRejectsDuplicateKeys) {
+  ExpectTechfileError(
+      "tech x\nlayer 1 w_um 1 w_um 2 pitch_um 2 t_um 1 ild_um 1\nend\n", 2,
+      "layer: duplicate key w_um");
+  ExpectTechfileError("tech x\ndevice vdd 1 vdd 2\nend\n", 2,
+                      "device: duplicate key vdd");
+  ExpectTechfileError("tech x\ntech y\nend\n", 2,
+                      "duplicate 'tech' directive");
+  ExpectTechfileError("tech x\nfeature_um 1\nfeature_um 2\nend\n", 3,
+                      "duplicate 'feature_um' directive");
+}
+
 TEST(Robustness, SolverRejectsIllegalProblems) {
   const auto make_valid = [] {
     selfconsistent::Problem p;
@@ -73,33 +140,33 @@ TEST(Robustness, SolverRejectsIllegalProblems) {
         thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff));
     return p;
   };
-  ASSERT_NO_THROW(selfconsistent::solve(make_valid()));
+  ASSERT_NO_THROW((void)selfconsistent::solve(make_valid()));
 
   // Negative / zero / super-unity duty cycle.
   for (double r : {-0.5, 0.0, 1.5}) {
     auto p = make_valid();
     p.duty_cycle = r;
-    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument) << r;
+    EXPECT_THROW((void)selfconsistent::solve(p), std::invalid_argument) << r;
   }
   // Default-constructed (zero) heating coefficient: the thermal feedback
   // term would silently vanish, so the solver must refuse to run.
   {
     auto p = make_valid();
     p.heating_coefficient = units::HeatingCoefficient{};
-    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument);
+    EXPECT_THROW((void)selfconsistent::solve(p), std::invalid_argument);
   }
   // Non-finite or non-positive design-rule density.
   for (double j : {std::nan(""), -1.0, 0.0,
                    std::numeric_limits<double>::infinity()}) {
     auto p = make_valid();
     p.j0 = A_per_m2(j);
-    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument) << j;
+    EXPECT_THROW((void)selfconsistent::solve(p), std::invalid_argument) << j;
   }
   // Non-physical reference temperature.
   {
     auto p = make_valid();
     p.t_ref = units::Kelvin{-1.0};
-    EXPECT_THROW(selfconsistent::solve(p), std::invalid_argument);
+    EXPECT_THROW((void)selfconsistent::solve(p), std::invalid_argument);
   }
 }
 

@@ -15,6 +15,11 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   core/units.h — everywhere else use the named constant.
   R4 pragma-once  Every header must start its preprocessor life with
                   `#pragma once`.
+  R5 converged-check  `.converged` may be written anywhere but read only
+                  inside the status layer (core/status, numeric/roots,
+                  numeric/sparse, numeric/fault_injection): call sites must
+                  go through .ok() / the SolverDiag chain so failures carry
+                  their StatusCode instead of collapsing to a bare bool.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -47,6 +52,19 @@ PHYSICAL_CONSTANTS = [
 ]
 
 STDIO_RE = re.compile(r"std::cout\b|std::cerr\b|(?<![\w:])printf\s*\(")
+
+# Files that implement the failure-status layer and are allowed to read the
+# raw `.converged` flag; everyone else must use .ok() / SolverDiag.
+CONVERGED_HOMES = {
+    "core/status.h", "core/status.cpp",
+    "numeric/fault_injection.h", "numeric/fault_injection.cpp",
+    "numeric/roots.cpp", "numeric/sparse.cpp",
+}
+
+# A `.converged` occurrence that is not a plain assignment (writes stay
+# legal everywhere: kernels populate the flag, they just may not branch
+# on it outside the status layer).
+CONVERGED_READ_RE = re.compile(r"\.converged\b(?!\s*=(?!=))")
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
 # plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
@@ -128,6 +146,15 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                     errors.append(f"{rel}:{i + 1}: [constants] literal "
                                   f"{what}")
 
+    # R5: `.converged` reads only inside the status layer.
+    if rel not in CONVERGED_HOMES:
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            if CONVERGED_READ_RE.search(line):
+                errors.append(f"{rel}:{i + 1}: [converged-check] raw "
+                              f"'.converged' read outside the status layer — "
+                              f"use .ok() or the SolverDiag chain")
+
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
     # scalar operators are exactly the sanctioned raw-double boundary.
@@ -174,6 +201,8 @@ inline double to_kelvin(double t_c) { return t_c + 273.15; }
 
 inline void report(double x) { std::cout << x; }  // [1]
 
+inline bool is_done(const Result& r) { return r.converged; }
+
 }  // namespace dsmt
 """
 
@@ -185,6 +214,9 @@ namespace dsmt {
 
 /// Scales a ratio [1] by gain [1].
 double scale(double ratio, double gain);
+
+/// Writing the flag is legal everywhere — only reads are fenced in.
+inline void mark(Result& r) { r.converged = true; }
 
 }  // namespace dsmt
 """
@@ -204,7 +236,8 @@ def self_test() -> int:
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
         tags = sorted({re.search(r"\[([\w-]+)\]", e).group(1) for e in errors})
-        expect = ["constants", "no-stdio", "pragma-once", "unit-tag"]
+        expect = ["constants", "converged-check", "no-stdio", "pragma-once",
+                  "unit-tag"]
         if tags != expect:
             print(f"self-test FAILED: bad.h raised {tags}, expected {expect}")
             for e in errors:
