@@ -1,13 +1,18 @@
 // Google-benchmark micro-benchmarks of the numeric kernels that dominate the
-// reproduction harnesses: scalar root solves, dense LU, sparse CG.
+// reproduction harnesses: scalar root solves, dense LU, sparse CG — plus
+// serial-vs-N-thread timings of the parallel sweep drivers.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <random>
 
+#include "core/variation.h"
 #include "numeric/dense.h"
 #include "numeric/roots.h"
 #include "numeric/sparse.h"
+#include "parallel/parallel_for.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
 
 namespace {
 
@@ -61,6 +66,48 @@ void BM_SparseCgLaplace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SparseCgLaplace)->Arg(32)->Arg(64);
+
+// Thread-scaling benchmarks: Arg is the thread count handed to the pool.
+// The 1-thread row is the serial baseline (parallel_for falls through to a
+// plain loop); higher rows measure the same bit-identical computation under
+// the static-block fan-out, so row ratios read directly as speedup.
+
+void BM_DesignRuleTableSweep(benchmark::State& state) {
+  dsmt::parallel::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  dsmt::selfconsistent::TableSpec spec;
+  spec.technology = dsmt::tech::make_ntrs_100nm_cu();
+  spec.gap_fills = dsmt::materials::paper_dielectrics();
+  spec.levels = {1, 2, 3, 4, 5, 6, 7, 8};
+  spec.duty_cycles = {0.01, 0.1, 0.5, 1.0};
+  spec.j0 = dsmt::MA_per_cm2(0.6);
+  for (auto _ : state) {
+    auto table = dsmt::selfconsistent::generate_design_rule_table(spec);
+    benchmark::DoNotOptimize(table.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              spec.levels.size() * spec.gap_fills.size() *
+                              spec.duty_cycles.size()));
+  dsmt::parallel::set_thread_count(0);
+}
+BENCHMARK(BM_DesignRuleTableSweep)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MonteCarloJpeak(benchmark::State& state) {
+  dsmt::parallel::set_thread_count(static_cast<std::size_t>(state.range(0)));
+  const auto technology = dsmt::tech::make_ntrs_100nm_cu();
+  const auto hsq = dsmt::materials::make_hsq();
+  const dsmt::core::VariationSpec spec;
+  for (auto _ : state) {
+    auto mc = dsmt::core::monte_carlo_jpeak(technology, 8, hsq, 2.45, 0.1,
+                                            dsmt::MA_per_cm2(1.8), spec, 256);
+    benchmark::DoNotOptimize(mc.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  dsmt::parallel::set_thread_count(0);
+}
+BENCHMARK(BM_MonteCarloJpeak)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

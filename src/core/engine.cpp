@@ -6,6 +6,7 @@
 
 #include "numeric/constants.h"
 #include "numeric/fault_injection.h"
+#include "parallel/parallel_for.h"
 #include "thermal/impedance.h"
 
 namespace dsmt::core {
@@ -74,10 +75,11 @@ LayerCheck DesignRuleEngine::check_layer(
 std::vector<LayerCheck> DesignRuleEngine::check_layers(
     const std::vector<int>& levels, double k_rel,
     const materials::Dielectric& gap_fill) const {
-  std::vector<LayerCheck> out;
-  out.reserve(levels.size());
-  for (int level : levels) out.push_back(check_layer(level, k_rel, gap_fill));
-  return out;
+  // Layers are independent; a failing layer's SolveError (lowest level
+  // first, matching the serial loop) propagates with its diag chain intact.
+  return parallel::parallel_map<LayerCheck>(
+      levels.size(),
+      [&](std::size_t i) { return check_layer(levels[i], k_rel, gap_fill); });
 }
 
 DesignRuleEngine::ElectrothermalResult

@@ -2,28 +2,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "numeric/stats.h"
+#include "parallel/parallel_for.h"
 #include "selfconsistent/sweep.h"
 
 namespace dsmt::core {
 
 namespace {
 
-/// Deterministic xorshift-based standard normal (Box-Muller).
-class NormalGen {
+/// Deterministic counter-based standard normal (splitmix64 + Box-Muller).
+///
+/// Each Monte-Carlo sample owns an independent stream keyed on
+/// (seed, sample index), so sample s draws the same perturbations no matter
+/// which thread computes it or in what order — the parallel sampling stream
+/// is identical to the serial one by construction, not by scheduling luck.
+class CounterNormalGen {
  public:
-  explicit NormalGen(unsigned seed) : state_(seed ? seed : 1) {}
+  CounterNormalGen(unsigned seed, std::uint64_t sample)
+      : state_(mix64(0x9E3779B97F4A7C15ULL * (sample + 1) ^
+                     (static_cast<std::uint64_t>(seed) << 1 | 1ULL))) {}
 
   double operator()() {
     if (have_spare_) {
       have_spare_ = false;
       return spare_;
     }
-    double u1 = uniform(), u2 = uniform();
     // Guard the log.
-    u1 = std::max(u1, 1e-12);
+    const double u1 = std::max(uniform(), 1e-12);
+    const double u2 = uniform();
     const double mag = std::sqrt(-2.0 * std::log(u1));
     spare_ = mag * std::sin(2.0 * M_PI * u2);
     have_spare_ = true;
@@ -31,13 +40,21 @@ class NormalGen {
   }
 
  private:
-  double uniform() {
-    state_ ^= state_ << 13;
-    state_ ^= state_ >> 17;
-    state_ ^= state_ << 5;
-    return static_cast<double>(state_ % 1000000007u) / 1000000007.0;
+  static std::uint64_t mix64(std::uint64_t z) {
+    z ^= z >> 30;
+    z *= 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+    z *= 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return z;
   }
-  unsigned state_;
+
+  double uniform() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    return static_cast<double>(mix64(state_) >> 11) * 0x1.0p-53;
+  }
+
+  std::uint64_t state_;
   bool have_spare_ = false;
   double spare_ = 0.0;
 };
@@ -65,33 +82,41 @@ VariationResult monte_carlo_jpeak(const tech::Technology& technology,
                     technology, level, gap_fill, phi, duty_cycle, A_per_m2(j0)))
                     .j_peak;
 
-  NormalGen gen(spec.seed);
-  numeric::RunningStats stats;
-  out.samples.reserve(n_samples);
-  for (int s = 0; s < n_samples; ++s) {
-    tech::Technology t = technology;
-    materials::Dielectric gf = gap_fill;
-    // Lognormal perturbations keep every quantity positive.
-    const double fw = std::exp(spec.width * gen());
-    const double ft = std::exp(spec.thickness * gen());
-    const double fb = std::exp(spec.stack * gen());
-    const double fk = std::exp(spec.k_thermal * gen());
-    for (auto& l : t.layers) {
-      if (l.level == level) {
-        l.pitch += l.width * (fw - 1.0);
-        l.width *= fw;
-        l.thickness *= ft;
-      }
-      l.ild_below *= fb;
-    }
-    gf.k_thermal *= fk;
-    const double j =
-        selfconsistent::solve(selfconsistent::make_level_problem(
-                                  t, level, gf, phi, duty_cycle, A_per_m2(j0)))
-            .j_peak;
-    out.samples.push_back(j);
-    stats.add(j);
-  }
+  // Sampling phase: every sample draws from its own counter-seeded stream
+  // and writes its own slot, so the parallel result is bit-identical to the
+  // serial one for any thread count.
+  out.samples = parallel::parallel_map<double>(
+      static_cast<std::size_t>(n_samples), [&](std::size_t s) {
+        CounterNormalGen gen(spec.seed, s);
+        tech::Technology t = technology;
+        materials::Dielectric gf = gap_fill;
+        // Lognormal perturbations keep every quantity positive.
+        const double fw = std::exp(spec.width * gen());
+        const double ft = std::exp(spec.thickness * gen());
+        const double fb = std::exp(spec.stack * gen());
+        const double fk = std::exp(spec.k_thermal * gen());
+        for (auto& l : t.layers) {
+          if (l.level == level) {
+            l.pitch += l.width * (fw - 1.0);
+            l.width *= fw;
+            l.thickness *= ft;
+          }
+          l.ild_below *= fb;
+        }
+        gf.k_thermal *= fk;
+        return selfconsistent::solve(
+                   selfconsistent::make_level_problem(t, level, gf, phi,
+                                                      duty_cycle, A_per_m2(j0)))
+            .j_peak.value();
+      });
+  // Reduction phase: fold the summary in index order on this thread — the
+  // exact floating-point accumulation sequence of the serial loop.
+  const auto stats = parallel::ordered_reduce(
+      numeric::RunningStats{}, out.samples,
+      [](numeric::RunningStats acc, double j) {
+        acc.add(j);
+        return acc;
+      });
   out.mean = stats.mean();
   out.stddev = stats.stddev();
   std::vector<double> sorted = out.samples;

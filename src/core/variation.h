@@ -2,9 +2,11 @@
 //
 // Line width, metal thickness, stack thickness, and dielectric conductivity
 // all vary in manufacturing. This module samples those variations
-// (independent Gaussians in log-space, deterministic generator so results
-// are reproducible) and reports the distribution of the allowed j_peak —
-// the statistical safety margin a design-rule owner must hold back.
+// (independent Gaussians in log-space, counter-based generator seeded per
+// (seed, sample index) so the sample stream is reproducible and identical
+// whether the samples run serially or across the parallel pool) and reports
+// the distribution of the allowed j_peak — the statistical safety margin a
+// design-rule owner must hold back.
 #pragma once
 
 #include <vector>

@@ -1,15 +1,20 @@
 #include "numeric/fault_injection.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <limits>
 
 namespace dsmt::numeric::fault {
 
 namespace {
+// The plan is written only by arm()/disarm() — i.e. outside any parallel
+// region, per the header contract — but the hooks are called from pool
+// workers, so the armed flag and firing counter are atomics: armed() is the
+// workers' acquire point for the plan written before the region started.
 FaultPlan g_plan;
-bool g_armed = false;
-int g_count = 0;
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_count{0};
 
 bool matches(const char* kernel) {
   return g_plan.kernel_substr.empty() ||
@@ -19,18 +24,18 @@ bool matches(const char* kernel) {
 
 void arm(const FaultPlan& plan) {
   g_plan = plan;
-  g_armed = true;
-  g_count = 0;
+  g_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
 }
 
 void disarm() {
-  g_armed = false;
+  g_armed.store(false, std::memory_order_release);
   g_plan = FaultPlan{};
 }
 
-bool armed() { return g_armed; }
+bool armed() { return g_armed.load(std::memory_order_acquire); }
 
-int injection_count() { return g_count; }
+int injection_count() { return g_count.load(std::memory_order_relaxed); }
 
 double filter_residual(const char* kernel, int iteration, double residual) {
   if (!g_armed || !matches(kernel) || iteration < g_plan.at_iteration)

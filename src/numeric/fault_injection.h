@@ -30,8 +30,10 @@ struct FaultPlan {
   double scale = 10.0;        ///< residual multiplier [1] for kPerturbResidual
 };
 
-/// Arms `plan` globally and resets the injection counter. The registry is a
-/// plain global: fault injection is a single-threaded test-harness facility.
+/// Arms `plan` globally and resets the injection counter. Arm/disarm must
+/// happen outside any parallel region; the hooks themselves are safe to hit
+/// from pool workers (atomic flag/counter), so an armed fault fires inside
+/// parallel sweeps and surfaces through parallel_for's error propagation.
 void arm(const FaultPlan& plan);
 void disarm();
 bool armed();

@@ -1,0 +1,157 @@
+// Deterministic data-parallel primitives over the fixed-size thread pool.
+//
+// Determinism contract: parallel_for(n, body) runs body(i) exactly once for
+// every i in [0, n), each call fully independent of the others, and any
+// output is written to the caller's index-addressed slot. Work is split into
+// at most thread_count() contiguous static index blocks; because no
+// cross-item state exists and no reduction is performed inside the parallel
+// region, the results are bit-identical for every thread count (including 1).
+// Reductions happen after the join, in index order, on the calling thread —
+// see ordered_reduce and docs/THEORY.md "Deterministic parallel sweeps".
+//
+// Error contract: if one or more body(i) calls throw, the exception of the
+// LOWEST failing index is rethrown on the calling thread after all blocks
+// finish — the same exception a serial loop would surface first. A
+// dsmt::SolveError therefore crosses the thread boundary intact, with its
+// SolverDiag attempt/recovery chain preserved (the exception object itself
+// is carried by std::exception_ptr, not re-synthesized).
+//
+// Nesting: a parallel_for entered from inside a pool worker runs inline and
+// serially. Outer loops get the threads; inner loops stay deterministic and
+// deadlock-free.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace dsmt::parallel {
+
+namespace detail {
+
+/// First-failure slot shared by the blocks of one parallel_for: keeps the
+/// exception thrown at the lowest item index, which is what a serial loop
+/// would have thrown first.
+struct FirstError {
+  std::mutex mu;
+  std::size_t index = static_cast<std::size_t>(-1);
+  std::exception_ptr error;
+
+  void offer(std::size_t i, std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (error == nullptr || i < index) {
+      index = i;
+      error = std::move(e);
+    }
+  }
+};
+
+/// Completion latch: parallel_for blocks the caller until every submitted
+/// block has run (std::latch minus the C++20 header-availability gamble).
+class BlockLatch {
+ public:
+  explicit BlockLatch(std::size_t count) : remaining_(count) {}
+
+  void count_down() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+};
+
+template <typename F>
+void run_block(std::size_t begin, std::size_t end, F& body, FirstError& err) {
+  for (std::size_t i = begin; i < end; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      // Record the block's first failure (its minimum index) and stop the
+      // block: later indices of this block would not have run serially
+      // either once the loop threw.
+      err.offer(i, std::current_exception());
+      return;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Runs body(i) for every i in [0, n) across the global pool with static
+/// contiguous index blocks; see the header comment for the determinism and
+/// error contracts. Safe to call from anywhere; nested calls run inline.
+template <typename F>
+void parallel_for(std::size_t n, F&& body) {
+  if (n == 0) return;
+  const std::size_t workers = thread_count();
+  if (workers <= 1 || n == 1 || on_worker_thread()) {
+    // Serial path: identical iteration order, natural exception flow.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const std::size_t blocks = workers < n ? workers : n;
+  const std::size_t base = n / blocks;
+  const std::size_t rem = n % blocks;
+
+  auto err = std::make_shared<detail::FirstError>();
+  auto latch = std::make_shared<detail::BlockLatch>(blocks - 1);
+  // The functor is shared by reference across blocks: body must be
+  // re-entrant, which the independence requirement already implies.
+  auto& fn = body;
+
+  std::size_t begin = 0;
+  std::size_t first_end = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t len = base + (b < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    if (b == 0) {
+      first_end = end;  // block 0 runs on the calling thread below
+    } else {
+      pool_submit([begin, end, &fn, err, latch] {
+        detail::run_block(begin, end, fn, *err);
+        latch->count_down();
+      });
+    }
+    begin = end;
+  }
+  detail::run_block(0, first_end, fn, *err);
+  latch->wait();
+
+  if (err->error != nullptr) std::rethrow_exception(err->error);
+}
+
+/// Ordered map: out[i] = fn(i) for i in [0, n), computed in parallel,
+/// returned in index order. T must be default-constructible.
+template <typename T, typename F>
+std::vector<T> parallel_map(std::size_t n, F&& fn) {
+  std::vector<T> out(n);
+  parallel_for(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Ordered reduction: folds `items` serially in index order on the calling
+/// thread — acc = fold(acc, items[i]) for i = 0..n-1. Pairing parallel_map
+/// with ordered_reduce gives the exact floating-point sum/extremum sequence
+/// of the serial code regardless of thread count.
+template <typename Acc, typename T, typename Fold>
+Acc ordered_reduce(Acc acc, const std::vector<T>& items, Fold&& fold) {
+  for (const T& item : items) acc = fold(std::move(acc), item);
+  return acc;
+}
+
+}  // namespace dsmt::parallel

@@ -1,0 +1,122 @@
+#include "parallel/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsmt::parallel {
+
+namespace {
+
+thread_local bool t_on_worker = false;
+
+std::size_t env_thread_count() {
+  const char* env = std::getenv("DSMT_THREADS");
+  if (env != nullptr) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return std::min<std::size_t>(static_cast<std::size_t>(v), 256);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+class Pool {
+ public:
+  explicit Pool(std::size_t n) {
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void worker_loop() {
+    t_on_worker = true;
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// The global pool and its configuration. `g_override` of 0 means "use the
+// environment/hardware default". Guarded by g_config_mu; the pool pointer
+// only changes while no parallel region is active (set_thread_count's
+// contract), so tasks never observe a pool being torn down under them.
+std::mutex g_config_mu;            // NOLINT(cert-err58-cpp)
+std::size_t g_override = 0;
+Pool* g_pool = nullptr;
+
+std::size_t desired_count() {
+  return g_override > 0 ? g_override : env_thread_count();
+}
+
+Pool& pool() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  const std::size_t want = desired_count();
+  if (g_pool == nullptr || g_pool->size() != want) {
+    delete g_pool;
+    g_pool = nullptr;  // keep the pointer sane if Pool's ctor throws
+    g_pool = new Pool(want);
+  }
+  return *g_pool;
+}
+
+}  // namespace
+
+std::size_t thread_count() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  return desired_count();
+}
+
+void set_thread_count(std::size_t n) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_override = n;
+  // The pool is rebuilt lazily on next use; deleting here while idle keeps
+  // stale workers from outliving a test that shrank the count.
+  delete g_pool;
+  g_pool = nullptr;
+}
+
+bool on_worker_thread() { return t_on_worker; }
+
+void pool_submit(std::function<void()> task) { pool().submit(std::move(task)); }
+
+}  // namespace dsmt::parallel

@@ -1,0 +1,39 @@
+// Fixed-size worker pool behind the deterministic parallel layer.
+//
+// This header and its .cpp are the only places in the library allowed to
+// create threads (lint rule R6 no-raw-thread): every other subsystem gets
+// its concurrency through parallel_for.h, which is what carries the
+// determinism guarantee. The pool itself is a plain task queue — it knows
+// nothing about partitioning or ordering.
+//
+// Sizing: the global pool is built lazily on first use with
+// `configured_thread_count()` threads — the `DSMT_THREADS` environment
+// variable when set (clamped to [1, 256]), otherwise
+// std::thread::hardware_concurrency(). Tests and benches may override at
+// runtime with set_thread_count(); the pool is rebuilt when idle.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dsmt::parallel {
+
+/// Thread count the global pool uses: the explicit set_thread_count()
+/// override if one is active, else DSMT_THREADS, else hardware concurrency.
+/// Always >= 1.
+std::size_t thread_count();
+
+/// Overrides the global pool size (rebuilding the pool on next use), or
+/// restores the DSMT_THREADS/hardware default when n == 0. Must not be
+/// called from inside a parallel region.
+void set_thread_count(std::size_t n);
+
+/// True on a pool worker thread. parallel_for uses this to run nested
+/// parallel regions inline instead of deadlocking on the shared queue.
+bool on_worker_thread();
+
+/// Submits `task` to the global pool. Internal plumbing for parallel_for;
+/// prefer the primitives in parallel_for.h.
+void pool_submit(std::function<void()> task);
+
+}  // namespace dsmt::parallel

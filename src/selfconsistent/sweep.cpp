@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/parallel_for.h"
 #include "thermal/impedance.h"
 
 namespace dsmt::selfconsistent {
@@ -25,32 +26,33 @@ std::vector<DutyCyclePoint> sweep_duty_cycle(
   dc.duty_cycle = 1.0;
   const double jrms_dc = solve(dc).j_rms;
 
-  std::vector<DutyCyclePoint> out;
-  out.reserve(duty_cycles.size());
-  for (double r : duty_cycles) {
-    Problem p = base;
-    p.duty_cycle = r;
-    DutyCyclePoint pt;
-    pt.duty_cycle = r;
-    pt.sc = solve(p);
-    pt.jpeak_em_only = jpeak_em_only(p);
-    pt.jpeak_thermal_only = A_per_m2(jrms_dc / std::sqrt(r));
-    out.push_back(pt);
-  }
-  return out;
+  // Each duty cycle is an independent self-consistent solve; the reference
+  // jrms_dc above is fixed first so every point sees the same value.
+  return parallel::parallel_map<DutyCyclePoint>(
+      duty_cycles.size(), [&](std::size_t k) {
+        const double r = duty_cycles[k];
+        Problem p = base;
+        p.duty_cycle = r;
+        DutyCyclePoint pt;
+        pt.duty_cycle = r;
+        pt.sc = solve(p);
+        pt.jpeak_em_only = jpeak_em_only(p);
+        pt.jpeak_thermal_only = A_per_m2(jrms_dc / std::sqrt(r));
+        return pt;
+      });
 }
 
 std::vector<std::vector<DutyCyclePoint>> sweep_j0(
     const Problem& base, const std::vector<double>& j0_values,
     const std::vector<double>& duty_cycles) {
-  std::vector<std::vector<DutyCyclePoint>> out;
-  out.reserve(j0_values.size());
-  for (double j0 : j0_values) {
-    Problem p = base;
-    p.j0 = A_per_m2(j0);
-    out.push_back(sweep_duty_cycle(p, duty_cycles));
-  }
-  return out;
+  // Parallel over the j0 family; the nested sweep_duty_cycle runs inline on
+  // the worker, so the grid is covered once with no oversubscription.
+  return parallel::parallel_map<std::vector<DutyCyclePoint>>(
+      j0_values.size(), [&](std::size_t i) {
+        Problem p = base;
+        p.j0 = A_per_m2(j0_values[i]);
+        return sweep_duty_cycle(p, duty_cycles);
+      });
 }
 
 Problem make_level_problem(const tech::Technology& technology, int level,
@@ -72,21 +74,25 @@ Problem make_level_problem(const tech::Technology& technology, int level,
 }
 
 std::vector<TableCell> generate_design_rule_table(const TableSpec& spec) {
-  std::vector<TableCell> cells;
-  for (double r : spec.duty_cycles) {
-    for (const auto& gf : spec.gap_fills) {
-      for (int level : spec.levels) {
+  // Flatten the (duty x gap-fill x level) grid so every cell solves in
+  // parallel; the flattened index preserves the serial nesting order, so
+  // the returned vector is laid out exactly as the loop version's.
+  const std::size_t n_r = spec.duty_cycles.size();
+  const std::size_t n_gf = spec.gap_fills.size();
+  const std::size_t n_lv = spec.levels.size();
+  return parallel::parallel_map<TableCell>(
+      n_r * n_gf * n_lv, [&](std::size_t idx) {
+        const double r = spec.duty_cycles[idx / (n_gf * n_lv)];
+        const auto& gf = spec.gap_fills[(idx / n_lv) % n_gf];
+        const int level = spec.levels[idx % n_lv];
         TableCell cell;
         cell.level = level;
         cell.dielectric = gf.name;
         cell.duty_cycle = r;
         cell.sol = solve(make_level_problem(spec.technology, level, gf,
                                             spec.phi, r, spec.j0));
-        cells.push_back(cell);
-      }
-    }
-  }
-  return cells;
+        return cell;
+      });
 }
 
 }  // namespace dsmt::selfconsistent

@@ -7,6 +7,7 @@
 
 #include "numeric/mesh.h"
 #include "numeric/sparse.h"
+#include "parallel/parallel_for.h"
 
 namespace dsmt::thermal {
 
@@ -75,22 +76,25 @@ CrossSection2D::Mesh CrossSection2D::build_mesh(const MeshOptions& opts) const {
     m.yc[j] = 0.5 * (m.ye[j] + m.ye[j + 1]);
   }
 
-  // Paint conductivities, later paints override.
+  // Paint conductivities, later paints override. Paints stay serial (their
+  // order is the override rule); each paint's row sweep is parallel — rows
+  // touch disjoint cells, so the result is thread-count-invariant.
   m.k.assign(nx * ny, k_background_);
   for (const auto& p : paints_) {
-    for (std::size_t j = 0; j < ny; ++j) {
-      if (m.yc[j] < p.r.y0 || m.yc[j] > p.r.y1) continue;
+    parallel::parallel_for(ny, [&](std::size_t j) {
+      if (m.yc[j] < p.r.y0 || m.yc[j] > p.r.y1) return;
       for (std::size_t i = 0; i < nx; ++i) {
         if (m.xc[i] < p.r.x0 || m.xc[i] > p.r.x1) continue;
         m.k[m.cell(i, j)] = p.k;
       }
-    }
+    });
   }
 
-  // Wire cell lists and areas.
+  // Wire cell lists and areas: one task per wire, each owning its own list,
+  // scanned in row order so the cell ordering matches the serial build.
   m.wire_cells.resize(wires_.size());
   m.wire_area.assign(wires_.size(), 0.0);
-  for (std::size_t w = 0; w < wires_.size(); ++w) {
+  parallel::parallel_for(wires_.size(), [&](std::size_t w) {
     const RectRegion& r = wires_[w];
     for (std::size_t j = 0; j < ny; ++j) {
       if (m.yc[j] < r.y0 || m.yc[j] > r.y1) continue;
@@ -102,7 +106,7 @@ CrossSection2D::Mesh CrossSection2D::build_mesh(const MeshOptions& opts) const {
     }
     if (m.wire_cells[w].empty())
       throw std::runtime_error("CrossSection2D: wire not resolved by mesh");
-  }
+  });
 
   // Unknown numbering: bottom row (j = 0) is Dirichlet (substrate, rise 0).
   m.unknown_index.assign(nx * ny, -1);
@@ -206,14 +210,18 @@ CrossSection2D::Solution CrossSection2D::solve(
 }
 
 numeric::Matrix CrossSection2D::coupling_matrix(const MeshOptions& opts) const {
+  // Each column is an independent unit-power solve; fan the columns out and
+  // assemble the matrix in column order afterwards.
   const std::size_t n = wires_.size();
+  const auto columns = parallel::parallel_map<std::vector<double>>(
+      n, [&](std::size_t j) {
+        std::vector<double> p(n, 0.0);
+        p[j] = 1.0;  // 1 W/m in wire j
+        return solve(p, opts).wire_avg_rise;
+      });
   numeric::Matrix theta(n, n, 0.0);
-  for (std::size_t j = 0; j < n; ++j) {
-    std::vector<double> p(n, 0.0);
-    p[j] = 1.0;  // 1 W/m in wire j
-    const Solution sol = solve(p, opts);
-    for (std::size_t i = 0; i < n; ++i) theta(i, j) = sol.wire_avg_rise[i];
-  }
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = 0; i < n; ++i) theta(i, j) = columns[j][i];
   return theta;
 }
 

@@ -7,6 +7,7 @@
 
 #include "numeric/mesh.h"
 #include "numeric/sparse.h"
+#include "parallel/parallel_for.h"
 
 namespace dsmt::thermal {
 
@@ -59,11 +60,12 @@ Volume3D::Solution Volume3D::solve(const std::vector<double>& watts,
   };
   const std::size_t n_cells = nx * ny * nz;
 
-  // Conductivity per voxel.
+  // Conductivity per voxel. Paints stay serial (their order is the override
+  // rule); each paint's z-slice sweep is parallel over disjoint voxels.
   std::vector<float> kv(n_cells, static_cast<float>(k_background_));
   for (const auto& p : paints_) {
-    for (std::size_t k = 0; k < nz; ++k) {
-      if (zc.center[k] < p.b.z0 || zc.center[k] > p.b.z1) continue;
+    parallel::parallel_for(nz, [&](std::size_t k) {
+      if (zc.center[k] < p.b.z0 || zc.center[k] > p.b.z1) return;
       for (std::size_t j = 0; j < ny; ++j) {
         if (yc.center[j] < p.b.y0 || yc.center[j] > p.b.y1) continue;
         for (std::size_t i = 0; i < nx; ++i) {
@@ -71,13 +73,14 @@ Volume3D::Solution Volume3D::solve(const std::vector<double>& watts,
           kv[cell(i, j, k)] = static_cast<float>(p.k);
         }
       }
-    }
+    });
   }
 
-  // Wire voxel lists.
+  // Wire voxel lists: one task per wire, each scanning in slice order so
+  // the voxel ordering (and hence the volume sum) matches the serial build.
   std::vector<std::vector<std::size_t>> wire_cells(wires_.size());
   std::vector<double> wire_vol(wires_.size(), 0.0);
-  for (std::size_t w = 0; w < wires_.size(); ++w) {
+  parallel::parallel_for(wires_.size(), [&](std::size_t w) {
     const auto& b = wires_[w];
     for (std::size_t k = 0; k < nz; ++k) {
       if (zc.center[k] < b.z0 || zc.center[k] > b.z1) continue;
@@ -92,7 +95,7 @@ Volume3D::Solution Volume3D::solve(const std::vector<double>& watts,
     }
     if (wire_cells[w].empty())
       throw std::runtime_error("Volume3D: wire not resolved by mesh");
-  }
+  });
 
   // Unknowns: everything above the substrate plane (k = 0 row Dirichlet 0).
   std::vector<int> unk(n_cells, -1);

@@ -1,0 +1,34 @@
+// Regenerates the golden snapshots in tests/golden/ from the scenarios in
+// golden_cases.h. Run via tools/update_golden.py, which builds this target
+// and rewrites the CSVs in place — never edit the snapshots by hand.
+//
+// Values are written with %.17g so the decimal text round-trips the exact
+// binary double: the regression test's tight tolerance then measures real
+// numeric drift, not formatting loss.
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "golden_cases.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: dsmt_golden_gen <output-dir>\n");
+    return 2;
+  }
+  const std::string dir = argv[1];
+  for (const auto& c : dsmt::golden::all_cases()) {
+    const std::string path = dir + "/" + c.file;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "dsmt_golden_gen: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "key,value\n");
+    for (const auto& [key, value] : c.rows())
+      std::fprintf(f, "%s,%.17g\n", key.c_str(), value);
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}

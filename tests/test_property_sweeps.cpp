@@ -3,10 +3,12 @@
 // guarantees behind every table in EXPERIMENTS.md.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
 
 #include "numeric/constants.h"
+#include "parallel/parallel_for.h"
 #include "selfconsistent/sweep.h"
 #include "tech/ntrs.h"
 #include "thermal/impedance.h"
@@ -127,6 +129,94 @@ INSTANTIATE_TEST_SUITE_P(AllNodes, LevelMonotonicity,
                          ::testing::Combine(::testing::Values(0, 1, 2, 3),
                                             ::testing::Values(0, 1, 2),
                                             ::testing::Values(0, 1)));
+
+// Structural properties of the parallel sweep drivers. These run at an
+// elevated thread count on purpose: the invariants must hold on the pooled
+// path, not just on the serial fallback this machine would otherwise take.
+class ParallelSweepProperties : public ::testing::Test {
+ protected:
+  void SetUp() override { parallel::set_thread_count(4); }
+  void TearDown() override { parallel::set_thread_count(0); }
+
+  static Problem fig_problem() {
+    Problem p;
+    p.metal = materials::make_copper();
+    p.metal.em.activation_energy_ev = 0.7;
+    p.j0 = MA_per_cm2(0.6);
+    const auto weff =
+        thermal::effective_width(um(3.0), um(3.0), thermal::kPhiQuasi1D);
+    const auto rth =
+        thermal::rth_per_length_uniform(um(3.0), W_per_mK(1.15), weff);
+    p.heating_coefficient = heating_coefficient(um(3.0), um(0.5), rth);
+    return p;
+  }
+};
+
+TEST_F(ParallelSweepProperties, SweepJ0MonotoneInJ0) {
+  // A stronger EM design rule can only admit more current: at every duty
+  // cycle the j_peak family must be strictly increasing in j_o.
+  const std::vector<double> j0s = {MA_per_cm2(0.3), MA_per_cm2(0.6),
+                                   MA_per_cm2(1.2), MA_per_cm2(1.8),
+                                   MA_per_cm2(2.4)};
+  const auto duties = log_spaced(1e-4, 1.0, 13);
+  const auto family = sweep_j0(fig_problem(), j0s, duties);
+  ASSERT_EQ(family.size(), j0s.size());
+  for (std::size_t k = 0; k < duties.size(); ++k)
+    for (std::size_t i = 1; i < j0s.size(); ++i)
+      EXPECT_GT(family[i][k].sc.j_peak, family[i - 1][k].sc.j_peak)
+          << "duty " << duties[k] << ", j0 step " << i;
+}
+
+TEST_F(ParallelSweepProperties, DutyCyclePermutationInvariance) {
+  // Reordering the requested duty cycles must reorder the outputs
+  // identically — bit-for-bit, not approximately: each point's solve is
+  // independent of its position in the sweep vector.
+  const Problem p = fig_problem();
+  const auto duties = log_spaced(1e-4, 1.0, 17);
+  std::vector<double> reversed(duties.rbegin(), duties.rend());
+  std::vector<double> rotated(duties.begin() + 5, duties.end());
+  rotated.insert(rotated.end(), duties.begin(), duties.begin() + 5);
+
+  const auto fwd = sweep_duty_cycle(p, duties);
+  const auto rev = sweep_duty_cycle(p, reversed);
+  const auto rot = sweep_duty_cycle(p, rotated);
+  ASSERT_EQ(fwd.size(), rev.size());
+  for (std::size_t k = 0; k < fwd.size(); ++k) {
+    const auto& mirror = rev[fwd.size() - 1 - k];
+    EXPECT_EQ(fwd[k].duty_cycle, mirror.duty_cycle);
+    EXPECT_EQ(fwd[k].sc.j_peak.value(), mirror.sc.j_peak.value());
+    EXPECT_EQ(fwd[k].sc.t_metal.value(), mirror.sc.t_metal.value());
+    EXPECT_EQ(fwd[k].jpeak_thermal_only.value(),
+              mirror.jpeak_thermal_only.value());
+    const auto& spun = rot[(k + fwd.size() - 5) % fwd.size()];
+    EXPECT_EQ(fwd[k].sc.j_peak.value(), spun.sc.j_peak.value());
+  }
+}
+
+TEST_F(ParallelSweepProperties, TableCellsIndependentOfGridShape) {
+  // Solving a cell alone must give the bit-identical answer to solving it
+  // as part of the full grid — cells share nothing.
+  TableSpec spec;
+  spec.technology = tech::make_ntrs_100nm_cu();
+  spec.gap_fills = materials::paper_dielectrics();
+  spec.levels = {6, 7, 8};
+  spec.duty_cycles = {0.1, 1.0};
+  spec.j0 = MA_per_cm2(0.6);
+  const auto grid = generate_design_rule_table(spec);
+
+  TableSpec one = spec;
+  one.levels = {7};
+  one.gap_fills = {materials::make_hsq()};
+  one.duty_cycles = {1.0};
+  const auto solo = generate_design_rule_table(one);
+  ASSERT_EQ(solo.size(), 1u);
+  const auto it = std::find_if(grid.begin(), grid.end(), [](const auto& c) {
+    return c.level == 7 && c.dielectric == "HSQ" && c.duty_cycle == 1.0;
+  });
+  ASSERT_NE(it, grid.end());
+  EXPECT_EQ(it->sol.j_peak.value(), solo[0].sol.j_peak.value());
+  EXPECT_EQ(it->sol.t_metal.value(), solo[0].sol.t_metal.value());
+}
 
 }  // namespace
 }  // namespace dsmt::selfconsistent

@@ -20,6 +20,11 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   numeric/sparse, numeric/fault_injection): call sites must
                   go through .ok() / the SolverDiag chain so failures carry
                   their StatusCode instead of collapsing to a bare bool.
+  R6 no-raw-thread  `std::thread` / `std::jthread` / `std::async` may appear
+                  only under src/parallel/ — everywhere else must go through
+                  parallel::parallel_for / parallel_map so the determinism
+                  contract (static partitioning, ordered reduction, first-
+                  error propagation) cannot be bypassed.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -65,6 +70,12 @@ CONVERGED_HOMES = {
 # legal everywhere: kernels populate the flag, they just may not branch
 # on it outside the status layer).
 CONVERGED_READ_RE = re.compile(r"\.converged\b(?!\s*=(?!=))")
+
+# The only directory allowed to create threads; everyone else uses the
+# deterministic fan-out layer it exports.
+THREAD_HOME_PREFIX = "parallel/"
+
+RAW_THREAD_RE = re.compile(r"std::(?:jthread|thread|async)\b")
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
 # plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
@@ -155,6 +166,17 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                               f"'.converged' read outside the status layer — "
                               f"use .ok() or the SolverDiag chain")
 
+    # R6: raw threading primitives only under src/parallel/.
+    if not rel.startswith(THREAD_HOME_PREFIX):
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = RAW_THREAD_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [no-raw-thread] raw "
+                              f"'{m.group(0)}' outside src/parallel/ — use "
+                              f"parallel::parallel_for / parallel_map to keep "
+                              f"results thread-count invariant")
+
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
     # scalar operators are exactly the sanctioned raw-double boundary.
@@ -203,6 +225,8 @@ inline void report(double x) { std::cout << x; }  // [1]
 
 inline bool is_done(const Result& r) { return r.converged; }
 
+inline void race() { std::thread([] {}).join(); }
+
 }  // namespace dsmt
 """
 
@@ -236,8 +260,8 @@ def self_test() -> int:
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
         tags = sorted({re.search(r"\[([\w-]+)\]", e).group(1) for e in errors})
-        expect = ["constants", "converged-check", "no-stdio", "pragma-once",
-                  "unit-tag"]
+        expect = ["constants", "converged-check", "no-raw-thread", "no-stdio",
+                  "pragma-once", "unit-tag"]
         if tags != expect:
             print(f"self-test FAILED: bad.h raised {tags}, expected {expect}")
             for e in errors:

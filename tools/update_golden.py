@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Regenerates the golden snapshots in tests/golden/.
+
+Builds the dsmt_golden_gen target (in an existing build tree, configuring
+one if necessary) and runs it with tests/golden/ as the output directory.
+The generator and the regression test share tests/golden_cases.h, so what
+this script writes is exactly what tests/test_golden_regression.cpp checks.
+
+Run it when a change is *supposed* to move the numbers, then review the
+CSV diff like code — it is the numeric impact of the change. Never edit
+the snapshots by hand.
+
+Usage: update_golden.py [--build-dir build] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def run(cmd: list[str], **kwargs) -> None:
+    print("+ " + " ".join(cmd))
+    subprocess.run(cmd, check=True, **kwargs)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default="build",
+                    help="CMake build tree (configured if missing)")
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="parallel build jobs (0 = CMake default)")
+    args = ap.parse_args()
+
+    build_dir = (REPO_ROOT / args.build_dir).resolve()
+    if not (build_dir / "CMakeCache.txt").exists():
+        run(["cmake", "-S", str(REPO_ROOT), "-B", str(build_dir)])
+
+    build_cmd = ["cmake", "--build", str(build_dir), "--target",
+                 "dsmt_golden_gen"]
+    if args.jobs > 0:
+        build_cmd += ["-j", str(args.jobs)]
+    run(build_cmd)
+
+    golden_dir = REPO_ROOT / "tests" / "golden"
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    gen = build_dir / "tests" / "dsmt_golden_gen"
+    if not gen.exists():
+        print(f"update_golden: generator not found at {gen}", file=sys.stderr)
+        return 1
+    run([str(gen), str(golden_dir)])
+    print("update_golden: done — review `git diff tests/golden/` before "
+          "committing")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except subprocess.CalledProcessError as e:
+        print(f"update_golden: command failed with exit {e.returncode}",
+              file=sys.stderr)
+        sys.exit(e.returncode)
