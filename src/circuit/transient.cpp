@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/run_context.h"
 #include "core/status.h"
 #include "numeric/dense.h"
 #include "numeric/fault_injection.h"
@@ -181,6 +182,10 @@ std::vector<double> newton_solve(
   const int max_it =
       numeric::fault::clamp_iterations("circuit/transient", opts.max_newton);
   for (int it = 0; it < max_it; ++it) {
+    if (const auto rc = core::run_check(); rc != core::StatusCode::kOk) {
+      stop = rc;
+      break;
+    }
     used = it + 1;
     asmbl.assemble(t, x, cap_scale, dt, cap_state, ind_state);
     std::vector<double> x_new = asmbl.solve();
@@ -207,6 +212,11 @@ std::vector<double> newton_solve(
   core::SolverDiag diag;
   diag.record("circuit/transient", stop, used, dmax,
               "Newton at t = " + std::to_string(t));
+  if (core::is_interruption(stop))
+    throw SolveError("run_transient: run interrupted at t = " +
+                         std::to_string(t) + " (" +
+                         core::status_name(stop) + ")",
+                     diag);
   throw SolveError("run_transient: Newton did not converge at t = " +
                        std::to_string(t) + " (dmax = " + std::to_string(dmax) +
                        ")",

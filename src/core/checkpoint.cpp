@@ -1,0 +1,221 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/atomic_file.h"
+
+namespace dsmt::core {
+
+namespace {
+
+constexpr const char* kMagic = "dsmt-checkpoint v1";
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+[[noreturn]] void invalid(const std::string& path, const std::string& why) {
+  SolverDiag diag;
+  diag.record("core/checkpoint", StatusCode::kInvalidInput, 0, 0.0, why);
+  throw SolveError("checkpoint " + path + ": " + why, diag);
+}
+
+/// Exact binary64 round-trip: hexfloat out, strtod back in.
+std::string encode_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t hash_mix(std::uint64_t h, double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof bits);
+  return hash_mix(h, bits);
+}
+
+std::uint64_t hash_mix(std::uint64_t h, const std::string& value) {
+  for (const char c : value) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= kFnvPrime;
+  }
+  return hash_mix(h, static_cast<std::uint64_t>(value.size()));
+}
+
+SweepCheckpoint::SweepCheckpoint(const CheckpointSpec& spec, std::string job,
+                                 std::uint64_t config_hash,
+                                 std::size_t total_slots)
+    : spec_(spec),
+      job_(std::move(job)),
+      config_hash_(config_hash),
+      total_(total_slots),
+      slots_(total_slots),
+      restored_(total_slots, 0) {
+  if (spec_.interval < 1) spec_.interval = 1;
+  if (const RunContext* ambient = current_run_context())
+    publish_ = *ambient;
+  load();
+  if (publish_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    publish_locked();
+  }
+}
+
+SweepCheckpoint::~SweepCheckpoint() = default;
+
+void SweepCheckpoint::load() {
+  std::ifstream is(spec_.path);
+  if (!is.good()) return;  // fresh run: no file yet
+
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic)
+    invalid(spec_.path, "bad or missing format line (expected '" +
+                            std::string(kMagic) + "')");
+
+  std::string key, job;
+  char hash_hex[32] = {};
+  std::size_t total = 0;
+  if (!std::getline(is, line)) invalid(spec_.path, "truncated header");
+  {
+    std::istringstream ls(line);
+    if (!(ls >> key >> job) || key != "job")
+      invalid(spec_.path, "malformed job line");
+  }
+  if (job != job_)
+    invalid(spec_.path, "job mismatch: file has '" + job + "', run is '" +
+                            job_ + "'");
+  if (!std::getline(is, line)) invalid(spec_.path, "truncated header");
+  {
+    std::istringstream ls(line);
+    std::string hex;
+    if (!(ls >> key >> hex) || key != "config" || hex.size() > 16)
+      invalid(spec_.path, "malformed config line");
+    std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                  static_cast<unsigned long long>(config_hash_));
+    if (hex != hash_hex)
+      invalid(spec_.path,
+              "config hash mismatch: the file was written by a run with "
+              "different parameters");
+  }
+  if (!std::getline(is, line)) invalid(spec_.path, "truncated header");
+  {
+    std::istringstream ls(line);
+    if (!(ls >> key >> total) || key != "slots")
+      invalid(spec_.path, "malformed slots line");
+  }
+  if (total != total_)
+    invalid(spec_.path, "slot count mismatch: file has " +
+                            std::to_string(total) + ", run has " +
+                            std::to_string(total_));
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::size_t index = 0, count = 0;
+    if (!(ls >> key >> index >> count) || key != "slot")
+      invalid(spec_.path, "malformed slot line: '" + line + "'");
+    if (index >= total_)
+      invalid(spec_.path, "slot index " + std::to_string(index) +
+                              " out of range");
+    std::vector<double> values;
+    values.reserve(count);
+    std::string token;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(ls >> token))
+        invalid(spec_.path, "slot " + std::to_string(index) +
+                                " is missing values");
+      char* end = nullptr;
+      const double v = std::strtod(token.c_str(), &end);
+      if (end == token.c_str() || *end != '\0')
+        invalid(spec_.path, "slot " + std::to_string(index) +
+                                " has an unparseable value '" + token + "'");
+      values.push_back(v);
+    }
+    if (restored_[index] == 0) {
+      restored_[index] = 1;
+      ++resumed_;
+      ++completed_;
+    }
+    slots_[index] = std::move(values);
+  }
+}
+
+bool SweepCheckpoint::has(std::size_t slot) const {
+  return restored_[slot] != 0;
+}
+
+const std::vector<double>& SweepCheckpoint::values(std::size_t slot) const {
+  return slots_[slot];
+}
+
+void SweepCheckpoint::store(std::size_t slot, std::vector<double> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (slots_[slot].empty()) ++completed_;
+  slots_[slot] = std::move(values);
+  if (++since_flush_ >= spec_.interval) flush_locked();
+}
+
+void SweepCheckpoint::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void SweepCheckpoint::flush_locked() {
+  atomic_write_file(spec_.path, render_locked());
+  since_flush_ = 0;
+  ++flushes_;
+  publish_locked();
+}
+
+void SweepCheckpoint::publish_locked() {
+  if (!publish_) return;
+  CheckpointStats st;
+  st.job = job_;
+  st.total_slots = total_;
+  st.completed = completed_;
+  st.resumed = resumed_;
+  st.flushes = flushes_;
+  publish_->note_checkpoint(st);
+}
+
+std::string SweepCheckpoint::render_locked() const {
+  std::ostringstream os;
+  char hex[32];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(config_hash_));
+  os << kMagic << "\n"
+     << "job " << job_ << "\n"
+     << "config " << hex << "\n"
+     << "slots " << total_ << "\n";
+  for (std::size_t i = 0; i < total_; ++i) {
+    if (slots_[i].empty()) continue;
+    os << "slot " << i << " " << slots_[i].size();
+    for (const double v : slots_[i]) os << " " << encode_double(v);
+    os << "\n";
+  }
+  return os.str();
+}
+
+CheckpointStats SweepCheckpoint::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CheckpointStats st;
+  st.job = job_;
+  st.total_slots = total_;
+  st.completed = completed_;
+  st.resumed = resumed_;
+  st.flushes = flushes_;
+  return st;
+}
+
+}  // namespace dsmt::core

@@ -1,0 +1,99 @@
+// Index-addressed slot checkpointing for the long sweep drivers.
+//
+// A SweepCheckpoint snapshots the completed slots of one deterministic grid
+// (design-rule table cells, duty-cycle points, Monte-Carlo samples) to a
+// crash-safe file so a killed or cancelled run can resume without redoing
+// finished work. Because every slot is index-addressed and every solve is
+// deterministic (PR-3 contract: static partitioning, counter-based RNG), a
+// resumed run that restores finished slots and recomputes the rest produces
+// bitwise-identical output to an uninterrupted run — values round-trip the
+// file as C99 hexfloats, which encode the exact binary64 bit pattern.
+//
+// File format (text, one record per line, version-gated):
+//
+//   dsmt-checkpoint v1
+//   job <driver-name>
+//   config <16-digit-hex-hash>
+//   slots <total-slot-count>
+//   slot <index> <value-count> <hexfloat>...
+//
+// The config hash folds the driver's job-defining parameters; a file whose
+// job, hash, or slot count disagrees with the resuming run throws
+// dsmt::SolveError (kInvalidInput) — silently restarting would overwrite a
+// checkpoint the user thought was being resumed.
+//
+// Snapshots are periodic (every CheckpointSpec::interval completed slots)
+// and each one is an atomic whole-file rewrite (core/atomic_file.h). There
+// is deliberately NO flush on exception: an interrupted run keeps exactly
+// what the last periodic snapshot captured, the same guarantee a kill -9
+// gives, which is what the chaos harness exercises.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/run_context.h"
+
+namespace dsmt::core {
+
+/// FNV-1a style mixing helpers for the drivers' config hashes.
+inline constexpr std::uint64_t kConfigHashSeed = 14695981039346656037ULL;
+std::uint64_t hash_mix(std::uint64_t h, std::uint64_t value);
+/// value [1]: hashed by exact bit pattern, so -0.0 != +0.0 but NaNs are
+/// stable — the hash is an identity check, not an equality relation.
+std::uint64_t hash_mix(std::uint64_t h, double value);
+std::uint64_t hash_mix(std::uint64_t h, const std::string& value);
+
+class SweepCheckpoint {
+ public:
+  /// Opens (or creates) the checkpoint for one driver run. An existing file
+  /// is loaded and validated against (job, config_hash, total_slots);
+  /// mismatch or corruption throws dsmt::SolveError with kInvalidInput.
+  SweepCheckpoint(const CheckpointSpec& spec, std::string job,
+                  std::uint64_t config_hash, std::size_t total_slots);
+  ~SweepCheckpoint();
+  SweepCheckpoint(const SweepCheckpoint&) = delete;
+  SweepCheckpoint& operator=(const SweepCheckpoint&) = delete;
+
+  /// True when `slot` was restored from the file — the driver skips its
+  /// solve and decodes values() instead. Only restored slots answer true:
+  /// slots stored during this run were computed, not skipped.
+  bool has(std::size_t slot) const;
+  /// Restored payload of `slot`; valid only when has(slot).
+  const std::vector<double>& values(std::size_t slot) const;
+
+  /// Records a freshly computed slot. Thread-safe (called from pool
+  /// workers); every `interval` stores triggers an atomic snapshot flush.
+  void store(std::size_t slot, std::vector<double> values);
+
+  /// Forces a snapshot now (drivers call it once after a completed run).
+  void flush();
+
+  CheckpointStats stats() const;
+
+ private:
+  void load();
+  std::string render_locked() const;
+  void flush_locked();
+  void publish_locked();
+
+  CheckpointSpec spec_;
+  std::string job_;
+  std::uint64_t config_hash_;
+  std::size_t total_;
+  /// Copy of the ambient context at construction (shares its checkpoint
+  /// log), so stats reach the run's JSON sign-off without lifetime games.
+  std::optional<RunContext> publish_;
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> slots_;
+  std::vector<char> restored_;  ///< immutable after load(); lock-free reads
+  std::size_t completed_ = 0;
+  std::size_t resumed_ = 0;
+  std::size_t flushes_ = 0;
+  int since_flush_ = 0;
+};
+
+}  // namespace dsmt::core

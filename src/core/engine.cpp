@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/run_context.h"
 #include "numeric/constants.h"
 #include "numeric/fault_injection.h"
 #include "parallel/parallel_for.h"
@@ -104,6 +105,10 @@ DesignRuleEngine::check_layer_electrothermal(
   const int max_it = numeric::fault::clamp_iterations(
       "core/engine.electrothermal", max_iterations);
   for (int it = 0; it < max_it; ++it) {
+    if (const auto rc = run_check(); rc != StatusCode::kOk) {
+      stop = rc;
+      break;
+    }
     out.iterations = it + 1;
     // Re-extract/optimize/simulate with the wire resistance at t_wire.
     hot.level = level;
@@ -151,6 +156,10 @@ DesignRuleEngine::check_layer_electrothermal(
     SolverDiag diag = out.diag;
     diag.add_context("core/engine.check_layer_electrothermal level " +
                      std::to_string(level));
+    if (is_interruption(stop))
+      throw SolveError("check_layer_electrothermal: run interrupted (" +
+                           std::string(status_name(stop)) + ")",
+                       diag);
     throw SolveError(
         "check_layer_electrothermal: fixed point did not converge", diag);
   }

@@ -1,0 +1,184 @@
+// Long-job resilience: deadlines, cooperative cancellation, and progress
+// heartbeats for every iterative kernel in the library.
+//
+// A RunContext carries three things:
+//   * a monotonic deadline (std::chrono::steady_clock — never wall clock, so
+//     an NTP step cannot expire or extend a budget; lint rule R7 fences
+//     system_clock out of src/ for exactly this reason),
+//   * a CancelToken that any thread may trip to request cooperative
+//     cancellation, and
+//   * a heartbeat counter bumped on every kernel poll, so a watchdog can
+//     distinguish "still grinding" from "hung".
+//
+// The context is *ambient*: callers install it with ScopedRunContext for the
+// duration of a job, and every iteration loop polls it through run_check()
+// — the same pattern as the fault-injection hooks, so no kernel signature
+// changes. parallel_for snapshots the caller's ambient context and installs
+// it on pool workers, which observe cancellation between index items; the
+// lowest-index interruption is rethrown on the caller, preserving the
+// serial-equivalent first-failure contract. With no context installed,
+// run_check() is a single thread-local load — release outputs stay
+// bit-identical.
+//
+// On top of the context, a CheckpointSpec names a file where the sweep and
+// Monte-Carlo drivers periodically snapshot completed grid slots (see
+// core/checkpoint.h); a resumed run skips finished slots and, because every
+// slot is index-addressed and deterministic, reproduces the uninterrupted
+// output bitwise.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dsmt::core {
+
+/// Shared cancellation flag. Copies observe the same underlying state, so a
+/// token handed to a job can be tripped from any other thread.
+class CancelToken {
+ public:
+  CancelToken();
+
+  /// Requests cooperative cancellation: every subsequent kernel poll
+  /// observes kCancelled. Idempotent, safe from any thread.
+  void request_cancel();
+  bool cancel_requested() const;
+
+  /// Chaos/test hook: arms a fuse that trips the token after `checks` more
+  /// polls observe it (0 = the very next poll). Used by the soak harness to
+  /// cancel at randomized points inside a run.
+  void cancel_after_checks(std::uint64_t checks);
+
+  /// One poll: counts down an armed fuse and reports the cancel state.
+  bool observe() const;
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    std::atomic<std::int64_t> fuse{-1};  ///< polls left before trip; <0 = off
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// Where and how often the sweep drivers snapshot completed slots.
+struct CheckpointSpec {
+  std::string path;   ///< checkpoint file (written atomically, see format doc)
+  int interval = 16;  ///< completed slots between snapshot flushes [1]
+};
+
+/// Checkpoint counters published into the run for reporting (JSON sign-off).
+struct CheckpointStats {
+  std::string job;             ///< driver name ("design_rule_table", ...)
+  std::size_t total_slots = 0;
+  std::size_t completed = 0;   ///< slots held now (resumed + newly solved)
+  std::size_t resumed = 0;     ///< slots restored from the file on open
+  std::size_t flushes = 0;     ///< snapshot writes performed this run
+};
+
+/// The resilience context threaded (ambiently) through a long job. Copies
+/// share the cancel token, heartbeat counter, and checkpoint log; the
+/// deadline and checkpoint spec are plain values.
+class RunContext {
+ public:
+  RunContext();
+
+  /// Context whose deadline is `budget` from now on the monotonic clock.
+  static RunContext with_deadline_after(std::chrono::nanoseconds budget);
+
+  void set_deadline(std::chrono::steady_clock::time_point when);
+  bool has_deadline() const { return deadline_.has_value(); }
+  /// Remaining budget [s]; negative once expired. Requires has_deadline().
+  double seconds_remaining() const;
+
+  CancelToken& cancel() { return cancel_; }
+  const CancelToken& cancel() const { return cancel_; }
+
+  /// Heartbeat: total kernel polls observed by this run so far. Strictly
+  /// increasing while any kernel is making iteration progress.
+  std::uint64_t beats() const;
+
+  void set_checkpoint(CheckpointSpec spec);
+  void clear_checkpoint();
+  const std::optional<CheckpointSpec>& checkpoint() const {
+    return checkpoint_;
+  }
+
+  /// Records (or updates, keyed by job) checkpoint counters for reporting.
+  /// Const because the log is shared state: every copy of the context sees
+  /// the same entries, which is how worker-side flushes reach the caller.
+  void note_checkpoint(const CheckpointStats& stats) const;
+  std::vector<CheckpointStats> checkpoint_log() const;
+
+  /// One kernel poll: bumps the heartbeat, then reports kCancelled /
+  /// kDeadlineExceeded / kOk. Cancellation wins over an expired deadline.
+  StatusCode poll() const;
+
+ private:
+  struct CheckpointLog {
+    mutable std::mutex mu;
+    std::vector<CheckpointStats> entries;
+  };
+
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  CancelToken cancel_;
+  std::shared_ptr<std::atomic<std::uint64_t>> beats_;
+  std::optional<CheckpointSpec> checkpoint_;
+  std::shared_ptr<CheckpointLog> log_;
+};
+
+/// The ambient context of the current thread, or nullptr outside any
+/// ScopedRunContext. Kernels never call this directly — they use run_check().
+const RunContext* current_run_context();
+
+/// RAII installation of a RunContext as the current thread's ambient
+/// context; restores the previous one (usually none) on destruction.
+class ScopedRunContext {
+ public:
+  explicit ScopedRunContext(const RunContext& context);
+  /// Pointer form for propagation plumbing: nullptr installs nothing.
+  explicit ScopedRunContext(const RunContext* context);
+  ~ScopedRunContext();
+  ScopedRunContext(const ScopedRunContext&) = delete;
+  ScopedRunContext& operator=(const ScopedRunContext&) = delete;
+
+ private:
+  const RunContext* prev_ = nullptr;
+  bool installed_ = false;
+};
+
+/// Kernel poll hook: kOk (and nothing else happens) when no context is
+/// installed, otherwise RunContext::poll(). Safe from pool workers.
+StatusCode run_check();
+
+/// Poll-and-throw for driver loops: on interruption, throws dsmt::SolveError
+/// whose SolverDiag chain records `kernel` with the interruption status.
+void throw_if_run_interrupted(const char* kernel);
+
+/// Claims the ambient checkpoint spec for one sweep driver. If the ambient
+/// context carries a CheckpointSpec, the claim takes it and re-installs a
+/// copy of the context *without* the spec for the claim's lifetime, so
+/// nested drivers (sweep_j0 -> sweep_duty_cycle) cannot double-apply the
+/// same file. The outermost driver — the first to claim — wins.
+class ClaimedCheckpoint {
+ public:
+  ClaimedCheckpoint();
+
+  /// The claimed spec, or nullptr when the run has no checkpoint armed.
+  const CheckpointSpec* spec() const {
+    return spec_ ? &*spec_ : nullptr;
+  }
+
+ private:
+  std::optional<CheckpointSpec> spec_;
+  std::optional<RunContext> rescoped_;
+  std::optional<ScopedRunContext> scope_;  // must outlive-last: declared last
+};
+
+}  // namespace dsmt::core

@@ -19,6 +19,10 @@ const char* status_name(StatusCode code) {
       return "non-finite";
     case StatusCode::kSingularSystem:
       return "singular-system";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "unknown";
 }

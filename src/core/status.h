@@ -23,10 +23,20 @@ enum class StatusCode {
   kMaxIterations,   ///< iteration budget exhausted before tolerance
   kNonFinite,       ///< NaN/Inf appeared in the iteration
   kSingularSystem,  ///< linear operator is singular / derivative vanished
+  kDeadlineExceeded,  ///< the RunContext monotonic deadline passed mid-solve
+  kCancelled,         ///< cooperative cancellation was requested mid-solve
 };
 
 /// Short stable name for a status code ("ok", "no-bracket", ...).
 const char* status_name(StatusCode code);
+
+/// True for the run-interruption outcomes (deadline / cancellation). An
+/// interrupted kernel is not broken: recovery wrappers must return it as-is
+/// instead of burning the remaining budget on retries that cannot help.
+constexpr bool is_interruption(StatusCode code) {
+  return code == StatusCode::kDeadlineExceeded ||
+         code == StatusCode::kCancelled;
+}
 
 /// One step in a solve: the primary attempt, a recovery stage, or a context
 /// frame added while the failure propagated outward.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "numeric/stats.h"
 #include "parallel/parallel_for.h"
 #include "selfconsistent/sweep.h"
@@ -77,16 +79,47 @@ VariationResult monte_carlo_jpeak(const tech::Technology& technology,
   if (n_samples < 2)
     throw std::invalid_argument("monte_carlo_jpeak: n_samples < 2");
 
+  // One checkpoint slot per sample; the nominal solve rides in a reserved
+  // extra slot so a fully-restored resume runs no solver at all.
+  ClaimedCheckpoint claim;
+  std::unique_ptr<SweepCheckpoint> cp;
+  const std::size_t nominal_slot = static_cast<std::size_t>(n_samples);
+  if (claim.spec() != nullptr) {
+    std::uint64_t h = hash_mix(kConfigHashSeed, technology.name);
+    h = hash_mix(h, static_cast<std::uint64_t>(level));
+    h = hash_mix(h, gap_fill.name);
+    h = hash_mix(h, gap_fill.k_thermal.value());
+    h = hash_mix(h, phi);
+    h = hash_mix(h, duty_cycle);
+    h = hash_mix(h, j0);
+    h = hash_mix(h, spec.width);
+    h = hash_mix(h, spec.thickness);
+    h = hash_mix(h, spec.stack);
+    h = hash_mix(h, spec.k_thermal);
+    h = hash_mix(h, static_cast<std::uint64_t>(spec.seed));
+    h = hash_mix(h, static_cast<std::uint64_t>(n_samples));
+    cp = std::make_unique<SweepCheckpoint>(*claim.spec(), "monte_carlo_jpeak",
+                                           h, nominal_slot + 1);
+  }
+
   VariationResult out;
-  out.nominal = selfconsistent::solve(selfconsistent::make_level_problem(
-                    technology, level, gap_fill, phi, duty_cycle, A_per_m2(j0)))
-                    .j_peak;
+  if (cp != nullptr && cp->has(nominal_slot)) {
+    out.nominal = cp->values(nominal_slot)[0];
+  } else {
+    out.nominal =
+        selfconsistent::solve(selfconsistent::make_level_problem(
+                                  technology, level, gap_fill, phi, duty_cycle,
+                                  A_per_m2(j0)))
+            .j_peak;
+    if (cp != nullptr) cp->store(nominal_slot, {out.nominal});
+  }
 
   // Sampling phase: every sample draws from its own counter-seeded stream
   // and writes its own slot, so the parallel result is bit-identical to the
   // serial one for any thread count.
   out.samples = parallel::parallel_map<double>(
       static_cast<std::size_t>(n_samples), [&](std::size_t s) {
+        if (cp != nullptr && cp->has(s)) return cp->values(s)[0];
         CounterNormalGen gen(spec.seed, s);
         tech::Technology t = technology;
         materials::Dielectric gf = gap_fill;
@@ -104,11 +137,15 @@ VariationResult monte_carlo_jpeak(const tech::Technology& technology,
           l.ild_below *= fb;
         }
         gf.k_thermal *= fk;
-        return selfconsistent::solve(
-                   selfconsistent::make_level_problem(t, level, gf, phi,
-                                                      duty_cycle, A_per_m2(j0)))
-            .j_peak.value();
+        const double jp =
+            selfconsistent::solve(
+                selfconsistent::make_level_problem(t, level, gf, phi,
+                                                   duty_cycle, A_per_m2(j0)))
+                .j_peak.value();
+        if (cp != nullptr) cp->store(s, {jp});
+        return jp;
       });
+  if (cp != nullptr) cp->flush();
   // Reduction phase: fold the summary in index order on this thread — the
   // exact floating-point accumulation sequence of the serial loop.
   const auto stats = parallel::ordered_reduce(

@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "core/run_context.h"
 #include "numeric/fault_injection.h"
 
 namespace dsmt::numeric {
@@ -38,6 +39,12 @@ RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
   const int max_it = fault::clamp_iterations("numeric/bisect",
                                              opts.max_iterations);
   for (int i = 0; i < max_it; ++i) {
+    if (const auto rc = core::run_check(); rc != StatusCode::kOk) {
+      r.root = 0.5 * (lo + hi);
+      r.f_at_root = flo;
+      r.status = rc;
+      return r;
+    }
     const double mid = 0.5 * (lo + hi);
     const double fm = fault::filter_residual("numeric/bisect", i + 1, f(mid));
     r.iterations = i + 1;
@@ -91,6 +98,12 @@ RootResult brent(const std::function<double(double)>& f, double lo, double hi,
   const int max_it = fault::clamp_iterations("numeric/brent",
                                              opts.max_iterations);
   for (int iter = 0; iter < max_it; ++iter) {
+    if (const auto rc = core::run_check(); rc != StatusCode::kOk) {
+      res.root = b;
+      res.f_at_root = fb;
+      res.status = rc;
+      return res;
+    }
     res.iterations = iter + 1;
     if (std::abs(fc) < std::abs(fb)) {
       a = b; b = c; c = a;
@@ -160,6 +173,9 @@ RootResult brent_robust(const std::function<double(double)>& f, double lo,
   RootResult r = brent(f, lo, hi, opts);
   diag.record("numeric/brent", r.status, r.iterations, r.f_at_root);
   if (r.ok()) return r;
+  // A deadline/cancel interruption is not a solver failure: retrying would
+  // burn the remaining budget on attempts doomed to the same status.
+  if (core::is_interruption(r.status)) return r;
 
   if (r.status == StatusCode::kNoBracket) {
     const auto bracket = expand_bracket(f, lo, hi);
@@ -176,6 +192,7 @@ RootResult brent_robust(const std::function<double(double)>& f, double lo,
     diag.record("numeric/brent", r.status, r.iterations, r.f_at_root,
                 note.str());
     if (r.ok()) return r;
+    if (core::is_interruption(r.status)) return r;
   }
 
   // Bisection sweep: slower but immune to interpolation stalls, and a
@@ -198,6 +215,12 @@ RootResult newton(const std::function<double(double)>& f,
   const int max_it = fault::clamp_iterations("numeric/newton",
                                              opts.max_iterations);
   for (int iter = 0; iter < max_it; ++iter) {
+    if (const auto rc = core::run_check(); rc != StatusCode::kOk) {
+      res.root = x;
+      res.f_at_root = fx;
+      res.status = rc;
+      return res;
+    }
     res.iterations = iter + 1;
     const double d = dfdx(x);
     if (d == 0.0) {

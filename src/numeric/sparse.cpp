@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/run_context.h"
 #include "numeric/fault_injection.h"
 
 namespace dsmt::numeric {
@@ -98,6 +99,10 @@ CgResult conjugate_gradient(const CsrMatrix& a, const std::vector<double>& b,
   const int max_it = fault::clamp_iterations("numeric/cg",
                                              opts.max_iterations);
   for (int it = 0; it < max_it; ++it) {
+    if (const auto rc = core::run_check(); rc != core::StatusCode::kOk) {
+      res.status = rc;
+      return res;
+    }
     res.iterations = it + 1;
     a.multiply(p, ap);
     const double pap = std::inner_product(p.begin(), p.end(), ap.begin(), 0.0);

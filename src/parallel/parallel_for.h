@@ -19,6 +19,15 @@
 // Nesting: a parallel_for entered from inside a pool worker runs inline and
 // serially. Outer loops get the threads; inner loops stay deterministic and
 // deadlock-free.
+//
+// Resilience: the caller's ambient core::RunContext (deadline, cancel token,
+// heartbeat) is snapshotted at entry and installed on every worker for the
+// region's duration, and each block polls it between index items. An
+// interruption surfaces as a dsmt::SolveError with kDeadlineExceeded /
+// kCancelled, routed through the same lowest-index first-failure channel as
+// any other worker exception — so a cancelled parallel sweep reports the
+// item a serial loop would have been interrupted at (the lowest unfinished
+// index among the observing blocks), not a scheduling accident.
 #pragma once
 
 #include <condition_variable>
@@ -29,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/run_context.h"
 #include "parallel/thread_pool.h"
 
 namespace dsmt::parallel {
@@ -78,6 +88,10 @@ template <typename F>
 void run_block(std::size_t begin, std::size_t end, F& body, FirstError& err) {
   for (std::size_t i = begin; i < end; ++i) {
     try {
+      // Cooperative cancellation/deadline point between items: workers stop
+      // dispatching new items as soon as the run is interrupted, and the
+      // interruption is offered at this item's index like any failure.
+      core::throw_if_run_interrupted("parallel/parallel_for");
       body(i);
     } catch (...) {
       // Record the block's first failure (its minimum index) and stop the
@@ -99,8 +113,12 @@ void parallel_for(std::size_t n, F&& body) {
   if (n == 0) return;
   const std::size_t workers = thread_count();
   if (workers <= 1 || n == 1 || on_worker_thread()) {
-    // Serial path: identical iteration order, natural exception flow.
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    // Serial path: identical iteration order, natural exception flow, same
+    // between-item interruption points as the parallel blocks.
+    for (std::size_t i = 0; i < n; ++i) {
+      core::throw_if_run_interrupted("parallel/parallel_for");
+      body(i);
+    }
     return;
   }
 
@@ -114,6 +132,13 @@ void parallel_for(std::size_t n, F&& body) {
   // re-entrant, which the independence requirement already implies.
   auto& fn = body;
 
+  // Snapshot the caller's ambient resilience context so pool workers poll
+  // the same deadline/cancel token (copies share the underlying state). The
+  // shared_ptr keeps the snapshot alive until the last block finishes.
+  std::shared_ptr<const core::RunContext> run_ctx;
+  if (const core::RunContext* ambient = core::current_run_context())
+    run_ctx = std::make_shared<const core::RunContext>(*ambient);
+
   std::size_t begin = 0;
   std::size_t first_end = 0;
   for (std::size_t b = 0; b < blocks; ++b) {
@@ -122,7 +147,8 @@ void parallel_for(std::size_t n, F&& body) {
     if (b == 0) {
       first_end = end;  // block 0 runs on the calling thread below
     } else {
-      pool_submit([begin, end, &fn, err, latch] {
+      pool_submit([begin, end, &fn, err, latch, run_ctx] {
+        core::ScopedRunContext scope(run_ctx.get());
         detail::run_block(begin, end, fn, *err);
         latch->count_down();
       });

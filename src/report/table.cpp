@@ -1,10 +1,11 @@
 #include "report/table.h"
 
-#include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/atomic_file.h"
 
 namespace dsmt::report {
 
@@ -89,8 +90,10 @@ void write_csv(const std::string& path,
   for (const auto& c : columns)
     if (c.size() != n) throw std::invalid_argument("write_csv: ragged data");
 
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  // Staged write: the file appears complete or not at all, so a run killed
+  // mid-emit can never leave a truncated CSV behind.
+  core::AtomicFile file(path);
+  std::ostream& os = file.stream();
   for (std::size_t c = 0; c < column_names.size(); ++c) {
     os << column_names[c];
     os << (c + 1 < column_names.size() ? ',' : '\n');
@@ -101,6 +104,7 @@ void write_csv(const std::string& path,
       os << columns[c][i];
       os << (c + 1 < columns.size() ? ',' : '\n');
     }
+  file.commit();
 }
 
 }  // namespace dsmt::report

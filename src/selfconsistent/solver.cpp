@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "core/run_context.h"
 #include "numeric/constants.h"
 #include "numeric/roots.h"
 
@@ -67,6 +69,7 @@ Solution solve(const Problem& p) {
   const double lo = p.t_ref * (1.0 + 1e-12);
   double hi = p.t_ref + 1.0;
   while (residual(p, units::Kelvin{hi}) < 0.0 && hi < p.t_ref + 5000.0) {
+    core::throw_if_run_interrupted("selfconsistent/solve");
     hi = p.t_ref + 2.0 * (hi - p.t_ref);
   }
   if (residual(p, units::Kelvin{hi}) < 0.0) {
@@ -84,6 +87,10 @@ Solution solve(const Problem& p) {
   if (!root.ok()) {
     core::SolverDiag diag = sol.diag;
     diag.add_context("selfconsistent/solve");
+    if (core::is_interruption(root.status))
+      throw SolveError(std::string("selfconsistent::solve: run interrupted (") +
+                           core::status_name(root.status) + ")",
+                       diag);
     throw SolveError("selfconsistent::solve: root find failed", diag);
   }
   sol.t_metal = units::Kelvin{root.root};

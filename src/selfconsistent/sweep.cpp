@@ -1,12 +1,86 @@
 #include "selfconsistent/sweep.h"
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 
+#include "core/checkpoint.h"
 #include "parallel/parallel_for.h"
 #include "thermal/impedance.h"
 
 namespace dsmt::selfconsistent {
+
+namespace {
+
+using core::hash_mix;
+
+/// Folds the job-defining fields of a Problem into a checkpoint config hash.
+/// Resistivity at T_ref stands in for the (rho_ref, tcr, t_ref) triple.
+std::uint64_t hash_problem(std::uint64_t h, const Problem& p) {
+  h = hash_mix(h, p.duty_cycle);
+  h = hash_mix(h, p.j0.value());
+  h = hash_mix(h, p.t_ref.value());
+  h = hash_mix(h, p.heating_coefficient.value());
+  h = hash_mix(h, p.metal.name);
+  h = hash_mix(h, p.metal.resistivity(p.t_ref));
+  h = hash_mix(h, p.metal.em.activation_energy_ev);
+  h = hash_mix(h, p.metal.em.current_exponent);
+  return h;
+}
+
+/// Solution <-> checkpoint slot payload. The diag chain is intentionally not
+/// part of the payload: resume must reproduce the numeric outputs bitwise,
+/// and a restored solution's provenance is recorded as a fresh diag entry.
+constexpr std::size_t kSolutionDoubles = 7;
+
+void encode_solution(const Solution& s, std::vector<double>& out) {
+  out.push_back(s.t_metal.value());
+  out.push_back(s.delta_t.value());
+  out.push_back(s.j_peak.value());
+  out.push_back(s.j_rms.value());
+  out.push_back(s.j_avg.value());
+  out.push_back(s.converged ? 1.0 : 0.0);
+  out.push_back(static_cast<double>(s.iterations));
+}
+
+Solution decode_solution(const double* v) {
+  Solution s;
+  s.t_metal = units::Kelvin{v[0]};
+  s.delta_t = units::CelsiusDelta{v[1]};
+  s.j_peak = A_per_m2(v[2]);
+  s.j_rms = A_per_m2(v[3]);
+  s.j_avg = A_per_m2(v[4]);
+  s.converged = v[5] != 0.0;
+  s.iterations = static_cast<int>(v[6]);
+  s.diag.kernel = "selfconsistent/solve";
+  s.diag.record("selfconsistent/solve", core::StatusCode::kOk, s.iterations,
+                0.0, "restored from checkpoint");
+  return s;
+}
+
+constexpr std::size_t kPointDoubles = kSolutionDoubles + 3;
+
+std::vector<double> encode_point(const DutyCyclePoint& pt) {
+  std::vector<double> out;
+  out.reserve(kPointDoubles);
+  out.push_back(pt.duty_cycle);
+  encode_solution(pt.sc, out);
+  out.push_back(pt.jpeak_em_only.value());
+  out.push_back(pt.jpeak_thermal_only.value());
+  return out;
+}
+
+DutyCyclePoint decode_point(const double* v) {
+  DutyCyclePoint pt;
+  pt.duty_cycle = v[0];
+  pt.sc = decode_solution(v + 1);
+  pt.jpeak_em_only = A_per_m2(v[1 + kSolutionDoubles]);
+  pt.jpeak_thermal_only = A_per_m2(v[2 + kSolutionDoubles]);
+  return pt;
+}
+
+}  // namespace
 
 std::vector<double> log_spaced(double lo, double hi, int points) {
   if (lo <= 0.0 || hi <= lo || points < 2)
@@ -20,6 +94,18 @@ std::vector<double> log_spaced(double lo, double hi, int points) {
 
 std::vector<DutyCyclePoint> sweep_duty_cycle(
     const Problem& base, const std::vector<double>& duty_cycles) {
+  // Claim the run's checkpoint spec (if any) for this driver; a nested call
+  // from sweep_j0 finds the spec already claimed and runs checkpoint-free.
+  core::ClaimedCheckpoint claim;
+  std::unique_ptr<core::SweepCheckpoint> cp;
+  if (claim.spec() != nullptr) {
+    std::uint64_t h = hash_problem(core::kConfigHashSeed, base);
+    h = hash_mix(h, static_cast<std::uint64_t>(duty_cycles.size()));
+    for (const double r : duty_cycles) h = hash_mix(h, r);
+    cp = std::make_unique<core::SweepCheckpoint>(
+        *claim.spec(), "duty_cycle_sweep", h, duty_cycles.size());
+  }
+
   // Reference thermal-only line (b): j_rms at the r = 1 self-consistent
   // point, divided by sqrt(r).
   Problem dc = base;
@@ -28,8 +114,9 @@ std::vector<DutyCyclePoint> sweep_duty_cycle(
 
   // Each duty cycle is an independent self-consistent solve; the reference
   // jrms_dc above is fixed first so every point sees the same value.
-  return parallel::parallel_map<DutyCyclePoint>(
+  auto points = parallel::parallel_map<DutyCyclePoint>(
       duty_cycles.size(), [&](std::size_t k) {
+        if (cp != nullptr && cp->has(k)) return decode_point(cp->values(k).data());
         const double r = duty_cycles[k];
         Problem p = base;
         p.duty_cycle = r;
@@ -38,21 +125,58 @@ std::vector<DutyCyclePoint> sweep_duty_cycle(
         pt.sc = solve(p);
         pt.jpeak_em_only = jpeak_em_only(p);
         pt.jpeak_thermal_only = A_per_m2(jrms_dc / std::sqrt(r));
+        if (cp != nullptr) cp->store(k, encode_point(pt));
         return pt;
       });
+  if (cp != nullptr) cp->flush();
+  return points;
 }
 
 std::vector<std::vector<DutyCyclePoint>> sweep_j0(
     const Problem& base, const std::vector<double>& j0_values,
     const std::vector<double>& duty_cycles) {
+  // Claim before the nested sweeps can: one slot = one whole j0 row, so the
+  // file granularity matches the outer parallel grid.
+  core::ClaimedCheckpoint claim;
+  std::unique_ptr<core::SweepCheckpoint> cp;
+  if (claim.spec() != nullptr) {
+    std::uint64_t h = hash_problem(core::kConfigHashSeed, base);
+    h = hash_mix(h, static_cast<std::uint64_t>(j0_values.size()));
+    for (const double j : j0_values) h = hash_mix(h, j);
+    h = hash_mix(h, static_cast<std::uint64_t>(duty_cycles.size()));
+    for (const double r : duty_cycles) h = hash_mix(h, r);
+    cp = std::make_unique<core::SweepCheckpoint>(*claim.spec(), "j0_sweep", h,
+                                                 j0_values.size());
+  }
+
   // Parallel over the j0 family; the nested sweep_duty_cycle runs inline on
   // the worker, so the grid is covered once with no oversubscription.
-  return parallel::parallel_map<std::vector<DutyCyclePoint>>(
+  auto rows = parallel::parallel_map<std::vector<DutyCyclePoint>>(
       j0_values.size(), [&](std::size_t i) {
+        if (cp != nullptr && cp->has(i)) {
+          const std::vector<double>& flat = cp->values(i);
+          std::vector<DutyCyclePoint> row;
+          row.reserve(duty_cycles.size());
+          for (std::size_t k = 0; k < duty_cycles.size(); ++k)
+            row.push_back(decode_point(flat.data() + k * kPointDoubles));
+          return row;
+        }
         Problem p = base;
         p.j0 = A_per_m2(j0_values[i]);
-        return sweep_duty_cycle(p, duty_cycles);
+        auto row = sweep_duty_cycle(p, duty_cycles);
+        if (cp != nullptr) {
+          std::vector<double> flat;
+          flat.reserve(row.size() * kPointDoubles);
+          for (const DutyCyclePoint& pt : row) {
+            const auto enc = encode_point(pt);
+            flat.insert(flat.end(), enc.begin(), enc.end());
+          }
+          cp->store(i, std::move(flat));
+        }
+        return row;
       });
+  if (cp != nullptr) cp->flush();
+  return rows;
 }
 
 Problem make_level_problem(const tech::Technology& technology, int level,
@@ -80,7 +204,25 @@ std::vector<TableCell> generate_design_rule_table(const TableSpec& spec) {
   const std::size_t n_r = spec.duty_cycles.size();
   const std::size_t n_gf = spec.gap_fills.size();
   const std::size_t n_lv = spec.levels.size();
-  return parallel::parallel_map<TableCell>(
+
+  core::ClaimedCheckpoint claim;
+  std::unique_ptr<core::SweepCheckpoint> cp;
+  if (claim.spec() != nullptr) {
+    std::uint64_t h = hash_mix(core::kConfigHashSeed, spec.technology.name);
+    for (const int lv : spec.levels)
+      h = hash_mix(h, static_cast<std::uint64_t>(lv));
+    for (const auto& gf : spec.gap_fills) {
+      h = hash_mix(h, gf.name);
+      h = hash_mix(h, gf.k_thermal.value());
+    }
+    for (const double r : spec.duty_cycles) h = hash_mix(h, r);
+    h = hash_mix(h, spec.j0.value());
+    h = hash_mix(h, spec.phi);
+    cp = std::make_unique<core::SweepCheckpoint>(
+        *claim.spec(), "design_rule_table", h, n_r * n_gf * n_lv);
+  }
+
+  auto cells = parallel::parallel_map<TableCell>(
       n_r * n_gf * n_lv, [&](std::size_t idx) {
         const double r = spec.duty_cycles[idx / (n_gf * n_lv)];
         const auto& gf = spec.gap_fills[(idx / n_lv) % n_gf];
@@ -89,10 +231,24 @@ std::vector<TableCell> generate_design_rule_table(const TableSpec& spec) {
         cell.level = level;
         cell.dielectric = gf.name;
         cell.duty_cycle = r;
+        // The (level, dielectric, duty) key is derived from the flattened
+        // index, so the slot payload only needs the Solution fields.
+        if (cp != nullptr && cp->has(idx)) {
+          cell.sol = decode_solution(cp->values(idx).data());
+          return cell;
+        }
         cell.sol = solve(make_level_problem(spec.technology, level, gf,
                                             spec.phi, r, spec.j0));
+        if (cp != nullptr) {
+          std::vector<double> enc;
+          enc.reserve(kSolutionDoubles);
+          encode_solution(cell.sol, enc);
+          cp->store(idx, std::move(enc));
+        }
         return cell;
       });
+  if (cp != nullptr) cp->flush();
+  return cells;
 }
 
 }  // namespace dsmt::selfconsistent

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/atomic_file.h"
 #include "numeric/constants.h"
 
 namespace dsmt::tech {
@@ -151,9 +152,7 @@ Technology parse_techfile(const std::string& text) {
 }
 
 void save_techfile(const Technology& t, const std::string& path) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("save_techfile: cannot open " + path);
-  os << to_techfile(t);
+  core::atomic_write_file(path, to_techfile(t));
 }
 
 Technology load_techfile(const std::string& path) {

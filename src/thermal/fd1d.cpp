@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/run_context.h"
 #include "numeric/fault_injection.h"
 #include "numeric/tridiag.h"
 
@@ -36,6 +37,11 @@ Steady1DResult solve_steady_line(const Line1DSpec& spec, double j_density) {
   std::vector<double> lower(n), diag(n), upper(n), rhs(n);
   const int max_it = numeric::fault::clamp_iterations("thermal/fd1d", 100);
   for (int it = 0; it < max_it; ++it) {
+    if (const auto rc = core::run_check(); rc != core::StatusCode::kOk) {
+      res.diag.record("thermal/fd1d", rc, res.picard_iterations, 0.0,
+                      "run interrupted mid-Picard");
+      return res;
+    }
     for (int i = 0; i < n; ++i) {
       if (i == 0 || i == n - 1) {
         lower[i] = upper[i] = 0.0;

@@ -4,11 +4,14 @@
 //
 // Values are written with %.17g so the decimal text round-trips the exact
 // binary double: the regression test's tight tolerance then measures real
-// numeric drift, not formatting loss.
+// numeric drift, not formatting loss. Each snapshot is published with an
+// atomic temp-file+rename, so an interrupted regeneration can never leave a
+// truncated golden file that would poison the next comparison.
 #include <cstdio>
 #include <stdexcept>
 #include <string>
 
+#include "core/atomic_file.h"
 #include "golden_cases.h"
 
 int main(int argc, char** argv) {
@@ -19,15 +22,18 @@ int main(int argc, char** argv) {
   const std::string dir = argv[1];
   for (const auto& c : dsmt::golden::all_cases()) {
     const std::string path = dir + "/" + c.file;
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "dsmt_golden_gen: cannot write %s\n", path.c_str());
+    std::string content = "key,value\n";
+    char line[256];
+    for (const auto& [key, value] : c.rows()) {
+      std::snprintf(line, sizeof line, "%s,%.17g\n", key.c_str(), value);
+      content += line;
+    }
+    try {
+      dsmt::core::atomic_write_file(path, content);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "dsmt_golden_gen: %s\n", e.what());
       return 1;
     }
-    std::fprintf(f, "key,value\n");
-    for (const auto& [key, value] : c.rows())
-      std::fprintf(f, "%s,%.17g\n", key.c_str(), value);
-    std::fclose(f);
     std::printf("wrote %s\n", path.c_str());
   }
   return 0;

@@ -1,10 +1,15 @@
-// Table / CSV reporting tests.
+// Table / CSV reporting tests, plus the JSON schema of solver diagnostics
+// and run resilience state.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "core/run_context.h"
+#include "core/status.h"
+#include "report/diagnostics.h"
 #include "report/table.h"
 
 namespace dsmt::report {
@@ -70,6 +75,63 @@ TEST(WriteCsv, RaggedDataThrows) {
   EXPECT_THROW(write_csv("/tmp/x.csv", {"a", "b"}, {{1.0}, {1.0, 2.0}}),
                std::invalid_argument);
   EXPECT_THROW(write_csv("/tmp/x.csv", {"a"}, {}), std::invalid_argument);
+}
+
+TEST(WriteCsv, FailedWriteLeavesNoPartialFile) {
+  // The staged write may not leave a half-written target when the
+  // destination directory does not exist.
+  const std::string path = ::testing::TempDir() + "/no_such_dir/out.csv";
+  EXPECT_THROW(write_csv(path, {"t"}, {{1.0}}), std::runtime_error);
+  std::ifstream is(path);
+  EXPECT_FALSE(is.good());
+}
+
+TEST(DiagJson, InterruptionStatusNamesAreStable) {
+  // The JSON schema is consumed by downstream tooling: the status strings
+  // for the resilience codes are part of the contract.
+  EXPECT_STREQ(core::status_name(core::StatusCode::kDeadlineExceeded),
+               "deadline-exceeded");
+  EXPECT_STREQ(core::status_name(core::StatusCode::kCancelled), "cancelled");
+  EXPECT_TRUE(core::is_interruption(core::StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(core::is_interruption(core::StatusCode::kCancelled));
+  EXPECT_FALSE(core::is_interruption(core::StatusCode::kOk));
+
+  core::SolverDiag diag;
+  diag.kernel = "numeric/brent";
+  diag.record("numeric/brent", core::StatusCode::kDeadlineExceeded, 12, 0.5,
+              "run interrupted");
+  const std::string json = diag_to_json(diag).dump(2);
+  EXPECT_NE(json.find("\"status\": \"deadline-exceeded\""), std::string::npos);
+  EXPECT_NE(json.find("\"note\": \"run interrupted\""), std::string::npos);
+}
+
+TEST(RunJson, SchemaCarriesDeadlineHeartbeatAndCheckpoints) {
+  core::RunContext ctx =
+      core::RunContext::with_deadline_after(std::chrono::hours(1));
+  core::CheckpointStats stats;
+  stats.job = "duty_cycle_sweep";
+  stats.total_slots = 33;
+  stats.completed = 20;
+  stats.resumed = 11;
+  stats.flushes = 2;
+  ctx.note_checkpoint(stats);
+  const std::string json = run_to_json(ctx).dump(2);
+  EXPECT_NE(json.find("\"deadline_armed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"deadline_remaining_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"cancelled\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"beats\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"job\": \"duty_cycle_sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_slots\": 33"), std::string::npos);
+  EXPECT_NE(json.find("\"completed\": 20"), std::string::npos);
+  EXPECT_NE(json.find("\"resumed\": 11"), std::string::npos);
+  EXPECT_NE(json.find("\"flushes\": 2"), std::string::npos);
+
+  core::RunContext bare;
+  bare.cancel().request_cancel();
+  const std::string cancelled = run_to_json(bare).dump(2);
+  EXPECT_NE(cancelled.find("\"deadline_armed\": false"), std::string::npos);
+  EXPECT_EQ(cancelled.find("\"deadline_remaining_s\""), std::string::npos);
+  EXPECT_NE(cancelled.find("\"cancelled\": true"), std::string::npos);
 }
 
 }  // namespace

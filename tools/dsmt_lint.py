@@ -25,6 +25,12 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   parallel::parallel_for / parallel_map so the determinism
                   contract (static partitioning, ordered reduction, first-
                   error propagation) cannot be bypassed.
+  R7 wall-clock   Wall-clock reads (`std::chrono::system_clock`, `time()`,
+                  `std::time()`) are banned from src/: deadlines and
+                  timeouts must use std::chrono::steady_clock via
+                  core::RunContext, so an NTP step can neither expire nor
+                  extend a run budget. Method calls like `res.time()` are
+                  not wall-clock reads and do not fire.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -64,6 +70,9 @@ CONVERGED_HOMES = {
     "core/status.h", "core/status.cpp",
     "numeric/fault_injection.h", "numeric/fault_injection.cpp",
     "numeric/roots.cpp", "numeric/sparse.cpp",
+    # The checkpoint slot codec round-trips the flag verbatim (serialization,
+    # not a convergence branch).
+    "selfconsistent/sweep.cpp",
 }
 
 # A `.converged` occurrence that is not a plain assignment (writes stay
@@ -76,6 +85,16 @@ CONVERGED_READ_RE = re.compile(r"\.converged\b(?!\s*=(?!=))")
 THREAD_HOME_PREFIX = "parallel/"
 
 RAW_THREAD_RE = re.compile(r"std::(?:jthread|thread|async)\b")
+
+# Wall-clock reads. The bare `time(` alternative must not match member or
+# suffixed calls (`res.time()`, `->time()`, `crossing_time(`), hence the
+# lookbehind, and must not match nullary accessor declarations (`time()
+# const`), hence the required argument — C's time() always takes one.
+# `std::time(` needs its own alternative because the lookbehind would
+# otherwise reject the qualifying `::`.
+WALL_CLOCK_RE = re.compile(
+    r"std::chrono::system_clock\b|std::time\s*\(|"
+    r"(?<![\w.:>])time\s*\(\s*[^)\s]")
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
 # plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
@@ -177,6 +196,15 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                               f"parallel::parallel_for / parallel_map to keep "
                               f"results thread-count invariant")
 
+    # R7: no wall-clock reads in library code — monotonic budgets only.
+    for i, raw in enumerate(lines):
+        line = strip_comments(raw)
+        m = WALL_CLOCK_RE.search(line)
+        if m:
+            errors.append(f"{rel}:{i + 1}: [wall-clock] wall-clock read "
+                          f"('{m.group(0).strip()}') — deadlines must use "
+                          f"std::chrono::steady_clock (core::RunContext)")
+
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
     # scalar operators are exactly the sanctioned raw-double boundary.
@@ -227,6 +255,8 @@ inline bool is_done(const Result& r) { return r.converged; }
 
 inline void race() { std::thread([] {}).join(); }
 
+inline long stamp() { return time(nullptr); }  // [s]
+
 }  // namespace dsmt
 """
 
@@ -241,6 +271,11 @@ double scale(double ratio, double gain);
 
 /// Writing the flag is legal everywhere — only reads are fenced in.
 inline void mark(Result& r) { r.converged = true; }
+
+/// Member and suffixed calls are not wall-clock reads; steady_clock is the
+/// sanctioned clock.
+inline double last(const Series& s) { return s.time(); }
+inline double tick() { return crossing_time(1.0); }
 
 }  // namespace dsmt
 """
@@ -261,7 +296,7 @@ def self_test() -> int:
         lint_file(bad, "demo/bad.h", errors)
         tags = sorted({re.search(r"\[([\w-]+)\]", e).group(1) for e in errors})
         expect = ["constants", "converged-check", "no-raw-thread", "no-stdio",
-                  "pragma-once", "unit-tag"]
+                  "pragma-once", "unit-tag", "wall-clock"]
         if tags != expect:
             print(f"self-test FAILED: bad.h raised {tags}, expected {expect}")
             for e in errors:

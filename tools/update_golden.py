@@ -10,6 +10,12 @@ Run it when a change is *supposed* to move the numbers, then review the
 CSV diff like code — it is the numeric impact of the change. Never edit
 the snapshots by hand.
 
+The generator writes into a staging directory first and the results are
+published with os.replace(), so an interrupted regeneration (ctrl-C,
+OOM-kill, generator crash) leaves tests/golden/ exactly as it was — the
+same whole-file-or-nothing contract the library's own emitters follow via
+core/atomic_file.
+
 Usage: update_golden.py [--build-dir build] [--jobs N]
 """
 
@@ -19,6 +25,7 @@ import argparse
 import pathlib
 import subprocess
 import sys
+import tempfile
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -52,7 +59,14 @@ def main() -> int:
     if not gen.exists():
         print(f"update_golden: generator not found at {gen}", file=sys.stderr)
         return 1
-    run([str(gen), str(golden_dir)])
+    # Stage in a sibling temp dir (same filesystem, so os.replace is atomic),
+    # then publish each snapshot only after the generator finished cleanly.
+    with tempfile.TemporaryDirectory(dir=golden_dir.parent,
+                                     prefix="golden.stage.") as stage:
+        run([str(gen), stage])
+        for staged in sorted(pathlib.Path(stage).iterdir()):
+            staged.replace(golden_dir / staged.name)
+            print(f"published {golden_dir / staged.name}")
     print("update_golden: done — review `git diff tests/golden/` before "
           "committing")
     return 0
