@@ -1,5 +1,6 @@
 #include "core/signoff.h"
 
+#include <mutex>
 #include <sstream>
 
 #include "em/budget.h"
@@ -9,6 +10,46 @@
 #include "report/table.h"
 
 namespace dsmt::core {
+
+namespace {
+
+/// Registered provider of the sign-off "service" section, with the owner
+/// token that registered it. Guarded by its mutex; the function is copied
+/// out under the lock and invoked outside it.
+struct ServiceSourceSlot {
+  std::mutex mu;
+  const void* owner = nullptr;
+  std::function<report::Json()> source;
+};
+
+ServiceSourceSlot& service_source_slot() {
+  static ServiceSourceSlot slot;
+  return slot;
+}
+
+}  // namespace
+
+void set_signoff_service_source(const void* owner,
+                                std::function<report::Json()> source) {
+  ServiceSourceSlot& slot = service_source_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  slot.owner = owner;
+  slot.source = std::move(source);
+}
+
+void clear_signoff_service_source(const void* owner) {
+  ServiceSourceSlot& slot = service_source_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.owner != owner) return;  // a newer registrant took the slot
+  slot.owner = nullptr;
+  slot.source = nullptr;
+}
+
+std::function<report::Json()> signoff_service_source() {
+  ServiceSourceSlot& slot = service_source_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  return slot.source;
+}
 
 SignoffReport run_signoff(const tech::Technology& technology,
                           const SignoffOptions& options) {
@@ -162,6 +203,10 @@ std::string SignoffReport::to_json(int indent) const {
   // checkpoint counters) rides along whenever the caller armed one.
   if (const RunContext* run = current_run_context())
     root.set("run", report::run_to_json(*run));
+  // Service front-end state (admission counters, breaker transitions) rides
+  // along whenever a dsmt::service::Server is alive and publishing.
+  if (const std::function<report::Json()> service = signoff_service_source())
+    root.set("service", service());
   return root.dump(indent);
 }
 

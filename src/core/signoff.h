@@ -10,10 +10,12 @@
 // and renders the result as an aligned text report.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/engine.h"
+#include "report/json.h"
 
 namespace dsmt::core {
 
@@ -48,5 +50,19 @@ struct SignoffReport {
 /// top four on stacks of 8+ levels), matching the paper's table layout.
 SignoffReport run_signoff(const tech::Technology& technology,
                           const SignoffOptions& options = {});
+
+/// Registers the provider of the sign-off report's "service" JSON section
+/// (breaker state, admission counters — see service/server.h). `owner`
+/// identifies the registrant so a stale owner cannot clear a newer one;
+/// the latest registration wins. The source must stay callable until
+/// cleared.
+void set_signoff_service_source(const void* owner,
+                                std::function<report::Json()> source);
+
+/// Clears the registration if (and only if) `owner` still holds it.
+void clear_signoff_service_source(const void* owner);
+
+/// Copy of the registered provider; empty when none is registered.
+std::function<report::Json()> signoff_service_source();
 
 }  // namespace dsmt::core

@@ -23,6 +23,10 @@ const char* status_name(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kRejectedOverload:
+      return "rejected-overload";
+    case StatusCode::kBreakerOpen:
+      return "breaker-open";
   }
   return "unknown";
 }

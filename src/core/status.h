@@ -25,6 +25,8 @@ enum class StatusCode {
   kSingularSystem,  ///< linear operator is singular / derivative vanished
   kDeadlineExceeded,  ///< the RunContext monotonic deadline passed mid-solve
   kCancelled,         ///< cooperative cancellation was requested mid-solve
+  kRejectedOverload,  ///< request shed at admission: queue above high water
+  kBreakerOpen,       ///< kernel skipped: its circuit breaker is open
 };
 
 /// Short stable name for a status code ("ok", "no-bracket", ...).

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdlib>
 #include <deque>
@@ -13,6 +14,21 @@ namespace dsmt::parallel {
 namespace {
 
 thread_local bool t_on_worker = false;
+
+// Queue bound and its observability counters. The bound is read per
+// submission (no pool rebuild needed); the counters are monotonic across
+// rebuilds so callers can watch bursts drain through a bounded window.
+std::atomic<std::size_t> g_queue_high_water{kDefaultQueueHighWater};
+std::atomic<std::uint64_t> g_tasks_drained{0};
+std::atomic<std::size_t> g_queue_peak_depth{0};
+
+void note_queue_depth(std::size_t depth) {
+  std::size_t peak = g_queue_peak_depth.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !g_queue_peak_depth.compare_exchange_weak(
+             peak, depth, std::memory_order_relaxed)) {
+  }
+}
 
 std::size_t env_thread_count() {
   const char* env = std::getenv("DSMT_THREADS");
@@ -40,6 +56,7 @@ class Pool {
       stop_ = true;
     }
     cv_.notify_all();
+    not_full_cv_.notify_all();
     for (auto& w : workers_) w.join();
   }
 
@@ -47,8 +64,18 @@ class Pool {
 
   void submit(std::function<void()> task) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::unique_lock<std::mutex> lock(mu_);
+      // Blocking producer: wait for the queue to dip below the high-water
+      // mark. Workers only ever shrink the queue, so this cannot deadlock;
+      // on shutdown the wait is released and the task is still accepted
+      // (the destructor drains whatever remains).
+      not_full_cv_.wait(lock, [this] {
+        return stop_ ||
+               queue_.size() <
+                   g_queue_high_water.load(std::memory_order_relaxed);
+      });
       queue_.push_back(std::move(task));
+      note_queue_depth(queue_.size());
     }
     cv_.notify_one();
   }
@@ -64,13 +91,16 @@ class Pool {
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
+        g_tasks_drained.fetch_add(1, std::memory_order_relaxed);
       }
+      not_full_cv_.notify_one();
       task();
     }
   }
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable not_full_cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
@@ -116,6 +146,23 @@ void set_thread_count(std::size_t n) {
 }
 
 bool on_worker_thread() { return t_on_worker; }
+
+std::size_t queue_high_water() {
+  return g_queue_high_water.load(std::memory_order_relaxed);
+}
+
+void set_queue_high_water(std::size_t n) {
+  g_queue_high_water.store(std::max<std::size_t>(n, 1),
+                           std::memory_order_relaxed);
+}
+
+std::uint64_t tasks_drained() {
+  return g_tasks_drained.load(std::memory_order_relaxed);
+}
+
+std::size_t queue_peak_depth() {
+  return g_queue_peak_depth.load(std::memory_order_relaxed);
+}
 
 void pool_submit(std::function<void()> task) { pool().submit(std::move(task)); }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace dsmt::parallel {
@@ -32,8 +33,31 @@ void set_thread_count(std::size_t n);
 /// parallel regions inline instead of deadlocking on the shared queue.
 bool on_worker_thread();
 
+/// High-water mark on queued-but-unstarted pool tasks. pool_submit() from a
+/// producer thread blocks while the queue is at the mark, so a burst of
+/// submissions holds bounded memory instead of growing the queue without
+/// limit. Workers never block on the mark (they only drain), and nested
+/// parallel regions run inline without submitting, so the bound cannot
+/// deadlock the pool. Default kDefaultQueueHighWater.
+inline constexpr std::size_t kDefaultQueueHighWater = 1024;
+std::size_t queue_high_water();
+/// Sets the high-water mark (clamped to >= 1). Takes effect on the next
+/// submission; must not be called from inside a parallel region.
+void set_queue_high_water(std::size_t n);
+
+/// Total tasks drained (dequeued and run) by pool workers since process
+/// start. Monotonic across pool rebuilds; lets tests and service metrics
+/// observe that a burst actually flowed through the bounded queue.
+std::uint64_t tasks_drained();
+
+/// Deepest queue occupancy observed since process start — always <= the
+/// high-water mark in force at the time, which is what makes the bound
+/// checkable from outside.
+std::size_t queue_peak_depth();
+
 /// Submits `task` to the global pool. Internal plumbing for parallel_for;
-/// prefer the primitives in parallel_for.h.
+/// prefer the primitives in parallel_for.h. Blocks while the queue sits at
+/// the high-water mark.
 void pool_submit(std::function<void()> task);
 
 }  // namespace dsmt::parallel

@@ -7,7 +7,7 @@ Json diag_to_json(const core::SolverDiag& diag) {
   root.set("kernel", Json::string(diag.kernel))
       .set("status", Json::string(core::status_name(diag.status)))
       .set("iterations", Json::integer(diag.iterations))
-      .set("residual", Json::number(diag.residual))
+      .set("residual", Json::number_or_null(diag.residual))
       .set("recovered", Json::boolean(diag.recovered));
   Json chain = Json::array();
   for (const auto& ev : diag.chain) {
@@ -15,7 +15,7 @@ Json diag_to_json(const core::SolverDiag& diag) {
     entry.set("kernel", Json::string(ev.kernel))
         .set("status", Json::string(core::status_name(ev.status)))
         .set("iterations", Json::integer(ev.iterations))
-        .set("residual", Json::number(ev.residual));
+        .set("residual", Json::number_or_null(ev.residual));
     if (!ev.note.empty()) entry.set("note", Json::string(ev.note));
     chain.push(std::move(entry));
   }

@@ -48,6 +48,15 @@ double javg2_em(const Problem& p, double t_m) {
 }
 }  // namespace
 
+units::CurrentDensity jrms_thermal_at(const Problem& p, units::Kelvin t_m) {
+  const double jrms2 = jrms2_thermal(p, t_m);
+  return A_per_m2(jrms2 > 0.0 ? std::sqrt(jrms2) : 0.0);
+}
+
+units::CurrentDensity javg_em_at(const Problem& p, units::Kelvin t_m) {
+  return A_per_m2(std::sqrt(javg2_em(p, t_m)));
+}
+
 double residual(const Problem& p, units::Kelvin t_m) {
   // r * j_rms^2(thermal) - j_avg^2(EM): negative below the root (thermal
   // side admits less than EM needs), positive above.

@@ -74,4 +74,14 @@ units::CurrentDensity jpeak_em_only(const Problem& problem);
 /// testing and for diagnostics plots.
 double residual(const Problem& problem, units::Kelvin t_m);
 
+/// The thermally admissible RMS density at metal temperature t_m: the j_rms
+/// whose Joule heating sustains exactly t_m (Eq. 9 inverted). Closed form —
+/// no iteration. Requires t_m >= t_ref (returns 0 below).
+units::CurrentDensity jrms_thermal_at(const Problem& problem,
+                                      units::Kelvin t_m);
+
+/// The EM-admissible average density at metal temperature t_m: the design
+/// rule j_o rescaled to t_m by Black's equation (Eq. 12). Closed form.
+units::CurrentDensity javg_em_at(const Problem& problem, units::Kelvin t_m);
+
 }  // namespace dsmt::selfconsistent

@@ -1,0 +1,133 @@
+#include "service/breaker.h"
+
+#include <utility>
+
+namespace dsmt::service {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(std::string kernel, BreakerConfig config)
+    : kernel_(std::move(kernel)), config_(config) {}
+
+void CircuitBreaker::transition_locked(BreakerState to, std::string reason) {
+  transitions_.push_back({tick_, state_, to, std::move(reason)});
+  state_ = to;
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tick_;
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (tick_ - opened_tick_ >
+          static_cast<std::uint64_t>(config_.open_ticks)) {
+        transition_locked(BreakerState::kHalfOpen,
+                          "cooldown elapsed: admitting probe");
+        probe_successes_ = 0;
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++short_circuits_;
+      return false;
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) {
+        ++short_circuits_;
+        return false;
+      }
+      probe_in_flight_ = true;
+      return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  if (state_ == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;
+    ++probe_successes_;
+    if (probe_successes_ >= config_.half_open_successes)
+      transition_locked(BreakerState::kClosed, "probe(s) succeeded");
+  }
+}
+
+void CircuitBreaker::on_failure(core::StatusCode status) {
+  // Interruptions (the caller's budget ran out) and invalid input (the
+  // client's fault) say nothing about the kernel's health — the HTTP-breaker
+  // rule of counting 5xx but never 4xx.
+  if (core::is_interruption(status)) return;
+  if (status == core::StatusCode::kInvalidInput) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kHalfOpen) {
+    probe_in_flight_ = false;
+    opened_tick_ = tick_;
+    ++opens_;
+    transition_locked(BreakerState::kOpen,
+                      std::string("probe failed (") +
+                          core::status_name(status) + ")");
+    return;
+  }
+  if (state_ == BreakerState::kClosed) {
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= config_.failure_threshold) {
+      opened_tick_ = tick_;
+      ++opens_;
+      transition_locked(
+          BreakerState::kOpen,
+          std::to_string(consecutive_failures_) +
+              " consecutive failures (last: " + core::status_name(status) +
+              ")");
+    }
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tick_;
+}
+
+std::uint64_t CircuitBreaker::short_circuits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return short_circuits_;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+std::vector<BreakerTransition> CircuitBreaker::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+void CircuitBreaker::record_into(core::SolverDiag& diag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : transitions_) {
+    diag.record("service/breaker[" + kernel_ + "]",
+                t.to == BreakerState::kOpen ? core::StatusCode::kBreakerOpen
+                                            : core::StatusCode::kOk,
+                static_cast<int>(t.tick), 0.0,
+                std::string(breaker_state_name(t.from)) + " -> " +
+                    breaker_state_name(t.to) + ": " + t.reason);
+  }
+}
+
+}  // namespace dsmt::service

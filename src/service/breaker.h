@@ -1,0 +1,91 @@
+// Per-kernel circuit breaker over logical time.
+//
+// Classic three-state machine: Closed (attempts flow), Open (attempts are
+// short-circuited straight to the degradation ladder), Half-Open (a single
+// probe attempt is admitted; success closes the breaker, failure reopens
+// it). Time is logical — admission polls, not seconds — because wall clocks
+// are fenced out of the library (lint R7) and a wall-clock cooldown would
+// make responses timing-dependent anyway. Every transition is recorded with
+// the tick it happened at, and can be appended to a core::SolverDiag chain
+// so breaker history rides the same diagnostics channel as solver recovery
+// stages.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace dsmt::service {
+
+enum class BreakerState { kClosed = 0, kOpen, kHalfOpen };
+
+/// Short stable name ("closed", "open", "half-open").
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerConfig {
+  int failure_threshold = 5;  ///< consecutive failures that open the breaker
+  int open_ticks = 16;        ///< admission polls the breaker stays open
+  int half_open_successes = 1;  ///< probe successes required to re-close
+};
+
+/// One recorded state transition, at the admission poll it happened on.
+struct BreakerTransition {
+  std::uint64_t tick = 0;
+  BreakerState from = BreakerState::kClosed;
+  BreakerState to = BreakerState::kClosed;
+  std::string reason;
+};
+
+/// Thread-safe circuit breaker guarding one kernel.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(std::string kernel, BreakerConfig config = {});
+
+  /// One admission poll (bumps the logical tick). True: the caller may
+  /// attempt the kernel — the breaker is closed, or this poll won the
+  /// half-open probe slot. False: short-circuit to degradation. Every
+  /// allow() == true must be answered by exactly one on_success() or
+  /// on_failure().
+  bool allow();
+
+  /// Terminal success of an allowed attempt chain (after retries).
+  void on_success();
+
+  /// Terminal failure of an allowed attempt chain. Run interruptions
+  /// (deadline, cancel) and kInvalidInput do not count against the kernel's
+  /// health — they say nothing about whether the kernel works.
+  void on_failure(core::StatusCode status);
+
+  BreakerState state() const;
+  const std::string& kernel() const { return kernel_; }
+  std::uint64_t ticks() const;
+  std::uint64_t short_circuits() const;
+  std::uint64_t opens() const;
+  std::vector<BreakerTransition> transitions() const;
+
+  /// Appends one event per recorded transition to `diag` (kernel
+  /// "service/breaker[<kernel>]", status kBreakerOpen for transitions into
+  /// Open, kOk otherwise, the tick in the iterations slot).
+  void record_into(core::SolverDiag& diag) const;
+
+ private:
+  void transition_locked(BreakerState to, std::string reason);
+
+  const std::string kernel_;
+  const BreakerConfig config_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  std::uint64_t tick_ = 0;          ///< allow() calls so far
+  std::uint64_t opened_tick_ = 0;   ///< tick of the last transition to Open
+  std::uint64_t short_circuits_ = 0;
+  std::uint64_t opens_ = 0;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  bool probe_in_flight_ = false;
+  std::vector<BreakerTransition> transitions_;
+};
+
+}  // namespace dsmt::service

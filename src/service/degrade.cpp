@@ -1,0 +1,103 @@
+#include "service/degrade.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsmt::service {
+
+void ReferenceCache::insert(const std::string& family, double duty_cycle,
+                            const selfconsistent::Solution& solution) {
+  if (!std::isfinite(duty_cycle) || duty_cycle <= 0.0 || duty_cycle > 1.0)
+    return;  // malformed points never enter the conservative store
+  if (!solution.diag.ok()) return;
+  ReferencePoint point;
+  point.duty_cycle = duty_cycle;
+  point.t_metal_k = solution.t_metal.value();
+  point.j_rms_A_m2 = solution.j_rms.value();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReferencePoint>& family_points = points_[family];
+  const auto at = std::lower_bound(
+      family_points.begin(), family_points.end(), duty_cycle,
+      [](const ReferencePoint& p, double r) { return p.duty_cycle < r; });
+  if (at != family_points.end() && at->duty_cycle == duty_cycle)
+    *at = point;
+  else
+    family_points.insert(at, point);
+}
+
+bool ReferenceCache::conservative_at(const std::string& family,
+                                     double duty_cycle,
+                                     ReferencePoint& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto family_it = points_.find(family);
+  if (family_it == points_.end()) return false;
+  const std::vector<ReferencePoint>& family_points = family_it->second;
+  // Smallest cached r' >= r: the tightest point that is still conservative.
+  const auto at = std::lower_bound(
+      family_points.begin(), family_points.end(), duty_cycle,
+      [](const ReferencePoint& p, double r) { return p.duty_cycle < r; });
+  if (at == family_points.end()) return false;
+  out = *at;
+  return true;
+}
+
+std::size_t ReferenceCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [family, family_points] : points_)
+    n += family_points.size();
+  return n;
+}
+
+std::size_t ReferenceCache::families() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_.size();
+}
+
+namespace {
+
+/// Trial-temperature grid for the analytic rung: geometric in the rise
+/// dT = T^ - T_ref from 0.25 K up to 1200 K (covers every regime the paper
+/// tabulates; Table 4's worst cells sit near dT ~ 100 K). ~49 closed-form
+/// evaluations, no iteration, no convergence check to inject faults into.
+inline constexpr double kGridFirstRiseK = 0.25;
+inline constexpr double kGridLastRiseK = 1200.0;
+inline constexpr double kGridGrowth = 1.19;
+
+}  // namespace
+
+AnalyticBound analytic_quasi1d_bound(const selfconsistent::Problem& quasi1d) {
+  const double r = quasi1d.duty_cycle;
+  if (!std::isfinite(r) || r <= 0.0 || r > 1.0)
+    throw std::invalid_argument(
+        "service/degrade: duty cycle must be in (0, 1]");
+  if (!std::isfinite(quasi1d.t_ref.value()) || quasi1d.t_ref.value() <= 0.0)
+    throw std::invalid_argument(
+        "service/degrade: t_ref must be positive and finite");
+
+  const double sqrt_r = std::sqrt(r);
+  AnalyticBound best;
+  best.t_metal = quasi1d.t_ref;
+  for (double rise = kGridFirstRiseK; rise <= kGridLastRiseK;
+       rise *= kGridGrowth) {
+    const units::Kelvin t_trial{quasi1d.t_ref.value() + rise};
+    // Feasible j_rms at this trial temperature: the thermal branch keeps the
+    // true temperature at or below t_trial, the EM branch applies Black's
+    // rule at the pessimistic t_trial. min() of the two is safe on both.
+    const double j_thermal =
+        selfconsistent::jrms_thermal_at(quasi1d, t_trial).value();
+    const double j_em =
+        selfconsistent::javg_em_at(quasi1d, t_trial).value() / sqrt_r;
+    const double j_feasible = std::min(j_thermal, j_em);
+    if (std::isfinite(j_feasible) && j_feasible > best.j_rms.value()) {
+      best.j_rms = units::CurrentDensity{j_feasible};
+      best.t_metal = t_trial;
+    }
+  }
+  best.j_peak = best.j_rms / sqrt_r;
+  best.j_avg = sqrt_r * best.j_rms;
+  return best;
+}
+
+}  // namespace dsmt::service

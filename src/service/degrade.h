@@ -1,0 +1,87 @@
+// Graceful-degradation ladder below the full quasi-2D solve.
+//
+// When the full Eq. 13 solve is unavailable — the kernel is failing, its
+// breaker is open, or retries are exhausted — the service still answers,
+// stepping down a ladder whose every rung is *conservative for j_rms* (and
+// therefore for T_m, which rises monotonically with j_rms):
+//
+//   rung 1  ReferenceCache::conservative_at — the cached full solution of
+//           the SAME geometry family at the smallest cached duty cycle
+//           r' >= r. j_rms is non-increasing in r (the EM constraint
+//           j_avg = sqrt(r) j_rms tightens as r grows while the thermal
+//           constraint is r-independent), so j_rms(r') <= j_rms(r), and the
+//           cached pair (j_rms(r'), T(r')) is exactly self-consistent for
+//           this geometry: strictly feasible, never optimistic.
+//
+//   rung 2  analytic_quasi1d_bound — iteration-free lower bound from the
+//           quasi-1D W_eff = W_m + 0.88 b problem. For ANY trial T^ >= T_ref,
+//           j_rms = min(jrms_thermal_at(T^), javg_em_at(T^)/sqrt(r)) is
+//           feasible (the thermal branch pins T <= T^, the EM branch is
+//           evaluated at the pessimistic T^); we take the best T^ over a
+//           fixed geometric grid. The quasi-1D phi = 0.88 underestimates
+//           W_eff, overestimates R'_th and hence heating, pushing the bound
+//           further below the quasi-2D answer.
+//
+// Full derivations: docs/THEORY.md section 15.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "selfconsistent/solver.h"
+
+namespace dsmt::service {
+
+/// One cached full-solve operating point of a geometry family.
+struct ReferencePoint {
+  double duty_cycle = 0.0;   ///< r [1] the point was solved at
+  double t_metal_k = 0.0;    ///< self-consistent T_m [K]
+  double j_rms_A_m2 = 0.0;   ///< self-consistent j_rms [A/m^2]
+};
+
+/// Thread-safe store of full quasi-2D solutions keyed by geometry family
+/// (request.h: everything but duty cycle). Rung 1 of the ladder reads it;
+/// every successful full solve feeds it, so a warm server degrades to
+/// recent truth instead of the analytic floor.
+class ReferenceCache {
+ public:
+  /// Records one full solution at duty cycle r [1]. Re-inserting the same
+  /// (family, r) overwrites — last writer wins, all writers agree anyway
+  /// (the solve is deterministic).
+  void insert(const std::string& family, double duty_cycle,
+              const selfconsistent::Solution& solution);
+
+  /// Conservative lookup: the cached point of `family` with the smallest
+  /// duty cycle r' [1] >= r. Returns false when the family has no such point
+  /// (empty family, or every cached r' < r — a smaller r' would be
+  /// OPTIMISTIC and is never returned).
+  bool conservative_at(const std::string& family, double duty_cycle,
+                       ReferencePoint& out) const;
+
+  std::size_t size() const;          ///< total cached points
+  std::size_t families() const;      ///< distinct geometry families
+
+ private:
+  mutable std::mutex mu_;
+  /// Per family: points sorted ascending by duty cycle.
+  std::map<std::string, std::vector<ReferencePoint>> points_;
+};
+
+/// Rung-2 result: a feasible, conservative operating point.
+struct AnalyticBound {
+  units::Kelvin t_metal{};         ///< trial temperature of the best rung
+  units::CurrentDensity j_rms{};   ///< guaranteed-feasible RMS density
+  units::CurrentDensity j_peak{};  ///< j_rms / sqrt(r)
+  units::CurrentDensity j_avg{};   ///< sqrt(r) j_rms
+};
+
+/// Iteration-free conservative bound from the quasi-1D problem (see the
+/// header comment). Deterministic: fixed temperature grid, no root find, no
+/// fault-injection hook in its path. Throws std::invalid_argument on duty
+/// cycle outside (0, 1] or non-finite problem data.
+AnalyticBound analytic_quasi1d_bound(const selfconsistent::Problem& quasi1d);
+
+}  // namespace dsmt::service

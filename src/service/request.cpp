@@ -1,0 +1,265 @@
+#include "service/request.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "materials/dielectric.h"
+#include "materials/metal.h"
+#include "report/diagnostics.h"
+#include "selfconsistent/sweep.h"
+#include "tech/ntrs.h"
+#include "thermal/impedance.h"
+
+namespace dsmt::service {
+
+namespace {
+
+[[noreturn]] void bad_request(const std::string& what) {
+  core::SolverDiag diag;
+  diag.record("service/request", core::StatusCode::kInvalidInput, 0, 0.0,
+              what);
+  throw SolveError("service/request: " + what, diag);
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Canonical %.17g rendering so a family key round-trips bit-exactly.
+std::string canon(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+double get_number(const report::Json& node, const char* key, double fallback) {
+  const report::Json* member = node.find(key);
+  return member != nullptr ? member->as_number() : fallback;
+}
+
+std::string get_string(const report::Json& node, const char* key,
+                       std::string fallback) {
+  const report::Json* member = node.find(key);
+  return member != nullptr ? member->as_string() : fallback;
+}
+
+RequestKind kind_from_name(const std::string& name) {
+  const std::string k = lower(name);
+  if (k == "self-consistent" || k == "sc") return RequestKind::kSelfConsistent;
+  if (k == "duty-cycle-point" || k == "duty")
+    return RequestKind::kDutyCyclePoint;
+  if (k == "table-cell" || k == "table") return RequestKind::kTableCell;
+  bad_request("unknown request kind '" + name + "'");
+}
+
+/// Built-in technology lookup for table-cell requests. Matches the node and
+/// metallization in the name, case-insensitively: "NTRS-250nm-Cu",
+/// "250nm_alcu", "ntrs100cu", ...
+tech::Technology technology_by_name(const std::string& name) {
+  const std::string n = lower(name);
+  const bool alcu = n.find("alcu") != std::string::npos;
+  if (n.find("250") != std::string::npos)
+    return alcu ? tech::make_ntrs_250nm_alcu() : tech::make_ntrs_250nm_cu();
+  if (n.find("180") != std::string::npos && !alcu)
+    return tech::make_ntrs_180nm_cu();
+  if (n.find("130") != std::string::npos && !alcu)
+    return tech::make_ntrs_130nm_cu();
+  if (n.find("100") != std::string::npos)
+    return alcu ? tech::make_ntrs_100nm_alcu() : tech::make_ntrs_100nm_cu();
+  throw std::out_of_range("service/request: unknown technology '" + name +
+                          "'");
+}
+
+}  // namespace
+
+const char* kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kSelfConsistent:
+      return "self-consistent";
+    case RequestKind::kDutyCyclePoint:
+      return "duty-cycle-point";
+    case RequestKind::kTableCell:
+      return "table-cell";
+  }
+  return "unknown";
+}
+
+Request request_from_json(const report::Json& node) {
+  if (!node.is_object()) bad_request("request is not a JSON object");
+  Request r;
+  r.id = get_string(node, "id", "");
+  r.kind = kind_from_name(get_string(node, "kind", "self-consistent"));
+  r.duty_cycle = get_number(node, "duty_cycle", r.duty_cycle);
+  r.j0_MA_cm2 = get_number(node, "j0_MA_cm2", r.j0_MA_cm2);
+  r.t_ref_c = get_number(node, "t_ref_c", r.t_ref_c);
+  if (const report::Json* wire = node.find("wire")) {
+    if (!wire->is_object()) bad_request("'wire' is not a JSON object");
+    r.wire.metal = get_string(*wire, "metal", r.wire.metal);
+    r.wire.width_um = get_number(*wire, "width_um", r.wire.width_um);
+    r.wire.thickness_um =
+        get_number(*wire, "thickness_um", r.wire.thickness_um);
+    r.wire.dielectric_um =
+        get_number(*wire, "dielectric_um", r.wire.dielectric_um);
+    r.wire.k_dielectric =
+        get_number(*wire, "k_dielectric", r.wire.k_dielectric);
+  }
+  r.technology = get_string(node, "technology", r.technology);
+  r.level = static_cast<int>(
+      get_number(node, "level", static_cast<double>(r.level)));
+  r.dielectric = get_string(node, "dielectric", r.dielectric);
+  if (r.kind == RequestKind::kTableCell && r.technology.empty())
+    bad_request("table-cell request without 'technology'");
+  return r;
+}
+
+report::Json request_to_json(const Request& r) {
+  using report::Json;
+  Json node = Json::object();
+  node.set("id", Json::string(r.id))
+      .set("kind", Json::string(kind_name(r.kind)))
+      .set("duty_cycle", Json::number(r.duty_cycle))
+      .set("j0_MA_cm2", Json::number(r.j0_MA_cm2))
+      .set("t_ref_c", Json::number(r.t_ref_c));
+  if (r.kind == RequestKind::kTableCell) {
+    node.set("technology", Json::string(r.technology))
+        .set("level", Json::integer(r.level))
+        .set("dielectric", Json::string(r.dielectric));
+  } else {
+    Json wire = Json::object();
+    wire.set("metal", Json::string(r.wire.metal))
+        .set("width_um", Json::number(r.wire.width_um))
+        .set("thickness_um", Json::number(r.wire.thickness_um))
+        .set("dielectric_um", Json::number(r.wire.dielectric_um))
+        .set("k_dielectric", Json::number(r.wire.k_dielectric));
+    node.set("wire", std::move(wire));
+  }
+  return node;
+}
+
+report::Json response_to_json(const Response& resp) {
+  using report::Json;
+  Json node = Json::object();
+  node.set("id", Json::string(resp.id))
+      .set("kind", Json::string(kind_name(resp.kind)))
+      .set("status", Json::string(core::status_name(resp.status)))
+      .set("degraded", Json::boolean(resp.degraded))
+      .set("degradation_level",
+           Json::integer(static_cast<long long>(resp.degradation_level)))
+      .set("conservative", Json::boolean(resp.conservative))
+      .set("attempts", Json::integer(resp.attempts));
+  Json backoffs = Json::array();
+  for (const std::uint64_t b : resp.backoff_ns)
+    backoffs.push(Json::integer(static_cast<long long>(b)));
+  node.set("backoff_ns", std::move(backoffs));
+  if (resp.ok()) {
+    Json sol = Json::object();
+    sol.set("t_metal_c", Json::number(resp.t_metal_c))
+        .set("delta_t_c", Json::number(resp.delta_t_c))
+        .set("j_peak_MA_cm2", Json::number(resp.j_peak_MA_cm2))
+        .set("j_rms_MA_cm2", Json::number(resp.j_rms_MA_cm2))
+        .set("j_avg_MA_cm2", Json::number(resp.j_avg_MA_cm2));
+    if (resp.kind == RequestKind::kDutyCyclePoint)
+      sol.set("jpeak_em_only_MA_cm2",
+              Json::number(resp.jpeak_em_only_MA_cm2));
+    node.set("solution", std::move(sol));
+  } else {
+    node.set("error", Json::string(resp.error));
+  }
+  node.set("diag", report::diag_to_json(resp.diag));
+  return node;
+}
+
+std::vector<Request> parse_batch(const std::string& text) {
+  const report::Json doc = report::Json::parse(text);
+  const report::Json* list = nullptr;
+  if (doc.is_array()) {
+    list = &doc;
+  } else if (doc.is_object()) {
+    list = doc.find("requests");
+    if (list == nullptr || !list->is_array())
+      bad_request("batch object lacks a 'requests' array");
+  } else {
+    bad_request("batch document is neither an array nor an object");
+  }
+  std::vector<Request> requests;
+  requests.reserve(list->size());
+  for (std::size_t i = 0; i < list->size(); ++i)
+    requests.push_back(request_from_json(list->at(i)));
+  return requests;
+}
+
+LadderProblem build_problem(const Request& r) {
+  // Shape errors are classified here as kInvalidInput, before any kernel is
+  // touched: client garbage must never count against the solver's circuit
+  // breaker the way a genuine kernel failure does.
+  if (!std::isfinite(r.duty_cycle) || r.duty_cycle <= 0.0 ||
+      r.duty_cycle > 1.0)
+    bad_request("duty_cycle must be in (0, 1]");
+  if (!std::isfinite(r.j0_MA_cm2) || r.j0_MA_cm2 <= 0.0)
+    bad_request("j0_MA_cm2 must be positive and finite");
+  if (!std::isfinite(r.t_ref_c) || r.t_ref_c + kCelsiusOffset <= 0.0)
+    bad_request("t_ref_c must be finite and above absolute zero");
+  if (r.kind == RequestKind::kTableCell && r.level < 1)
+    bad_request("table-cell level must be >= 1");
+
+  LadderProblem lp;
+  const units::CurrentDensity j0 = MA_per_cm2(r.j0_MA_cm2);
+  const units::Kelvin t_ref = celsius_to_kelvin(r.t_ref_c);
+
+  if (r.kind == RequestKind::kTableCell) {
+    const tech::Technology technology = technology_by_name(r.technology);
+    const materials::Dielectric gap_fill =
+        materials::dielectric_by_name(r.dielectric);
+    lp.full = selfconsistent::make_level_problem(
+        technology, r.level, gap_fill, thermal::kPhiQuasi2D, r.duty_cycle,
+        j0);
+    lp.quasi1d = selfconsistent::make_level_problem(
+        technology, r.level, gap_fill, thermal::kPhiQuasi1D, r.duty_cycle,
+        j0);
+    lp.full.t_ref = t_ref;
+    lp.quasi1d.t_ref = t_ref;
+    lp.family = "table|" + lower(technology.name) + "|level=" +
+                std::to_string(r.level) + "|" + lower(r.dielectric) +
+                "|j0=" + canon(r.j0_MA_cm2) + "|tref=" + canon(r.t_ref_c);
+    return lp;
+  }
+
+  if (!std::isfinite(r.wire.width_um) || r.wire.width_um <= 0.0 ||
+      !std::isfinite(r.wire.thickness_um) || r.wire.thickness_um <= 0.0 ||
+      !std::isfinite(r.wire.dielectric_um) || r.wire.dielectric_um <= 0.0 ||
+      !std::isfinite(r.wire.k_dielectric) || r.wire.k_dielectric <= 0.0)
+    bad_request("wire geometry must be finite and positive");
+
+  const materials::Metal metal = materials::metal_by_name(r.wire.metal);
+  const units::Metres w_m = um(r.wire.width_um);
+  const units::Metres t_m = um(r.wire.thickness_um);
+  const units::Metres b = um(r.wire.dielectric_um);
+  const units::ThermalConductivity k_d{r.wire.k_dielectric};
+
+  const auto make = [&](double phi) {
+    const units::Metres w_eff = thermal::effective_width(w_m, b, phi);
+    const units::ThermalResistancePerLength rth =
+        thermal::rth_per_length_uniform(b, k_d, w_eff);
+    selfconsistent::Problem p;
+    p.metal = metal;
+    p.duty_cycle = r.duty_cycle;
+    p.j0 = j0;
+    p.t_ref = t_ref;
+    p.heating_coefficient =
+        selfconsistent::heating_coefficient(w_m, t_m, rth);
+    return p;
+  };
+  lp.full = make(thermal::kPhiQuasi2D);
+  lp.quasi1d = make(thermal::kPhiQuasi1D);
+  lp.family = "wire|" + lower(r.wire.metal) + "|w=" + canon(r.wire.width_um) +
+              "|t=" + canon(r.wire.thickness_um) +
+              "|b=" + canon(r.wire.dielectric_um) +
+              "|k=" + canon(r.wire.k_dielectric) +
+              "|j0=" + canon(r.j0_MA_cm2) + "|tref=" + canon(r.t_ref_c);
+  return lp;
+}
+
+}  // namespace dsmt::service

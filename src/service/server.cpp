@@ -1,0 +1,402 @@
+#include "service/server.h"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/run_context.h"
+#include "core/signoff.h"
+#include "parallel/parallel_for.h"
+
+namespace dsmt::service {
+
+namespace {
+
+/// The kernel the breaker guards — the only iterative solve on the request
+/// path; both degradation rungs below it are closed-form.
+constexpr const char* kSolveKernel = "selfconsistent/solve";
+
+void fill_solution_fields(Response& resp, double t_metal_k, double delta_t_k,
+                          double j_peak, double j_rms, double j_avg) {
+  resp.t_metal_c = kelvin_to_celsius(t_metal_k);
+  resp.delta_t_c = delta_t_k;
+  resp.j_peak_MA_cm2 = to_MA_per_cm2(j_peak);
+  resp.j_rms_MA_cm2 = to_MA_per_cm2(j_rms);
+  resp.j_avg_MA_cm2 = to_MA_per_cm2(j_avg);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)),
+      breaker_(kSolveKernel, config_.breaker) {
+  if (config_.publish_signoff)
+    core::set_signoff_service_source(this, [this] { return service_json(); });
+}
+
+Server::~Server() {
+  if (config_.publish_signoff) core::clear_signoff_service_source(this);
+}
+
+Response Server::shed_response(const Request& request) {
+  Response resp;
+  resp.id = request.id;
+  resp.kind = request.kind;
+  resp.status = core::StatusCode::kRejectedOverload;
+  resp.error = "shed at admission: burst exceeded queue capacity " +
+               std::to_string(config_.queue_capacity);
+  resp.diag.record("service/admission", core::StatusCode::kRejectedOverload,
+                   0, 0.0, resp.error);
+  return resp;
+}
+
+std::vector<Response> Server::submit_batch(
+    const std::vector<Request>& batch) {
+  received_ += batch.size();
+  const std::size_t capacity =
+      config_.queue_capacity > 0 ? config_.queue_capacity : 1;
+
+  // Admission first, serially, in index order: the burst either fits in the
+  // bounded queue or is shed. No thread ever influences the decision, so
+  // identical batches admit identically at every DSMT_THREADS value.
+  std::vector<std::size_t> admitted;
+  admitted.reserve(batch.size() < capacity ? batch.size() : capacity);
+  std::vector<Response> out(batch.size());
+  std::vector<char> served(batch.size(), 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (admitted.size() < capacity) {
+      admitted.push_back(i);
+    } else {
+      out[i] = shed_response(batch[i]);
+      served[i] = 1;
+      ++shed_;
+    }
+  }
+  admitted_ += admitted.size();
+
+  try {
+    parallel::parallel_for(admitted.size(), [&](std::size_t k) {
+      const std::size_t i = admitted[k];
+      out[i] = guarded_execute(batch[i], i);
+      served[i] = 1;
+    });
+  } catch (const SolveError& interruption) {
+    // Only a caller-context interruption (deadline / cancel observed by
+    // parallel_for between items) reaches here: guarded_execute never
+    // throws. Stamp every unserved slot so the batch stays complete, then
+    // let the interruption propagate to the caller who armed it.
+    for (const std::size_t i : admitted) {
+      if (served[i]) continue;
+      out[i].id = batch[i].id;
+      out[i].kind = batch[i].kind;
+      out[i].status = interruption.status();
+      out[i].error = interruption.what();
+      out[i].diag = interruption.diag();
+      ++failed_;
+    }
+    throw;
+  }
+  return out;
+}
+
+Response Server::handle(const Request& request, std::size_t index) {
+  ++received_;
+  ++admitted_;
+  return guarded_execute(request, index);
+}
+
+Response Server::guarded_execute(const Request& request, std::size_t index) {
+  try {
+    return execute(request, index);
+  } catch (const SolveError& e) {
+    Response resp;
+    resp.id = request.id;
+    resp.kind = request.kind;
+    resp.status = e.status();
+    resp.error = e.what();
+    resp.diag = e.diag();
+    ++failed_;
+    return resp;
+  } catch (const std::exception& e) {
+    Response resp;
+    resp.id = request.id;
+    resp.kind = request.kind;
+    resp.status = core::StatusCode::kInvalidInput;
+    resp.error = e.what();
+    resp.diag.record("service/execute", core::StatusCode::kInvalidInput, 0,
+                     0.0, e.what());
+    ++failed_;
+    return resp;
+  }
+}
+
+Response Server::execute(const Request& request, std::size_t index) {
+  Response resp;
+  resp.id = request.id;
+  resp.kind = request.kind;
+
+  LadderProblem ladder;
+  try {
+    ladder = build_problem(request);
+  } catch (const SolveError& e) {
+    resp.status = e.status();
+    resp.error = e.what();
+    resp.diag = e.diag();
+    ++failed_;
+    return resp;
+  } catch (const std::exception& e) {
+    resp.status = core::StatusCode::kInvalidInput;
+    resp.error = e.what();
+    resp.diag.record("service/request", core::StatusCode::kInvalidInput, 0,
+                     0.0, e.what());
+    ++failed_;
+    return resp;
+  }
+
+  // Per-request deadline budget, unless the caller's ambient deadline is
+  // already tighter. The copy shares the caller's cancel token, so a batch
+  // cancel still interrupts a request mid-deadline.
+  std::optional<core::RunContext> deadline_ctx;
+  std::optional<core::ScopedRunContext> deadline_scope;
+  if (config_.deadline_ns > 0) {
+    const core::RunContext* ambient = core::current_run_context();
+    const double budget_s =
+        static_cast<double>(config_.deadline_ns) * 1e-9;
+    if (ambient == nullptr || !ambient->has_deadline() ||
+        ambient->seconds_remaining() > budget_s) {
+      deadline_ctx = ambient != nullptr ? *ambient : core::RunContext{};
+      deadline_ctx->set_deadline(
+          std::chrono::steady_clock::now() +
+          std::chrono::nanoseconds(config_.deadline_ns));
+      deadline_scope.emplace(*deadline_ctx);
+    }
+  }
+
+  // Rung 0: the full quasi-2D solve, behind the breaker, with retries.
+  bool solved = false;
+  selfconsistent::Solution solution;
+  core::StatusCode last_failure = core::StatusCode::kBreakerOpen;
+  if (breaker_.allow()) {
+    const std::uint64_t key = request_key(request.id, index);
+    const int max_attempts =
+        config_.retry.max_attempts > 0 ? config_.retry.max_attempts : 1;
+    for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+      ++resp.attempts;
+      try {
+        solution = selfconsistent::solve(ladder.full);
+        resp.diag.absorb(solution.diag,
+                         "service/attempt " + std::to_string(attempt));
+        solved = true;
+        break;
+      } catch (const SolveError& e) {
+        last_failure = e.status();
+        resp.diag.absorb(e.diag(),
+                         "service/attempt " + std::to_string(attempt));
+        if (!retryable(last_failure) || attempt == max_attempts) break;
+        const std::uint64_t pause = backoff_ns(config_.retry, key, attempt);
+        resp.backoff_ns.push_back(pause);
+        ++retries_;
+        resp.diag.record("service/retry", last_failure, attempt, 0.0,
+                         "attempt " + std::to_string(attempt) + " failed (" +
+                             core::status_name(last_failure) +
+                             "); backing off " + std::to_string(pause) +
+                             " ns");
+        if (config_.sleep_on_backoff && pause > 0)
+          std::this_thread::sleep_for(std::chrono::nanoseconds(pause));
+        const core::StatusCode run_state = core::run_check();
+        if (run_state != core::StatusCode::kOk) {
+          last_failure = run_state;
+          resp.diag.record("service/retry", run_state, attempt, 0.0,
+                           "retry budget interrupted");
+          break;
+        }
+      } catch (const std::exception& e) {
+        last_failure = core::StatusCode::kInvalidInput;
+        resp.diag.record("service/attempt",
+                         core::StatusCode::kInvalidInput, attempt, 0.0,
+                         e.what());
+        break;
+      }
+    }
+    if (solved)
+      breaker_.on_success();
+    else
+      breaker_.on_failure(last_failure);
+  } else {
+    resp.diag.record("service/breaker[" + breaker_.kernel() + "]",
+                     core::StatusCode::kBreakerOpen,
+                     static_cast<int>(breaker_.ticks()), 0.0,
+                     "short-circuited: breaker open");
+  }
+
+  const double r = request.duty_cycle;
+  const bool want_em_only = request.kind == RequestKind::kDutyCyclePoint;
+
+  if (solved) {
+    resp.status = core::StatusCode::kOk;
+    resp.degradation_level = DegradationLevel::kFull;
+    resp.conservative = true;  // exact answer trivially satisfies the bound
+    fill_solution_fields(resp, solution.t_metal.value(),
+                         solution.delta_t.value(), solution.j_peak.value(),
+                         solution.j_rms.value(), solution.j_avg.value());
+    if (want_em_only)
+      resp.jpeak_em_only_MA_cm2 =
+          to_MA_per_cm2(selfconsistent::jpeak_em_only(ladder.full).value());
+    cache_.insert(ladder.family, r, solution);
+    ++ok_full_;
+    return resp;
+  }
+
+  // An interrupted request gets no degraded answer: the caller's budget is
+  // gone and any reply would arrive too late to be acted on.
+  if (core::is_interruption(last_failure)) {
+    resp.status = last_failure;
+    resp.error = std::string("request interrupted (") +
+                 core::status_name(last_failure) + ")";
+    ++failed_;
+    return resp;
+  }
+
+  // Rung 1: conservative interpolation from the reference cache.
+  if (config_.enable_interpolation) {
+    ReferencePoint ref;
+    if (cache_.conservative_at(ladder.family, r, ref)) {
+      const double sqrt_r = std::sqrt(r);
+      resp.status = core::StatusCode::kOk;
+      resp.degraded = true;
+      resp.degradation_level = DegradationLevel::kInterpolated;
+      resp.conservative = true;
+      fill_solution_fields(resp, ref.t_metal_k,
+                           ref.t_metal_k - celsius_to_kelvin(request.t_ref_c),
+                           ref.j_rms_A_m2 / sqrt_r, ref.j_rms_A_m2,
+                           sqrt_r * ref.j_rms_A_m2);
+      if (want_em_only)
+        resp.jpeak_em_only_MA_cm2 = to_MA_per_cm2(
+            selfconsistent::jpeak_em_only(ladder.full).value());
+      resp.diag.record("service/degrade", core::StatusCode::kOk, 1, 0.0,
+                       "rung 1: cached reference at r'=" +
+                           std::to_string(ref.duty_cycle) +
+                           " >= r, j_rms non-increasing in r");
+      ++ok_interpolated_;
+      return resp;
+    }
+  }
+
+  // Rung 2: iteration-free analytic quasi-1D bound.
+  if (config_.enable_analytic_bound) {
+    try {
+      const AnalyticBound bound = analytic_quasi1d_bound(ladder.quasi1d);
+      resp.status = core::StatusCode::kOk;
+      resp.degraded = true;
+      resp.degradation_level = DegradationLevel::kAnalyticBound;
+      resp.conservative = true;
+      fill_solution_fields(
+          resp, bound.t_metal.value(),
+          bound.t_metal.value() - celsius_to_kelvin(request.t_ref_c),
+          bound.j_peak.value(), bound.j_rms.value(), bound.j_avg.value());
+      if (want_em_only)
+        resp.jpeak_em_only_MA_cm2 = to_MA_per_cm2(
+            selfconsistent::jpeak_em_only(ladder.full).value());
+      resp.diag.record("service/degrade", core::StatusCode::kOk, 2, 0.0,
+                       "rung 2: quasi-1D analytic bound (phi = 0.88)");
+      ++ok_analytic_;
+      return resp;
+    } catch (const std::exception& e) {
+      resp.diag.record("service/degrade", core::StatusCode::kInvalidInput,
+                       2, 0.0, e.what());
+    }
+  }
+
+  resp.status = last_failure;
+  resp.error = std::string("full solve unavailable (") +
+               core::status_name(last_failure) +
+               ") and no degradation rung applies";
+  ++failed_;
+  return resp;
+}
+
+bool Server::warm(const Request& request) {
+  try {
+    const LadderProblem ladder = build_problem(request);
+    const selfconsistent::Solution solution =
+        selfconsistent::solve(ladder.full);
+    cache_.insert(ladder.family, request.duty_cycle, solution);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+ServerMetrics Server::metrics() const {
+  ServerMetrics m;
+  m.received = received_.load();
+  m.admitted = admitted_.load();
+  m.shed = shed_.load();
+  m.ok_full = ok_full_.load();
+  m.ok_interpolated = ok_interpolated_.load();
+  m.ok_analytic = ok_analytic_.load();
+  m.failed = failed_.load();
+  m.retries = retries_.load();
+  return m;
+}
+
+report::Json Server::service_json() const {
+  using report::Json;
+  const ServerMetrics m = metrics();
+  Json root = Json::object();
+
+  Json queue = Json::object();
+  queue
+      .set("capacity",
+           Json::integer(static_cast<long long>(config_.queue_capacity)))
+      .set("received", Json::integer(static_cast<long long>(m.received)))
+      .set("admitted", Json::integer(static_cast<long long>(m.admitted)))
+      .set("shed", Json::integer(static_cast<long long>(m.shed)));
+  root.set("queue", std::move(queue));
+
+  Json outcomes = Json::object();
+  outcomes
+      .set("ok_full", Json::integer(static_cast<long long>(m.ok_full)))
+      .set("ok_interpolated",
+           Json::integer(static_cast<long long>(m.ok_interpolated)))
+      .set("ok_analytic",
+           Json::integer(static_cast<long long>(m.ok_analytic)))
+      .set("failed", Json::integer(static_cast<long long>(m.failed)))
+      .set("retries", Json::integer(static_cast<long long>(m.retries)));
+  root.set("outcomes", std::move(outcomes));
+
+  Json cache = Json::object();
+  cache
+      .set("families",
+           Json::integer(static_cast<long long>(cache_.families())))
+      .set("points", Json::integer(static_cast<long long>(cache_.size())));
+  root.set("cache", std::move(cache));
+
+  Json breaker = Json::object();
+  breaker.set("kernel", Json::string(breaker_.kernel()))
+      .set("state", Json::string(breaker_state_name(breaker_.state())))
+      .set("ticks",
+           Json::integer(static_cast<long long>(breaker_.ticks())))
+      .set("opens", Json::integer(static_cast<long long>(breaker_.opens())))
+      .set("short_circuits",
+           Json::integer(static_cast<long long>(breaker_.short_circuits())));
+  Json transitions = Json::array();
+  for (const BreakerTransition& t : breaker_.transitions()) {
+    Json entry = Json::object();
+    entry.set("tick", Json::integer(static_cast<long long>(t.tick)))
+        .set("from", Json::string(breaker_state_name(t.from)))
+        .set("to", Json::string(breaker_state_name(t.to)))
+        .set("reason", Json::string(t.reason));
+    transitions.push(std::move(entry));
+  }
+  breaker.set("transitions", std::move(transitions));
+  root.set("breaker", std::move(breaker));
+
+  return root;
+}
+
+}  // namespace dsmt::service

@@ -1,7 +1,11 @@
-// JSON writer and sign-off serialization tests.
+// JSON writer/parser and sign-off serialization tests.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "core/signoff.h"
 #include "numeric/constants.h"
 #include "report/json.h"
@@ -15,7 +19,114 @@ TEST(Json, Scalars) {
   EXPECT_EQ(Json::integer(42).dump(-1), "42");
   EXPECT_EQ(Json::boolean(true).dump(-1), "true");
   EXPECT_EQ(Json::number(1.5).dump(-1), "1.5");
-  EXPECT_EQ(Json::number(std::nan("")).dump(-1), "null");
+  EXPECT_EQ(Json::null().dump(-1), "null");
+}
+
+TEST(Json, NonFinitePolicy) {
+  // number() rejects at construction: a bare `nan`/`inf` must never reach a
+  // payload. number_or_null() is the opt-in lossy mapping for diagnostics.
+  EXPECT_THROW(Json::number(std::nan("")), SolveError);
+  EXPECT_THROW(Json::number(std::numeric_limits<double>::infinity()),
+               SolveError);
+  EXPECT_THROW(Json::number(-std::numeric_limits<double>::infinity()),
+               SolveError);
+  EXPECT_EQ(Json::number_or_null(std::nan("")).dump(-1), "null");
+  EXPECT_EQ(Json::number_or_null(std::numeric_limits<double>::infinity())
+                .dump(-1),
+            "null");
+  EXPECT_EQ(Json::number_or_null(2.5).dump(-1), "2.5");
+  try {
+    Json::number(std::nan(""));
+    FAIL() << "expected SolveError";
+  } catch (const SolveError& e) {
+    EXPECT_EQ(e.status(), core::StatusCode::kNonFinite);
+  }
+}
+
+TEST(JsonParse, ScalarsAndStructure) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("-12").as_integer(), -12);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5e-1").as_number(), 0.25);
+  EXPECT_TRUE(Json::parse("true").as_bool());
+  EXPECT_EQ(Json::parse("\"a\\nb\"").as_string(), "a\nb");
+  const Json doc = Json::parse(R"({"xs": [1, 2.5, "three"], "ok": false})");
+  ASSERT_TRUE(doc.is_object());
+  const Json* xs = doc.find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_EQ(xs->size(), 3u);
+  EXPECT_EQ(xs->at(0).as_integer(), 1);
+  EXPECT_DOUBLE_EQ(xs->at(1).as_number(), 2.5);
+  EXPECT_EQ(xs->at(2).as_string(), "three");
+  EXPECT_FALSE(doc.find("ok")->as_bool());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonParse, MalformedInputThrows) {
+  const std::vector<std::string> bad = {
+      "",           "{",           "[1,]",       "{\"a\":}",
+      "nul",        "1 2",         "\"unterminated",
+      "{\"a\" 1}",  "[1 2]",       "+5",
+      "\"bad\\q\"", "\"\\u12\"",   "nan",        "inf",
+      std::string("\"ctrl\x01\""),
+  };
+  for (const std::string& text : bad)
+    EXPECT_THROW(Json::parse(text), SolveError) << "input: " << text;
+  // Depth bound: 70 nested arrays exceed the 64-level parser limit.
+  std::string deep;
+  for (int i = 0; i < 70; ++i) deep += '[';
+  EXPECT_THROW(Json::parse(deep), SolveError);
+}
+
+TEST(JsonParse, AdversarialStringRoundTrip) {
+  // Escaping round-trip for the strings a hostile request could carry in
+  // its id field: parse(dump(x)) must reproduce x byte-for-byte.
+  std::string all_controls;
+  for (char c = 1; c < 0x20; ++c) all_controls.push_back(c);
+  const std::vector<std::string> nasty = {
+      "",
+      "plain",
+      "quote\" backslash\\ slash/",
+      "newline\n tab\t return\r backspace\b formfeed\f",
+      all_controls,
+      std::string("embedded\0nul", 12),
+      "unicode \xc3\xa9 \xe2\x82\xac \xf0\x9f\x92\xa1",  // é € U+1F4A1
+      "\\u0041 literal, not an escape",
+      "{\"looks\": [\"like\", \"json\"]}",
+  };
+  for (const std::string& s : nasty) {
+    const std::string dumped = Json::string(s).dump(-1);
+    const Json back = Json::parse(dumped);
+    EXPECT_EQ(back.as_string(), s);
+    // And once more through an object member, as requests do.
+    Json obj = Json::object();
+    obj.set("id", Json::string(s));
+    const Json reparsed = Json::parse(obj.dump(2));
+    const Json* id = reparsed.find("id");
+    ASSERT_NE(id, nullptr);
+    EXPECT_EQ(id->as_string(), s);
+  }
+  // \uXXXX escapes decode, including surrogate pairs.
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");
+  EXPECT_EQ(Json::parse("\"\\ud83d\\udca1\"").as_string(),
+            "\xf0\x9f\x92\xa1");
+  EXPECT_THROW(Json::parse("\"\\ud83d\""), SolveError);  // lone surrogate
+}
+
+TEST(JsonParse, DumpParseRoundTripTree) {
+  Json root = Json::object();
+  root.set("name", Json::string("dsmt"))
+      .set("count", Json::integer(-7))
+      .set("x", Json::number(0.1))
+      .set("flag", Json::boolean(false))
+      .set("none", Json::null());
+  Json arr = Json::array();
+  arr.push(Json::number(1e-300)).push(Json::string("s")).push(Json::null());
+  root.set("xs", std::move(arr));
+  for (const int indent : {-1, 0, 2, 4}) {
+    const Json back = Json::parse(root.dump(indent));
+    EXPECT_EQ(back.dump(-1), root.dump(-1)) << "indent " << indent;
+  }
 }
 
 TEST(Json, StringEscaping) {

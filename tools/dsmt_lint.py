@@ -31,6 +31,14 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   core::RunContext, so an NTP step can neither expire nor
                   extend a run budget. Method calls like `res.time()` are
                   not wall-clock reads and do not fire.
+  R8 service-io   src/service/ is the hardened request path: file I/O
+                  (fstream, fopen, FILE*, freopen, std::getline) and
+                  unbounded node-based queues (std::deque, std::queue,
+                  std::list) are banned there. The service reads requests
+                  its caller already parsed and holds bursts in
+                  fixed-capacity index-addressed vectors; a file handle or
+                  a growable queue on that path is exactly how overload
+                  stops being explicit shedding and becomes OOM.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -95,6 +103,21 @@ RAW_THREAD_RE = re.compile(r"std::(?:jthread|thread|async)\b")
 WALL_CLOCK_RE = re.compile(
     r"std::chrono::system_clock\b|std::time\s*\(|"
     r"(?<![\w.:>])time\s*\(\s*[^)\s]")
+
+# The hardened request path: no file I/O, no unbounded queue containers.
+SERVICE_PREFIX = "service/"
+
+# File-I/O vocabulary. `FILE` needs the word boundary so `ProFILE` stays
+# legal; std::getline is the istream reader, never needed on the service
+# path (requests arrive as parsed Json).
+SERVICE_FILE_IO_RE = re.compile(
+    r"std::(?:[io]?fstream|getline)\b|(?<![\w:])(?:fopen|freopen)\s*\(|"
+    r"(?<![\w:])FILE\s*\*")
+
+# Node-based growable containers whose per-element allocation makes queue
+# growth invisible until the allocator fails: bursts must live in
+# fixed-capacity vectors sized by admission control.
+SERVICE_UNBOUNDED_RE = re.compile(r"std::(?:deque|queue|list)\s*<")
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
 # plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
@@ -205,6 +228,25 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                           f"('{m.group(0).strip()}') — deadlines must use "
                           f"std::chrono::steady_clock (core::RunContext)")
 
+    # R8: src/service/ is the hardened path — no file I/O, no unbounded
+    # queues. The batch front end (examples/dsmt_serve.cpp) owns the file
+    # handles; admission control owns the memory bound.
+    if rel.startswith(SERVICE_PREFIX):
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = SERVICE_FILE_IO_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [service-io] file I/O "
+                              f"('{m.group(0).strip()}') on the hardened "
+                              f"service path — parse input at the edge "
+                              f"(examples/dsmt_serve.cpp), pass Json in")
+            m = SERVICE_UNBOUNDED_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [service-io] unbounded queue "
+                              f"container ('{m.group(0).strip()}') on the "
+                              f"service path — hold bursts in fixed-capacity "
+                              f"vectors sized by admission control")
+
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
     # scalar operators are exactly the sanctioned raw-double boundary.
@@ -281,16 +323,72 @@ inline double tick() { return crossing_time(1.0); }
 """
 
 
+SELF_TEST_BAD_SERVICE = """\
+// Everything R8 bans, in one service file.
+#pragma once
+
+#include <deque>
+#include <fstream>
+#include <queue>
+
+namespace dsmt::service {
+
+inline void spool(const Request& r) {
+  std::ofstream out("spool.json");          // file I/O on the hot path
+  FILE* raw = nullptr;
+  raw = fopen("spool.bin", "wb");
+  std::string line;
+  std::getline(std::cin, line);
+}
+
+inline void buffer(const Request& r) {
+  static std::deque<Request> backlog;       // grows until the allocator fails
+  static std::queue<Request> pending;
+  static std::list<Request> retired;
+}
+
+}  // namespace dsmt::service
+"""
+
+SELF_TEST_GOOD_SERVICE = """\
+// The sanctioned shapes: bounded vectors, profiles, no file handles.
+#pragma once
+
+#include <map>
+#include <vector>
+
+namespace dsmt::service {
+
+/// Index-addressed burst storage sized by admission control [1].
+inline std::vector<Response> hold(std::size_t capacity) {
+  std::vector<Response> out;
+  out.reserve(capacity);
+  return out;
+}
+
+/// `ProFILE *` must not trip the FILE* pattern, nor queue_capacity the
+/// container one.
+inline void shapes(const ProFILE* profile, std::size_t queue_capacity) {}
+
+}  // namespace dsmt::service
+"""
+
+
 def self_test() -> int:
     import tempfile
 
     with tempfile.TemporaryDirectory() as d:
         root = pathlib.Path(d)
         (root / "src" / "demo").mkdir(parents=True)
+        (root / "src" / "service").mkdir(parents=True)
         bad = root / "src" / "demo" / "bad.h"
         bad.write_text(SELF_TEST_BAD_HEADER)
         good = root / "src" / "demo" / "good.h"
         good.write_text(SELF_TEST_GOOD_HEADER)
+        bad_svc = root / "src" / "service" / "bad_service.h"
+        bad_svc.write_text(SELF_TEST_BAD_SERVICE)
+        good_svc = root / "src" / "service" / "good_service.h"
+        good_svc.write_text(SELF_TEST_GOOD_SERVICE)
 
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
@@ -309,6 +407,34 @@ def self_test() -> int:
             print("self-test FAILED: good.h should be clean:")
             for e in errors:
                 print("  " + e)
+            return 1
+
+        # R8 fires on every banned shape in a service file...
+        errors = []
+        lint_file(bad_svc, "service/bad_service.h", errors)
+        svc = [e for e in errors if "[service-io]" in e]
+        if len(svc) != 7:  # ofstream, fopen, FILE*, getline, deque/queue/list
+            print(f"self-test FAILED: bad_service.h raised {len(svc)} "
+                  f"service-io violations, expected 7:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... stays quiet on the sanctioned shapes ...
+        errors = []
+        lint_file(good_svc, "service/good_service.h", errors)
+        if errors:
+            print("self-test FAILED: good_service.h should be clean:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... and is scoped to src/service/: the same banned shapes outside
+        # the fence raise no service-io violation.
+        errors = []
+        lint_file(bad_svc, "demo/bad_service.h", errors)
+        if any("[service-io]" in e for e in errors):
+            print("self-test FAILED: service-io fired outside src/service/")
             return 1
 
     print("dsmt_lint: self-test passed")
