@@ -14,8 +14,8 @@ namespace dsmt::core {
 namespace {
 
 /// Registered provider of the sign-off "service" section, with the owner
-/// token that registered it. Guarded by its mutex; the function is copied
-/// out under the lock and invoked outside it.
+/// token that registered it. Guarded by its mutex; the function is invoked
+/// while the lock is held, so clearing synchronizes with in-flight calls.
 struct ServiceSourceSlot {
   std::mutex mu;
   const void* owner = nullptr;
@@ -25,6 +25,19 @@ struct ServiceSourceSlot {
 ServiceSourceSlot& service_source_slot() {
   static ServiceSourceSlot slot;
   return slot;
+}
+
+/// Invokes the registered source (if any) while holding the slot lock.
+/// Invoking outside the lock would race with clear_signoff_service_source:
+/// the owner (a service::Server being destroyed on another thread) could be
+/// freed between copying the std::function and calling it. The source must
+/// therefore never call back into this slot's API.
+bool invoke_signoff_service_source(report::Json& out) {
+  ServiceSourceSlot& slot = service_source_slot();
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.source) return false;
+  out = slot.source();
+  return true;
 }
 
 }  // namespace
@@ -204,9 +217,12 @@ std::string SignoffReport::to_json(int indent) const {
   if (const RunContext* run = current_run_context())
     root.set("run", report::run_to_json(*run));
   // Service front-end state (admission counters, breaker transitions) rides
-  // along whenever a dsmt::service::Server is alive and publishing.
-  if (const std::function<report::Json()> service = signoff_service_source())
-    root.set("service", service());
+  // along whenever a dsmt::service::Server is alive and publishing. Invoked
+  // under the slot lock so a Server destroyed concurrently on another
+  // thread yields "no section" instead of a use-after-free.
+  Json service = Json::null();
+  if (invoke_signoff_service_source(service))
+    root.set("service", std::move(service));
   return root.dump(indent);
 }
 

@@ -54,15 +54,21 @@ SignoffReport run_signoff(const tech::Technology& technology,
 /// Registers the provider of the sign-off report's "service" JSON section
 /// (breaker state, admission counters — see service/server.h). `owner`
 /// identifies the registrant so a stale owner cannot clear a newer one;
-/// the latest registration wins. The source must stay callable until
-/// cleared.
+/// the latest registration wins. SignoffReport::to_json invokes the source
+/// while holding the slot lock, so the source must not call back into this
+/// registration API (it would self-deadlock).
 void set_signoff_service_source(const void* owner,
                                 std::function<report::Json()> source);
 
-/// Clears the registration if (and only if) `owner` still holds it.
+/// Clears the registration if (and only if) `owner` still holds it. Blocks
+/// until any in-flight to_json invocation of the source returns, so after
+/// this call the owner may be destroyed safely.
 void clear_signoff_service_source(const void* owner);
 
-/// Copy of the registered provider; empty when none is registered.
+/// Copy of the registered provider, for introspection; empty when none is
+/// registered. Unlike to_json, a copy invoked by the caller does NOT hold
+/// the slot lock — only invoke it while the registrant is known to outlive
+/// the call.
 std::function<report::Json()> signoff_service_source();
 
 }  // namespace dsmt::core

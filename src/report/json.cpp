@@ -1,5 +1,6 @@
 #include "report/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -129,6 +130,14 @@ const std::pair<std::string, Json>& Json::member(std::size_t index) const {
 Json& Json::set(const std::string& key, Json value) {
   if (kind_ != Kind::kObject)
     throw std::logic_error("Json::set on non-object");
+  // Replace in place (keeping insertion order) so the writer can never
+  // build — and dump() can never emit — an object with duplicate keys.
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
   members_.emplace_back(key, std::move(value));
   return *this;
 }
@@ -254,6 +263,11 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
+      // RFC 8259 leaves duplicate-key semantics to the implementation; a
+      // strict parser rejects them so the same document can never mean
+      // first-wins here and last-wins in another consumer.
+      if (obj.find(key) != nullptr)
+        fail("duplicate object key '" + key + "'");
       obj.set(key, parse_value(depth + 1));
       skip_ws();
       const char sep = peek();
@@ -364,30 +378,48 @@ class Parser {
     }
   }
 
+  bool digit_at(std::size_t p) const {
+    return p < text_.size() && text_[p] >= '0' && text_[p] <= '9';
+  }
+
   Json parse_number() {
+    // RFC 8259 grammar, enforced here rather than delegated to strtod:
+    // int = "0" / digit1-9 *DIGIT (no leading zeros), frac/exp each require
+    // at least one digit.
     const std::size_t start = pos_;
     bool integral = true;
     if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    if (pos_ >= text_.size() ||
-        !(text_[pos_] >= '0' && text_[pos_] <= '9'))
-      fail("bad number");
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
+    if (!digit_at(pos_)) fail("bad number");
+    if (text_[pos_] == '0') {
+      ++pos_;
+      if (digit_at(pos_)) fail("leading zero in number");
+    } else {
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      integral = false;
+      ++pos_;
+      if (!digit_at(pos_)) fail("expected digit after decimal point");
+      while (digit_at(pos_)) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
         ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        integral = false;
-        ++pos_;
-      } else {
-        break;
-      }
+      if (!digit_at(pos_)) fail("expected digit in exponent");
+      while (digit_at(pos_)) ++pos_;
     }
     const std::string token = text_.substr(start, pos_ - start);
     char* end = nullptr;
     if (integral) {
+      errno = 0;
       const long long v = std::strtoll(token.c_str(), &end, 10);
-      if (end != nullptr && *end == '\0') return Json::integer(v);
-      integral = false;  // overflowed long long: fall through to double
+      // On overflow strtoll still consumes the token and clamps to
+      // LLONG_MIN/MAX with errno == ERANGE; that literal is not
+      // representable as long long, so fall through to double.
+      if (errno != ERANGE && end != nullptr && *end == '\0')
+        return Json::integer(v);
     }
     end = nullptr;
     const double v = std::strtod(token.c_str(), &end);

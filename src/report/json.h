@@ -63,8 +63,8 @@ class Json {
   const std::string& as_string() const;
   bool as_bool() const;
 
-  /// Object member lookup (first match); nullptr when absent or not an
-  /// object.
+  /// Object member lookup; nullptr when absent or not an object. Objects
+  /// never hold duplicate keys (set() replaces, parse() rejects them).
   const Json* find(const std::string& key) const;
   /// Array length / object member count (0 for scalars).
   std::size_t size() const;
@@ -73,7 +73,8 @@ class Json {
   /// Object member by position (insertion order); throws std::out_of_range.
   const std::pair<std::string, Json>& member(std::size_t index) const;
 
-  /// Object member (asserts object kind). Returns *this for chaining.
+  /// Object member (asserts object kind); an existing key is replaced in
+  /// place, keeping its insertion position. Returns *this for chaining.
   Json& set(const std::string& key, Json value);
   /// Array append (asserts array kind).
   Json& push(Json value);

@@ -64,12 +64,19 @@ void CircuitBreaker::on_success() {
 }
 
 void CircuitBreaker::on_failure(core::StatusCode status) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Interruptions (the caller's budget ran out) and invalid input (the
   // client's fault) say nothing about the kernel's health — the HTTP-breaker
-  // rule of counting 5xx but never 4xx.
-  if (core::is_interruption(status)) return;
-  if (status == core::StatusCode::kInvalidInput) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  // rule of counting 5xx but never 4xx. They still terminate an allowed
+  // attempt, though: a half-open probe that ends this way must release the
+  // probe slot, or probe_in_flight_ stays set and every later allow()
+  // short-circuits forever. The breaker stays half-open and the next allow()
+  // claims a fresh probe.
+  if (core::is_interruption(status) ||
+      status == core::StatusCode::kInvalidInput) {
+    if (state_ == BreakerState::kHalfOpen) probe_in_flight_ = false;
+    return;
+  }
   if (state_ == BreakerState::kHalfOpen) {
     probe_in_flight_ = false;
     opened_tick_ = tick_;

@@ -56,7 +56,9 @@ class CircuitBreaker {
 
   /// Terminal failure of an allowed attempt chain. Run interruptions
   /// (deadline, cancel) and kInvalidInput do not count against the kernel's
-  /// health — they say nothing about whether the kernel works.
+  /// health — they say nothing about whether the kernel works — but they
+  /// still release a half-open probe slot, so a probe that times out never
+  /// wedges the breaker.
   void on_failure(core::StatusCode status);
 
   BreakerState state() const;

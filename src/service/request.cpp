@@ -46,6 +46,19 @@ std::string get_string(const report::Json& node, const char* key,
   return member != nullptr ? member->as_string() : fallback;
 }
 
+/// Integral member, validated before the narrowing cast: a client-supplied
+/// {"level": 1e300} or NaN must classify as bad_request, never reach a
+/// double->int conversion whose behavior is undefined out of range.
+int get_int(const report::Json& node, const char* key, int fallback) {
+  const report::Json* member = node.find(key);
+  if (member == nullptr) return fallback;
+  const double v = member->as_number();
+  if (v != std::floor(v) || !(std::abs(v) <= 2147483647.0))
+    bad_request(std::string("'") + key +
+                "' must be an integral number within int range");
+  return static_cast<int>(v);
+}
+
 RequestKind kind_from_name(const std::string& name) {
   const std::string k = lower(name);
   if (k == "self-consistent" || k == "sc") return RequestKind::kSelfConsistent;
@@ -107,8 +120,7 @@ Request request_from_json(const report::Json& node) {
         get_number(*wire, "k_dielectric", r.wire.k_dielectric);
   }
   r.technology = get_string(node, "technology", r.technology);
-  r.level = static_cast<int>(
-      get_number(node, "level", static_cast<double>(r.level)));
+  r.level = get_int(node, "level", r.level);
   r.dielectric = get_string(node, "dielectric", r.dielectric);
   if (r.kind == RequestKind::kTableCell && r.technology.empty())
     bad_request("table-cell request without 'technology'");

@@ -68,6 +68,10 @@ TEST(JsonParse, MalformedInputThrows) {
       "{\"a\" 1}",  "[1 2]",       "+5",
       "\"bad\\q\"", "\"\\u12\"",   "nan",        "inf",
       std::string("\"ctrl\x01\""),
+      // RFC 8259 number grammar violations a lax strtod would accept.
+      "01",         "-01",         "00",         "1.",
+      ".5",         "1e",          "1e+",        "1.e3",
+      "0x10",       "1e5e5",       "--1",        "1.2.3",
   };
   for (const std::string& text : bad)
     EXPECT_THROW(Json::parse(text), SolveError) << "input: " << text;
@@ -75,6 +79,40 @@ TEST(JsonParse, MalformedInputThrows) {
   std::string deep;
   for (int i = 0; i < 70; ++i) deep += '[';
   EXPECT_THROW(Json::parse(deep), SolveError);
+}
+
+TEST(JsonParse, IntegerOverflowFallsThroughToDouble) {
+  // In-range literals stay exact integers...
+  EXPECT_EQ(Json::parse("9223372036854775807").as_integer(),
+            9223372036854775807LL);
+  EXPECT_EQ(Json::parse("-9223372036854775808").as_integer(),
+            std::numeric_limits<long long>::min());
+  // ...while out-of-range ones must NOT silently clamp to LLONG_MAX/MIN
+  // (strtoll consumes the whole token and sets errno=ERANGE): they fall
+  // through to the double path.
+  const Json big = Json::parse("18446744073709551616");  // 2^64
+  EXPECT_DOUBLE_EQ(big.as_number(), 18446744073709551616.0);
+  EXPECT_THROW(big.as_integer(), SolveError);  // not representable
+  EXPECT_DOUBLE_EQ(Json::parse("-92233720368547758080").as_number(),
+                   -92233720368547758080.0);
+  // Still finite-guarded: a double-overflowing literal is rejected.
+  EXPECT_THROW(Json::parse("1e999"), SolveError);
+}
+
+TEST(JsonParse, DuplicateObjectKeysRejected) {
+  EXPECT_THROW(Json::parse(R"({"a": 1, "a": 2})"), SolveError);
+  EXPECT_THROW(Json::parse(R"({"a": 1, "b": {"c": 1, "c": 2}})"),
+               SolveError);
+  // Same key in sibling objects is fine.
+  const Json doc = Json::parse(R"([{"a": 1}, {"a": 2}])");
+  EXPECT_EQ(doc.at(1).find("a")->as_integer(), 2);
+  // The builder can't create duplicates either: set() replaces in place.
+  Json obj = Json::object();
+  obj.set("k", Json::integer(1)).set("other", Json::integer(5));
+  obj.set("k", Json::integer(7));
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(obj.find("k")->as_integer(), 7);
+  EXPECT_EQ(obj.dump(-1), R"({"k":7,"other":5})");
 }
 
 TEST(JsonParse, AdversarialStringRoundTrip) {

@@ -171,6 +171,32 @@ TEST(Breaker, HalfOpenAdmitsOneProbeAtATime) {
   breaker.on_success();
 }
 
+TEST(Breaker, NonCountingProbeFailureReleasesTheProbeSlot) {
+  // A half-open probe that ends in a deadline/cancel or kInvalidInput says
+  // nothing about kernel health, but it still terminates the allowed
+  // attempt: the probe slot must come back, or the breaker wedges with
+  // probe_in_flight_ stuck true and every later allow() short-circuits.
+  BreakerConfig cfg;
+  cfg.failure_threshold = 1;
+  cfg.open_ticks = 1;
+  CircuitBreaker breaker("k", cfg);
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_failure(core::StatusCode::kNonFinite);  // opens
+  EXPECT_FALSE(breaker.allow());                     // cooling
+  ASSERT_TRUE(breaker.allow());                      // probe slot claimed
+  breaker.on_failure(core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  ASSERT_TRUE(breaker.allow());  // fresh probe, not wedged
+  breaker.on_failure(core::StatusCode::kCancelled);
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_failure(core::StatusCode::kInvalidInput);
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_success();  // kernel is actually fine: probe closes it
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  ASSERT_TRUE(breaker.allow());
+  breaker.on_success();
+}
+
 TEST(Breaker, InterruptionsAndBadInputDoNotCount) {
   BreakerConfig cfg;
   cfg.failure_threshold = 1;
@@ -542,6 +568,17 @@ TEST(Codec, MalformedRequestsClassifyAsInvalidInput) {
   expect_invalid("[{\"wire\": 3}]");
   expect_invalid("[{\"kind\": \"table\"}]");          // missing technology
   expect_invalid("[oops]");                           // not JSON at all
+  // 'level' outside int range or non-integral must classify, not hit a
+  // double->int cast whose out-of-range behavior is undefined.
+  expect_invalid(
+      "[{\"kind\": \"table\", \"technology\": \"NTRS-250nm-Cu\","
+      " \"level\": 1e300}]");
+  expect_invalid(
+      "[{\"kind\": \"table\", \"technology\": \"NTRS-250nm-Cu\","
+      " \"level\": 2.5}]");
+  expect_invalid(
+      "[{\"kind\": \"table\", \"technology\": \"NTRS-250nm-Cu\","
+      " \"level\": -3e9}]");
 
   // Accepted shapes: bare array and {"requests": [...]}.
   EXPECT_EQ(parse_batch("[]").size(), 0u);
