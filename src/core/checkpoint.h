@@ -30,11 +30,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/run_context.h"
+#include "core/thread_annotations.h"
 
 namespace dsmt::core {
 
@@ -61,8 +61,10 @@ class SweepCheckpoint {
   /// solve and decodes values() instead. Only restored slots answer true:
   /// slots stored during this run were computed, not skipped.
   bool has(std::size_t slot) const;
-  /// Restored payload of `slot`; valid only when has(slot).
-  const std::vector<double>& values(std::size_t slot) const;
+  /// Restored payload of `slot`; valid only when has(slot). Lock-free:
+  /// restored slots are immutable after construction (see the .cpp note).
+  const std::vector<double>& values(std::size_t slot) const
+      DSMT_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Records a freshly computed slot. Thread-safe (called from pool
   /// workers); every `interval` stores triggers an atomic snapshot flush.
@@ -74,26 +76,27 @@ class SweepCheckpoint {
   CheckpointStats stats() const;
 
  private:
-  void load();
-  std::string render_locked() const;
-  void flush_locked();
-  void publish_locked();
+  void load_locked() DSMT_REQUIRES(mu_);
+  std::string render_locked() const DSMT_REQUIRES(mu_);
+  void flush_locked() DSMT_REQUIRES(mu_);
+  void publish_locked() DSMT_REQUIRES(mu_);
 
-  CheckpointSpec spec_;
-  std::string job_;
-  std::uint64_t config_hash_;
-  std::size_t total_;
+  CheckpointSpec spec_;       // R10-ok: set in the constructor, then const
+  std::string job_;           // R10-ok: set in the constructor, then const
+  std::uint64_t config_hash_;  // R10-ok: set in the constructor, then const
+  std::size_t total_;          // R10-ok: set in the constructor, then const
   /// Copy of the ambient context at construction (shares its checkpoint
   /// log), so stats reach the run's JSON sign-off without lifetime games.
-  std::optional<RunContext> publish_;
+  std::optional<RunContext> publish_;  // R10-ok: set in the constructor
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<double>> slots_;
-  std::vector<char> restored_;  ///< immutable after load(); lock-free reads
-  std::size_t completed_ = 0;
-  std::size_t resumed_ = 0;
-  std::size_t flushes_ = 0;
-  int since_flush_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::vector<double>> slots_ DSMT_GUARDED_BY(mu_);
+  /// Immutable after load() (constructor), hence lock-free reads in has().
+  std::vector<char> restored_;  // R10-ok: written only during load()
+  std::size_t completed_ DSMT_GUARDED_BY(mu_) = 0;
+  std::size_t resumed_ DSMT_GUARDED_BY(mu_) = 0;
+  std::size_t flushes_ DSMT_GUARDED_BY(mu_) = 0;
+  int since_flush_ DSMT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dsmt::core

@@ -65,7 +65,7 @@ void RunContext::set_checkpoint(CheckpointSpec spec) {
 void RunContext::clear_checkpoint() { checkpoint_.reset(); }
 
 void RunContext::note_checkpoint(const CheckpointStats& stats) const {
-  std::lock_guard<std::mutex> lock(log_->mu);
+  MutexLock lock(log_->mu);
   for (auto& entry : log_->entries) {
     if (entry.job == stats.job) {
       entry = stats;
@@ -76,7 +76,7 @@ void RunContext::note_checkpoint(const CheckpointStats& stats) const {
 }
 
 std::vector<CheckpointStats> RunContext::checkpoint_log() const {
-  std::lock_guard<std::mutex> lock(log_->mu);
+  MutexLock lock(log_->mu);
   return log_->entries;
 }
 

@@ -31,12 +31,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace dsmt::core {
 
@@ -122,14 +122,17 @@ class RunContext {
 
  private:
   struct CheckpointLog {
-    mutable std::mutex mu;
-    std::vector<CheckpointStats> entries;
+    mutable Mutex mu;
+    std::vector<CheckpointStats> entries DSMT_GUARDED_BY(mu);
   };
 
+  // R10-ok: deadline_ and checkpoint_ are plain values configured before the
+  // context is shared with workers (parallel_for snapshots a const copy);
+  // only the shared state behind the pointers is touched cross-thread.
   std::optional<std::chrono::steady_clock::time_point> deadline_;
   CancelToken cancel_;
   std::shared_ptr<std::atomic<std::uint64_t>> beats_;
-  std::optional<CheckpointSpec> checkpoint_;
+  std::optional<CheckpointSpec> checkpoint_;  // R10-ok: see deadline_ above
   std::shared_ptr<CheckpointLog> log_;
 };
 
@@ -149,8 +152,10 @@ class ScopedRunContext {
   ScopedRunContext& operator=(const ScopedRunContext&) = delete;
 
  private:
+  // R10-ok: a ScopedRunContext lives on one thread's stack and edits that
+  // thread's thread_local ambient slot; nothing here is shared.
   const RunContext* prev_ = nullptr;
-  bool installed_ = false;
+  bool installed_ = false;  // R10-ok: same — single-thread RAII state
 };
 
 /// Kernel poll hook: kOk (and nothing else happens) when no context is
@@ -176,9 +181,12 @@ class ClaimedCheckpoint {
   }
 
  private:
+  // R10-ok: claims happen on the driver thread before any fan-out; workers
+  // see only the re-installed const RunContext, never this object.
   std::optional<CheckpointSpec> spec_;
-  std::optional<RunContext> rescoped_;
-  std::optional<ScopedRunContext> scope_;  // must outlive-last: declared last
+  std::optional<RunContext> rescoped_;   // R10-ok: same — driver-thread only
+  std::optional<ScopedRunContext> scope_;  // R10-ok: same; declared last so
+                                           // it unwinds first
 };
 
 }  // namespace dsmt::core

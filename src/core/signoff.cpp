@@ -1,8 +1,8 @@
 #include "core/signoff.h"
 
-#include <mutex>
 #include <sstream>
 
+#include "core/thread_annotations.h"
 #include "em/budget.h"
 #include "numeric/constants.h"
 #include "report/diagnostics.h"
@@ -17,9 +17,9 @@ namespace {
 /// token that registered it. Guarded by its mutex; the function is invoked
 /// while the lock is held, so clearing synchronizes with in-flight calls.
 struct ServiceSourceSlot {
-  std::mutex mu;
-  const void* owner = nullptr;
-  std::function<report::Json()> source;
+  Mutex mu;
+  const void* owner DSMT_GUARDED_BY(mu) = nullptr;
+  std::function<report::Json()> source DSMT_GUARDED_BY(mu);
 };
 
 ServiceSourceSlot& service_source_slot() {
@@ -34,7 +34,7 @@ ServiceSourceSlot& service_source_slot() {
 /// therefore never call back into this slot's API.
 bool invoke_signoff_service_source(report::Json& out) {
   ServiceSourceSlot& slot = service_source_slot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   if (!slot.source) return false;
   out = slot.source();
   return true;
@@ -45,14 +45,14 @@ bool invoke_signoff_service_source(report::Json& out) {
 void set_signoff_service_source(const void* owner,
                                 std::function<report::Json()> source) {
   ServiceSourceSlot& slot = service_source_slot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   slot.owner = owner;
   slot.source = std::move(source);
 }
 
 void clear_signoff_service_source(const void* owner) {
   ServiceSourceSlot& slot = service_source_slot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   if (slot.owner != owner) return;  // a newer registrant took the slot
   slot.owner = nullptr;
   slot.source = nullptr;
@@ -60,7 +60,7 @@ void clear_signoff_service_source(const void* owner) {
 
 std::function<report::Json()> signoff_service_source() {
   ServiceSourceSlot& slot = service_source_slot();
-  std::lock_guard<std::mutex> lock(slot.mu);
+  MutexLock lock(slot.mu);
   return slot.source;
 }
 

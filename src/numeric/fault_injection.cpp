@@ -5,30 +5,38 @@
 #include <cstring>
 #include <limits>
 
+#include "core/thread_annotations.h"
+
 namespace dsmt::numeric::fault {
 
 namespace {
-// The plan is written only by arm()/disarm() — i.e. outside any parallel
-// region, per the header contract — but the hooks are called from pool
-// workers, so the armed flag and firing counter are atomics: armed() is the
-// workers' acquire point for the plan written before the region started.
-FaultPlan g_plan;
+// The armed flag is the lock-free fast path: with faults disarmed (every
+// production run) a hook is one relaxed atomic load and an immediate return,
+// so release outputs stay bit-identical. The plan itself lives behind an
+// annotated mutex — hooks take it only *after* the armed check, so the
+// serialization cost exists only inside armed test runs, and an arm/disarm
+// that races a straggling worker is a locked handoff instead of a torn read
+// of the plan's std::string.
+Mutex g_plan_mu;  // NOLINT(cert-err58-cpp)
+FaultPlan g_plan DSMT_GUARDED_BY(g_plan_mu);
 std::atomic<bool> g_armed{false};
 std::atomic<int> g_count{0};
 
-bool matches(const char* kernel) {
+bool matches(const char* kernel) DSMT_REQUIRES(g_plan_mu) {
   return g_plan.kernel_substr.empty() ||
          std::strstr(kernel, g_plan.kernel_substr.c_str()) != nullptr;
 }
 }  // namespace
 
 void arm(const FaultPlan& plan) {
+  MutexLock lock(g_plan_mu);
   g_plan = plan;
   g_count.store(0, std::memory_order_relaxed);
   g_armed.store(true, std::memory_order_release);
 }
 
 void disarm() {
+  MutexLock lock(g_plan_mu);
   g_armed.store(false, std::memory_order_release);
   g_plan = FaultPlan{};
 }
@@ -38,7 +46,10 @@ bool armed() { return g_armed.load(std::memory_order_acquire); }
 int injection_count() { return g_count.load(std::memory_order_relaxed); }
 
 double filter_residual(const char* kernel, int iteration, double residual) {
-  if (!g_armed || !matches(kernel) || iteration < g_plan.at_iteration)
+  if (!g_armed.load(std::memory_order_acquire)) return residual;
+  MutexLock lock(g_plan_mu);
+  if (!g_armed.load(std::memory_order_relaxed) || !matches(kernel) ||
+      iteration < g_plan.at_iteration)
     return residual;
   switch (g_plan.kind) {
     case FaultKind::kNanResidual:
@@ -55,7 +66,9 @@ double filter_residual(const char* kernel, int iteration, double residual) {
 }
 
 int clamp_iterations(const char* kernel, int max_iterations) {
-  if (!g_armed || !matches(kernel) ||
+  if (!g_armed.load(std::memory_order_acquire)) return max_iterations;
+  MutexLock lock(g_plan_mu);
+  if (!g_armed.load(std::memory_order_relaxed) || !matches(kernel) ||
       g_plan.kind != FaultKind::kExhaustIterations)
     return max_iterations;
   ++g_count;

@@ -30,10 +30,12 @@ struct FaultPlan {
   double scale = 10.0;        ///< residual multiplier [1] for kPerturbResidual
 };
 
-/// Arms `plan` globally and resets the injection counter. Arm/disarm must
-/// happen outside any parallel region; the hooks themselves are safe to hit
-/// from pool workers (atomic flag/counter), so an armed fault fires inside
-/// parallel sweeps and surfaces through parallel_for's error propagation.
+/// Arms `plan` globally and resets the injection counter. Arm/disarm should
+/// happen outside any parallel region for deterministic firing; the hooks
+/// are safe to hit from pool workers (atomic armed flag, mutex-guarded
+/// plan), so an armed fault fires inside parallel sweeps and surfaces
+/// through parallel_for's error propagation — and a disarm that races a
+/// straggling worker is merely non-deterministic, never a data race.
 void arm(const FaultPlan& plan);
 void disarm();
 bool armed();

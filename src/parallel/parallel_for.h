@@ -16,9 +16,10 @@
 // SolverDiag attempt/recovery chain preserved (the exception object itself
 // is carried by std::exception_ptr, not re-synthesized).
 //
-// Nesting: a parallel_for entered from inside a pool worker runs inline and
-// serially. Outer loops get the threads; inner loops stay deterministic and
-// deadlock-free.
+// Nesting: a parallel_for entered from inside any active parallel region —
+// on a pool worker, or on the calling thread while it runs its own block 0
+// — runs inline and serially. Outer loops get the threads; inner loops stay
+// deterministic, deadlock-free, and free of sibling-block write races.
 //
 // Resilience: the caller's ambient core::RunContext (deadline, cancel token,
 // heartbeat) is snapshotted at entry and installed on every worker for the
@@ -30,15 +31,14 @@
 // index among the observing blocks), not a scheduling accident.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/run_context.h"
+#include "core/thread_annotations.h"
 #include "parallel/thread_pool.h"
 
 namespace dsmt::parallel {
@@ -48,18 +48,28 @@ namespace detail {
 /// First-failure slot shared by the blocks of one parallel_for: keeps the
 /// exception thrown at the lowest item index, which is what a serial loop
 /// would have thrown first.
-struct FirstError {
-  std::mutex mu;
-  std::size_t index = static_cast<std::size_t>(-1);
-  std::exception_ptr error;
-
-  void offer(std::size_t i, std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mu);
-    if (error == nullptr || i < index) {
-      index = i;
-      error = std::move(e);
+class FirstError {
+ public:
+  void offer(std::size_t i, std::exception_ptr e) DSMT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    if (error_ == nullptr || i < index_) {
+      index_ = i;
+      error_ = std::move(e);
     }
   }
+
+  /// The recorded exception (nullptr when every block finished cleanly).
+  /// Called after the join, but the lock keeps the analysis — and TSan —
+  /// happy about the handoff from the last offering worker.
+  std::exception_ptr take() DSMT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return error_;
+  }
+
+ private:
+  Mutex mu_;
+  std::size_t index_ DSMT_GUARDED_BY(mu_) = static_cast<std::size_t>(-1);
+  std::exception_ptr error_ DSMT_GUARDED_BY(mu_);
 };
 
 /// Completion latch: parallel_for blocks the caller until every submitted
@@ -68,20 +78,20 @@ class BlockLatch {
  public:
   explicit BlockLatch(std::size_t count) : remaining_(count) {}
 
-  void count_down() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void count_down() DSMT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     if (--remaining_ == 0) cv_.notify_all();
   }
 
-  void wait() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return remaining_ == 0; });
+  void wait() DSMT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    while (remaining_ != 0) cv_.wait(mu_);
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t remaining_;
+  Mutex mu_;
+  CondVar cv_;
+  std::size_t remaining_ DSMT_GUARDED_BY(mu_);
 };
 
 template <typename F>
@@ -112,7 +122,7 @@ template <typename F>
 void parallel_for(std::size_t n, F&& body) {
   if (n == 0) return;
   const std::size_t workers = thread_count();
-  if (workers <= 1 || n == 1 || on_worker_thread()) {
+  if (workers <= 1 || n == 1 || on_worker_thread() || in_parallel_region()) {
     // Serial path: identical iteration order, natural exception flow, same
     // between-item interruption points as the parallel blocks.
     for (std::size_t i = 0; i < n; ++i) {
@@ -147,18 +157,35 @@ void parallel_for(std::size_t n, F&& body) {
     if (b == 0) {
       first_end = end;  // block 0 runs on the calling thread below
     } else {
-      pool_submit([begin, end, &fn, err, latch, run_ctx] {
-        core::ScopedRunContext scope(run_ctx.get());
-        detail::run_block(begin, end, fn, *err);
+      pool_submit([begin, end, &fn, err, latch, run_ctx]() mutable {
+        {
+          core::ScopedRunContext scope(run_ctx.get());
+          detail::run_block(begin, end, fn, *err);
+        }
+        // Drop the first-error reference BEFORE signaling: the closure
+        // itself is destroyed after count_down, so without this reset a
+        // straggling worker could hold the last FirstError reference and
+        // destroy the captured exception (and its what() string) on the
+        // worker thread while the caller, already rethrown-and-caught, is
+        // still reading it. With the reset, the caller always holds the
+        // last reference and the exception dies on the calling thread.
+        err.reset();
         latch->count_down();
       });
     }
     begin = end;
   }
-  detail::run_block(0, first_end, fn, *err);
+  {
+    // The caller-run block is part of the region too: a nested parallel_for
+    // from inside it must run inline, exactly as it does on a pool worker —
+    // otherwise the nested region would fan out concurrently with the outer
+    // region's worker blocks and the serial-nesting contract would break.
+    detail::RegionGuard region;
+    detail::run_block(0, first_end, fn, *err);
+  }
   latch->wait();
 
-  if (err->error != nullptr) std::rethrow_exception(err->error);
+  if (std::exception_ptr e = err->take()) std::rethrow_exception(e);
 }
 
 /// Ordered map: out[i] = fn(i) for i in [0, n), computed in parallel,

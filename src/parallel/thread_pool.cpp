@@ -2,18 +2,19 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace dsmt::parallel {
 
 namespace {
 
 thread_local bool t_on_worker = false;
+thread_local int t_region_depth = 0;
 
 // Queue bound and its observability counters. The bound is read per
 // submission (no pool rebuild needed); the counters are monotonic across
@@ -31,7 +32,10 @@ void note_queue_depth(std::size_t depth) {
 }
 
 std::size_t env_thread_count() {
-  const char* env = std::getenv("DSMT_THREADS");
+  // getenv is listed by concurrency-mt-unsafe because it races with
+  // setenv/putenv; the library never writes the environment, and POSIX
+  // guarantees concurrent reads are safe.
+  const char* env = std::getenv("DSMT_THREADS");  // NOLINT(concurrency-mt-unsafe)
   if (env != nullptr) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
@@ -52,7 +56,7 @@ class Pool {
 
   ~Pool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -62,18 +66,18 @@ class Pool {
 
   std::size_t size() const { return workers_.size(); }
 
-  void submit(std::function<void()> task) {
+  void submit(std::function<void()> task) DSMT_EXCLUDES(mu_) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Blocking producer: wait for the queue to dip below the high-water
       // mark. Workers only ever shrink the queue, so this cannot deadlock;
       // on shutdown the wait is released and the task is still accepted
-      // (the destructor drains whatever remains).
-      not_full_cv_.wait(lock, [this] {
-        return stop_ ||
-               queue_.size() <
-                   g_queue_high_water.load(std::memory_order_relaxed);
-      });
+      // (the destructor drains whatever remains). Predicate loop, not a
+      // lambda: the analysis then sees the guarded reads under the lock.
+      while (!stop_ &&
+             queue_.size() >=
+                 g_queue_high_water.load(std::memory_order_relaxed))
+        not_full_cv_.wait(mu_);
       queue_.push_back(std::move(task));
       note_queue_depth(queue_.size());
     }
@@ -81,13 +85,13 @@ class Pool {
   }
 
  private:
-  void worker_loop() {
+  void worker_loop() DSMT_EXCLUDES(mu_) {
     t_on_worker = true;
     for (;;) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        MutexLock lock(mu_);
+        while (!stop_ && queue_.empty()) cv_.wait(mu_);
         if (stop_ && queue_.empty()) return;
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -98,28 +102,30 @@ class Pool {
     }
   }
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable not_full_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;
+  CondVar not_full_cv_;
+  std::deque<std::function<void()>> queue_ DSMT_GUARDED_BY(mu_);
+  bool stop_ DSMT_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // R10-ok: filled in the constructor,
+                                      // joined in the destructor; workers
+                                      // never touch the vector itself
 };
 
 // The global pool and its configuration. `g_override` of 0 means "use the
 // environment/hardware default". Guarded by g_config_mu; the pool pointer
 // only changes while no parallel region is active (set_thread_count's
 // contract), so tasks never observe a pool being torn down under them.
-std::mutex g_config_mu;            // NOLINT(cert-err58-cpp)
-std::size_t g_override = 0;
-Pool* g_pool = nullptr;
+Mutex g_config_mu;  // NOLINT(cert-err58-cpp)
+std::size_t g_override DSMT_GUARDED_BY(g_config_mu) = 0;
+Pool* g_pool DSMT_GUARDED_BY(g_config_mu) = nullptr;
 
-std::size_t desired_count() {
+std::size_t desired_count() DSMT_REQUIRES(g_config_mu) {
   return g_override > 0 ? g_override : env_thread_count();
 }
 
-Pool& pool() {
-  std::lock_guard<std::mutex> lock(g_config_mu);
+Pool& pool() DSMT_EXCLUDES(g_config_mu) {
+  MutexLock lock(g_config_mu);
   const std::size_t want = desired_count();
   if (g_pool == nullptr || g_pool->size() != want) {
     delete g_pool;
@@ -132,12 +138,12 @@ Pool& pool() {
 }  // namespace
 
 std::size_t thread_count() {
-  std::lock_guard<std::mutex> lock(g_config_mu);
+  MutexLock lock(g_config_mu);
   return desired_count();
 }
 
 void set_thread_count(std::size_t n) {
-  std::lock_guard<std::mutex> lock(g_config_mu);
+  MutexLock lock(g_config_mu);
   g_override = n;
   // The pool is rebuilt lazily on next use; deleting here while idle keeps
   // stale workers from outliving a test that shrank the count.
@@ -146,6 +152,15 @@ void set_thread_count(std::size_t n) {
 }
 
 bool on_worker_thread() { return t_on_worker; }
+
+bool in_parallel_region() { return t_region_depth > 0; }
+
+namespace detail {
+
+RegionGuard::RegionGuard() { ++t_region_depth; }
+RegionGuard::~RegionGuard() { --t_region_depth; }
+
+}  // namespace detail
 
 std::size_t queue_high_water() {
   return g_queue_high_water.load(std::memory_order_relaxed);

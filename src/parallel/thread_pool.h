@@ -33,6 +33,29 @@ void set_thread_count(std::size_t n);
 /// parallel regions inline instead of deadlocking on the shared queue.
 bool on_worker_thread();
 
+/// True while the current thread is executing a parallel_for block — which
+/// includes the *calling* thread running block 0 of its own region, not
+/// just pool workers. parallel_for nests inline whenever this holds:
+/// without it, a nested region launched from the caller-run block would fan
+/// out concurrently with the outer region's worker blocks, and the nesting
+/// contract ("inner loops run serially") would silently only be true on
+/// workers.
+bool in_parallel_region();
+
+namespace detail {
+
+/// RAII marker for in_parallel_region(), installed by parallel_for around
+/// the caller-run block. Depth-counted so sibling regions compose.
+class RegionGuard {
+ public:
+  RegionGuard();
+  ~RegionGuard();
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+};
+
+}  // namespace detail
+
 /// High-water mark on queued-but-unstarted pool tasks. pool_submit() from a
 /// producer thread blocks while the queue is at the mark, so a burst of
 /// submissions holds bounded memory instead of growing the queue without

@@ -25,7 +25,7 @@ void CircuitBreaker::transition_locked(BreakerState to, std::string reason) {
 }
 
 bool CircuitBreaker::allow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++tick_;
   switch (state_) {
     case BreakerState::kClosed:
@@ -53,7 +53,7 @@ bool CircuitBreaker::allow() {
 }
 
 void CircuitBreaker::on_success() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   consecutive_failures_ = 0;
   if (state_ == BreakerState::kHalfOpen) {
     probe_in_flight_ = false;
@@ -64,7 +64,7 @@ void CircuitBreaker::on_success() {
 }
 
 void CircuitBreaker::on_failure(core::StatusCode status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Interruptions (the caller's budget ran out) and invalid input (the
   // client's fault) say nothing about the kernel's health — the HTTP-breaker
   // rule of counting 5xx but never 4xx. They still terminate an allowed
@@ -101,32 +101,32 @@ void CircuitBreaker::on_failure(core::StatusCode status) {
 }
 
 BreakerState CircuitBreaker::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return state_;
 }
 
 std::uint64_t CircuitBreaker::ticks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tick_;
 }
 
 std::uint64_t CircuitBreaker::short_circuits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return short_circuits_;
 }
 
 std::uint64_t CircuitBreaker::opens() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return opens_;
 }
 
 std::vector<BreakerTransition> CircuitBreaker::transitions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return transitions_;
 }
 
 void CircuitBreaker::record_into(core::SolverDiag& diag) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& t : transitions_) {
     diag.record("service/breaker[" + kernel_ + "]",
                 t.to == BreakerState::kOpen ? core::StatusCode::kBreakerOpen

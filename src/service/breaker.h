@@ -12,11 +12,11 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace dsmt::service {
 
@@ -74,20 +74,23 @@ class CircuitBreaker {
   void record_into(core::SolverDiag& diag) const;
 
  private:
-  void transition_locked(BreakerState to, std::string reason);
+  void transition_locked(BreakerState to, std::string reason)
+      DSMT_REQUIRES(mu_);
 
   const std::string kernel_;
   const BreakerConfig config_;
-  mutable std::mutex mu_;
-  BreakerState state_ = BreakerState::kClosed;
-  std::uint64_t tick_ = 0;          ///< allow() calls so far
-  std::uint64_t opened_tick_ = 0;   ///< tick of the last transition to Open
-  std::uint64_t short_circuits_ = 0;
-  std::uint64_t opens_ = 0;
-  int consecutive_failures_ = 0;
-  int probe_successes_ = 0;
-  bool probe_in_flight_ = false;
-  std::vector<BreakerTransition> transitions_;
+  mutable Mutex mu_;
+  BreakerState state_ DSMT_GUARDED_BY(mu_) = BreakerState::kClosed;
+  /// allow() calls so far.
+  std::uint64_t tick_ DSMT_GUARDED_BY(mu_) = 0;
+  /// Tick of the last transition to Open.
+  std::uint64_t opened_tick_ DSMT_GUARDED_BY(mu_) = 0;
+  std::uint64_t short_circuits_ DSMT_GUARDED_BY(mu_) = 0;
+  std::uint64_t opens_ DSMT_GUARDED_BY(mu_) = 0;
+  int consecutive_failures_ DSMT_GUARDED_BY(mu_) = 0;
+  int probe_successes_ DSMT_GUARDED_BY(mu_) = 0;
+  bool probe_in_flight_ DSMT_GUARDED_BY(mu_) = false;
+  std::vector<BreakerTransition> transitions_ DSMT_GUARDED_BY(mu_);
 };
 
 }  // namespace dsmt::service

@@ -15,7 +15,7 @@ void ReferenceCache::insert(const std::string& family, double duty_cycle,
   point.duty_cycle = duty_cycle;
   point.t_metal_k = solution.t_metal.value();
   point.j_rms_A_m2 = solution.j_rms.value();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ReferencePoint>& family_points = points_[family];
   const auto at = std::lower_bound(
       family_points.begin(), family_points.end(), duty_cycle,
@@ -29,7 +29,7 @@ void ReferenceCache::insert(const std::string& family, double duty_cycle,
 bool ReferenceCache::conservative_at(const std::string& family,
                                      double duty_cycle,
                                      ReferencePoint& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto family_it = points_.find(family);
   if (family_it == points_.end()) return false;
   const std::vector<ReferencePoint>& family_points = family_it->second;
@@ -43,7 +43,7 @@ bool ReferenceCache::conservative_at(const std::string& family,
 }
 
 std::size_t ReferenceCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [family, family_points] : points_)
     n += family_points.size();
@@ -51,7 +51,7 @@ std::size_t ReferenceCache::size() const {
 }
 
 std::size_t ReferenceCache::families() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_.size();
 }
 

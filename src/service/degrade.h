@@ -27,10 +27,10 @@
 
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "selfconsistent/solver.h"
 
 namespace dsmt::service {
@@ -65,9 +65,10 @@ class ReferenceCache {
   std::size_t families() const;      ///< distinct geometry families
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Per family: points sorted ascending by duty cycle.
-  std::map<std::string, std::vector<ReferencePoint>> points_;
+  std::map<std::string, std::vector<ReferencePoint>> points_
+      DSMT_GUARDED_BY(mu_);
 };
 
 /// Rung-2 result: a feasible, conservative operating point.

@@ -39,6 +39,25 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   fixed-capacity index-addressed vectors; a file handle or
                   a growable queue on that path is exactly how overload
                   stops being explicit shedding and becomes OOM.
+  R9 lock-vocabulary  The annotated concurrent subsystems (src/parallel/,
+                  src/service/, core/signoff, core/run_context,
+                  core/checkpoint, numeric/fault_injection) must use the
+                  capability-annotated dsmt::Mutex / dsmt::MutexLock /
+                  dsmt::CondVar from core/thread_annotations.h. Raw
+                  std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable there silently opt shared state
+                  out of Clang's -Wthread-safety analysis.
+                  core/thread_annotations.h itself is the one sanctioned
+                  home of the raw types (it wraps them).
+  R10 guarded-state  (heuristic) In the same subsystems, a mutable global
+                  (g_-prefixed, by repo convention) or a primitive/container
+                  class member (trailing-underscore name) must be
+                  std::atomic, DSMT_GUARDED_BY-annotated, const/constexpr,
+                  thread_local, a capability type (Mutex/CondVar), or carry
+                  an explicit `R10-ok:` justification comment on or just
+                  above its declaration. Worker threads reach all of these
+                  subsystems; unprotected mutable state there is a data
+                  race waiting for a scheduler seed.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -119,6 +138,51 @@ SERVICE_FILE_IO_RE = re.compile(
 # fixed-capacity vectors sized by admission control.
 SERVICE_UNBOUNDED_RE = re.compile(r"std::(?:deque|queue|list)\s*<")
 
+# The annotated concurrent subsystems: every file here is expected to use
+# the capability-annotated lock vocabulary (R9) and to protect its mutable
+# state visibly (R10). core/thread_annotations.h is the single sanctioned
+# home of the raw std types — it is what wraps them.
+CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/")
+CONCURRENCY_FENCE_FILES = {
+    "core/signoff.cpp",
+    "core/run_context.h", "core/run_context.cpp",
+    "core/checkpoint.h", "core/checkpoint.cpp",
+    "numeric/fault_injection.h", "numeric/fault_injection.cpp",
+}
+THREAD_ANNOTATIONS_HOME = "core/thread_annotations.h"
+
+RAW_LOCK_RE = re.compile(
+    r"std::(?:mutex|recursive_mutex|timed_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable(?:_any)?)\b")
+
+# R10 heuristic vocabulary. Primitive and standard-container types whose
+# mutation from two threads is a data race; internally synchronized class
+# types (CircuitBreaker, ReferenceCache, ...) and smart-pointer handles are
+# deliberately not matched — their pointees are judged at their own
+# declarations.
+R10_TYPES = (
+    r"(?:bool|char|short|int|long|unsigned|float|double|size_t|"
+    r"std::size_t|std::u?int\d+_t|std::string|std::vector|std::deque|"
+    r"std::map|std::unordered_map|std::set|std::unordered_set|std::list|"
+    r"std::function|std::optional|std::exception_ptr)")
+# Class member: primitive/container type followed (possibly via template
+# args) by a trailing-underscore name.
+R10_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:static\s+)?" + R10_TYPES +
+    r"(?:<[^;]*?>)?[\s*&]+(\w+_)\b")
+# Namespace-scope mutable global: any type token followed by a g_ name
+# (repo convention). The keyword guard keeps `delete g_pool;` and
+# `return g_x;` statements from matching.
+R10_GLOBAL_RE = re.compile(
+    r"^\s*(?!delete\b|return\b|new\b|throw\b|case\b)"
+    r"(?:static\s+)?[\w:]+(?:<[^;]*?>)?[\s*&]+(g_\w+)\b")
+# Markers that satisfy R10 when present on the declaration's line span (the
+# line, a continuation through ';', or up to two preceding comment lines).
+R10_MARKER_RE = re.compile(
+    r"std::atomic|DSMT_GUARDED_BY|DSMT_PT_GUARDED_BY|\bconst\b|"
+    r"\bconstexpr\b|\bthread_local\b|\bMutex\b|\bCondVar\b|R10-ok:")
+
 # A doc line counts as carrying a unit tag when it contains [...] with a
 # plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
 UNIT_TAG_RE = re.compile(r"\[[\w\s./*^()%-]+\]")
@@ -162,6 +226,29 @@ def has_unit_tag(context_lines) -> bool:
     # Same-line trailing comment also counts.
     last = context_lines[-1]
     return "//" in last and UNIT_TAG_RE.search(last.split("//", 1)[1]) is not None
+
+
+def in_concurrency_fence(rel: str) -> bool:
+    return (rel.startswith(CONCURRENCY_FENCE_PREFIXES) or
+            rel in CONCURRENCY_FENCE_FILES)
+
+
+def r10_span_has_marker(lines, i: int) -> bool:
+    """True when the declaration starting at raw line i carries an R10
+    marker on its line span (through the terminating ';', max 3 lines) or in
+    the contiguous comment block immediately above it."""
+    span = []
+    for j in range(i, min(i + 3, len(lines))):
+        span.append(lines[j])
+        if ";" in lines[j]:
+            break
+    for j in range(i - 1, max(i - 6, -1), -1):
+        s = lines[j].strip()
+        if s.startswith("//") or s.startswith("*") or s.startswith("/*"):
+            span.append(lines[j])
+        else:
+            break
+    return any(R10_MARKER_RE.search(line) for line in span)
 
 
 def lint_file(path: pathlib.Path, rel: str, errors: list):
@@ -246,6 +333,27 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                               f"container ('{m.group(0).strip()}') on the "
                               f"service path — hold bursts in fixed-capacity "
                               f"vectors sized by admission control")
+
+    # R9 + R10: the annotated concurrent subsystems. R9 fences the raw std
+    # lock vocabulary out (it is invisible to -Wthread-safety); R10 demands
+    # that mutable globals / primitive members there be visibly protected.
+    if in_concurrency_fence(rel) and rel != THREAD_ANNOTATIONS_HOME:
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = RAW_LOCK_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [lock-vocabulary] raw "
+                              f"'{m.group(0)}' in an annotated subsystem — "
+                              f"use dsmt::Mutex / dsmt::MutexLock / "
+                              f"dsmt::CondVar (core/thread_annotations.h) so "
+                              f"Clang's -Wthread-safety sees the acquisition")
+            decl = R10_MEMBER_RE.match(line) or R10_GLOBAL_RE.match(line)
+            if decl and not r10_span_has_marker(lines, i):
+                errors.append(f"{rel}:{i + 1}: [guarded-state] mutable state "
+                              f"'{decl.group(1)}' in an annotated subsystem "
+                              f"is neither std::atomic nor DSMT_GUARDED_BY — "
+                              f"annotate it, make it atomic, or justify with "
+                              f"an 'R10-ok:' comment above the declaration")
 
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
@@ -374,6 +482,88 @@ inline void shapes(const ProFILE* profile, std::size_t queue_capacity) {}
 """
 
 
+SELF_TEST_BAD_CONCURRENCY = """\
+// Everything R9/R10 bans, in one fenced file: raw lock vocabulary plus
+// unguarded mutable state.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+namespace dsmt::parallel {
+
+class Worklist {
+ public:
+  void push(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(v);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<int> pending_;
+  bool draining_ = false;
+};
+
+int g_epoch = 0;
+
+}  // namespace dsmt::parallel
+"""
+
+SELF_TEST_GOOD_CONCURRENCY = """\
+// The sanctioned shapes: annotated vocabulary, visibly protected state.
+#pragma once
+
+namespace dsmt::service {
+
+class Tally {
+ public:
+  void bump() {
+    MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::uint64_t count_ DSMT_GUARDED_BY(mu_) = 0;
+  std::atomic<int> fast{0};
+  // The marker may sit on a continuation line of the declaration...
+  std::map<std::string, int> lookup_
+      DSMT_GUARDED_BY(mu_);
+  // R10-ok: seeded once in the constructor before the object is shared
+  // with workers; never written again.
+  std::size_t capacity_ = 0;
+  static constexpr int kBurst = 8;
+};
+
+}  // namespace dsmt::service
+"""
+
+SELF_TEST_WRAPPER_HOME = """\
+// Minimal slice of core/thread_annotations.h: the one sanctioned home of
+// the raw std lock types, which it wraps in annotated capabilities.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace dsmt {
+
+class Mutex {
+ private:
+  std::mutex mu_;
+};
+
+class CondVar {
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dsmt
+"""
+
+
 def self_test() -> int:
     import tempfile
 
@@ -389,6 +579,14 @@ def self_test() -> int:
         bad_svc.write_text(SELF_TEST_BAD_SERVICE)
         good_svc = root / "src" / "service" / "good_service.h"
         good_svc.write_text(SELF_TEST_GOOD_SERVICE)
+        (root / "src" / "parallel").mkdir(parents=True)
+        (root / "src" / "core").mkdir(parents=True)
+        bad_conc = root / "src" / "parallel" / "bad_conc.h"
+        bad_conc.write_text(SELF_TEST_BAD_CONCURRENCY)
+        good_conc = root / "src" / "service" / "good_conc.h"
+        good_conc.write_text(SELF_TEST_GOOD_CONCURRENCY)
+        wrapper = root / "src" / "core" / "thread_annotations.h"
+        wrapper.write_text(SELF_TEST_WRAPPER_HOME)
 
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
@@ -437,7 +635,50 @@ def self_test() -> int:
             print("self-test FAILED: service-io fired outside src/service/")
             return 1
 
-    print("dsmt_lint: self-test passed")
+        # R9/R10 fire on every banned shape inside the concurrency fence...
+        errors = []
+        lint_file(bad_conc, "parallel/bad_conc.h", errors)
+        r9 = [e for e in errors if "[lock-vocabulary]" in e]
+        r10 = [e for e in errors if "[guarded-state]" in e]
+        if len(r9) != 3 or len(r10) != 3:
+            print(f"self-test FAILED: bad_conc.h raised {len(r9)} "
+                  f"lock-vocabulary + {len(r10)} guarded-state violations, "
+                  f"expected 3 + 3:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... stay quiet on the annotated shapes (guard on line, guard on a
+        # continuation line, atomic, R10-ok comment, constexpr) ...
+        errors = []
+        lint_file(good_conc, "service/good_conc.h", errors)
+        if errors:
+            print("self-test FAILED: good_conc.h should be clean:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... are scoped to the fence: the same shapes in an unfenced
+        # subsystem raise nothing ...
+        errors = []
+        lint_file(bad_conc, "demo/bad_conc.h", errors)
+        if any("[lock-vocabulary]" in e or "[guarded-state]" in e
+               for e in errors):
+            print("self-test FAILED: R9/R10 fired outside the fence")
+            return 1
+
+        # ... and exempt core/thread_annotations.h, the wrapper home of the
+        # raw types.
+        errors = []
+        lint_file(wrapper, "core/thread_annotations.h", errors)
+        if errors:
+            print("self-test FAILED: thread_annotations.h home should be "
+                  "exempt:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+    print("dsmt_lint: self-test passed (rules R1-R10)")
     return 0
 
 
