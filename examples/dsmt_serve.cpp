@@ -1,36 +1,73 @@
-// dsmt_serve — batch front end over the fault-tolerant request service
-// (dsmt::service::Server). Reads a JSON batch (a bare array of request
+// dsmt_serve — front end over the fault-tolerant request service
+// (dsmt::service::Server), in one of two modes:
+//
+// Batch mode (default): reads a JSON batch (a bare array of request
 // objects, or {"requests": [...]}), serves it through admission control /
 // retry / breaker / degradation ladder, and prints one JSON document:
 //
 //   {"responses": [...one structured response per request, in order...],
 //    "service":   {...admission counters, cache, breaker transitions...}}
 //
-//   dsmt_serve [--batch file.json|-] [--queue N] [--deadline-ms M]
-//              [--max-attempts N] [--breaker-threshold K] [--indent N]
+// Socket mode (--listen PATH or --tcp PORT): runs the hardened socket
+// front end (dsmt::net::Server) speaking DSM1-framed request/response JSON
+// until SIGTERM/SIGINT, then drains gracefully — stop accepting, finish or
+// deadline-out in-flight work, flush — and prints the sign-off report
+// (connection counters plus the service section) on stdout before exiting.
 //
-// --batch defaults to "-" (stdin). Exit code: 0 when every request got a
-// terminal response (shed and degraded count as served), 2 on usage or
-// batch-parse errors. With fault injection disarmed the output is
-// bit-identical for every DSMT_THREADS value.
+// Exit-code contract (also printed by --help):
+//   0  batch: every request got a terminal response (shed and degraded
+//      count as served; with --strict, additionally no terminal response
+//      carries a failure status);
+//      socket: the drain completed cleanly inside its tick budget (with
+//      --strict, a forced drain also exits 1)
+//   1  --strict violation: a terminal failure response (batch) or a forced
+//      drain (socket)
+//   2  usage, batch-parse, or socket-setup errors
+//
+// With fault injection disarmed, batch output is bit-identical for every
+// DSMT_THREADS value, and so is each connection's reply byte stream in
+// socket mode.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "net/server.h"
 #include "service/server.h"
 
 namespace {
 
 using namespace dsmt;
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: dsmt_serve [--batch file.json|-] [--queue N] "
-               "[--deadline-ms M] [--max-attempts N] "
-               "[--breaker-threshold K] [--indent N]\n");
-  return 2;
+/// Single funnel for every usage/error print, so messages stay uniform and
+/// grep-able ("dsmt_serve: ..." on stderr).
+void print_error(const std::string& message) {
+  std::fprintf(stderr, "dsmt_serve: %s\n", message.c_str());
+}
+
+int usage(bool to_stdout = false) {
+  std::fprintf(
+      to_stdout ? stdout : stderr,
+      "usage: dsmt_serve [--batch file.json|-] [--listen SOCKET_PATH]\n"
+      "                  [--tcp PORT] [--queue N] [--deadline-ms M]\n"
+      "                  [--max-attempts N] [--breaker-threshold K]\n"
+      "                  [--max-connections N] [--max-inflight N]\n"
+      "                  [--tick-ms M] [--idle-ticks N] [--drain-ticks N]\n"
+      "                  [--indent N] [--strict] [--help]\n"
+      "\n"
+      "Batch mode (default; --batch - reads stdin) serves one JSON batch\n"
+      "and prints {\"responses\": [...], \"service\": {...}}.\n"
+      "Socket mode (--listen or --tcp, mutually exclusive with --batch)\n"
+      "serves DSM1-framed requests until SIGTERM/SIGINT, drains\n"
+      "gracefully, and prints the sign-off report.\n"
+      "\n"
+      "exit codes:\n"
+      "  0  served: every request answered (batch) / clean drain (socket)\n"
+      "  1  --strict violation: terminal failure response or forced drain\n"
+      "  2  usage, batch-parse, or socket-setup error\n");
+  return to_stdout ? 0 : 2;
 }
 
 bool read_all(const std::string& path, std::string& out) {
@@ -45,25 +82,111 @@ bool read_all(const std::string& path, std::string& out) {
   return ok;
 }
 
+int run_batch(const std::map<std::string, std::string>& opts,
+              const service::ServerConfig& config, bool strict, int indent) {
+  const auto batch_it = opts.find("batch");
+  const std::string path = batch_it != opts.end() ? batch_it->second : "-";
+  std::string text;
+  if (!read_all(path, text)) {
+    print_error("cannot read batch '" + path + "'");
+    return 2;
+  }
+
+  const std::vector<service::Request> batch = service::parse_batch(text);
+  service::Server server(config);
+  const std::vector<service::Response> responses = server.submit_batch(batch);
+
+  int failures = 0;
+  report::Json responses_json = report::Json::array();
+  for (const service::Response& resp : responses) {
+    if (!resp.ok()) ++failures;
+    responses_json.push(service::response_to_json(resp));
+  }
+  report::Json root = report::Json::object();
+  root.set("responses", std::move(responses_json));
+  root.set("service", server.service_json());
+  std::printf("%s\n", root.dump(indent).c_str());
+  if (strict && failures > 0) {
+    print_error("--strict: " + std::to_string(failures) + " of " +
+                std::to_string(responses.size()) +
+                " responses carry a failure status");
+    return 1;
+  }
+  return 0;
+}
+
+int run_socket(const net::NetConfig& config, bool strict, int indent) {
+  net::Server server(config);
+  server.open();  // fail fast (and resolve an ephemeral TCP port) pre-loop
+  if (config.endpoint.kind == net::Endpoint::Kind::kTcp)
+    std::fprintf(stderr, "dsmt_serve: listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.bound_port()));
+  else
+    std::fprintf(stderr, "dsmt_serve: listening on %s\n",
+                 config.endpoint.path.c_str());
+  server.install_signal_drain();
+  const net::NetStats stats = server.run();
+
+  report::Json net_json = report::Json::object();
+  net_json.set("accepted", report::Json::integer(
+                               static_cast<long long>(stats.accepted)))
+      .set("rejected_connections",
+           report::Json::integer(
+               static_cast<long long>(stats.rejected_connections)))
+      .set("frames_in",
+           report::Json::integer(static_cast<long long>(stats.frames_in)))
+      .set("replies_sent",
+           report::Json::integer(static_cast<long long>(stats.replies_sent)))
+      .set("pings", report::Json::integer(static_cast<long long>(stats.pings)))
+      .set("rejected_inflight",
+           report::Json::integer(
+               static_cast<long long>(stats.rejected_inflight)))
+      .set("invalid_requests",
+           report::Json::integer(
+               static_cast<long long>(stats.invalid_requests)))
+      .set("protocol_errors",
+           report::Json::integer(
+               static_cast<long long>(stats.protocol_errors)))
+      .set("evicted_idle",
+           report::Json::integer(static_cast<long long>(stats.evicted_idle)))
+      .set("evicted_midframe",
+           report::Json::integer(
+               static_cast<long long>(stats.evicted_midframe)))
+      .set("evicted_stalled",
+           report::Json::integer(
+               static_cast<long long>(stats.evicted_stalled)))
+      .set("resets", report::Json::integer(
+                         static_cast<long long>(stats.resets)))
+      .set("drained_clean", report::Json::boolean(stats.drained_clean));
+  report::Json root = report::Json::object();
+  root.set("net", std::move(net_json));
+  root.set("service", server.service().service_json());
+  std::printf("%s\n", root.dump(indent).c_str());
+
+  if (!stats.drained_clean) {
+    print_error("drain timed out with work in flight (forced shutdown)");
+    if (strict) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::map<std::string, std::string> opts;
-  for (int i = 1; i + 1 < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0) return usage();
-    opts[argv[i] + 2] = argv[i + 1];
+  bool strict = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return usage(/*to_stdout=*/true);
+    if (arg == "--strict") {
+      strict = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) return usage();
+    opts[arg.substr(2)] = argv[++i];
   }
-  if (argc >= 2 && (argc - 1) % 2 != 0) return usage();
 
   try {
-    const std::string path = opts.count("batch") ? opts["batch"] : "-";
-    std::string text;
-    if (!read_all(path, text)) {
-      std::fprintf(stderr, "dsmt_serve: cannot read batch '%s'\n",
-                   path.c_str());
-      return 2;
-    }
-
     service::ServerConfig config;
     if (opts.count("queue"))
       config.queue_capacity =
@@ -78,21 +201,42 @@ int main(int argc, char** argv) {
       config.breaker.failure_threshold = std::stoi(opts["breaker-threshold"]);
     const int indent = opts.count("indent") ? std::stoi(opts["indent"]) : 2;
 
-    const std::vector<service::Request> batch = service::parse_batch(text);
-    service::Server server(config);
-    const std::vector<service::Response> responses =
-        server.submit_batch(batch);
+    const bool socket_mode = opts.count("listen") > 0 || opts.count("tcp") > 0;
+    if (!socket_mode) return run_batch(opts, config, strict, indent);
 
-    report::Json responses_json = report::Json::array();
-    for (const service::Response& resp : responses)
-      responses_json.push(service::response_to_json(resp));
-    report::Json root = report::Json::object();
-    root.set("responses", std::move(responses_json));
-    root.set("service", server.service_json());
-    std::printf("%s\n", root.dump(indent).c_str());
-    return 0;
+    if (opts.count("batch") > 0 || (opts.count("listen") && opts.count("tcp"))) {
+      print_error("--listen/--tcp are mutually exclusive with each other "
+                  "and with --batch");
+      return usage();
+    }
+    net::NetConfig net_config;
+    net_config.service = config;
+    if (opts.count("listen")) {
+      net_config.endpoint.kind = net::Endpoint::Kind::kUnix;
+      net_config.endpoint.path = opts["listen"];
+    } else {
+      net_config.endpoint.kind = net::Endpoint::Kind::kTcp;
+      net_config.endpoint.port =
+          static_cast<std::uint16_t>(std::stoi(opts["tcp"]));
+    }
+    if (opts.count("max-connections"))
+      net_config.max_connections =
+          static_cast<std::size_t>(std::stoul(opts["max-connections"]));
+    if (opts.count("max-inflight"))
+      net_config.max_inflight_total =
+          static_cast<std::size_t>(std::stoul(opts["max-inflight"]));
+    if (opts.count("tick-ms"))
+      net_config.tick_ms = std::stoi(opts["tick-ms"]);
+    if (opts.count("idle-ticks"))
+      net_config.idle_timeout_ticks = std::stoull(opts["idle-ticks"]);
+    if (opts.count("drain-ticks"))
+      net_config.drain_timeout_ticks = std::stoull(opts["drain-ticks"]);
+    // The request budget mirrors the service deadline so socket callers get
+    // the same per-request guarantee as batch callers.
+    net_config.request_deadline_ns = config.deadline_ns;
+    return run_socket(net_config, strict, indent);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "dsmt_serve: %s\n", e.what());
+    print_error(e.what());
     return 2;
   }
 }

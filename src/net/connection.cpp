@@ -1,0 +1,113 @@
+#include "net/connection.h"
+
+#include <utility>
+
+namespace dsmt::net {
+
+Connection::Connection(Fd fd, std::uint64_t id, std::size_t max_frame_bytes,
+                       std::uint64_t now_tick)
+    : fd_(std::move(fd)),
+      id_(id),
+      decoder_(max_frame_bytes),
+      last_activity_tick_(now_tick),
+      last_flush_tick_(now_tick) {}
+
+ReadEvent Connection::on_readable(std::vector<std::string>& frames,
+                                  std::uint64_t now_tick) {
+  if (state_ != ConnState::kReading) return ReadEvent::kOk;
+  char buf[4096];
+  for (;;) {
+    const IoResult r = read_some(fd_.get(), buf, sizeof buf);
+    if (r.n > 0) {
+      last_activity_tick_ = now_tick;
+      decoder_.append(buf, static_cast<std::size_t>(r.n));
+      std::string payload;
+      for (;;) {
+        const FrameStatus st = decoder_.next(payload);
+        if (st == FrameStatus::kFrame) {
+          frames.push_back(std::move(payload));
+          continue;
+        }
+        if (st == FrameStatus::kNeedMore) break;
+        stop_reading();
+        return st == FrameStatus::kBadMagic ? ReadEvent::kBadMagic
+                                            : ReadEvent::kOversized;
+      }
+      // Track the tick the decoder first went mid-frame: the slow-loris
+      // budget runs from the first byte of an incomplete frame, not from
+      // the most recent trickled byte.
+      if (decoder_.mid_frame()) {
+        if (!was_mid_frame_) frame_start_tick_ = now_tick;
+        was_mid_frame_ = true;
+      } else {
+        was_mid_frame_ = false;
+      }
+      continue;
+    }
+    if (r.n == 0) {  // peer half-closed its write side
+      const bool truncated = decoder_.mid_frame() || decoder_.buffered() > 0;
+      stop_reading();
+      return truncated ? ReadEvent::kTruncatedEof : ReadEvent::kCleanEof;
+    }
+    if (r.would_block()) return ReadEvent::kOk;
+    stop_reading();
+    return ReadEvent::kReset;
+  }
+}
+
+void Connection::enqueue_reply(std::uint64_t seq, std::string frame_bytes) {
+  ready_.emplace(seq, std::move(frame_bytes));
+  // Promote the contiguous ready prefix — replies leave in request order.
+  for (auto it = ready_.find(next_to_send_); it != ready_.end();
+       it = ready_.find(next_to_send_)) {
+    outbound_ += it->second;
+    ready_.erase(it);
+    ++next_to_send_;
+  }
+}
+
+WriteEvent Connection::flush(std::uint64_t now_tick) {
+  if (state_ == ConnState::kClosed) return WriteEvent::kOk;
+  std::size_t sent = 0;
+  while (sent < outbound_.size()) {
+    const IoResult r =
+        write_some(fd_.get(), outbound_.data() + sent, outbound_.size() - sent);
+    if (r.n > 0) {
+      sent += static_cast<std::size_t>(r.n);
+      continue;
+    }
+    if (r.would_block()) break;
+    outbound_.erase(0, sent);
+    return WriteEvent::kReset;
+  }
+  if (sent > 0) {
+    outbound_.erase(0, sent);
+    last_activity_tick_ = now_tick;
+    last_flush_tick_ = now_tick;
+  }
+  return WriteEvent::kOk;
+}
+
+void Connection::stop_reading() {
+  if (state_ == ConnState::kReading) state_ = ConnState::kFlushing;
+}
+
+void Connection::close() {
+  state_ = ConnState::kClosed;
+  fd_.reset();
+  outbound_.clear();
+  ready_.clear();
+}
+
+void Connection::try_send_now(const std::string& frame_bytes) {
+  if (state_ == ConnState::kClosed) return;
+  std::size_t sent = 0;
+  while (sent < frame_bytes.size()) {
+    const IoResult r = write_some(fd_.get(), frame_bytes.data() + sent,
+                                  frame_bytes.size() - sent);
+    if (r.n <= 0) break;  // best effort: EAGAIN or a dead peer ends it
+    sent += static_cast<std::size_t>(r.n);
+  }
+}
+
+}  // namespace dsmt::net

@@ -1,0 +1,150 @@
+// Per-connection state machine of the socket front end.
+//
+//            bytes/frames flow              reply/flush flow
+//   kReading ──────────────────┐   ┌────────────────────────────┐
+//      │                       ▼   ▼                            │
+//      │ peer EOF / protocol  dispatch → pool worker → ready map│
+//      │ error / eviction /             (ordered by seq)        │
+//      │ server drain                                           │
+//      ▼                                                        │
+//   kFlushing ── in-flight done && outbound empty ──► kClosed ◄─┘
+//
+// A Connection owns exactly one non-blocking socket, its frame decoder, and
+// its outbound byte queue; it is touched ONLY by the event-loop thread
+// (workers hand replies back through the server's completion queue, never
+// through this object). Replies are sent strictly in request order: every
+// parsed frame — request, ping, or protocol error — consumes one sequence
+// number, completed replies park in a ready map, and only the contiguous
+// prefix starting at next_to_send is appended to the outbound buffer. That
+// ordering is what extends the determinism invariant to the wire: the reply
+// byte stream of a connection is a pure function of its request byte
+// stream, at any DSMT_THREADS value.
+//
+// Logical-tick bookkeeping (server's idle reaper):
+//   * last_activity_tick  — last tick any byte moved in either direction
+//   * frame_start_tick    — tick the decoder first went mid-frame (slow-
+//                           loris budget: a frame must COMPLETE within the
+//                           idle budget, no matter how steadily the client
+//                           trickles bytes)
+//   * last_flush_tick     — last tick the outbound buffer shrank (write-
+//                           stall budget for clients that stop reading)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/socket_io.h"
+#include "net/wire.h"
+
+namespace dsmt::net {
+
+enum class ConnState {
+  kReading = 0,  ///< parsing frames and accepting requests
+  kFlushing,     ///< no more reads; finishing in-flight work and flushing
+  kClosed,       ///< fd closed; the server removes the slot
+};
+
+/// What on_readable() observed (beyond zero or more complete frames).
+enum class ReadEvent {
+  kOk = 0,        ///< drained to EAGAIN, stream healthy
+  kCleanEof,      ///< peer half-closed between frames
+  kTruncatedEof,  ///< peer half-closed mid-frame (truncated frame)
+  kBadMagic,      ///< stream is not speaking the protocol
+  kOversized,     ///< declared frame length exceeds the cap
+  kReset,         ///< connection reset by peer
+};
+
+/// What flush() observed.
+enum class WriteEvent {
+  kOk = 0,  ///< progressed (possibly to empty) or would-block
+  kReset,   ///< peer is gone (EPIPE/ECONNRESET)
+};
+
+class Connection {
+ public:
+  Connection(Fd fd, std::uint64_t id, std::size_t max_frame_bytes,
+             std::uint64_t now_tick);
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  int fd() const { return fd_.get(); }
+  ConnState state() const { return state_; }
+  bool reading() const { return state_ == ConnState::kReading; }
+  bool closed() const { return state_ == ConnState::kClosed; }
+
+  /// Reads until EAGAIN/EOF, appending complete frame payloads to
+  /// `frames`. On a protocol error or EOF the connection stops reading
+  /// (kFlushing) by itself; kReset closes it outright.
+  ReadEvent on_readable(std::vector<std::string>& frames,
+                        std::uint64_t now_tick);
+
+  /// Claims the next reply sequence number (every parsed frame gets one).
+  std::uint64_t next_seq() { return seq_next_++; }
+
+  /// Parks reply `seq` and appends the contiguous ready prefix to the
+  /// outbound buffer, preserving request order.
+  void enqueue_reply(std::uint64_t seq, std::string frame_bytes);
+
+  /// Writes outbound bytes until EAGAIN or empty.
+  WriteEvent flush(std::uint64_t now_tick);
+
+  /// Stops reading (peer EOF, protocol error, eviction, server drain); the
+  /// connection lives on to finish in-flight replies and flush.
+  void stop_reading();
+
+  /// Closes the socket and discards all pending state.
+  void close();
+
+  /// True when a flushing connection has nothing left to do.
+  bool finished() const {
+    return state_ == ConnState::kFlushing && inflight_ == 0 &&
+           outbound_.empty() && ready_.empty();
+  }
+
+  bool wants_write() const {
+    return state_ != ConnState::kClosed && !outbound_.empty();
+  }
+
+  // In-flight accounting (event-loop thread only).
+  std::size_t inflight() const { return inflight_; }
+  void add_inflight() { ++inflight_; }
+  void drop_inflight() {
+    if (inflight_ > 0) --inflight_;
+  }
+
+  // Reaper inputs.
+  std::uint64_t last_activity_tick() const { return last_activity_tick_; }
+  std::uint64_t last_flush_tick() const { return last_flush_tick_; }
+  bool mid_frame() const { return decoder_.mid_frame(); }
+  std::uint64_t frame_start_tick() const { return frame_start_tick_; }
+
+  /// Best-effort, one-shot write of `frame_bytes` ahead of any queued
+  /// output (eviction notices: the client violated its budget, so ordinary
+  /// ordering no longer applies). Never blocks; failure is acceptable —
+  /// the socket closes right after.
+  void try_send_now(const std::string& frame_bytes);
+
+ private:
+  // R10-ok: every member below is owned and mutated by the event-loop
+  // thread alone; workers reach the connection only through the server's
+  // mutex-guarded completion queue, never through this object.
+  Fd fd_;
+  std::uint64_t id_;                      // R10-ok: event-loop-only (above)
+  ConnState state_ = ConnState::kReading;  // R10-ok: event-loop-only (above)
+  FrameDecoder decoder_;                  // R10-ok: event-loop-only (above)
+  std::string outbound_;                  // R10-ok: event-loop-only (above)
+  std::map<std::uint64_t, std::string> ready_;  // R10-ok: event-loop-only
+  std::uint64_t seq_next_ = 0;            // R10-ok: event-loop-only (above)
+  std::uint64_t next_to_send_ = 0;        // R10-ok: event-loop-only (above)
+  std::size_t inflight_ = 0;              // R10-ok: event-loop-only (above)
+  std::uint64_t last_activity_tick_;      // R10-ok: event-loop-only (above)
+  std::uint64_t last_flush_tick_;         // R10-ok: event-loop-only (above)
+  std::uint64_t frame_start_tick_ = 0;    // R10-ok: event-loop-only (above)
+  bool was_mid_frame_ = false;            // R10-ok: event-loop-only (above)
+};
+
+}  // namespace dsmt::net

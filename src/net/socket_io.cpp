@@ -1,0 +1,213 @@
+#include "net/socket_io.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "core/thread_annotations.h"
+#include "service/retry.h"
+
+namespace dsmt::net {
+
+namespace {
+
+// ---- fault shim state (mirror of numeric/fault_injection.cpp) -----------
+
+std::atomic<bool> g_armed{false};
+std::atomic<int> g_op_count{0};
+Mutex g_plan_mu;
+testing::SocketFaultPlan g_plan DSMT_GUARDED_BY(g_plan_mu);
+
+/// What the armed plan wants done to the data op numbered `op` (1-based).
+struct FaultDecision {
+  bool inject_eintr = false;   ///< fail once with EINTR before the real call
+  bool inject_eagain = false;  ///< lie EAGAIN instead of doing the op
+  bool inject_reset = false;   ///< fail ECONNRESET (read) / EPIPE (write)
+  std::size_t clamp_len = 0;   ///< 0 = no clamp, else max bytes this op
+};
+
+FaultDecision decide(bool is_read, std::size_t len) {
+  FaultDecision d;
+  if (!g_armed.load(std::memory_order_acquire)) return d;
+  const int op = 1 + g_op_count.fetch_add(1, std::memory_order_relaxed);
+  testing::SocketFaultPlan plan;
+  {
+    MutexLock lock(g_plan_mu);
+    plan = g_plan;
+  }
+  if (plan.reset_after >= 0 && op > plan.reset_after) {
+    d.inject_reset = true;
+    return d;
+  }
+  if (plan.eintr_period > 0 && op % plan.eintr_period == 0)
+    d.inject_eintr = true;
+  if (is_read && plan.eagain_period > 0 && op % plan.eagain_period == 0)
+    d.inject_eagain = true;
+  if (plan.short_io && len > 1) {
+    const std::uint64_t draw = service::mix64(
+        plan.seed ^ (static_cast<std::uint64_t>(op) << 1) ^ (is_read ? 1 : 0));
+    std::size_t clamp = 1 + static_cast<std::size_t>(draw % 7);
+    d.clamp_len = clamp < len ? clamp : len;
+  }
+  return d;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    reset(other.fd_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Fd::reset(int fd) {
+  // No EINTR retry around close(): on Linux the fd is released even when
+  // close() is interrupted, and retrying can close a recycled descriptor.
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+bool IoResult::would_block() const {
+  return n < 0 && (error == EAGAIN || error == EWOULDBLOCK);
+}
+
+bool IoResult::reset() const {
+  return n < 0 && (error == ECONNRESET || error == EPIPE);
+}
+
+IoResult read_some(int fd, char* buf, std::size_t len) {
+  const FaultDecision fault = decide(/*is_read=*/true, len);
+  if (fault.inject_reset) return {-1, ECONNRESET};
+  if (fault.inject_eagain) return {-1, EAGAIN};
+  const std::size_t want = fault.clamp_len > 0 ? fault.clamp_len : len;
+  bool eintr_pending = fault.inject_eintr;
+  for (;;) {
+    if (eintr_pending) {  // injected EINTR: same retry path as the real one
+      eintr_pending = false;
+      continue;
+    }
+    const long n = ::recv(fd, buf, want, 0);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;  // interrupted before any byte: retry
+    return {-1, errno};
+  }
+}
+
+IoResult write_some(int fd, const char* buf, std::size_t len) {
+  const FaultDecision fault = decide(/*is_read=*/false, len);
+  if (fault.inject_reset) return {-1, EPIPE};
+  const std::size_t want = fault.clamp_len > 0 ? fault.clamp_len : len;
+  bool eintr_pending = fault.inject_eintr;
+  for (;;) {
+    if (eintr_pending) {  // injected EINTR: same retry path as the real one
+      eintr_pending = false;
+      continue;
+    }
+    // MSG_NOSIGNAL: a peer that closed mid-reply yields EPIPE in the
+    // result, never a process-killing SIGPIPE.
+    const long n = ::send(fd, buf, want, MSG_NOSIGNAL);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;  // interrupted before any byte: retry
+    return {-1, errno};
+  }
+}
+
+int poll_wait(pollfd* fds, std::size_t nfds, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const bool bounded = timeout_ms >= 0;
+  const Clock::time_point deadline =
+      bounded ? Clock::now() + std::chrono::milliseconds(timeout_ms)
+              : Clock::time_point{};
+  int wait_ms = timeout_ms;
+  for (;;) {
+    const int rc = ::poll(fds, static_cast<nfds_t>(nfds), wait_ms);
+    if (rc >= 0) return rc;
+    if (errno != EINTR) return rc;
+    // EINTR: re-arm against the monotonic remaining budget so a signal
+    // storm cannot stretch the tick.
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      wait_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    }
+  }
+}
+
+IoResult accept_connection(int listen_fd) {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return {fd, 0};
+    if (errno == EINTR) continue;  // interrupted accept: retry
+    // A peer that aborted while queued is not an error of ours: report it
+    // as would-block so the loop just moves on.
+    if (errno == ECONNABORTED) return {-1, EAGAIN};
+    return {-1, errno};
+  }
+}
+
+bool make_selfpipe(Fd& read_end, Fd& write_end) {
+  int fds[2];
+  if (::pipe2(fds, O_NONBLOCK | O_CLOEXEC) != 0) return false;
+  read_end.reset(fds[0]);
+  write_end.reset(fds[1]);
+  return true;
+}
+
+void wake_selfpipe(int write_fd) {
+  // Async-signal-safe: only write(2); errno is preserved for the
+  // interrupted context.
+  const int saved_errno = errno;
+  const char byte = 1;
+  for (;;) {
+    const long n = ::write(write_fd, &byte, 1);
+    if (n >= 0) break;
+    if (errno == EINTR) continue;  // interrupted wake: retry
+    break;  // EAGAIN: pipe full — a pending byte already guarantees a wake
+  }
+  errno = saved_errno;
+}
+
+void drain_selfpipe(int read_fd) {
+  char buf[64];
+  for (;;) {
+    const long n = ::read(read_fd, buf, sizeof buf);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;  // interrupted drain: retry
+    break;  // EOF or EAGAIN: drained
+  }
+}
+
+namespace testing {
+
+void arm(const SocketFaultPlan& plan) {
+  {
+    MutexLock lock(g_plan_mu);
+    g_plan = plan;
+  }
+  g_op_count.store(0, std::memory_order_relaxed);
+  g_armed.store(true, std::memory_order_release);
+}
+
+void disarm() { g_armed.store(false, std::memory_order_release); }
+
+bool armed() { return g_armed.load(std::memory_order_acquire); }
+
+int op_count() { return g_op_count.load(std::memory_order_relaxed); }
+
+}  // namespace testing
+
+}  // namespace dsmt::net

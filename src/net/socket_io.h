@@ -1,0 +1,135 @@
+// EINTR-safe, fault-injectable syscall layer of the socket front end.
+//
+// src/net/ is the ONLY directory allowed to touch raw file-descriptor
+// syscalls (lint rule R11 net-syscalls), and inside it every syscall goes
+// through the wrappers here, which enforce the three disciplines the rest
+// of the subsystem relies on:
+//
+//   * EINTR is never an error — every wrapper retries the interrupted call
+//     (poll_wait re-arms against a monotonic remaining-time budget so a
+//     signal storm cannot extend a tick).
+//   * EAGAIN/EWOULDBLOCK is never an error — the fds are non-blocking and
+//     the event loop simply waits for the next readiness edge.
+//   * writes use send(MSG_NOSIGNAL), so a peer that closed mid-reply
+//     surfaces as EPIPE on the IoResult instead of a process-killing
+//     SIGPIPE.
+//
+// net::testing arms a deterministic I/O fault plan (same ScopedFault/RAII
+// discipline and splitmix64 scheme as numeric/fault_injection.h): short
+// reads/writes, injected EINTR, spurious EAGAIN readiness lies, and
+// mid-stream connection resets, all a pure function of (seed, op counter)
+// so a chaos test that fails replays identically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+struct pollfd;  // <poll.h>; kept out of this header's public surface
+
+namespace dsmt::net {
+
+/// RAII file descriptor: closes on destruction (retrying EINTR per POSIX
+/// close semantics on Linux — the fd is gone either way).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the held fd (if any) and adopts `fd`.
+  void reset(int fd = -1);
+  /// Releases ownership without closing.
+  int release();
+
+ private:
+  int fd_ = -1;  // R10-ok: an Fd is owned and used by one thread at a time
+};
+
+/// Outcome of one data syscall. n > 0: bytes transferred. n == 0: EOF (on
+/// reads). n < 0: the call failed with errno == error.
+struct IoResult {
+  long n = 0;
+  int error = 0;
+
+  bool would_block() const;  ///< EAGAIN/EWOULDBLOCK — wait for readiness
+  bool reset() const;        ///< ECONNRESET/EPIPE — peer is gone
+};
+
+/// recv() up to `len` bytes from a non-blocking socket. Retries EINTR.
+IoResult read_some(int fd, char* buf, std::size_t len);
+
+/// send(MSG_NOSIGNAL) up to `len` bytes to a non-blocking socket. Retries
+/// EINTR; a closed peer reports EPIPE in the result, never raises SIGPIPE.
+IoResult write_some(int fd, const char* buf, std::size_t len);
+
+/// poll() with EINTR retry against a monotonic remaining-time budget, so
+/// the effective timeout is `timeout_ms` [ms] regardless of signal traffic
+/// (timeout_ms < 0 blocks indefinitely). Returns poll()'s result.
+int poll_wait(pollfd* fds, std::size_t nfds, int timeout_ms);
+
+/// accept() on a listening socket; the returned fd (IoResult::n) is set
+/// non-blocking and close-on-exec. Retries EINTR; ECONNABORTED (the peer
+/// gave up while queued) reports would_block() semantics via error.
+IoResult accept_connection(int listen_fd);
+
+/// Creates the event loop's self-pipe (both ends non-blocking, CLOEXEC).
+/// Returns false (with errno intact) when the pipe cannot be created.
+bool make_selfpipe(Fd& read_end, Fd& write_end);
+
+/// Async-signal-safe wake: writes one byte to a self-pipe write end,
+/// retrying EINTR and treating a full pipe (EAGAIN) as success — a pending
+/// byte already guarantees a wakeup. Preserves errno (callable from signal
+/// handlers).
+void wake_selfpipe(int write_fd);
+
+/// Drains every pending byte from a self-pipe read end.
+void drain_selfpipe(int read_fd);
+
+namespace testing {
+
+/// Deterministic I/O fault plan, armed process-globally (mirror of
+/// numeric::fault::FaultPlan). Fault decisions are pure functions of
+/// (seed, data-op counter) via the splitmix64 mixer, so armed runs replay
+/// bit-identically.
+struct SocketFaultPlan {
+  /// Clamp each read/write to a seeded 1..7-byte slice, exercising every
+  /// partial-progress path in the framing and flushing code.
+  bool short_io = false;
+  /// Every Nth data op first fails once with EINTR (0 = never). The
+  /// wrappers must absorb it invisibly.
+  int eintr_period = 0;
+  /// Every Nth read reports EAGAIN despite readiness (0 = never) — a
+  /// spurious-wakeup lie the event loop must tolerate.
+  int eagain_period = 0;
+  /// After this many data ops, reads fail ECONNRESET and writes EPIPE
+  /// (< 0 = never): the mid-frame reset attack.
+  int reset_after = -1;
+  std::uint64_t seed = 0x6e657431;  ///< fault stream seed ("net1")
+};
+
+/// Arms `plan` globally and resets the op counter. Safe to call from any
+/// thread; hooks are lock-protected behind an atomic armed fast path.
+void arm(const SocketFaultPlan& plan);
+void disarm();
+bool armed();
+/// Data ops observed since arm().
+int op_count();
+
+/// RAII arm/disarm for tests (the ScopedFault discipline).
+class ScopedSocketFault {
+ public:
+  explicit ScopedSocketFault(const SocketFaultPlan& plan) { arm(plan); }
+  ~ScopedSocketFault() { disarm(); }
+  ScopedSocketFault(const ScopedSocketFault&) = delete;
+  ScopedSocketFault& operator=(const ScopedSocketFault&) = delete;
+};
+
+}  // namespace testing
+
+}  // namespace dsmt::net

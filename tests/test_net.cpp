@@ -1,0 +1,617 @@
+// Hostile-network suite for the socket front end (src/net): framing,
+// protocol-error classification, pipelining, half-close, slow-loris
+// eviction, admission control, graceful drain (programmatic and SIGTERM),
+// deterministic I/O fault injection, and the 1-vs-8-thread byte-equality
+// guarantee on reply streams.
+//
+// Tests drive a real net::Server over real Unix-domain sockets (the event
+// loop runs on a dedicated thread; raw client-side syscalls are fine here —
+// lint rule R11 fences them out of src/, not tests/). Every client socket
+// carries a receive timeout so a lost reply fails the test instead of
+// wedging it.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/server.h"
+#include "net/socket_io.h"
+#include "net/wire.h"
+#include "parallel/thread_pool.h"
+#include "report/json.h"
+#include "service/request.h"
+
+namespace {
+
+using namespace dsmt;
+
+// ---- client-side plumbing (blocking sockets, 10 s receive timeout) ------
+
+class Client {
+ public:
+  explicit Client(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+    timeval timeout{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  bool connected() const { return connected_; }
+
+  bool send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const long n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                            MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  bool send_frame(const std::string& payload) {
+    return send_raw(net::encode_frame(payload));
+  }
+
+  /// Reads one complete frame payload; false on EOF/timeout/corruption.
+  bool recv_frame(std::string& payload) {
+    char header[net::kFrameHeaderBytes];
+    if (!recv_all(header, sizeof header)) return false;
+    if (std::memcmp(header, net::kFrameMagic, sizeof net::kFrameMagic) != 0)
+      return false;
+    std::uint32_t len = 0;
+    for (std::size_t i = 4; i < net::kFrameHeaderBytes; ++i)
+      len = (len << 8) | static_cast<unsigned char>(header[i]);
+    payload.resize(len);
+    return len == 0 || recv_all(payload.data(), len);
+  }
+
+  /// Reads one frame and parses its JSON payload.
+  bool recv_json(report::Json& doc) {
+    std::string payload;
+    if (!recv_frame(payload)) return false;
+    doc = report::Json::parse(payload);
+    return true;
+  }
+
+  /// True when the peer half-closed (recv returns 0).
+  bool at_eof() {
+    char byte;
+    for (;;) {
+      const long n = ::recv(fd_, &byte, 1, 0);
+      if (n < 0 && errno == EINTR) continue;
+      return n == 0;
+    }
+  }
+
+  void half_close() { ::shutdown(fd_, SHUT_WR); }
+  int fd() const { return fd_; }
+
+ private:
+  bool recv_all(char* data, std::size_t len) {
+    std::size_t got = 0;
+    while (got < len) {
+      const long n = ::recv(fd_, data + got, len - got, 0);
+      if (n > 0) {
+        got += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+std::string status_of(const report::Json& doc) {
+  const report::Json* status = doc.find("status");
+  return (status != nullptr && status->is_string()) ? status->as_string()
+                                                    : std::string{};
+}
+
+std::string id_of(const report::Json& doc) {
+  const report::Json* id = doc.find("id");
+  return (id != nullptr && id->is_string()) ? id->as_string() : std::string{};
+}
+
+std::string request_payload(const std::string& id, double duty = 0.1) {
+  service::Request req;
+  req.id = id;
+  req.duty_cycle = duty;
+  return service::request_to_json(req).dump(-1);
+}
+
+// ---- server fixture ------------------------------------------------------
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  static net::NetConfig fast_config() {
+    net::NetConfig config;
+    config.tick_ms = 5;
+    config.idle_timeout_ticks = 400;   // 2 s — far beyond any healthy test
+    config.drain_timeout_ticks = 400;
+    config.service.sleep_on_backoff = false;
+    config.service.publish_signoff = false;
+    return config;
+  }
+
+  void start(net::NetConfig config = fast_config()) {
+    path_ = "/tmp/dsmt_net_test_" + std::to_string(::getpid()) + "_" +
+            std::to_string(instance_counter_++) + ".sock";
+    config.endpoint.kind = net::Endpoint::Kind::kUnix;
+    config.endpoint.path = path_;
+    server_ = std::make_unique<net::Server>(std::move(config));
+    server_->open();  // bind before run so clients never race the listener
+    thread_ = std::thread([this] { stats_ = server_->run(); });
+  }
+
+  net::NetStats stop() {
+    if (server_) server_->request_drain();
+    if (thread_.joinable()) thread_.join();
+    server_.reset();
+    return stats_;
+  }
+
+  void TearDown() override { stop(); }
+
+  const std::string& path() const { return path_; }
+  net::Server& server() { return *server_; }
+
+  static int instance_counter_;
+  std::string path_;
+  std::unique_ptr<net::Server> server_;
+  std::thread thread_;
+  net::NetStats stats_;
+};
+
+int NetServerTest::instance_counter_ = 0;
+
+// ---- wire-format unit tests ---------------------------------------------
+
+TEST(NetWire, RoundTripsFramesFedOneByteAtATime) {
+  const std::string payload = "{\"id\":\"x\"}";
+  const std::string frame = net::encode_frame(payload);
+  ASSERT_EQ(frame.size(), net::kFrameHeaderBytes + payload.size());
+
+  net::FrameDecoder decoder;
+  std::string out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.append(frame.data() + i, 1);
+    EXPECT_EQ(decoder.next(out), net::FrameStatus::kNeedMore);
+    EXPECT_TRUE(decoder.mid_frame());
+  }
+  decoder.append(frame.data() + frame.size() - 1, 1);
+  ASSERT_EQ(decoder.next(out), net::FrameStatus::kFrame);
+  EXPECT_EQ(out, payload);
+  EXPECT_FALSE(decoder.mid_frame());
+  EXPECT_EQ(decoder.next(out), net::FrameStatus::kNeedMore);
+}
+
+TEST(NetWire, ExtractsPipelinedFramesInOrder) {
+  net::FrameDecoder decoder;
+  std::string stream;
+  for (int i = 0; i < 5; ++i)
+    stream += net::encode_frame("payload-" + std::to_string(i));
+  decoder.append(stream.data(), stream.size());
+  std::string out;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(decoder.next(out), net::FrameStatus::kFrame);
+    EXPECT_EQ(out, "payload-" + std::to_string(i));
+  }
+  EXPECT_EQ(decoder.next(out), net::FrameStatus::kNeedMore);
+}
+
+TEST(NetWire, PoisonsOnBadMagicAndStaysPoisoned) {
+  net::FrameDecoder decoder;
+  const std::string junk = "GET / HTTP/1.1\r\n";
+  decoder.append(junk.data(), junk.size());
+  std::string out;
+  EXPECT_EQ(decoder.next(out), net::FrameStatus::kBadMagic);
+  decoder.append(junk.data(), junk.size());
+  EXPECT_EQ(decoder.next(out), net::FrameStatus::kBadMagic);
+}
+
+TEST(NetWire, RefusesOversizedDeclaredLengthBeforeBuffering) {
+  net::FrameDecoder decoder(/*max_frame_bytes=*/64);
+  std::string header(net::kFrameMagic, sizeof net::kFrameMagic);
+  header += '\x00';
+  header += '\x00';
+  header += '\x01';
+  header += '\x00';  // declares 256 bytes > 64-byte cap
+  decoder.append(header.data(), header.size());
+  std::string out;
+  EXPECT_EQ(decoder.next(out), net::FrameStatus::kOversized);
+}
+
+// ---- end-to-end behaviour -----------------------------------------------
+
+TEST_F(NetServerTest, RoundTripsOneSolveRequest) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(request_payload("rt-1")));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "rt-1");
+  EXPECT_EQ(status_of(doc), "ok");
+  const report::Json* solution = doc.find("solution");
+  ASSERT_NE(solution, nullptr);
+  const report::Json* t_metal = solution->find("t_metal_c");
+  ASSERT_NE(t_metal, nullptr);
+  EXPECT_GT(t_metal->as_number(), 0.0);
+}
+
+TEST_F(NetServerTest, AnswersPipelinedRequestsInRequestOrder) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  std::string burst;
+  for (int i = 0; i < 8; ++i)
+    burst += net::encode_frame(
+        request_payload("pipe-" + std::to_string(i), 0.05 + 0.03 * i));
+  ASSERT_TRUE(client.send_raw(burst));
+  for (int i = 0; i < 8; ++i) {
+    report::Json doc;
+    ASSERT_TRUE(client.recv_json(doc)) << "reply " << i;
+    EXPECT_EQ(id_of(doc), "pipe-" + std::to_string(i));
+    EXPECT_EQ(status_of(doc), "ok");
+  }
+}
+
+TEST_F(NetServerTest, ClassifiesTruncatedFrameAsInvalidInput) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  const std::string frame = net::encode_frame(request_payload("trunc"));
+  ASSERT_TRUE(client.send_raw(frame.substr(0, frame.size() / 2)));
+  client.half_close();
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "invalid-input");
+  const report::Json* error = doc.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->as_string().find("truncated"), std::string::npos);
+  EXPECT_TRUE(client.at_eof());
+  const net::NetStats stats = stop();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+}
+
+TEST_F(NetServerTest, ClassifiesOversizedFrameAsInvalidInput) {
+  net::NetConfig config = fast_config();
+  config.max_frame_bytes = 128;
+  start(std::move(config));
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(std::string(256, 'x')));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "invalid-input");
+  const report::Json* error = doc.find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_NE(error->as_string().find("oversized"), std::string::npos);
+  EXPECT_TRUE(client.at_eof());
+  const net::NetStats stats = stop();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+}
+
+TEST_F(NetServerTest, RejectsGarbageBeforeAnyFrameAndCloses) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_raw("this is not a DSM1 stream at all"));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "invalid-input");
+  EXPECT_TRUE(client.at_eof());
+  const net::NetStats stats = stop();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+}
+
+TEST_F(NetServerTest, AnswersGarbageJsonInsideAFrameAndKeepsConnection) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame("{not json at all"));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "invalid-input");
+  // Framing stayed intact, so the connection survives and still serves.
+  ASSERT_TRUE(client.send_frame(request_payload("after-garbage")));
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "after-garbage");
+  EXPECT_EQ(status_of(doc), "ok");
+  const net::NetStats stats = stop();
+  EXPECT_EQ(stats.invalid_requests, 1u);
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST_F(NetServerTest, DeliversReplyAfterClientHalfClosesMidReply) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(request_payload("half-close")));
+  client.half_close();  // FIN before the reply exists
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "half-close");
+  EXPECT_EQ(status_of(doc), "ok");
+  EXPECT_TRUE(client.at_eof());
+}
+
+TEST_F(NetServerTest, EvictsSlowLorisTricklingInsideOneFrame) {
+  net::NetConfig config = fast_config();
+  config.idle_timeout_ticks = 4;  // 20 ms frame budget at 5 ms ticks
+  start(std::move(config));
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  const std::string frame = net::encode_frame(request_payload("loris"));
+  // Trickle single bytes with pauses: activity never stops, but the frame
+  // never completes — exactly the attack the frame budget exists for.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  std::size_t offset = 0;
+  report::Json doc;
+  bool evicted = false;
+  while (std::chrono::steady_clock::now() < deadline &&
+         offset + 1 < frame.size()) {
+    if (!client.send_raw(frame.substr(offset, 1))) {
+      evicted = true;  // server already closed on us mid-send
+      break;
+    }
+    ++offset;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!evicted) {
+    ASSERT_TRUE(client.recv_json(doc));
+    EXPECT_EQ(status_of(doc), "deadline-exceeded");
+    EXPECT_TRUE(client.at_eof());
+  }
+  const net::NetStats stats = stop();
+  EXPECT_GE(stats.evicted_midframe, 1u);
+}
+
+TEST_F(NetServerTest, EvictsFullyIdleConnections) {
+  net::NetConfig config = fast_config();
+  config.idle_timeout_ticks = 4;
+  start(std::move(config));
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));  // blocks until the eviction notice
+  EXPECT_EQ(status_of(doc), "deadline-exceeded");
+  EXPECT_TRUE(client.at_eof());
+  const net::NetStats stats = stop();
+  EXPECT_GE(stats.evicted_idle, 1u);
+}
+
+TEST_F(NetServerTest, RejectsConnectionsBeyondAdmissionLimit) {
+  net::NetConfig config = fast_config();
+  config.max_connections = 1;
+  start(std::move(config));
+  Client first(path());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.send_frame(request_payload("keeper")));
+  report::Json doc;
+  ASSERT_TRUE(first.recv_json(doc));  // slot is provably occupied
+
+  Client second(path());
+  ASSERT_TRUE(second.connected());  // accept() succeeds, admission refuses
+  ASSERT_TRUE(second.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "rejected-overload");
+  EXPECT_TRUE(second.at_eof());
+
+  // The admitted connection is unharmed.
+  ASSERT_TRUE(first.send_frame(request_payload("keeper-2")));
+  ASSERT_TRUE(first.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "ok");
+  const net::NetStats stats = stop();
+  EXPECT_EQ(stats.rejected_connections, 1u);
+}
+
+TEST_F(NetServerTest, RejectsRequestsBeyondInflightCapWithWellFormedFrame) {
+  net::NetConfig config = fast_config();
+  config.max_inflight_per_connection = 0;  // every solve request over cap
+  start(std::move(config));
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(request_payload("over-cap")));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "over-cap");
+  EXPECT_EQ(status_of(doc), "rejected-overload");
+  // Ping still answers: the cap rejects solves, not the connection.
+  ASSERT_TRUE(client.send_frame("{\"kind\":\"ping\",\"id\":\"p\"}"));
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "ok");
+  const net::NetStats stats = stop();
+  EXPECT_EQ(stats.rejected_inflight, 1u);
+}
+
+TEST_F(NetServerTest, PingReportsBreakerAndDegradationState) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame("{\"kind\":\"ping\",\"id\":\"health-1\"}"));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "health-1");
+  EXPECT_EQ(status_of(doc), "ok");
+  const report::Json* kind = doc.find("kind");
+  ASSERT_NE(kind, nullptr);
+  EXPECT_EQ(kind->as_string(), "ping");
+  const report::Json* draining = doc.find("draining");
+  ASSERT_NE(draining, nullptr);
+  EXPECT_FALSE(draining->as_bool());
+  const report::Json* breaker = doc.find("breaker");
+  ASSERT_NE(breaker, nullptr);
+  const report::Json* state = breaker->find("state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->as_string(), "closed");
+  const report::Json* degradation = doc.find("degradation");
+  ASSERT_NE(degradation, nullptr);
+  const report::Json* interp = degradation->find("interpolation");
+  ASSERT_NE(interp, nullptr);
+  EXPECT_TRUE(interp->as_bool());
+}
+
+TEST_F(NetServerTest, DrainFinishesInflightWorkBeforeClosing) {
+  start();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(request_payload("inflight-drain")));
+  // Wait until the request is provably in flight (the service has seen it),
+  // then drain: the reply must still arrive before the connection closes.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(8);
+  while (server().service().metrics().received == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_GE(server().service().metrics().received, 1u);
+  server().request_drain();
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "inflight-drain");
+  EXPECT_EQ(status_of(doc), "ok");
+  EXPECT_TRUE(client.at_eof());
+  const net::NetStats stats = stop();
+  EXPECT_TRUE(stats.drained_clean);
+  EXPECT_EQ(stats.replies_sent, 1u);
+}
+
+TEST_F(NetServerTest, SigtermDrainsGracefully) {
+  start();
+  server().install_signal_drain();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(request_payload("sigterm-drain")));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));  // served before the signal
+  EXPECT_EQ(status_of(doc), "ok");
+  ::kill(::getpid(), SIGTERM);
+  EXPECT_TRUE(client.at_eof());  // drain closes the connection cleanly
+  const net::NetStats stats = stop();
+  EXPECT_TRUE(stats.drained_clean);
+}
+
+// ---- chaos: deterministic I/O faults ------------------------------------
+
+TEST_F(NetServerTest, ServesCorrectlyUnderShortIoEintrAndEagainFaults) {
+  start();
+  net::testing::SocketFaultPlan plan;
+  plan.short_io = true;     // clamp every server-side read/write to 1..7 B
+  plan.eintr_period = 3;    // every 3rd data op fails once with EINTR
+  plan.eagain_period = 7;   // every 7th read lies EAGAIN
+  net::testing::ScopedSocketFault armed(plan);
+
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client.send_frame(
+        request_payload("chaos-" + std::to_string(i), 0.05 + 0.05 * i)));
+    report::Json doc;
+    ASSERT_TRUE(client.recv_json(doc)) << "request " << i;
+    EXPECT_EQ(id_of(doc), "chaos-" + std::to_string(i));
+    EXPECT_EQ(status_of(doc), "ok");
+  }
+  EXPECT_GT(net::testing::op_count(), 0);
+}
+
+TEST_F(NetServerTest, SurvivesInjectedMidStreamResets) {
+  start();
+  {
+    net::testing::SocketFaultPlan plan;
+    plan.reset_after = 4;  // server-side I/O starts failing ECONNRESET/EPIPE
+    net::testing::ScopedSocketFault armed(plan);
+    Client victim(path());
+    ASSERT_TRUE(victim.connected());
+    for (int i = 0; i < 4; ++i)
+      victim.send_frame(request_payload("reset-" + std::to_string(i)));
+    // Give the event loop a chance to hit the injected reset.
+    std::string payload;
+    Client second(path());
+    ASSERT_TRUE(second.connected());
+    second.send_frame(request_payload("reset-second"));
+    second.recv_frame(payload);  // outcome irrelevant: faults are armed
+  }
+  // Faults disarmed: the server must still be fully functional.
+  Client after(path());
+  ASSERT_TRUE(after.connected());
+  ASSERT_TRUE(after.send_frame(request_payload("after-reset")));
+  report::Json doc;
+  ASSERT_TRUE(after.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "after-reset");
+  EXPECT_EQ(status_of(doc), "ok");
+}
+
+// ---- determinism: the reply stream is a pure function of the request
+// stream, at any thread count ---------------------------------------------
+
+class NetDeterminismTest : public NetServerTest {
+ protected:
+  /// Serves the canonical pipelined burst and returns the connection's
+  /// full reply byte stream.
+  std::string reply_stream() {
+    Client client(path());
+    EXPECT_TRUE(client.connected());
+    std::string burst;
+    for (int i = 0; i < 6; ++i)
+      burst += net::encode_frame(
+          request_payload("det-" + std::to_string(i), 0.05 + 0.04 * i));
+    burst += net::encode_frame("{broken json");       // inline error reply
+    burst += net::encode_frame(request_payload("det-final", 0.42));
+    EXPECT_TRUE(client.send_raw(burst));
+    client.half_close();
+    std::string stream;
+    std::string payload;
+    while (client.recv_frame(payload))
+      stream += net::encode_frame(payload);  // re-framed == raw bytes read
+    return stream;
+  }
+};
+
+TEST_F(NetDeterminismTest, ReplyBytesIdenticalAtOneAndEightThreads) {
+  const std::size_t restore = parallel::thread_count();
+
+  parallel::set_thread_count(1);
+  start();
+  const std::string serial = reply_stream();
+  stop();
+
+  parallel::set_thread_count(8);
+  start();
+  const std::string threaded = reply_stream();
+  stop();
+
+  parallel::set_thread_count(restore);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+}  // namespace

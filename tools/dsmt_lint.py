@@ -58,6 +58,16 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   above its declaration. Worker threads reach all of these
                   subsystems; unprotected mutable state there is a data
                   race waiting for a scheduler seed.
+  R11 net-syscalls  src/net/ is the sole home of raw socket/fd syscalls
+                  (read/write/recv/send/accept/poll/socket/bind/...):
+                  everywhere else in src/ must go through the net::
+                  wrappers, so the EINTR/EAGAIN/SIGPIPE disciplines cannot
+                  be bypassed. Inside src/net/, every interruptible data
+                  syscall site must visibly handle EINTR (the token must
+                  appear within 8 lines of the call). Member calls
+                  (`decoder_.next(...)`, `ctx.poll()`) and nullary accessor
+                  declarations (`StatusCode poll() const`) do not fire.
+                  tests/, tools/, and examples/ are exempt, like all rules.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -142,7 +152,7 @@ SERVICE_UNBOUNDED_RE = re.compile(r"std::(?:deque|queue|list)\s*<")
 # the capability-annotated lock vocabulary (R9) and to protect its mutable
 # state visibly (R10). core/thread_annotations.h is the single sanctioned
 # home of the raw std types — it is what wraps them.
-CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/")
+CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/", "net/")
 CONCURRENCY_FENCE_FILES = {
     "core/signoff.cpp",
     "core/run_context.h", "core/run_context.cpp",
@@ -182,6 +192,43 @@ R10_GLOBAL_RE = re.compile(
 R10_MARKER_RE = re.compile(
     r"std::atomic|DSMT_GUARDED_BY|DSMT_PT_GUARDED_BY|\bconst\b|"
     r"\bconstexpr\b|\bthread_local\b|\bMutex\b|\bCondVar\b|R10-ok:")
+
+# The one directory allowed to make raw socket/fd syscalls (R11); its
+# wrappers (net/socket_io.h) enforce the EINTR/EAGAIN/SIGPIPE disciplines.
+NET_PREFIX = "net/"
+# Files with a sanctioned, self-contained fd discipline of their own that
+# R11's outside-net ban does not apply to: the durable-write helper retries
+# EINTR at every write and must not route file I/O through socket wrappers.
+R11_EXEMPT_FILES = ("core/atomic_file.cpp",)
+
+
+def _syscall_re(names: str) -> re.Pattern:
+    """Raw syscall call sites: either explicitly global-qualified
+    (`::read(...)`) or unqualified with at least one argument — the
+    argument requirement keeps nullary accessor declarations
+    (`StatusCode poll() const`) quiet, and the lookbehind keeps member
+    calls (`decoder_.next(`), suffixed names (`read_some(`), and
+    std-qualified names (`std::bind(`) quiet."""
+    return re.compile(
+        r"(?<![\w:])::(?:" + names + r")\s*\(|"
+        r"(?<![\w.:>])(?:" + names + r")\s*\(\s*[^)\s]")
+
+
+# Interruptible data-path syscalls: these can fail EINTR mid-stream, so
+# every call site in src/net/ must visibly handle it.
+SYSCALL_DATA_NAMES = (
+    r"pread|read|pwrite|write|recvfrom|recvmsg|recv|sendto|sendmsg|send|"
+    r"accept4|accept|ppoll|poll|connect|close")
+# Setup-path syscalls: banned outside src/net/ with the rest, but no EINTR
+# discipline demanded at the site (bind/listen/socket do not EINTR).
+SYSCALL_SETUP_NAMES = (
+    r"socket|bind|listen|setsockopt|getsockname|shutdown|pipe2|pipe")
+
+SYSCALL_ANY_RE = _syscall_re(SYSCALL_DATA_NAMES + r"|" + SYSCALL_SETUP_NAMES)
+SYSCALL_DATA_RE = _syscall_re(SYSCALL_DATA_NAMES)
+# EINTR handling must be visible within this many lines of the call site.
+EINTR_SPAN = 8
+EINTR_RE = re.compile(r"\bEINTR\b")
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
 # plausible unit expression: [1], [K], [s], [A/m^2], [W/(m*K)], [K*m/W], ...
@@ -354,6 +401,34 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                               f"is neither std::atomic nor DSMT_GUARDED_BY — "
                               f"annotate it, make it atomic, or justify with "
                               f"an 'R10-ok:' comment above the declaration")
+
+    # R11: raw socket/fd syscalls live in src/net/ only; inside src/net/,
+    # every interruptible data syscall visibly handles EINTR nearby.
+    if not rel.startswith(NET_PREFIX):
+        if rel not in R11_EXEMPT_FILES:
+            for i, raw in enumerate(lines):
+                line = strip_comments(raw)
+                m = SYSCALL_ANY_RE.search(line)
+                if m:
+                    errors.append(f"{rel}:{i + 1}: [net-syscalls] raw fd "
+                                  f"syscall ('{m.group(0).strip()}') outside "
+                                  f"src/net/ — go through the net::socket_io "
+                                  f"wrappers so the EINTR/EAGAIN/SIGPIPE "
+                                  f"disciplines hold")
+    else:
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = SYSCALL_DATA_RE.search(line)
+            if not m:
+                continue
+            lo = max(0, i - EINTR_SPAN)
+            hi = min(len(lines), i + EINTR_SPAN + 1)
+            if not any(EINTR_RE.search(lines[j]) for j in range(lo, hi)):
+                errors.append(f"{rel}:{i + 1}: [net-syscalls] interruptible "
+                              f"syscall ('{m.group(0).strip()}') with no "
+                              f"visible EINTR handling within {EINTR_SPAN} "
+                              f"lines — retry the call (or document why the "
+                              f"interrupt cannot occur) at the site")
 
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
@@ -540,6 +615,59 @@ class Tally {
 }  // namespace dsmt::service
 """
 
+SELF_TEST_BAD_SYSCALL = """\
+// Raw fd syscalls in three shapes R11 must catch when the file is outside
+// src/net/ — and flag for missing interrupt-retry handling when inside.
+#pragma once
+
+namespace dsmt::demo {
+
+inline long pull(int fd, char* buf, unsigned long n) {
+  return ::read(fd, buf, n);
+}
+
+inline long push(int fd, const char* buf, unsigned long n) {
+  return send(fd, buf, n, 0);
+}
+
+inline int wait_ready(void* fds, int n, int timeout_ms) {
+  return poll(fds, n, timeout_ms);
+}
+
+}  // namespace dsmt::demo
+"""
+
+SELF_TEST_GOOD_NET = """\
+// The sanctioned src/net/ shapes: every interruptible syscall handles
+// EINTR visibly, and look-alikes (member calls, nullary accessor
+// declarations, suffixed wrapper names) must not fire at all.
+#pragma once
+
+namespace dsmt::net {
+
+inline long pull(int fd, char* buf, unsigned long n) {
+  for (;;) {
+    const long got = ::recv(fd, buf, n, 0);
+    if (got >= 0) return got;
+    if (errno == EINTR) continue;  // interrupted before any byte: retry
+    return -1;
+  }
+}
+
+class Probe {
+ public:
+  int poll() const;           // nullary accessor declaration, not poll(2)
+  long drain(Decoder& d) {
+    return d.read(16);        // member call, not read(2)
+  }
+  long fill(int fd, char* buf, unsigned long n) {
+    return read_some(fd, buf, n);  // suffixed wrapper name, not read(2)
+  }
+};
+
+}  // namespace dsmt::net
+"""
+
 SELF_TEST_WRAPPER_HOME = """\
 // Minimal slice of core/thread_annotations.h: the one sanctioned home of
 // the raw std lock types, which it wraps in annotated capabilities.
@@ -587,6 +715,11 @@ def self_test() -> int:
         good_conc.write_text(SELF_TEST_GOOD_CONCURRENCY)
         wrapper = root / "src" / "core" / "thread_annotations.h"
         wrapper.write_text(SELF_TEST_WRAPPER_HOME)
+        (root / "src" / "net").mkdir(parents=True)
+        bad_sys = root / "src" / "demo" / "bad_io.h"
+        bad_sys.write_text(SELF_TEST_BAD_SYSCALL)
+        good_net = root / "src" / "net" / "good_io.h"
+        good_net.write_text(SELF_TEST_GOOD_NET)
 
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
@@ -678,7 +811,41 @@ def self_test() -> int:
                 print("  " + e)
             return 1
 
-    print("dsmt_lint: self-test passed (rules R1-R10)")
+        # R11 fires on every raw syscall shape outside src/net/ ...
+        errors = []
+        lint_file(bad_sys, "demo/bad_io.h", errors)
+        sys_errs = [e for e in errors if "[net-syscalls]" in e]
+        if len(sys_errs) != 3:  # ::read, send, poll
+            print(f"self-test FAILED: bad_io.h outside net/ raised "
+                  f"{len(sys_errs)} net-syscalls violations, expected 3:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... demands visible EINTR handling at the same sites inside
+        # src/net/ ...
+        errors = []
+        lint_file(bad_sys, "net/bad_io.h", errors)
+        sys_errs = [e for e in errors if "[net-syscalls]" in e]
+        if len(sys_errs) != 3 or any("EINTR" not in e for e in sys_errs):
+            print(f"self-test FAILED: bad_io.h inside net/ raised "
+                  f"{len(sys_errs)} EINTR-discipline violations, expected 3:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... and stays quiet on the sanctioned net/ shapes: EINTR-handled
+        # syscalls, member calls, nullary accessor declarations, suffixed
+        # wrapper names.
+        errors = []
+        lint_file(good_net, "net/good_io.h", errors)
+        if errors:
+            print("self-test FAILED: good_io.h should be clean:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+    print("dsmt_lint: self-test passed (rules R1-R11)")
     return 0
 
 
