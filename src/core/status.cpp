@@ -31,6 +31,32 @@ const char* status_name(StatusCode code) {
   return "unknown";
 }
 
+void DiagChain::push_back(DiagEvent ev) {
+  if (size_ < kInline) {
+    inline_[size_] = std::move(ev);
+  } else {
+    if (size_ == kInline) {
+      // First spill: migrate the inline events so the sequence stays
+      // contiguous in one place.
+      spill_.reserve(kInline + 2);
+      for (auto& e : inline_) spill_.push_back(std::move(e));
+    }
+    spill_.push_back(std::move(ev));
+  }
+  ++size_;
+}
+
+void DiagChain::prepend(DiagEvent ev) {
+  push_back(DiagEvent{});  // grow one slot (may migrate), then shift right
+  DiagEvent* d = data();
+  for (std::size_t i = size_ - 1; i > 0; --i) d[i] = std::move(d[i - 1]);
+  d[0] = std::move(ev);
+}
+
+void DiagChain::append(const DiagChain& tail) {
+  for (const DiagEvent& ev : tail) push_back(ev);
+}
+
 void SolverDiag::record(std::string kernel_name, StatusCode event_status,
                         int iterations_used, double residual_value,
                         std::string note) {
@@ -55,7 +81,7 @@ void SolverDiag::add_context(std::string context) {
   ev.kernel = std::move(context);
   ev.status = status;
   ev.note = "context";
-  chain.insert(chain.begin(), std::move(ev));
+  chain.prepend(std::move(ev));
 }
 
 void SolverDiag::absorb(const SolverDiag& inner, std::string context) {
@@ -66,7 +92,7 @@ void SolverDiag::absorb(const SolverDiag& inner, std::string context) {
   frame.residual = inner.residual;
   frame.note = "inner solve";
   chain.push_back(std::move(frame));
-  chain.insert(chain.end(), inner.chain.begin(), inner.chain.end());
+  chain.append(inner.chain);
   status = inner.status;
   iterations += inner.iterations;
   residual = inner.residual;

@@ -9,6 +9,8 @@
 // unconverged number must never escape silently.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -50,16 +52,84 @@ struct DiagEvent {
   std::string note;       ///< context ("retry on expanded bracket", ...)
 };
 
+/// Sequence of DiagEvent with inline storage for the first event. A clean
+/// solve records exactly one, so the common case touches no heap; recovery
+/// chains (retries, fallbacks, context frames) spill into a vector. Exposes
+/// the subset of std::vector the diag consumers use (iteration, size,
+/// indexing, front/back) plus push_back/prepend/append for the recorders.
+class DiagChain {
+ public:
+  using value_type = DiagEvent;
+  using iterator = DiagEvent*;
+  using const_iterator = const DiagEvent*;
+
+  DiagChain() = default;
+  DiagChain(const DiagChain&) = default;
+  DiagChain& operator=(const DiagChain&) = default;
+  // Moves must zero the source size: the source's spill vector is emptied
+  // by the member move, and a stale size would point its begin()/end()
+  // past the inline buffer.
+  DiagChain(DiagChain&& other) noexcept
+      : inline_(std::move(other.inline_)),
+        spill_(std::move(other.spill_)),
+        size_(other.size_) {
+    other.size_ = 0;
+  }
+  DiagChain& operator=(DiagChain&& other) noexcept {
+    if (this != &other) {
+      inline_ = std::move(other.inline_);
+      spill_ = std::move(other.spill_);
+      size_ = other.size_;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  iterator begin() { return data(); }
+  iterator end() { return data() + size_; }
+  const_iterator begin() const { return data(); }
+  const_iterator end() const { return data() + size_; }
+  DiagEvent& operator[](std::size_t i) { return data()[i]; }
+  const DiagEvent& operator[](std::size_t i) const { return data()[i]; }
+  DiagEvent& front() { return data()[0]; }
+  const DiagEvent& front() const { return data()[0]; }
+  DiagEvent& back() { return data()[size_ - 1]; }
+  const DiagEvent& back() const { return data()[size_ - 1]; }
+
+  void push_back(DiagEvent ev);
+  /// Inserts at the front (context frames are outermost-first).
+  void prepend(DiagEvent ev);
+  /// Appends a copy of every event in `tail`, oldest first.
+  void append(const DiagChain& tail);
+
+ private:
+  static constexpr std::size_t kInline = 1;
+  // Invariant: events live in inline_[0..size_) while size_ <= kInline;
+  // once size_ exceeds kInline, all of them live in spill_.
+  DiagEvent* data() {
+    return size_ > kInline ? spill_.data() : inline_.data();
+  }
+  const DiagEvent* data() const {
+    return size_ > kInline ? spill_.data() : inline_.data();
+  }
+
+  std::array<DiagEvent, kInline> inline_{};
+  std::vector<DiagEvent> spill_;
+  std::uint32_t size_ = 0;
+};
+
 /// Diagnostic chain for one logical solve. The summary fields mirror the
 /// most recent event; `chain` keeps every attempt in order, so a recovered
 /// solve shows the failed first attempt followed by the stage that saved it.
 struct SolverDiag {
-  std::string kernel;  ///< outermost kernel ("selfconsistent/solve", ...)
+  std::string kernel;  ///< outermost kernel ("eq13/solve", ...)
   StatusCode status = StatusCode::kOk;
   int iterations = 0;      ///< total across all attempts
   double residual = 0.0;   ///< final residual in the last kernel's norm [1]
   bool recovered = false;  ///< a fallback stage was needed and succeeded
-  std::vector<DiagEvent> chain;  ///< attempts and recoveries, oldest first
+  DiagChain chain;         ///< attempts and recoveries, oldest first
 
   bool ok() const { return status == StatusCode::kOk; }
 

@@ -7,6 +7,7 @@
 #include "core/run_context.h"
 #include "numeric/constants.h"
 #include "numeric/roots.h"
+#include "selfconsistent/eq13.h"
 
 namespace dsmt::selfconsistent {
 
@@ -32,35 +33,23 @@ void validate(const Problem& p) {
         "Problem: heating coefficient <= 0 or non-finite");
 }
 
-/// j_rms^2 admissible thermally at metal temperature t_m [K].
-double jrms2_thermal(const Problem& p, double t_m) {
-  return (t_m - p.t_ref) /
-         (p.metal.resistivity(t_m) * p.heating_coefficient.value());
-}
-
-/// j_avg_max^2 admissible by EM at metal temperature t_m [K].
-double javg2_em(const Problem& p, double t_m) {
-  const auto& em = p.metal.em;
-  const double expo = 2.0 * em.activation_energy_ev /
-                      (em.current_exponent * kBoltzmannEv) *
-                      (1.0 / t_m - 1.0 / p.t_ref);
-  return p.j0 * p.j0 * std::exp(expo);
-}
+// The residual arithmetic itself lives in eq13.h, shared verbatim with the
+// batched solver so the two paths cannot drift by an ulp.
 }  // namespace
 
 units::CurrentDensity jrms_thermal_at(const Problem& p, units::Kelvin t_m) {
-  const double jrms2 = jrms2_thermal(p, t_m);
+  const double jrms2 = eq13::jrms2_thermal(eq13::make_terms(p), t_m);
   return A_per_m2(jrms2 > 0.0 ? std::sqrt(jrms2) : 0.0);
 }
 
 units::CurrentDensity javg_em_at(const Problem& p, units::Kelvin t_m) {
-  return A_per_m2(std::sqrt(javg2_em(p, t_m)));
+  return A_per_m2(std::sqrt(eq13::javg2_em(eq13::make_terms(p), t_m)));
 }
 
 double residual(const Problem& p, units::Kelvin t_m) {
   // r * j_rms^2(thermal) - j_avg^2(EM): negative below the root (thermal
   // side admits less than EM needs), positive above.
-  return p.duty_cycle * jrms2_thermal(p, t_m) - javg2_em(p, t_m);
+  return eq13::residual(eq13::make_terms(p), t_m);
 }
 
 units::CurrentDensity jpeak_em_only(const Problem& p) {
@@ -71,31 +60,31 @@ units::CurrentDensity jpeak_em_only(const Problem& p) {
 Solution solve(const Problem& p) {
   validate(p);
   Solution sol;
+  const eq13::Terms q = eq13::make_terms(p);
 
   // Bracket: just above T_ref the residual is negative (no thermal headroom,
   // finite EM demand); it grows without bound as T_m rises (thermal j_rms^2
   // grows, EM side decays). The root is unique.
   const double lo = p.t_ref * (1.0 + 1e-12);
   double hi = p.t_ref + 1.0;
-  while (residual(p, units::Kelvin{hi}) < 0.0 && hi < p.t_ref + 5000.0) {
-    core::throw_if_run_interrupted("selfconsistent/solve");
+  while (eq13::residual(q, hi) < 0.0 && hi < p.t_ref + 5000.0) {
+    core::throw_if_run_interrupted("eq13/solve");
     hi = p.t_ref + 2.0 * (hi - p.t_ref);
   }
-  if (residual(p, units::Kelvin{hi}) < 0.0) {
+  if (eq13::residual(q, hi) < 0.0) {
     core::SolverDiag diag;
-    diag.record("selfconsistent/solve", core::StatusCode::kNoBracket, 0,
-                residual(p, units::Kelvin{hi}),
-                "no sign change up to t_ref + 5000 K");
+    diag.record("eq13/solve", core::StatusCode::kNoBracket, 0,
+                eq13::residual(q, hi), "no sign change up to t_ref + 5000 K");
     throw SolveError("selfconsistent::solve: failed to bracket root", diag);
   }
 
-  sol.diag.kernel = "selfconsistent/solve";
+  sol.diag.kernel = "eq13/solve";
   const auto root = numeric::brent_robust(
-      [&](double t) { return residual(p, units::Kelvin{t}); }, lo, hi,
+      [&](double t) { return eq13::residual(q, t); }, lo, hi,
       {.x_tol = 1e-9, .f_tol = 0.0, .max_iterations = 200}, sol.diag);
   if (!root.ok()) {
     core::SolverDiag diag = sol.diag;
-    diag.add_context("selfconsistent/solve");
+    diag.add_context("eq13/solve");
     if (core::is_interruption(root.status))
       throw SolveError(std::string("selfconsistent::solve: run interrupted (") +
                            core::status_name(root.status) + ")",
@@ -107,7 +96,7 @@ Solution solve(const Problem& p) {
   sol.converged = root.ok();
   sol.iterations = root.iterations;
 
-  const double jrms2 = jrms2_thermal(p, sol.t_metal);
+  const double jrms2 = eq13::jrms2_thermal(q, sol.t_metal);
   sol.j_rms = A_per_m2(jrms2 > 0.0 ? std::sqrt(jrms2) : 0.0);
   sol.j_peak = sol.j_rms / std::sqrt(p.duty_cycle);
   sol.j_avg = p.duty_cycle * sol.j_peak;

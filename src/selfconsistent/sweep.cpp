@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
+#include <utility>
 
 #include "core/checkpoint.h"
 #include "parallel/parallel_for.h"
+#include "selfconsistent/batch.h"
 #include "thermal/impedance.h"
 
 namespace dsmt::selfconsistent {
@@ -53,8 +55,8 @@ Solution decode_solution(const double* v) {
   s.j_avg = A_per_m2(v[4]);
   s.converged = v[5] != 0.0;
   s.iterations = static_cast<int>(v[6]);
-  s.diag.kernel = "selfconsistent/solve";
-  s.diag.record("selfconsistent/solve", core::StatusCode::kOk, s.iterations,
+  s.diag.kernel = "eq13/solve";
+  s.diag.record("eq13/solve", core::StatusCode::kOk, s.iterations,
                 0.0, "restored from checkpoint");
   return s;
 }
@@ -110,24 +112,70 @@ std::vector<DutyCyclePoint> sweep_duty_cycle(
   // point, divided by sqrt(r).
   Problem dc = base;
   dc.duty_cycle = 1.0;
-  const double jrms_dc = solve(dc).j_rms;
+  const double jrms_dc = solve_one(dc).j_rms;
 
-  // Each duty cycle is an independent self-consistent solve; the reference
-  // jrms_dc above is fixed first so every point sees the same value.
-  auto points = parallel::parallel_map<DutyCyclePoint>(
-      duty_cycles.size(), [&](std::size_t k) {
-        if (cp != nullptr && cp->has(k)) return decode_point(cp->values(k).data());
-        const double r = duty_cycles[k];
-        Problem p = base;
-        p.duty_cycle = r;
-        DutyCyclePoint pt;
-        pt.duty_cycle = r;
-        pt.sc = solve(p);
-        pt.jpeak_em_only = jpeak_em_only(p);
-        pt.jpeak_thermal_only = A_per_m2(jrms_dc / std::sqrt(r));
-        if (cp != nullptr) cp->store(k, encode_point(pt));
-        return pt;
-      });
+  // Restore checkpointed points up front, then solve the remainder as ONE
+  // batch: each duty cycle is still an independent self-consistent solve
+  // (one lane), and the batch decomposes over parallel_for in static index
+  // blocks, so the bits match the old per-point parallel_map at every
+  // thread count.
+  const std::size_t n = duty_cycles.size();
+  std::vector<DutyCyclePoint> points(n);
+  std::vector<std::size_t> todo;
+  todo.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (cp != nullptr && cp->has(k)) {
+      points[k] = decode_point(cp->values(k).data());
+    } else {
+      todo.push_back(k);
+    }
+  }
+
+  if (!todo.empty()) {
+    BatchProblem bp;
+    bp.reserve(todo.size());
+    for (const std::size_t k : todo) {
+      // push_back only reads the POD physics fields, so push the base and
+      // patch the lane's duty in place of copying a whole Problem (the
+      // metal name alone would cost an allocation per lane).
+      bp.push_back(base);
+      bp.duty_cycle.back() = duty_cycles[k];
+    }
+    const auto make_point = [&](std::size_t lane, Solution sol) {
+      const std::size_t k = todo[lane];
+      const double r = duty_cycles[k];
+      Problem p = base;
+      p.duty_cycle = r;
+      DutyCyclePoint pt;
+      pt.duty_cycle = r;
+      pt.sc = std::move(sol);
+      pt.jpeak_em_only = jpeak_em_only(p);
+      pt.jpeak_thermal_only = A_per_m2(jrms_dc / std::sqrt(r));
+      return pt;
+    };
+    // A per-lane callback (running on the solving worker the moment a lane
+    // converges) exists to preserve the old per-point checkpoint store
+    // granularity; without a checkpoint the lanes are drained after the
+    // batch instead, moving each diag chain out rather than copying it.
+    LaneCallback on_done;
+    if (cp != nullptr) {
+      on_done = [&](std::size_t lane, const BatchSolution& partial) {
+        const std::size_t k = todo[lane];
+        DutyCyclePoint pt = make_point(lane, partial.lane_solution(lane));
+        cp->store(k, encode_point(pt));
+        points[k] = std::move(pt);
+      };
+    }
+    BatchSolution bs = solve_batch(bp, on_done);
+    // Same failure contract as parallel_map's FirstError: the lowest-index
+    // failed lane's exception, with completed slots already stored (and, as
+    // before, no flush on the exception path).
+    bs.throw_first_failure();
+    if (cp == nullptr) {
+      for (std::size_t lane = 0; lane < todo.size(); ++lane)
+        points[todo[lane]] = make_point(lane, bs.take_lane_solution(lane));
+    }
+  }
   if (cp != nullptr) cp->flush();
   return points;
 }
@@ -222,31 +270,125 @@ std::vector<TableCell> generate_design_rule_table(const TableSpec& spec) {
         *claim.spec(), "design_rule_table", h, n_r * n_gf * n_lv);
   }
 
-  auto cells = parallel::parallel_map<TableCell>(
-      n_r * n_gf * n_lv, [&](std::size_t idx) {
-        const double r = spec.duty_cycles[idx / (n_gf * n_lv)];
-        const auto& gf = spec.gap_fills[(idx / n_lv) % n_gf];
-        const int level = spec.levels[idx % n_lv];
-        TableCell cell;
-        cell.level = level;
-        cell.dielectric = gf.name;
-        cell.duty_cycle = r;
-        // The (level, dielectric, duty) key is derived from the flattened
-        // index, so the slot payload only needs the Solution fields.
-        if (cp != nullptr && cp->has(idx)) {
-          cell.sol = decode_solution(cp->values(idx).data());
-          return cell;
+  // Key the cells and restore checkpointed slots up front. The (level,
+  // dielectric, duty) key is derived from the flattened index, so the slot
+  // payload only needs the Solution fields.
+  const std::size_t n_cells = n_r * n_gf * n_lv;
+  std::vector<TableCell> cells(n_cells);
+  std::vector<std::size_t> todo;
+  todo.reserve(n_cells);
+  // Direct traversal of the (duty, gap fill, level) nesting — the same
+  // flattened order idx = (r_idx * n_gf + gf_idx) * n_lv + lv_idx, without
+  // the three per-cell divisions of decoding idx back into indices.
+  {
+    std::size_t idx = 0;
+    for (std::size_t r_idx = 0; r_idx < n_r; ++r_idx)
+      for (std::size_t gf_idx = 0; gf_idx < n_gf; ++gf_idx)
+        for (std::size_t lv_idx = 0; lv_idx < n_lv; ++lv_idx, ++idx) {
+          TableCell& cell = cells[idx];
+          cell.level = spec.levels[lv_idx];
+          cell.dielectric = spec.gap_fills[gf_idx].name;
+          cell.duty_cycle = spec.duty_cycles[r_idx];
+          if (cp != nullptr && cp->has(idx)) {
+            cell.sol = decode_solution(cp->values(idx).data());
+          } else {
+            todo.push_back(idx);
+          }
         }
-        cell.sol = solve(make_level_problem(spec.technology, level, gf,
-                                            spec.phi, r, spec.j0));
-        if (cp != nullptr) {
-          std::vector<double> enc;
-          enc.reserve(kSolutionDoubles);
-          encode_solution(cell.sol, enc);
-          cp->store(idx, std::move(enc));
+  }
+
+  if (!todo.empty()) {
+    // One batch over the remaining cells. The duty cycle only sets
+    // Problem::duty_cycle (the heating coefficient is geometry-only), so
+    // each (gap-fill, level) pair builds its layer stack exactly once and
+    // the n_r duty variants reuse the prototype — bit-identical lanes,
+    // n_r x fewer stack constructions. Prototypes are built lazily in todo
+    // order so a bad level still throws from the same lowest cell a
+    // parallel_map would have reported, and a fully restored run builds
+    // nothing at all.
+    const auto slot_of = [n_lv, n_gf](std::size_t idx) {
+      return ((idx / n_lv) % n_gf) * n_lv + idx % n_lv;
+    };
+    std::vector<Problem> protos(n_gf * n_lv);
+    std::vector<char> built(n_gf * n_lv, 0);
+    for (const std::size_t idx : todo) {
+      const std::size_t slot = slot_of(idx);
+      if (!built[slot]) {
+        protos[slot] = make_level_problem(
+            spec.technology, spec.levels[idx % n_lv],
+            spec.gap_fills[(idx / n_lv) % n_gf], spec.phi,
+            spec.duty_cycles[idx / (n_gf * n_lv)], spec.j0);
+        built[slot] = 1;
+      }
+    }
+    // Lane order groups each prototype's duty variants contiguously (duty
+    // innermost), which is what the batch solver's duty-run memo shares
+    // rho(T)/exp evaluations across. The public cell order is untouched:
+    // order[] maps lane -> flattened cell index. Built by direct traversal
+    // of the (gap fill, level, duty) grid — no sort, no divisions.
+    // pending[] only matters when a checkpoint restored part of the table;
+    // the common full-solve case skips the bitmap and its per-cell test.
+    const bool all_pending = todo.size() == n_cells;
+    std::vector<char> pending;
+    if (!all_pending) {
+      pending.assign(n_cells, 0);
+      for (const std::size_t idx : todo) pending[idx] = 1;
+    }
+    std::vector<std::size_t> order;
+    order.reserve(todo.size());
+    BatchProblem bp;
+    bp.reserve(todo.size());
+    for (std::size_t gf_idx = 0; gf_idx < n_gf; ++gf_idx)
+      for (std::size_t lv_idx = 0; lv_idx < n_lv; ++lv_idx) {
+        const std::size_t slot = gf_idx * n_lv + lv_idx;
+        for (std::size_t r_idx = 0; r_idx < n_r; ++r_idx) {
+          const std::size_t idx = (r_idx * n_gf + gf_idx) * n_lv + lv_idx;
+          if (!all_pending && !pending[idx]) continue;
+          order.push_back(idx);
+          // push_back only reads the POD physics fields, so patch the
+          // lane's duty in place of copying the whole prototype per cell.
+          bp.push_back(protos[slot]);
+          bp.duty_cycle.back() = spec.duty_cycles[r_idx];
         }
-        return cell;
-      });
+      }
+    // Per-lane callback only when a checkpoint wants the old per-cell store
+    // granularity; otherwise drain the lanes post-batch, moving each diag
+    // chain out instead of copying it.
+    LaneCallback on_done;
+    if (cp != nullptr) {
+      on_done = [&](std::size_t lane, const BatchSolution& partial) {
+        const std::size_t idx = order[lane];
+        cells[idx].sol = partial.lane_solution(lane);
+        std::vector<double> enc;
+        enc.reserve(kSolutionDoubles);
+        encode_solution(cells[idx].sol, enc);
+        cp->store(idx, std::move(enc));
+      };
+    }
+    BatchSolution bs = solve_batch(bp, on_done);
+    // Same failure contract as parallel_map's FirstError: the lowest-index
+    // failed CELL throws — which, with the lane permutation, is no longer
+    // the lowest failed lane.
+    std::size_t bad_lane = BatchSolution::npos;
+    std::size_t bad_cell = n_cells;
+    for (std::size_t lane = 0; lane < order.size(); ++lane) {
+      if (!bs.ok(lane) && order[lane] < bad_cell) {
+        bad_lane = lane;
+        bad_cell = order[lane];
+      }
+    }
+    if (bad_lane != BatchSolution::npos) bs.throw_lane(bad_lane);
+    if (cp == nullptr) {
+      // Drain in CELL order: the big writes (a Solution per TableCell) land
+      // sequentially; only the much smaller per-lane reads are scattered by
+      // the permutation. lane_for inverts order[].
+      std::vector<std::size_t> lane_for(n_cells, 0);
+      for (std::size_t lane = 0; lane < order.size(); ++lane)
+        lane_for[order[lane]] = lane;
+      for (const std::size_t cell_idx : todo)
+        bs.drain_lane_into(lane_for[cell_idx], cells[cell_idx].sol);
+    }
+  }
   if (cp != nullptr) cp->flush();
   return cells;
 }

@@ -11,6 +11,7 @@
 #include "core/run_context.h"
 #include "core/signoff.h"
 #include "parallel/parallel_for.h"
+#include "selfconsistent/batch.h"
 
 namespace dsmt::service {
 
@@ -18,7 +19,7 @@ namespace {
 
 /// The kernel the breaker guards — the only iterative solve on the request
 /// path; both degradation rungs below it are closed-form.
-constexpr const char* kSolveKernel = "selfconsistent/solve";
+constexpr const char* kSolveKernel = "eq13/solve";
 
 void fill_solution_fields(Response& resp, double t_metal_k, double delta_t_k,
                           double j_peak, double j_rms, double j_avg) {
@@ -187,7 +188,7 @@ Response Server::execute(const Request& request, std::size_t index) {
     for (int attempt = 1; attempt <= max_attempts; ++attempt) {
       ++resp.attempts;
       try {
-        solution = selfconsistent::solve(ladder.full);
+        solution = selfconsistent::solve_one(ladder.full);
         resp.diag.absorb(solution.diag,
                          "service/attempt " + std::to_string(attempt));
         solved = true;
@@ -323,7 +324,7 @@ bool Server::warm(const Request& request) {
   try {
     const LadderProblem ladder = build_problem(request);
     const selfconsistent::Solution solution =
-        selfconsistent::solve(ladder.full);
+        selfconsistent::solve_one(ladder.full);
     cache_.insert(ladder.family, request.duty_cycle, solution);
     return true;
   } catch (const std::exception&) {

@@ -17,7 +17,7 @@
 //               retried up to RetryPolicy::max_attempts with exponential
 //               backoff and seeded jitter — a pure function of (policy,
 //               request key, attempt), bitwise reproducible everywhere.
-//   breaker     One CircuitBreaker guards the "selfconsistent/solve"
+//   breaker     One CircuitBreaker guards the "eq13/solve"
 //               kernel. When it is open, requests skip the solve entirely
 //               and step down the degradation ladder.
 //   degradation Full quasi-2D solve -> conservative cache interpolation ->

@@ -14,6 +14,7 @@
 
 #include "core/variation.h"
 #include "numeric/constants.h"
+#include "selfconsistent/batch.h"
 #include "selfconsistent/sweep.h"
 #include "tech/ntrs.h"
 #include "thermal/impedance.h"
@@ -147,6 +148,66 @@ inline Rows variation_rows() {
   return rows;
 }
 
+/// Batched design-rule table, pinned against the solve_batch public API
+/// directly (the Tables 2-4 rows above cover the batched sweep drivers):
+/// a (duty x dielectric x level) grid for the 100 nm Cu node assembled as
+/// one BatchProblem and solved in a single call. Failed lanes would show up
+/// as missing rows, retired-lane leakage as value drift.
+inline Rows batch_table_rows() {
+  const auto technology = tech::make_ntrs_100nm_cu();
+  const auto gap_fills = materials::paper_dielectrics();
+  const std::vector<int> levels = {5, 6, 7, 8};
+  const std::vector<double> duties = {0.01, 0.1, 0.5, 1.0};
+
+  selfconsistent::BatchProblem bp;
+  std::vector<std::string> keys;
+  for (const double r : duties) {
+    for (const auto& gf : gap_fills) {
+      for (const int level : levels) {
+        bp.push_back(selfconsistent::make_level_problem(
+            technology, level, gf, 2.45, r, MA_per_cm2(0.6)));
+        keys.push_back("batch_table/r=" + std::to_string(r) + "/" + gf.name +
+                       "/M" + std::to_string(level));
+      }
+    }
+  }
+  const selfconsistent::BatchSolution bs = selfconsistent::solve_batch(bp);
+  bs.throw_first_failure();
+  Rows rows;
+  for (std::size_t i = 0; i < bs.size(); ++i) {
+    rows.emplace_back(keys[i] + "/tm_C",
+                      kelvin_to_celsius(units::Kelvin{bs.t_metal[i]}));
+    rows.emplace_back(keys[i] + "/jpeak_MA_cm2",
+                      to_MA_per_cm2(A_per_m2(bs.j_peak[i])));
+    rows.emplace_back(keys[i] + "/iterations",
+                      static_cast<double>(bs.iterations[i]));
+  }
+  return rows;
+}
+
+/// Batched Monte-Carlo variation summary on a second configuration (250 nm
+/// Cu node, polyimide gap fill, power duty): the sampling now routes through
+/// solve_batch, so this pins the batched MC end to end — per-sample seeding,
+/// lane ordering, and the ordered reduction.
+inline Rows batch_variation_rows() {
+  core::VariationSpec spec;
+  const auto technology = tech::make_ntrs_250nm_cu();
+  const auto res = core::monte_carlo_jpeak(technology,
+                                           technology.top_level(),
+                                           materials::make_polyimide(), 2.45,
+                                           1.0, MA_per_cm2(0.6), spec, 150);
+  Rows rows;
+  rows.emplace_back("batch_variation/nominal", res.nominal);
+  rows.emplace_back("batch_variation/mean", res.mean);
+  rows.emplace_back("batch_variation/stddev", res.stddev);
+  rows.emplace_back("batch_variation/p01", res.p01);
+  rows.emplace_back("batch_variation/p50", res.p50);
+  rows.emplace_back("batch_variation/p99", res.p99);
+  for (std::size_t s : {std::size_t{0}, std::size_t{74}, std::size_t{149}})
+    rows.emplace_back("batch_variation/sample" + fmt_idx(s), res.samples[s]);
+  return rows;
+}
+
 /// Every golden file: name (under tests/golden/) plus its row generator.
 struct GoldenCase {
   const char* file;
@@ -161,6 +222,8 @@ inline std::vector<GoldenCase> all_cases() {
       {"fig2_series.csv", &fig2_rows},
       {"fig3_family.csv", &fig3_rows},
       {"variation_summary.csv", &variation_rows},
+      {"batch_table.csv", &batch_table_rows},
+      {"batch_variation.csv", &batch_variation_rows},
   };
 }
 

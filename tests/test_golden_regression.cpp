@@ -14,12 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
 
 #include "golden_cases.h"
+#include "parallel/thread_pool.h"
 
 #ifndef DSMT_GOLDEN_DIR
 #error "DSMT_GOLDEN_DIR must point at tests/golden (set by tests/CMakeLists.txt)"
@@ -84,6 +86,43 @@ std::string case_name(const ::testing::TestParamInfo<GoldenCase>& info) {
 
 INSTANTIATE_TEST_SUITE_P(AllSnapshots, GoldenRegression,
                          ::testing::ValuesIn(all_cases()), case_name);
+
+/// Serializes rows exactly as dsmt_golden_gen writes them (%.17g), so a
+/// byte-equal comparison here is the same statement as "the regenerated
+/// snapshot file would be byte-identical".
+std::string serialize(const Rows& rows) {
+  std::string out = "key,value\n";
+  char line[256];
+  for (const auto& [key, value] : rows) {
+    std::snprintf(line, sizeof line, "%s,%.17g\n", key.c_str(), value);
+    out += line;
+  }
+  return out;
+}
+
+// The batched snapshots must be byte-identical at DSMT_THREADS=1 and 8: the
+// batch decomposes over parallel_for in static index blocks, so the thread
+// count may only change wall-clock, never a single serialized byte.
+class GoldenThreadInvariance : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenThreadInvariance, SerializedBytesIdenticalAcrossThreadCounts) {
+  const GoldenCase& c = GetParam();
+  parallel::set_thread_count(1);
+  const std::string serial = serialize(c.rows());
+  parallel::set_thread_count(8);
+  const std::string parallel8 = serialize(c.rows());
+  parallel::set_thread_count(0);
+  EXPECT_EQ(serial, parallel8)
+      << c.file << ": serialized snapshot differs between 1 and 8 threads";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSnapshots, GoldenThreadInvariance,
+    ::testing::ValuesIn(std::vector<GoldenCase>{
+        {"batch_table.csv", &batch_table_rows},
+        {"batch_variation.csv", &batch_variation_rows},
+    }),
+    case_name);
 
 }  // namespace
 }  // namespace dsmt::golden

@@ -9,6 +9,7 @@
 
 #include "numeric/constants.h"
 #include "parallel/parallel_for.h"
+#include "selfconsistent/batch.h"
 #include "selfconsistent/sweep.h"
 #include "tech/ntrs.h"
 #include "thermal/impedance.h"
@@ -216,6 +217,88 @@ TEST_F(ParallelSweepProperties, TableCellsIndependentOfGridShape) {
   ASSERT_NE(it, grid.end());
   EXPECT_EQ(it->sol.j_peak.value(), solo[0].sol.j_peak.value());
   EXPECT_EQ(it->sol.t_metal.value(), solo[0].sol.t_metal.value());
+}
+
+TEST_F(ParallelSweepProperties, SweepPointsMatchDirectBatchLanes) {
+  // The sweep driver routes through solve_batch; assembling the same lanes
+  // by hand through the public batch API must give bit-identical points —
+  // there is no sweep-only arithmetic between the lanes and the results.
+  const Problem base = fig_problem();
+  const auto duties = log_spaced(1e-4, 1.0, 17);
+  const auto points = sweep_duty_cycle(base, duties);
+
+  BatchProblem bp;
+  bp.reserve(duties.size());
+  for (const double r : duties) {
+    Problem p = base;
+    p.duty_cycle = r;
+    bp.push_back(p);
+  }
+  const BatchSolution bs = solve_batch(bp);
+  bs.throw_first_failure();
+  ASSERT_EQ(bs.size(), points.size());
+  for (std::size_t k = 0; k < points.size(); ++k) {
+    EXPECT_EQ(points[k].sc.t_metal.value(), bs.t_metal[k]) << "duty " << k;
+    EXPECT_EQ(points[k].sc.j_peak.value(), bs.j_peak[k]) << "duty " << k;
+    EXPECT_EQ(points[k].sc.j_rms.value(), bs.j_rms[k]) << "duty " << k;
+    EXPECT_EQ(points[k].sc.iterations, bs.iterations[k]) << "duty " << k;
+  }
+}
+
+TEST_F(ParallelSweepProperties, BatchJ0MonotoneAtEveryDuty) {
+  // j0-monotonicity through the raw batch path: one flat (j0 x duty) batch,
+  // strictly increasing j_peak in j0 at every duty cycle — the same
+  // physical property SweepJ0MonotoneInJ0 checks through the sweep driver.
+  const Problem base = fig_problem();
+  const std::vector<double> j0s = {MA_per_cm2(0.3), MA_per_cm2(0.6),
+                                   MA_per_cm2(1.2), MA_per_cm2(1.8),
+                                   MA_per_cm2(2.4)};
+  const auto duties = log_spaced(1e-4, 1.0, 13);
+  BatchProblem bp;
+  bp.reserve(j0s.size() * duties.size());
+  for (const double j0 : j0s) {
+    for (const double r : duties) {
+      Problem p = base;
+      p.j0 = A_per_m2(j0);
+      p.duty_cycle = r;
+      bp.push_back(p);
+    }
+  }
+  const BatchSolution bs = solve_batch(bp);
+  bs.throw_first_failure();
+  for (std::size_t k = 0; k < duties.size(); ++k)
+    for (std::size_t i = 1; i < j0s.size(); ++i)
+      EXPECT_GT(bs.j_peak[i * duties.size() + k],
+                bs.j_peak[(i - 1) * duties.size() + k])
+          << "duty " << duties[k] << ", j0 step " << i;
+}
+
+TEST_F(ParallelSweepProperties, BatchDutyPermutationInvariance) {
+  // Duty permutation invariance through the raw batch path: reversing the
+  // lane order reverses the outputs bit-for-bit, mirroring
+  // DutyCyclePermutationInvariance on the sweep driver.
+  const Problem base = fig_problem();
+  const auto duties = log_spaced(1e-4, 1.0, 17);
+  BatchProblem fwd, rev;
+  for (const double r : duties) {
+    Problem p = base;
+    p.duty_cycle = r;
+    fwd.push_back(p);
+  }
+  for (auto it = duties.rbegin(); it != duties.rend(); ++it) {
+    Problem p = base;
+    p.duty_cycle = *it;
+    rev.push_back(p);
+  }
+  const BatchSolution a = solve_batch(fwd);
+  const BatchSolution b = solve_batch(rev);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const std::size_t m = a.size() - 1 - k;
+    EXPECT_EQ(a.t_metal[k], b.t_metal[m]) << k;
+    EXPECT_EQ(a.j_peak[k], b.j_peak[m]) << k;
+    EXPECT_EQ(a.iterations[k], b.iterations[m]) << k;
+  }
 }
 
 }  // namespace
