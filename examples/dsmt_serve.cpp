@@ -14,28 +14,43 @@
 // deadline-out in-flight work, flush — and prints the sign-off report
 // (connection counters plus the service section) on stdout before exiting.
 //
+// Process isolation (--isolate, socket mode only): solves run in forked
+// worker children supervised by dsmt::supervise::WorkerPool instead of in
+// the serving process. A worker that segfaults, aborts, OOMs, or trips its
+// rlimit rails (--rlimit-as-mb / --rlimit-cpu-s) kills one request — the
+// front end answers it "worker-crashed", restarts the slot, and keeps
+// serving; a request that crashes two workers is quarantined. --crash-faults
+// arms the chaos harness IN THE CHILDREN ONLY (see numeric/fault_injection).
+//
 // Exit-code contract (also printed by --help):
 //   0  batch: every request got a terminal response (shed and degraded
 //      count as served; with --strict, additionally no terminal response
 //      carries a failure status);
 //      socket: the drain completed cleanly inside its tick budget (with
-//      --strict, a forced drain also exits 1)
+//      --strict, a forced drain also exits 1). --isolate does not change
+//      the contract: worker deaths surface as per-request "worker-crashed"
+//      responses, never as a nonzero front-end exit
 //   1  --strict violation: a terminal failure response (batch) or a forced
 //      drain (socket)
-//   2  usage, batch-parse, or socket-setup errors
+//   2  usage, batch-parse, or socket-setup errors (--isolate with --batch,
+//      unknown --crash-faults kind, or a failed initial worker fork)
 //
 // With fault injection disarmed, batch output is bit-identical for every
 // DSMT_THREADS value, and so is each connection's reply byte stream in
-// socket mode.
+// socket mode — with or without --isolate (worker replies are forwarded
+// byte-verbatim).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "net/server.h"
+#include "numeric/fault_injection.h"
 #include "service/server.h"
+#include "supervise/pool.h"
 
 namespace {
 
@@ -55,6 +70,8 @@ int usage(bool to_stdout = false) {
       "                  [--max-attempts N] [--breaker-threshold K]\n"
       "                  [--max-connections N] [--max-inflight N]\n"
       "                  [--tick-ms M] [--idle-ticks N] [--drain-ticks N]\n"
+      "                  [--isolate] [--workers N] [--rlimit-as-mb N]\n"
+      "                  [--rlimit-cpu-s N] [--crash-faults KIND[:SUBSTR]]\n"
       "                  [--indent N] [--strict] [--help]\n"
       "\n"
       "Batch mode (default; --batch - reads stdin) serves one JSON batch\n"
@@ -63,10 +80,19 @@ int usage(bool to_stdout = false) {
       "serves DSM1-framed requests until SIGTERM/SIGINT, drains\n"
       "gracefully, and prints the sign-off report.\n"
       "\n"
+      "--isolate (socket mode only) runs solves in --workers forked child\n"
+      "processes: a crashing request costs one worker, answered\n"
+      "\"worker-crashed\"; two crashes quarantine the request's hash.\n"
+      "--rlimit-as-mb/--rlimit-cpu-s rail each worker; --crash-faults\n"
+      "KIND[:SUBSTR] (abort|segv|oom, default SUBSTR \"poison\") arms the\n"
+      "crash-chaos harness in the children only.\n"
+      "\n"
       "exit codes:\n"
-      "  0  served: every request answered (batch) / clean drain (socket)\n"
+      "  0  served: every request answered (batch) / clean drain (socket);\n"
+      "     worker crashes under --isolate never change the exit code\n"
       "  1  --strict violation: terminal failure response or forced drain\n"
-      "  2  usage, batch-parse, or socket-setup error\n");
+      "  2  usage, batch-parse, or socket-setup error (--isolate with\n"
+      "     --batch, bad --crash-faults kind, failed initial worker fork)\n");
   return to_stdout ? 0 : 2;
 }
 
@@ -115,7 +141,28 @@ int run_batch(const std::map<std::string, std::string>& opts,
   return 0;
 }
 
-int run_socket(const net::NetConfig& config, bool strict, int indent) {
+/// Parses --crash-faults KIND[:SUBSTR] into a child fault plan. Returns
+/// false on an unknown kind.
+bool parse_crash_faults(const std::string& value,
+                        numeric::fault::FaultPlan& plan) {
+  const std::size_t colon = value.find(':');
+  const std::string kind = value.substr(0, colon);
+  if (kind == "abort")
+    plan.kind = numeric::fault::FaultKind::kCrashAbort;
+  else if (kind == "segv")
+    plan.kind = numeric::fault::FaultKind::kCrashSegv;
+  else if (kind == "oom")
+    plan.kind = numeric::fault::FaultKind::kCrashOom;
+  else
+    return false;
+  plan.kernel_substr = "supervise/worker";
+  plan.key_substr =
+      colon == std::string::npos ? "poison" : value.substr(colon + 1);
+  return true;
+}
+
+int run_socket(const net::NetConfig& config, bool strict, int indent,
+               supervise::WorkerPool* pool) {
   net::Server server(config);
   server.open();  // fail fast (and resolve an ephemeral TCP port) pre-loop
   if (config.endpoint.kind == net::Endpoint::Kind::kTcp)
@@ -161,6 +208,7 @@ int run_socket(const net::NetConfig& config, bool strict, int indent) {
   report::Json root = report::Json::object();
   root.set("net", std::move(net_json));
   root.set("service", server.service().service_json());
+  if (pool != nullptr) root.set("supervise", pool->supervise_json());
   std::printf("%s\n", root.dump(indent).c_str());
 
   if (!stats.drained_clean) {
@@ -175,11 +223,16 @@ int run_socket(const net::NetConfig& config, bool strict, int indent) {
 int main(int argc, char** argv) {
   std::map<std::string, std::string> opts;
   bool strict = false;
+  bool isolate = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return usage(/*to_stdout=*/true);
     if (arg == "--strict") {
       strict = true;
+      continue;
+    }
+    if (arg == "--isolate") {
+      isolate = true;
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) return usage();
@@ -202,7 +255,13 @@ int main(int argc, char** argv) {
     const int indent = opts.count("indent") ? std::stoi(opts["indent"]) : 2;
 
     const bool socket_mode = opts.count("listen") > 0 || opts.count("tcp") > 0;
-    if (!socket_mode) return run_batch(opts, config, strict, indent);
+    if (!socket_mode) {
+      if (isolate) {
+        print_error("--isolate requires socket mode (--listen or --tcp)");
+        return usage();
+      }
+      return run_batch(opts, config, strict, indent);
+    }
 
     if (opts.count("batch") > 0 || (opts.count("listen") && opts.count("tcp"))) {
       print_error("--listen/--tcp are mutually exclusive with each other "
@@ -234,7 +293,48 @@ int main(int argc, char** argv) {
     // The request budget mirrors the service deadline so socket callers get
     // the same per-request guarantee as batch callers.
     net_config.request_deadline_ns = config.deadline_ns;
-    return run_socket(net_config, strict, indent);
+
+    if (!isolate) return run_socket(net_config, strict, indent, nullptr);
+
+    supervise::SuperviseConfig sup;
+    sup.service = config;  // the CHILD-side service configuration
+    if (opts.count("workers"))
+      sup.workers = static_cast<std::size_t>(std::stoul(opts["workers"]));
+    if (opts.count("rlimit-as-mb"))
+      sup.limits.rlimit_as_bytes =
+          static_cast<std::uint64_t>(std::stoull(opts["rlimit-as-mb"]))
+          << 20;
+    if (opts.count("rlimit-cpu-s"))
+      sup.limits.rlimit_cpu_seconds =
+          static_cast<std::uint64_t>(std::stoull(opts["rlimit-cpu-s"]));
+    if (opts.count("crash-faults") &&
+        !parse_crash_faults(opts["crash-faults"], sup.limits.child_fault)) {
+      print_error("--crash-faults: unknown kind in '" +
+                  opts["crash-faults"] + "' (want abort|segv|oom)");
+      return usage();
+    }
+    // The in-process service goes unused in isolate mode; the pool owns the
+    // sign-off "service" key (quarantine table + worker fleet health).
+    net_config.service.publish_signoff = false;
+
+    // Fork the fleet BEFORE any server thread exists: the constructor is
+    // the single-threaded window where fork() is safe.
+    auto pool = std::make_unique<supervise::WorkerPool>(sup);
+    if (pool->live_workers() == 0) {
+      print_error("--isolate: no worker could be forked");
+      return 2;
+    }
+    supervise::WorkerPool* pool_ptr = pool.get();
+    net_config.frame_handler = [pool_ptr](const service::Request& request,
+                                          std::uint64_t seq) {
+      return pool_ptr->execute(request, seq).frame;
+    };
+    net_config.health_source = [pool_ptr] {
+      return pool_ptr->supervise_json();
+    };
+    const int code = run_socket(net_config, strict, indent, pool_ptr);
+    pool->shutdown();
+    return code;
   } catch (const std::exception& e) {
     print_error(e.what());
     return 2;

@@ -59,16 +59,30 @@ void atomic_write_file(const std::string& path, const std::string& content) {
     ::unlink(tmp.c_str());
     fail("rename failed", path);
   }
-  // Make the rename itself durable. Best effort: some filesystems refuse
-  // O_DIRECTORY opens, and the content write above is already safe.
+  // Make the rename itself durable: without a directory fsync the new name
+  // lives only in the in-memory dentry cache, and a power cut after "success"
+  // can roll a checkpoint back to the previous name — exactly the window a
+  // resumed run trusts to be closed. Failures here are real failures (the
+  // caller was promised durability), except EINVAL/ENOTSUP from filesystems
+  // that cannot fsync directories, where the content fsync above is the best
+  // the platform offers.
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? std::string(".")
                                                      : path.substr(0, slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
+  int dfd = -1;
+  do {
+    dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  } while (dfd < 0 && errno == EINTR);
+  if (dfd < 0) fail("cannot open parent directory for fsync", dir);
+  int rc = 0;
+  do {
+    rc = ::fsync(dfd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINVAL && errno != ENOTSUP) {
     ::close(dfd);
+    fail("parent directory fsync failed", dir);
   }
+  ::close(dfd);
 }
 
 void AtomicFile::commit() {

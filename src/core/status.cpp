@@ -27,6 +27,8 @@ const char* status_name(StatusCode code) {
       return "rejected-overload";
     case StatusCode::kBreakerOpen:
       return "breaker-open";
+    case StatusCode::kWorkerCrashed:
+      return "worker-crashed";
   }
   return "unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kCancelled,         ///< cooperative cancellation was requested mid-solve
   kRejectedOverload,  ///< request shed at admission: queue above high water
   kBreakerOpen,       ///< kernel skipped: its circuit breaker is open
+  kWorkerCrashed,     ///< isolated worker process died mid-request (signal)
 };
 
 /// Short stable name for a status code ("ok", "no-bracket", ...).

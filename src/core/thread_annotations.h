@@ -36,6 +36,7 @@
 // publish_locked -> RunContext::note_checkpoint), which respects the order.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -147,6 +148,15 @@ class CondVar {
     // the one true owner. No lock/unlock happens outside the wait itself.
     std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
     cv_.wait(relock);
+    relock.release();
+  }
+
+  /// Blocking wait bounded by `timeout` (relative, monotonic); may return
+  /// early or spuriously — call in a predicate loop exactly like wait().
+  void wait_for(Mutex& mu, std::chrono::nanoseconds timeout)
+      DSMT_REQUIRES(mu) {
+    std::unique_lock<std::mutex> relock(mu.mu_, std::adopt_lock);
+    cv_.wait_for(relock, timeout);
     relock.release();
   }
 

@@ -5,6 +5,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <new>
 #include <utility>
 
 #include "core/status.h"
@@ -370,6 +371,7 @@ std::string Server::ping_reply_frame(const report::Json& doc) {
                shared_->outstanding.load(std::memory_order_acquire))))
       .set("breaker", std::move(breaker_json))
       .set("degradation", std::move(degradation));
+  if (config_.health_source) root.set("supervise", config_.health_source());
   return encode_frame(root.dump(-1));
 }
 
@@ -462,9 +464,17 @@ void Server::dispatch_request(Connection& conn, std::uint64_t seq,
         ctx.set_deadline(std::chrono::steady_clock::now() +
                          std::chrono::nanoseconds(budget_ns));
       core::ScopedRunContext scope(ctx);
-      const service::Response response =
-          service_.handle(request, static_cast<std::size_t>(seq));
-      frame = encode_frame(service::response_to_json(response).dump(-1));
+      if (config_.frame_handler) {
+        frame = config_.frame_handler(request,
+                                      static_cast<std::uint64_t>(seq));
+      } else {
+        const service::Response response =
+            service_.handle(request, static_cast<std::size_t>(seq));
+        frame = encode_frame(service::response_to_json(response).dump(-1));
+      }
+    } catch (const std::bad_alloc&) {
+      frame = error_frame(request.id, core::StatusCode::kRejectedOverload,
+                          "allocation failure: request shed");
     } catch (const std::exception& e) {
       frame = error_frame(request.id, core::StatusCode::kInvalidInput,
                           std::string("internal error: ") + e.what());

@@ -50,6 +50,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -90,6 +91,18 @@ struct NetConfig {
   /// the worker's RunContext (0 = eviction budget only).
   std::uint64_t request_deadline_ns = 0;
   service::ServerConfig service;
+  /// Process-isolation hook: when set, solve requests bypass the in-process
+  /// service and this handler returns the COMPLETE reply frame for
+  /// (request, seq) — the supervised worker-pool path. Runs on pool worker
+  /// threads under the same merged-deadline RunContext as the in-process
+  /// path; it must always return a well-formed frame, never throw for
+  /// per-request failures.
+  std::function<std::string(const service::Request&, std::uint64_t)>
+      frame_handler;
+  /// When set, ping replies carry this document under a "supervise" key
+  /// (worker fleet health + poison-quarantine table). Event-loop thread
+  /// only.
+  std::function<report::Json()> health_source;
 };
 
 /// Event-loop counters, returned by run() as the final snapshot.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <new>
+#include <vector>
 
 #include "core/thread_annotations.h"
 
@@ -21,6 +25,14 @@ Mutex g_plan_mu;  // NOLINT(cert-err58-cpp)
 FaultPlan g_plan DSMT_GUARDED_BY(g_plan_mu);
 std::atomic<bool> g_armed{false};
 std::atomic<int> g_count{0};
+/// Crash opt-in is process-local and one-way: a supervised worker child sets
+/// it right after fork(); the parent never does, so an armed crash plan is
+/// inert in the front-end process.
+std::atomic<bool> g_crash_allowed{false};
+/// Loaded through a volatile pointer object so the compiler cannot prove the
+/// store traps and fold it away; the load yields nullptr and the store dies
+/// by SIGSEGV — the deterministic "wild kernel write" stand-in.
+char* volatile g_crash_target = nullptr;
 
 bool matches(const char* kernel) DSMT_REQUIRES(g_plan_mu) {
   return g_plan.kernel_substr.empty() ||
@@ -58,8 +70,14 @@ double filter_residual(const char* kernel, int iteration, double residual) {
     case FaultKind::kPerturbResidual:
       ++g_count;
       return residual * g_plan.scale;
+    case FaultKind::kThrowBadAlloc:
+      ++g_count;
+      throw std::bad_alloc();
     case FaultKind::kExhaustIterations:
     case FaultKind::kNone:
+    case FaultKind::kCrashAbort:
+    case FaultKind::kCrashSegv:
+    case FaultKind::kCrashOom:
       break;
   }
   return residual;
@@ -73,6 +91,61 @@ int clamp_iterations(const char* kernel, int max_iterations) {
     return max_iterations;
   ++g_count;
   return std::min(max_iterations, g_plan.at_iteration);
+}
+
+void allow_crash_faults() {
+  g_crash_allowed.store(true, std::memory_order_release);
+}
+
+bool crash_faults_allowed() {
+  return g_crash_allowed.load(std::memory_order_acquire);
+}
+
+void crash_point(const char* site, const std::string& key) {
+  if (!g_armed.load(std::memory_order_acquire)) return;
+  if (!g_crash_allowed.load(std::memory_order_acquire)) return;
+  FaultKind kind = FaultKind::kNone;
+  {
+    MutexLock lock(g_plan_mu);
+    if (!g_armed.load(std::memory_order_relaxed) ||
+        !is_crash_kind(g_plan.kind) || !matches(site))
+      return;
+    if (!g_plan.key_substr.empty() &&
+        key.find(g_plan.key_substr) == std::string::npos)
+      return;
+    kind = g_plan.kind;
+  }
+  ++g_count;
+  switch (kind) {
+    case FaultKind::kCrashAbort:
+      std::abort();
+    case FaultKind::kCrashSegv:
+      *g_crash_target = 1;  // invalid store: dies by SIGSEGV (or the
+      std::abort();         // sanitizer's trap); never falls through
+    case FaultKind::kCrashOom: {
+      // Allocation storm: grows until RLIMIT_AS (or the OOM killer / the
+      // sanitizer allocator) terminates the child. bad_alloc from a rail is
+      // re-raised as SIGKILL to model the kernel OOM killer deterministically.
+      try {
+        std::vector<std::vector<char>> hoard;
+        for (;;) {
+          hoard.emplace_back(std::size_t{64} << 20);
+          // Touch every page so the pages are really committed.
+          for (std::size_t i = 0; i < hoard.back().size(); i += 4096)
+            hoard.back()[i] = static_cast<char>(i);
+        }
+      } catch (const std::bad_alloc&) {
+        (void)std::raise(SIGKILL);
+      }
+      std::abort();  // unreachable backstop: the child must not survive
+    }
+    case FaultKind::kNone:
+    case FaultKind::kNanResidual:
+    case FaultKind::kExhaustIterations:
+    case FaultKind::kPerturbResidual:
+    case FaultKind::kThrowBadAlloc:
+      break;
+  }
 }
 
 }  // namespace dsmt::numeric::fault

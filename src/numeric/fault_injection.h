@@ -19,7 +19,22 @@ enum class FaultKind {
   kNanResidual,        ///< residual becomes NaN from `at_iteration` on
   kExhaustIterations,  ///< iteration budget clamped to `at_iteration`
   kPerturbResidual,    ///< residual scaled by `scale` from `at_iteration` on
+  kThrowBadAlloc,      ///< filter_residual throws std::bad_alloc when matched
+  // Crash arms for the process-supervision chaos harness (src/supervise/).
+  // They fire only through crash_point() and only after the process opted in
+  // with allow_crash_faults() — a supervised worker child does, the parent
+  // never does, so an armed crash plan cannot take down the front end.
+  kCrashAbort,  ///< std::abort() — death by SIGABRT
+  kCrashSegv,   ///< store through an invalid pointer — death by SIGSEGV
+  kCrashOom,    ///< allocate until the rail kills the child (OOM/RLIMIT_AS)
 };
+
+/// True for the kinds that terminate the process instead of perturbing a
+/// residual. Crash kinds are inert outside crash_point()/allow_crash_faults.
+constexpr bool is_crash_kind(FaultKind kind) {
+  return kind == FaultKind::kCrashAbort || kind == FaultKind::kCrashSegv ||
+         kind == FaultKind::kCrashOom;
+}
 
 /// What to inject and where. Kernels are matched by substring, so
 /// "numeric/cg" hits every CG solve while "" hits every hooked kernel.
@@ -28,6 +43,10 @@ struct FaultPlan {
   std::string kernel_substr;  ///< applies to kernels containing this
   int at_iteration = 1;       ///< first iteration (1-based) the fault fires
   double scale = 10.0;        ///< residual multiplier [1] for kPerturbResidual
+  /// Crash kinds only: the crash fires when the crash_point key (the request
+  /// id in the supervised worker loop) contains this substring. Empty
+  /// matches every key — every request becomes poison.
+  std::string key_substr;
 };
 
 /// Arms `plan` globally and resets the injection counter. Arm/disarm should
@@ -50,6 +69,20 @@ double filter_residual(const char* kernel, int iteration, double residual);
 /// Kernel hook: iteration budgets pass through here; kExhaustIterations
 /// clamps the budget to `at_iteration`.
 int clamp_iterations(const char* kernel, int max_iterations);
+
+/// Opts the CURRENT PROCESS into crash faults. The supervised worker child
+/// calls this right after fork(); nothing else ever should. Without the
+/// opt-in, crash_point() is inert even with a crash plan armed, so a plan
+/// that leaks into the parent cannot kill the front end.
+void allow_crash_faults();
+bool crash_faults_allowed();
+
+/// Crash hook for the supervision chaos harness: when a crash kind is armed,
+/// this process opted in via allow_crash_faults(), `site` contains the
+/// plan's kernel_substr, and `key` contains its key_substr, the process dies
+/// by the armed mechanism (abort / invalid store / allocation storm). A
+/// no-op in every other case — one relaxed atomic load when disarmed.
+void crash_point(const char* site, const std::string& key);
 
 /// RAII arm/disarm for tests.
 class ScopedFault {

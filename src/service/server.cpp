@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 #include <exception>
+#include <new>
 #include <optional>
 #include <string>
 #include <thread>
@@ -122,6 +123,20 @@ Response Server::guarded_execute(const Request& request, std::size_t index) {
     resp.diag = e.diag();
     ++failed_;
     return resp;
+  } catch (const std::bad_alloc&) {
+    // Allocation failure is admission-boundary overload, not bad input:
+    // shed this request with the overload status so callers retry it
+    // elsewhere instead of discarding it as malformed. Deliberately builds
+    // only a slim response — the heap just refused us.
+    Response resp;
+    resp.id = request.id;
+    resp.kind = request.kind;
+    resp.status = core::StatusCode::kRejectedOverload;
+    resp.error = "allocation failure: request shed at admission";
+    resp.diag.record("service/admission", core::StatusCode::kRejectedOverload,
+                     0, 0.0, "allocation failure: request shed at admission");
+    ++shed_;
+    return resp;
   } catch (const std::exception& e) {
     Response resp;
     resp.id = request.id;
@@ -215,6 +230,12 @@ Response Server::execute(const Request& request, std::size_t index) {
                            "retry budget interrupted");
           break;
         }
+      } catch (const std::bad_alloc&) {
+        // Not a solver failure: the heap refused us mid-attempt. Rethrow so
+        // guarded_execute sheds the request as kRejectedOverload instead of
+        // the ladder masking memory pressure with further allocation.
+        breaker_.on_failure(core::StatusCode::kRejectedOverload);
+        throw;
       } catch (const std::exception& e) {
         last_failure = core::StatusCode::kInvalidInput;
         resp.diag.record("service/attempt",

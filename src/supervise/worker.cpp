@@ -1,0 +1,149 @@
+#include "supervise/worker.h"
+
+#include <sys/resource.h>
+
+#include <new>
+#include <string>
+#include <vector>
+
+#include "net/socket_io.h"
+#include "net/wire.h"
+#include "supervise/protocol.h"
+
+namespace dsmt::supervise {
+
+namespace {
+
+/// Installs one soft+hard rlimit rail; failure is fatal for the child (a
+/// worker that cannot honor its rails must not serve).
+bool apply_rlimit(int resource, std::uint64_t value) {
+  if (value == 0) return true;
+  struct rlimit rl;
+  rl.rlim_cur = static_cast<rlim_t>(value);
+  rl.rlim_max = static_cast<rlim_t>(value);
+  return ::setrlimit(resource, &rl) == 0;
+}
+
+/// Writes one whole datagram; SEQPACKET sends are all-or-nothing, but EINTR
+/// retry lives in write_some and a would-block on a full buffer is retried
+/// here (the parent reads one reply per request, so the buffer drains).
+bool send_datagram(int fd, const std::string& message) {
+  for (;;) {
+    const net::IoResult r =
+        net::write_some(fd, message.data(), message.size());
+    if (r.n == static_cast<long>(message.size())) return true;
+    if (r.n < 0 && r.would_block()) continue;
+    return false;  // EPIPE (parent gone) or a short SEQPACKET send
+  }
+}
+
+/// A response the worker can always afford to build: id/status/error only.
+service::Response slim_error(const std::string& id, core::StatusCode status,
+                             const std::string& note) {
+  service::Response resp;
+  resp.id = id;
+  resp.status = status;
+  resp.error = note;
+  resp.diag.record("supervise/worker", status, 0, 0.0, note);
+  return resp;
+}
+
+}  // namespace
+
+int run_worker(int channel_fd, service::ServerConfig service_config,
+               const WorkerLimits& limits, std::size_t max_payload_bytes) {
+  // The parent owns the process-wide sign-off slot; a child that registered
+  // into it would fight its siblings and dangle after exit.
+  service_config.publish_signoff = false;
+
+  if (!apply_rlimit(RLIMIT_AS, limits.rlimit_as_bytes) ||
+      !apply_rlimit(RLIMIT_CPU, limits.rlimit_cpu_seconds))
+    return 3;
+
+  if (limits.child_fault.kind != numeric::fault::FaultKind::kNone) {
+    // Crash faults stay inert without this per-process opt-in, so arming
+    // the same plan in the parent (operator error) cannot kill the front
+    // end — only forked workers ever die by it.
+    numeric::fault::allow_crash_faults();
+    numeric::fault::arm(limits.child_fault);
+  }
+
+  try {
+    service::Server server(service_config);
+    std::vector<char> buffer(kSeqPrefixBytes + net::kFrameHeaderBytes +
+                             max_payload_bytes);
+    for (;;) {
+      const net::IoResult r =
+          net::read_some(channel_fd, buffer.data(), buffer.size());
+      if (r.n == 0) return 0;  // parent closed the channel: clean shutdown
+      if (r.n < 0) {
+        if (r.would_block()) continue;
+        return r.reset() ? 0 : 3;
+      }
+
+      std::uint64_t seq = 0;
+      std::string frame;
+      service::Response response;
+      if (!split_message(buffer.data(), static_cast<std::size_t>(r.n),
+                         max_payload_bytes, seq, frame)) {
+        response = slim_error("", core::StatusCode::kInvalidInput,
+                              "malformed supervision datagram");
+      } else {
+        service::Request request;
+        bool parsed = false;
+        try {
+          request =
+              service::request_from_json(report::Json::parse(
+                  frame_payload(frame)));
+          parsed = true;
+        } catch (const std::exception& e) {
+          response = slim_error("", core::StatusCode::kInvalidInput,
+                                std::string("bad request payload: ") +
+                                    e.what());
+        }
+        if (parsed) {
+          // Chaos hook: poison requests die HERE, in the child, by the
+          // armed crash mechanism — the containment the supervisor exists
+          // to prove.
+          numeric::fault::crash_point("supervise/worker", request.id);
+          try {
+            response =
+                server.handle(request, static_cast<std::size_t>(seq));
+          } catch (const std::bad_alloc&) {
+            response = slim_error(
+                request.id, core::StatusCode::kRejectedOverload,
+                "allocation failure in worker: request shed");
+          } catch (const std::exception& e) {
+            response = slim_error(request.id,
+                                  core::StatusCode::kInvalidInput,
+                                  std::string("worker error: ") + e.what());
+          }
+        }
+      }
+
+      std::string reply;
+      try {
+        reply = encode_response_message(seq, response);
+        if (reply.size() > kSeqPrefixBytes + net::kFrameHeaderBytes +
+                               max_payload_bytes)
+          reply = encode_response_message(
+              seq, slim_error(response.id, response.status,
+                              "response diagnostics elided: over the "
+                              "supervision datagram cap"));
+      } catch (const std::exception& e) {
+        reply = encode_response_message(
+            seq, slim_error(response.id, core::StatusCode::kInvalidInput,
+                            std::string("response encoding failed: ") +
+                                e.what()));
+      }
+      if (!send_datagram(channel_fd, reply))
+        return 4;  // parent vanished mid-reply: nothing left to serve
+    }
+  } catch (const std::bad_alloc&) {
+    return 5;  // construction/loop allocation failure under the AS rail
+  } catch (...) {
+    return 6;
+  }
+}
+
+}  // namespace dsmt::supervise

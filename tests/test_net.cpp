@@ -27,9 +27,11 @@
 #include "net/server.h"
 #include "net/socket_io.h"
 #include "net/wire.h"
+#include "numeric/fault_injection.h"
 #include "parallel/thread_pool.h"
 #include "report/json.h"
 #include "service/request.h"
+#include "supervise/pool.h"
 
 namespace {
 
@@ -606,6 +608,139 @@ TEST_F(NetDeterminismTest, ReplyBytesIdenticalAtOneAndEightThreads) {
 
   parallel::set_thread_count(8);
   start();
+  const std::string threaded = reply_stream();
+  stop();
+
+  parallel::set_thread_count(restore);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded);
+}
+
+// ---- process isolation: the supervised worker-pool back end --------------
+
+/// NetServerTest with the frame_handler/health_source hooks wired to a real
+/// supervise::WorkerPool — the exact dsmt_serve --isolate topology, with
+/// crash chaos armed in the forked children only.
+class NetIsolateTest : public NetServerTest {
+ protected:
+  /// Starts the server over a fresh two-worker fleet; requests whose id
+  /// contains "poison" die in the child by SIGABRT.
+  void start_isolated() {
+    supervise::SuperviseConfig sup;
+    sup.workers = 2;
+    sup.service.sleep_on_backoff = false;
+    sup.service.publish_signoff = false;
+    sup.sleep_on_restart_backoff = false;
+    sup.publish_signoff = false;
+    sup.poll_interval_ms = 5;
+    sup.limits.child_fault = {numeric::fault::FaultKind::kCrashAbort,
+                              "supervise/worker", 1, 10.0, "poison"};
+    // Fork the fleet before the server's pool threads can exist.
+    pool_ = std::make_unique<supervise::WorkerPool>(sup);
+    ASSERT_GT(pool_->live_workers(), 0u);
+
+    net::NetConfig config = fast_config();
+    config.frame_handler = [p = pool_.get()](const service::Request& request,
+                                             std::uint64_t seq) {
+      return p->execute(request, seq).frame;
+    };
+    config.health_source = [p = pool_.get()] { return p->supervise_json(); };
+    start(std::move(config));
+  }
+
+  void TearDown() override {
+    stop();
+    if (pool_) pool_->shutdown();
+  }
+
+  std::unique_ptr<supervise::WorkerPool> pool_;
+};
+
+TEST_F(NetIsolateTest, WorkerDeathMidBurstYieldsOneTypedFrameEachInOrder) {
+  start_isolated();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+
+  // One pipelined burst: the middle request kills its worker child. The
+  // connection must receive exactly one terminal frame per request, in
+  // request order, and remain usable afterwards.
+  std::string burst;
+  burst += net::encode_frame(request_payload("iso-clean-0"));
+  burst += net::encode_frame(request_payload("iso-poison"));
+  burst += net::encode_frame(request_payload("iso-clean-1"));
+  ASSERT_TRUE(client.send_raw(burst));
+
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "iso-clean-0");
+  EXPECT_EQ(status_of(doc), "ok");
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "iso-poison");
+  EXPECT_EQ(status_of(doc), "worker-crashed");
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "iso-clean-1");
+  EXPECT_EQ(status_of(doc), "ok");
+
+  // Same connection, after the crash: still serving.
+  ASSERT_TRUE(client.send_frame(request_payload("iso-after")));
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(id_of(doc), "iso-after");
+  EXPECT_EQ(status_of(doc), "ok");
+
+  const supervise::SuperviseStats stats = pool_->stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.replies, 3u);
+}
+
+TEST_F(NetIsolateTest, PingCarriesWorkerFleetHealthAndQuarantineTable) {
+  start_isolated();
+  Client client(path());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.send_frame(request_payload("iso-poison-ping")));
+  report::Json doc;
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "worker-crashed");
+
+  ASSERT_TRUE(client.send_frame("{\"kind\":\"ping\",\"id\":\"iso-health\"}"));
+  ASSERT_TRUE(client.recv_json(doc));
+  EXPECT_EQ(status_of(doc), "ok");
+  const report::Json* supervise = doc.find("supervise");
+  ASSERT_NE(supervise, nullptr);
+  const report::Json* stats = supervise->find("stats");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->find("crashes")->as_integer(), 1);
+  ASSERT_NE(supervise->find("quarantine"), nullptr);
+  EXPECT_EQ(supervise->find("quarantine")->size(), 1u);
+}
+
+/// Clean-lane determinism through the process boundary: the reply byte
+/// stream of an isolate-mode server is identical at 1 and 8 pool threads —
+/// the supervised path must not cost the wire-level guarantee.
+TEST_F(NetIsolateTest, CleanReplyBytesIdenticalAtOneAndEightThreads) {
+  const std::size_t restore = parallel::thread_count();
+  auto reply_stream = [this] {
+    Client client(path());
+    EXPECT_TRUE(client.connected());
+    std::string burst;
+    for (int i = 0; i < 6; ++i)
+      burst += net::encode_frame(
+          request_payload("iso-det-" + std::to_string(i), 0.05 + 0.04 * i));
+    EXPECT_TRUE(client.send_raw(burst));
+    client.half_close();
+    std::string stream;
+    std::string payload;
+    while (client.recv_frame(payload)) stream += net::encode_frame(payload);
+    return stream;
+  };
+
+  parallel::set_thread_count(1);
+  start_isolated();
+  const std::string serial = reply_stream();
+  stop();
+  pool_->shutdown();
+
+  parallel::set_thread_count(8);
+  start_isolated();
   const std::string threaded = reply_stream();
   stop();
 

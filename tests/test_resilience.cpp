@@ -526,7 +526,7 @@ TEST(CheckpointResume, FullResumeRunsNoSolver) {
     RunContext ctx;
     ctx.set_checkpoint({path, 4});
     ScopedRunContext scope(ctx);
-    ScopedFault fault({FaultKind::kNanResidual, "", 1, 0.0});
+    ScopedFault fault({FaultKind::kNanResidual, "", 1, 0.0, ""});
     const auto resumed = selfconsistent::generate_design_rule_table(table_spec());
     EXPECT_EQ(numeric::fault::injection_count(), 0);
     compare_tables(first, resumed, "full resume");
@@ -545,7 +545,7 @@ TEST(CheckpointResume, FullResumeRunsNoSolver) {
 // must still match the uninterrupted run under the same fault plan.
 TEST(CheckpointResume, ComposesWithFaultInjector) {
   const numeric::fault::FaultPlan plan{FaultKind::kPerturbResidual,
-                                       "numeric/brent", 3, 10.0};
+                                       "numeric/brent", 3, 10.0, ""};
   parallel::set_thread_count(1);
   RunContext probe;
   std::vector<selfconsistent::TableCell> reference;

@@ -79,6 +79,16 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   scalar chain the batch API transcribes. Look-alikes
                   (`solve_one(`, `solve_batch(`, `resolve(`, member
                   `.solve(`) do not fire.
+  R13 process-syscalls  src/supervise/ is the sole home of child-process
+                  management syscalls (fork/vfork/exec*/waitpid/wait4/
+                  socketpair/setrlimit/kill/_exit): everywhere else in src/
+                  must go through supervise::WorkerPool, so crash
+                  containment — reap-and-classify, restart backoff, poison
+                  quarantine — cannot be re-implemented ad hoc around it.
+                  Member calls (`worker.kill(`), suffixed identifiers
+                  (`forked(`, `task_kill(`), and nullary unqualified
+                  declarations do not fire. tests/, tools/, and examples/
+                  are exempt, like all rules.
 
 Exit status 0 when clean, 1 when any violation is found.
 
@@ -163,7 +173,7 @@ SERVICE_UNBOUNDED_RE = re.compile(r"std::(?:deque|queue|list)\s*<")
 # the capability-annotated lock vocabulary (R9) and to protect its mutable
 # state visibly (R10). core/thread_annotations.h is the single sanctioned
 # home of the raw std types — it is what wraps them.
-CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/", "net/")
+CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/", "net/", "supervise/")
 CONCURRENCY_FENCE_FILES = {
     "core/signoff.cpp",
     "core/run_context.h", "core/run_context.cpp",
@@ -264,6 +274,17 @@ R12_SCALAR_SOLVE_RE = re.compile(
 
 def in_r12_hot_path(rel: str) -> bool:
     return rel.startswith(R12_HOT_PATH_PREFIXES) or rel in R12_HOT_PATH_FILES
+
+
+# The one directory allowed to manage child processes (R13): the supervised
+# worker pool owns fork / exec / reap / kill / rlimit rails, so crash
+# containment (death classification, seeded restart backoff, poison
+# quarantine) lives in exactly one place.
+SUPERVISE_PREFIX = "supervise/"
+PROCESS_SYSCALL_NAMES = (
+    r"vfork|fork|execvpe?|execve?|execl[ep]?|waitpid|waitid|wait4|"
+    r"socketpair|setrlimit|kill|_exit")
+PROCESS_SYSCALL_RE = _syscall_re(PROCESS_SYSCALL_NAMES)
 
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
@@ -479,6 +500,21 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                               f"selfconsistent::solve_batch / solve_one "
                               f"(selfconsistent/batch.h) so the SoA batch "
                               f"core cannot be bypassed")
+
+    # R13: child-process management syscalls live in src/supervise/ only —
+    # the worker pool is the single owner of fork/reap/kill/rlimit, so
+    # crash containment cannot be re-implemented ad hoc around it.
+    if not rel.startswith(SUPERVISE_PREFIX):
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = PROCESS_SYSCALL_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [process-syscalls] raw "
+                              f"process syscall ('{m.group(0).strip()}') "
+                              f"outside src/supervise/ — child processes are "
+                              f"owned by supervise::WorkerPool (fork, reap, "
+                              f"kill, rlimit rails) so crash containment "
+                              f"stays in one place")
 
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
@@ -753,6 +789,55 @@ void drive(const Problem& p, std::vector<Problem>& ps) {
 }  // namespace dsmt::selfconsistent
 """
 
+SELF_TEST_BAD_PROCESS = """\
+// Raw process-management syscalls in the four shapes R13 must catch when
+// the file sits outside src/supervise/.
+#pragma once
+
+namespace dsmt::demo {
+
+inline int spawn() {
+  return ::fork();
+}
+
+inline void reap(int pid) {
+  int status = 0;
+  waitpid(pid, &status, 0);
+  kill(pid, 9);
+}
+
+inline bool rail(unsigned long bytes) {
+  return setrlimit(9, nullptr) == 0;
+}
+
+}  // namespace dsmt::demo
+"""
+
+SELF_TEST_GOOD_PROCESS = """\
+// Look-alikes R13 must stay quiet on: member calls, suffixed identifiers,
+// nullary unqualified declarations, and names embedded in longer words.
+#pragma once
+
+namespace dsmt::demo {
+
+class Task {
+ public:
+  int fork() const;                 // nullary declaration, not fork(2)
+  void stop(Worker& worker) {
+    worker.kill(SIGTERM);           // member call, not kill(2)
+  }
+  void purge(const char* name) {
+    killall(name);                  // longer identifier, not kill(2)
+    task_kill(7);                   // prefixed identifier, not kill(2)
+  }
+  bool forked(int pid) {            // suffixed identifier, not fork(2)
+    return pid > 0;
+  }
+};
+
+}  // namespace dsmt::demo
+"""
+
 SELF_TEST_WRAPPER_HOME = """\
 // Minimal slice of core/thread_annotations.h: the one sanctioned home of
 // the raw std lock types, which it wraps in annotated capabilities.
@@ -810,6 +895,10 @@ def self_test() -> int:
         bad_hot.write_text(SELF_TEST_BAD_HOTPATH)
         good_hot = root / "src" / "service" / "good_hot.cpp"
         good_hot.write_text(SELF_TEST_GOOD_HOTPATH)
+        bad_proc = root / "src" / "demo" / "bad_proc.h"
+        bad_proc.write_text(SELF_TEST_BAD_PROCESS)
+        good_proc = root / "src" / "demo" / "good_proc.h"
+        good_proc.write_text(SELF_TEST_GOOD_PROCESS)
 
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
@@ -972,7 +1061,36 @@ def self_test() -> int:
             print("self-test FAILED: R12 fired on the solver.cpp exempt home")
             return 1
 
-    print("dsmt_lint: self-test passed (rules R1-R12)")
+        # R13 fires on every raw process-syscall shape outside
+        # src/supervise/ ...
+        errors = []
+        lint_file(bad_proc, "demo/bad_proc.h", errors)
+        proc = [e for e in errors if "[process-syscalls]" in e]
+        if len(proc) != 4:  # ::fork, waitpid, kill, setrlimit
+            print(f"self-test FAILED: bad_proc.h raised {len(proc)} "
+                  f"process-syscalls violations, expected 4:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... stays quiet on the look-alike identifiers ...
+        errors = []
+        lint_file(good_proc, "demo/good_proc.h", errors)
+        if any("[process-syscalls]" in e for e in errors):
+            print("self-test FAILED: good_proc.h should be R13-clean:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... and exempts src/supervise/, the fence's home: the same shapes
+        # there raise nothing.
+        errors = []
+        lint_file(bad_proc, "supervise/bad_proc.h", errors)
+        if any("[process-syscalls]" in e for e in errors):
+            print("self-test FAILED: R13 fired inside src/supervise/")
+            return 1
+
+    print("dsmt_lint: self-test passed (rules R1-R13)")
     return 0
 
 

@@ -17,6 +17,13 @@
 //   garbage       each client sends seeded random bytes; the server must
 //                 answer one well-formed kInvalidInput error frame and
 //                 close; a probe client then checks the server still serves
+//   crash-storm   interleaves poison requests (ids matching the server's
+//                 armed --crash-faults substring, --poison-percent of
+//                 traffic) with clean requests against a dsmt_serve
+//                 --isolate server. Every request — poison included — must
+//                 be answered exactly once; clean (survivor) lanes must
+//                 answer "ok" and their latency percentiles are reported
+//                 separately from the poison lanes
 //
 // This is a tool, not library code: it uses blocking sockets and raw
 // syscalls directly (lint rule R11 fences those out of src/ outside
@@ -63,13 +70,19 @@ void print_error(const std::string& message) {
       "  --mode normal         framed solve requests, latency percentiles\n"
       "  --mode kill-midframe  abort connections mid-frame, then probe\n"
       "  --mode garbage        send non-protocol bytes, then probe\n"
+      "  --mode crash-storm    poison ids (\"poison-K\") interleaved with\n"
+      "                        clean traffic against dsmt_serve --isolate;\n"
+      "                        every request must be answered exactly once\n"
+      "                        (--crash-storm is shorthand for this mode)\n"
       "\n"
       "options:\n"
-      "  --clients N    concurrent client connections (default 4)\n"
-      "  --requests N   requests per client, normal mode (default 8)\n"
-      "  --seed S       fault/garbage stream seed (default 1)\n"
-      "  --json         emit the report as JSON on stdout\n"
-      "  --help         this text\n"
+      "  --clients N         concurrent client connections (default 4)\n"
+      "  --requests N        requests per client (default 8)\n"
+      "  --poison-percent P  crash-storm: percent of poison traffic\n"
+      "                      (1-100, default 10)\n"
+      "  --seed S            fault/garbage stream seed (default 1)\n"
+      "  --json              emit the report as JSON on stdout\n"
+      "  --help              this text\n"
       "\n"
       "exit codes: 0 = all expectations held, 1 = server misbehaved,\n"
       "2 = usage error\n");
@@ -171,6 +184,7 @@ struct Options {
   std::string mode = "normal";
   int clients = 4;
   int requests = 8;
+  int poison_percent = 10;  ///< crash-storm poison share of traffic [%]
   std::uint64_t seed = 1;
   bool json = false;
 };
@@ -179,7 +193,12 @@ struct ClientResult {
   int sent = 0;
   int replies = 0;      ///< well-formed frames with the echoed id
   int failures = 0;     ///< connect/send/recv/validation failures
-  std::vector<double> latency_ms;
+  int poison_sent = 0;  ///< crash-storm: poison requests issued
+  int status_ok = 0;           ///< crash-storm replies by status
+  int status_crashed = 0;      ///< "worker-crashed"
+  int status_other = 0;        ///< anything else
+  std::vector<double> latency_ms;         ///< clean (survivor) lanes
+  std::vector<double> poison_latency_ms;  ///< crash-storm poison lanes
 };
 
 bool connect_client(ClientSock& sock, const Options& opt) {
@@ -306,6 +325,90 @@ void run_garbage_client(const Options& opt, int client, ClientResult& out) {
   ++out.replies;
 }
 
+/// One of four fixed poison identities. The id carries the "poison"
+/// substring the server's --crash-faults arm keys on, and the parameters
+/// are fixed per identity so every client hits the same canonical request
+/// hash — two crashes anywhere in the storm quarantine it fleet-wide.
+std::string poison_payload(int which) {
+  dsmt::service::Request req;
+  req.id = "poison-" + std::to_string(which % 4);
+  req.kind = dsmt::service::RequestKind::kSelfConsistent;
+  req.duty_cycle = 0.30;
+  return dsmt::service::request_to_json(req).dump(-1);
+}
+
+/// The crash-storm client: a deterministic interleave of poison and clean
+/// requests, each owed exactly one well-formed reply. Clean (survivor)
+/// lanes must answer "ok" and feed the main latency percentiles; poison
+/// lanes may answer anything well-formed ("worker-crashed" while crashing,
+/// "ok" once quarantined onto the analytic rung) and are timed separately.
+void run_crash_storm_client(const Options& opt, int client,
+                            ClientResult& out) {
+  ClientSock sock;
+  if (!connect_client(sock, opt)) {
+    ++out.failures;
+    return;
+  }
+  const int stride =
+      opt.poison_percent >= 100
+          ? 1
+          : (opt.poison_percent > 0 ? 100 / opt.poison_percent
+                                    : opt.requests + 1);
+  std::string payload;
+  for (int i = 0; i < opt.requests; ++i) {
+    const bool poison = stride <= opt.requests && i % stride == 0;
+    const std::string expect_id =
+        poison ? "poison-" + std::to_string((i / stride) % 4)
+               : "load-" + std::to_string(client) + "-" + std::to_string(i);
+    const std::string frame = encode_frame(
+        poison ? poison_payload((i / stride) % 4)
+               : request_payload(client, i));
+    const auto start = std::chrono::steady_clock::now();
+    ++out.sent;
+    if (poison) ++out.poison_sent;
+    if (!send_all(sock.fd, frame.data(), frame.size()) ||
+        !recv_frame(sock.fd, payload)) {
+      ++out.failures;
+      return;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    std::string status;
+    try {
+      const dsmt::report::Json doc = dsmt::report::Json::parse(payload);
+      const dsmt::report::Json* id = doc.find("id");
+      const dsmt::report::Json* status_node = doc.find("status");
+      if (id == nullptr || !id->is_string() ||
+          id->as_string() != expect_id || status_node == nullptr ||
+          !status_node->is_string()) {
+        ++out.failures;
+        return;
+      }
+      status = status_node->as_string();
+    } catch (const std::exception&) {
+      ++out.failures;
+      return;
+    }
+    ++out.replies;
+    if (status == "ok")
+      ++out.status_ok;
+    else if (status == "worker-crashed")
+      ++out.status_crashed;
+    else
+      ++out.status_other;
+    const double ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    if (poison) {
+      out.poison_latency_ms.push_back(ms);
+    } else {
+      out.latency_ms.push_back(ms);
+      // A clean lane that does not answer "ok" means crash containment
+      // leaked into innocent traffic — the one thing the storm exists to
+      // disprove.
+      if (status != "ok") ++out.failures;
+    }
+  }
+}
+
 /// Post-attack health check: one framed request must still round-trip.
 bool probe(const Options& opt) {
   ClientSock sock;
@@ -352,8 +455,11 @@ int main(int argc, char** argv) {
       opt.use_tcp = true;
       opt.port = static_cast<std::uint16_t>(std::stoi(value("--tcp")));
     } else if (arg == "--mode") opt.mode = value("--mode");
+    else if (arg == "--crash-storm") opt.mode = "crash-storm";
     else if (arg == "--clients") opt.clients = std::stoi(value("--clients"));
     else if (arg == "--requests") opt.requests = std::stoi(value("--requests"));
+    else if (arg == "--poison-percent")
+      opt.poison_percent = std::stoi(value("--poison-percent"));
     else if (arg == "--seed") opt.seed = std::stoull(value("--seed"));
     else if (arg == "--json") opt.json = true;
     else {
@@ -367,12 +473,16 @@ int main(int argc, char** argv) {
     usage(2);
   }
   if (opt.mode != "normal" && opt.mode != "kill-midframe" &&
-      opt.mode != "garbage") {
+      opt.mode != "garbage" && opt.mode != "crash-storm") {
     print_error("unknown mode: " + opt.mode);
     usage(2);
   }
   if (opt.clients < 1 || opt.requests < 1) {
     print_error("--clients and --requests must be >= 1");
+    usage(2);
+  }
+  if (opt.poison_percent < 1 || opt.poison_percent > 100) {
+    print_error("--poison-percent must be in [1, 100]");
     usage(2);
   }
 
@@ -385,6 +495,7 @@ int main(int argc, char** argv) {
     threads.emplace_back([&opt, c, &slot] {
       if (opt.mode == "normal") run_normal_client(opt, c, slot);
       else if (opt.mode == "kill-midframe") run_killer_client(opt, c, slot);
+      else if (opt.mode == "crash-storm") run_crash_storm_client(opt, c, slot);
       else run_garbage_client(opt, c, slot);
     });
   }
@@ -395,19 +506,32 @@ int main(int argc, char** argv) {
 
   ClientResult total;
   std::vector<double> latencies;
+  std::vector<double> poison_latencies;
   for (const ClientResult& r : results) {
     total.sent += r.sent;
     total.replies += r.replies;
     total.failures += r.failures;
+    total.poison_sent += r.poison_sent;
+    total.status_ok += r.status_ok;
+    total.status_crashed += r.status_crashed;
+    total.status_other += r.status_other;
     latencies.insert(latencies.end(), r.latency_ms.begin(),
                      r.latency_ms.end());
+    poison_latencies.insert(poison_latencies.end(),
+                            r.poison_latency_ms.begin(),
+                            r.poison_latency_ms.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(poison_latencies.begin(), poison_latencies.end());
 
   // Attack modes must leave the server serving; normal mode must get every
-  // reply it asked for.
+  // reply it asked for. The crash storm demands both: every request
+  // (poison included) answered exactly once, clean lanes "ok", and the
+  // server still serving afterwards.
   bool healthy = total.failures == 0;
   if (opt.mode != "normal") healthy = healthy && probe(opt);
+  if (opt.mode == "crash-storm")
+    healthy = healthy && total.replies == total.sent;
 
   using dsmt::report::Json;
   Json latency = Json::object();
@@ -430,9 +554,33 @@ int main(int argc, char** argv) {
                                    : 0.0))
       .set("latency", std::move(latency))
       .set("healthy", Json::boolean(healthy));
+  if (opt.mode == "crash-storm") {
+    Json statuses = Json::object();
+    statuses.set("ok", Json::integer(total.status_ok))
+        .set("worker_crashed", Json::integer(total.status_crashed))
+        .set("other", Json::integer(total.status_other));
+    Json poison = Json::object();
+    poison.set("p50_ms", Json::number(percentile(poison_latencies, 0.50)))
+        .set("p99_ms", Json::number(percentile(poison_latencies, 0.99)))
+        .set("samples",
+             Json::integer(static_cast<long long>(poison_latencies.size())));
+    root.set("poison_percent", Json::integer(opt.poison_percent))
+        .set("poison_sent", Json::integer(total.poison_sent))
+        .set("statuses", std::move(statuses))
+        .set("poison_latency", std::move(poison));
+  }
 
   if (opt.json) {
     std::printf("%s\n", root.dump(2).c_str());
+  } else if (opt.mode == "crash-storm") {
+    std::printf(
+        "mode=%s clients=%d sent=%d (poison=%d) replies=%d failures=%d "
+        "ok=%d crashed=%d other=%d wall=%.3fs survivor_p50=%.2fms "
+        "survivor_p99=%.2fms healthy=%s\n",
+        opt.mode.c_str(), opt.clients, total.sent, total.poison_sent,
+        total.replies, total.failures, total.status_ok, total.status_crashed,
+        total.status_other, wall_s, percentile(latencies, 0.50),
+        percentile(latencies, 0.99), healthy ? "yes" : "no");
   } else {
     std::printf("mode=%s clients=%d sent=%d replies=%d failures=%d "
                 "wall=%.3fs p50=%.2fms p99=%.2fms healthy=%s\n",
