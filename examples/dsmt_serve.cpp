@@ -84,7 +84,7 @@ int usage(bool to_stdout = false) {
       "processes: a crashing request costs one worker, answered\n"
       "\"worker-crashed\"; two crashes quarantine the request's hash.\n"
       "--rlimit-as-mb/--rlimit-cpu-s rail each worker; --crash-faults\n"
-      "KIND[:SUBSTR] (abort|segv|oom, default SUBSTR \"poison\") arms the\n"
+      "KIND[:SUBSTR] (abort|segv|oom|stall, default SUBSTR \"poison\") arms the\n"
       "crash-chaos harness in the children only.\n"
       "\n"
       "exit codes:\n"
@@ -153,6 +153,8 @@ bool parse_crash_faults(const std::string& value,
     plan.kind = numeric::fault::FaultKind::kCrashSegv;
   else if (kind == "oom")
     plan.kind = numeric::fault::FaultKind::kCrashOom;
+  else if (kind == "stall")
+    plan.kind = numeric::fault::FaultKind::kCrashStall;
   else
     return false;
   plan.kernel_substr = "supervise/worker";
@@ -310,7 +312,7 @@ int main(int argc, char** argv) {
     if (opts.count("crash-faults") &&
         !parse_crash_faults(opts["crash-faults"], sup.limits.child_fault)) {
       print_error("--crash-faults: unknown kind in '" +
-                  opts["crash-faults"] + "' (want abort|segv|oom)");
+                  opts["crash-faults"] + "' (want abort|segv|oom|stall)");
       return usage();
     }
     // The in-process service goes unused in isolate mode; the pool owns the

@@ -73,7 +73,12 @@ void atomic_write_file(const std::string& path, const std::string& content) {
   do {
     dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   } while (dfd < 0 && errno == EINTR);
-  if (dfd < 0) fail("cannot open parent directory for fsync", dir);
+  // Some filesystems refuse to open (or fsync) directories at all. The
+  // rename has already landed and the content fsync ran, so a refused
+  // directory handle downgrades the rename's durability to the platform's
+  // best effort — it must not turn a write that succeeded into a
+  // caller-visible failure.
+  if (dfd < 0) return;
   int rc = 0;
   do {
     rc = ::fsync(dfd);

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 
 #include "core/thread_annotations.h"
 #include "service/retry.h"
@@ -188,6 +189,80 @@ void drain_selfpipe(int read_fd) {
     if (n > 0) continue;
     if (n < 0 && errno == EINTR) continue;  // interrupted drain: retry
     break;  // EOF or EAGAIN: drained
+  }
+}
+
+std::size_t tune_datagram_capacity(int fd, std::size_t want_bytes) {
+  // Ask for the whole message; the kernel doubles the request for skb
+  // bookkeeping and clamps it to wmem_max, so the grant must be read back
+  // rather than assumed.
+  constexpr std::size_t kIntCap = static_cast<std::size_t>(1) << 30;
+  const int want =
+      static_cast<int>(want_bytes < kIntCap ? want_bytes : kIntCap);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &want, sizeof want);
+  int granted = 0;
+  ::socklen_t len = sizeof granted;
+  if (::getsockopt(fd, SOL_SOCKET, SO_SNDBUF, &granted, &len) != 0 ||
+      granted <= 0)
+    return want_bytes;  // unknowable: let the sender's errno path decide
+  // AF_UNIX refuses a datagram larger than the buffer minus a small skb
+  // reserve (32 bytes on Linux); keep a wider margin for portability.
+  constexpr std::size_t kReserve = 64;
+  const std::size_t usable = static_cast<std::size_t>(granted) > kReserve
+                                 ? static_cast<std::size_t>(granted) - kReserve
+                                 : 0;
+  return usable < want_bytes ? usable : want_bytes;
+}
+
+IoResult send_with_fd(int fd, const char* buf, std::size_t len,
+                      int fd_to_pass) {
+  struct iovec iov;
+  iov.iov_base = const_cast<char*>(buf);
+  iov.iov_len = len;
+  struct msghdr msg {};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  if (fd_to_pass >= 0) {
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof control;
+    struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+    cmsg->cmsg_level = SOL_SOCKET;
+    cmsg->cmsg_type = SCM_RIGHTS;
+    cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+    std::memcpy(CMSG_DATA(cmsg), &fd_to_pass, sizeof(int));
+  }
+  for (;;) {
+    const long n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;  // interrupted before any byte: retry
+    return {-1, errno};
+  }
+}
+
+IoResult recv_with_fd(int fd, char* buf, std::size_t len, int& fd_out) {
+  fd_out = -1;
+  struct iovec iov;
+  iov.iov_base = buf;
+  iov.iov_len = len;
+  for (;;) {
+    struct msghdr msg {};
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    alignas(struct cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+    msg.msg_control = control;
+    msg.msg_controllen = sizeof control;
+    const long n = ::recvmsg(fd, &msg, MSG_CMSG_CLOEXEC);
+    if (n < 0) {
+      if (errno == EINTR) continue;  // interrupted before any byte: retry
+      return {-1, errno};
+    }
+    for (struct cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+         cmsg = CMSG_NXTHDR(&msg, cmsg))
+      if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS &&
+          cmsg->cmsg_len >= CMSG_LEN(sizeof(int)))
+        std::memcpy(&fd_out, CMSG_DATA(cmsg), sizeof(int));
+    return {n, 0};
   }
 }
 

@@ -91,6 +91,26 @@ void wake_selfpipe(int write_fd);
 /// Drains every pending byte from a self-pipe read end.
 void drain_selfpipe(int read_fd);
 
+/// Tunes `fd`'s send buffer toward carrying one whole `want_bytes` datagram
+/// and returns the usable single-datagram capacity the kernel actually
+/// granted (never more than `want_bytes`). AF_UNIX charges a datagram
+/// against SO_SNDBUF and fails a larger send with EMSGSIZE instead of
+/// fragmenting, so callers must size their messages to this value, not to
+/// the buffer they asked for — setsockopt silently clamps to wmem_max.
+std::size_t tune_datagram_capacity(int fd, std::size_t want_bytes);
+
+/// sendmsg() of one whole datagram with `fd_to_pass` attached as SCM_RIGHTS
+/// ancillary data (-1 sends no fd). Retries EINTR; MSG_NOSIGNAL. Control
+/// plane of the supervision fork broker: deliberately NOT routed through
+/// the testing fault shim — chaos plans must not perturb process spawning.
+IoResult send_with_fd(int fd, const char* buf, std::size_t len,
+                      int fd_to_pass);
+
+/// recvmsg() of one whole datagram; an attached SCM_RIGHTS fd (if any) is
+/// received close-on-exec into `fd_out`, else `fd_out` is -1. Retries
+/// EINTR. Not routed through the testing fault shim (see send_with_fd).
+IoResult recv_with_fd(int fd, char* buf, std::size_t len, int& fd_out);
+
 namespace testing {
 
 /// Deterministic I/O fault plan, armed process-globally (mirror of

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <new>
+#include <thread>
 #include <vector>
 
 #include "core/thread_annotations.h"
@@ -78,6 +80,7 @@ double filter_residual(const char* kernel, int iteration, double residual) {
     case FaultKind::kCrashAbort:
     case FaultKind::kCrashSegv:
     case FaultKind::kCrashOom:
+    case FaultKind::kCrashStall:
       break;
   }
   return residual;
@@ -139,6 +142,12 @@ void crash_point(const char* site, const std::string& key) {
       }
       std::abort();  // unreachable backstop: the child must not survive
     }
+    case FaultKind::kCrashStall:
+      // Wedge, don't die: models a livelock/infinite loop the supervisor
+      // can only resolve by deadline-killing the child (SIGKILL ends the
+      // sleep loop — nothing here ever returns).
+      for (;;)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
     case FaultKind::kNone:
     case FaultKind::kNanResidual:
     case FaultKind::kExhaustIterations:

@@ -27,13 +27,14 @@ enum class FaultKind {
   kCrashAbort,  ///< std::abort() — death by SIGABRT
   kCrashSegv,   ///< store through an invalid pointer — death by SIGSEGV
   kCrashOom,    ///< allocate until the rail kills the child (OOM/RLIMIT_AS)
+  kCrashStall,  ///< wedge in a sleep loop until the supervisor kills it
 };
 
 /// True for the kinds that terminate the process instead of perturbing a
 /// residual. Crash kinds are inert outside crash_point()/allow_crash_faults.
 constexpr bool is_crash_kind(FaultKind kind) {
   return kind == FaultKind::kCrashAbort || kind == FaultKind::kCrashSegv ||
-         kind == FaultKind::kCrashOom;
+         kind == FaultKind::kCrashOom || kind == FaultKind::kCrashStall;
 }
 
 /// What to inject and where. Kernels are matched by substring, so

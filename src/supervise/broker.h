@@ -1,0 +1,88 @@
+// Fork broker: the single-threaded proxy that makes runtime reforks safe.
+//
+// fork() in a multi-threaded process copies only the calling thread, but the
+// WHOLE address space — including any lock another thread happened to hold
+// at that instant. A child that then runs ordinary C++ (malloc, JSON, Server
+// construction) can deadlock on an inherited, forever-locked allocator
+// mutex. The WorkerPool therefore never forks from a pool thread: it forks
+// ONE broker child inside its constructor's single-threaded window, and the
+// broker — single-threaded for its whole life, so its heap and locks are
+// consistent at every instant — forks every worker on the pool's behalf.
+//
+// The control channel is a SOCK_SEQPACKET socketpair speaking fixed-size
+// binary commands. A spawn reply carries the parent end of the new worker's
+// channel as SCM_RIGHTS ancillary data; reap replies carry the wait4()
+// summary (signal, exit code, peak RSS) of a worker the broker fathered.
+// Workers are the broker's children, not the pool's, so all reaping flows
+// through the broker; the pool may still SIGKILL a worker directly (same
+// uid), which is how deadline kills stay immediate.
+//
+// Teardown: the broker exits when the control channel reaches EOF —
+// including the case where the pool process dies without cleanup — and on
+// the way out SIGKILLs and reaps any workers not yet reaped, so no orphan
+// can outlive the supervisor.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+#include "core/thread_annotations.h"
+#include "net/socket_io.h"
+#include "service/server.h"
+#include "supervise/worker.h"
+
+namespace dsmt::supervise {
+
+/// wait4() summary of one reaped worker.
+struct WorkerDeath {
+  bool reaped = false;  ///< false: still running (poll) or unknown to wait4
+  int signal = 0;       ///< terminating signal, 0 when it exited
+  int exit_code = -1;   ///< exit status, -1 when signalled
+  long maxrss_kb = 0;   ///< peak RSS [KiB] from rusage
+};
+
+class ForkBroker {
+ public:
+  /// Forks the broker child. MUST be constructed while the process is
+  /// single-threaded (the WorkerPool constructor's documented window) —
+  /// that one fork is the only one that ever happens from this process.
+  /// `payload_cap` is the clamped per-direction IPC payload limit [bytes];
+  /// the broker sizes every worker socketpair's send buffers to it.
+  ForkBroker(service::ServerConfig service, WorkerLimits limits,
+             std::size_t payload_cap);
+  ~ForkBroker();
+  ForkBroker(const ForkBroker&) = delete;
+  ForkBroker& operator=(const ForkBroker&) = delete;
+
+  /// True while the broker child is believed alive and the control channel
+  /// is open. A dead broker degrades the pool to spawn failures — live
+  /// workers keep serving.
+  bool ok() const;
+
+  /// Forks one worker via the broker: on success `channel` holds the parent
+  /// end of the worker's SEQPACKET channel and `pid` its process id.
+  bool spawn(net::Fd& channel, ::pid_t& pid);
+
+  /// Blocking reap of `pid` (callers SIGKILL first, so this cannot wait on
+  /// a live child). Returns false only when the broker itself is gone.
+  bool reap_blocking(::pid_t pid, WorkerDeath& death);
+
+  /// WNOHANG probe: `death.reaped` says whether `pid` was collected.
+  /// Returns false only when the broker itself is gone.
+  bool reap_poll(::pid_t pid, WorkerDeath& death);
+
+  /// Closes the control channel (the broker kills/reaps leftover workers
+  /// and exits) and reaps the broker child itself, SIGKILL after a bounded
+  /// wait. Idempotent; called by the destructor.
+  void shutdown();
+
+ private:
+  bool reap(::pid_t pid, bool blocking, WorkerDeath& death);
+
+  mutable Mutex mu_;
+  net::Fd channel_ DSMT_GUARDED_BY(mu_);
+  ::pid_t broker_pid_ DSMT_GUARDED_BY(mu_) = -1;
+};
+
+}  // namespace dsmt::supervise

@@ -1,10 +1,7 @@
 #include "supervise/pool.h"
 
 #include <poll.h>
-#include <sys/resource.h>
 #include <sys/socket.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
 #include <cerrno>
 #include <chrono>
@@ -79,14 +76,41 @@ StatusCode peek_status(const std::string& frame) {
 }
 
 /// Whole-datagram send on the parent side; mirrors the worker's helper.
-bool send_whole(int fd, const std::string& message) {
+/// Returns 0 on success, else the errno of the failure — the caller must
+/// distinguish a dead peer (EPIPE/ECONNRESET) from an undeliverable
+/// datagram on a LIVE child (EMSGSIZE, ENOBUFS), which must not be treated
+/// as a crash.
+int send_whole(int fd, const std::string& message) {
   for (;;) {
     const net::IoResult r =
         net::write_some(fd, message.data(), message.size());
-    if (r.n == static_cast<long>(message.size())) return true;
+    if (r.n == static_cast<long>(message.size())) return 0;
     if (r.n < 0 && r.would_block()) continue;
-    return false;  // EPIPE: the worker is gone
+    if (r.n >= 0) return EPROTO;  // short SEQPACKET send: cannot happen
+    return r.error != 0 ? r.error : EPIPE;
   }
+}
+
+/// Effective per-direction payload cap: `want_payload` clamped to the
+/// single-datagram capacity a worker socketpair will actually grant. Probed
+/// on a throwaway pair here so every later sizing decision — parent
+/// pre-send check, read buffers, the worker's reply-elision threshold —
+/// agrees with what the kernel enforces (the broker applies the same
+/// SO_SNDBUF tuning to every real pair).
+std::size_t probe_payload_cap(std::size_t want_payload) {
+  const std::size_t overhead = kSeqPrefixBytes + net::kFrameHeaderBytes;
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, sv) != 0)
+    return want_payload;  // unknowable: the sender's errno path protects
+  net::Fd a;
+  net::Fd b;
+  a.reset(sv[0]);
+  b.reset(sv[1]);
+  const std::size_t datagram_cap =
+      net::tune_datagram_capacity(a.get(), overhead + want_payload);
+  if (datagram_cap <= overhead) return want_payload;
+  const std::size_t granted = datagram_cap - overhead;
+  return granted < want_payload ? granted : want_payload;
 }
 
 service::Response base_response(const service::Request& request,
@@ -111,15 +135,21 @@ ExecuteResult to_result(const service::Response& resp) {
 }  // namespace
 
 WorkerPool::WorkerPool(SuperviseConfig config) : config_(std::move(config)) {
+  payload_cap_ = probe_payload_cap(config_.max_payload_bytes);
+  // The broker is forked HERE, in the constructor's single-threaded window
+  // — the one point where fork() cannot race another thread holding a lock
+  // the child would inherit locked. Every worker fork, initial fleet and
+  // lazy refork alike, then happens inside the broker child, which stays
+  // single-threaded for life; pool threads never fork.
+  broker_ = std::make_unique<ForkBroker>(config_.service, config_.limits,
+                                         payload_cap_);
   {
     MutexLock lock(mu_);
     slots_.resize(config_.workers == 0 ? 1 : config_.workers);
-    // Fork the whole fleet before any pool thread can be waiting on us:
-    // construction is the single-threaded window where fork() cannot race
-    // another thread holding a lock the child would inherit locked. A slot
-    // whose initial fork fails stays dead and is retried on first lease.
+    // A slot whose initial spawn fails stays dead and is retried on first
+    // lease.
     for (Slot& slot : slots_)
-      if (fork_slot(slot)) ++stats_.forks;
+      if (spawn_slot(slot)) ++stats_.forks;
   }
   if (config_.publish_signoff)
     core::set_signoff_service_source(this, [this] {
@@ -153,11 +183,32 @@ ExecuteResult WorkerPool::execute(const service::Request& request,
     return quarantined_result(request, hash, quarantined_crashes);
 
   const std::string message = encode_request_message(seq, request);
+  if (message.size() >
+      kSeqPrefixBytes + net::kFrameHeaderBytes + payload_cap_) {
+    // Never offer the kernel a datagram it will refuse: an EMSGSIZE on a
+    // live worker is not a crash, and must not be classified as one.
+    {
+      MutexLock lock(mu_);
+      ++stats_.oversize_refusals;
+    }
+    service::Response resp = base_response(
+        request, StatusCode::kInvalidInput,
+        "request exceeds the supervision channel datagram capacity");
+    resp.diag.record(
+        "supervise/pool", StatusCode::kInvalidInput, 0, 0.0,
+        "encoded request is " + std::to_string(message.size()) +
+            " bytes; the channel carries at most " +
+            std::to_string(kSeqPrefixBytes + net::kFrameHeaderBytes +
+                           payload_cap_) +
+            " (max_payload_bytes clamped to the socket buffer grant)");
+    return to_result(resp);
+  }
   for (int attempt = 0; attempt < 2; ++attempt) {
     Lease lease;
     ExecuteResult failure;
     if (!acquire(lease, failure, request)) return failure;
-    if (!send_whole(lease.fd, message)) {
+    const int send_error = send_whole(lease.fd, message);
+    if (send_error == EPIPE || send_error == ECONNRESET) {
       // The worker died while idle — before it ever saw this request, so
       // the crash does not count against the request's hash. Reap, mark
       // the slot for restart, and try once more on a fresh worker.
@@ -166,6 +217,24 @@ ExecuteResult WorkerPool::execute(const service::Request& request,
       long rss = 0;
       reap_crashed(lease, sig, code, rss);
       continue;
+    }
+    if (send_error != 0) {
+      // The child is alive but the datagram was undeliverable (EMSGSIZE
+      // past the kernel's grant, ENOBUFS/ENOMEM pressure). The worker
+      // never saw the request: release the lease untouched — reaping a
+      // live child here would block the slot forever — and answer typed.
+      release(lease.index);
+      const StatusCode st = send_error == EMSGSIZE
+                                ? StatusCode::kInvalidInput
+                                : StatusCode::kRejectedOverload;
+      service::Response resp = base_response(
+          request, st, "supervision channel send failed; request not run");
+      resp.diag.record("supervise/pool", st, 0, 0.0,
+                       "send to worker pid " + std::to_string(lease.pid) +
+                           " failed with errno " +
+                           std::to_string(send_error) +
+                           "; worker left in service");
+      return to_result(resp);
     }
     return await_reply(lease, request, hash, seq);
   }
@@ -256,7 +325,7 @@ bool WorkerPool::acquire(Lease& lease, ExecuteResult& failure,
 
   MutexLock lock(mu_);
   Slot& slot = slots_[index];
-  if (!fork_slot(slot)) {
+  if (!spawn_slot(slot)) {
     slot.busy = false;
     slot_free_.notify_one();
     failure = to_result(base_response(request, StatusCode::kWorkerCrashed,
@@ -282,7 +351,7 @@ ExecuteResult WorkerPool::await_reply(const Lease& lease,
                                       std::uint64_t seq) {
   const auto start = std::chrono::steady_clock::now();
   std::string buffer(kSeqPrefixBytes + net::kFrameHeaderBytes +
-                         config_.max_payload_bytes,
+                         payload_cap_,
                      '\0');
   for (;;) {
     StatusCode st = core::run_check();
@@ -300,10 +369,12 @@ ExecuteResult WorkerPool::await_reply(const Lease& lease,
     }
     if (st != StatusCode::kOk) {
       // The worker is wedged past the caller's budget (or a drain cancel
-      // arrived): kill it so the lane frees now, not eventually. A
-      // deadline kill counts toward quarantine — the request provably
-      // wedged a worker — but a cancel is the caller's choice, not the
-      // request's fault.
+      // arrived): kill it so the lane frees now, not eventually. Only a
+      // POOL deadline — reply_deadline_ns, measured from the successful
+      // send — counts toward quarantine: it proves the request wedged a
+      // worker. An ambient budget may have been burnt queueing or in
+      // restart backoff before the child ever started, and a cancel is the
+      // caller's choice; neither indicts the request.
       (void)::kill(lease.pid, SIGKILL);
       int sig = 0;
       int code = -1;
@@ -314,7 +385,7 @@ ExecuteResult WorkerPool::await_reply(const Lease& lease,
         ++stats_.deadline_kills;
       }
       int crashes = 0;
-      if (st == StatusCode::kDeadlineExceeded) crashes = note_crash(hash);
+      if (pool_deadline) crashes = note_crash(hash);
       service::Response resp = base_response(
           request, st,
           pool_deadline
@@ -344,13 +415,21 @@ ExecuteResult WorkerPool::await_reply(const Lease& lease,
       std::uint64_t echoed = 0;
       std::string frame;
       if (split_message(buffer.data(), static_cast<std::size_t>(r.n),
-                        config_.max_payload_bytes, echoed, frame) &&
+                        payload_cap_, echoed, frame) &&
           echoed == seq) {
         const StatusCode status = peek_status(frame);
         {
           MutexLock lock(mu_);
           ++stats_.replies;
           slots_[lease.index].consecutive_restarts = 0;
+          // A hash that just completed normally is demonstrably not
+          // poison: clear its sub-threshold crash history so transient
+          // causes (a since-fixed wedge, memory pressure) cannot slowly
+          // accumulate into a permanent quarantine.
+          const auto it = quarantine_.find(hash);
+          if (it != quarantine_.end() &&
+              it->second.crashes < config_.quarantine_threshold)
+            quarantine_.erase(it);
         }
         release(lease.index);
         return ExecuteResult{status, std::move(frame)};
@@ -392,17 +471,15 @@ ExecuteResult WorkerPool::await_reply(const Lease& lease,
 
 void WorkerPool::reap_crashed(const Lease& lease, int& signal,
                               int& exit_code, long& maxrss_kb) {
-  int status = 0;
-  struct rusage ru {};
-  for (;;) {
-    const ::pid_t r = ::wait4(lease.pid, &status, 0, &ru);
-    if (r == lease.pid) break;
-    if (r < 0 && errno == EINTR) continue;
-    break;  // ECHILD etc.: nothing more to learn
-  }
-  signal = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
-  exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-  maxrss_kb = ru.ru_maxrss;
+  // SIGKILL before the blocking reap: a zombie discards signals, so this is
+  // a no-op for the already-dead case, and it guarantees the reap can never
+  // wait on a child that is in fact still alive.
+  if (lease.pid > 0) (void)::kill(lease.pid, SIGKILL);
+  WorkerDeath death;
+  if (broker_) (void)broker_->reap_blocking(lease.pid, death);
+  signal = death.reaped ? death.signal : 0;
+  exit_code = death.reaped ? death.exit_code : -1;
+  maxrss_kb = death.maxrss_kb;
 
   MutexLock lock(mu_);
   Slot& slot = slots_[lease.index];
@@ -426,29 +503,15 @@ int WorkerPool::note_crash(std::uint64_t hash) {
   return entry.crashes;
 }
 
-bool WorkerPool::fork_slot(Slot& slot) {
-  int sv[2] = {-1, -1};
-  if (::socketpair(AF_UNIX, SOCK_SEQPACKET | SOCK_CLOEXEC, 0, sv) != 0)
-    return false;
-  net::Fd parent_end;
-  net::Fd child_end;
-  parent_end.reset(sv[0]);
-  child_end.reset(sv[1]);
-  const ::pid_t pid = ::fork();
-  if (pid < 0) return false;  // both ends close on unwind
-  if (pid == 0) {
-    // CHILD. It must never unwind back into pool (or caller) code: serve
-    // until EOF, then _exit without running parent-state destructors. Its
-    // copy of the parent end closes now so EOF on sv[0] in the parent can
-    // only mean THIS child is gone.
-    parent_end.reset();
-    const int code = run_worker(child_end.get(), config_.service,
-                                config_.limits, config_.max_payload_bytes);
-    ::_exit(code);
-  }
-  child_end.reset();  // parent: only the child holds sv[1] from here on
+bool WorkerPool::spawn_slot(Slot& slot) {
+  // The fork happens in the broker child (single-threaded for life), never
+  // here: a pool thread that forked directly could hand the worker a heap
+  // whose allocator lock some other thread held at fork time.
+  net::Fd channel;
+  ::pid_t pid = -1;
+  if (!broker_ || !broker_->spawn(channel, pid)) return false;
   slot.pid = pid;
-  slot.channel = std::move(parent_end);
+  slot.channel = std::move(channel);
   slot.dead = false;
   slot.last_signal = 0;
   slot.last_exit_code = -1;
@@ -541,13 +604,14 @@ void WorkerPool::shutdown() {
     slot_free_.notify_all();
   }
 
-  // Bounded cooperative reap (~2 s of WNOHANG polls), then SIGKILL the
-  // stragglers and reap them for real — no zombies left behind.
+  // Bounded cooperative reap (~2 s of WNOHANG probes through the broker —
+  // the workers are its children), then SIGKILL the stragglers and reap
+  // them for real — no zombies left behind. A dead broker already killed
+  // and reaped its workers in its own teardown.
   for (int tick = 0; tick < 200 && !pending.empty(); ++tick) {
     for (auto it = pending.begin(); it != pending.end();) {
-      int status = 0;
-      const ::pid_t r = ::waitpid(*it, &status, WNOHANG);
-      if (r == *it || (r < 0 && errno != EINTR))
+      WorkerDeath death;
+      if (!broker_ || !broker_->reap_poll(*it, death) || death.reaped)
         it = pending.erase(it);
       else
         ++it;
@@ -557,12 +621,10 @@ void WorkerPool::shutdown() {
   }
   for (const ::pid_t pid : pending) {
     (void)::kill(pid, SIGKILL);
-    for (;;) {
-      int status = 0;
-      const ::pid_t r = ::waitpid(pid, &status, 0);
-      if (r == pid || (r < 0 && errno != EINTR)) break;
-    }
+    WorkerDeath death;
+    if (broker_) (void)broker_->reap_blocking(pid, death);
   }
+  if (broker_) broker_->shutdown();
 
   MutexLock lock(mu_);
   for (Slot& slot : slots_) slot.pid = -1;
@@ -606,7 +668,9 @@ report::Json WorkerPool::supervise_json() const {
            Json::integer(
                static_cast<long long>(stats_.quarantined_hashes)))
       .set("protocol_errors",
-           Json::integer(static_cast<long long>(stats_.protocol_errors)));
+           Json::integer(static_cast<long long>(stats_.protocol_errors)))
+      .set("oversize_refusals",
+           Json::integer(static_cast<long long>(stats_.oversize_refusals)));
 
   Json quarantine = Json::array();
   for (const auto& [hash, entry] : quarantine_) {
@@ -623,6 +687,8 @@ report::Json WorkerPool::supervise_json() const {
   Json root = Json::object();
   root.set("workers", Json::integer(static_cast<long long>(slots_.size())))
       .set("live", Json::integer(static_cast<long long>(live)))
+      .set("payload_cap_bytes",
+           Json::integer(static_cast<long long>(payload_cap_)))
       .set("stats", std::move(stats))
       .set("quarantine", std::move(quarantine));
   return root;

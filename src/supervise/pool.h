@@ -14,7 +14,11 @@
 //   restart    the slot is reforked on next lease, after the PR 5 seeded
 //              backoff (service/retry.h: a pure function of slot index and
 //              consecutive-restart count, bitwise reproducible). Rails
-//              (WorkerLimits) are reinstalled in every new child.
+//              (WorkerLimits) are reinstalled in every new child. All forks
+//              — initial fleet and lazy reforks alike — happen inside the
+//              single-threaded ForkBroker child (broker.h), never on a pool
+//              thread, so a refork cannot inherit a lock some other thread
+//              held at fork time.
 //   quarantine a request whose canonical content hash (protocol.h) crashed
 //              workers `quarantine_threshold` times stops reaching workers:
 //              it is answered conservatively from the parent — the
@@ -43,12 +47,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "core/thread_annotations.h"
 #include "net/socket_io.h"
 #include "net/wire.h"
 #include "report/json.h"
 #include "service/retry.h"
 #include "service/server.h"
+#include "supervise/broker.h"
 #include "supervise/worker.h"
 
 namespace dsmt::supervise {
@@ -56,7 +63,10 @@ namespace dsmt::supervise {
 struct SuperviseConfig {
   std::size_t workers = 2;             ///< forked worker children
   service::ServerConfig service{};     ///< child-side service config
-  /// Cap on one IPC message's JSON payload [bytes] (both directions).
+  /// Cap on one IPC message's JSON payload [bytes] (both directions). The
+  /// pool clamps this to what the kernel's socket buffers can actually
+  /// carry in one SEQPACKET datagram (see payload_cap()); a request over
+  /// the clamped cap is refused with a typed kInvalidInput, never sent.
   std::size_t max_payload_bytes = net::kDefaultMaxFrameBytes;
   /// Crashes by one canonical request hash before it stops reaching workers.
   int quarantine_threshold = 2;
@@ -90,6 +100,7 @@ struct SuperviseStats {
   std::uint64_t quarantine_refusals = 0;  ///< requests refused by the table
   std::uint64_t quarantined_hashes = 0;   ///< hashes at/over the threshold
   std::uint64_t protocol_errors = 0;      ///< corrupted IPC echoes
+  std::uint64_t oversize_refusals = 0;    ///< requests over the payload cap
 };
 
 /// Outcome of one supervised request: the complete DSM1 reply frame for the
@@ -120,6 +131,12 @@ class WorkerPool {
   SuperviseStats stats() const;
   std::size_t live_workers() const;
   const SuperviseConfig& config() const { return config_; }
+
+  /// Effective per-direction IPC payload cap [bytes]: max_payload_bytes
+  /// clamped to the single-datagram capacity the kernel granted the worker
+  /// socketpairs (SO_SNDBUF is silently limited by wmem_max; a datagram
+  /// past the grant dies with EMSGSIZE instead of fragmenting).
+  std::size_t payload_cap() const { return payload_cap_; }
 
   /// Sign-off/ping section: worker states, counters, quarantine table.
   report::Json supervise_json() const;
@@ -158,12 +175,15 @@ class WorkerPool {
   ExecuteResult await_reply(const Lease& lease,
                             const service::Request& request,
                             std::uint64_t hash, std::uint64_t seq);
-  /// Reaps the child of `lease`, classifies the death, marks the slot dead.
+  /// Reaps the child of `lease` via the broker (SIGKILL first, so a live
+  /// child can never block the reap), classifies the death, marks the slot
+  /// dead.
   void reap_crashed(const Lease& lease, int& signal, int& exit_code,
                     long& maxrss_kb);
   /// Counts one crash against `hash`; returns the updated crash count.
   int note_crash(std::uint64_t hash);
-  bool fork_slot(Slot& slot) DSMT_REQUIRES(mu_);
+  /// Leases a fresh worker from the broker into `slot`.
+  bool spawn_slot(Slot& slot) DSMT_REQUIRES(mu_);
   ExecuteResult quarantined_result(const service::Request& request,
                                    std::uint64_t hash, int crashes);
   ExecuteResult crashed_result(const service::Request& request,
@@ -172,6 +192,10 @@ class WorkerPool {
                                int crash_count);
 
   const SuperviseConfig config_;
+  // R10-ok: both set once in the constructor (single-threaded window) and
+  // read-only afterwards; the broker serializes its own channel internally.
+  std::size_t payload_cap_ = 0;
+  std::unique_ptr<ForkBroker> broker_;
   mutable Mutex mu_;
   CondVar slot_free_;
   std::vector<Slot> slots_ DSMT_GUARDED_BY(mu_);

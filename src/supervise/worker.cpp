@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "net/socket_io.h"
 #include "net/wire.h"
 #include "supervise/protocol.h"
@@ -123,13 +124,33 @@ int run_worker(int channel_fd, service::ServerConfig service_config,
 
       std::string reply;
       try {
+        const std::size_t message_cap =
+            kSeqPrefixBytes + net::kFrameHeaderBytes + max_payload_bytes;
         reply = encode_response_message(seq, response);
-        if (reply.size() > kSeqPrefixBytes + net::kFrameHeaderBytes +
-                               max_payload_bytes)
-          reply = encode_response_message(
-              seq, slim_error(response.id, response.status,
-                              "response diagnostics elided: over the "
-                              "supervision datagram cap"));
+        if (reply.size() > message_cap) {
+          // Elide ONLY the diag chain (and the retry schedule riding with
+          // it): the status and the numeric results the client asked for
+          // are kept — a successful solve must not turn into a hollow kOk
+          // with no temperatures just because its diagnostics grew.
+          service::Response elided = response;
+          elided.diag = core::SolverDiag{};
+          elided.diag.record("supervise/worker", response.status,
+                             response.diag.iterations,
+                             response.diag.residual,
+                             "diag chain elided: full reply exceeds the "
+                             "supervision datagram cap");
+          elided.backoff_ns.clear();
+          reply = encode_response_message(seq, elided);
+          if (reply.size() > message_cap)
+            // Still over — only a pathological id can do this. Nothing
+            // meaningful fits, so the status must say failure rather than
+            // a success with every result field dropped.
+            reply = encode_response_message(
+                seq,
+                slim_error(response.id.substr(0, 128),
+                           core::StatusCode::kInvalidInput,
+                           "response exceeds the supervision datagram cap"));
+        }
       } catch (const std::exception& e) {
         reply = encode_response_message(
             seq, slim_error(response.id, core::StatusCode::kInvalidInput,

@@ -13,6 +13,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "core/atomic_file.h"
+#include "core/run_context.h"
 #include "core/status.h"
 #include "numeric/fault_injection.h"
 #include "report/json.h"
@@ -272,6 +274,147 @@ TEST(WorkerPool, QuarantineIsTypedErrorWithoutTheAnalyticRung) {
   EXPECT_NE(field_string(payload_of(refused), "error").find("quarantined"),
             std::string::npos);
   EXPECT_EQ(pool.stats().crashes, 2u);  // refusals do not reach workers
+}
+
+// --- datagram capacity -------------------------------------------------------
+
+TEST(WorkerPool, OversizeRequestIsTypedRefusalNotACrash) {
+  // A request whose encoded message exceeds the (clamped) payload cap must
+  // never be offered to the kernel: SEQPACKET refuses it with EMSGSIZE on a
+  // LIVE child, and mistaking that for a crash used to blocking-wait on a
+  // worker that never died.
+  SuperviseConfig config = quiet_pool(1);
+  config.max_payload_bytes = 4096;
+  WorkerPool pool(config);
+  ASSERT_EQ(pool.payload_cap(), 4096u);
+
+  const service::Request fat = wire_request(std::string(12 * 1024, 'x'));
+  const ExecuteResult refused = pool.execute(fat, 1);
+  EXPECT_EQ(refused.status, StatusCode::kInvalidInput);
+  EXPECT_NE(field_string(payload_of(refused), "error")
+                .find("datagram capacity"),
+            std::string::npos);
+
+  // The worker never saw the request and is still in service: the next
+  // clean request is answered by the SAME child — no crash, no refork.
+  EXPECT_EQ(pool.live_workers(), 1u);
+  EXPECT_EQ(pool.execute(wire_request("small-after-fat"), 2).status,
+            StatusCode::kOk);
+
+  const SuperviseStats stats = pool.stats();
+  EXPECT_EQ(stats.oversize_refusals, 1u);
+  EXPECT_EQ(stats.crashes, 0u);
+  EXPECT_EQ(stats.restarts, 0u);
+  EXPECT_EQ(stats.forks, 1u);
+}
+
+TEST(WorkerPool, OversizeReplyKeepsResultsAndElidesOnlyTheDiag) {
+  // Fatten the reply's diag chain deterministically: exhausting the child's
+  // solver iterations drives the retry schedule and the degradation ladder,
+  // which append several records (plus backoff_ns) to a still-kOk response.
+  SuperviseConfig config = quiet_pool(1);
+  config.limits.child_fault.kind = FaultKind::kExhaustIterations;
+  config.limits.child_fault.kernel_substr = "selfconsistent";
+  config.limits.child_fault.at_iteration = 1;
+
+  const service::Request request = wire_request("fat-diag");
+  std::size_t full_payload = 0;
+  {
+    WorkerPool wide(config);
+    const ExecuteResult full = wide.execute(request, 9);
+    ASSERT_EQ(full.status, StatusCode::kOk);
+    ASSERT_GT(full.frame.size(), net::kFrameHeaderBytes);
+    full_payload = full.frame.size() - net::kFrameHeaderBytes;
+  }
+
+  // One byte under the full reply: the worker must elide the diag chain,
+  // NOT the numeric results, and NOT report a hollow kOk or a crash.
+  SuperviseConfig tight = config;
+  tight.max_payload_bytes = full_payload - 1;
+  WorkerPool pool(tight);
+  const ExecuteResult elided = pool.execute(request, 9);
+  ASSERT_EQ(elided.status, StatusCode::kOk);
+  const report::Json root = payload_of(elided);
+  EXPECT_EQ(field_string(root, "id"), "fat-diag");
+  const report::Json* solution = root.find("solution");
+  ASSERT_NE(solution, nullptr);
+  EXPECT_GT(solution->find("j_rms_MA_cm2")->as_number(), 0.0);
+  EXPECT_NE(elided.frame.find("diag chain elided"), std::string::npos);
+
+  const SuperviseStats stats = pool.stats();
+  EXPECT_EQ(stats.replies, 1u);
+  EXPECT_EQ(stats.crashes, 0u);
+}
+
+// --- deadline kills vs quarantine --------------------------------------------
+
+TEST(WorkerPool, ReplyDeadlineKillCountsTowardQuarantine) {
+  // kCrashStall wedges the child in an endless sleep: only the supervised
+  // reply deadline — measured from the successful send, so provably spent
+  // inside the worker — can resolve it, and that kill DOES indict the hash.
+  SuperviseConfig config = quiet_pool(1);
+  config.limits.child_fault = crash_plan(FaultKind::kCrashStall);
+  config.reply_deadline_ns = 80ull * 1000 * 1000;
+  config.quarantine_threshold = 2;
+  config.quarantine_analytic_bound = true;
+  WorkerPool pool(config);
+
+  const service::Request poison = wire_request("poison-stall");
+  const ExecuteResult first = pool.execute(poison, 1);
+  EXPECT_EQ(first.status, StatusCode::kDeadlineExceeded);
+  EXPECT_NE(field_string(payload_of(first), "error").find("reply deadline"),
+            std::string::npos);
+  // The second attempt exercises the lazy refork (through the fork broker,
+  // from this thread — which is not the thread the pool was built on).
+  EXPECT_EQ(pool.execute(poison, 2).status, StatusCode::kDeadlineExceeded);
+
+  // Two pool-deadline kills reach the threshold: the parent's analytic rung
+  // answers without any worker (or any 80 ms wait).
+  const ExecuteResult refused = pool.execute(poison, 3);
+  ASSERT_EQ(refused.status, StatusCode::kOk);
+  EXPECT_TRUE(payload_of(refused).find("degraded")->as_bool());
+
+  const SuperviseStats stats = pool.stats();
+  EXPECT_EQ(stats.deadline_kills, 2u);
+  EXPECT_EQ(stats.crashes, 2u);
+  EXPECT_EQ(stats.quarantined_hashes, 1u);
+  EXPECT_EQ(stats.quarantine_refusals, 1u);
+}
+
+TEST(WorkerPool, AmbientDeadlineKillDoesNotQuarantine) {
+  // An ambient (caller-budget) expiry may have burnt its budget queueing or
+  // in restart backoff before the child ever started: the worker is killed
+  // so the lane frees, but the request's hash is NOT indicted — two queue
+  // delays must never add up to a permanent quarantine of a valid request.
+  SuperviseConfig config = quiet_pool(1);
+  config.limits.child_fault = crash_plan(FaultKind::kCrashStall);
+  config.quarantine_threshold = 1;  // a single counted kill would quarantine
+  WorkerPool pool(config);
+
+  const service::Request poison = wire_request("poison-ambient");
+  {
+    const core::RunContext context =
+        core::RunContext::with_deadline_after(std::chrono::milliseconds(60));
+    core::ScopedRunContext scope(context);
+    const ExecuteResult killed = pool.execute(poison, 1);
+    EXPECT_EQ(killed.status, StatusCode::kDeadlineExceeded);
+    EXPECT_NE(field_string(payload_of(killed), "error").find("interrupted"),
+              std::string::npos);
+  }
+
+  const SuperviseStats stats = pool.stats();
+  EXPECT_EQ(stats.deadline_kills, 1u);
+  EXPECT_EQ(stats.crashes, 0u);
+  EXPECT_EQ(stats.quarantined_hashes, 0u);
+  const report::Json doc = pool.supervise_json();
+  const report::Json* table = doc.find("quarantine");
+  ASSERT_NE(table, nullptr);
+  EXPECT_EQ(table->size(), 0u);
+
+  // Unquarantined and off the ambient clock, a clean request flows again
+  // through a freshly reforked worker.
+  EXPECT_EQ(pool.execute(wire_request("clean-after-ambient"), 2).status,
+            StatusCode::kOk);
 }
 
 // --- concurrency -------------------------------------------------------------
