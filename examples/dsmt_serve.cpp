@@ -47,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/warm.h"
 #include "net/server.h"
 #include "numeric/fault_injection.h"
 #include "service/server.h"
@@ -72,6 +73,7 @@ int usage(bool to_stdout = false) {
       "                  [--tick-ms M] [--idle-ticks N] [--drain-ticks N]\n"
       "                  [--isolate] [--workers N] [--rlimit-as-mb N]\n"
       "                  [--rlimit-cpu-s N] [--crash-faults KIND[:SUBSTR]]\n"
+      "                  [--cache-dir DIR] [--warm-cache]\n"
       "                  [--indent N] [--strict] [--help]\n"
       "\n"
       "Batch mode (default; --batch - reads stdin) serves one JSON batch\n"
@@ -86,6 +88,13 @@ int usage(bool to_stdout = false) {
       "--rlimit-as-mb/--rlimit-cpu-s rail each worker; --crash-faults\n"
       "KIND[:SUBSTR] (abort|segv|oom|stall, default SUBSTR \"poison\") arms the\n"
       "crash-chaos harness in the children only.\n"
+      "\n"
+      "--cache-dir DIR persists the content-addressed solve cache as an\n"
+      "append-only checksummed segment (DIR/solve.dsc), recovered and\n"
+      "repaired at startup; --warm-cache pre-solves the hot lattice into\n"
+      "it. Every hit is checksum-verified and replies stay byte-identical\n"
+      "to cold solves; corrupt entries are quarantined, never served.\n"
+      "Works with and without --isolate (the parent shares the cache).\n"
       "\n"
       "exit codes:\n"
       "  0  served: every request answered (batch) / clean drain (socket);\n"
@@ -226,6 +235,7 @@ int main(int argc, char** argv) {
   std::map<std::string, std::string> opts;
   bool strict = false;
   bool isolate = false;
+  bool warm = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") return usage(/*to_stdout=*/true);
@@ -235,6 +245,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--isolate") {
       isolate = true;
+      continue;
+    }
+    if (arg == "--warm-cache") {
+      warm = true;
       continue;
     }
     if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) return usage();
@@ -255,6 +269,24 @@ int main(int argc, char** argv) {
     if (opts.count("breaker-threshold"))
       config.breaker.failure_threshold = std::stoi(opts["breaker-threshold"]);
     const int indent = opts.count("indent") ? std::stoi(opts["indent"]) : 2;
+
+    // Content-addressed solve cache: --cache-dir makes it durable (the
+    // segment file is recovered/repaired here, before any server thread
+    // exists), --warm-cache alone gives a memory-only warm cache.
+    std::shared_ptr<cache::SolveCache> solve_cache;
+    if (opts.count("cache-dir") || warm) {
+      cache::SolveCacheConfig cache_config;
+      if (opts.count("cache-dir")) cache_config.dir = opts["cache-dir"];
+      solve_cache = std::make_shared<cache::SolveCache>(cache_config);
+      if (warm) {
+        const cache::WarmReport report = cache::warm_hot_lattice(*solve_cache);
+        std::fprintf(stderr,
+                     "dsmt_serve: warm cache: %zu lattice points, %zu "
+                     "solved, %zu cached\n",
+                     report.requested, report.solved, report.inserted);
+      }
+      config.solve_cache = solve_cache;
+    }
 
     const bool socket_mode = opts.count("listen") > 0 || opts.count("tcp") > 0;
     if (!socket_mode) {
@@ -300,6 +332,9 @@ int main(int argc, char** argv) {
 
     supervise::SuperviseConfig sup;
     sup.service = config;  // the CHILD-side service configuration
+    // The parent serves verified hits itself; the WorkerPool constructor
+    // strips service.solve_cache so children never inherit the cache.
+    sup.solve_cache = solve_cache;
     if (opts.count("workers"))
       sup.workers = static_cast<std::size_t>(std::stoul(opts["workers"]));
     if (opts.count("rlimit-as-mb"))

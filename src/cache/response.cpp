@@ -1,0 +1,34 @@
+#include "cache/response.h"
+
+#include "core/status.h"
+
+namespace dsmt::cache {
+
+service::Response hit_response(const service::Request& request,
+                               const service::LadderProblem& ladder,
+                               const CachedSolve& hit) {
+  service::Response resp;
+  resp.id = request.id;
+  resp.kind = request.kind;
+
+  // Statement-for-statement the solved branch of Server::execute on a
+  // clean first attempt; drift here IS a determinism bug and the
+  // differential test in tests/test_cache.cpp pins it.
+  const selfconsistent::Solution solution = to_solution(hit);
+  ++resp.attempts;
+  resp.diag.absorb(solution.diag, "service/attempt 1");
+  resp.status = core::StatusCode::kOk;
+  resp.degradation_level = service::DegradationLevel::kFull;
+  resp.conservative = true;
+  resp.t_metal_c = kelvin_to_celsius(hit.t_metal_k);
+  resp.delta_t_c = hit.delta_t_k;
+  resp.j_peak_MA_cm2 = to_MA_per_cm2(hit.j_peak_A_m2);
+  resp.j_rms_MA_cm2 = to_MA_per_cm2(hit.j_rms_A_m2);
+  resp.j_avg_MA_cm2 = to_MA_per_cm2(hit.j_avg_A_m2);
+  if (request.kind == service::RequestKind::kDutyCyclePoint)
+    resp.jpeak_em_only_MA_cm2 =
+        to_MA_per_cm2(selfconsistent::jpeak_em_only(ladder.full).value());
+  return resp;
+}
+
+}  // namespace dsmt::cache

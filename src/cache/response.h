@@ -1,0 +1,27 @@
+// Cache hit -> service Response, byte-identical to a cold solve.
+//
+// The determinism contract: a reply served from the cache must be
+// indistinguishable — byte for byte, once serialized — from the reply a
+// clean first-try cold solve produces. hit_response() therefore replays
+// the cold path's exact statement sequence (service/server.cpp's solved
+// branch) over the cached numbers: one attempt, the canonical diag chain
+// absorbed under "service/attempt 1", the same unit conversions, the same
+// EM-only recomputation for duty-cycle-point requests. Both the in-process
+// Server and the supervise parent call this — one implementation, one set
+// of bytes.
+#pragma once
+
+#include "cache/entry.h"
+#include "service/request.h"
+
+namespace dsmt::cache {
+
+/// Builds the Response a clean cold solve of `request` would have
+/// returned, from the cached numbers. `ladder` must be
+/// service::build_problem(request) — the EM-only limit is recomputed from
+/// it (closed-form, iteration-free) rather than widening the cache entry.
+service::Response hit_response(const service::Request& request,
+                               const service::LadderProblem& ladder,
+                               const CachedSolve& hit);
+
+}  // namespace dsmt::cache

@@ -1,0 +1,75 @@
+// Append-only checksummed segment file: the solve cache's durable form.
+//
+// A segment is a flat sequence of records, each a 36-byte header followed
+// by an entry payload (cache/entry.h layout):
+//
+//   offset  size  field
+//        0     4  magic "DSC1"
+//        4     4  format version, u32 BE (kFormatVersion)
+//        8     8  physics-schema stamp, u64 BE
+//       16     4  payload length, u32 BE
+//       20     8  payload FNV-1a, u64 BE
+//       28     8  header FNV-1a over bytes [0, 28), u64 BE
+//
+// The schema stamp is the FNV-1a digest of a human-readable string naming
+// every physics/tolerance decision baked into a cached number (kernel,
+// solver tolerances, unit conventions). A binary whose stamp differs MUST
+// NOT serve entries from the file — a cache of stale physics is worse than
+// no cache — so recovery refuses the whole segment (renamed aside, never
+// silently deleted) on the first stamp mismatch.
+//
+// Recovery walks records from offset 0 and classifies damage:
+//   torn tail      fewer bytes than a header, or a payload running past
+//                  EOF, or a header whose own checksum fails (a flip in a
+//                  length field would otherwise mis-frame everything after
+//                  it): the file is truncated at the last good record and
+//                  appending resumes there.
+//   corrupt entry  header intact but payload checksum or structure wrong:
+//                  counted as quarantined, skipped, NEVER served; later
+//                  records still load (the header framed the damage).
+//   stale schema   stamp mismatch: whole file refused, renamed aside.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "cache/entry.h"
+
+namespace dsmt::cache {
+
+inline constexpr char kSegmentMagic[4] = {'D', 'S', 'C', '1'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kRecordHeaderBytes = 36;
+
+/// The physics-schema sentence the default stamp digests. Bump this string
+/// whenever a change anywhere in the solve pipeline can alter cached
+/// numbers (kernel swap, tolerance change, unit redefinition) — old caches
+/// are then refused instead of served stale.
+extern const char* const kPhysicsSchema;
+
+/// FNV-1a digest of kPhysicsSchema.
+std::uint64_t default_schema_stamp();
+
+/// Frames one payload as a complete record (header + payload bytes).
+std::string encode_record(const std::string& payload,
+                          std::uint64_t schema_stamp);
+
+/// What recovery found in one segment file.
+struct SegmentLoadStats {
+  std::uint64_t entries_loaded = 0;
+  std::uint64_t corrupt_quarantined = 0;  ///< skipped, framed by a header
+  std::uint64_t torn_truncated = 0;       ///< tail truncation events
+  std::uint64_t bytes_truncated = 0;
+  bool refused_stamp = false;  ///< whole file refused (schema mismatch)
+};
+
+/// Replays `path` record by record, calling `sink(key, value)` for every
+/// intact entry (oldest first — the caller's last-writer-wins map makes
+/// duplicates converge). Repairs the file in place per the policy above.
+/// A missing file is an empty cache, not an error.
+SegmentLoadStats load_segment(
+    const std::string& path, std::uint64_t schema_stamp,
+    const std::function<void(std::string, const CachedSolve&)>& sink);
+
+}  // namespace dsmt::cache

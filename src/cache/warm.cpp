@@ -1,0 +1,81 @@
+#include "cache/warm.h"
+
+#include <string>
+
+#include "report/json.h"
+#include "selfconsistent/batch.h"
+
+namespace dsmt::cache {
+
+std::vector<service::Request> hot_lattice() {
+  std::vector<service::Request> lattice;
+  // The default-wire duty-cycle sweep, matching dsmt_loadgen's request
+  // stream (duty_cycle = 0.05 + 0.01 * (index % 40)).
+  for (int i = 0; i < 40; ++i) {
+    service::Request r;
+    r.duty_cycle = 0.05 + 0.01 * i;
+    lattice.push_back(r);
+  }
+  // The 250 nm Cu table's levels at the paper's two bounding duty cycles.
+  for (int level = 1; level <= 6; ++level) {
+    for (const double duty : {0.1, 1.0}) {
+      service::Request r;
+      r.kind = service::RequestKind::kTableCell;
+      r.technology = "NTRS-250nm-Cu";
+      r.level = level;
+      r.duty_cycle = duty;
+      lattice.push_back(r);
+    }
+  }
+  return lattice;
+}
+
+WarmReport warm_cache(SolveCache& cache,
+                      const std::vector<service::Request>& requests) {
+  WarmReport report;
+  report.requested = requests.size();
+
+  selfconsistent::BatchProblem batch;
+  std::vector<std::string> keys;
+  batch.reserve(requests.size());
+  keys.reserve(requests.size());
+  for (const service::Request& raw : requests) {
+    try {
+      // Round-trip through the wire codec TEXT first: the canonical key is
+      // the request's JSON text, which renders doubles at reply precision,
+      // so a locally built request (duty = 0.05 + 0.01*i, one ulp off the
+      // text form) must be solved AS ITS TEXT FORM — exactly the bits a
+      // socket or supervised-worker request parses to. The dump/parse pair
+      // is what canonicalizes the doubles; handing the Json object straight
+      // back keeps the original bits and would warm the right keys with
+      // subtly wrong values (hits differing from cold wire solves in the
+      // last residual digits).
+      const service::Request request = service::request_from_json(
+          report::Json::parse(service::request_to_json(raw).dump(-1)));
+      const service::LadderProblem ladder = service::build_problem(request);
+      batch.push_back(ladder.full);
+      keys.push_back(canonical_key(request));
+    } catch (const std::exception&) {
+      // Malformed lattice point: skip, the ladder would refuse it too.
+    }
+  }
+  if (batch.empty()) return report;
+
+  const selfconsistent::BatchSolution solved =
+      selfconsistent::solve_batch(batch);
+  for (std::size_t lane = 0; lane < solved.size(); ++lane) {
+    if (!solved.ok(lane)) continue;
+    ++report.solved;
+    const selfconsistent::Solution solution = solved.lane_solution(lane);
+    if (!canonical_solve(solution)) continue;  // recovered: not cacheable
+    cache.publish(keys[lane], from_solution(solution));
+    ++report.inserted;
+  }
+  return report;
+}
+
+WarmReport warm_hot_lattice(SolveCache& cache) {
+  return warm_cache(cache, hot_lattice());
+}
+
+}  // namespace dsmt::cache

@@ -1,0 +1,37 @@
+// Cache warming: pre-solve the hot lattice through the batched solver.
+//
+// The paper's design-rule workload concentrates on a small lattice —
+// default-geometry wires swept over duty cycle plus the NTRS table cells —
+// so `--warm-cache` solves that lattice once at startup (solve_batch: SoA,
+// all lanes in lock step, bitwise-faithful to the scalar path) and
+// publishes every canonical lane. Lanes that fail or need recovery are
+// simply not cached; warming is best-effort and never blocks serving
+// correctness, only latency.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cache/solve_cache.h"
+#include "service/request.h"
+
+namespace dsmt::cache {
+
+/// The requests production traffic repeats: the loadgen/default wire at
+/// duty cycles 0.05..0.44 (step 0.01) and the 250 nm table's first levels.
+std::vector<service::Request> hot_lattice();
+
+struct WarmReport {
+  std::size_t requested = 0;  ///< lattice points attempted
+  std::size_t solved = 0;     ///< lanes that solved kOk
+  std::size_t inserted = 0;   ///< canonical lanes published to the cache
+};
+
+/// Solves `requests` as one batch and publishes every canonical solve.
+WarmReport warm_cache(SolveCache& cache,
+                      const std::vector<service::Request>& requests);
+
+/// warm_cache(cache, hot_lattice()).
+WarmReport warm_hot_lattice(SolveCache& cache);
+
+}  // namespace dsmt::cache

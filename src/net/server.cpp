@@ -371,6 +371,10 @@ std::string Server::ping_reply_frame(const report::Json& doc) {
                shared_->outstanding.load(std::memory_order_acquire))))
       .set("breaker", std::move(breaker_json))
       .set("degradation", std::move(degradation));
+  // Solve-cache health: one section whether the cache serves the
+  // in-process service or the --isolate parent (the handle is shared).
+  if (config_.service.solve_cache != nullptr)
+    root.set("cache", config_.service.solve_cache->cache_json());
   if (config_.health_source) root.set("supervise", config_.health_source());
   return encode_frame(root.dump(-1));
 }

@@ -30,6 +30,7 @@ bool ReferenceCache::conservative_at(const std::string& family,
                                      double duty_cycle,
                                      ReferencePoint& out) const {
   MutexLock lock(mu_);
+  ++lookups_;
   const auto family_it = points_.find(family);
   if (family_it == points_.end()) return false;
   const std::vector<ReferencePoint>& family_points = family_it->second;
@@ -39,6 +40,7 @@ bool ReferenceCache::conservative_at(const std::string& family,
       [](const ReferencePoint& p, double r) { return p.duty_cycle < r; });
   if (at == family_points.end()) return false;
   out = *at;
+  ++hits_;
   return true;
 }
 
@@ -53,6 +55,16 @@ std::size_t ReferenceCache::size() const {
 std::size_t ReferenceCache::families() const {
   MutexLock lock(mu_);
   return points_.size();
+}
+
+std::uint64_t ReferenceCache::lookups() const {
+  MutexLock lock(mu_);
+  return lookups_;
+}
+
+std::uint64_t ReferenceCache::hits() const {
+  MutexLock lock(mu_);
+  return hits_;
 }
 
 namespace {

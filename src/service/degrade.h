@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -64,11 +65,19 @@ class ReferenceCache {
   std::size_t size() const;          ///< total cached points
   std::size_t families() const;      ///< distinct geometry families
 
+  /// Rung-1 observability (satellite of the cache PR: interpolation hits
+  /// used to be invisible in sign-off). lookups counts conservative_at
+  /// calls, hits the ones that returned a point.
+  std::uint64_t lookups() const;
+  std::uint64_t hits() const;
+
  private:
   mutable Mutex mu_;
   /// Per family: points sorted ascending by duty cycle.
   std::map<std::string, std::vector<ReferencePoint>> points_
       DSMT_GUARDED_BY(mu_);
+  mutable std::uint64_t lookups_ DSMT_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t hits_ DSMT_GUARDED_BY(mu_) = 0;
 };
 
 /// Rung-2 result: a feasible, conservative operating point.

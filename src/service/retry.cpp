@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cache/fnv.h"
+
 namespace dsmt::service {
 
 bool retryable(core::StatusCode status) {
@@ -18,12 +20,9 @@ std::uint64_t mix64(std::uint64_t z) {
 }
 
 std::uint64_t request_key(const std::string& id, std::size_t index) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
-  for (const char c : id) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;  // FNV-1a prime
-  }
-  return mix64(h ^ static_cast<std::uint64_t>(index));
+  // Standard-basis FNV-1a from the shared primitive (cache/fnv.h), mixed
+  // with the index. Bitwise-identical to the historical inline loop.
+  return mix64(cache::fnv1a(id) ^ static_cast<std::uint64_t>(index));
 }
 
 std::uint64_t backoff_ns(const RetryPolicy& policy, std::uint64_t key,

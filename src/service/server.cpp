@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "cache/response.h"
 #include "core/run_context.h"
 #include "core/signoff.h"
 #include "parallel/parallel_for.h"
@@ -192,6 +193,33 @@ Response Server::execute(const Request& request, std::size_t index) {
     }
   }
 
+  // Cache rung: sits above rung 0, inside the deadline scope so a parked
+  // waiter observes the same budget the solve would. A verified hit
+  // replays the cold path's exact reply bytes (cache/response.h); a miss
+  // either leads the single flight (publishing on success, abandoning on
+  // every other exit via the lease) or solves independently.
+  cache::SolveCache* const solve_cache = config_.solve_cache.get();
+  std::string cache_key;
+  cache::FlightLease flight;
+  if (solve_cache != nullptr) {
+    cache_key = cache::canonical_key(request);
+    cache::CachedSolve hit;
+    switch (solve_cache->acquire(cache_key, hit)) {
+      case cache::Acquire::kHit: {
+        Response out = cache::hit_response(request, ladder, hit);
+        cache_.insert(ladder.family, request.duty_cycle,
+                      cache::to_solution(hit));
+        ++ok_full_;
+        return out;
+      }
+      case cache::Acquire::kLead:
+        flight.arm(solve_cache, cache_key);
+        break;
+      case cache::Acquire::kSolve:
+        break;
+    }
+  }
+
   // Rung 0: the full quasi-2D solve, behind the breaker, with retries.
   bool solved = false;
   selfconsistent::Solution solution;
@@ -269,6 +297,14 @@ Response Server::execute(const Request& request, std::size_t index) {
       resp.jpeak_em_only_MA_cm2 =
           to_MA_per_cm2(selfconsistent::jpeak_em_only(ladder.full).value());
     cache_.insert(ladder.family, r, solution);
+    // Only a CANONICAL solve is cacheable: clean first try, the
+    // synthesized single-event diag. Retried or recovered solves carry
+    // history a hit could not replay byte-identically.
+    if (solve_cache != nullptr && resp.attempts == 1 &&
+        cache::canonical_solve(solution)) {
+      solve_cache->publish(cache_key, cache::from_solution(solution));
+      flight.dismiss();
+    }
     ++ok_full_;
     return resp;
   }
@@ -391,11 +427,20 @@ report::Json Server::service_json() const {
       .set("retries", Json::integer(static_cast<long long>(m.retries)));
   root.set("outcomes", std::move(outcomes));
 
+  // Uniform degradation-rung observability: rung-1 reference interpolation
+  // and the content-addressed solve cache report side by side.
   Json cache = Json::object();
-  cache
+  Json reference = Json::object();
+  reference
       .set("families",
            Json::integer(static_cast<long long>(cache_.families())))
-      .set("points", Json::integer(static_cast<long long>(cache_.size())));
+      .set("points", Json::integer(static_cast<long long>(cache_.size())))
+      .set("lookups",
+           Json::integer(static_cast<long long>(cache_.lookups())))
+      .set("hits", Json::integer(static_cast<long long>(cache_.hits())));
+  cache.set("reference", std::move(reference));
+  if (config_.solve_cache != nullptr)
+    cache.set("solve", config_.solve_cache->cache_json());
   root.set("cache", std::move(cache));
 
   Json breaker = Json::object();

@@ -34,9 +34,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/solve_cache.h"
 #include "report/json.h"
 #include "service/breaker.h"
 #include "service/degrade.h"
@@ -61,6 +63,11 @@ struct ServerConfig {
   /// Publish this server's service_json() under the sign-off "service" key
   /// (core/signoff.h) for the server's lifetime.
   bool publish_signoff = true;
+  /// Content-addressed solve cache above ladder rung 0 (cache/solve_cache.h):
+  /// verified hits replay the cold path's exact reply bytes, misses
+  /// single-flight the solve. Shared (shared_ptr) so the supervise parent
+  /// and the in-process service can serve from one cache. Null = no cache.
+  std::shared_ptr<cache::SolveCache> solve_cache;
 };
 
 /// Monotonic counters since construction (snapshot).

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "cache/response.h"
 #include "core/run_context.h"
 #include "core/signoff.h"
 #include "core/status.h"
@@ -134,7 +135,20 @@ ExecuteResult to_result(const service::Response& resp) {
 
 }  // namespace
 
-WorkerPool::WorkerPool(SuperviseConfig config) : config_(std::move(config)) {
+namespace {
+
+/// Children must never inherit the parent's solve cache: the AppendLog fd
+/// would cross fork() and child publishes would interleave with the
+/// parent's segment appends. The parent-side handle is config.solve_cache.
+SuperviseConfig strip_child_cache(SuperviseConfig config) {
+  config.service.solve_cache.reset();
+  return config;
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(SuperviseConfig config)
+    : config_(strip_child_cache(std::move(config))) {
   payload_cap_ = probe_payload_cap(config_.max_payload_bytes);
   // The broker is forked HERE, in the constructor's single-threaded window
   // — the one point where fork() cannot race another thread holding a lock
@@ -167,6 +181,29 @@ WorkerPool::~WorkerPool() {
 ExecuteResult WorkerPool::execute(const service::Request& request,
                                   std::uint64_t seq) {
   const std::uint64_t hash = canonical_request_hash(request);
+  // Shared-cache fast path, checked BEFORE the quarantine table: a
+  // request whose canonical twin already solved is answered from the
+  // verified cache without leasing a worker — poison repeats and
+  // crashed-worker retries included. lookup() (not acquire()): the parent
+  // must never park behind another request's solve.
+  if (config_.solve_cache != nullptr) {
+    cache::CachedSolve hit;
+    if (config_.solve_cache->lookup(cache::canonical_key(request), hit)) {
+      try {
+        const service::LadderProblem ladder =
+            service::build_problem(request);
+        {
+          MutexLock lock(mu_);
+          ++stats_.requests;
+          ++stats_.cache_hits;
+        }
+        return to_result(cache::hit_response(request, ladder, hit));
+      } catch (const std::exception&) {
+        // The key decodes but the problem no longer builds — fall through
+        // to the normal path, which classifies the failure.
+      }
+    }
+  }
   int quarantined_crashes = 0;
   {
     MutexLock lock(mu_);
@@ -670,7 +707,9 @@ report::Json WorkerPool::supervise_json() const {
       .set("protocol_errors",
            Json::integer(static_cast<long long>(stats_.protocol_errors)))
       .set("oversize_refusals",
-           Json::integer(static_cast<long long>(stats_.oversize_refusals)));
+           Json::integer(static_cast<long long>(stats_.oversize_refusals)))
+      .set("cache_hits",
+           Json::integer(static_cast<long long>(stats_.cache_hits)));
 
   Json quarantine = Json::array();
   for (const auto& [hash, entry] : quarantine_) {
@@ -691,6 +730,8 @@ report::Json WorkerPool::supervise_json() const {
            Json::integer(static_cast<long long>(payload_cap_)))
       .set("stats", std::move(stats))
       .set("quarantine", std::move(quarantine));
+  if (config_.solve_cache != nullptr)
+    root.set("cache", config_.solve_cache->cache_json());
   return root;
 }
 

@@ -87,6 +87,13 @@ struct SuperviseConfig {
   /// Publish the quarantine table + worker stats under the sign-off
   /// "service" key for the pool's lifetime.
   bool publish_signoff = true;
+  /// Parent-side shared solve cache (cache/solve_cache.h): verified hits
+  /// are answered before the quarantine table and the worker lease, so
+  /// quarantined-poison repeats and crashed-worker retries whose canonical
+  /// twin already solved never touch a child. Children NEVER inherit it —
+  /// the constructor strips service.solve_cache before forking (a cache fd
+  /// shared across fork would interleave segment appends).
+  std::shared_ptr<cache::SolveCache> solve_cache;
 };
 
 /// Monotonic counters since construction (snapshot).
@@ -101,6 +108,7 @@ struct SuperviseStats {
   std::uint64_t quarantined_hashes = 0;   ///< hashes at/over the threshold
   std::uint64_t protocol_errors = 0;      ///< corrupted IPC echoes
   std::uint64_t oversize_refusals = 0;    ///< requests over the payload cap
+  std::uint64_t cache_hits = 0;  ///< served from the shared solve cache
 };
 
 /// Outcome of one supervised request: the complete DSM1 reply frame for the

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "cache/fnv.h"
 #include "net/wire.h"
 
 namespace dsmt::supervise {
@@ -25,14 +26,11 @@ std::uint64_t get_u64_be(const char* data) {
 std::uint64_t canonical_request_hash(const service::Request& request) {
   const std::string canonical =
       service::request_to_json(request).dump(-1);
-  // FNV-1a, 64-bit: the same scheme as service::request_key, applied to the
-  // full canonical serialization instead of just the id.
-  std::uint64_t hash = 1469598103934665603ull;
-  for (const char c : canonical) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
+  // FNV-1a over the full canonical serialization, from the one shared
+  // primitive (cache/fnv.h). kCanonicalBasis is this function's historical
+  // basis, frozen there: changing it would invalidate every quarantine
+  // table and cache segment stamped by earlier binaries.
+  return cache::fnv1a(canonical, cache::kCanonicalBasis);
 }
 
 std::string encode_request_message(std::uint64_t seq,

@@ -1,0 +1,513 @@
+// Result-cache integrity suite (ctest label `cache`): the durable
+// content-addressed solve cache of src/cache/. Proves the contract the
+// cache exists to keep: a warm hit's reply bytes are identical to the cold
+// solve's at every thread count and through both the in-process and the
+// supervised (--isolate parent) paths; a flipped bit ANYWHERE in a segment
+// file is quarantined, never served; torn tails are truncated and the file
+// stays appendable; a foreign schema stamp refuses the whole file; and a
+// stampede of identical requests coalesces onto one leader. Mutates the
+// global thread count and forks worker children, so it gets its own
+// executable like the other chaos suites.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/entry.h"
+#include "cache/segment.h"
+#include "cache/solve_cache.h"
+#include "cache/warm.h"
+#include "parallel/parallel_for.h"
+#include "service/degrade.h"
+#include "service/request.h"
+#include "service/server.h"
+#include "supervise/pool.h"
+#include "supervise/protocol.h"
+
+namespace dsmt::cache {
+namespace {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { parallel::set_thread_count(0); }
+};
+
+/// A fresh cache directory under the test temp root; any segment left by a
+/// previous run of the same test is removed so replay starts clean.
+std::string cache_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "dsmt_cache_" + name;
+  ::mkdir(dir.c_str(), 0755);
+  std::remove((dir + "/solve.dsc").c_str());
+  std::remove((dir + "/solve.dsc.refused").c_str());
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+service::Request wire_request(const std::string& id, double duty = 0.1,
+                              double width_um = 0.5) {
+  service::Request r;
+  r.id = id;
+  r.kind = service::RequestKind::kSelfConsistent;
+  r.duty_cycle = duty;
+  r.wire.width_um = width_um;
+  r.wire.thickness_um = 0.9;
+  r.wire.dielectric_um = 0.8;
+  return r;
+}
+
+CachedSolve sample_value(int i) {
+  CachedSolve v;
+  v.t_metal_k = 373.15 + i;
+  v.delta_t_k = 4.25 + 0.5 * i;
+  v.j_peak_A_m2 = 1.0e10 + 1.0e7 * i;
+  v.j_rms_A_m2 = 3.0e9 + 1.0e6 * i;
+  v.j_avg_A_m2 = 1.0e9 + 1.0e5 * i;
+  v.residual = 1.0e-13 / (1 + i);
+  v.iterations = 7 + i;
+  return v;
+}
+
+bool bitwise_equal(const CachedSolve& a, const CachedSolve& b) {
+  return std::memcmp(&a, &b, sizeof a) == 0;
+}
+
+service::ServerConfig quiet_config() {
+  service::ServerConfig c;
+  c.sleep_on_backoff = false;
+  c.publish_signoff = false;
+  return c;
+}
+
+supervise::SuperviseConfig quiet_pool(std::size_t workers) {
+  supervise::SuperviseConfig c;
+  c.workers = workers;
+  c.service.sleep_on_backoff = false;
+  c.service.publish_signoff = false;
+  c.sleep_on_restart_backoff = false;
+  c.publish_signoff = false;
+  c.poll_interval_ms = 5;
+  return c;
+}
+
+// --- codec ------------------------------------------------------------------
+
+TEST(Codec, PayloadRoundTripsBitwise) {
+  const CachedSolve value = sample_value(3);
+  const std::string key = "{\"duty_cycle\":0.25}";
+  const std::string payload = encode_payload(key, value);
+  std::string decoded_key;
+  CachedSolve decoded;
+  ASSERT_TRUE(decode_payload(payload, decoded_key, decoded));
+  EXPECT_EQ(decoded_key, key);
+  EXPECT_TRUE(bitwise_equal(decoded, value));
+}
+
+TEST(Codec, PayloadRejectsTruncationAndPadding) {
+  const std::string payload = encode_payload("k", sample_value(0));
+  std::string key;
+  CachedSolve value;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut)
+    EXPECT_FALSE(decode_payload(payload.substr(0, cut), key, value)) << cut;
+  EXPECT_FALSE(decode_payload(payload + "x", key, value));
+}
+
+TEST(Codec, CanonicalKeyIgnoresRequestId) {
+  service::Request a = wire_request("first");
+  service::Request b = wire_request("second");
+  EXPECT_EQ(canonical_key(a), canonical_key(b));
+  b.duty_cycle = 0.11;
+  EXPECT_NE(canonical_key(a), canonical_key(b));
+}
+
+// --- segment recovery -------------------------------------------------------
+
+TEST(Segment, PersistsAcrossReconstruction) {
+  SolveCacheConfig cfg;
+  cfg.dir = cache_dir("persist");
+  std::vector<std::string> keys;
+  {
+    SolveCache cache(cfg);
+    for (int i = 0; i < 5; ++i) {
+      keys.push_back("key-" + std::to_string(i));
+      cache.publish(keys.back(), sample_value(i));
+    }
+    EXPECT_EQ(cache.stats().inserts, 5u);
+  }
+  SolveCache reloaded(cfg);
+  const CacheStats s = reloaded.stats();
+  EXPECT_EQ(s.loaded, 5u);
+  EXPECT_EQ(s.entries, 5u);
+  EXPECT_EQ(s.inserts, 0u);  // replayed entries are "loaded", not inserts
+  for (int i = 0; i < 5; ++i) {
+    CachedSolve hit;
+    ASSERT_TRUE(reloaded.lookup(keys[static_cast<std::size_t>(i)], hit));
+    EXPECT_TRUE(bitwise_equal(hit, sample_value(i)));
+  }
+}
+
+TEST(Segment, EveryPossibleBitFlipIsQuarantinedNeverServed) {
+  SolveCacheConfig cfg;
+  cfg.dir = cache_dir("bitflip");
+  std::vector<std::string> keys;
+  {
+    SolveCache cache(cfg);
+    for (int i = 0; i < 4; ++i) {
+      keys.push_back("bf-key-" + std::to_string(i));
+      cache.publish(keys.back(), sample_value(i));
+    }
+  }
+  const std::string path = cfg.dir + "/solve.dsc";
+  const std::string pristine = read_file(path);
+  ASSERT_GT(pristine.size(), 4u * kRecordHeaderBytes);
+
+  // Flip one bit at EVERY byte position in turn. Whatever the flip hits —
+  // magic, version, stamp, length, checksum, key, value — a lookup must
+  // either miss (the caller then solves for real) or hit with the exact
+  // original value. A served-but-wrong value is the one forbidden outcome.
+  std::size_t served = 0, quarantined_files = 0;
+  for (std::size_t pos = 0; pos < pristine.size(); ++pos) {
+    std::string corrupt = pristine;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x10);
+    write_file(path, corrupt);
+    SolveCache cache(cfg);
+    const CacheStats s = cache.stats();
+    if (s.corrupt_quarantined > 0 || s.refused_stamp ||
+        s.torn_truncated > 0)
+      ++quarantined_files;
+    for (int i = 0; i < 4; ++i) {
+      CachedSolve hit;
+      if (cache.lookup(keys[static_cast<std::size_t>(i)], hit)) {
+        ASSERT_TRUE(bitwise_equal(hit, sample_value(i)))
+            << "corrupted value served: flipped byte " << pos;
+        ++served;
+      }
+    }
+    // The cache must stay usable after any corruption: a fresh publish
+    // and verified read-back must work.
+    cache.publish("fresh", sample_value(9));
+    CachedSolve fresh;
+    ASSERT_TRUE(cache.lookup("fresh", fresh)) << "flipped byte " << pos;
+    ASSERT_TRUE(bitwise_equal(fresh, sample_value(9)));
+  }
+  // Sanity: the sweep really did both things — served verified survivors
+  // and detected damage (every flip lands in some record's span).
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(quarantined_files, pristine.size());
+  write_file(path, pristine);
+}
+
+TEST(Segment, TornTailIsTruncatedAndFileStaysAppendable) {
+  SolveCacheConfig cfg;
+  cfg.dir = cache_dir("torn");
+  {
+    SolveCache cache(cfg);
+    for (int i = 0; i < 3; ++i)
+      cache.publish("torn-" + std::to_string(i), sample_value(i));
+  }
+  const std::string path = cfg.dir + "/solve.dsc";
+  const std::string pristine = read_file(path);
+  // Tear the last record mid-payload, as a crash between write and fsync
+  // would.
+  write_file(path, pristine.substr(0, pristine.size() - 10));
+  {
+    SolveCache cache(cfg);
+    const CacheStats s = cache.stats();
+    EXPECT_EQ(s.loaded, 2u);
+    EXPECT_EQ(s.torn_truncated, 1u);
+    EXPECT_GT(s.bytes_truncated, 0u);
+    // The repaired file accepts appends at the truncated end.
+    cache.publish("torn-replacement", sample_value(5));
+  }
+  SolveCache reloaded(cfg);
+  EXPECT_EQ(reloaded.stats().loaded, 3u);
+  EXPECT_EQ(reloaded.stats().torn_truncated, 0u);
+  CachedSolve hit;
+  EXPECT_TRUE(reloaded.lookup("torn-replacement", hit));
+  EXPECT_TRUE(bitwise_equal(hit, sample_value(5)));
+}
+
+TEST(Segment, ForeignSchemaStampRefusesWholeFile) {
+  SolveCacheConfig cfg;
+  cfg.dir = cache_dir("stamp");
+  cfg.schema_stamp = 0x1111;
+  {
+    SolveCache cache(cfg);
+    cache.publish("stamped", sample_value(1));
+  }
+  SolveCacheConfig other = cfg;
+  other.schema_stamp = 0x2222;
+  SolveCache refused(other);
+  const CacheStats s = refused.stats();
+  EXPECT_TRUE(s.refused_stamp);
+  EXPECT_EQ(s.loaded, 0u);
+  CachedSolve hit;
+  EXPECT_FALSE(refused.lookup("stamped", hit));
+  // The foreign file was set aside, not deleted, and the new-stamp cache
+  // starts its own segment in its place.
+  struct stat st;
+  EXPECT_EQ(::stat((cfg.dir + "/solve.dsc.refused").c_str(), &st), 0);
+  refused.publish("restamped", sample_value(2));
+  SolveCache reloaded(other);
+  EXPECT_EQ(reloaded.stats().loaded, 1u);
+  EXPECT_FALSE(reloaded.stats().refused_stamp);
+}
+
+// --- single-flight coalescing ----------------------------------------------
+
+TEST(SingleFlight, StampedeElectsOneLeaderAndCoalescesWaiters) {
+  SolveCache cache(SolveCacheConfig{});  // memory-only
+  constexpr int kThreads = 8;
+  std::atomic<int> leads{0}, hits{0}, solves{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      CachedSolve out;
+      switch (cache.acquire("stampede", out)) {
+        case Acquire::kLead:
+          ++leads;
+          // Hold the flight long enough for the others to park.
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          cache.publish("stampede", sample_value(4));
+          break;
+        case Acquire::kHit:
+          EXPECT_TRUE(bitwise_equal(out, sample_value(4)));
+          ++hits;
+          break;
+        case Acquire::kSolve:
+          ++solves;
+          break;
+      }
+    });
+  }
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(leads.load(), 1);
+  EXPECT_EQ(leads.load() + hits.load() + solves.load(), kThreads);
+  // The default 2 s wait budget dwarfs the 50 ms hold: every waiter
+  // coalesces instead of giving up.
+  EXPECT_EQ(hits.load(), kThreads - 1);
+  EXPECT_GE(cache.stats().coalesced, static_cast<std::uint64_t>(
+                                         hits.load() > 0 ? 1 : 0));
+}
+
+TEST(SingleFlight, AbandonPromotesAWaiterInsteadOfWedgingIt) {
+  SolveCache cache(SolveCacheConfig{});
+  CachedSolve out;
+  ASSERT_EQ(cache.acquire("abandoned", out), Acquire::kLead);
+  std::atomic<bool> waiter_done{false};
+  std::thread waiter([&] {
+    CachedSolve theirs;
+    const Acquire got = cache.acquire("abandoned", theirs);
+    // The promoted waiter becomes the new leader (or solves on its own if
+    // its budget expired first — never an unanswered wedge).
+    EXPECT_NE(got, Acquire::kHit);
+    if (got == Acquire::kLead) cache.abandon("abandoned");
+    waiter_done.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  cache.abandon("abandoned");
+  waiter.join();
+  EXPECT_TRUE(waiter_done.load());
+}
+
+TEST(SingleFlight, WaiterBudgetExpiryDissolvesIntoIndependentSolve) {
+  SolveCacheConfig cfg;
+  cfg.wait_budget_ns = 20'000'000;  // 20 ms
+  cfg.poll_interval_ms = 2;
+  SolveCache cache(cfg);
+  CachedSolve out;
+  ASSERT_EQ(cache.acquire("wedged", out), Acquire::kLead);
+  // The leader never publishes; the waiter must give up and solve.
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(cache.acquire("wedged", out), Acquire::kSolve);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(waited, std::chrono::seconds(2));
+  cache.abandon("wedged");
+}
+
+// --- eviction ---------------------------------------------------------------
+
+TEST(Eviction, FifoBoundsResidencyPerShard) {
+  SolveCacheConfig cfg;
+  cfg.shards = 1;
+  cfg.max_entries = 4;
+  SolveCache cache(cfg);
+  for (int i = 0; i < 10; ++i)
+    cache.publish("evict-" + std::to_string(i), sample_value(i));
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 4u);
+  EXPECT_EQ(s.evictions, 6u);
+  // Oldest gone, newest resident.
+  CachedSolve hit;
+  EXPECT_FALSE(cache.lookup("evict-0", hit));
+  EXPECT_TRUE(cache.lookup("evict-9", hit));
+}
+
+// --- end-to-end byte identity ----------------------------------------------
+
+std::vector<service::Request> identity_requests() {
+  std::vector<service::Request> batch;
+  for (int i = 0; i < 8; ++i)
+    batch.push_back(wire_request("ident-" + std::to_string(i),
+                                 0.05 + 0.01 * i));
+  service::Request cell;
+  cell.id = "ident-cell";
+  cell.kind = service::RequestKind::kTableCell;
+  cell.technology = "NTRS-250nm-Cu";
+  cell.level = 2;
+  cell.duty_cycle = 1.0;
+  batch.push_back(cell);
+  return batch;
+}
+
+std::vector<std::string> serve_bytes(service::Server& server,
+                                     const std::vector<service::Request>& rs) {
+  std::vector<std::string> bytes;
+  bytes.reserve(rs.size());
+  for (std::size_t i = 0; i < rs.size(); ++i)
+    bytes.push_back(service::response_to_json(server.handle(rs[i], i))
+                        .dump(-1));
+  return bytes;
+}
+
+TEST(ByteIdentity, WarmHitEqualsColdSolveAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const std::vector<service::Request> requests = identity_requests();
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    parallel::set_thread_count(threads);
+    // Cold reference: no cache attached at all.
+    service::Server bare(quiet_config());
+    const std::vector<std::string> cold = serve_bytes(bare, requests);
+
+    service::ServerConfig cfg = quiet_config();
+    cfg.solve_cache = std::make_shared<SolveCache>(SolveCacheConfig{});
+    service::Server cached(cfg);
+    // First pass misses (and publishes); second pass hits.
+    const std::vector<std::string> miss_pass = serve_bytes(cached, requests);
+    const std::vector<std::string> hit_pass = serve_bytes(cached, requests);
+    EXPECT_EQ(cold, miss_pass) << "threads=" << threads;
+    EXPECT_EQ(cold, hit_pass) << "threads=" << threads;
+    const CacheStats s = cfg.solve_cache->stats();
+    EXPECT_GT(s.hits, 0u) << "threads=" << threads;
+    EXPECT_EQ(s.corrupt_quarantined, 0u);
+  }
+}
+
+TEST(ByteIdentity, SupervisedParentCacheHitEqualsWorkerSolvedBytes) {
+  // The same requests through two supervised pools: one plain, one whose
+  // parent shares a pre-warmed cache and answers from it without leasing a
+  // worker. The client-visible frames must be identical.
+  const std::vector<service::Request> requests = identity_requests();
+
+  supervise::WorkerPool plain(quiet_pool(1));
+  std::vector<std::string> worker_frames;
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    worker_frames.push_back(plain.execute(requests[i], i).frame);
+  plain.shutdown();
+
+  supervise::SuperviseConfig cfg = quiet_pool(1);
+  cfg.solve_cache = std::make_shared<SolveCache>(SolveCacheConfig{});
+  const WarmReport warmed = warm_cache(*cfg.solve_cache, requests);
+  ASSERT_EQ(warmed.inserted, requests.size());
+  supervise::WorkerPool warmed_pool(cfg);
+  std::vector<std::string> cached_frames;
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    cached_frames.push_back(warmed_pool.execute(requests[i], i).frame);
+  const supervise::SuperviseStats stats = warmed_pool.stats();
+  warmed_pool.shutdown();
+
+  EXPECT_EQ(worker_frames, cached_frames);
+  EXPECT_EQ(stats.cache_hits, requests.size());
+}
+
+TEST(ByteIdentity, WarmedLatticeCoversTheLoadgenStream) {
+  // The --warm-cache lattice must actually hit for the duty sweep the
+  // loadgen (and the benchmarks) replay — a warm miss would silently turn
+  // the warm-hit benchmark into a cold one.
+  SolveCache cache(SolveCacheConfig{});
+  const WarmReport report = warm_hot_lattice(cache);
+  EXPECT_EQ(report.requested, report.solved);
+  EXPECT_EQ(report.solved, report.inserted);
+  for (int i = 0; i < 40; ++i) {
+    service::Request r;  // the loadgen request, id aside
+    r.id = "load-0-" + std::to_string(i);
+    r.kind = service::RequestKind::kSelfConsistent;
+    r.duty_cycle = 0.05 + 0.01 * (i % 40);
+    CachedSolve hit;
+    EXPECT_TRUE(cache.lookup(canonical_key(r), hit)) << i;
+  }
+}
+
+// --- observability ----------------------------------------------------------
+
+TEST(Observability, ServiceJsonReportsReferenceAndSolveSections) {
+  service::ServerConfig cfg = quiet_config();
+  cfg.solve_cache = std::make_shared<SolveCache>(SolveCacheConfig{});
+  service::Server server(cfg);
+  const std::vector<service::Request> requests = identity_requests();
+  for (std::size_t i = 0; i < requests.size(); ++i)
+    (void)server.handle(requests[i], i);
+
+  const report::Json doc = server.service_json();
+  const report::Json* cache_node = doc.find("cache");
+  ASSERT_NE(cache_node, nullptr);
+  const report::Json* reference = cache_node->find("reference");
+  ASSERT_NE(reference, nullptr);
+  for (const char* field : {"families", "points", "lookups", "hits"})
+    EXPECT_NE(reference->find(field), nullptr) << field;
+  const report::Json* solve = cache_node->find("solve");
+  ASSERT_NE(solve, nullptr);
+  for (const char* field :
+       {"hits", "misses", "coalesced", "inserts", "evictions",
+        "corrupt_quarantined", "entries", "bytes", "loaded",
+        "torn_truncated", "refused_stamp", "durable"})
+    EXPECT_NE(solve->find(field), nullptr) << field;
+
+  // Without an attached solve cache the reference section still reports.
+  service::Server bare(quiet_config());
+  const report::Json bare_doc = bare.service_json();
+  const report::Json* bare_cache = bare_doc.find("cache");
+  ASSERT_NE(bare_cache, nullptr);
+  EXPECT_NE(bare_cache->find("reference"), nullptr);
+}
+
+TEST(Observability, ReferenceCacheCountsLookupsAndHits) {
+  service::ReferenceCache reference;
+  // Two points bracketing duty 0.2; the conservative probe returns the
+  // r' >= r one and must now be COUNTED (rung-1 hits used to be invisible
+  // in sign-off).
+  reference.insert("family", 0.1, to_solution(sample_value(1)));
+  reference.insert("family", 0.3, to_solution(sample_value(2)));
+  service::ReferencePoint out;
+  ASSERT_TRUE(reference.conservative_at("family", 0.2, out));
+  EXPECT_EQ(reference.lookups(), 1u);
+  EXPECT_EQ(reference.hits(), 1u);
+  service::ReferencePoint missing;
+  EXPECT_FALSE(reference.conservative_at("missing-family", 0.2, missing));
+  EXPECT_EQ(reference.lookups(), 2u);
+  EXPECT_EQ(reference.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace dsmt::cache

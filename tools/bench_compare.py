@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json snapshots and fail on latency regressions.
+
+The repo commits one benchmark snapshot per PR (BENCH_6.json ... BENCH_10.json)
+so the perf trajectory is reviewable.  This tool makes that trajectory
+machine-checked: given an OLD and a NEW snapshot it walks both JSON trees,
+pairs up every `p50_ms` / `p99_ms` leaf that exists at the same path in both,
+and fails (exit 1) when NEW is more than --threshold (default 15%) slower
+than OLD on any paired percentile.
+
+Snapshots from different PRs measure different scenarios, so only paths
+present in BOTH files are compared; new sections are reported as "added" and
+vanished ones as "removed", neither failing the gate.  Percentiles measured
+over fewer than --min-samples requests (sibling `samples` key) are skipped:
+a p99 over 8 samples is noise, not a trajectory.
+
+Usage:
+    bench_compare.py OLD.json NEW.json [--threshold 0.15] [--min-samples 32]
+    bench_compare.py --self-test
+
+Exit codes: 0 comparison clean (or self-test pass), 1 regression found,
+2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+PERCENTILE_KEYS = ("p50_ms", "p99_ms")
+
+
+def collect_percentiles(node, path=""):
+    """Flattens a snapshot into {json-path: (value, samples-or-None)}."""
+    found = {}
+    if isinstance(node, dict):
+        samples = node.get("samples")
+        if not isinstance(samples, (int, float)):
+            samples = None
+        for key, value in node.items():
+            child_path = f"{path}.{key}" if path else key
+            if key in PERCENTILE_KEYS and isinstance(value, (int, float)):
+                found[child_path] = (float(value), samples)
+            else:
+                found.update(collect_percentiles(value, child_path))
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            found.update(collect_percentiles(value, f"{path}[{index}]"))
+    return found
+
+
+def compare(old, new, threshold, min_samples):
+    """Returns (regressions, report_lines) for two parsed snapshots."""
+    old_points = collect_percentiles(old)
+    new_points = collect_percentiles(new)
+    regressions = []
+    lines = []
+    for path in sorted(set(old_points) & set(new_points)):
+        old_value, old_samples = old_points[path]
+        new_value, new_samples = new_points[path]
+        samples = min(s for s in (old_samples, new_samples, min_samples)
+                      if s is not None)
+        if samples < min_samples:
+            lines.append(f"  skip  {path}: only {samples} samples")
+            continue
+        if old_value <= 0.0:
+            lines.append(f"  skip  {path}: non-positive baseline")
+            continue
+        ratio = new_value / old_value
+        verdict = "ok" if ratio <= 1.0 + threshold else "REGRESSED"
+        lines.append(f"  {verdict:>9}  {path}: {old_value:.6g} -> "
+                     f"{new_value:.6g} ms ({ratio - 1.0:+.1%} vs baseline)")
+        if ratio > 1.0 + threshold:
+            regressions.append(path)
+    for path in sorted(set(new_points) - set(old_points)):
+        lines.append(f"      added  {path}: {new_points[path][0]:.6g} ms")
+    for path in sorted(set(old_points) - set(new_points)):
+        lines.append(f"    removed  {path}")
+    return regressions, lines
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures: a baseline, a clean follow-up, and a regressed one.
+
+SELF_TEST_OLD = {
+    "in_process": {"latency": {"p50_ms": 0.25, "p99_ms": 2.0,
+                               "samples": 512}},
+    "isolate": {"latency": {"p50_ms": 0.76, "p99_ms": 1.3, "samples": 512}},
+    "tiny": {"latency": {"p50_ms": 0.10, "p99_ms": 0.2, "samples": 8}},
+}
+
+SELF_TEST_GOOD = {
+    "in_process": {"latency": {"p50_ms": 0.27, "p99_ms": 2.1,
+                               "samples": 512}},
+    "isolate": {"latency": {"p50_ms": 0.70, "p99_ms": 1.1, "samples": 512}},
+    # Under min-samples: a 5x blowup here must NOT fail the gate.
+    "tiny": {"latency": {"p50_ms": 0.50, "p99_ms": 1.0, "samples": 8}},
+    "brand_new": {"latency": {"p50_ms": 9.9, "p99_ms": 9.9, "samples": 512}},
+}
+
+SELF_TEST_BAD = {
+    "in_process": {"latency": {"p50_ms": 0.40, "p99_ms": 2.1,
+                               "samples": 512}},
+    "isolate": {"latency": {"p50_ms": 0.70, "p99_ms": 1.1, "samples": 512}},
+}
+
+
+def self_test():
+    regressions, _ = compare(SELF_TEST_OLD, SELF_TEST_GOOD, 0.15, 32)
+    assert regressions == [], f"clean fixture flagged: {regressions}"
+    regressions, _ = compare(SELF_TEST_OLD, SELF_TEST_BAD, 0.15, 32)
+    assert regressions == ["in_process.latency.p50_ms"], (
+        f"regressed fixture mis-flagged: {regressions}")
+    # Threshold is inclusive-of-boundary: exactly +15% passes.
+    boundary = {"in_process": {"latency": {"p50_ms": 0.25 * 1.15,
+                                           "p99_ms": 2.0, "samples": 512}}}
+    regressions, _ = compare(SELF_TEST_OLD, boundary, 0.15, 32)
+    assert regressions == [], f"boundary flagged: {regressions}"
+    print("bench_compare self-test passed (3 fixtures)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold p50/p99 regressions between "
+                    "two BENCH_*.json snapshots")
+    parser.add_argument("old", nargs="?", help="baseline snapshot")
+    parser.add_argument("new", nargs="?", help="candidate snapshot")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional slowdown (default 0.15)")
+    parser.add_argument("--min-samples", type=int, default=32,
+                        help="skip percentiles measured over fewer samples")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixtures and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.old or not args.new:
+        parser.print_usage(sys.stderr)
+        return 2
+
+    try:
+        with open(args.old, encoding="utf-8") as f:
+            old = json.load(f)
+        with open(args.new, encoding="utf-8") as f:
+            new = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench_compare: {error}", file=sys.stderr)
+        return 2
+
+    regressions, lines = compare(old, new, args.threshold, args.min_samples)
+    print(f"bench_compare: {args.old} -> {args.new} "
+          f"(threshold +{args.threshold:.0%})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_compare: {len(regressions)} regression(s): "
+              + ", ".join(regressions))
+        return 1
+    print("bench_compare: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

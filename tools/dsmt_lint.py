@@ -79,6 +79,21 @@ Rules (library code under src/ only — tests/bench/examples are exempt):
                   scalar chain the batch API transcribes. Look-alikes
                   (`solve_one(`, `solve_batch(`, `resolve(`, member
                   `.solve(`) do not fire.
+  R14 cache-primitives  src/cache/ is the sole home of cache-file I/O and
+                  checksum primitives. (a) The FNV-1a constants (offset
+                  bases and prime, decimal or hex) may be spelled only in
+                  cache/fnv.h — everywhere else calls cache::fnv1a, so a
+                  typo'd prime cannot silently fork the hash that segment
+                  checksums, shard routing, and quarantine keys agree on.
+                  core/checkpoint.{h,cpp} are exempt: the core layer cannot
+                  depend on cache/ and its config-hash predates the cache.
+                  (b) The segment primitives (core::AppendLog,
+                  truncate_file_to, the "DSC1" magic) may appear only under
+                  src/cache/ and in core/atomic_file.{h,cpp}, their
+                  implementation home — durable cache I/O goes through
+                  cache/segment.h so the recovery/quarantine policy cannot
+                  be re-implemented ad hoc. tests/, tools/, and examples/
+                  are exempt, like all rules.
   R13 process-syscalls  src/supervise/ is the sole home of child-process
                   management syscalls (fork/vfork/exec*/waitpid/wait4/
                   socketpair/setrlimit/kill/_exit): everywhere else in src/
@@ -173,7 +188,8 @@ SERVICE_UNBOUNDED_RE = re.compile(r"std::(?:deque|queue|list)\s*<")
 # the capability-annotated lock vocabulary (R9) and to protect its mutable
 # state visibly (R10). core/thread_annotations.h is the single sanctioned
 # home of the raw std types — it is what wraps them.
-CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/", "net/", "supervise/")
+CONCURRENCY_FENCE_PREFIXES = ("parallel/", "service/", "net/", "supervise/",
+                              "cache/")
 CONCURRENCY_FENCE_FILES = {
     "core/signoff.cpp",
     "core/run_context.h", "core/run_context.cpp",
@@ -285,6 +301,32 @@ PROCESS_SYSCALL_NAMES = (
     r"vfork|fork|execvpe?|execve?|execl[ep]?|waitpid|waitid|wait4|"
     r"socketpair|setrlimit|kill|_exit")
 PROCESS_SYSCALL_RE = _syscall_re(PROCESS_SYSCALL_NAMES)
+
+
+# The one header allowed to spell the FNV-1a constants (R14a): every
+# checksum and content hash in the tree calls cache::fnv1a, so segment
+# checksums, shard routing, and quarantine keys agree on one hash and a
+# typo'd prime cannot silently fork it. 1469598103934665603 is the frozen
+# historical canonical-request basis (PR 9's supervise hash) — changing or
+# re-deriving it would orphan every persisted quarantine table and segment.
+# core/checkpoint.{h,cpp} keep a private pre-cache copy: the core layer
+# cannot depend on cache/, so their config hash is exempt.
+FNV_HOME = "cache/fnv.h"
+FNV_EXEMPT_FILES = ("core/checkpoint.h", "core/checkpoint.cpp")
+FNV_LITERAL_RE = re.compile(
+    r"\b(?:14695981039346656037|1469598103934665603|1099511628211)"
+    r"[uUlL]*\b|"
+    r"0[xX](?:cbf29ce484222325|100000001b3)[uUlL]*\b",
+    re.IGNORECASE)
+
+# The segment-file primitives (R14b): the fsync'd append log, the torn-tail
+# truncation helper, and the segment magic may appear only under src/cache/
+# and in core/atomic_file.{h,cpp}, their implementation home. Durable cache
+# I/O goes through cache/segment.h so the recovery/quarantine policy is
+# written exactly once.
+CACHE_PREFIX = "cache/"
+CACHE_IO_EXEMPT_FILES = ("core/atomic_file.h", "core/atomic_file.cpp")
+CACHE_IO_RE = re.compile(r"\bAppendLog\b|\btruncate_file_to\b|\"DSC1\"")
 
 
 # A doc line counts as carrying a unit tag when it contains [...] with a
@@ -515,6 +557,34 @@ def lint_file(path: pathlib.Path, rel: str, errors: list):
                               f"owned by supervise::WorkerPool (fork, reap, "
                               f"kill, rlimit rails) so crash containment "
                               f"stays in one place")
+
+    # R14: cache-file I/O and checksum primitives are fenced into
+    # src/cache/. (a) The FNV-1a constants may be spelled only in
+    # cache/fnv.h (core/checkpoint's private pre-cache copy is exempt);
+    # everyone else calls cache::fnv1a. (b) The segment append/truncate
+    # primitives and the segment magic live under src/cache/ and in their
+    # implementation home core/atomic_file.{h,cpp}.
+    if rel != FNV_HOME and rel not in FNV_EXEMPT_FILES:
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = FNV_LITERAL_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [cache-primitives] FNV-1a "
+                              f"constant '{m.group(0).strip()}' spelled "
+                              f"outside cache/fnv.h — call cache::fnv1a so "
+                              f"segment checksums, shard routing, and "
+                              f"quarantine keys stay on one hash")
+    if not rel.startswith(CACHE_PREFIX) and rel not in CACHE_IO_EXEMPT_FILES:
+        for i, raw in enumerate(lines):
+            line = strip_comments(raw)
+            m = CACHE_IO_RE.search(line)
+            if m:
+                errors.append(f"{rel}:{i + 1}: [cache-primitives] cache "
+                              f"segment primitive ('{m.group(0).strip()}') "
+                              f"outside src/cache/ — durable cache I/O goes "
+                              f"through cache/segment.h + core/atomic_file "
+                              f"so recovery and checksum policy are written "
+                              f"once")
 
     # R1: raw double params in exported header decls need a [unit] doc tag.
     # core/units.h is the unit vocabulary itself: its factory helpers and
@@ -838,6 +908,65 @@ class Task {
 }  // namespace dsmt::demo
 """
 
+SELF_TEST_BAD_CACHE = """\
+// FNV-1a constants and segment primitives in the shapes R14 must catch
+// when the file sits outside src/cache/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsmt::demo {
+
+inline std::uint64_t my_hash(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= 1469598103934665603ULL;
+  return h ^ 0xcbf29ce484222325ULL;
+}
+
+inline void rewrite_segment(const std::string& path) {
+  core::AppendLog log(path);
+  core::truncate_file_to(path, 0);
+  log.append("DSC1");
+}
+
+}  // namespace dsmt::demo
+"""
+
+SELF_TEST_GOOD_CACHE = """\
+// Look-alikes R14 must stay quiet on: the sanctioned cache::fnv1a call,
+// nearby-but-different numerics, longer/suffixed identifiers, and a
+// different file magic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dsmt::demo {
+
+inline std::uint64_t content_key(const std::string& s) {
+  return cache::fnv1a(s);                       // the sanctioned entry point
+}
+
+inline std::uint64_t near_misses() {
+  const std::uint64_t a = 1099511627776ull;     // 2^40, not the FNV prime
+  const std::uint64_t b = 14695981039346656036ull;  // basis off by one
+  return a ^ b;
+}
+
+class AppendLogger {                            // longer identifier
+ public:
+  void truncate_file_to_zero();                 // suffixed identifier
+  const char* magic() const { return "DSC2"; }  // a different magic
+};
+
+}  // namespace dsmt::demo
+"""
+
 SELF_TEST_WRAPPER_HOME = """\
 // Minimal slice of core/thread_annotations.h: the one sanctioned home of
 // the raw std lock types, which it wraps in annotated capabilities.
@@ -899,6 +1028,10 @@ def self_test() -> int:
         bad_proc.write_text(SELF_TEST_BAD_PROCESS)
         good_proc = root / "src" / "demo" / "good_proc.h"
         good_proc.write_text(SELF_TEST_GOOD_PROCESS)
+        bad_cache = root / "src" / "demo" / "bad_cache.h"
+        bad_cache.write_text(SELF_TEST_BAD_CACHE)
+        good_cache = root / "src" / "demo" / "good_cache.h"
+        good_cache.write_text(SELF_TEST_GOOD_CACHE)
 
         errors: list[str] = []
         lint_file(bad, "demo/bad.h", errors)
@@ -1090,7 +1223,61 @@ def self_test() -> int:
             print("self-test FAILED: R13 fired inside src/supervise/")
             return 1
 
-    print("dsmt_lint: self-test passed (rules R1-R13)")
+        # R14 fires on every FNV literal (decimal, hex, the frozen canonical
+        # basis) and every segment primitive outside src/cache/ ...
+        errors = []
+        lint_file(bad_cache, "demo/bad_cache.h", errors)
+        cache_errs = [e for e in errors if "[cache-primitives]" in e]
+        if len(cache_errs) != 7:  # 4 FNV literals + AppendLog/truncate/magic
+            print(f"self-test FAILED: bad_cache.h raised {len(cache_errs)} "
+                  f"cache-primitives violations, expected 7:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... stays quiet on the sanctioned call and the look-alikes ...
+        errors = []
+        lint_file(good_cache, "demo/good_cache.h", errors)
+        if any("[cache-primitives]" in e for e in errors):
+            print("self-test FAILED: good_cache.h should be R14-clean:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... exempts src/cache/ itself (both halves of the fence) ...
+        errors = []
+        lint_file(bad_cache, "cache/fnv.h", errors)
+        if any("[cache-primitives]" in e for e in errors):
+            print("self-test FAILED: R14 fired inside src/cache/")
+            return 1
+
+        # ... exempts core/checkpoint's private FNV copy while still fencing
+        # the segment primitives there ...
+        errors = []
+        lint_file(bad_cache, "core/checkpoint.cpp", errors)
+        cache_errs = [e for e in errors if "[cache-primitives]" in e]
+        if len(cache_errs) != 3 or any("FNV" in e for e in cache_errs):
+            print(f"self-test FAILED: checkpoint.cpp raised "
+                  f"{len(cache_errs)} cache-primitives violations, expected "
+                  f"3 segment-primitive ones:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+        # ... and exempts core/atomic_file, the segment primitives'
+        # implementation home, while still fencing the FNV constants there.
+        errors = []
+        lint_file(bad_cache, "core/atomic_file.cpp", errors)
+        cache_errs = [e for e in errors if "[cache-primitives]" in e]
+        if len(cache_errs) != 4 or any("FNV" not in e for e in cache_errs):
+            print(f"self-test FAILED: atomic_file.cpp raised "
+                  f"{len(cache_errs)} cache-primitives violations, expected "
+                  f"4 FNV-constant ones:")
+            for e in errors:
+                print("  " + e)
+            return 1
+
+    print("dsmt_lint: self-test passed (rules R1-R14)")
     return 0
 
 

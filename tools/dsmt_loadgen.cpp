@@ -24,6 +24,14 @@
 //                 be answered exactly once; clean (survivor) lanes must
 //                 answer "ok" and their latency percentiles are reported
 //                 separately from the poison lanes
+//   cache-storm   every client sends the IDENTICAL request stream (same ids,
+//                 same parameters) so concurrent misses stampede the same
+//                 cache keys; every request must answer "ok" and — the
+//                 integrity claim — reply i must be byte-identical across
+//                 all clients (hit, coalesced hit, and cold solve must be
+//                 indistinguishable on the wire)
+//   bitflip       no socket: flips --flips seeded bits in-place in --file
+//                 (a cache segment), for corruption-recovery drills
 //
 // This is a tool, not library code: it uses blocking sockets and raw
 // syscalls directly (lint rule R11 fences those out of src/ outside
@@ -65,6 +73,7 @@ void print_error(const std::string& message) {
   std::fprintf(
       exit_code == 0 ? stdout : stderr,
       "usage: dsmt_loadgen (--connect SOCKET_PATH | --tcp PORT) [options]\n"
+      "       dsmt_loadgen --mode bitflip --file PATH [--flips N] [--seed S]\n"
       "\n"
       "modes (default --mode normal):\n"
       "  --mode normal         framed solve requests, latency percentiles\n"
@@ -74,13 +83,20 @@ void print_error(const std::string& message) {
       "                        clean traffic against dsmt_serve --isolate;\n"
       "                        every request must be answered exactly once\n"
       "                        (--crash-storm is shorthand for this mode)\n"
+      "  --mode cache-storm    identical request stream from every client\n"
+      "                        (a coalescing stampede); all replies must be\n"
+      "                        \"ok\" and byte-identical across clients\n"
+      "  --mode bitflip        no socket: flip --flips seeded bits in-place\n"
+      "                        in --file (cache-segment corruption drill)\n"
       "\n"
       "options:\n"
       "  --clients N         concurrent client connections (default 4)\n"
       "  --requests N        requests per client (default 8)\n"
       "  --poison-percent P  crash-storm: percent of poison traffic\n"
       "                      (1-100, default 10)\n"
-      "  --seed S            fault/garbage stream seed (default 1)\n"
+      "  --file PATH         bitflip: file to corrupt in place\n"
+      "  --flips N           bitflip: number of single-bit flips (default 8)\n"
+      "  --seed S            fault/garbage/bitflip stream seed (default 1)\n"
       "  --json              emit the report as JSON on stdout\n"
       "  --help              this text\n"
       "\n"
@@ -185,6 +201,8 @@ struct Options {
   int clients = 4;
   int requests = 8;
   int poison_percent = 10;  ///< crash-storm poison share of traffic [%]
+  std::string file;         ///< bitflip: target file
+  int flips = 8;            ///< bitflip: single-bit flips to apply
   std::uint64_t seed = 1;
   bool json = false;
 };
@@ -199,6 +217,7 @@ struct ClientResult {
   int status_other = 0;        ///< anything else
   std::vector<double> latency_ms;         ///< clean (survivor) lanes
   std::vector<double> poison_latency_ms;  ///< crash-storm poison lanes
+  std::vector<std::string> reply_bytes;   ///< cache-storm: raw reply payloads
 };
 
 bool connect_client(ClientSock& sock, const Options& opt) {
@@ -409,6 +428,125 @@ void run_crash_storm_client(const Options& opt, int client,
   }
 }
 
+/// The cache-storm request stream: the SAME ids and parameters for every
+/// client, so C clients asking request i concurrently stampede one cache
+/// key. Ids are client-independent on purpose — replies can then be
+/// compared byte-for-byte across clients.
+std::string storm_payload(int index) {
+  dsmt::service::Request req;
+  req.id = "storm-" + std::to_string(index);
+  req.kind = dsmt::service::RequestKind::kSelfConsistent;
+  req.duty_cycle = 0.05 + 0.01 * static_cast<double>(index % 40);
+  return dsmt::service::request_to_json(req).dump(-1);
+}
+
+/// The cache-storm client: every reply must be well-formed and "ok", and
+/// the raw payload bytes are kept so main() can assert that client k's
+/// reply i equals client 0's reply i — the wire-level proof that cache
+/// hits, coalesced hits, and cold solves are indistinguishable.
+void run_cache_storm_client(const Options& opt, int client,
+                            ClientResult& out) {
+  ClientSock sock;
+  if (!connect_client(sock, opt)) {
+    ++out.failures;
+    return;
+  }
+  (void)client;
+  std::string payload;
+  for (int i = 0; i < opt.requests; ++i) {
+    const std::string frame = encode_frame(storm_payload(i));
+    const auto start = std::chrono::steady_clock::now();
+    ++out.sent;
+    if (!send_all(sock.fd, frame.data(), frame.size()) ||
+        !recv_frame(sock.fd, payload)) {
+      ++out.failures;
+      return;
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    try {
+      const dsmt::report::Json doc = dsmt::report::Json::parse(payload);
+      const dsmt::report::Json* id = doc.find("id");
+      const dsmt::report::Json* status = doc.find("status");
+      if (id == nullptr || !id->is_string() ||
+          id->as_string() != "storm-" + std::to_string(i) ||
+          status == nullptr || !status->is_string() ||
+          status->as_string() != "ok") {
+        ++out.failures;
+        return;
+      }
+    } catch (const std::exception&) {
+      ++out.failures;
+      return;
+    }
+    ++out.replies;
+    out.reply_bytes.push_back(payload);
+    out.latency_ms.push_back(
+        std::chrono::duration<double, std::milli>(stop - start).count());
+  }
+}
+
+/// The bitflip drill: --flips seeded single-bit flips applied in place to
+/// --file. No socket involved — this corrupts a cache segment between
+/// server runs so the recovery path (checksum quarantine, torn-tail
+/// truncation) can be exercised by the next start-up. Returns the process
+/// exit code.
+int run_bitflip(const Options& opt) {
+  std::FILE* f = std::fopen(opt.file.c_str(), "r+b");
+  if (f == nullptr) {
+    print_error("bitflip: cannot open " + opt.file);
+    return 1;
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    print_error("bitflip: " + opt.file + " is empty");
+    std::fclose(f);
+    return 1;
+  }
+  for (int k = 0; k < opt.flips; ++k) {
+    // Two independent seeded draws per flip: byte position and bit index.
+    const std::uint64_t pos_draw = dsmt::service::mix64(
+        opt.seed ^ (static_cast<std::uint64_t>(k) * 2 + 1));
+    const std::uint64_t bit_draw = dsmt::service::mix64(
+        opt.seed ^ (static_cast<std::uint64_t>(k) * 2 + 2));
+    const long pos =
+        static_cast<long>(pos_draw % static_cast<std::uint64_t>(size));
+    std::fseek(f, pos, SEEK_SET);
+    const int byte = std::fgetc(f);
+    if (byte == EOF) {
+      print_error("bitflip: short read at offset " + std::to_string(pos));
+      std::fclose(f);
+      return 1;
+    }
+    std::fseek(f, pos, SEEK_SET);
+    if (std::fputc(byte ^ (1 << (bit_draw % 8)), f) == EOF) {
+      print_error("bitflip: write failed at offset " + std::to_string(pos));
+      std::fclose(f);
+      return 1;
+    }
+  }
+  if (std::fflush(f) != 0 || std::fclose(f) != 0) {
+    print_error("bitflip: flush failed");
+    return 1;
+  }
+  if (opt.json) {
+    using dsmt::report::Json;
+    Json root = Json::object();
+    root.set("tool", Json::string("dsmt_loadgen"))
+        .set("mode", Json::string("bitflip"))
+        .set("file", Json::string(opt.file))
+        .set("bytes", Json::integer(static_cast<long long>(size)))
+        .set("flips", Json::integer(opt.flips))
+        .set("seed", Json::integer(static_cast<long long>(opt.seed)));
+    std::printf("%s\n", root.dump(2).c_str());
+  } else {
+    std::printf("mode=bitflip file=%s bytes=%ld flips=%d seed=%llu\n",
+                opt.file.c_str(), size, opt.flips,
+                static_cast<unsigned long long>(opt.seed));
+  }
+  return 0;
+}
+
 /// Post-attack health check: one framed request must still round-trip.
 bool probe(const Options& opt) {
   ClientSock sock;
@@ -460,6 +598,8 @@ int main(int argc, char** argv) {
     else if (arg == "--requests") opt.requests = std::stoi(value("--requests"));
     else if (arg == "--poison-percent")
       opt.poison_percent = std::stoi(value("--poison-percent"));
+    else if (arg == "--file") opt.file = value("--file");
+    else if (arg == "--flips") opt.flips = std::stoi(value("--flips"));
     else if (arg == "--seed") opt.seed = std::stoull(value("--seed"));
     else if (arg == "--json") opt.json = true;
     else {
@@ -467,14 +607,27 @@ int main(int argc, char** argv) {
       usage(2);
     }
   }
+  if (opt.mode != "normal" && opt.mode != "kill-midframe" &&
+      opt.mode != "garbage" && opt.mode != "crash-storm" &&
+      opt.mode != "cache-storm" && opt.mode != "bitflip") {
+    print_error("unknown mode: " + opt.mode);
+    usage(2);
+  }
+  // bitflip is socket-free: it needs a --file, not a transport.
+  if (opt.mode == "bitflip") {
+    if (opt.file.empty()) {
+      print_error("--mode bitflip requires --file");
+      usage(2);
+    }
+    if (opt.flips < 1) {
+      print_error("--flips must be >= 1");
+      usage(2);
+    }
+    return run_bitflip(opt);
+  }
   if ((opt.socket_path.empty() && !opt.use_tcp) ||
       (!opt.socket_path.empty() && opt.use_tcp)) {
     print_error("exactly one of --connect or --tcp is required");
-    usage(2);
-  }
-  if (opt.mode != "normal" && opt.mode != "kill-midframe" &&
-      opt.mode != "garbage" && opt.mode != "crash-storm") {
-    print_error("unknown mode: " + opt.mode);
     usage(2);
   }
   if (opt.clients < 1 || opt.requests < 1) {
@@ -496,6 +649,7 @@ int main(int argc, char** argv) {
       if (opt.mode == "normal") run_normal_client(opt, c, slot);
       else if (opt.mode == "kill-midframe") run_killer_client(opt, c, slot);
       else if (opt.mode == "crash-storm") run_crash_storm_client(opt, c, slot);
+      else if (opt.mode == "cache-storm") run_cache_storm_client(opt, c, slot);
       else run_garbage_client(opt, c, slot);
     });
   }
@@ -524,14 +678,31 @@ int main(int argc, char** argv) {
   std::sort(latencies.begin(), latencies.end());
   std::sort(poison_latencies.begin(), poison_latencies.end());
 
+  // cache-storm: reply i must be byte-identical across every client — the
+  // wire-level proof that hits, coalesced hits, and cold solves are
+  // indistinguishable.
+  int byte_mismatches = 0;
+  if (opt.mode == "cache-storm" && !results.empty()) {
+    const std::vector<std::string>& reference = results[0].reply_bytes;
+    for (std::size_t c = 1; c < results.size(); ++c) {
+      const std::vector<std::string>& mine = results[c].reply_bytes;
+      const std::size_t n = std::min(reference.size(), mine.size());
+      for (std::size_t i = 0; i < n; ++i)
+        if (mine[i] != reference[i]) ++byte_mismatches;
+    }
+  }
+
   // Attack modes must leave the server serving; normal mode must get every
   // reply it asked for. The crash storm demands both: every request
   // (poison included) answered exactly once, clean lanes "ok", and the
-  // server still serving afterwards.
+  // server still serving afterwards. The cache storm additionally demands
+  // cross-client byte identity.
   bool healthy = total.failures == 0;
   if (opt.mode != "normal") healthy = healthy && probe(opt);
   if (opt.mode == "crash-storm")
     healthy = healthy && total.replies == total.sent;
+  if (opt.mode == "cache-storm")
+    healthy = healthy && total.replies == total.sent && byte_mismatches == 0;
 
   using dsmt::report::Json;
   Json latency = Json::object();
@@ -569,9 +740,20 @@ int main(int argc, char** argv) {
         .set("statuses", std::move(statuses))
         .set("poison_latency", std::move(poison));
   }
+  if (opt.mode == "cache-storm") {
+    root.set("byte_mismatches", Json::integer(byte_mismatches))
+        .set("byte_identical", Json::boolean(byte_mismatches == 0));
+  }
 
   if (opt.json) {
     std::printf("%s\n", root.dump(2).c_str());
+  } else if (opt.mode == "cache-storm") {
+    std::printf(
+        "mode=%s clients=%d sent=%d replies=%d failures=%d mismatches=%d "
+        "wall=%.3fs p50=%.2fms p99=%.2fms healthy=%s\n",
+        opt.mode.c_str(), opt.clients, total.sent, total.replies,
+        total.failures, byte_mismatches, wall_s, percentile(latencies, 0.50),
+        percentile(latencies, 0.99), healthy ? "yes" : "no");
   } else if (opt.mode == "crash-storm") {
     std::printf(
         "mode=%s clients=%d sent=%d (poison=%d) replies=%d failures=%d "
